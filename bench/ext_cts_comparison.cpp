@@ -1,0 +1,93 @@
+// Substrate study: the two clock tree synthesizers — recursive-bisection
+// with repeater/snake balancing (the benchmark generator's engine) vs
+// classical zero-skew DME (deferred-merge embedding) — compared on
+// wirelength, skew, buffer count and the noise the same WaveMin
+// optimization achieves on top of each.
+
+#include <cmath>
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/dme.hpp"
+#include "cts/synthesis.hpp"
+#include "report/table.hpp"
+#include "timing/arrival.hpp"
+#include "util/rng.hpp"
+
+using namespace wm;
+
+namespace {
+
+std::vector<LeafSpec> make_leaves(std::uint64_t seed, int n, Um die) {
+  Rng rng(seed);
+  std::vector<LeafSpec> out;
+  for (int i = 0; i < n; ++i) {
+    LeafSpec s;
+    s.pos = {rng.uniform(10.0, die - 10.0), rng.uniform(10.0, die - 10.0)};
+    s.sink_cap = std::exp(rng.uniform(std::log(7.0), std::log(28.0)));
+    out.push_back(s);
+  }
+  return out;
+}
+
+Um total_wire(const ClockTree& t) {
+  Um sum = 0.0;
+  for (const TreeNode& n : t.nodes()) sum += n.wire_len;
+  return sum;
+}
+
+} // namespace
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+
+  Table table({"instance", "synth", "nodes", "wire(um)", "skew(ps)",
+               "opt_peak(mA)"});
+
+  for (const int n : {24, 60, 120}) {
+    const Um die = 60.0 * std::sqrt(static_cast<double>(n));
+    const auto leaves = make_leaves(1000 + n, n, die);
+
+    for (int which = 0; which < 2; ++which) {
+      ClockTree tree;
+      if (which == 0) {
+        tree = synthesize_tree(leaves, lib);
+        balance_skew(tree, 8);
+      } else {
+        tree = synthesize_tree_dme(leaves, lib);
+      }
+      const Ps skew = compute_arrivals(tree).skew();
+
+      WaveMinOptions opts;
+      opts.kappa = 20.0;
+      opts.samples = 64;
+      const bool ok = clk_wavemin(tree, lib, chr, opts).success;
+      const std::string peak =
+          ok ? Table::num(evaluate_design(tree, 2.0).peak_current / 1000.0)
+             : "infsbl";
+
+      table.add_row({"n=" + std::to_string(n),
+                     which == 0 ? "bisection" : "DME",
+                     std::to_string(tree.size()),
+                     Table::num(total_wire(tree), 0), Table::num(skew),
+                     peak});
+    }
+  }
+
+  std::printf("Substrate — recursive-bisection vs zero-skew DME "
+              "synthesis\n\n%s\n",
+              table.to_text().c_str());
+  std::printf(
+      "Both reach near-zero skew. The buffered-binary DME pays for its\n"
+      "exact merges with ~2x the merge cells and correspondingly more\n"
+      "route+snake wire at this buffering granularity, which also raises\n"
+      "the optimized peak (more non-leaf current); the bisection engine\n"
+      "amortizes drivers over 4-12 children. This is why production CTS\n"
+      "uses DME geometry with *fanout-clustered* topologies.\n");
+  table.maybe_export_csv("ext_cts_comparison");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Oracle headroom study — the analysis behind EXPERIMENTS.md's Table V
+// discussion: per zone, *exhaustively simulate* every candidate
+// assignment (skew constraint deliberately ignored — this is a bound,
+// not a legal design) and compare
+//
+//   * the PeakMin baseline's validated tile peak,
+//   * ClkWaveMin's validated tile peak,
+//   * the oracle best / worst over all assignments.
+//
+// (PM − best)/PM is the total headroom any fine-grained method could
+// possibly capture under this cell model; (PM − WM)/PM is what
+// ClkWaveMin actually captured. Only zones with <= 5 sinks are
+// enumerated (4^5 = 1024 full simulations per zone).
+
+#include <cmath>
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "report/table.hpp"
+#include "tree/zone.hpp"
+#include "wave/tree_sim.hpp"
+
+using namespace wm;
+
+namespace {
+
+double tile_peak(const ClockTree& t, const ModeSet& ms,
+                 const std::vector<NodeId>& ids) {
+  const TreeSim s(t, ms, 0, {});
+  return std::max(s.sum_rail(ids, Rail::Vdd).peak(),
+                  s.sum_rail(ids, Rail::Gnd).peak());
+}
+
+std::vector<NodeId> tile_members(const ClockTree& t, const Zone& z,
+                                 Um tile) {
+  std::vector<NodeId> ids = z.members;
+  for (const TreeNode& n : t.nodes()) {
+    if (n.is_leaf()) continue;
+    if (static_cast<int>(std::floor(n.pos.x / tile)) == z.gx &&
+        static_cast<int>(std::floor(n.pos.y / tile)) == z.gy) {
+      ids.push_back(n.id);
+    }
+  }
+  return ids;
+}
+
+} // namespace
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+
+  Table table({"circuit", "zones<=5", "PM(uA)", "WM(uA)", "best(uA)",
+               "worst(uA)", "headroom(%)", "captured(%)"});
+
+  for (const char* name : {"s13207", "s15850"}) {
+    const BenchmarkSpec& spec = spec_by_name(name);
+    const ModeSet ms = ModeSet::single(spec.islands);
+
+    ClockTree t_pm = make_benchmark(spec, lib);
+    ClockTree t_wm = t_pm.clone();
+    if (!clk_peakmin(t_pm, lib, chr, 20.0).success) continue;
+    WaveMinOptions opts;
+    opts.kappa = 20.0;
+    opts.samples = 158;
+    if (!clk_wavemin(t_wm, lib, chr, opts).success) continue;
+
+    const ZoneMap zones(t_pm);
+    const auto asg = lib.assignment_library();
+    double sum_pm = 0.0, sum_wm = 0.0, sum_best = 0.0, sum_worst = 0.0;
+    int nz = 0;
+    for (const Zone& z : zones.zones()) {
+      if (z.members.size() > 4) continue;  // 4^4 = 256 sims/zone
+      const auto ids = tile_members(t_pm, z, tech::kZoneSize);
+      sum_pm += tile_peak(t_pm, ms, ids);
+      sum_wm += tile_peak(t_wm, ms, ids);
+
+      // Exhaustive oracle on a scratch copy.
+      ClockTree scratch = t_wm.clone();
+      std::vector<std::size_t> idx(z.members.size(), 0);
+      double best = 1e18, worst = 0.0;
+      while (true) {
+        for (std::size_t i = 0; i < z.members.size(); ++i) {
+          scratch.set_cell(z.members[i], asg[idx[i]]);
+        }
+        const double v = tile_peak(scratch, ms, ids);
+        best = std::min(best, v);
+        worst = std::max(worst, v);
+        std::size_t r = 0;
+        while (r < idx.size()) {
+          if (++idx[r] < asg.size()) break;
+          idx[r] = 0;
+          ++r;
+        }
+        if (r == idx.size()) break;
+      }
+      sum_best += best;
+      sum_worst += worst;
+      ++nz;
+    }
+    if (nz == 0) continue;
+    const double headroom = 100.0 * (sum_pm - sum_best) / sum_pm;
+    const double captured = 100.0 * (sum_pm - sum_wm) / sum_pm;
+    table.add_row({name, std::to_string(nz), Table::num(sum_pm / nz),
+                   Table::num(sum_wm / nz), Table::num(sum_best / nz),
+                   Table::num(sum_worst / nz), Table::pct(headroom),
+                   Table::pct(captured)});
+  }
+
+  std::printf("Oracle headroom — validated tile peaks vs the exhaustive "
+              "per-zone optimum (skew ignored)\n\n%s\n",
+              table.to_text().c_str());
+  std::printf("headroom bounds what ANY assignment could gain over the "
+              "PeakMin baseline under this cell model;\ncaptured is "
+              "ClkWaveMin's share of it (EXPERIMENTS.md, Table V "
+              "analysis).\n");
+  table.maybe_export_csv("ext_oracle_headroom");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Extension study ([30],[31]): XOR-based reconfigurable polarity.
+//
+// The paper's related-work section points at dynamically adjustable
+// polarities — an XOR gate ahead of the leaf cell selects the clock
+// phase per power mode, giving the optimizer 2^M polarity vectors per
+// leaf instead of one static choice, at the cost of an extra gate delay
+// and input load. This bench quantifies that trade on the multi-mode
+// benchmarks: ClkWaveMin-M with the static library vs the same run with
+// XOR candidates enabled.
+
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin_m.hpp"
+#include "cts/benchmarks.hpp"
+#include "report/table.hpp"
+
+using namespace wm;
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Ps kappa = 110.0;
+
+  Table table({"circuit", "static_model(uA)", "xor_model(uA)",
+               "model_gain(%)", "static_peak(mA)", "xor_peak(mA)",
+               "sim_gain(%)", "#xor_leaves"});
+  double sum_model = 0.0, sum_sim = 0.0;
+  int rows = 0;
+
+  for (const char* name : {"s13207", "s15850", "s38584", "ispd09f34"}) {
+    const BenchmarkSpec& spec = spec_by_name(name);
+    const ModeSet modes = make_mode_set(spec);
+    CharacterizerOptions co;
+    co.vdds = modes.distinct_vdds();
+    const Characterizer chr(lib, co);
+
+    WaveMinOptions opts;
+    opts.kappa = kappa;
+    opts.samples = 16;
+
+    ClockTree t1 = make_benchmark(spec, lib);
+    const WaveMinResult plain = clk_wavemin_m(t1, lib, chr, modes, opts).opt;
+
+    ClockTree t2 = make_benchmark(spec, lib);
+    opts.enable_xor_polarity = true;
+    const WaveMinResult reconf =
+        clk_wavemin_m(t2, lib, chr, modes, opts).opt;
+
+    if (!plain.success || !reconf.success) {
+      std::fprintf(stderr, "%s: infeasible under kappa=%.0f\n", name,
+                   kappa);
+      continue;
+    }
+    int xor_leaves = 0;
+    for (const TreeNode& n : t2.nodes()) {
+      if (n.is_leaf() && !n.xor_negative.empty()) ++xor_leaves;
+    }
+    const Evaluation e1 = evaluate_design(t1, modes, 2.0);
+    const Evaluation e2 = evaluate_design(t2, modes, 2.0);
+    const double mg =
+        100.0 * (plain.model_peak - reconf.model_peak) / plain.model_peak;
+    const double sg = 100.0 * (e1.peak_current - e2.peak_current) /
+                      e1.peak_current;
+    sum_model += mg;
+    sum_sim += sg;
+    ++rows;
+    table.add_row({name, Table::num(plain.model_peak),
+                   Table::num(reconf.model_peak), Table::pct(mg),
+                   Table::num(e1.peak_current / 1000.0),
+                   Table::num(e2.peak_current / 1000.0), Table::pct(sg),
+                   std::to_string(xor_leaves)});
+  }
+
+  std::printf("Extension — XOR-reconfigurable polarity vs static "
+              "assignment (4 power modes, kappa=%.0f ps)\n\n%s\n",
+              kappa, table.to_text().c_str());
+  if (rows) {
+    std::printf(
+        "average gain: model %.2f%%, simulated %.2f%%.\n"
+        "Negative/zero gains are a real finding: on these benchmarks the\n"
+        "optimal polarity of a leaf rarely differs across modes, so the\n"
+        "static assignment is already mode-consistent and the XOR gate's\n"
+        "delay/load cost buys nothing (the [30]/[31] win requires\n"
+        "mode-specific gating activity, which these clock trees lack).\n",
+        sum_model / rows, sum_sim / rows);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces the Fig. 2 observation: the polarity assignment that is
+// optimal when only leaf currents are considered is NOT optimal once the
+// non-leaf buffering elements' waveform is superposed (Observation 1),
+// and arrival-time differences move the danger window (Observation 2).
+//
+// Setup mirrors Fig. 2(a): a root buffer driving two internal buffers,
+// each driving two leaf cells (four leaves e1..e4). All 16 leaf
+// polarity assignments are enumerated; for each we report the leaf-only
+// peak and the total (leaf + non-leaf) peak.
+
+#include <cstdio>
+#include <string>
+
+#include "cells/library.hpp"
+#include "report/table.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "wave/tree_sim.hpp"
+
+using namespace wm;
+
+namespace {
+
+ClockTree make_fig2_tree(const CellLibrary& lib) {
+  ClockTree t;
+  const NodeId root = t.add_root({50.0, 50.0}, &lib.by_name("BUF_X32"));
+  const NodeId a = t.add_node(root, {30.0, 50.0}, &lib.by_name("BUF_X16"));
+  const NodeId b = t.add_node(root, {70.0, 50.0}, &lib.by_name("BUF_X16"));
+  // Slightly different loads/routes give the leaves distinct arrivals
+  // (Observation 2 needs unequal propagation delays).
+  const double caps[4] = {10.0, 16.0, 22.0, 13.0};
+  int i = 0;
+  for (NodeId p : {a, b}) {
+    for (Um dy : {-15.0, 15.0}) {
+      const Point pos{t.node(p).pos.x, 50.0 + dy};
+      const NodeId l = t.add_node(p, pos, &lib.by_name("BUF_X16"));
+      t.node(l).sink_cap = caps[i++];
+    }
+  }
+  return t;
+}
+
+} // namespace
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_fig2_tree(lib);
+  const ModeSet modes = ModeSet::single();
+  const std::vector<NodeId> leaves = tree.leaves();
+  const Cell* buf = &lib.by_name("BUF_X16");
+  const Cell* inv = &lib.by_name("INV_X16");
+
+  Table table({"assignment", "leaf_peak(uA)", "total_peak(uA)",
+               "total_peak_time(ps)"});
+
+  int best_leaf_only = -1, best_total = -1;
+  double best_leaf_peak = 1e18, best_total_peak = 1e18;
+  std::vector<double> leaf_peaks(16), total_peaks(16);
+
+  for (int mask = 0; mask < 16; ++mask) {
+    std::string name;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      const bool negative = (mask >> i) & 1;
+      tree.set_cell(leaves[i], negative ? inv : buf);
+      name += negative ? 'N' : 'P';
+    }
+    const TreeSim sim(tree, modes, 0, {});
+    const Waveform leaf_idd = sim.leaves_rail(Rail::Vdd);
+    const Waveform leaf_iss = sim.leaves_rail(Rail::Gnd);
+    const double leaf_peak = std::max(leaf_idd.peak(), leaf_iss.peak());
+    const double total_peak = sim.peak_current();
+    const Ps peak_t = sim.total_idd().peak() > sim.total_iss().peak()
+                          ? sim.total_idd().peak_time()
+                          : sim.total_iss().peak_time();
+    leaf_peaks[static_cast<std::size_t>(mask)] = leaf_peak;
+    total_peaks[static_cast<std::size_t>(mask)] = total_peak;
+    if (leaf_peak < best_leaf_peak) {
+      best_leaf_peak = leaf_peak;
+      best_leaf_only = mask;
+    }
+    if (total_peak < best_total_peak) {
+      best_total_peak = total_peak;
+      best_total = mask;
+    }
+    table.add_row({name, Table::num(leaf_peak), Table::num(total_peak),
+                   Table::num(peak_t)});
+  }
+
+  std::printf("Fig. 2 — leaf-only vs non-leaf-aware optimal polarity "
+              "assignment (4-leaf tree)\n\n%s\n",
+              table.to_text().c_str());
+
+  auto mask_name = [&](int mask) {
+    std::string s;
+    for (std::size_t i = 0; i < leaves.size(); ++i) {
+      s += ((mask >> i) & 1) ? 'N' : 'P';
+    }
+    return s;
+  };
+  std::printf("leaf-only optimum : %s (leaf %.1f uA, total %.1f uA)\n",
+              mask_name(best_leaf_only).c_str(), best_leaf_peak,
+              total_peaks[static_cast<std::size_t>(best_leaf_only)]);
+  std::printf("total optimum     : %s (total %.1f uA)\n",
+              mask_name(best_total).c_str(), best_total_peak);
+  const double gap =
+      100.0 *
+      (total_peaks[static_cast<std::size_t>(best_leaf_only)] -
+       best_total_peak) /
+      total_peaks[static_cast<std::size_t>(best_leaf_only)];
+  std::printf("non-leaf-aware choice reduces the true peak by %.2f%%"
+              " (paper's example: 691.79 -> ~542 uA, 21.7%%)\n",
+              gap);
+  return 0;
+}

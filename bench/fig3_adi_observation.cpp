@@ -1,0 +1,111 @@
+// Reproduces the Fig. 3 observation: for a design with multiple power
+// modes, allowing ADBs to be swapped for the proposed ADI cell lets the
+// polarity assignment reach a lower peak noise than buffers, inverters
+// and ADBs alone (Observation 3).
+//
+// Setup: a two-island tree whose second mode violates the skew bound,
+// so the allocator places ADBs; the optimization is then run twice —
+// once with a library whose ADI cells are removed and once with the
+// full library — and the achieved model peak noise is compared.
+
+#include <cstdio>
+
+#include "adb/allocation.hpp"
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "report/table.hpp"
+#include "timing/arrival.hpp"
+
+using namespace wm;
+
+namespace {
+
+/// Library clone without the ADI cells (the "before" of Fig. 3).
+CellLibrary library_without_adi() {
+  const CellLibrary full = CellLibrary::nangate45_like();
+  CellLibrary out;
+  for (const Cell& c : full.cells()) {
+    if (c.kind != CellKind::Adi) out.add(c);
+  }
+  return out;
+}
+
+struct Outcome {
+  bool ok = false;
+  double model_peak = 0.0;
+  UA sim_peak = 0.0;
+  int adbs = 0, adis = 0;
+};
+
+Outcome run(const CellLibrary& lib, const BenchmarkSpec& spec, Ps kappa) {
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  CharacterizerOptions co;
+  co.vdds = modes.distinct_vdds();
+  const Characterizer chr(lib, co);
+
+  Outcome o;
+  if (worst_skew(tree, modes) > kappa) {
+    allocate_adbs(tree, lib, modes, kappa);
+  }
+  WaveMinOptions opts;
+  opts.kappa = kappa;
+  opts.samples = 32;
+  const WaveMinResult r = run_wavemin(tree, lib, chr, modes,
+                                      lib.assignment_library(), opts);
+  o.ok = r.success;
+  o.model_peak = r.model_peak;
+  o.sim_peak = evaluate_design(tree, modes, 2.0).peak_current;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.cell->kind == CellKind::Adb) ++o.adbs;
+    if (n.cell->kind == CellKind::Adi) ++o.adis;
+  }
+  return o;
+}
+
+} // namespace
+
+int main() {
+  const CellLibrary with_adi = CellLibrary::nangate45_like();
+  const CellLibrary without_adi = library_without_adi();
+  const Ps kappa = 90.0;
+
+  Table table({"circuit", "lib", "model_peak(uA)", "sim_peak(mA)",
+               "#ADB", "#ADI"});
+  double sum_gain = 0.0;
+  int rows = 0;
+
+  for (const char* name : {"s13207", "s38584", "ispd09f34"}) {
+    const BenchmarkSpec& spec = spec_by_name(name);
+    const Outcome a = run(without_adi, spec, kappa);
+    const Outcome b = run(with_adi, spec, kappa);
+    if (!a.ok || !b.ok) {
+      std::fprintf(stderr, "%s: infeasible (noADI=%d withADI=%d)\n", name,
+                   a.ok, b.ok);
+      continue;
+    }
+    table.add_row({name, "BUF+INV+ADB", Table::num(a.model_peak),
+                   Table::num(a.sim_peak / 1000.0), std::to_string(a.adbs),
+                   std::to_string(a.adis)});
+    table.add_row({name, "  ...  +ADI", Table::num(b.model_peak),
+                   Table::num(b.sim_peak / 1000.0), std::to_string(b.adbs),
+                   std::to_string(b.adis)});
+    sum_gain += 100.0 * (a.model_peak - b.model_peak) / a.model_peak;
+    ++rows;
+  }
+
+  std::printf("Fig. 3 — effect of adding ADI cells to the multi-mode "
+              "assignment library (kappa=%.0f ps)\n\n%s\n",
+              kappa, table.to_text().c_str());
+  if (rows) {
+    std::printf("average model-peak reduction from ADIs: %.2f%%\n"
+                "(paper's toy example: 26 -> 25, i.e. ~3.8%%; ADI swaps "
+                "are rare because the ADI delay penalty prunes most "
+                "candidates, Sec. VII-E)\n",
+                sum_gain / rows);
+  }
+  return 0;
+}

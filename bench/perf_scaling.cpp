@@ -1,0 +1,54 @@
+// Scalability study: optimizer runtime and memory-relevant statistics
+// as the design grows beyond the published circuit sizes. The paper's
+// complexity analysis (Sec. V-B/V-C) predicts ClkWaveMin-f ~ O(|S||L|^2)
+// and ClkWaveMin dominated by the interval sweep with memoized zone
+// solves; this bench measures both on a synthetic size ladder.
+
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "report/table.hpp"
+
+using namespace wm;
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+
+  Table table({"|L|", "nodes", "zones", "intervals", "wm_ms", "wm4t_ms",
+               "wmf_ms"});
+
+  for (const int n : {100, 200, 400, 800}) {
+    const BenchmarkSpec spec = make_scaled_spec(n);
+    WaveMinOptions opts;
+    opts.kappa = 20.0;
+    opts.samples = 64;
+
+    ClockTree t1 = make_benchmark(spec, lib);
+    const WaveMinResult wm = clk_wavemin(t1, lib, chr, opts);
+
+    ClockTree t2 = make_benchmark(spec, lib);
+    opts.threads = 4;
+    const WaveMinResult wm4 = clk_wavemin(t2, lib, chr, opts);
+    opts.threads = 1;
+
+    ClockTree t3 = make_benchmark(spec, lib);
+    const WaveMinResult wmf = clk_wavemin_f(t3, lib, chr, opts);
+
+    table.add_row({std::to_string(n), std::to_string(t1.size()),
+                   std::to_string(wm.zones),
+                   std::to_string(wm.intersections),
+                   wm.success ? Table::num(wm.runtime_ms, 1) : "infsbl",
+                   wm4.success ? Table::num(wm4.runtime_ms, 1) : "-",
+                   wmf.success ? Table::num(wmf.runtime_ms, 1) : "-"});
+  }
+
+  std::printf("Scalability — synthetic size ladder (|S|=64, kappa=20ps); "
+              "wm4t = 4 worker threads\n\n%s\n",
+              table.to_text().c_str());
+  table.maybe_export_csv("perf_scaling");
+  return 0;
+}

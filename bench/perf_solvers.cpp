@@ -1,0 +1,139 @@
+// Runtime microbenchmarks (google-benchmark): the MOSP solvers over
+// zone-scale instances (the Table VI execution-time columns), the
+// characterization step, and the end-to-end optimizations.
+
+#include <benchmark/benchmark.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "mosp/solver.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+MospGraph random_graph(std::uint64_t seed, std::size_t rows,
+                       std::size_t options, int dims) {
+  Rng rng(seed);
+  MospGraph g;
+  g.dims = dims;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<MospVertex> row;
+    for (std::size_t o = 0; o < options; ++o) {
+      MospVertex v;
+      v.option = static_cast<int>(o);
+      for (int d = 0; d < dims; ++d) {
+        v.weight.push_back(rng.uniform(0.0, 100.0));
+      }
+      row.push_back(std::move(v));
+    }
+    g.rows.push_back(std::move(row));
+  }
+  return g;
+}
+
+void BM_MospExact(benchmark::State& state) {
+  const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
+                              4, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_exact(g));
+  }
+}
+BENCHMARK(BM_MospExact)
+    ->Args({4, 8})
+    ->Args({7, 8})
+    ->Args({7, 32})
+    ->Args({7, 158})
+    ->Args({10, 158});
+
+void BM_MospWarburton(benchmark::State& state) {
+  const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
+                              4, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_warburton(g));
+  }
+}
+BENCHMARK(BM_MospWarburton)
+    ->Args({7, 8})
+    ->Args({7, 158})
+    ->Args({10, 158});
+
+void BM_MospGreedy(benchmark::State& state) {
+  const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
+                              4, static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_greedy(g));
+  }
+}
+BENCHMARK(BM_MospGreedy)->Args({7, 158})->Args({10, 158});
+
+void BM_Characterization(benchmark::State& state) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  for (auto _ : state) {
+    Characterizer chr(lib);
+    benchmark::DoNotOptimize(&chr);
+  }
+}
+BENCHMARK(BM_Characterization);
+
+void BM_ClkWaveMin(benchmark::State& state) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const ClockTree tree = make_benchmark(spec, lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    ClockTree t = tree.clone();
+    benchmark::DoNotOptimize(clk_wavemin(t, lib, chr, opts));
+  }
+  state.SetLabel(spec.name + " |S|=" + std::to_string(state.range(1)));
+}
+BENCHMARK(BM_ClkWaveMin)
+    ->Args({0, 8})
+    ->Args({0, 158})
+    ->Args({2, 158})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ClkWaveMinF(benchmark::State& state) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const ClockTree tree = make_benchmark(spec, lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 158;
+  for (auto _ : state) {
+    ClockTree t = tree.clone();
+    benchmark::DoNotOptimize(clk_wavemin_f(t, lib, chr, opts));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ClkWaveMinF)->Args({0})->Args({2})->Unit(
+    benchmark::kMillisecond);
+
+void BM_ClkPeakMin(benchmark::State& state) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const BenchmarkSpec& spec =
+      benchmark_suite()[static_cast<std::size_t>(state.range(0))];
+  const ClockTree tree = make_benchmark(spec, lib);
+  for (auto _ : state) {
+    ClockTree t = tree.clone();
+    benchmark::DoNotOptimize(clk_peakmin(t, lib, chr, 20.0));
+  }
+  state.SetLabel(spec.name);
+}
+BENCHMARK(BM_ClkPeakMin)->Args({0})->Args({2})->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+} // namespace wm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Reproduces the Sec. VII-D process-variation study: Monte Carlo over
+// Gaussian (sigma/mu = 5%) variations of wire geometry, device widths
+// and threshold voltages, on trees optimized with kappa = 100 ps.
+//
+// Reported per circuit and per optimizer: the skew yield (fraction of
+// instances meeting the bound) and the normalized standard deviations
+// (sigma-hat/mu-hat) of peak current and VDD/Gnd noise.
+//
+// Shape targets: ClkPeakMin yield above ClkWaveMin's (the paper reports
+// 95.5% vs 83.9% — WaveMin's solutions sit closer to the skew bound, so
+// variation pushes more of them over), and normalized deviations around
+// 0.05-0.09 for both.
+//
+// Instance count: 1000 in the paper; default 300 here for bench runtime
+// (pass a number as argv[1] to override).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "mc/monte_carlo.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "report/table.hpp"
+
+using namespace wm;
+
+int main(int argc, char** argv) {
+  const int instances = argc > 1 ? std::atoi(argv[1]) : 300;
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  // The paper stresses kappa = 100 ps; its trees' assignments reach
+  // nominal skews near that bound. Our synthetic trees' candidate delay
+  // spread caps nominal skew near ~25 ps, so the proportionally
+  // equivalent stress bound is 30 ps (documented in EXPERIMENTS.md).
+  const Ps kappa = 33.0;
+
+  Table table({"circuit", "algo", "yield(%)", "mean_skew(ps)",
+               "nstd_peak", "nstd_Vdd", "nstd_Gnd"});
+  double yield_pm = 0.0, yield_wm = 0.0;
+  double nstd_pm[3] = {0, 0, 0}, nstd_wm[3] = {0, 0, 0};
+  int rows = 0;
+
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const ModeSet modes = ModeSet::single(spec.islands);
+
+    for (int algo = 0; algo < 2; ++algo) {
+      ClockTree tree = make_benchmark(spec, lib);
+      WaveMinResult r;
+      if (algo == 0) {
+        r = clk_peakmin(tree, lib, chr, kappa);
+      } else {
+        WaveMinOptions opts;
+        opts.kappa = kappa;
+        opts.samples = 158;
+        r = clk_wavemin(tree, lib, chr, opts);
+      }
+      if (!r.success) continue;
+
+      McOptions mo;
+      mo.instances = instances;
+      mo.kappa = kappa;
+      mo.seed = 4242 + spec.seed;
+      const McResult mc = run_monte_carlo(tree, modes, mo);
+
+      table.add_row({spec.name, algo == 0 ? "PeakMin" : "WaveMin",
+                     Table::num(100.0 * mc.skew_yield, 1),
+                     Table::num(mc.mean_skew, 1),
+                     Table::num(mc.norm_std_peak, 3),
+                     Table::num(mc.norm_std_vdd, 3),
+                     Table::num(mc.norm_std_gnd, 3)});
+      if (algo == 0) {
+        yield_pm += mc.skew_yield;
+        nstd_pm[0] += mc.norm_std_peak;
+        nstd_pm[1] += mc.norm_std_vdd;
+        nstd_pm[2] += mc.norm_std_gnd;
+        ++rows;
+      } else {
+        yield_wm += mc.skew_yield;
+        nstd_wm[0] += mc.norm_std_peak;
+        nstd_wm[1] += mc.norm_std_vdd;
+        nstd_wm[2] += mc.norm_std_gnd;
+      }
+    }
+  }
+
+  std::printf("Sec. VII-D — Monte Carlo process variation "
+              "(%d instances/ckt, sigma/mu=5%%, kappa=33ps)\n\n%s\n",
+              instances, table.to_text().c_str());
+  if (rows) {
+    std::printf("Average yield: PeakMin %.1f%%  WaveMin %.1f%% "
+                "(paper: 95.5%% vs 83.9%%)\n",
+                100.0 * yield_pm / rows, 100.0 * yield_wm / rows);
+    std::printf("Average normalized stddev (peak, Vdd, Gnd): PeakMin "
+                "(%.3f, %.3f, %.3f)  WaveMin (%.3f, %.3f, %.3f)\n"
+                "(paper: (0.054, 0.082, 0.084) vs (0.062, 0.086, 0.086))\n",
+                nstd_pm[0] / rows, nstd_pm[1] / rows, nstd_pm[2] / rows,
+                nstd_wm[0] / rows, nstd_wm[1] / rows, nstd_wm[2] / rows);
+  }
+  return 0;
+}

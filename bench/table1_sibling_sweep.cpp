@@ -1,0 +1,76 @@
+// Reproduces Table I: the impact of buffer sizing and polarity
+// assignment of 15 siblings on one observed buffer (Observation 4).
+//
+// Setup mirrors the paper: 16 leaf cells under one parent driver
+// (BUF_X16, R_out ~ 0.4 kOhm); starting from 16 buffers, siblings are
+// replaced one at a time with INV_X8 cells. Reported per row: the
+// observed buffer's propagation delay and output slew (rise/fall) and
+// the peak I_DD / I_SS measured on the shared local power rail.
+//
+// The paper's conclusion to verify: T_D and slew move only a little
+// under sibling changes, while the rail's peak currents change a lot —
+// the justification for ignoring sibling coupling during assignment.
+
+#include <cstdio>
+
+#include "cells/electrical.hpp"
+#include "cells/library.hpp"
+#include "report/table.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "wave/tree_sim.hpp"
+
+using namespace wm;
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Cell* parent = &lib.by_name("BUF_X16");
+  const Cell* buf = &lib.by_name("BUF_X4");
+  const Cell* inv = &lib.by_name("INV_X8");
+
+  Table table({"#Invs", "#Bufs", "Td_rise(ps)", "Td_fall(ps)",
+               "peak_IDD(uA)", "peak_ISS(uA)", "slew_rise(ps)",
+               "slew_fall(ps)"});
+
+  for (int n_inv = 0; n_inv <= 15; ++n_inv) {
+    ClockTree tree;
+    const NodeId root = tree.add_root({0.0, 0.0}, parent);
+    // Observed buffer is leaf 0; it always stays a BUF_X4.
+    std::vector<NodeId> leaves;
+    for (int i = 0; i < 16; ++i) {
+      const Um x = 10.0 + 2.0 * static_cast<Um>(i % 4);
+      const Um y = 10.0 + 2.0 * static_cast<Um>(i / 4);
+      const NodeId id = tree.add_node(root, {x, y},
+                                      (i > 0 && i <= n_inv) ? inv : buf);
+      tree.node(id).sink_cap = 2.0;
+      leaves.push_back(id);
+    }
+
+    const ModeSet modes = ModeSet::single();
+    const TreeSim sim(tree, modes, 0, {});
+
+    // Observed buffer's timing at its actual (sibling-dependent) slew.
+    const DriveConditions dc{tree.load_of(leaves[0]),
+                             sim.slew_in(leaves[0]), tech::kVddNominal};
+    const CellTiming t = cell_timing(*buf, dc);
+
+    // Shared local rail: all 16 leaves.
+    const Waveform idd = sim.sum_rail(leaves, Rail::Vdd);
+    const Waveform iss = sim.sum_rail(leaves, Rail::Gnd);
+
+    table.add_row({std::to_string(n_inv), std::to_string(16 - n_inv),
+                   Table::num(t.delay_rise), Table::num(t.delay_fall),
+                   Table::num(idd.peak()), Table::num(iss.peak()),
+                   Table::num(t.slew_rise), Table::num(t.slew_fall)});
+  }
+
+  std::printf("Table I — sibling sizing/polarity sweep "
+              "(16 leaves under a BUF_X16 parent)\n\n%s\n",
+              table.to_text().c_str());
+  std::printf(
+      "Shape check (paper's Observation 4): delay and slew columns vary\n"
+      "by a few ps across the sweep while the rail peak currents vary by\n"
+      "several fold.\n");
+  table.maybe_export_csv("table1_sibling_sweep");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Reproduces Table V: ClkPeakMin [27] vs ClkWaveMin on the seven
+// benchmark circuits (kappa = 20 ps, epsilon = 0.01, |S| = 158).
+// Columns: VDD noise, Gnd noise and peak current measured by the
+// validation simulator + power-grid model, and the improvement of
+// ClkWaveMin over the baseline. The paper reports a 15.6% average peak
+// current reduction; the reproduction targets the same shape (double-
+// digit average reduction, with small circuits unchanged and occasional
+// regressions from the model-vs-validation gap).
+
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "report/table.hpp"
+
+using namespace wm;
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const Ps kappa = 20.0;
+
+  // "Peak curr." is the worst zone-local (50 um tile) current peak —
+  // the quantity the zone-wise optimization minimizes and the driver of
+  // local supply noise; the whole-chip waveform peak is also reported.
+  Table table({"circuit", "n", "|L|", "PM_Vdd(mV)", "PM_Gnd(mV)",
+               "PM_peak(mA)", "WM_Vdd(mV)", "WM_Gnd(mV)", "WM_peak(mA)",
+               "imp_Vdd(%)", "imp_Gnd(%)", "imp_peak(%)", "imp_chip(%)"});
+
+  double sum_vdd = 0.0, sum_gnd = 0.0, sum_peak = 0.0, sum_chip = 0.0;
+  int rows = 0;
+
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    ClockTree t_pm = make_benchmark(spec, lib);
+    ClockTree t_wm = t_pm.clone();
+
+    const WaveMinResult r_pm = clk_peakmin(t_pm, lib, chr, kappa);
+
+    WaveMinOptions opts;
+    opts.kappa = kappa;
+    opts.samples = 158;
+    opts.epsilon = 0.01;
+    const WaveMinResult r_wm = clk_wavemin(t_wm, lib, chr, opts);
+
+    if (!r_pm.success || !r_wm.success) {
+      std::fprintf(stderr, "%s: optimization infeasible (PM=%d WM=%d)\n",
+                   spec.name.c_str(), r_pm.success, r_wm.success);
+      continue;
+    }
+
+    const Evaluation e_pm = evaluate_design(t_pm);
+    const Evaluation e_wm = evaluate_design(t_wm);
+
+    const double iv = 100.0 * (e_pm.vdd_noise - e_wm.vdd_noise) /
+                      e_pm.vdd_noise;
+    const double ig = 100.0 * (e_pm.gnd_noise - e_wm.gnd_noise) /
+                      e_pm.gnd_noise;
+    const double ip =
+        100.0 * (e_pm.tile_peak_current - e_wm.tile_peak_current) /
+        e_pm.tile_peak_current;
+    const double ic = 100.0 * (e_pm.peak_current - e_wm.peak_current) /
+                      e_pm.peak_current;
+    sum_vdd += iv;
+    sum_gnd += ig;
+    sum_peak += ip;
+    sum_chip += ic;
+    ++rows;
+
+    table.add_row(
+        {spec.name, std::to_string(spec.n_total),
+         std::to_string(spec.n_leaves), Table::num(e_pm.vdd_noise),
+         Table::num(e_pm.gnd_noise),
+         Table::num(e_pm.tile_peak_current / 1000.0),
+         Table::num(e_wm.vdd_noise), Table::num(e_wm.gnd_noise),
+         Table::num(e_wm.tile_peak_current / 1000.0), Table::pct(iv),
+         Table::pct(ig), Table::pct(ip), Table::pct(ic)});
+  }
+
+  std::printf("Table V — ClkPeakMin [27] vs ClkWaveMin "
+              "(kappa=20ps, eps=0.01, |S|=158)\n\n%s\n",
+              table.to_text().c_str());
+  if (rows > 0) {
+    std::printf("Average improvement: Vdd %.2f%%  Gnd %.2f%%  "
+                "tile peak %.2f%%  chip peak %.2f%%\n",
+                sum_vdd / rows, sum_gnd / rows, sum_peak / rows,
+                sum_chip / rows);
+    std::printf("(paper: Vdd 3.42%%, Gnd -11.78%%, peak 15.62%%)\n");
+  }
+  table.maybe_export_csv("table5_single_mode");
+  return 0;
+}

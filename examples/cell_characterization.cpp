@@ -1,0 +1,63 @@
+// Cell characterization explorer: prints the delay / peak-current
+// profile of the buffering cell family — the data behind the paper's
+// Table II and Fig. 7 — and shows how a cell's current waveform is
+// sampled into the noise lookup table.
+//
+//   $ ./example_cell_characterization
+
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "report/table.hpp"
+
+using namespace wm;
+
+int main() {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  CharacterizerOptions co;
+  co.vdds = {tech::kVddLow, tech::kVddNominal};
+  const Characterizer chr(lib, co);
+  const Ff load = 16.0;  // a typical FF-bank load
+
+  // Table II analogue: delay and per-rail peak currents at both supply
+  // levels (P+ = peak I_DD at the rising edge, P- at the falling edge).
+  Table table({"cell", "Td@1.1V(ps)", "P+@1.1V(uA)", "P-@1.1V(uA)",
+               "Td@0.9V(ps)", "P+@0.9V(uA)", "P-@0.9V(uA)"});
+  const Ps half = 0.5 * tech::kClockPeriod;
+  for (const char* name :
+       {"BUF_X4", "BUF_X8", "BUF_X16", "BUF_X32", "INV_X4", "INV_X8",
+        "INV_X16", "INV_X32", "ADB_X8", "ADI_X8"}) {
+    const Cell& cell = lib.by_name(name);
+    std::vector<std::string> row{name};
+    for (Volt vdd : {tech::kVddNominal, tech::kVddLow}) {
+      const CellWave& w = chr.lookup(cell, load, vdd);
+      row.push_back(Table::num(w.timing.delay()));
+      row.push_back(Table::num(w.idd.max_in(0.0, half)));
+      row.push_back(Table::num(w.idd.max_in(half, tech::kClockPeriod)));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("characterization at C_load=%.0f fF, slew=%.0f ps "
+              "(Table II analogue)\n\n%s\n",
+              load, tech::kCharacterizationSlew, table.to_text().c_str());
+
+  // Fig. 7 analogue: an ASCII sketch of one buffer's I_DD waveform
+  // around the rising edge, with the hot-spot region the sampler uses.
+  const CellWave& w = chr.lookup(lib.by_name("BUF_X16"), load);
+  const Ps peak_t = w.idd.peak_time();
+  const double peak = w.idd.peak();
+  std::printf("BUF_X16 I_DD around the rising edge (peak %.1f uA at "
+              "t=%.1f ps):\n",
+              peak, peak_t);
+  for (Ps t = peak_t - 12.0; t <= peak_t + 18.0; t += 1.5) {
+    const double v = w.idd.value_at(t);
+    const int bars = static_cast<int>(50.0 * v / peak);
+    std::printf("  t=%6.1f |%.*s %.0f\n", t, bars,
+                "##################################################", v);
+  }
+  std::printf("\nThe optimizer samples these hot regions (|S| points per "
+              "mode) instead of\nrunning a transient simulation per "
+              "candidate assignment (paper Sec. IV-B).\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Extensibility walkthrough: bring your own cell library.
+//
+// Everything downstream of the CellLibrary — characterization, timing,
+// feasible intervals, the MOSP optimization, validation — is driven by
+// the cell parameters, so dropping in a different technology is a matter
+// of constructing (or loading) different cells. This example builds a
+// small "7nm-ish" library by hand, saves/reloads it through the text
+// format, and runs the full flow on it.
+//
+//   $ ./example_custom_library
+
+#include <cmath>
+#include <cstdio>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/synthesis.hpp"
+#include "io/tree_io.hpp"
+#include "timing/arrival.hpp"
+#include "util/rng.hpp"
+
+using namespace wm;
+
+namespace {
+
+/// A faster, leakier fictional node: lower output resistance and
+/// intrinsic delays than the default 45nm-like family.
+CellLibrary make_custom_library() {
+  CellLibrary lib;
+  for (int drive : {4, 8, 16, 32, 64}) {
+    const double s = std::sqrt(static_cast<double>(drive));
+    Cell buf;
+    buf.name = "CKBUF_X" + std::to_string(drive);
+    buf.kind = CellKind::Buffer;
+    buf.drive = drive;
+    buf.c_in = 0.4 + 0.08 * s;
+    buf.c_self = 0.6 * std::pow(static_cast<double>(drive), 0.7);
+    buf.r_out = 3.2 / drive;
+    buf.d0 = 6.0 + 24.0 / s;
+    buf.slew0 = 5.0;
+    buf.sc_frac = 0.15;
+    lib.add(buf);
+
+    Cell inv;
+    inv.name = "CKINV_X" + std::to_string(drive);
+    inv.kind = CellKind::Inverter;
+    inv.drive = drive;
+    inv.c_in = 0.2 * drive;
+    inv.c_self = 0.35 * std::pow(static_cast<double>(drive), 0.7);
+    inv.r_out = 2.8 / drive;
+    inv.d0 = 3.0 + 9.0 / s;
+    inv.slew0 = 4.5;
+    inv.sc_frac = 0.08;
+    lib.add(inv);
+  }
+  return lib;
+}
+
+} // namespace
+
+int main() {
+  // 1. Build and persist the custom library.
+  CellLibrary lib = make_custom_library();
+  const std::string lib_path = "/tmp/custom_cells.lib";
+  save_library(lib_path, lib);
+  lib = load_library(lib_path);  // round-trip, as a tool would
+  std::printf("custom library: %zu cells (saved to %s)\n",
+              lib.cells().size(), lib_path.c_str());
+
+  // 2. Synthesize a tree with the custom cells (names passed by role).
+  Rng rng(21);
+  std::vector<LeafSpec> leaves;
+  for (int i = 0; i < 24; ++i) {
+    LeafSpec s;
+    s.pos = {rng.uniform(10.0, 190.0), rng.uniform(10.0, 190.0)};
+    s.sink_cap = rng.uniform(6.0, 20.0);
+    leaves.push_back(s);
+  }
+  CtsOptions cts;
+  cts.leaf_cell = "CKBUF_X16";
+  cts.internal_cell = "CKBUF_X32";
+  cts.repeater_cell = "CKBUF_X32";
+  cts.root_cell = "CKBUF_X64";
+  ClockTree tree = synthesize_tree(leaves, lib, cts);
+  balance_skew(tree);
+  std::printf("tree: %zu nodes, skew %.2f ps\n", tree.size(),
+              compute_arrivals(tree).skew());
+
+  // 3. Characterize and optimize with an explicit assignment library
+  //    (the default assignment_library() names the 45nm family, so a
+  //    custom technology passes its own candidate set).
+  const Characterizer chr(lib);
+  const std::vector<const Cell*> assignable = {
+      &lib.by_name("CKBUF_X8"), &lib.by_name("CKBUF_X16"),
+      &lib.by_name("CKINV_X8"), &lib.by_name("CKINV_X16")};
+
+  const Evaluation before = evaluate_design(tree);
+  WaveMinOptions opts;
+  opts.kappa = 15.0;
+  opts.samples = 64;
+  const WaveMinResult r = run_wavemin(tree, lib, chr, ModeSet::single(),
+                                      assignable, opts);
+  if (!r.success) {
+    std::printf("infeasible under kappa=%.0f ps\n", opts.kappa);
+    return 1;
+  }
+  const Evaluation after = evaluate_design(tree);
+  std::printf("peak current: %.1f -> %.1f uA (%.1f%%), skew %.2f ps, "
+              "avg power %.3f mW\n",
+              before.peak_current, after.peak_current,
+              100.0 * (before.peak_current - after.peak_current) /
+                  before.peak_current,
+              after.worst_skew, after.avg_power_mw);
+  return 0;
+}

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Plot the CSVs the bench suite exports.
+
+Usage:
+    WAVEMIN_CSV_DIR=out mkdir -p out && for b in build/bench/*; do $b; done
+    python3 scripts/plot_results.py out
+
+Produces one PNG per known CSV in the same directory. Requires
+matplotlib; every plot degrades gracefully if its CSV is absent.
+"""
+
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    return rows[0], rows[1:]
+
+
+def numeric(cell):
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def plot_table1(plt, head, rows, out):
+    invs = [int(r[0]) for r in rows]
+    idd = [float(r[4]) for r in rows]
+    iss = [float(r[5]) for r in rows]
+    td = [float(r[2]) for r in rows]
+    fig, ax1 = plt.subplots(figsize=(7, 4))
+    ax1.plot(invs, idd, "o-", label="peak I_DD (uA)")
+    ax1.plot(invs, iss, "s-", label="peak I_SS (uA)")
+    ax1.set_xlabel("# inverter siblings")
+    ax1.set_ylabel("rail peak (uA)")
+    ax2 = ax1.twinx()
+    ax2.plot(invs, td, "^--", color="gray", label="T_D rise (ps)")
+    ax2.set_ylabel("delay (ps)")
+    ax1.legend(loc="upper center")
+    ax1.set_title("Table I: peaks move, timing barely does")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_fig14(plt, head, rows, out):
+    dof = [float(r[0]) for r in rows]
+    peak = [float(r[1]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.scatter(dof, peak, s=14)
+    ax.set_xlabel("degree of freedom")
+    ax.set_ylabel("model peak (uA)")
+    ax.set_title("Fig. 14: DOF vs achievable peak noise")
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_table5(plt, head, rows, out):
+    names = [r[0] for r in rows]
+    pm = [float(r[5]) for r in rows]
+    wm = [float(r[8]) for r in rows]
+    fig, ax = plt.subplots(figsize=(7, 4))
+    x = range(len(names))
+    ax.bar([i - 0.2 for i in x], pm, width=0.4, label="ClkPeakMin")
+    ax.bar([i + 0.2 for i in x], wm, width=0.4, label="ClkWaveMin")
+    ax.set_xticks(list(x))
+    ax.set_xticklabels(names, rotation=30, ha="right")
+    ax.set_ylabel("peak current (mA)")
+    ax.set_title("Table V: baseline vs WaveMin")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+def plot_scaling(plt, head, rows, out):
+    n = [float(r[0]) for r in rows]
+    wm = [numeric(r[4]) for r in rows]
+    wmf = [numeric(r[6]) for r in rows]
+    fig, ax = plt.subplots(figsize=(6, 4))
+    ax.plot(n, wm, "o-", label="ClkWaveMin")
+    ax.plot(n, wmf, "s-", label="ClkWaveMin-f")
+    ax.set_xlabel("|L|")
+    ax.set_ylabel("runtime (ms)")
+    ax.set_xscale("log")
+    ax.set_yscale("log")
+    ax.set_title("Scalability ladder")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(out)
+
+
+PLOTS = {
+    "table1_sibling_sweep.csv": plot_table1,
+    "fig14_dof_correlation.csv": plot_fig14,
+    "table5_single_mode.csv": plot_table5,
+    "perf_scaling.csv": plot_scaling,
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    outdir = sys.argv[1]
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; nothing plotted")
+        return 0
+
+    made = 0
+    for name, fn in PLOTS.items():
+        path = os.path.join(outdir, name)
+        if not os.path.exists(path):
+            continue
+        head, rows = read_csv(path)
+        png = path.replace(".csv", ".png")
+        fn(plt, head, rows, png)
+        print(f"wrote {png}")
+        made += 1
+    if made == 0:
+        print(f"no known CSVs in {outdir}; run the bench suite with "
+              "WAVEMIN_CSV_DIR set")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,259 @@
+#include "adb/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "cells/electrical.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wm {
+
+namespace {
+
+constexpr Ps kTol = 1e-6;
+
+struct ModeIv {
+  Ps lo = 0.0;
+  Ps hi = 0.0;
+  bool empty() const { return lo > hi + kTol; }
+};
+
+using Req = std::vector<ModeIv>;  // one interval per mode
+
+bool intersect(Req& acc, const Req& other) {
+  bool ok = true;
+  for (std::size_t m = 0; m < acc.size(); ++m) {
+    acc[m].lo = std::max(acc[m].lo, other[m].lo);
+    acc[m].hi = std::min(acc[m].hi, other[m].hi);
+    if (acc[m].empty()) ok = false;
+  }
+  return ok;
+}
+
+bool compatible(const std::vector<Ps>& x, const Req& r) {
+  for (std::size_t m = 0; m < x.size(); ++m) {
+    if (x[m] < r[m].lo - kTol || x[m] > r[m].hi + kTol) return false;
+  }
+  return true;
+}
+
+const Cell* adb_cell_for(const CellLibrary& lib, const Cell& current) {
+  const Cell* c = lib.find("ADB_X" + std::to_string(current.drive));
+  if (c != nullptr) return c;
+  return current.drive <= 8 ? lib.find("ADB_X8") : lib.find("ADB_X16");
+}
+
+/// Convert `id` to an ADB (or extend its codes if already adjustable) so
+/// that its subtree's requirement is met assuming ancestors contribute
+/// the common value x. Returns the per-mode delay actually added,
+/// including the cell-swap conversion penalty (an ADB is intrinsically
+/// slower than the buffer it replaces even at code 0).
+std::vector<Ps> apply_adb(ClockTree& tree, const CellLibrary& lib,
+                          const ModeSet& modes, NodeId id, const Req& r,
+                          const std::vector<Ps>& x, int* new_adbs) {
+  TreeNode& n = tree.node(id);
+  const bool was_adjustable = n.cell->adjustable();
+  std::vector<Ps> conversion(x.size(), 0.0);
+  if (!was_adjustable) {
+    const Cell* adb = adb_cell_for(lib, *n.cell);
+    WM_REQUIRE(adb != nullptr, "library has no ADB cell");
+    const Ff load = tree.load_of(id);
+    for (std::size_t m = 0; m < x.size(); ++m) {
+      const Volt vdd = modes.vdd(m, n.island);
+      const DriveConditions dc{load, tech::kCharacterizationSlew, vdd};
+      conversion[m] = cell_timing(*adb, dc).delay() -
+                      cell_timing(*n.cell, dc).delay();
+    }
+    tree.set_cell(id, adb);
+    n.adj_codes.assign(x.size(), 0);
+    ++*new_adbs;
+  } else if (n.adj_codes.size() != x.size()) {
+    n.adj_codes.assign(x.size(), 0);
+  }
+
+  const Cell& cell = *n.cell;
+  std::vector<Ps> added(x.size(), 0.0);
+  for (std::size_t m = 0; m < x.size(); ++m) {
+    // Need total extra in [lo - x, hi - x]; the conversion penalty
+    // already contributes, the code grid covers the rest (rounded up).
+    const Ps want = std::max(0.0, r[m].lo - x[m] - conversion[m]);
+    int steps = static_cast<int>(std::ceil(want / cell.adj_step - kTol));
+    const int room = cell.adj_max_code - n.adj_codes[m];
+    // Small uniform code bias where the window allows it: a code of at
+    // least 2 in every mode is what later lets ClkWaveMin-M swap the
+    // ADB for an ADI (the swap must absorb the ADI's longer intrinsic
+    // delay by lowering codes, Sec. VI).
+    const int head = static_cast<int>(std::floor(
+        (r[m].hi - x[m] - conversion[m]) / cell.adj_step + kTol));
+    steps = std::max(steps, std::min(2, head));
+    steps = std::clamp(steps, 0, room);
+    // Do not overshoot the upper bound if avoidable.
+    while (steps > 0 &&
+           conversion[m] + cell.adj_step * static_cast<Ps>(steps) >
+               r[m].hi - x[m] + kTol &&
+           cell.adj_step * static_cast<Ps>(steps - 1) >= want - kTol) {
+      --steps;
+    }
+    n.adj_codes[m] += steps;
+    added[m] = conversion[m] + cell.adj_step * static_cast<Ps>(steps);
+  }
+  return added;
+}
+
+} // namespace
+
+AdbAllocationResult allocate_adbs(ClockTree& tree, const CellLibrary& lib,
+                                  const ModeSet& modes, Ps kappa,
+                                  AdbOptions opts) {
+  WM_REQUIRE(kappa > 0.0, "skew bound must be positive");
+  AdbAllocationResult result;
+
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    const Ps skew = worst_skew(tree, modes);
+    if (skew <= kappa) break;
+
+    const Ps keff = opts.target_fraction * kappa;
+    const std::size_t n_modes = modes.count();
+
+    // Per-mode arrivals and window anchors.
+    std::vector<ArrivalResult> arr;
+    std::vector<Ps> t_anchor(n_modes, std::numeric_limits<Ps>::lowest());
+    for (std::size_t m = 0; m < n_modes; ++m) {
+      arr.push_back(compute_arrivals(tree, modes, m));
+      // Headroom above the latest leaf: converting a buffer to an ADB
+      // costs ~one conversion delay even at code 0, and that cost may
+      // land on the currently-latest path.
+      t_anchor[m] = arr[m].max_leaf + 12.0;
+    }
+
+    std::vector<Req> req(tree.size());
+    const std::vector<NodeId> topo = tree.topological_order();
+
+    for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+      const NodeId v = *it;
+      const TreeNode& node = tree.node(v);
+      const auto vi = static_cast<std::size_t>(v);
+
+      if (node.is_leaf()) {
+        Req r(n_modes);
+        for (std::size_t m = 0; m < n_modes; ++m) {
+          const Ps a = arr[m].output_arrival[vi];
+          r[m].lo = std::max(0.0, t_anchor[m] - keff - a);
+          r[m].hi = t_anchor[m] - a;
+        }
+        req[vi] = std::move(r);
+        continue;
+      }
+
+      // Intersect the children's requirements.
+      Req inter = req[static_cast<std::size_t>(node.children.front())];
+      bool ok = true;
+      for (std::size_t c = 1; c < node.children.size(); ++c) {
+        ok = intersect(
+                 inter,
+                 req[static_cast<std::size_t>(node.children[c])]) &&
+             ok;
+      }
+      if (ok) {
+        req[vi] = std::move(inter);
+        continue;
+      }
+
+      // Conflict: the common value x the ancestors will contribute goes
+      // to *every* child, and a child ADB can only add delay on top —
+      // so x is bounded above by the smallest child upper bound in
+      // every mode. Taking exactly that bound keeps the most children
+      // compatible (any smaller x can only violate more lower bounds).
+      std::vector<Ps> x(n_modes, 0.0);
+      for (std::size_t m = 0; m < n_modes; ++m) {
+        Ps min_hi = std::numeric_limits<Ps>::max();
+        for (NodeId c : node.children) {
+          min_hi = std::min(min_hi, req[static_cast<std::size_t>(c)][m].hi);
+        }
+        x[m] = std::max(0.0, min_hi);
+      }
+
+      // ADB the incompatible children and recompute the intersection.
+      // Small subtrees are converted at *leaf* granularity: the paper's
+      // trees carry ADBs at both leaf and non-leaf positions, and only
+      // leaf ADBs are later eligible for the ADB->ADI swap (Sec. VI).
+      for (NodeId c : node.children) {
+        Req& rc = req[static_cast<std::size_t>(c)];
+        if (compatible(x, rc)) continue;
+        std::vector<NodeId> targets;
+        const auto below = tree.leaves_under(c);
+        if (below.size() <= 6) {
+          targets = below;
+        } else {
+          targets = {c};
+        }
+        std::vector<Ps> added;
+        for (NodeId t : targets) {
+          added = apply_adb(tree, lib, modes, t, rc, x,
+                            &result.adbs_inserted);
+        }
+        for (std::size_t m = 0; m < n_modes; ++m) {
+          rc[m].lo -= added[m];
+          rc[m].hi -= added[m];
+        }
+      }
+      Req merged = req[static_cast<std::size_t>(node.children.front())];
+      for (std::size_t c = 1; c < node.children.size(); ++c) {
+        intersect(merged,
+                  req[static_cast<std::size_t>(node.children[c])]);
+      }
+      // A child whose code range was exhausted still needs more delay
+      // than one ADB can give: propagate the unmet lower bound upward,
+      // so an ancestor branch point stacks another ADB on the same
+      // path. (The overshoot this forces onto sibling subtrees is
+      // rebalanced by the next outer iteration, which re-derives the
+      // requirements from actual arrivals.)
+      for (std::size_t m = 0; m < n_modes; ++m) {
+        if (!merged[m].empty()) continue;
+        Ps need = 0.0;
+        for (NodeId c : node.children) {
+          need = std::max(need, req[static_cast<std::size_t>(c)][m].lo);
+        }
+        merged[m] = {std::max(0.0, need), std::max(0.0, need)};
+      }
+      req[vi] = std::move(merged);
+    }
+  }
+
+  // Post-pass: give leaf ADBs a uniform all-mode code cushion where the
+  // skew budget allows. A uniform bump shifts the leaf identically in
+  // every mode, and a nonzero code in every mode is the prerequisite
+  // for the ADB->ADI swap (the swap pays the ADI's intrinsic-delay
+  // penalty out of the codes, Sec. VI).
+  if (worst_skew(tree, modes) <= kappa) {
+    for (const TreeNode& n : tree.nodes()) {
+      if (!n.is_leaf() || !n.cell->adjustable() || n.adj_codes.empty()) {
+        continue;
+      }
+      TreeNode& leaf = tree.node(n.id);
+      const std::vector<int> saved = leaf.adj_codes;
+      bool ok = true;
+      for (int& code : leaf.adj_codes) {
+        if (code + 3 > leaf.cell->adj_max_code) ok = false;
+      }
+      if (ok) {
+        for (int& code : leaf.adj_codes) code += 3;
+        if (worst_skew(tree, modes) > 0.95 * kappa) ok = false;
+      }
+      if (!ok) leaf.adj_codes = saved;
+    }
+  }
+
+  result.final_worst_skew = worst_skew(tree, modes);
+  result.feasible = result.final_worst_skew <= kappa;
+  WM_LOG(Info) << "adb allocation: " << result.adbs_inserted
+               << " ADBs, final worst skew " << result.final_worst_skew
+               << " ps (bound " << kappa << ")";
+  return result;
+}
+
+} // namespace wm

@@ -1,0 +1,42 @@
+#pragma once
+// Adjustable-delay-buffer allocation for multi-power-mode skew legality
+// (stand-in for the minimum-count ADB embedding of [17], which the
+// paper's ClkWaveMin-M flow invokes when sizing alone cannot meet the
+// skew bound — Fig. 13's Insert-ADB box).
+//
+// Method: per power mode m, anchor the target window at the latest leaf
+// arrival T_m and give every leaf the required-extra-delay interval
+//   [max(0, T_m - kappa' - a_m), T_m - a_m].
+// Intervals are intersected bottom-up; where the intersection dies at an
+// internal node, the conflicting children are converted to ADBs with
+// per-mode codes that pull their subtrees back into agreement (a
+// bottom-up interval-stabbing cover — the classic minimum-count
+// construction). kappa' < kappa leaves headroom for code quantization
+// and the later re-sizing pass. A few outer iterations absorb the
+// arrival changes caused by the cell swaps themselves.
+
+#include "cells/library.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct AdbOptions {
+  double target_fraction = 0.8;  ///< kappa' = target_fraction * kappa
+  int max_iterations = 8;
+};
+
+struct AdbAllocationResult {
+  int adbs_inserted = 0;  ///< buffers converted to ADBs
+  bool feasible = false;  ///< worst skew <= kappa after allocation
+  Ps final_worst_skew = 0.0;
+};
+
+/// Convert buffers to ADBs (setting per-mode codes) until every mode
+/// meets the skew bound, or the iteration budget runs out.
+AdbAllocationResult allocate_adbs(ClockTree& tree, const CellLibrary& lib,
+                                  const ModeSet& modes, Ps kappa,
+                                  AdbOptions opts = {});
+
+} // namespace wm

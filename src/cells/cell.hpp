@@ -1,0 +1,73 @@
+#pragma once
+// Clock buffering cell models.
+//
+// Four kinds of buffering element appear in the paper:
+//   - BUF_X*  : non-inverting buffer      (positive polarity)
+//   - INV_X*  : inverter                  (negative polarity)
+//   - ADB     : adjustable delay buffer   (positive polarity, Fig. 4 of
+//               [16]; capacitor-bank tunable delay)
+//   - ADI     : adjustable delay inverter (negative polarity; the paper's
+//               proposed new cell, Fig. 4 — an ADB with a third inverter,
+//               hence a delay penalty)
+//
+// A Cell is a plain value describing the electrical parameters the
+// analytic model needs. The full Nangate-45-like family is constructed by
+// CellLibrary (library.hpp).
+
+#include <cstdint>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace wm {
+
+enum class CellKind : std::uint8_t { Buffer, Inverter, Adb, Adi };
+
+/// Output polarity relative to the clock source (paper footnote 1).
+enum class Polarity : std::uint8_t { Positive, Negative };
+
+inline const char* to_string(CellKind k) {
+  switch (k) {
+    case CellKind::Buffer: return "BUF";
+    case CellKind::Inverter: return "INV";
+    case CellKind::Adb: return "ADB";
+    case CellKind::Adi: return "ADI";
+  }
+  return "?";
+}
+
+inline const char* to_string(Polarity p) {
+  return p == Polarity::Positive ? "P" : "N";
+}
+
+struct Cell {
+  std::string name;  ///< e.g. "BUF_X8"
+  CellKind kind = CellKind::Buffer;
+  int drive = 1;  ///< drive strength multiplier (X1, X2, ... X32)
+
+  Ff c_in = 1.0;        ///< input pin capacitance
+  Ff c_self = 1.0;      ///< internal switched capacitance (self-loading)
+  KOhm r_out = 1.0;     ///< output (pull) resistance at nominal VDD
+  Ps d0 = 10.0;         ///< intrinsic delay at nominal VDD
+  Ps slew0 = 8.0;       ///< intrinsic output transition time
+  double sc_frac = 0.12;  ///< short-circuit / first-stage opposite-rail
+                          ///< current fraction of the main pulse
+
+  // Adjustable-delay parameters (ADB / ADI only).
+  Ps adj_step = 0.0;     ///< delay quantum of the capacitor bank
+  int adj_max_code = 0;  ///< number of usable codes (0 => not adjustable)
+
+  Polarity polarity() const {
+    return (kind == CellKind::Buffer || kind == CellKind::Adb)
+               ? Polarity::Positive
+               : Polarity::Negative;
+  }
+
+  bool inverting() const { return polarity() == Polarity::Negative; }
+  bool adjustable() const { return adj_max_code > 0; }
+
+  /// Maximum extra delay the capacitor bank can add.
+  Ps adj_range() const { return adj_step * static_cast<Ps>(adj_max_code); }
+};
+
+} // namespace wm

@@ -1,0 +1,108 @@
+#include "cells/characterizer.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+Characterizer::Characterizer(const CellLibrary& lib,
+                             CharacterizerOptions opts)
+    : opts_(std::move(opts)) {
+  WM_REQUIRE(!opts_.load_bins.empty(), "need at least one load bin");
+  WM_REQUIRE(!opts_.vdds.empty(), "need at least one vdd");
+  WM_REQUIRE(!opts_.temps.empty(), "need at least one temperature");
+
+  table_.reserve(lib.cells().size());
+  for (const Cell& cell : lib.cells()) {
+    cell_index_.emplace(cell.name, table_.size());
+    std::vector<CellWave> waves;
+    waves.reserve(opts_.load_bins.size() * opts_.vdds.size() *
+                  opts_.temps.size());
+    for (Ff load : opts_.load_bins) {
+      for (Volt vdd : opts_.vdds) {
+        for (double temp : opts_.temps) {
+          DriveConditions dc{load, opts_.slew, vdd, temp};
+          waves.push_back(
+              simulate_cell(cell, dc, opts_.period, opts_.dt));
+        }
+      }
+    }
+    table_.push_back(std::move(waves));
+  }
+}
+
+std::size_t Characterizer::bin_index(Ff c_load) const {
+  // Nearest bin in log space (bins are geometric).
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  const double lc = std::log(std::max(c_load, 0.01));
+  for (std::size_t i = 0; i < opts_.load_bins.size(); ++i) {
+    const double d = std::abs(std::log(opts_.load_bins[i]) - lc);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t Characterizer::vdd_index(Volt vdd) const {
+  for (std::size_t i = 0; i < opts_.vdds.size(); ++i) {
+    if (std::abs(opts_.vdds[i] - vdd) < 1e-9) return i;
+  }
+  throw Error("vdd not characterized: " + std::to_string(vdd));
+}
+
+std::size_t Characterizer::temp_index(double temp_c) const {
+  for (std::size_t i = 0; i < opts_.temps.size(); ++i) {
+    if (std::abs(opts_.temps[i] - temp_c) < 1e-9) return i;
+  }
+  throw Error("temperature not characterized: " +
+              std::to_string(temp_c));
+}
+
+const CellWave& Characterizer::lookup(const Cell& cell, Ff c_load,
+                                      Volt vdd, double temp_c) const {
+  const auto it = cell_index_.find(cell.name);
+  WM_REQUIRE(it != cell_index_.end(),
+             "cell not characterized: " + cell.name);
+  const std::size_t bi = bin_index(c_load);
+  const std::size_t vi = vdd_index(vdd);
+  const std::size_t ti = temp_index(temp_c);
+  return table_[it->second][(bi * opts_.vdds.size() + vi) *
+                                opts_.temps.size() +
+                            ti];
+}
+
+CellTiming Characterizer::timing(const Cell& cell, Ff c_load, Volt vdd,
+                                 double temp_c) const {
+  DriveConditions dc{c_load, opts_.slew, vdd, temp_c};
+  return cell_timing(cell, dc);
+}
+
+double Characterizer::noise_in(const Cell& cell, Ff c_load, Volt vdd,
+                               Rail rail, Ps input_arrival, Ps t_lo,
+                               Ps t_hi, Ps extra_delay,
+                               double temp_c) const {
+  const CellWave& w = lookup(cell, c_load, vdd, temp_c);
+  const Waveform& wf = rail == Rail::Vdd ? w.idd : w.iss;
+  // The characterized waveform has its input edge at t = 0; in the tree
+  // the edge arrives at input_arrival and an adjustable cell delays its
+  // output (and current pulse) by extra_delay more. The clock is
+  // periodic, so the response is evaluated as the sum of the adjacent
+  // periodic images (a negative-polarity input shifts the response by
+  // half a period, which would otherwise leave the characterized span).
+  const Ps shift = input_arrival + extra_delay;
+  const Ps T = opts_.period;
+  double acc = 0.0;
+  for (int k = -1; k <= 1; ++k) {
+    const Ps s = shift + static_cast<Ps>(k) * T;
+    acc += (t_lo == t_hi) ? wf.value_at(t_lo - s)
+                          : wf.max_in(t_lo - s, t_hi - s);
+  }
+  return acc;
+}
+
+} // namespace wm

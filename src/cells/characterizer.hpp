@@ -1,0 +1,80 @@
+#pragma once
+// Cell characterization lookup tables (paper Sec. IV-B, Fig. 7).
+//
+// The paper characterizes every buffer/inverter once with HSPICE — a
+// clock pulse at the input, I_DD/I_SS waveforms and propagation delay
+// recorded — and the optimizer then works entirely from this table.
+// We do the same: the Characterizer eagerly simulates every cell of a
+// library over a grid of load bins and supply voltages using the
+// analytic model (electrical.cpp) at the fixed characterization slew
+// (20 ps, Sec. IV-B), and serves nearest-bin lookups.
+//
+// Deliberately retained inaccuracies (they reproduce the paper's
+// model-vs-HSPICE gap, Sec. VII-C):
+//   * load is quantized to the nearest characterization bin;
+//   * the input slew is frozen at 20 ps, whereas the real tree slew
+//     depends on the (assignment-dependent) parent loading.
+
+#include <unordered_map>
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "cells/electrical.hpp"
+#include "cells/library.hpp"
+#include "util/units.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+struct CharacterizerOptions {
+  std::vector<Ff> load_bins = {1.0,  1.5,  2.0,  3.0,  4.0,  6.0,
+                               8.0,  12.0, 16.0, 24.0, 32.0, 48.0,
+                               64.0, 96.0, 128.0};
+  std::vector<Volt> vdds = {tech::kVddNominal};
+  std::vector<double> temps = {25.0};
+  Ps slew = tech::kCharacterizationSlew;
+  Ps period = tech::kClockPeriod;
+  Ps dt = 0.5;
+};
+
+class Characterizer {
+ public:
+  Characterizer(const CellLibrary& lib, CharacterizerOptions opts = {});
+
+  const CharacterizerOptions& options() const { return opts_; }
+
+  /// Characterized response of `cell` at the nearest load bin / exact
+  /// vdd and temperature. Throws wm::Error for an unknown cell or an
+  /// un-characterized operating point.
+  const CellWave& lookup(const Cell& cell, Ff c_load,
+                         Volt vdd = tech::kVddNominal,
+                         double temp_c = 25.0) const;
+
+  /// Exact (non-quantized) analytic timing at the characterization slew.
+  /// Used for arrival-time bookkeeping, where bin quantization would
+  /// corrupt the feasible-interval computation.
+  CellTiming timing(const Cell& cell, Ff c_load,
+                    Volt vdd = tech::kVddNominal,
+                    double temp_c = 25.0) const;
+
+  /// Estimated noise contribution of `cell` on `rail` within the absolute
+  /// time window [t_lo, t_hi], when the cell's input clock edge arrives
+  /// at `input_arrival` (the characterized waveform has its input edge at
+  /// t = 0) and an adjustable cell is configured to add `extra_delay`.
+  /// For a point sample pass t_lo == t_hi.
+  double noise_in(const Cell& cell, Ff c_load, Volt vdd, Rail rail,
+                  Ps input_arrival, Ps t_lo, Ps t_hi,
+                  Ps extra_delay = 0.0, double temp_c = 25.0) const;
+
+ private:
+  std::size_t bin_index(Ff c_load) const;
+  std::size_t vdd_index(Volt vdd) const;
+  std::size_t temp_index(double temp_c) const;
+
+  CharacterizerOptions opts_;
+  std::unordered_map<std::string, std::size_t> cell_index_;
+  // table_[cell][(bin * n_vdd + vdd) * n_temp + temp]
+  std::vector<std::vector<CellWave>> table_;
+};
+
+} // namespace wm

@@ -1,0 +1,153 @@
+#include "cells/electrical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+double vdd_delay_factor(Volt vdd) {
+  WM_REQUIRE(vdd > tech::kVth + 0.05, "supply too close to threshold");
+  const double v_ratio = tech::kVddNominal / vdd;
+  const double drive_ratio =
+      (tech::kVddNominal - tech::kVth) / (vdd - tech::kVth);
+  return v_ratio * std::pow(drive_ratio, tech::kAlphaPower - 1.0);
+}
+
+double temp_delay_factor(double temp_c) {
+  return 1.0 + 0.0012 * (temp_c - 25.0);
+}
+
+Ps wire_slew_degradation(Ps elmore) {
+  // Long balancing snakes are routed shielded/buffered, so their edge-
+  // rate damage saturates quickly; the cap keeps tree slews near the
+  // characterization slew, which the paper calls out as a requirement
+  // for the noise table to stay accurate (Sec. IV-B).
+  return std::min(1.2 * elmore, 12.0);
+}
+
+namespace {
+
+// nMOS/pMOS asymmetry: output-falling transitions are a little slower
+// (weaker pull-down sizing in clock cells) — reproduces the rise/fall
+// asymmetry visible in the paper's Table I.
+constexpr double kFallDelayPenalty = 1.10;
+constexpr double kFallRcPenalty = 1.10;
+constexpr double kFallSlewPenalty = 1.08;
+constexpr double kIssPeakDerate = 0.92;
+
+// Effective-capacitance weights of the linear delay/slew model.
+constexpr double kRcDelayWeight = 0.69;  // ln 2
+constexpr double kSlewDelayWeight = 0.20;
+constexpr double kRcSlewWeight = 1.40;  // 20%-80% transition
+
+struct EdgeTiming {
+  Ps delay;
+  Ps slew;
+};
+
+EdgeTiming output_edge_timing(const Cell& cell, const DriveConditions& dc,
+                              bool output_rises) {
+  const double vf =
+      vdd_delay_factor(dc.vdd) * temp_delay_factor(dc.temp_c);
+  const Ff c_total = dc.c_load + cell.c_self;
+  double delay = cell.d0 + kRcDelayWeight * cell.r_out * c_total +
+                 kSlewDelayWeight * dc.slew_in;
+  double slew = cell.slew0 + kRcSlewWeight * cell.r_out * c_total;
+  if (!output_rises) {
+    delay = kFallDelayPenalty * cell.d0 +
+            kFallRcPenalty * kRcDelayWeight * cell.r_out * c_total +
+            kSlewDelayWeight * dc.slew_in;
+    slew *= kFallSlewPenalty;
+  }
+  return {delay * vf, slew * vf};
+}
+
+} // namespace
+
+CellTiming cell_timing(const Cell& cell, const DriveConditions& dc) {
+  const EdgeTiming out_rise = output_edge_timing(cell, dc, /*rises=*/true);
+  const EdgeTiming out_fall = output_edge_timing(cell, dc, /*rises=*/false);
+  CellTiming t;
+  if (cell.inverting()) {
+    t.delay_rise = out_fall.delay;  // input rise -> output fall
+    t.delay_fall = out_rise.delay;
+    t.slew_rise = out_rise.slew;  // slew of the *rising output* edge
+    t.slew_fall = out_fall.slew;
+  } else {
+    t.delay_rise = out_rise.delay;
+    t.delay_fall = out_fall.delay;
+    t.slew_rise = out_rise.slew;
+    t.slew_fall = out_fall.slew;
+  }
+  return t;
+}
+
+namespace {
+
+/// Emit the current pulses caused by one input edge.
+void emit_input_edge(CellWave& w, const Cell& cell,
+                     const DriveConditions& dc, Ps t_input_edge,
+                     bool input_rises, Ps extra_delay) {
+  const double vf = vdd_delay_factor(dc.vdd);
+  const bool output_rises = input_rises != cell.inverting();
+  const EdgeTiming et = output_edge_timing(cell, dc, output_rises);
+
+  // Charge drawn through the primary rail: load + internal capacitance,
+  // plus (for adjustable cells) the capacitor-bank charge proportional to
+  // the configured extra delay.
+  Ff c_switched = dc.c_load + cell.c_self;
+  if (cell.adjustable() && extra_delay > 0.0) {
+    c_switched += 0.12 * extra_delay;  // bank caps engaged by the code
+  }
+  const double q = c_switched * dc.vdd;  // fC
+
+  // Pulse geometry: the leading edge tracks the input transition, the
+  // trailing edge the RC discharge of the output stage.
+  const Ps w_rise = std::max(0.15 * dc.slew_in * vf, 1.5);
+  const Ps w_fall = std::max(0.25 * et.slew, 2.5);
+  double peak = 2.0 * q / (w_rise + w_fall) * 1000.0;  // fC/ps -> uA
+  if (!output_rises) peak *= kIssPeakDerate;
+
+  const Ps t_event = t_input_edge + et.delay + extra_delay;
+  const Ps t_start = t_event - w_rise;
+
+  Waveform& primary = output_rises ? w.idd : w.iss;
+  Waveform& secondary = output_rises ? w.iss : w.idd;
+  primary.accumulate_triangle(t_start, w_rise, w_fall, peak);
+
+  // First-stage / short-circuit current on the opposite rail, slightly
+  // ahead of the main pulse (the internal node switches first).
+  const double q_sc = cell.sc_frac * q;
+  const Ps w_sc = std::max(0.5 * dc.slew_in * vf, 3.0);
+  const double peak_sc = 2.0 * q_sc / (2.0 * w_sc) * 1000.0;
+  secondary.accumulate_triangle(t_start - 0.25 * cell.d0 * vf, w_sc, w_sc,
+                                peak_sc);
+}
+
+} // namespace
+
+CellWave simulate_cell(const Cell& cell, const DriveConditions& dc,
+                       Ps period, Ps dt, Ps extra_delay) {
+  WM_REQUIRE(period > 0.0 && dt > 0.0, "period and dt must be positive");
+  WM_REQUIRE(extra_delay >= 0.0, "extra delay cannot be negative");
+  WM_REQUIRE(extra_delay <=
+                 (cell.adjustable() ? cell.adj_range() : 0.0) + 1e-9,
+             "extra delay exceeds the cell's adjustable range");
+
+  CellWave w;
+  const auto n = static_cast<std::size_t>(period / dt) + 1;
+  w.idd = Waveform::zeros(0.0, dt, n);
+  w.iss = Waveform::zeros(0.0, dt, n);
+  w.timing = cell_timing(cell, dc);
+  w.timing.delay_rise += extra_delay;
+  w.timing.delay_fall += extra_delay;
+
+  emit_input_edge(w, cell, dc, 0.0, /*input_rises=*/true, extra_delay);
+  emit_input_edge(w, cell, dc, 0.5 * period, /*input_rises=*/false,
+                  extra_delay);
+  return w;
+}
+
+} // namespace wm

@@ -1,0 +1,83 @@
+#pragma once
+// Analytic electrical model of a clock buffering cell.
+//
+// Substitutes for the paper's HSPICE characterization (Sec. IV-B, Fig. 7).
+// The model captures exactly the behaviours the WaveMin algorithms
+// depend on:
+//   * propagation delay d(C_load, slew_in, VDD): linear RC term +
+//     intrinsic delay + slew dependence, scaled by the alpha-power-law
+//     supply factor (so 0.9 V islands are slower than 1.1 V ones);
+//   * output slew: RC-dominated, load-dependent (this creates the
+//     model-vs-validation inconsistency of Sec. VII-C: the noise LUT is
+//     characterized at the fixed 20 ps slew while validation uses the
+//     assignment-dependent slews);
+//   * per-edge supply current pulses: charge-conserving asymmetric
+//     triangles on the primary rail (I_DD when the output rises, I_SS
+//     when it falls) plus a smaller opposite-rail pulse from the
+//     first-stage inverter / short-circuit current (Fig. 1);
+//   * nMOS/pMOS asymmetry: falling transitions are slower and flatter
+//     (visible in Table I's rise/fall columns).
+
+#include "cells/cell.hpp"
+#include "util/units.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+/// Supply-voltage delay scaling factor (alpha-power law), normalized so
+/// factor(kVddNominal) == 1.
+double vdd_delay_factor(Volt vdd);
+
+/// Slew degradation across a wire with the given Elmore delay. The cap
+/// reflects that severely RC-filtered edges are re-buffered in practice;
+/// both the timing analysis and the validation simulator use this same
+/// helper, so the two agree on delays (their intended disagreement is
+/// confined to the noise lookup table — Sec. VII-C).
+Ps wire_slew_degradation(Ps elmore);
+
+/// Temperature delay derating (normalized to 1 at 25 C): carrier
+/// mobility falls as silicon heats, so cells slow down — and, because
+/// the pulse width tracks the transition times, current pulses flatten
+/// when hot and sharpen when cool. This is why the prior art treated
+/// the *coolest* corner as the noise-pessimistic one (Sec. VI).
+double temp_delay_factor(double temp_c);
+
+/// Electrical operating point of a cell instance.
+struct DriveConditions {
+  Ff c_load = 5.0;                        ///< lumped downstream capacitance
+  Ps slew_in = tech::kCharacterizationSlew;  ///< input transition time
+  Volt vdd = tech::kVddNominal;
+  double temp_c = 25.0;                   ///< junction temperature
+};
+
+/// Scalar timing results.
+struct CellTiming {
+  Ps delay_rise = 0.0;  ///< input-rise to output-transition delay
+  Ps delay_fall = 0.0;  ///< input-fall to output-transition delay
+  Ps slew_rise = 0.0;   ///< output slew when the output rises
+  Ps slew_fall = 0.0;   ///< output slew when the output falls
+  /// Mode-independent average delay used for arrival-time bookkeeping.
+  Ps delay() const { return 0.5 * (delay_rise + delay_fall); }
+};
+
+CellTiming cell_timing(const Cell& cell, const DriveConditions& dc);
+
+/// Full-period current response of one cell (paper Fig. 7):
+/// the input clock rises at t = 0 and falls at t = period/2; idd/iss hold
+/// the resulting supply/ground current waveforms in uA.
+struct CellWave {
+  Waveform idd;
+  Waveform iss;
+  CellTiming timing;
+};
+
+/// Simulate one cell with an ideal clock pulse at its input.
+/// `extra_delay` models a configured ADB/ADI capacitor-bank code: it
+/// shifts the output transition (and its current pulse) later and
+/// slightly widens the pulse (the bank's charge also flows through the
+/// rails).
+CellWave simulate_cell(const Cell& cell, const DriveConditions& dc,
+                       Ps period = tech::kClockPeriod, Ps dt = 0.5,
+                       Ps extra_delay = 0.0);
+
+} // namespace wm

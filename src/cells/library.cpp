@@ -1,0 +1,124 @@
+#include "cells/library.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+Cell make_buffer(int drive) {
+  Cell c;
+  c.name = "BUF_X" + std::to_string(drive);
+  c.kind = CellKind::Buffer;
+  c.drive = drive;
+  const double s = std::sqrt(static_cast<double>(drive));
+  // Buffer input stage is small regardless of drive (paper Table I quotes
+  // BUF_X4 Cin ~ 1 fF), output stage scales with drive.
+  c.c_in = 0.6 + 0.12 * s;
+  c.c_self = 0.9 * std::pow(static_cast<double>(drive), 0.7);
+  c.r_out = 6.4 / static_cast<double>(drive);  // X16 -> 0.40 kOhm
+  c.d0 = 8.0 + 42.0 / s;  // two-stage intrinsic delay; the
+                           // strong size dependence is what gives
+                           // sizing its pulse-placement leverage
+  c.slew0 = 8.0;
+  c.sc_frac = 0.18;  // first-stage inverter draws from the opposite rail
+  return c;
+}
+
+Cell make_inverter(int drive) {
+  Cell c;
+  c.name = "INV_X" + std::to_string(drive);
+  c.kind = CellKind::Inverter;
+  c.drive = drive;
+  const double s = std::sqrt(static_cast<double>(drive));
+  c.c_in = 0.28 * static_cast<double>(drive);  // X8 -> 2.24 fF (Table I)
+  c.c_self = 0.5 * std::pow(static_cast<double>(drive), 0.7);
+  c.r_out = 5.6 / static_cast<double>(drive);
+  c.d0 = 4.0 + 16.0 / s;  // single stage: faster than the buffer
+  c.slew0 = 7.0;
+  c.sc_frac = 0.10;
+  return c;
+}
+
+Cell make_adb(int drive) {
+  Cell c = make_buffer(drive);
+  c.name = "ADB_X" + std::to_string(drive);
+  c.kind = CellKind::Adb;
+  c.c_in += 0.3;   // bank control loading
+  c.c_self += 2.0; // capacitor bank
+  c.d0 += 8.0;     // bank insertion penalty
+  c.adj_step = 4.0;
+  c.adj_max_code = 40;  // up to +160 ps (bank size is a design knob of
+                        // the Fig. 4 implementation)
+  return c;
+}
+
+Cell make_adi(int drive) {
+  Cell c = make_adb(drive);
+  c.name = "ADI_X" + std::to_string(drive);
+  c.kind = CellKind::Adi;
+  // Third inverter (Fig. 4): ADIs are unavoidably slower than ADBs — the
+  // first inverter is already at minimum feature size (Sec. VII-E).
+  c.d0 += 5.0;
+  c.sc_frac = 0.12;
+  return c;
+}
+
+} // namespace
+
+CellLibrary CellLibrary::nangate45_like() {
+  CellLibrary lib;
+  for (int drive : {1, 2, 4, 8, 16, 32, 64}) {
+    lib.add(make_buffer(drive));
+    lib.add(make_inverter(drive));
+  }
+  for (int drive : {8, 16}) {
+    lib.add(make_adb(drive));
+    lib.add(make_adi(drive));
+  }
+  return lib;
+}
+
+void CellLibrary::add(Cell cell) {
+  WM_REQUIRE(find(cell.name) == nullptr,
+             "duplicate cell name: " + cell.name);
+  cells_.push_back(std::move(cell));
+}
+
+const Cell& CellLibrary::by_name(std::string_view name) const {
+  const Cell* c = find(name);
+  WM_REQUIRE(c != nullptr, "unknown cell: " + std::string(name));
+  return *c;
+}
+
+const Cell* CellLibrary::find(std::string_view name) const {
+  for (const Cell& c : cells_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::vector<const Cell*> CellLibrary::of_kind(CellKind kind) const {
+  std::vector<const Cell*> out;
+  for (const Cell& c : cells_) {
+    if (c.kind == kind) out.push_back(&c);
+  }
+  return out;
+}
+
+std::vector<const Cell*> CellLibrary::assignment_library() const {
+  return {&by_name("BUF_X8"), &by_name("BUF_X16"), &by_name("INV_X8"),
+          &by_name("INV_X16")};
+}
+
+std::vector<const Cell*>
+CellLibrary::assignment_library_with_adjustables() const {
+  auto lib = assignment_library();
+  lib.push_back(&by_name("ADB_X8"));
+  lib.push_back(&by_name("ADI_X8"));
+  return lib;
+}
+
+} // namespace wm

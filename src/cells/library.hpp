@@ -1,0 +1,52 @@
+#pragma once
+// Cell library construction and lookup.
+//
+// nangate45_like() builds the buffering-cell family the experiments use:
+// BUF_X{1..32}, INV_X{1..32}, plus adjustable cells ADB_X{8,16} and
+// ADI_X{8,16}. Electrical parameters follow the scaling laws of a 45 nm
+// library (input cap grows with drive for inverters but only weakly for
+// buffers, output resistance ~ 1/drive with BUF_X16 at ~0.4 kOhm as the
+// paper quotes, inverters faster than buffers of equal drive — compare
+// the paper's Table II ordering).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cells/cell.hpp"
+
+namespace wm {
+
+class CellLibrary {
+ public:
+  /// The 45 nm-like family used throughout the experiments.
+  static CellLibrary nangate45_like();
+
+  /// Empty library; add cells with add().
+  CellLibrary() = default;
+
+  void add(Cell cell);
+
+  /// Lookup by exact name; throws wm::Error if absent.
+  const Cell& by_name(std::string_view name) const;
+
+  /// Lookup by exact name; nullptr if absent.
+  const Cell* find(std::string_view name) const;
+
+  const std::vector<Cell>& cells() const { return cells_; }
+
+  std::vector<const Cell*> of_kind(CellKind kind) const;
+
+  /// The sizing library the paper's experiments allow for leaf
+  /// assignment (Sec. VII-A): {BUF_X8, BUF_X16, INV_X8, INV_X16}.
+  std::vector<const Cell*> assignment_library() const;
+
+  /// assignment_library() extended with the adjustable cells, used by
+  /// ClkWaveMin-M after ADB insertion (Sec. VI).
+  std::vector<const Cell*> assignment_library_with_adjustables() const;
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+} // namespace wm

@@ -1,0 +1,197 @@
+#include "core/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cells/electrical.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+bool input_is_negative(const ClockTree& tree, NodeId id) {
+  const NodeId parent = tree.node(id).parent;
+  if (parent == kNoNode) return false;
+  return tree.output_polarity(parent) == Polarity::Negative;
+}
+
+void append_sorted_unique(std::vector<Ps>& grid, Ps v) {
+  grid.push_back(v);
+}
+
+void finalize_grid(std::vector<Ps>& grid) {
+  std::sort(grid.begin(), grid.end());
+  grid.erase(std::unique(grid.begin(), grid.end(),
+                         [](Ps a, Ps b) { return std::abs(a - b) < 0.01; }),
+             grid.end());
+}
+
+} // namespace
+
+Preprocessed preprocess(const ClockTree& tree, const ZoneMap& zones,
+                        const ModeSet& modes,
+                        const std::vector<const Cell*>& assignable,
+                        const Characterizer& chr,
+                        const CellLibrary& lib,
+                        const XorCandidateOptions* xor_opts) {
+  WM_REQUIRE(modes.count() >= 1, "need at least one power mode");
+  WM_REQUIRE(!assignable.empty(), "assignment library is empty");
+  (void)chr;  // delays use the analytic model directly; the LUT serves
+              // only the noise queries (build_zone_mosp)
+
+  Preprocessed p;
+  p.mode_count = modes.count();
+  p.arrival_grid.resize(p.mode_count);
+
+  std::vector<ArrivalResult> arr;
+  arr.reserve(p.mode_count);
+  for (std::size_t m = 0; m < p.mode_count; ++m) {
+    arr.push_back(compute_arrivals(tree, modes, m));
+  }
+
+  for (const TreeNode& n : tree.nodes()) {
+    const auto ni = static_cast<std::size_t>(n.id);
+    if (!n.is_leaf()) {
+      NonLeafInfo info;
+      info.id = n.id;
+      info.cell = n.cell;
+      info.pos = n.pos;
+      info.load = tree.load_of(n.id);
+      info.island = n.island;
+      info.input_negative = input_is_negative(tree, n.id);
+      for (std::size_t m = 0; m < p.mode_count; ++m) {
+        info.input_arrival.push_back(arr[m].input_arrival[ni]);
+        Ps extra = 0.0;
+        if (n.cell->adjustable() && !n.adj_codes.empty()) {
+          extra = n.cell->adj_step * static_cast<Ps>(n.adj_codes[m]);
+        }
+        info.extra_delay.push_back(extra);
+      }
+      p.non_leaves.push_back(std::move(info));
+      continue;
+    }
+
+    SinkInfo si;
+    si.id = n.id;
+    si.load = tree.load_of(n.id);
+    si.island = n.island;
+    si.zone = zones.zone_of(n.id);
+    si.input_negative = input_is_negative(tree, n.id);
+    for (std::size_t m = 0; m < p.mode_count; ++m) {
+      si.input_arrival.push_back(arr[m].input_arrival[ni]);
+      si.slew_in.push_back(arr[m].slew_in[ni]);
+      si.gated.push_back(modes.gated(m, n.island) ? 1 : 0);
+    }
+
+    if (n.cell->adjustable()) {
+      // Allocator-placed ADB: stay, or swap to the same-drive ADI.
+      WM_REQUIRE(n.adj_codes.size() == p.mode_count,
+                 "ADB leaf lacks per-mode codes");
+      Candidate stay;
+      stay.cell = n.cell;
+      stay.adj_codes = n.adj_codes;
+      for (std::size_t m = 0; m < p.mode_count; ++m) {
+        const Volt vdd = modes.vdd(m, n.island);
+        const DriveConditions dc{si.load, si.slew_in[m], vdd,
+                                 modes.temp(m, n.island)};
+        const Ps d = cell_timing(*n.cell, dc).delay() +
+                     n.cell->adj_step * static_cast<Ps>(n.adj_codes[m]);
+        stay.arrival.push_back(si.input_arrival[m] + d);
+      }
+      si.candidates.push_back(std::move(stay));
+
+      const Cell* adi =
+          lib.find("ADI_X" + std::to_string(n.cell->drive));
+      if (adi != nullptr) {
+        Candidate swap;
+        swap.cell = adi;
+        bool ok = true;
+        for (std::size_t m = 0; m < p.mode_count; ++m) {
+          const Volt vdd = modes.vdd(m, n.island);
+          const DriveConditions dc{si.load, si.slew_in[m], vdd,
+                                   modes.temp(m, n.island)};
+          const Ps d_adb = cell_timing(*n.cell, dc).delay();
+          const Ps d_adi = cell_timing(*adi, dc).delay();
+          // Absorb the ADI's longer intrinsic delay by lowering the
+          // code; infeasible if the code would go negative (this is why
+          // only a fraction of ADBs become ADIs, Sec. VII-E).
+          const int delta_steps = static_cast<int>(
+              std::ceil((d_adi - d_adb) / adi->adj_step - 1e-9));
+          const int code = n.adj_codes[m] - delta_steps;
+          if (code < 0 || code > adi->adj_max_code) {
+            ok = false;
+            break;
+          }
+          swap.adj_codes.push_back(code);
+          swap.arrival.push_back(si.input_arrival[m] + d_adi +
+                                 adi->adj_step * static_cast<Ps>(code));
+        }
+        if (ok) si.candidates.push_back(std::move(swap));
+      }
+    } else {
+      for (const Cell* cell : assignable) {
+        if (cell->adjustable()) continue;  // non-ADBs may not become ADBs
+        Candidate c;
+        c.cell = cell;
+        for (std::size_t m = 0; m < p.mode_count; ++m) {
+          const Volt vdd = modes.vdd(m, n.island);
+          const DriveConditions dc{si.load, si.slew_in[m], vdd,
+                                   modes.temp(m, n.island)};
+          c.arrival.push_back(si.input_arrival[m] +
+                              cell_timing(*cell, dc).delay());
+        }
+        si.candidates.push_back(std::move(c));
+      }
+
+      if (xor_opts != nullptr) {
+        // XOR-reconfigurable candidates ([30],[31]): one per polarity
+        // vector over the modes. The XOR gate costs a fixed delay in
+        // every mode; the base cell stays a non-inverting buffer and
+        // the per-mode flip is realized as a half-period phase shift.
+        WM_REQUIRE(p.mode_count <= 5,
+                   "XOR polarity vectors limited to 5 modes (2^M)");
+        const Cell* base = xor_opts->base_cell != nullptr
+                               ? xor_opts->base_cell
+                               : &lib.by_name("BUF_X16");
+        std::vector<Ps> arrival;
+        for (std::size_t m = 0; m < p.mode_count; ++m) {
+          const Volt vdd = modes.vdd(m, n.island);
+          const DriveConditions dc{si.load, si.slew_in[m], vdd,
+                                   modes.temp(m, n.island)};
+          arrival.push_back(si.input_arrival[m] +
+                            cell_timing(*base, dc).delay() +
+                            xor_opts->xor_delay);
+        }
+        const std::uint32_t vectors = 1u << p.mode_count;
+        for (std::uint32_t v = 0; v < vectors; ++v) {
+          Candidate c;
+          c.cell = base;
+          c.arrival = arrival;
+          c.cell_extra_delay = xor_opts->xor_delay;
+          for (std::size_t m = 0; m < p.mode_count; ++m) {
+            c.xor_negative.push_back(
+                static_cast<std::uint8_t>((v >> m) & 1u));
+          }
+          si.candidates.push_back(std::move(c));
+        }
+      }
+    }
+
+    WM_ASSERT(!si.candidates.empty(), "sink has no candidates");
+    WM_REQUIRE(si.candidates.size() <= 32,
+               "candidate masks are limited to 32 cells per sink");
+    for (const Candidate& c : si.candidates) {
+      for (std::size_t m = 0; m < p.mode_count; ++m) {
+        append_sorted_unique(p.arrival_grid[m], c.arrival[m]);
+      }
+    }
+    p.sinks.push_back(std::move(si));
+  }
+
+  for (auto& grid : p.arrival_grid) finalize_grid(grid);
+  return p;
+}
+
+} // namespace wm

@@ -1,0 +1,86 @@
+#pragma once
+// Preprocessing: per-sink assignment candidates and their per-mode
+// arrival times (paper Sec. IV, "Step 1" of the PeakMin review, extended
+// to multiple power modes).
+//
+// For every leaf (sink) we enumerate the cells it may be assigned to and
+// the resulting per-mode output arrival times:
+//   * a normal leaf may take any cell of the assignment library
+//     (BUF_X8/BUF_X16/INV_X8/INV_X16 in the experiments) but may NOT
+//     become an ADB/ADI (area, Sec. VI);
+//   * a leaf holding an allocator-placed ADB may stay an ADB or swap to
+//     an ADI with its per-mode codes reduced to absorb the ADI's longer
+//     intrinsic delay (Fig. 13's restriction); it may NOT go back to a
+//     normal buffer (the ADB is required for skew legality).
+//
+// Per Observation 4 the input arrival of a sink is taken from the
+// current tree (sizing a sink does not move its siblings).
+
+#include <cstdint>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "core/options.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+
+struct Candidate {
+  const Cell* cell = nullptr;
+  std::vector<Ps> arrival;    ///< output arrival per mode
+  std::vector<int> adj_codes; ///< per-mode codes (adjustable cells only)
+  /// XOR-reconfigurable candidates only: per-mode polarity selection
+  /// (1 = negative in that mode). Empty for static cells.
+  std::vector<std::uint8_t> xor_negative;
+  Ps cell_extra_delay = 0.0;  ///< XOR gate delay (identical per mode)
+};
+
+struct SinkInfo {
+  NodeId id = kNoNode;
+  Ff load = 0.0;
+  int island = 0;
+  int zone = -1;                   ///< index into ZoneMap::zones()
+  bool input_negative = false;     ///< polarity of the clock at the input
+  std::vector<Ps> input_arrival;   ///< per mode
+  std::vector<Ps> slew_in;         ///< per mode (propagated input slew)
+  std::vector<std::uint8_t> gated;  ///< per mode: leaf clock-gated off
+  std::vector<Candidate> candidates;
+};
+
+struct NonLeafInfo {
+  NodeId id = kNoNode;
+  const Cell* cell = nullptr;
+  Point pos;
+  Ff load = 0.0;
+  int island = 0;
+  bool input_negative = false;
+  std::vector<Ps> input_arrival;  ///< per mode
+  std::vector<Ps> extra_delay;    ///< per mode (configured ADB codes)
+};
+
+struct Preprocessed {
+  std::vector<SinkInfo> sinks;
+  std::vector<NonLeafInfo> non_leaves;
+  /// Sorted unique candidate arrival times per mode (the dots of Fig. 6).
+  std::vector<std::vector<Ps>> arrival_grid;
+  std::size_t mode_count = 0;
+};
+
+struct XorCandidateOptions {
+  Ps xor_delay = 6.0;
+  const Cell* base_cell = nullptr;
+};
+
+/// Run the preprocessing over the tree's current state.
+/// If `xor_opts` is non-null, XOR-reconfigurable candidates are added
+/// for every normal leaf (requires <= 5 power modes: 2^M vectors).
+Preprocessed preprocess(const ClockTree& tree, const ZoneMap& zones,
+                        const ModeSet& modes,
+                        const std::vector<const Cell*>& assignable,
+                        const Characterizer& chr,
+                        const CellLibrary& lib,
+                        const XorCandidateOptions* xor_opts = nullptr);
+
+} // namespace wm

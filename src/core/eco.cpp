@@ -1,0 +1,159 @@
+#include "core/eco.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <set>
+
+#include "core/intervals.hpp"
+#include "core/noise_model.hpp"
+#include "core/sampling.hpp"
+#include "mosp/solver.hpp"
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+MospSolution dispatch(const MospGraph& g, const WaveMinOptions& o) {
+  MospSolverOptions so;
+  so.epsilon = o.epsilon;
+  so.max_labels = o.max_labels;
+  switch (o.solver) {
+    case SolverKind::Warburton: return solve_warburton(g, so);
+    case SolverKind::Greedy: return solve_greedy(g);
+    case SolverKind::Exact: return solve_exact(g, so);
+    case SolverKind::Exhaustive: return solve_exhaustive(g);
+  }
+  return solve_warburton(g, so);
+}
+
+/// Does this candidate reproduce the sink's current configuration?
+bool is_current_config(const TreeNode& n, const Candidate& c) {
+  return c.cell == n.cell && c.adj_codes == n.adj_codes &&
+         c.xor_negative == n.xor_negative;
+}
+
+} // namespace
+
+EcoResult eco_reoptimize(ClockTree& tree, const CellLibrary& lib,
+                         const Characterizer& chr, const ModeSet& modes,
+                         const std::vector<NodeId>& changed,
+                         const WaveMinOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  EcoResult result;
+
+  const ZoneMap zones(tree, opts.zone_tile);
+  result.zones_total = zones.zones().size();
+
+  // Touched tiles: the changed nodes' zones plus a one-tile ring (their
+  // current couples into neighbours through the grid).
+  std::set<std::pair<int, int>> touched_tiles;
+  for (const NodeId id : changed) {
+    for (const NodeId leaf : tree.leaves_under(id)) {
+      const int z = zones.zone_of(leaf);
+      if (z < 0) continue;
+      const Zone& zone = zones.zones()[static_cast<std::size_t>(z)];
+      for (int dx = -1; dx <= 1; ++dx) {
+        for (int dy = -1; dy <= 1; ++dy) {
+          touched_tiles.insert({zone.gx + dx, zone.gy + dy});
+        }
+      }
+    }
+  }
+  std::vector<bool> touched(zones.zones().size(), false);
+  for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+    const Zone& zone = zones.zones()[z];
+    touched[z] = touched_tiles.count({zone.gx, zone.gy}) > 0;
+  }
+  result.zones_touched = static_cast<std::size_t>(
+      std::count(touched.begin(), touched.end(), true));
+  if (result.zones_touched == 0) {
+    result.success = true;
+    return result;
+  }
+
+  Preprocessed pre =
+      preprocess(tree, zones, modes, lib.assignment_library(), chr, lib);
+
+  // Freeze every sink outside the touched zones to its current
+  // configuration (single surviving candidate).
+  for (SinkInfo& s : pre.sinks) {
+    if (s.zone >= 0 && touched[static_cast<std::size_t>(s.zone)]) {
+      continue;
+    }
+    const TreeNode& n = tree.node(s.id);
+    const auto it = std::find_if(
+        s.candidates.begin(), s.candidates.end(),
+        [&](const Candidate& c) { return is_current_config(n, c); });
+    if (it == s.candidates.end()) continue;  // unknown config: leave free
+    const Candidate keep = *it;
+    s.candidates.assign(1, keep);
+  }
+
+  const std::vector<Intersection> inters =
+      enumerate_intersections(pre, opts.kappa - opts.skew_guard_band,
+                              opts.dof_beam);
+  if (inters.empty()) {
+    result.runtime_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    return result;  // the edit broke feasibility: needs a full re-run
+  }
+
+  std::vector<std::vector<std::size_t>> zone_sinks(zones.zones().size());
+  for (std::size_t s = 0; s < pre.sinks.size(); ++s) {
+    zone_sinks[static_cast<std::size_t>(pre.sinks[s].zone)].push_back(s);
+  }
+
+  double best_worst = std::numeric_limits<double>::max();
+  const Intersection* best_x = nullptr;
+  std::vector<std::vector<int>> best_choices;
+  for (const Intersection& x : inters) {
+    double worst = 0.0;
+    std::vector<std::vector<int>> choices(zones.zones().size());
+    for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+      if (!touched[z] || zone_sinks[z].empty()) continue;
+      const auto slots =
+          build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
+      const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
+                                          zones.zones()[z], x, chr,
+                                          modes, slots, opts);
+      const MospSolution sol = dispatch(g, opts);
+      worst = std::max(worst, sol.worst);
+      choices[z] = sol.choice;
+    }
+    if (worst < best_worst) {
+      best_worst = worst;
+      best_x = &x;
+      best_choices = std::move(choices);
+    }
+  }
+  WM_ASSERT(best_x != nullptr, "no intersection evaluated");
+
+  for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+    if (!touched[z]) continue;
+    const auto& sinks = zone_sinks[z];
+    const auto& choice = best_choices[z];
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const SinkInfo& sink = pre.sinks[sinks[i]];
+      const Candidate& cand =
+          sink.candidates[static_cast<std::size_t>(choice[i])];
+      tree.set_cell(sink.id, cand.cell);
+      TreeNode& node = tree.node(sink.id);
+      node.adj_codes = cand.adj_codes;
+      node.xor_negative = cand.xor_negative;
+      node.cell_extra_delay = cand.cell_extra_delay;
+    }
+  }
+
+  result.success = true;
+  result.model_peak = best_worst;
+  result.runtime_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return result;
+}
+
+} // namespace wm

@@ -1,0 +1,46 @@
+#pragma once
+// Incremental (ECO) re-optimization.
+//
+// Late design changes — a moved flip-flop bank, a resized macro, an
+// added sink — invalidate the polarity assignment only locally, because
+// power/ground noise is a local effect (the zone premise of the whole
+// method). This module re-runs the WaveMin zone optimization only for
+// the zones touched by a change, keeping every other zone's assignment
+// frozen. Typical ECO turnaround is the cost of a handful of zone
+// solves instead of the full interval sweep.
+//
+// Scope/contract:
+//   * the tree topology is the current one (apply your edit first);
+//   * the frozen zones' cells are kept verbatim — their arrivals still
+//     participate in the feasibility windows, so the skew bound holds
+//     across the whole design, not just the re-optimized part;
+//   * returns which zones were re-solved and the model peak over them.
+
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "core/wavemin.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+struct EcoResult {
+  bool success = false;
+  std::size_t zones_touched = 0;   ///< zones containing a changed node
+  std::size_t zones_total = 0;
+  double model_peak = 0.0;         ///< worst re-solved zone (uA)
+  double runtime_ms = 0.0;
+};
+
+/// Re-optimize only the zones containing (or adjacent to, within one
+/// tile ring) the given changed nodes. `changed` may list any node ids;
+/// non-leaves select the zones of the leaves beneath them.
+EcoResult eco_reoptimize(ClockTree& tree, const CellLibrary& lib,
+                         const Characterizer& chr, const ModeSet& modes,
+                         const std::vector<NodeId>& changed,
+                         const WaveMinOptions& opts);
+
+} // namespace wm

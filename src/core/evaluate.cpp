@@ -1,0 +1,45 @@
+#include "core/evaluate.hpp"
+
+#include <algorithm>
+
+#include "grid/power_grid.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+
+Evaluation evaluate_design(const ClockTree& tree, const ModeSet& modes,
+                           Ps dt) {
+  Evaluation e;
+  for (std::size_t m = 0; m < modes.count(); ++m) {
+    TreeSimOptions so;
+    so.dt = dt;
+    const TreeSim sim(tree, modes, m, so);
+    const UA peak = sim.peak_current();
+    e.peak_by_mode.push_back(peak);
+    e.peak_current = std::max(e.peak_current, peak);
+    const GridNoiseResult gn = grid_noise(tree, sim);
+    e.tile_peak_current = std::max(e.tile_peak_current, gn.tile_peak_current);
+    e.vdd_noise = std::max(e.vdd_noise, gn.vdd_noise);
+    e.gnd_noise = std::max(e.gnd_noise, gn.gnd_noise);
+    e.worst_skew = std::max(e.worst_skew, sim.skew());
+    if (m == 0) {
+      // Average power: total charge per period through VDD times VDD
+      // times the clock frequency. integral() is in uA*ps = 1e-18 C;
+      // over a 1 ns period at VDD this lands in mW after scaling.
+      const double q_fc = sim.total_idd().integral() * 1e-3;  // fC
+      const double freq_ghz = 1000.0 / tech::kClockPeriod;
+      e.avg_power_mw = q_fc * tech::kVddNominal * freq_ghz * 1e-3;
+    }
+  }
+  return e;
+}
+
+Evaluation evaluate_design(const ClockTree& tree, Ps dt) {
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return evaluate_design(tree, ModeSet::single(max_island + 1), dt);
+}
+
+} // namespace wm

@@ -1,0 +1,130 @@
+#include "core/intervals.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+constexpr Ps kTol = 0.01;  // matches the arrival-grid merge tolerance
+
+long popcount_sum(const std::vector<std::uint32_t>& masks) {
+  long s = 0;
+  for (std::uint32_t m : masks) s += std::popcount(m);
+  return s;
+}
+
+std::size_t mask_hash(const std::vector<std::uint32_t>& masks) {
+  std::size_t h = 1469598103934665603ULL;
+  for (std::uint32_t m : masks) {
+    h ^= m + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+void sort_by_dof(std::vector<Intersection>& xs) {
+  std::stable_sort(xs.begin(), xs.end(),
+                   [](const Intersection& a, const Intersection& b) {
+                     return a.dof > b.dof;
+                   });
+}
+
+/// Keep at most `beam` intersections (by DOF); 0 = unlimited.
+void apply_beam(std::vector<Intersection>& xs, std::size_t beam) {
+  if (beam == 0 || xs.size() <= beam) return;
+  sort_by_dof(xs);
+  xs.resize(beam);
+}
+
+} // namespace
+
+std::uint32_t window_mask(const SinkInfo& sink, std::size_t mode,
+                          const TimeWindow& w) {
+  std::uint32_t mask = 0;
+  // A leaf that is clock-gated in this mode neither switches nor
+  // constrains the mode's skew: every candidate is acceptable.
+  const bool gated = !sink.gated.empty() && sink.gated[mode] != 0;
+  for (std::size_t c = 0; c < sink.candidates.size(); ++c) {
+    const Ps a = sink.candidates[c].arrival[mode];
+    if (gated || (a >= w.lo - kTol && a <= w.hi + kTol)) {
+      mask |= (1u << c);
+    }
+  }
+  return mask;
+}
+
+std::vector<Intersection> enumerate_single_mode(const Preprocessed& p,
+                                                std::size_t mode,
+                                                Ps kappa) {
+  WM_REQUIRE(mode < p.mode_count, "mode out of range");
+  WM_REQUIRE(kappa > 0.0, "skew bound must be positive");
+
+  std::vector<Intersection> out;
+  std::unordered_set<std::size_t> seen;
+  for (const Ps t : p.arrival_grid[mode]) {
+    const TimeWindow w{t - kappa, t};
+    Intersection x;
+    x.windows.assign(p.mode_count, TimeWindow{});
+    x.windows[mode] = w;
+    x.masks.reserve(p.sinks.size());
+    bool feasible = true;
+    for (const SinkInfo& s : p.sinks) {
+      const std::uint32_t m = window_mask(s, mode, w);
+      if (m == 0) {
+        feasible = false;
+        break;
+      }
+      x.masks.push_back(m);
+    }
+    if (!feasible) continue;
+    if (!seen.insert(mask_hash(x.masks)).second) continue;
+    x.dof = popcount_sum(x.masks);
+    out.push_back(std::move(x));
+  }
+  sort_by_dof(out);
+  return out;
+}
+
+std::vector<Intersection> enumerate_intersections(const Preprocessed& p,
+                                                  Ps kappa,
+                                                  std::size_t beam) {
+  std::vector<Intersection> partial = enumerate_single_mode(p, 0, kappa);
+  apply_beam(partial, beam);
+
+  for (std::size_t mode = 1; mode < p.mode_count; ++mode) {
+    const std::vector<Intersection> extension =
+        enumerate_single_mode(p, mode, kappa);
+    std::vector<Intersection> next;
+    std::unordered_set<std::size_t> seen;
+    for (const Intersection& a : partial) {
+      for (const Intersection& b : extension) {
+        Intersection x;
+        x.windows = a.windows;
+        x.windows[mode] = b.windows[mode];
+        x.masks.resize(p.sinks.size());
+        bool feasible = true;
+        for (std::size_t s = 0; s < p.sinks.size(); ++s) {
+          x.masks[s] = a.masks[s] & b.masks[s];
+          if (x.masks[s] == 0) {
+            feasible = false;
+            break;
+          }
+        }
+        if (!feasible) continue;
+        if (!seen.insert(mask_hash(x.masks)).second) continue;
+        x.dof = popcount_sum(x.masks);
+        next.push_back(std::move(x));
+      }
+    }
+    apply_beam(next, beam);
+    partial = std::move(next);
+  }
+  sort_by_dof(partial);
+  return partial;
+}
+
+} // namespace wm

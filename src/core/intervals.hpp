@@ -1,0 +1,53 @@
+#pragma once
+// Feasible time intervals and their multi-mode intersections
+// (paper Sec. IV-A "Step 2", Figs. 6 and 11, Table IV).
+//
+// For one power mode, every candidate arrival time t defines the window
+// [t - kappa, t]; the window is feasible if every sink has at least one
+// candidate whose arrival falls inside it (then an assignment restricted
+// to in-window candidates meets the skew bound). For multiple power
+// modes an *intersection* picks one window per mode, and a candidate
+// survives only if it is in-window in every mode simultaneously.
+//
+// The intersection count is exponential in the mode count; the paper
+// prunes using the degree of freedom (total surviving candidate count,
+// Fig. 14 shows it anti-correlates with achievable noise). We implement
+// that as a per-level beam: after extending partial intersections by one
+// mode, only the top `beam` by degree of freedom are kept (0 = no beam).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct TimeWindow {
+  Ps lo = 0.0;
+  Ps hi = 0.0;
+};
+
+struct Intersection {
+  std::vector<TimeWindow> windows;   ///< one per mode
+  std::vector<std::uint32_t> masks;  ///< per sink: surviving candidates
+  long dof = 0;                      ///< degree of freedom (Sec. VI)
+};
+
+/// Candidate-in-window masks for one sink in one mode.
+std::uint32_t window_mask(const SinkInfo& sink, std::size_t mode,
+                          const TimeWindow& w);
+
+/// All feasible windows of a single mode, deduplicated by mask
+/// signature, sorted by decreasing degree of freedom.
+std::vector<Intersection> enumerate_single_mode(const Preprocessed& p,
+                                                std::size_t mode, Ps kappa);
+
+/// All feasible multi-mode intersections (beam-pruned per level),
+/// sorted by decreasing degree of freedom. For a single-mode design this
+/// degenerates to enumerate_single_mode(p, 0, kappa).
+std::vector<Intersection> enumerate_intersections(const Preprocessed& p,
+                                                  Ps kappa,
+                                                  std::size_t beam = 0);
+
+} // namespace wm

@@ -1,0 +1,104 @@
+#include "core/noise_model.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+/// Mean input arrival per mode over the zone's sinks — the common pulse
+/// position used when arrival-shift awareness is disabled.
+std::vector<Ps> zone_reference_arrival(
+    const Preprocessed& p, const std::vector<std::size_t>& zone_sinks) {
+  std::vector<Ps> ref(p.mode_count, 0.0);
+  for (std::size_t m = 0; m < p.mode_count; ++m) {
+    for (std::size_t s : zone_sinks) {
+      ref[m] += p.sinks[s].input_arrival[m];
+    }
+    ref[m] /= static_cast<Ps>(zone_sinks.size());
+  }
+  return ref;
+}
+
+} // namespace
+
+MospGraph build_zone_mosp(const Preprocessed& p,
+                          const std::vector<std::size_t>& zone_sinks,
+                          const Zone& zone, const Intersection& x,
+                          const Characterizer& chr, const ModeSet& modes,
+                          const std::vector<SampleSlot>& slots,
+                          const WaveMinOptions& opts) {
+  WM_REQUIRE(!slots.empty(), "no sampling slots");
+  const Ps half_period = 0.5 * opts.period;
+  const std::vector<Ps> ref = zone_reference_arrival(p, zone_sinks);
+
+  MospGraph g;
+  g.dims = static_cast<int>(slots.size());
+  g.rows.reserve(zone_sinks.size());
+
+  for (std::size_t s : zone_sinks) {
+    const SinkInfo& sink = p.sinks[s];
+    const std::uint32_t mask = x.masks[s];
+    std::vector<MospVertex> row;
+    for (std::size_t c = 0; c < sink.candidates.size(); ++c) {
+      if ((mask & (1u << c)) == 0) continue;
+      const Candidate& cand = sink.candidates[c];
+      MospVertex v;
+      v.option = static_cast<int>(c);
+      v.label = "e" + std::to_string(sink.id) + ":" + cand.cell->name;
+      v.weight.reserve(slots.size());
+      for (const SampleSlot& slot : slots) {
+        if (!sink.gated.empty() && sink.gated[slot.mode]) {
+          v.weight.push_back(0.0);  // gated off: no switching current
+          continue;
+        }
+        const Volt vdd = modes.vdd(slot.mode, sink.island);
+        Ps arr = opts.shift_by_arrival ? sink.input_arrival[slot.mode]
+                                       : ref[slot.mode];
+        bool negative = sink.input_negative;
+        if (!cand.xor_negative.empty() && cand.xor_negative[slot.mode]) {
+          negative = !negative;
+        }
+        if (negative) arr += half_period;
+        Ps extra = cand.cell_extra_delay;
+        if (!cand.adj_codes.empty()) {
+          extra += cand.cell->adj_step *
+                   static_cast<Ps>(cand.adj_codes[slot.mode]);
+        }
+        v.weight.push_back(chr.noise_in(
+            *cand.cell, sink.load, vdd, slot.rail, arr, slot.lo, slot.hi,
+            extra, modes.temp(slot.mode, sink.island)));
+      }
+      row.push_back(std::move(v));
+    }
+    WM_ASSERT(!row.empty(), "intersection left a sink without options");
+    g.rows.push_back(std::move(row));
+  }
+
+  // Non-leaf contribution (Observation 1): every non-leaf buffering
+  // element placed inside this zone tile adds its fixed waveform.
+  g.dest_weight.assign(slots.size(), 0.0);
+  if (opts.include_nonleaf) {
+    const Um tile = opts.zone_tile;
+    for (const NonLeafInfo& nl : p.non_leaves) {
+      const int gx = static_cast<int>(std::floor(nl.pos.x / tile));
+      const int gy = static_cast<int>(std::floor(nl.pos.y / tile));
+      if (gx != zone.gx || gy != zone.gy) continue;
+      for (std::size_t i = 0; i < slots.size(); ++i) {
+        const SampleSlot& slot = slots[i];
+        const Volt vdd = modes.vdd(slot.mode, nl.island);
+        Ps arr = nl.input_arrival[slot.mode];
+        if (nl.input_negative) arr += half_period;
+        g.dest_weight[i] += chr.noise_in(
+            *nl.cell, nl.load, vdd, slot.rail, arr, slot.lo, slot.hi,
+            nl.extra_delay[slot.mode],
+            modes.temp(slot.mode, nl.island));
+      }
+    }
+  }
+  return g;
+}
+
+} // namespace wm

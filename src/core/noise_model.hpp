@@ -1,0 +1,35 @@
+#pragma once
+// Construction of the per-zone MOSP instance (paper Sec. V-B, Fig. 9,
+// Algorithm 1).
+//
+// Rows are the zone's sinks; a row's vertices are the candidates that
+// survive the feasible intersection; vertex weights are the candidates'
+// noise contributions at every sampling slot; the dest weight carries
+// the non-leaf buffering elements' contribution (Observation 1).
+//
+// Two ablation flags (DESIGN.md D2/D3):
+//   * include_nonleaf=false zeroes the dest weight;
+//   * shift_by_arrival=false aligns every sink's pulse at the zone's
+//     mean arrival (the arrival-unaware behaviour of prior work).
+
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "core/candidates.hpp"
+#include "core/intervals.hpp"
+#include "core/options.hpp"
+#include "core/sampling.hpp"
+#include "mosp/graph.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+
+MospGraph build_zone_mosp(const Preprocessed& p,
+                          const std::vector<std::size_t>& zone_sinks,
+                          const Zone& zone, const Intersection& x,
+                          const Characterizer& chr, const ModeSet& modes,
+                          const std::vector<SampleSlot>& slots,
+                          const WaveMinOptions& opts);
+
+} // namespace wm

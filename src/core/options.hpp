@@ -1,0 +1,62 @@
+#pragma once
+// Knobs of the WaveMin optimization (paper Secs. V-VII).
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace wm {
+
+enum class SolverKind {
+  Warburton,   ///< ClkWaveMin: epsilon-approximate Pareto DP (Sec. V-B)
+  Greedy,      ///< ClkWaveMin-f: least-worsening vertex commit (Sec. V-C)
+  Exact,       ///< exact Pareto DP (small instances / tests)
+  Exhaustive,  ///< brute-force oracle (tests only)
+};
+
+struct WaveMinOptions {
+  Ps kappa = 20.0;  ///< clock skew bound (ps)
+
+  /// Variation guard band ([26], Kang & Kim: polarity assignment under
+  /// delay variations): feasible windows are built against
+  /// kappa - skew_guard_band, reserving margin so process variation
+  /// does not push the realized skew over the bound. 0 = nominal.
+  Ps skew_guard_band = 0.0;
+
+  /// Number of time sampling slots per power mode (the paper's |S|):
+  /// 4 and 8 use windowed-max slots ("max of each half of the
+  /// waveform"), larger values use point samples across the hot
+  /// windows. Table VI sweeps this.
+  int samples = 158;
+
+  SolverKind solver = SolverKind::Warburton;
+  double epsilon = 0.01;        ///< Warburton scaling (Table V setting)
+  std::size_t max_labels = 20000;
+
+  bool include_nonleaf = true;    ///< Observation 1 (D2 in DESIGN.md)
+  bool shift_by_arrival = true;   ///< Observation 2 (D3 in DESIGN.md)
+
+  Um zone_tile = tech::kZoneSize;
+
+  /// Worker threads for the per-zone MOSP solves (1 = sequential).
+  /// Results are bit-identical regardless of thread count: zones are
+  /// independent subproblems and the merge is order-insensitive.
+  unsigned threads = 1;
+
+  /// Beam width of the multi-mode intersection enumeration, ranked by
+  /// degree of freedom (Sec. VI, Fig. 14). 0 = keep everything.
+  std::size_t dof_beam = 64;
+
+  Ps period = tech::kClockPeriod;
+
+  // --- XOR-reconfigurable polarity extension ([30],[31]) -------------
+  // When enabled (multi-mode designs only), every normal leaf gains
+  // candidates whose polarity is selected *per power mode* by an XOR
+  // gate ahead of a base buffer: 2^M polarity vectors at the cost of an
+  // extra gate delay and input load.
+  bool enable_xor_polarity = false;
+  Ps xor_delay = 6.0;          ///< XOR gate delay (all modes)
+  const char* xor_base_cell = "BUF_X16";
+};
+
+} // namespace wm

@@ -1,0 +1,181 @@
+#include "core/refine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+
+#include "cells/electrical.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+
+namespace {
+
+struct TileRef {
+  std::vector<NodeId> members;
+  Waveform idd;
+  Waveform iss;
+  double peak() const { return std::max(idd.peak(), iss.peak()); }
+};
+
+std::pair<int, int> tile_of(const Point& p, Um tile) {
+  return {static_cast<int>(std::floor(p.x / tile)),
+          static_cast<int>(std::floor(p.y / tile))};
+}
+
+/// Fold `w` shifted by `shift` into one clock period on a fresh grid.
+Waveform fold_pulse(const Waveform& w, Ps shift, Ps period, Ps dt) {
+  const auto n = static_cast<std::size_t>(period / dt);
+  Waveform out = Waveform::zeros(0.0, dt, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ps t = out.time_at(i);
+    double acc = 0.0;
+    for (int k = -1; k <= 2; ++k) {
+      acc += w.value_at(t - shift + static_cast<Ps>(k) * period);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+Waveform combine(const Waveform& tile, const Waveform& remove,
+                 const Waveform& add) {
+  Waveform out = tile;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Ps t = out.time_at(i);
+    out[i] = std::max(0.0, out[i] - remove.value_at(t) + add.value_at(t));
+  }
+  return out;
+}
+
+} // namespace
+
+RefineResult refine_with_simulation(ClockTree& tree,
+                                    const CellLibrary& lib,
+                                    const ModeSet& modes,
+                                    RefineOptions opts) {
+  WM_REQUIRE(modes.count() == 1,
+             "simulation refinement supports single-mode designs");
+  const auto t0 = std::chrono::steady_clock::now();
+  RefineResult result;
+
+  const std::vector<const Cell*> candidates = lib.assignment_library();
+  const Ps period = tech::kClockPeriod;
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    TreeSimOptions so;
+    so.dt = opts.dt;
+    const TreeSim sim(tree, modes, 0, so);
+
+    // Tile aggregation.
+    std::map<std::pair<int, int>, TileRef> tiles;
+    for (const TreeNode& n : tree.nodes()) {
+      tiles[tile_of(n.pos, opts.tile)].members.push_back(n.id);
+    }
+    double worst = 0.0;
+    for (auto& [key, t] : tiles) {
+      (void)key;
+      t.idd = sim.sum_rail(t.members, Rail::Vdd);
+      t.iss = sim.sum_rail(t.members, Rail::Gnd);
+      worst = std::max(worst, t.peak());
+    }
+    if (round == 0) result.peak_before = worst;
+
+    // Leaves in worst-tile-first order.
+    std::vector<NodeId> order = tree.leaves();
+    std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+      return tiles[tile_of(tree.node(a).pos, opts.tile)].peak() >
+             tiles[tile_of(tree.node(b).pos, opts.tile)].peak();
+    });
+
+    int moves_this_round = 0;
+    for (const NodeId leaf : order) {
+      TreeNode& node = tree.node(leaf);
+      if (node.cell->adjustable() || !node.xor_negative.empty()) {
+        continue;
+      }
+      TileRef& tile = tiles[tile_of(node.pos, opts.tile)];
+      const Waveform old_idd =
+          sim.sum_rail(std::vector<NodeId>{leaf}, Rail::Vdd);
+      const Waveform old_iss =
+          sim.sum_rail(std::vector<NodeId>{leaf}, Rail::Gnd);
+
+      const Cell* best_cell = node.cell;
+      double best_peak = tile.peak();
+      Waveform best_idd, best_iss;
+
+      const bool neg_input =
+          node.parent != kNoNode &&
+          tree.output_polarity(node.parent) == Polarity::Negative;
+      for (const Cell* cand : candidates) {
+        if (cand == node.cell || cand->adjustable()) continue;
+        // Trial: swap, check skew, evaluate the tile incrementally.
+        const Cell* saved = node.cell;
+        tree.set_cell(leaf, cand);
+        if (compute_arrivals(tree).skew() > opts.kappa) {
+          tree.set_cell(leaf, saved);
+          continue;
+        }
+        const DriveConditions dc{tree.load_of(leaf), sim.slew_in(leaf),
+                                 modes.vdd(0, node.island),
+                                 modes.temp(0, node.island)};
+        const CellWave cw = simulate_cell(*cand, dc, period, opts.dt);
+        const Ps shift =
+            sim.input_arrival(leaf) + (neg_input ? 0.5 * period : 0.0);
+        const Waveform new_idd =
+            fold_pulse(cw.idd, shift, period, opts.dt);
+        const Waveform new_iss =
+            fold_pulse(cw.iss, shift, period, opts.dt);
+        const Waveform trial_idd = combine(tile.idd, old_idd, new_idd);
+        const Waveform trial_iss = combine(tile.iss, old_iss, new_iss);
+        const double trial_peak =
+            std::max(trial_idd.peak(), trial_iss.peak());
+        if (trial_peak < best_peak - 1e-6) {
+          best_peak = trial_peak;
+          best_cell = cand;
+          best_idd = trial_idd;
+          best_iss = trial_iss;
+        }
+        tree.set_cell(leaf, saved);
+      }
+
+      if (best_cell != node.cell) {
+        tree.set_cell(leaf, best_cell);
+        tile.idd = best_idd;
+        tile.iss = best_iss;
+        ++moves_this_round;
+      }
+    }
+    result.moves += moves_this_round;
+    WM_LOG(Info) << "refine round " << round << ": "
+                 << moves_this_round << " accepted swaps";
+    if (moves_this_round == 0) break;
+  }
+
+  // Honest final measurement with a fresh full simulation.
+  TreeSimOptions so;
+  so.dt = opts.dt;
+  const TreeSim final_sim(tree, modes, 0, so);
+  std::map<std::pair<int, int>, std::vector<NodeId>> members;
+  for (const TreeNode& n : tree.nodes()) {
+    members[tile_of(n.pos, opts.tile)].push_back(n.id);
+  }
+  for (const auto& [key, ids] : members) {
+    (void)key;
+    const double p =
+        std::max(final_sim.sum_rail(ids, Rail::Vdd).peak(),
+                 final_sim.sum_rail(ids, Rail::Gnd).peak());
+    result.peak_after = std::max(result.peak_after, p);
+  }
+
+  result.runtime_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return result;
+}
+
+} // namespace wm

@@ -1,0 +1,49 @@
+#pragma once
+// Simulation-in-the-loop local refinement.
+//
+// The optimizer works from the characterization lookup table; the
+// validator disagrees with it slightly (quantized loads, frozen slew —
+// the Sec. VII-C gap). The oracle studies in EXPERIMENTS.md show the
+// LUT-guided assignment captures only part of the achievable headroom.
+// This post-pass closes some of the rest the expensive-but-honest way:
+// greedy coordinate descent on the *validated* tile-local peaks.
+//
+// For each leaf (worst tiles first), try its alternative candidates
+// that keep the skew bound; re-simulate the affected tile; keep the
+// best. A full TreeSim per trial would be wasteful, so trials reuse the
+// one-cell-changed incremental evaluation: only the changed leaf's
+// pulse and its tile sum are recomputed (the Observation-4 premise —
+// siblings' waveforms barely move — is exactly what makes this sound,
+// and the final full simulation verifies it).
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+struct RefineOptions {
+  int max_rounds = 2;      ///< full passes over the leaves
+  Ps kappa = 20.0;         ///< skew bound to preserve
+  Ps dt = 1.0;             ///< simulation grid for the trials
+  Um tile = tech::kZoneSize;
+};
+
+struct RefineResult {
+  int moves = 0;            ///< accepted cell swaps
+  UA peak_before = 0.0;     ///< worst tile-local peak (validated)
+  UA peak_after = 0.0;
+  double runtime_ms = 0.0;
+};
+
+/// Refine an already-assigned tree against the validation simulator.
+/// Only plain (non-adjustable, non-XOR) leaves are touched; candidates
+/// come from `lib.assignment_library()`. Single-mode designs only.
+RefineResult refine_with_simulation(ClockTree& tree,
+                                    const CellLibrary& lib,
+                                    const ModeSet& modes,
+                                    RefineOptions opts = {});
+
+} // namespace wm

@@ -1,0 +1,92 @@
+#include "core/sampling.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+// Pulse support around a switching instant: leading edge tracks the
+// input slew, tail the RC discharge (see cells/electrical.cpp).
+constexpr Ps kLead = 30.0;
+constexpr Ps kTail = 70.0;
+
+void emit_windows(std::vector<SampleSlot>& out, Rail rail,
+                  std::size_t mode, Ps lo, Ps hi, int pieces) {
+  const Ps step = (hi - lo) / static_cast<Ps>(pieces);
+  for (int i = 0; i < pieces; ++i) {
+    out.push_back({rail, mode, lo + step * static_cast<Ps>(i),
+                   lo + step * static_cast<Ps>(i + 1)});
+  }
+}
+
+void emit_points(std::vector<SampleSlot>& out, Rail rail,
+                 std::size_t mode, Ps lo, Ps hi, int count) {
+  if (count <= 0) return;
+  if (count == 1) {
+    const Ps mid = 0.5 * (lo + hi);
+    out.push_back({rail, mode, mid, mid});
+    return;
+  }
+  const Ps step = (hi - lo) / static_cast<Ps>(count - 1);
+  for (int i = 0; i < count; ++i) {
+    const Ps t = lo + step * static_cast<Ps>(i);
+    out.push_back({rail, mode, t, t});
+  }
+}
+
+} // namespace
+
+std::vector<SampleSlot> build_slots(
+    const Preprocessed& p, const std::vector<std::size_t>& zone_sinks,
+    const Intersection& x, int samples_per_mode, Ps period) {
+  WM_REQUIRE(samples_per_mode >= 4, "need at least 4 sampling slots");
+  WM_REQUIRE(!zone_sinks.empty(), "empty zone");
+
+  std::vector<SampleSlot> slots;
+  slots.reserve(static_cast<std::size_t>(samples_per_mode) * p.mode_count);
+
+  for (std::size_t mode = 0; mode < p.mode_count; ++mode) {
+    // Hot region: span of the surviving candidates' switching instants.
+    Ps a_min = std::numeric_limits<Ps>::max();
+    Ps a_max = std::numeric_limits<Ps>::lowest();
+    for (std::size_t s : zone_sinks) {
+      const SinkInfo& sink = p.sinks[s];
+      const std::uint32_t mask = x.masks[s];
+      for (std::size_t c = 0; c < sink.candidates.size(); ++c) {
+        if ((mask & (1u << c)) == 0) continue;
+        const Ps a = sink.candidates[c].arrival[mode];
+        a_min = std::min(a_min, a);
+        a_max = std::max(a_max, a);
+      }
+    }
+    WM_ASSERT(a_min <= a_max, "zone has no surviving candidates");
+
+    const Ps rise_lo = a_min - kLead;
+    const Ps rise_hi = a_max + kTail;
+    const Ps fall_lo = rise_lo + 0.5 * period;
+    const Ps fall_hi = rise_hi + 0.5 * period;
+
+    if (samples_per_mode <= 8) {
+      const int pieces = samples_per_mode / 4;  // per (rail, edge)
+      for (Rail rail : {Rail::Vdd, Rail::Gnd}) {
+        emit_windows(slots, rail, mode, rise_lo, rise_hi, pieces);
+        emit_windows(slots, rail, mode, fall_lo, fall_hi, pieces);
+      }
+    } else {
+      const int per_rail = samples_per_mode / 2;
+      const int rise_n = (per_rail + 1) / 2;
+      const int fall_n = per_rail - rise_n;
+      for (Rail rail : {Rail::Vdd, Rail::Gnd}) {
+        emit_points(slots, rail, mode, rise_lo, rise_hi, rise_n);
+        emit_points(slots, rail, mode, fall_lo, fall_hi, fall_n);
+      }
+    }
+  }
+  return slots;
+}
+
+} // namespace wm

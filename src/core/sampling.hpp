@@ -1,0 +1,37 @@
+#pragma once
+// Time sampling slot construction (paper Sec. IV-B, Fig. 7(b)).
+//
+// The optimizer evaluates noise only at a set S of sampling slots per
+// power mode. Each slot names a rail (I_DD or I_SS) and a time window:
+//   * |S| <= 8  — coarse windowed slots ("the maximum value from the
+//     first and the second halves of the waveform", Sec. VII-C): the hot
+//     region around each clock edge is covered by |S|/4 max-windows per
+//     rail;
+//   * |S| > 8  — fine point samples spread uniformly over the hot
+//     regions (|S| = 158 is the paper's reference setting).
+// The hot regions are derived from the zone's candidate arrival times:
+// current pulses live around the sinks' switching instants, at both the
+// rising edge and (half a period later) the falling edge.
+
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/intervals.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+struct SampleSlot {
+  Rail rail = Rail::Vdd;
+  std::size_t mode = 0;
+  Ps lo = 0.0;  ///< window start (== hi for a point sample)
+  Ps hi = 0.0;
+};
+
+/// Build the slots for one zone (indices into p.sinks) under one
+/// feasible intersection. `samples_per_mode` is the paper's |S|.
+std::vector<SampleSlot> build_slots(
+    const Preprocessed& p, const std::vector<std::size_t>& zone_sinks,
+    const Intersection& x, int samples_per_mode, Ps period);
+
+} // namespace wm

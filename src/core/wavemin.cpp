@@ -1,0 +1,229 @@
+#include "core/wavemin.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <limits>
+#include <unordered_map>
+
+#include "core/intervals.hpp"
+#include "core/noise_model.hpp"
+#include "core/sampling.hpp"
+#include "mosp/solver.hpp"
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wm {
+
+namespace {
+
+MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& o) {
+  MospSolverOptions so;
+  so.epsilon = o.epsilon;
+  so.max_labels = o.max_labels;
+  switch (o.solver) {
+    case SolverKind::Warburton: return solve_warburton(g, so);
+    case SolverKind::Greedy: return solve_greedy(g);
+    case SolverKind::Exact: return solve_exact(g, so);
+    case SolverKind::Exhaustive: return solve_exhaustive(g);
+  }
+  return solve_warburton(g, so);
+}
+
+std::size_t zone_mask_key(std::size_t zone_idx,
+                          const std::vector<std::size_t>& zone_sinks,
+                          const Intersection& x) {
+  std::size_t h = 1469598103934665603ULL ^ zone_idx;
+  for (std::size_t s : zone_sinks) {
+    h ^= x.masks[s] + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+struct ZoneSolution {
+  double worst = 0.0;
+  std::vector<int> choice;  ///< candidate index per zone sink
+};
+
+} // namespace
+
+WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr, const ModeSet& modes,
+                          const std::vector<const Cell*>& assignable,
+                          const WaveMinOptions& opts) {
+  const auto t0 = std::chrono::steady_clock::now();
+  WaveMinResult result;
+
+  const ZoneMap zones(tree, opts.zone_tile);
+  result.zones = zones.zones().size();
+
+  XorCandidateOptions xor_opts;
+  if (opts.enable_xor_polarity) {
+    xor_opts.xor_delay = opts.xor_delay;
+    xor_opts.base_cell = lib.find(opts.xor_base_cell);
+  }
+  const Preprocessed pre = preprocess(
+      tree, zones, modes, assignable, chr, lib,
+      opts.enable_xor_polarity ? &xor_opts : nullptr);
+
+  // Sink indices per zone, in pre.sinks order.
+  std::vector<std::vector<std::size_t>> zone_sinks(zones.zones().size());
+  for (std::size_t s = 0; s < pre.sinks.size(); ++s) {
+    WM_ASSERT(pre.sinks[s].zone >= 0, "sink without a zone");
+    zone_sinks[static_cast<std::size_t>(pre.sinks[s].zone)].push_back(s);
+  }
+
+  WM_REQUIRE(opts.skew_guard_band >= 0.0 &&
+                 opts.skew_guard_band < opts.kappa,
+             "guard band must be in [0, kappa)");
+  const std::vector<Intersection> inters = enumerate_intersections(
+      pre, opts.kappa - opts.skew_guard_band, opts.dof_beam);
+  result.intersections = inters.size();
+  WM_LOG(Info) << "wavemin: " << pre.sinks.size() << " sinks, "
+               << zones.zones().size() << " zones, " << inters.size()
+               << " feasible intersections (kappa=" << opts.kappa
+               << ", |S|=" << opts.samples << ")";
+  if (inters.empty()) {
+    result.runtime_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return result;  // infeasible: skew bound unreachable by sizing alone
+  }
+
+  std::unordered_map<std::size_t, ZoneSolution> memo;
+  double best_worst = std::numeric_limits<double>::max();
+  const Intersection* best_x = nullptr;
+  std::vector<std::vector<int>> best_choices;
+
+  const unsigned n_threads = std::max(1u, opts.threads);
+  for (const Intersection& x : inters) {
+    // Phase 1: solve the memo misses (optionally in parallel — zones
+    // are independent subproblems).
+    std::vector<std::size_t> misses;
+    for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+      if (zone_sinks[z].empty()) continue;
+      if (memo.find(zone_mask_key(z, zone_sinks[z], x)) == memo.end()) {
+        misses.push_back(z);
+      }
+    }
+    auto solve_zone = [&](std::size_t z) {
+      const auto slots =
+          build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
+      const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
+                                          zones.zones()[z], x, chr,
+                                          modes, slots, opts);
+      const MospSolution sol = dispatch_solve(g, opts);
+      ZoneSolution zs;
+      zs.worst = sol.worst;
+      zs.choice = sol.choice;
+      return zs;
+    };
+    if (n_threads <= 1 || misses.size() <= 1) {
+      for (const std::size_t z : misses) {
+        memo.emplace(zone_mask_key(z, zone_sinks[z], x), solve_zone(z));
+      }
+    } else {
+      std::vector<ZoneSolution> solved(misses.size());
+      std::mutex next_mutex;
+      std::size_t next = 0;
+      auto worker = [&] {
+        while (true) {
+          std::size_t i;
+          {
+            const std::lock_guard<std::mutex> lock(next_mutex);
+            if (next >= misses.size()) return;
+            i = next++;
+          }
+          solved[i] = solve_zone(misses[i]);
+        }
+      };
+      std::vector<std::thread> pool;
+      const unsigned n = std::min<unsigned>(
+          n_threads, static_cast<unsigned>(misses.size()));
+      pool.reserve(n);
+      for (unsigned t = 0; t < n; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        memo.emplace(zone_mask_key(misses[i], zone_sinks[misses[i]], x),
+                     std::move(solved[i]));
+      }
+    }
+
+    // Phase 2: aggregate.
+    double global_worst = 0.0;
+    std::vector<std::vector<int>> choices(zones.zones().size());
+    for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+      if (zone_sinks[z].empty()) continue;
+      const auto it = memo.find(zone_mask_key(z, zone_sinks[z], x));
+      WM_ASSERT(it != memo.end(), "zone solution missing");
+      global_worst = std::max(global_worst, it->second.worst);
+      choices[z] = it->second.choice;
+    }
+    result.dof_scatter.push_back({x.dof, global_worst});
+    if (global_worst < best_worst) {
+      WM_LOG(Debug) << "intersection dof=" << x.dof << " improves worst "
+                    << best_worst << " -> " << global_worst;
+      best_worst = global_worst;
+      best_x = &x;
+      best_choices = std::move(choices);
+    }
+  }
+
+  WM_ASSERT(best_x != nullptr, "no intersection evaluated");
+
+  // Record per-zone peaks of the winning intersection.
+  result.zone_peaks.assign(zones.zones().size(), 0.0);
+  for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+    if (zone_sinks[z].empty()) continue;
+    const auto it = memo.find(zone_mask_key(z, zone_sinks[z], *best_x));
+    if (it != memo.end()) result.zone_peaks[z] = it->second.worst;
+  }
+
+  // Apply the winning assignment.
+  for (std::size_t z = 0; z < zone_sinks.size(); ++z) {
+    const auto& sinks = zone_sinks[z];
+    const auto& choice = best_choices[z];
+    WM_ASSERT(choice.size() == sinks.size(), "choice/sink size mismatch");
+    for (std::size_t i = 0; i < sinks.size(); ++i) {
+      const SinkInfo& sink = pre.sinks[sinks[i]];
+      const Candidate& cand =
+          sink.candidates[static_cast<std::size_t>(choice[i])];
+      tree.set_cell(sink.id, cand.cell);
+      TreeNode& node = tree.node(sink.id);
+      node.adj_codes = cand.adj_codes;
+      node.xor_negative = cand.xor_negative;
+      node.cell_extra_delay = cand.cell_extra_delay;
+    }
+  }
+
+  result.success = true;
+  result.model_peak = best_worst;
+  result.chosen_dof = best_x->dof;
+  result.runtime_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+  return result;
+}
+
+WaveMinResult clk_wavemin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr,
+                          const WaveMinOptions& opts) {
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return run_wavemin(tree, lib, chr, ModeSet::single(max_island + 1),
+                     lib.assignment_library(), opts);
+}
+
+WaveMinResult clk_wavemin_f(ClockTree& tree, const CellLibrary& lib,
+                            const Characterizer& chr,
+                            WaveMinOptions opts) {
+  opts.solver = SolverKind::Greedy;
+  return clk_wavemin(tree, lib, chr, opts);
+}
+
+} // namespace wm

@@ -1,0 +1,64 @@
+#pragma once
+// ClkWaveMin / ClkWaveMin-f drivers (paper Sec. V, Fig. 8).
+//
+// Flow per Fig. 8: preprocess (candidates + noise data + sampling
+// points), enumerate feasible time intervals (intersections for multi-
+// mode designs), and for every (interval, zone) build the MOSP instance
+// and solve it; the interval whose worst zone peak is smallest wins and
+// its assignment is applied to the tree.
+//
+// Zone solutions depend only on the zone's surviving-candidate masks, so
+// they are memoized across intervals — the dedup that makes the interval
+// sweep cheap.
+
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/candidates.hpp"
+#include "core/options.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+struct DofSample {
+  long dof = 0;        ///< degree of freedom of a feasible intersection
+  double worst = 0.0;  ///< model peak noise achieved under it (uA)
+};
+
+struct WaveMinResult {
+  bool success = false;
+  double model_peak = 0.0;  ///< optimizer objective at the chosen
+                            ///< intersection: max over zones of the
+                            ///< min-max path cost (uA)
+  long chosen_dof = 0;
+  std::size_t intersections = 0;  ///< feasible intersections examined
+  std::size_t zones = 0;
+  double runtime_ms = 0.0;
+  /// Per-intersection (dof, worst) pairs — the Fig. 14 scatter.
+  std::vector<DofSample> dof_scatter;
+  /// Model peak per zone (uA) under the chosen intersection, indexed
+  /// like ZoneMap::zones(); empty zones carry 0.
+  std::vector<double> zone_peaks;
+};
+
+/// Run the optimization and apply the winning assignment to `tree`.
+/// `assignable` is the candidate library for normal leaves (e.g.
+/// CellLibrary::assignment_library()). Returns success=false (tree
+/// untouched) when no feasible intersection exists for opts.kappa.
+WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr, const ModeSet& modes,
+                          const std::vector<const Cell*>& assignable,
+                          const WaveMinOptions& opts);
+
+/// Single-mode convenience wrapper (ClkWaveMin proper).
+WaveMinResult clk_wavemin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr,
+                          const WaveMinOptions& opts);
+
+/// ClkWaveMin-f: same flow with the greedy inner solver (Sec. V-C).
+WaveMinResult clk_wavemin_f(ClockTree& tree, const CellLibrary& lib,
+                            const Characterizer& chr, WaveMinOptions opts);
+
+} // namespace wm

@@ -1,0 +1,46 @@
+#include "core/wavemin_m.hpp"
+
+namespace wm {
+
+void count_adjustables(const ClockTree& tree, int* adbs, int* adis) {
+  *adbs = 0;
+  *adis = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.cell->kind == CellKind::Adb) ++*adbs;
+    if (n.cell->kind == CellKind::Adi) ++*adis;
+  }
+}
+
+WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr, const ModeSet& modes,
+                             const WaveMinOptions& opts) {
+  WaveMinMResult r;
+
+  // Attempt the sizing-only flow first (Fig. 13's left branch).
+  r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
+                      opts);
+  if (r.opt.success) {
+    count_adjustables(tree, &r.adb_count, &r.adi_count);
+    return r;
+  }
+
+  // Skew cannot be met by sizing alone: insert ADBs, then re-optimize.
+  r.used_adb_flow = true;
+  r.adb = allocate_adbs(tree, lib, modes, opts.kappa);
+
+  r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
+                      opts);
+  if (!r.opt.success && opts.dof_beam != 0) {
+    // The DOF beam may have pruned the only feasible intersections;
+    // retry with the full enumeration before giving up.
+    WaveMinOptions wide = opts;
+    wide.dof_beam = 0;
+    r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
+                        wide);
+  }
+
+  count_adjustables(tree, &r.adb_count, &r.adi_count);
+  return r;
+}
+
+} // namespace wm

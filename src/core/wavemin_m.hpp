@@ -1,0 +1,37 @@
+#pragma once
+// ClkWaveMin-M — the multi-power-mode flow (paper Sec. VI, Fig. 13).
+//
+// 1. If polarity assignment + sizing alone can satisfy the skew bound in
+//    every mode (a feasible intersection exists), run the multi-mode
+//    WaveMin optimization directly.
+// 2. Otherwise insert ADBs first (adb/allocation.hpp) to restore skew
+//    legality, then re-run the optimization with the adjustable cells in
+//    the library: allocator-placed leaf ADBs may stay or become ADIs
+//    (never plain buffers), normal leaves keep the plain library.
+
+#include "adb/allocation.hpp"
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "core/wavemin.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+struct WaveMinMResult {
+  WaveMinResult opt;
+  AdbAllocationResult adb;
+  bool used_adb_flow = false;
+  int adb_count = 0;  ///< adjustable buffers in the final tree
+  int adi_count = 0;  ///< adjustable inverters in the final tree
+};
+
+WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr, const ModeSet& modes,
+                             const WaveMinOptions& opts);
+
+/// Count adjustable cells currently in the tree (leaf + non-leaf).
+void count_adjustables(const ClockTree& tree, int* adbs, int* adis);
+
+} // namespace wm

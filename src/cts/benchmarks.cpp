@@ -1,0 +1,188 @@
+#include "cts/benchmarks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cts/synthesis.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+
+const std::vector<BenchmarkSpec>& benchmark_suite() {
+  // n and |L| are the published Table V values; die sides are sized so
+  // the 50 um zone grid reproduces the quoted mean occupancies; ISPD
+  // circuits get clustered placement and (via their large non-leaf
+  // budget) long repeatered routes.
+  static const std::vector<BenchmarkSpec> suite = {
+      {"s13207", 58, 50, 200.0, false, 13207, 4},
+      {"s15850", 22, 19, 150.0, false, 15850, 4},
+      {"s35932", 323, 246, 300.0, false, 35932, 6},
+      {"s38417", 304, 228, 400.0, false, 38417, 6},
+      {"s38584", 210, 169, 350.0, false, 38584, 5},
+      {"ispd09f31", 328, 111, 600.0, true, 9310, 8},
+      {"ispd09f34", 210, 69, 500.0, true, 9340, 6},
+  };
+  return suite;
+}
+
+const BenchmarkSpec& spec_by_name(const std::string& name) {
+  for (const BenchmarkSpec& s : benchmark_suite()) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown benchmark: " + name);
+}
+
+namespace {
+
+std::vector<LeafSpec> place_leaves(const BenchmarkSpec& spec, Rng& rng) {
+  std::vector<LeafSpec> leaves;
+  leaves.reserve(static_cast<std::size_t>(spec.n_leaves));
+  const Um margin = 10.0;
+  const Um lo = margin;
+  const Um hi = spec.die - margin;
+
+  if (!spec.clustered) {
+    for (int i = 0; i < spec.n_leaves; ++i) {
+      LeafSpec s;
+      s.pos = {rng.uniform(lo, hi), rng.uniform(lo, hi)};
+      // FF-bank loads span more than a decade in real netlists (one
+      // flop to tens of flops behind one leaf buffer); this timing and
+      // magnitude heterogeneity is exactly what the fine-grained model
+      // can exploit and coarse 4-point models cannot.
+      s.sink_cap = std::exp(rng.uniform(std::log(7.0), std::log(28.0)));
+      leaves.push_back(s);
+    }
+    return leaves;
+  }
+
+  // ISPD-style: a handful of placement blobs with Gaussian spread.
+  const int n_clusters = std::max(3, spec.n_leaves / 12);
+  std::vector<Point> centers;
+  centers.reserve(static_cast<std::size_t>(n_clusters));
+  for (int c = 0; c < n_clusters; ++c) {
+    centers.push_back({rng.uniform(lo, hi), rng.uniform(lo, hi)});
+  }
+  for (int i = 0; i < spec.n_leaves; ++i) {
+    const Point& c =
+        centers[static_cast<std::size_t>(rng.uniform_int(0, n_clusters - 1))];
+    LeafSpec s;
+    s.pos = {std::clamp(rng.normal(c.x, 25.0), lo, hi),
+             std::clamp(rng.normal(c.y, 25.0), lo, hi)};
+    // FF-bank loads span more than a decade in real netlists (one
+      // flop to tens of flops behind one leaf buffer); this timing and
+      // magnitude heterogeneity is exactly what the fine-grained model
+      // can exploit and coarse 4-point models cannot.
+      s.sink_cap = std::exp(rng.uniform(std::log(7.0), std::log(28.0)));
+    leaves.push_back(s);
+  }
+  return leaves;
+}
+
+} // namespace
+
+ClockTree make_benchmark(const BenchmarkSpec& spec, const CellLibrary& lib) {
+  WM_REQUIRE(spec.n_leaves >= 1 && spec.n_total > spec.n_leaves,
+             "spec must have n_total > n_leaves >= 1");
+  Rng rng(spec.seed);
+  const std::vector<LeafSpec> leaves = place_leaves(spec, rng);
+
+  // Pick the fanout whose synthesized node count comes closest to the
+  // target from below; repeaters fill the remaining non-leaf budget
+  // (this is what makes the ISPD trees deep chains, as in the contest
+  // benchmarks).
+  // Fanout capped at 10 and leaf groups at 12: beyond that a driver's
+  // load (and so its output slew) leaves the regime clock cells are
+  // designed for.
+  ClockTree best;
+  int best_count = -1;
+  for (int fanout = 2; fanout <= 10; ++fanout) {
+    for (int group = fanout; group <= 12; ++group) {
+      CtsOptions opts;
+      opts.fanout = fanout;
+      opts.max_leaf_group = group;
+      ClockTree t = synthesize_tree(leaves, lib, opts);
+      const int count = static_cast<int>(t.size());
+      if (count <= spec.n_total && count > best_count) {
+        best_count = count;
+        best = std::move(t);
+      }
+    }
+  }
+  WM_REQUIRE(best_count > 0,
+             "no fanout yields a tree within the node budget for " +
+                 spec.name);
+
+  const int budget = spec.n_total - best_count;
+  insert_repeaters(best, lib, "BUF_X16", budget);
+  WM_ASSERT(static_cast<int>(best.size()) == spec.n_total,
+            "node budget not met for " + spec.name);
+
+  // Voltage islands: vertical stripes across the die.
+  const Um stripe = spec.die / static_cast<Um>(spec.islands);
+  for (const TreeNode& n : best.nodes()) {
+    const int isl = std::clamp(
+        static_cast<int>(n.pos.x / stripe), 0, spec.islands - 1);
+    best.node(n.id).island = isl;
+  }
+
+  // Alternate balancing with load-driven upsizing of internal drivers
+  // (including the root): balancing adds snake-wire load, and keeping
+  // output slews near the characterization slew is a stated requirement
+  // of the paper's noise model (Sec. IV-B).
+  for (int round = 0; round < 2; ++round) {
+    balance_skew(best, 10);
+    for (const TreeNode& n : best.nodes()) {
+      if (n.is_leaf()) continue;
+      const Ff load = best.load_of(n.id);
+      if (load > 50.0) {
+        best.set_cell(n.id, &lib.by_name("BUF_X64"));
+      } else if (load > 25.0 && n.cell->drive < 32) {
+        best.set_cell(n.id, &lib.by_name("BUF_X32"));
+      }
+    }
+  }
+  balance_skew(best, 10);
+
+  // Real CTS leaves a few ps of residual skew (the paper quotes < 10 ps
+  // for its input trees); a perfectly zero-skew tree would be an
+  // unrealistically easy input. Deterministic per-leaf route jitter
+  // restores that arrival diversity.
+  jitter_leaf_arrivals(best, rng, 4.0);
+  return best;
+}
+
+BenchmarkSpec make_scaled_spec(int n_leaves, std::uint64_t seed) {
+  WM_REQUIRE(n_leaves >= 4, "need at least 4 leaves");
+  BenchmarkSpec spec;
+  spec.name = "scaled" + std::to_string(n_leaves);
+  spec.n_leaves = n_leaves;
+  // Non-leaf budget ~ a third of the leaves (ISCAS-like ratio).
+  spec.n_total = n_leaves + std::max(3, n_leaves / 3);
+  const double zones = static_cast<double>(n_leaves) / 4.5;
+  spec.die = std::ceil(std::sqrt(zones)) * tech::kZoneSize;
+  spec.clustered = false;
+  spec.seed = seed;
+  spec.islands = std::max(4, n_leaves / 60);
+  return spec;
+}
+
+ModeSet make_mode_set(const BenchmarkSpec& spec) {
+  const auto k = static_cast<std::size_t>(spec.islands);
+  auto fill = [k](Volt v) { return std::vector<Volt>(k, v); };
+
+  PowerMode m1{"M1:all-high", fill(tech::kVddNominal), {}, {}};
+
+  PowerMode m2{"M2:left-low", fill(tech::kVddNominal), {}, {}};
+  for (std::size_t i = 0; i < k / 2; ++i) m2.island_vdd[i] = tech::kVddLow;
+
+  PowerMode m3{"M3:right-low", fill(tech::kVddNominal), {}, {}};
+  for (std::size_t i = k / 2; i < k; ++i) m3.island_vdd[i] = tech::kVddLow;
+
+  PowerMode m4{"M4:alternating", fill(tech::kVddNominal), {}, {}};
+  for (std::size_t i = 0; i < k; i += 2) m4.island_vdd[i] = tech::kVddLow;
+
+  return ModeSet({m1, m2, m3, m4});
+}
+
+} // namespace wm

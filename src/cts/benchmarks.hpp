@@ -1,0 +1,58 @@
+#pragma once
+// Benchmark circuit generation.
+//
+// The paper evaluates on five ISCAS'89 circuits (clock trees synthesized
+// with Synopsys DC/ICC) and two ISPD'09 CTS contest circuits. Those
+// exact trees are not publicly reconstructable, so this module generates
+// deterministic synthetic equivalents that match the published
+// statistics the algorithms are sensitive to:
+//   * total buffering elements n and leaf count |L| (paper Table V),
+//   * mean zone occupancy (4.3 leaves/zone ISCAS, 4.9 ISPD, 7.1 for
+//     s35932 — Sec. VII-A) via the die size,
+//   * ISPD trees have far more non-leaf elements than ISCAS (long routes
+//     with repeater chains) and a clustered placement,
+//   * near-zero initial skew (< ~10 ps).
+// See DESIGN.md §2 for the substitution rationale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct BenchmarkSpec {
+  std::string name;
+  int n_total = 0;   ///< total buffering elements (column n of Table V)
+  int n_leaves = 0;  ///< leaf buffering elements (column |L|)
+  Um die = 300.0;    ///< die side length
+  bool clustered = false;  ///< ISPD-style clustered placement
+  std::uint64_t seed = 1;
+  int islands = 4;  ///< voltage islands for multi-mode experiments
+};
+
+/// The seven circuits of the paper's evaluation (Table V).
+const std::vector<BenchmarkSpec>& benchmark_suite();
+
+/// Lookup by name; throws wm::Error if unknown.
+const BenchmarkSpec& spec_by_name(const std::string& name);
+
+/// Generate the clock tree for a spec. Node/leaf counts match the spec
+/// exactly; the returned tree is skew-balanced and every node carries a
+/// voltage-island index (vertical stripes).
+ClockTree make_benchmark(const BenchmarkSpec& spec, const CellLibrary& lib);
+
+/// The power modes used in the multi-mode experiments (Sec. VII-E):
+/// four modes over the spec's islands, each island at 0.9 V or 1.1 V.
+ModeSet make_mode_set(const BenchmarkSpec& spec);
+
+/// A synthetic spec with `n_leaves` sinks at the ISCAS-like zone
+/// occupancy (~4-5 leaves per 50 um tile) — the scalability ladder for
+/// runtime studies beyond the published circuit sizes.
+BenchmarkSpec make_scaled_spec(int n_leaves, std::uint64_t seed = 7777);
+
+} // namespace wm

@@ -1,0 +1,211 @@
+#include "cts/dme.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cells/electrical.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+constexpr double kRw = tech::kWireResPerUm;
+constexpr double kCw = tech::kWireCapPerUm;
+
+/// Elmore delay of a wire of length L into a lumped cap c_end.
+Ps wire_delay(Um len, Ff c_end) {
+  return kRw * len * (0.5 * kCw * len + c_end);
+}
+
+/// Wire length whose Elmore delay into c_end equals d (positive root).
+Um length_for_delay(Ps d, Ff c_end) {
+  if (d <= 0.0) return 0.0;
+  const double a = 0.5 * kRw * kCw;
+  const double b = kRw * c_end;
+  return (-b + std::sqrt(b * b + 4.0 * a * d)) / (2.0 * a);
+}
+
+struct Blueprint {
+  Point pos;                // tap / cell placement
+  const Cell* cell = nullptr;
+  Ff sink_cap = 0.0;        // leaves only
+  int child_a = -1;
+  int child_b = -1;
+  Um wire_a = 0.0;          // tap -> child a route length
+  Um wire_b = 0.0;
+};
+
+struct Sub {
+  int blue = -1;   // blueprint index
+  Point tap;       // where the subtree is tapped
+  Ps delay = 0.0;  // tap input -> sink output (balanced)
+  Ff cap = 0.0;    // capacitance presented at the tap
+};
+
+/// Point at Manhattan distance `dist` from a toward b along an L-route.
+Point along_route(const Point& a, const Point& b, Um dist) {
+  const Um dx = std::abs(b.x - a.x);
+  Point p = a;
+  if (dist <= dx) {
+    p.x += (b.x >= a.x ? dist : -dist);
+    return p;
+  }
+  p.x = b.x;
+  const Um rest = dist - dx;
+  p.y += (b.y >= a.y ? rest : -rest);
+  return p;
+}
+
+/// Zero-skew split of a route of length d between subtrees a and b:
+/// returns x in [0, d] (distance from a) with equal tap-to-sink delays,
+/// or a negative value / value > d when one side needs extension.
+double solve_split(const Sub& a, const Sub& b, Um d) {
+  auto diff = [&](double x) {
+    return (a.delay + wire_delay(x, a.cap)) -
+           (b.delay + wire_delay(d - x, b.cap));
+  };
+  double lo = 0.0, hi = d;
+  if (diff(lo) >= 0.0) return -1.0;  // a slower even at x = 0
+  if (diff(hi) <= 0.0) return d + 1.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (diff(mid) < 0.0 ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+} // namespace
+
+ClockTree synthesize_tree_dme(const std::vector<LeafSpec>& leaves,
+                              const CellLibrary& lib, DmeOptions opts) {
+  WM_REQUIRE(!leaves.empty(), "need at least one leaf");
+  const Cell* leaf_cell = &lib.by_name(opts.leaf_cell);
+  const Cell* merge_cell = &lib.by_name(opts.merge_cell);
+  const Cell* root_cell = &lib.by_name(opts.root_cell);
+
+  std::vector<Blueprint> blues;
+  std::vector<Sub> active;
+  for (const LeafSpec& s : leaves) {
+    Blueprint bl;
+    bl.pos = s.pos;
+    bl.cell = leaf_cell;
+    bl.sink_cap = s.sink_cap;
+    Sub sub;
+    sub.blue = static_cast<int>(blues.size());
+    sub.tap = s.pos;
+    sub.delay = cell_timing(*leaf_cell,
+                            DriveConditions{s.sink_cap,
+                                            tech::kCharacterizationSlew,
+                                            tech::kVddNominal})
+                    .delay();
+    sub.cap = leaf_cell->c_in;
+    blues.push_back(bl);
+    active.push_back(sub);
+  }
+
+  // Bottom-up nearest-neighbour merging.
+  while (active.size() > 1) {
+    // Closest pair (O(n^2); fine at clock-tree scale).
+    std::size_t bi = 0, bj = 1;
+    Um best = std::numeric_limits<Um>::max();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      for (std::size_t j = i + 1; j < active.size(); ++j) {
+        const Um d = manhattan(active[i].tap, active[j].tap);
+        if (d < best) {
+          best = d;
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+    Sub a = active[bi];
+    Sub b = active[bj];
+    const Um d = std::max<Um>(manhattan(a.tap, b.tap), 1.0);
+
+    // Zero-skew tap along (or beyond) the route.
+    Um wire_a, wire_b;
+    Point tap;
+    const double x = solve_split(a, b, d);
+    if (x < 0.0) {
+      // a is slower: tap at a, extend b's wire (snaking).
+      tap = a.tap;
+      wire_a = 0.0;
+      wire_b = d + length_for_delay(a.delay - b.delay - wire_delay(d, b.cap),
+                                    b.cap);
+      if (wire_b < d) wire_b = d;  // numerical guard
+    } else if (x > d) {
+      tap = b.tap;
+      wire_b = 0.0;
+      wire_a = d + length_for_delay(b.delay - a.delay - wire_delay(d, a.cap),
+                                    a.cap);
+      if (wire_a < d) wire_a = d;
+    } else {
+      tap = along_route(a.tap, b.tap, static_cast<Um>(x));
+      wire_a = static_cast<Um>(x);
+      wire_b = d - static_cast<Um>(x);
+    }
+
+    const bool is_root = active.size() == 2;
+    const Cell* cell = is_root ? root_cell : merge_cell;
+    Blueprint bl;
+    bl.pos = tap;
+    bl.cell = cell;
+    bl.child_a = a.blue;
+    bl.child_b = b.blue;
+    bl.wire_a = wire_a;
+    bl.wire_b = wire_b;
+
+    const Ff load = wire_a * kCw + wire_b * kCw +
+                    blues[static_cast<std::size_t>(a.blue)].cell->c_in +
+                    blues[static_cast<std::size_t>(b.blue)].cell->c_in;
+    Sub merged;
+    merged.blue = static_cast<int>(blues.size());
+    merged.tap = tap;
+    merged.delay =
+        cell_timing(*cell, DriveConditions{load,
+                                           tech::kCharacterizationSlew,
+                                           tech::kVddNominal})
+            .delay() +
+        a.delay + wire_delay(wire_a, a.cap);
+    merged.cap = cell->c_in;
+    blues.push_back(bl);
+
+    // Replace the pair with the merge (erase the later index first).
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(bj));
+    active[bi] = merged;
+  }
+
+  // Emit the blueprint top-down into the arena.
+  ClockTree tree;
+  const int top = active.front().blue;
+  struct Frame {
+    int blue;
+    NodeId parent;
+    Um wire;
+  };
+  std::vector<Frame> stack{{top, kNoNode, 0.0}};
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    const Blueprint& bl = blues[static_cast<std::size_t>(f.blue)];
+    NodeId id;
+    if (f.parent == kNoNode) {
+      id = tree.add_root(bl.pos, bl.cell);
+    } else {
+      id = tree.add_node(f.parent, bl.pos, bl.cell, f.wire);
+    }
+    if (bl.child_a < 0) {
+      tree.node(id).sink_cap = bl.sink_cap;
+    } else {
+      stack.push_back({bl.child_a, id, bl.wire_a});
+      stack.push_back({bl.child_b, id, bl.wire_b});
+    }
+  }
+
+  if (leaves.size() > 1) balance_skew(tree, opts.polish_iters);
+  return tree;
+}
+
+} // namespace wm

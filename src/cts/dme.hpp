@@ -1,0 +1,48 @@
+#pragma once
+// Zero-skew clock tree synthesis by deferred-merge embedding (DME),
+// Tsay-style: bottom-up nearest-neighbour topology construction with
+// exact Elmore zero-skew merge points.
+//
+// This is the classical algorithm behind the zero-skew trees the paper's
+// references [6]-[11] build on, provided as an alternative to the
+// recursive-bisection synthesizer in synthesis.hpp:
+//
+//   * topology: greedy nearest-neighbour pairing, bottom-up (binary);
+//   * embedding: at every merge of subtrees a and b with Elmore delays
+//     t_a, t_b and downstream capacitances c_a, c_b over a route of
+//     length d, the tap point x (distance from a) solves
+//
+//        t_a + r x (c x / 2 + c_a) = t_b + r (d-x) (c (d-x) / 2 + c_b)
+//
+//     if x lands outside [0, d], the shorter side is extended (wire
+//     snaking) so the merge stays exact;
+//   * buffering: a driver is placed at every merge point (this library
+//     models *buffered* trees); each buffer resets the downstream
+//     capacitance budget, which is what keeps deep trees from
+//     quadratic wire-delay blowup.
+//
+// The result plugs into the same balance_skew() polish as the default
+// synthesizer (the merge math is exact only under the wire-only Elmore
+// model; buffer input-slew effects leave small residues).
+
+#include <vector>
+
+#include "cells/library.hpp"
+#include "cts/synthesis.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+struct DmeOptions {
+  const char* leaf_cell = "BUF_X16";
+  const char* merge_cell = "BUF_X32";
+  const char* root_cell = "BUF_X64";
+  int polish_iters = 6;  ///< balance_skew() rounds after embedding
+};
+
+/// Synthesize a buffered binary zero-skew tree over the leaf specs.
+ClockTree synthesize_tree_dme(const std::vector<LeafSpec>& leaves,
+                              const CellLibrary& lib,
+                              DmeOptions opts = {});
+
+} // namespace wm

@@ -1,0 +1,260 @@
+#include "cts/synthesis.hpp"
+
+#include "cells/electrical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+Point centroid(const std::vector<LeafSpec>& items) {
+  Point c;
+  for (const LeafSpec& s : items) {
+    c.x += s.pos.x;
+    c.y += s.pos.y;
+  }
+  const auto n = static_cast<double>(items.size());
+  c.x /= n;
+  c.y /= n;
+  return c;
+}
+
+/// Split `items` into k geometric groups by recursive median bisection
+/// along the wider bounding-box dimension.
+void split_groups(std::vector<LeafSpec> items, int k,
+                  std::vector<std::vector<LeafSpec>>& out) {
+  if (k <= 1 || items.size() <= 1) {
+    out.push_back(std::move(items));
+    return;
+  }
+  Um min_x = std::numeric_limits<Um>::max(), max_x = -min_x;
+  Um min_y = min_x, max_y = -min_x;
+  for (const LeafSpec& s : items) {
+    min_x = std::min(min_x, s.pos.x);
+    max_x = std::max(max_x, s.pos.x);
+    min_y = std::min(min_y, s.pos.y);
+    max_y = std::max(max_y, s.pos.y);
+  }
+  const bool by_x = (max_x - min_x) >= (max_y - min_y);
+  std::sort(items.begin(), items.end(),
+            [by_x](const LeafSpec& a, const LeafSpec& b) {
+              return by_x ? a.pos.x < b.pos.x : a.pos.y < b.pos.y;
+            });
+  const int k1 = k / 2;
+  const int k2 = k - k1;
+  const auto cut = items.size() * static_cast<std::size_t>(k1) /
+                   static_cast<std::size_t>(k);
+  std::vector<LeafSpec> left(items.begin(),
+                             items.begin() + static_cast<std::ptrdiff_t>(
+                                                 std::max<std::size_t>(
+                                                     1, cut)));
+  std::vector<LeafSpec> right(items.begin() + static_cast<std::ptrdiff_t>(
+                                                  std::max<std::size_t>(
+                                                      1, cut)),
+                              items.end());
+  if (right.empty()) {
+    out.push_back(std::move(left));
+    return;
+  }
+  split_groups(std::move(left), k1, out);
+  split_groups(std::move(right), k2, out);
+}
+
+/// Internal levels needed so that leaf groups of at most `g` hang off a
+/// tree with fanout `f` at uniform depth.
+int levels_needed(std::size_t n_items, int f, int g) {
+  int levels = 1;
+  double capacity = g;
+  while (capacity < static_cast<double>(n_items)) {
+    capacity *= f;
+    ++levels;
+  }
+  return levels;
+}
+
+/// Build a *uniform-depth* subtree: every leaf ends up exactly
+/// `levels_left` internal levels below `parent`. Depth balance is what
+/// keeps the zero-skew balancing pass in the regime where wire snaking
+/// can absorb the residuals (cell-count asymmetry cannot be snaked
+/// away). Single-child chains keep the depth uniform when a group is
+/// small.
+void build_subtree(ClockTree& tree, NodeId parent,
+                   std::vector<LeafSpec> items, int levels_left,
+                   const CellLibrary& lib, const CtsOptions& opts) {
+  const Cell* leaf_cell = &lib.by_name(opts.leaf_cell);
+  const Cell* internal_cell = &lib.by_name(opts.internal_cell);
+
+  if (levels_left == 0) {
+    for (const LeafSpec& s : items) {
+      const NodeId id = tree.add_node(parent, s.pos, leaf_cell);
+      tree.node(id).sink_cap = s.sink_cap;
+    }
+    return;
+  }
+
+  // How many groups this level needs so the remaining levels suffice.
+  double sub_capacity = opts.max_leaf_group > 0
+                            ? static_cast<double>(opts.max_leaf_group)
+                            : static_cast<double>(opts.fanout);
+  for (int l = 1; l < levels_left; ++l) {
+    sub_capacity *= opts.fanout;
+  }
+  const int k = std::clamp(
+      static_cast<int>(std::ceil(static_cast<double>(items.size()) /
+                                 sub_capacity)),
+      1, opts.fanout);
+
+  std::vector<std::vector<LeafSpec>> groups;
+  split_groups(std::move(items), k, groups);
+  for (auto& g : groups) {
+    WM_ASSERT(!g.empty(), "empty CTS group");
+    const NodeId id = tree.add_node(parent, centroid(g), internal_cell);
+    build_subtree(tree, id, std::move(g), levels_left - 1, lib, opts);
+  }
+}
+
+} // namespace
+
+ClockTree synthesize_tree(const std::vector<LeafSpec>& leaves,
+                          const CellLibrary& lib, CtsOptions opts) {
+  WM_REQUIRE(!leaves.empty(), "need at least one leaf");
+  WM_REQUIRE(opts.fanout >= 2, "fanout must be at least 2");
+
+  ClockTree tree;
+  const Cell* root_cell = &lib.by_name(opts.root_cell);
+  const NodeId root = tree.add_root(centroid(leaves), root_cell);
+
+  const int group =
+      opts.max_leaf_group > 0 ? opts.max_leaf_group : opts.fanout;
+  const int levels = levels_needed(leaves.size(), opts.fanout, group);
+  // The root itself is the first level.
+  build_subtree(tree, root, leaves, levels - 1, lib, opts);
+  return tree;
+}
+
+namespace {
+
+/// Wire length whose Elmore delay (driving a pin of capacitance c_in)
+/// equals d_target — the positive root of (r*c/2) L^2 + (r*Cin) L = d.
+Um wire_len_for_delay(Ps d_target, Ff c_in) {
+  if (d_target <= 0.0) return 0.0;
+  const double a = 0.5 * tech::kWireResPerUm * tech::kWireCapPerUm;
+  const double b = tech::kWireResPerUm * c_in;
+  return (-b + std::sqrt(b * b + 4.0 * a * d_target)) / (2.0 * a);
+}
+
+/// Bottom-up zero-skew merge (DME-style): equalize, at every internal
+/// node, each child's edge-plus-subtree delay by adjusting the edge
+/// lengths (down to the Manhattan route, up as snaking). Cell delays use
+/// the per-node input slews of the previous global analysis (frozen for
+/// this pass), so iterating merge + analysis converges to the
+/// slew-aware zero-skew tree. Returns the balanced subtree delay
+/// (input of v -> deepest leaf output).
+Ps balance_node(ClockTree& tree, NodeId v, const std::vector<Ps>& slews) {
+  TreeNode& node = tree.node(v);
+  const Ps slew = slews[static_cast<std::size_t>(v)];
+  if (node.is_leaf()) {
+    DriveConditions dc{tree.load_of(v), slew, tech::kVddNominal};
+    return cell_timing(*node.cell, dc).delay();
+  }
+  std::vector<Ps> sub(node.children.size());
+  Ps target = 0.0;
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const NodeId c = node.children[i];
+    sub[i] = balance_node(tree, c, slews);
+    const TreeNode& child = tree.node(c);
+    // The edge may shrink back to the direct route if its subtree is
+    // slow, so the merge target is the max over *floor-length* edges.
+    const Um floor_len = manhattan(node.pos, child.pos);
+    const KOhm rw = floor_len * tech::kWireResPerUm;
+    const Ff cw = floor_len * tech::kWireCapPerUm;
+    const Ps floor_elmore = rw * (0.5 * cw + child.cell->c_in);
+    target = std::max(target, floor_elmore + sub[i]);
+  }
+  for (std::size_t i = 0; i < node.children.size(); ++i) {
+    const NodeId c = node.children[i];
+    TreeNode& child = tree.node(c);
+    const Um floor_len = manhattan(node.pos, child.pos);
+    const Um len = wire_len_for_delay(target - sub[i], child.cell->c_in);
+    child.wire_len = std::max(len, floor_len);
+  }
+  DriveConditions dc{tree.load_of(v), slew, tech::kVddNominal};
+  return cell_timing(*node.cell, dc).delay() + target;
+}
+
+} // namespace
+
+Ps balance_skew(ClockTree& tree, int iters) {
+  // Alternate the bottom-up zero-skew merge with a global slew-aware
+  // analysis: each merge pass balances exactly under the slews of the
+  // previous analysis, and the slews converge as the wire adjustments
+  // shrink.
+  const int passes = std::max(2, iters);
+  for (int it = 0; it < passes; ++it) {
+    const ArrivalResult r = compute_arrivals(tree);
+    balance_node(tree, tree.root(), r.slew_in);
+  }
+  return compute_arrivals(tree).skew();
+}
+
+void jitter_leaf_arrivals(ClockTree& tree, Rng& rng, Ps max_extra) {
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) continue;
+    tree.node(n.id).route_extra = rng.uniform(0.0, max_extra);
+  }
+}
+
+int insert_repeaters(ClockTree& tree, const CellLibrary& lib,
+                     const char* repeater_cell, int max_extra) {
+  if (max_extra <= 0) return 0;
+  const Cell* cell = &lib.by_name(repeater_cell);
+
+  // Spend the budget skew-neutrally:
+  //   * an equal number of repeaters on every leaf edge (equal chain
+  //     depth on every path), and
+  //   * the remainder as a common source-route chain directly below the
+  //     root (a shared-path cell delays every sink equally).
+  // This is how deep ISPD-style trees look — long repeatered source
+  // routes plus per-branch chains — without manufacturing artificial
+  // skew that wire snaking would then have to absorb.
+  const std::vector<NodeId> leaves = tree.leaves();
+  const int per_leaf = max_extra / static_cast<int>(leaves.size());
+  int remainder = max_extra - per_leaf * static_cast<int>(leaves.size());
+
+  int inserted = 0;
+  for (const NodeId leaf : leaves) {
+    NodeId below = leaf;
+    for (int k = per_leaf; k >= 1; --k) {
+      const TreeNode& b = tree.node(below);
+      const Point p = tree.node(b.parent).pos;
+      const double f =
+          static_cast<double>(k) / static_cast<double>(per_leaf + 1);
+      const Point pos{p.x + f * (tree.node(leaf).pos.x - p.x),
+                      p.y + f * (tree.node(leaf).pos.y - p.y)};
+      below = tree.split_edge(below, pos, cell);
+      ++inserted;
+    }
+  }
+
+  // Source-route chain, zig-zagged near the root so its cells spread
+  // over a few tiles instead of stacking in one point.
+  const Point root_pos = tree.node(tree.root()).pos;
+  NodeId attach = tree.root();
+  for (int k = 0; k < remainder; ++k) {
+    const Um dx = 20.0 * static_cast<Um>((k % 5) - 2);
+    const Um dy = 20.0 * static_cast<Um>((k / 5) % 5 - 2);
+    attach = tree.insert_below(attach,
+                               Point{root_pos.x + dx, root_pos.y + dy},
+                               cell);
+    ++inserted;
+  }
+  return inserted;
+}
+
+} // namespace wm

@@ -1,0 +1,59 @@
+#pragma once
+// Clock tree synthesis.
+//
+// Substitutes for the Synopsys IC Compiler flow the paper used to
+// produce its benchmark clock trees (Sec. VII-A): given the placed leaf
+// buffering elements (each lumping a small cluster of flip-flops), build
+// a buffered tree above them by recursive geometric clustering, then
+// balance it to near-zero skew (< ~10 ps, as the paper quotes for its
+// trees) by elongating (snaking) leaf wires.
+
+#include <vector>
+
+#include "cells/library.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+/// A leaf buffering element to be driven by the synthesized tree.
+struct LeafSpec {
+  Point pos;
+  Ff sink_cap = 16.0;  ///< lumped FF-bank + local-net load the leaf drives
+};
+
+struct CtsOptions {
+  int fanout = 4;          ///< target children per internal node
+  int max_leaf_group = 0;  ///< leaf buffers per last-level driver
+                           ///< (0 = same as fanout)
+  Um max_edge_len = 120.0; ///< insert repeaters on longer edges
+  int skew_balance_iters = 8;
+  /// Cells by role (names looked up in the library).
+  const char* leaf_cell = "BUF_X16";
+  const char* internal_cell = "BUF_X16";
+  const char* repeater_cell = "BUF_X16";
+  const char* root_cell = "BUF_X32";
+};
+
+/// Build a buffered clock tree over the given leaves.
+ClockTree synthesize_tree(const std::vector<LeafSpec>& leaves,
+                          const CellLibrary& lib, CtsOptions opts = {});
+
+/// Elongate leaf wires so every leaf's *input* arrival approaches the
+/// latest one (zero-skew balancing). Returns the residual input skew.
+Ps balance_skew(ClockTree& tree, int iters = 8);
+
+/// Add a small deterministic extra route delay (0..max_extra ps) to
+/// every leaf edge — models the residual arrival diversity real CTS
+/// leaves behind (< ~10 ps in the paper's input trees).
+void jitter_leaf_arrivals(ClockTree& tree, Rng& rng, Ps max_extra);
+
+/// Insert exactly `max_extra` repeater cells, each on the leaf edge of
+/// the then-earliest leaf — the repeaters double as coarse delay
+/// balancers (ISPD-style deep trees arise exactly this way). Returns
+/// how many were inserted.
+int insert_repeaters(ClockTree& tree, const CellLibrary& lib,
+                     const char* repeater_cell, int max_extra);
+
+} // namespace wm

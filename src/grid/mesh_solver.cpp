@@ -1,0 +1,136 @@
+#include "grid/mesh_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+/// Solve the mesh for one injection vector (mA at each node); returns
+/// the worst node voltage (mV) and reports iterations/convergence.
+double solve_mesh(int nx, int ny, double g_strap,
+                  const std::vector<double>& inj, int max_iters,
+                  double tol, int* iters_out, bool* converged) {
+  // Boundary nodes are pads (v = 0); interior nodes unknown.
+  auto idx = [nx](int x, int y) { return y * nx + x; };
+  std::vector<double> v(static_cast<std::size_t>(nx * ny), 0.0);
+
+  auto is_pad = [&](int x, int y) {
+    return x == 0 || y == 0 || x == nx - 1 || y == ny - 1;
+  };
+
+  int sweeps = 0;
+  double delta = 0.0;
+  for (sweeps = 0; sweeps < max_iters; ++sweeps) {
+    delta = 0.0;
+    for (int y = 1; y < ny - 1; ++y) {
+      for (int x = 1; x < nx - 1; ++x) {
+        double g_sum = 0.0;
+        double flow = inj[static_cast<std::size_t>(idx(x, y))];
+        const int nbr[4][2] = {{x - 1, y}, {x + 1, y}, {x, y - 1},
+                               {x, y + 1}};
+        for (const auto& n : nbr) {
+          g_sum += g_strap;
+          const double vn =
+              is_pad(n[0], n[1]) ? 0.0
+                                 : v[static_cast<std::size_t>(
+                                       idx(n[0], n[1]))];
+          flow += g_strap * vn;
+        }
+        const double nv = flow / g_sum;
+        delta = std::max(delta,
+                         std::abs(nv - v[static_cast<std::size_t>(
+                                       idx(x, y))]));
+        v[static_cast<std::size_t>(idx(x, y))] = nv;
+      }
+    }
+    if (delta < tol) break;
+  }
+  if (iters_out) *iters_out = std::max(*iters_out, sweeps);
+  if (converged) *converged = *converged && (delta < tol);
+
+  double worst = 0.0;
+  for (double x : v) worst = std::max(worst, x);
+  return worst;
+}
+
+} // namespace
+
+MeshGridResult grid_noise_mesh(const ClockTree& tree, const TreeSim& sim,
+                               MeshGridOptions opts) {
+  WM_REQUIRE(opts.pitch > 0.0 && opts.strap_res > 0.0,
+             "pitch and strap resistance must be positive");
+  WM_REQUIRE(opts.time_samples >= 1, "need at least one time sample");
+
+  // Mesh extents from the placement bounding box, one ring of pad
+  // nodes around it.
+  Um max_x = 0.0, max_y = 0.0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_x = std::max(max_x, n.pos.x);
+    max_y = std::max(max_y, n.pos.y);
+  }
+  const int nx = std::max(
+      4, static_cast<int>(std::ceil(max_x / opts.pitch)) + 3);
+  const int ny = std::max(
+      4, static_cast<int>(std::ceil(max_y / opts.pitch)) + 3);
+
+  // Per-node current waveforms, folded to one period, per rail.
+  auto node_of = [&](const Point& p) {
+    const int x = std::clamp(
+        static_cast<int>(std::lround(p.x / opts.pitch)) + 1, 1, nx - 2);
+    const int y = std::clamp(
+        static_cast<int>(std::lround(p.y / opts.pitch)) + 1, 1, ny - 2);
+    return y * nx + x;
+  };
+
+  MeshGridResult r;
+  r.nodes_x = nx;
+  r.nodes_y = ny;
+  const double g = 1.0 / opts.strap_res;  // 1/kOhm
+
+  for (const Rail rail : {Rail::Vdd, Rail::Gnd}) {
+    // Group currents per grid node.
+    std::vector<std::vector<NodeId>> members(
+        static_cast<std::size_t>(nx * ny));
+    for (const TreeNode& n : tree.nodes()) {
+      members[static_cast<std::size_t>(node_of(n.pos))].push_back(n.id);
+    }
+    std::vector<Waveform> waves(members.size());
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (!members[i].empty()) {
+        waves[i] = sim.sum_rail(members[i], rail);
+      }
+    }
+
+    // Candidate instants: around the rail total's peak.
+    const Waveform& total =
+        rail == Rail::Vdd ? sim.total_idd() : sim.total_iss();
+    const Ps t_peak = total.peak_time();
+    double worst = 0.0;
+    for (int k = 0; k < opts.time_samples; ++k) {
+      const Ps t = t_peak + 2.0 * (k - opts.time_samples / 2);
+      std::vector<double> inj(members.size(), 0.0);
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (!waves[i].empty()) inj[i] = waves[i].value_at(t);
+      }
+      // Units: injections in uA, conductances in 1/kOhm, so the nodal
+      // voltages come out directly in uA * kOhm = mV.
+      const double drop = solve_mesh(nx, ny, g, inj, opts.max_iterations,
+                                     opts.tolerance, &r.iterations,
+                                     &r.converged);
+      worst = std::max(worst, drop);
+    }
+    if (rail == Rail::Vdd) {
+      r.vdd_noise = worst;
+    } else {
+      r.gnd_noise = worst;
+    }
+  }
+  return r;
+}
+
+} // namespace wm

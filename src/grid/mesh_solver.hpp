@@ -1,0 +1,45 @@
+#pragma once
+// Resistive-mesh power grid solver — the higher-fidelity alternative to
+// the kernel model of power_grid.hpp, closer to the explicit grid of
+// [36] (Zhu, "Power Distribution Network Design for VLSI").
+//
+// The die is covered by a uniform mesh of grid nodes connected by strap
+// resistances; VDD pads sit on the die boundary (ideal sources). Each
+// buffering element injects its current at the nearest grid node. The
+// IR drop at the instant of worst total current is found by solving the
+// conductance system G * v = i with Gauss-Seidel (diagonally dominant,
+// converges unconditionally).
+//
+// The kernel model remains the default in evaluate_design — it is ~20x
+// faster and tracks the mesh closely (see bench/ext_mesh_vs_kernel) —
+// but the mesh is the reference when absolute fidelity matters.
+
+#include "grid/power_grid.hpp"
+#include "tree/clock_tree.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+
+struct MeshGridOptions {
+  Um pitch = 50.0;          ///< strap pitch (grid node spacing)
+  KOhm strap_res = 0.002;   ///< 2 Ohm per strap segment
+  int max_iterations = 2000;
+  double tolerance = 1e-6;  ///< max |dv| per sweep to declare converged
+  /// Sample this many time points around each rail's peak instant (the
+  /// worst drop does not always coincide with the total-current peak).
+  int time_samples = 5;
+};
+
+struct MeshGridResult {
+  MV vdd_noise = 0.0;  ///< worst VDD droop over grid nodes and samples
+  MV gnd_noise = 0.0;  ///< worst ground bounce
+  int nodes_x = 0;
+  int nodes_y = 0;
+  int iterations = 0;  ///< Gauss-Seidel sweeps of the worst solve
+  bool converged = true;
+};
+
+MeshGridResult grid_noise_mesh(const ClockTree& tree, const TreeSim& sim,
+                               MeshGridOptions opts = {});
+
+} // namespace wm

@@ -1,0 +1,63 @@
+#include "grid/power_grid.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+GridNoiseResult grid_noise(const ClockTree& tree, const TreeSim& sim,
+                           PowerGridOptions opts) {
+  WM_REQUIRE(opts.tile > 0.0 && opts.lambda > 0.0,
+             "tile and lambda must be positive");
+
+  // Bin every buffering element (leaf and non-leaf) into tiles.
+  struct Tile {
+    Point center;
+    std::vector<NodeId> members;
+  };
+  std::map<std::pair<int, int>, Tile> tiles;
+  for (const TreeNode& n : tree.nodes()) {
+    const int gx = static_cast<int>(std::floor(n.pos.x / opts.tile));
+    const int gy = static_cast<int>(std::floor(n.pos.y / opts.tile));
+    Tile& t = tiles[{gx, gy}];
+    t.center = {(static_cast<Um>(gx) + 0.5) * opts.tile,
+                (static_cast<Um>(gy) + 0.5) * opts.tile};
+    t.members.push_back(n.id);
+  }
+
+  // Per-tile injected current waveforms.
+  std::vector<Tile*> tile_list;
+  std::vector<Waveform> idd, iss;
+  for (auto& [key, t] : tiles) {
+    (void)key;
+    tile_list.push_back(&t);
+    idd.push_back(sim.sum_rail(t.members, Rail::Vdd));
+    iss.push_back(sim.sum_rail(t.members, Rail::Gnd));
+  }
+
+  GridNoiseResult r;
+  r.tiles = tile_list.size();
+  for (std::size_t j = 0; j < tile_list.size(); ++j) {
+    r.tile_peak_current = std::max(
+        {r.tile_peak_current, idd[j].peak(), iss[j].peak()});
+  }
+
+  // Observe the IR drop at every tile center.
+  for (std::size_t i = 0; i < tile_list.size(); ++i) {
+    Waveform v_vdd, v_gnd;
+    for (std::size_t j = 0; j < tile_list.size(); ++j) {
+      const Um d = manhattan(tile_list[i]->center, tile_list[j]->center);
+      const double k =
+          opts.r0 / (1.0 + (d / opts.lambda) * (d / opts.lambda));
+      v_vdd.accumulate_scaled(idd[j], k);
+      v_gnd.accumulate_scaled(iss[j], k);
+    }
+    r.vdd_noise = std::max(r.vdd_noise, v_vdd.peak());
+    r.gnd_noise = std::max(r.gnd_noise, v_gnd.peak());
+  }
+  return r;
+}
+
+} // namespace wm

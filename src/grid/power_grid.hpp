@@ -1,0 +1,48 @@
+#pragma once
+// Power/ground grid noise model.
+//
+// Substitutes for the power-grid model of [36] (Zhu, "Power Distribution
+// Network Design for VLSI") used in the paper's experiments: the on-chip
+// grid is a dense resistive mesh, so a switching current injected at one
+// point produces an IR drop that decays with distance. We model this
+// with a distance-decaying effective-resistance kernel over tiles:
+//
+//   V_noise(tile_i, t) = sum_j R_eff(d_ij) * I_tile_j(t)
+//   R_eff(d) = r0 / (1 + (d / lambda)^2)
+//
+// VDD noise uses the I_DD waveforms, ground bounce the I_SS waveforms,
+// and the reported figure is the worst fluctuation over all tiles and
+// times — exactly the "maximum voltage fluctuation observed in the
+// power and ground grids" of Table V.
+
+#include <vector>
+
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+#include "wave/tree_sim.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+struct PowerGridOptions {
+  Um tile = tech::kZoneSize;
+  KOhm r0 = 0.0005;   ///< 0.5 Ohm local effective resistance
+  Um lambda = 75.0;   ///< kernel decay length
+};
+
+struct GridNoiseResult {
+  MV vdd_noise = 0.0;  ///< worst VDD droop over all tiles
+  MV gnd_noise = 0.0;  ///< worst ground bounce over all tiles
+  UA tile_peak_current = 0.0;  ///< worst tile-local current peak — the
+                               ///< localized peak-current figure the
+                               ///< zone-wise optimization targets
+  std::size_t tiles = 0;
+};
+
+/// Evaluate grid noise from a completed tree simulation. All buffering
+/// elements (leaf and non-leaf) inject current at their placement.
+GridNoiseResult grid_noise(const ClockTree& tree, const TreeSim& sim,
+                           PowerGridOptions opts = {});
+
+} // namespace wm

@@ -1,0 +1,239 @@
+#include "io/tree_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+const char* kind_name(CellKind k) {
+  switch (k) {
+    case CellKind::Buffer: return "buffer";
+    case CellKind::Inverter: return "inverter";
+    case CellKind::Adb: return "adb";
+    case CellKind::Adi: return "adi";
+  }
+  return "?";
+}
+
+CellKind kind_from(const std::string& s) {
+  if (s == "buffer") return CellKind::Buffer;
+  if (s == "inverter") return CellKind::Inverter;
+  if (s == "adb") return CellKind::Adb;
+  if (s == "adi") return CellKind::Adi;
+  throw Error("unknown cell kind: " + s);
+}
+
+/// Next non-empty, non-comment line.
+bool next_line(std::istream& is, std::string& line) {
+  while (std::getline(is, line)) {
+    const auto pos = line.find('#');
+    if (pos != std::string::npos) line.erase(pos);
+    std::istringstream probe(line);
+    std::string tok;
+    if (probe >> tok) return true;
+  }
+  return false;
+}
+
+} // namespace
+
+void write_tree(std::ostream& os, const ClockTree& tree) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "ctree v1\n";
+  os << "# node <id> <parent> <cell> <x> <y> <wire_len> <route_extra> "
+        "<sink_cap> <island> [codes ...]\n";
+  // Emit in topological order with remapped dense ids so the file is
+  // loadable regardless of how the in-memory arena was built.
+  const auto order = tree.topological_order();
+  std::vector<NodeId> remap(tree.size(), kNoNode);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    remap[static_cast<std::size_t>(order[i])] = static_cast<NodeId>(i);
+  }
+  for (const NodeId id : order) {
+    const TreeNode& n = tree.node(id);
+    const NodeId parent =
+        n.parent == kNoNode ? kNoNode
+                            : remap[static_cast<std::size_t>(n.parent)];
+    os << "node " << remap[static_cast<std::size_t>(id)] << ' ' << parent
+       << ' ' << n.cell->name << ' ' << n.pos.x << ' ' << n.pos.y << ' '
+       << n.wire_len << ' ' << n.route_extra << ' ' << n.sink_cap << ' '
+       << n.island;
+    if (!n.adj_codes.empty()) {
+      os << " codes";
+      for (int c : n.adj_codes) os << ' ' << c;
+    }
+    if (!n.xor_negative.empty()) {
+      os << " xor";
+      for (std::uint8_t b : n.xor_negative) {
+        os << ' ' << static_cast<int>(b);
+      }
+    }
+    if (n.cell_extra_delay != 0.0) {
+      os << " xtra " << n.cell_extra_delay;
+    }
+    os << '\n';
+  }
+}
+
+std::string tree_to_string(const ClockTree& tree) {
+  std::ostringstream os;
+  write_tree(os, tree);
+  return os.str();
+}
+
+ClockTree read_tree(std::istream& is, const CellLibrary& lib) {
+  std::string line;
+  WM_REQUIRE(next_line(is, line), "empty ctree input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    WM_REQUIRE(magic == "ctree" && version == "v1",
+               "not a ctree v1 file (header: '" + line + "')");
+  }
+
+  ClockTree tree;
+  while (next_line(is, line)) {
+    std::istringstream ls(line);
+    std::string rec;
+    ls >> rec;
+    WM_REQUIRE(rec == "node", "unexpected record: " + rec);
+    NodeId id = kNoNode, parent = kNoNode;
+    std::string cell_name;
+    Point pos;
+    Um wire_len = 0.0;
+    Ps route_extra = 0.0;
+    Ff sink_cap = 0.0;
+    int island = 0;
+    ls >> id >> parent >> cell_name >> pos.x >> pos.y >> wire_len >>
+        route_extra >> sink_cap >> island;
+    WM_REQUIRE(!ls.fail(), "malformed node record: " + line);
+    WM_REQUIRE(id == static_cast<NodeId>(tree.size()),
+               "node ids must be dense and in order (got " +
+                   std::to_string(id) + ")");
+    const Cell& cell = lib.by_name(cell_name);
+    NodeId created;
+    if (parent == kNoNode) {
+      WM_REQUIRE(tree.empty(), "multiple roots in ctree input");
+      created = tree.add_root(pos, &cell);
+    } else {
+      created = tree.add_node(parent, pos, &cell, wire_len);
+    }
+    TreeNode& n = tree.node(created);
+    n.wire_len = wire_len;
+    n.route_extra = route_extra;
+    n.sink_cap = sink_cap;
+    n.island = island;
+    std::string tok;
+    while (ls >> tok) {
+      if (tok == "codes") {
+        int code;
+        while (ls >> code) n.adj_codes.push_back(code);
+        ls.clear();  // hit a non-integer (next keyword) or EOF
+      } else if (tok == "xor") {
+        int bit;
+        while (ls >> bit) {
+          n.xor_negative.push_back(static_cast<std::uint8_t>(bit));
+        }
+        ls.clear();
+      } else if (tok == "xtra") {
+        WM_REQUIRE(static_cast<bool>(ls >> n.cell_extra_delay),
+                   "malformed xtra token: " + line);
+      } else {
+        throw Error("unexpected trailing token: " + tok);
+      }
+    }
+  }
+  WM_REQUIRE(!tree.empty(), "ctree input has no nodes");
+  return tree;
+}
+
+ClockTree tree_from_string(const std::string& text,
+                           const CellLibrary& lib) {
+  std::istringstream is(text);
+  return read_tree(is, lib);
+}
+
+void write_library(std::ostream& os, const CellLibrary& lib) {
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "celllib v1\n";
+  os << "# cell <name> <kind> <drive> <c_in> <c_self> <r_out> <d0> "
+        "<slew0> <sc_frac> <adj_step> <adj_max_code>\n";
+  for (const Cell& c : lib.cells()) {
+    os << "cell " << c.name << ' ' << kind_name(c.kind) << ' ' << c.drive
+       << ' ' << c.c_in << ' ' << c.c_self << ' ' << c.r_out << ' '
+       << c.d0 << ' ' << c.slew0 << ' ' << c.sc_frac << ' ' << c.adj_step
+       << ' ' << c.adj_max_code << '\n';
+  }
+}
+
+std::string library_to_string(const CellLibrary& lib) {
+  std::ostringstream os;
+  write_library(os, lib);
+  return os.str();
+}
+
+CellLibrary read_library(std::istream& is) {
+  std::string line;
+  WM_REQUIRE(next_line(is, line), "empty celllib input");
+  {
+    std::istringstream header(line);
+    std::string magic, version;
+    header >> magic >> version;
+    WM_REQUIRE(magic == "celllib" && version == "v1",
+               "not a celllib v1 file (header: '" + line + "')");
+  }
+  CellLibrary lib;
+  while (next_line(is, line)) {
+    std::istringstream ls(line);
+    std::string rec, kind;
+    ls >> rec;
+    WM_REQUIRE(rec == "cell", "unexpected record: " + rec);
+    Cell c;
+    ls >> c.name >> kind >> c.drive >> c.c_in >> c.c_self >> c.r_out >>
+        c.d0 >> c.slew0 >> c.sc_frac >> c.adj_step >> c.adj_max_code;
+    WM_REQUIRE(!ls.fail(), "malformed cell record: " + line);
+    c.kind = kind_from(kind);
+    lib.add(std::move(c));
+  }
+  return lib;
+}
+
+CellLibrary library_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_library(is);
+}
+
+void save_tree(const std::string& path, const ClockTree& tree) {
+  std::ofstream os(path);
+  WM_REQUIRE(static_cast<bool>(os), "cannot open for write: " + path);
+  write_tree(os, tree);
+  WM_REQUIRE(static_cast<bool>(os), "write failed: " + path);
+}
+
+ClockTree load_tree(const std::string& path, const CellLibrary& lib) {
+  std::ifstream is(path);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
+  return read_tree(is, lib);
+}
+
+void save_library(const std::string& path, const CellLibrary& lib) {
+  std::ofstream os(path);
+  WM_REQUIRE(static_cast<bool>(os), "cannot open for write: " + path);
+  write_library(os, lib);
+  WM_REQUIRE(static_cast<bool>(os), "write failed: " + path);
+}
+
+CellLibrary load_library(const std::string& path) {
+  std::ifstream is(path);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
+  return read_library(is);
+}
+
+} // namespace wm

@@ -1,0 +1,56 @@
+#pragma once
+// Plain-text serialization of clock trees and cell libraries.
+//
+// A production CTS tool has to interoperate: designs arrive from a
+// synthesis flow and optimized trees go back into it. This module
+// defines a small line-oriented format (".ctree") that round-trips
+// everything the optimizer touches — topology, placement, wire lengths,
+// route detours, cell bindings, sink loads, islands and per-mode ADB
+// codes — plus a reader/writer for cell libraries so third-party cell
+// data can be dropped in without recompiling.
+//
+// Format (one record per line, '#' comments, whitespace-separated):
+//
+//   ctree v1
+//   node <id> <parent|-1> <cell> <x> <y> <wire_len> <route_extra>
+//        <sink_cap> <island> [codes <c0> <c1> ...]
+//
+// Nodes must appear parent-before-child; ids must be dense 0..n-1 in
+// file order (the arena layout). The cell column references the library
+// by name.
+//
+//   celllib v1
+//   cell <name> <kind> <drive> <c_in> <c_self> <r_out> <d0> <slew0>
+//        <sc_frac> <adj_step> <adj_max_code>
+
+#include <iosfwd>
+#include <string>
+
+#include "cells/library.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+/// Serialize a tree (cells referenced by name).
+void write_tree(std::ostream& os, const ClockTree& tree);
+std::string tree_to_string(const ClockTree& tree);
+
+/// Parse a tree; cell names are resolved against `lib`.
+/// Throws wm::Error on malformed input or unknown cells.
+ClockTree read_tree(std::istream& is, const CellLibrary& lib);
+ClockTree tree_from_string(const std::string& text,
+                           const CellLibrary& lib);
+
+/// Serialize / parse a cell library.
+void write_library(std::ostream& os, const CellLibrary& lib);
+std::string library_to_string(const CellLibrary& lib);
+CellLibrary read_library(std::istream& is);
+CellLibrary library_from_string(const std::string& text);
+
+/// File helpers (throw wm::Error on IO failure).
+void save_tree(const std::string& path, const ClockTree& tree);
+ClockTree load_tree(const std::string& path, const CellLibrary& lib);
+void save_library(const std::string& path, const CellLibrary& lib);
+CellLibrary load_library(const std::string& path);
+
+} // namespace wm

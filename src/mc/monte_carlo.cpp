@@ -1,0 +1,81 @@
+#include "mc/monte_carlo.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "grid/power_grid.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+
+McResult run_monte_carlo(const ClockTree& tree, const ModeSet& modes,
+                         McOptions opts) {
+  WM_REQUIRE(opts.instances >= 1, "need at least one MC instance");
+  Rng master(opts.seed);
+
+  std::vector<double> skews, peaks, vdds, gnds;
+  skews.reserve(static_cast<std::size_t>(opts.instances));
+  int pass = 0;
+
+  for (int inst = 0; inst < opts.instances; ++inst) {
+    Rng rng = master.split();
+    const std::size_t n = tree.size();
+
+    // Gaussian 5% variations: buffer/inverter width and Vth fold into a
+    // cell-delay factor and a drive-current factor; wire width/length
+    // into a wire-delay factor.
+    std::vector<double> cell_f(n), wire_f(n), cur_f(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_f[i] = rng.vary(1.0, opts.sigma_over_mu);
+      wire_f[i] = rng.vary(1.0, opts.sigma_over_mu);
+      cur_f[i] = rng.vary(1.0, opts.sigma_over_mu);
+    }
+
+    // Skew across all modes with perturbed delays.
+    DelayPerturbation pert;
+    pert.cell_factor = cell_f;
+    pert.wire_factor = wire_f;
+    Ps worst = 0.0;
+    for (std::size_t m = 0; m < modes.count(); ++m) {
+      worst = std::max(worst,
+                       compute_arrivals(tree, modes, m, &pert).skew());
+    }
+    skews.push_back(worst);
+    if (worst <= opts.kappa) ++pass;
+
+    if (opts.with_noise) {
+      TreeSimOptions so;
+      so.dt = opts.dt;
+      so.cell_delay_factor = cell_f;
+      so.wire_delay_factor = wire_f;
+      so.current_factor = cur_f;
+      // Noise statistics in the nominal mode (the study's setup).
+      const TreeSim sim(tree, modes, 0, so);
+      peaks.push_back(sim.peak_current());
+      const GridNoiseResult gn = grid_noise(tree, sim);
+      vdds.push_back(gn.vdd_noise);
+      gnds.push_back(gn.gnd_noise);
+    }
+  }
+
+  McResult r;
+  r.instances = opts.instances;
+  r.skew_yield = static_cast<double>(pass) /
+                 static_cast<double>(opts.instances);
+  r.mean_skew = mean(skews);
+  if (opts.with_noise) {
+    r.mean_peak = mean(peaks);
+    r.norm_std_peak = normalized_stddev(peaks);
+    r.mean_vdd_noise = mean(vdds);
+    r.norm_std_vdd = normalized_stddev(vdds);
+    r.mean_gnd_noise = mean(gnds);
+    r.norm_std_gnd = normalized_stddev(gnds);
+  }
+  return r;
+}
+
+} // namespace wm

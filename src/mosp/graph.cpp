@@ -1,0 +1,30 @@
+#include "mosp/graph.hpp"
+
+#include "util/error.hpp"
+
+namespace wm {
+
+std::size_t MospGraph::vertex_count() const {
+  std::size_t n = 0;
+  for (const auto& row : rows) n += row.size();
+  return n;
+}
+
+void MospGraph::validate() const {
+  WM_REQUIRE(dims > 0, "MOSP graph needs a positive weight dimension");
+  WM_REQUIRE(!rows.empty(), "MOSP graph needs at least one row");
+  for (const auto& row : rows) {
+    WM_REQUIRE(!row.empty(),
+               "every row needs at least one feasible option (the "
+               "feasible-interval preprocessing guarantees this)");
+    for (const auto& v : row) {
+      WM_REQUIRE(v.weight.size() == static_cast<std::size_t>(dims),
+                 "vertex weight dimension mismatch");
+    }
+  }
+  WM_REQUIRE(dest_weight.empty() ||
+                 dest_weight.size() == static_cast<std::size_t>(dims),
+             "dest weight dimension mismatch");
+}
+
+} // namespace wm

@@ -1,0 +1,66 @@
+#pragma once
+// Multi-objective shortest path (MOSP) instances (paper Sec. V-B, Fig. 9).
+//
+// The WaveMin-to-MOSP mapping produces a layered DAG: one row per sink,
+// one vertex per feasible (sink, cell-type) pair, full bipartite arcs
+// between consecutive rows, a src before the first row and a dest after
+// the last. Every arc entering a vertex carries that vertex's noise
+// vector, and the arcs into dest carry the non-leaf noise vector
+// (Observation 1). Consequently a path cost is
+//
+//     dest_weight + sum over rows of weight(chosen vertex in row)
+//
+// which is what this representation stores directly: the layered
+// structure is kept (rows/options), the redundant arc list is not.
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wm {
+
+struct MospVertex {
+  int option = 0;  ///< index into the row's candidate list (caller-defined)
+  std::vector<double> weight;  ///< r-dimensional noise vector
+  std::string label;           ///< e.g. "e2:INV_X8" (diagnostics)
+};
+
+struct MospGraph {
+  std::vector<std::vector<MospVertex>> rows;
+  std::vector<double> dest_weight;  ///< non-leaf contribution (may be empty)
+  int dims = 0;
+
+  std::size_t row_count() const { return rows.size(); }
+
+  /// Total vertex count excluding src/dest.
+  std::size_t vertex_count() const;
+
+  /// Validate row/vector shapes; throws wm::Error on inconsistency.
+  void validate() const;
+};
+
+/// A resolved path: one option per row plus its accumulated cost vector.
+///
+/// Solutions are ordered by `worst` alone (the paper's min-max
+/// objective). A lexicographic (worst, sum) tie-break was implemented
+/// and evaluated — it makes the *model* pick deterministic in zones
+/// whose max is saturated by the fixed non-leaf term — but it
+/// systematically worsened the *validated* results (Table V average
+/// flipped from +0.9% to -1.0%), because among model-equal choices the
+/// smallest-total-charge pick is not the best-validated pick under the
+/// Sec. VII-C model gap. Negative result recorded in EXPERIMENTS.md;
+/// `sum` is kept as a reporting field only.
+struct MospSolution {
+  bool feasible = false;
+  std::vector<int> choice;     ///< option per row (index into rows[i])
+  std::vector<double> total;   ///< accumulated cost vector (incl. dest)
+  double worst = 0.0;          ///< max entry of total (min-max objective)
+  double sum = 0.0;            ///< sum of entries (reporting only)
+
+  bool better_than(const MospSolution& other) const {
+    return worst < other.worst;
+  }
+};
+
+} // namespace wm

@@ -1,0 +1,293 @@
+#include "mosp/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+double max_entry(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, x);
+  return m;
+}
+
+struct Label {
+  std::vector<double> cost;
+  std::vector<int> choice;
+  double worst = 0.0;
+  double sum = 0.0;
+
+  bool better_than(const Label& other) const {
+    return worst < other.worst;
+  }
+};
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+std::vector<double> initial_cost(const MospGraph& g) {
+  if (!g.dest_weight.empty()) return g.dest_weight;
+  return std::vector<double>(static_cast<std::size_t>(g.dims), 0.0);
+}
+
+MospSolution to_solution(const Label& l) {
+  MospSolution s;
+  s.feasible = true;
+  s.choice = l.choice;
+  s.total = l.cost;
+  s.worst = l.worst;
+  s.sum = l.sum;
+  return s;
+}
+
+// Pairwise dominance pruning is O(n^2 * dims); past this size we fall
+// back to incumbent/beam pruning only.
+constexpr std::size_t kDominanceLimit = 1024;
+
+MospSolution label_dp(const MospGraph& g, bool grid_merge,
+                      const MospSolverOptions& opts, MospStats* stats) {
+  g.validate();
+  MospStats local_stats;
+  MospStats& st = stats ? *stats : local_stats;
+
+  // Greedy incumbent: upper-bounds the optimum, prunes hopeless labels.
+  const MospSolution incumbent = solve_greedy(g);
+
+  // Grid step for Warburton-style merging: each row can introduce at most
+  // `step` rounding error per dimension, so the final worst value is
+  // within rows*step = epsilon * UB of the exact optimum.
+  const double step =
+      grid_merge
+          ? std::max(1e-12, opts.epsilon * incumbent.worst /
+                                static_cast<double>(g.row_count()))
+          : 0.0;
+
+  std::vector<Label> labels;
+  {
+    Label init;
+    init.cost = initial_cost(g);
+    init.worst = max_entry(init.cost);
+    for (double c : init.cost) init.sum += c;
+    labels.push_back(std::move(init));
+  }
+
+  for (const auto& row : g.rows) {
+    std::vector<Label> next;
+    next.reserve(labels.size() * row.size());
+    for (const Label& l : labels) {
+      for (const MospVertex& v : row) {
+        Label nl;
+        nl.cost.resize(l.cost.size());
+        double worst = l.worst;
+        double sum = 0.0;
+        for (std::size_t d = 0; d < l.cost.size(); ++d) {
+          nl.cost[d] = l.cost[d] + v.weight[d];
+          worst = std::max(worst, nl.cost[d]);
+          sum += nl.cost[d];
+        }
+        if (worst >= incumbent.worst) {
+          ++st.labels_pruned_incumbent;
+          continue;  // cannot beat the greedy incumbent
+        }
+        nl.worst = worst;
+        nl.sum = sum;
+        nl.choice = l.choice;
+        nl.choice.push_back(v.option);
+        ++st.labels_created;
+        next.push_back(std::move(nl));
+      }
+    }
+
+    if (grid_merge && !next.empty()) {
+      // Keep one representative per rounded cost vector.
+      std::unordered_map<std::size_t, std::size_t> seen;
+      std::vector<Label> merged;
+      merged.reserve(next.size());
+      for (auto& l : next) {
+        std::size_t h = 1469598103934665603ULL;
+        for (double c : l.cost) {
+          const auto q = static_cast<long long>(std::floor(c / step));
+          h ^= static_cast<std::size_t>(q) + 0x9e3779b97f4a7c15ULL +
+               (h << 6) + (h >> 2);
+        }
+        auto [it, inserted] = seen.emplace(h, merged.size());
+        if (inserted) {
+          merged.push_back(std::move(l));
+        } else if (l.better_than(merged[it->second])) {
+          merged[it->second] = std::move(l);
+          ++st.labels_merged_grid;
+        } else {
+          ++st.labels_merged_grid;
+        }
+      }
+      next = std::move(merged);
+    }
+
+    if (next.size() <= kDominanceLimit) {
+      // Exact pairwise dominance pruning (cheapest labels first so a
+      // dominated label is found quickly).
+      std::sort(next.begin(), next.end(),
+                [](const Label& a, const Label& b) {
+                  return a.better_than(b);
+                });
+      std::vector<Label> kept;
+      kept.reserve(next.size());
+      for (auto& cand : next) {
+        bool dominated = false;
+        for (const Label& k : kept) {
+          if (dominates(k.cost, cand.cost)) {
+            dominated = true;
+            break;
+          }
+        }
+        if (dominated) {
+          ++st.labels_pruned_dominated;
+        } else {
+          kept.push_back(std::move(cand));
+        }
+      }
+      next = std::move(kept);
+    }
+
+    if (next.size() > opts.max_labels) {
+      // Safety valve: beam on the min-max objective.
+      std::nth_element(next.begin(),
+                       next.begin() + static_cast<std::ptrdiff_t>(
+                                          opts.max_labels),
+                       next.end(), [](const Label& a, const Label& b) {
+                         return a.better_than(b);
+                       });
+      next.resize(opts.max_labels);
+      st.beam_capped = true;
+    }
+
+    if (next.empty()) {
+      // Everything pruned against the incumbent: greedy was optimal
+      // within this search.
+      return incumbent;
+    }
+    labels = std::move(next);
+  }
+
+  const auto best = std::min_element(
+      labels.begin(), labels.end(),
+      [](const Label& a, const Label& b) { return a.better_than(b); });
+  if (best == labels.end()) return incumbent;
+  MospSolution sol = to_solution(*best);
+  return sol.better_than(incumbent) ? sol : incumbent;
+}
+
+} // namespace
+
+MospSolution solve_exact(const MospGraph& g, MospSolverOptions opts,
+                         MospStats* stats) {
+  return label_dp(g, /*grid_merge=*/false, opts, stats);
+}
+
+MospSolution solve_warburton(const MospGraph& g, MospSolverOptions opts,
+                             MospStats* stats) {
+  return label_dp(g, /*grid_merge=*/true, opts, stats);
+}
+
+MospSolution solve_greedy(const MospGraph& g) {
+  g.validate();
+  const std::size_t n_rows = g.row_count();
+  std::vector<double> sum = initial_cost(g);
+  std::vector<int> choice(n_rows, -1);
+  std::vector<bool> done(n_rows, false);
+
+  for (std::size_t iter = 0; iter < n_rows; ++iter) {
+    double best_m = std::numeric_limits<double>::max();
+    std::size_t best_row = 0;
+    const MospVertex* best_v = nullptr;
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      if (done[r]) continue;
+      for (const MospVertex& v : g.rows[r]) {
+        double m = 0.0;
+        for (std::size_t d = 0; d < sum.size(); ++d) {
+          m = std::max(m, sum[d] + v.weight[d]);
+        }
+        if (m < best_m) {
+          best_m = m;
+          best_row = r;
+          best_v = &v;
+        }
+      }
+    }
+    WM_ASSERT(best_v != nullptr, "greedy found no candidate");
+    for (std::size_t d = 0; d < sum.size(); ++d) {
+      sum[d] += best_v->weight[d];
+    }
+    choice[best_row] = best_v->option;
+    done[best_row] = true;
+  }
+
+  MospSolution s;
+  s.feasible = true;
+  s.choice = std::move(choice);
+  s.total = std::move(sum);
+  s.worst = max_entry(s.total);
+  for (double v : s.total) s.sum += v;
+  return s;
+}
+
+MospSolution solve_exhaustive(const MospGraph& g) {
+  g.validate();
+  // Guard against accidental huge enumerations.
+  double paths = 1.0;
+  for (const auto& row : g.rows) {
+    paths *= static_cast<double>(row.size());
+  }
+  WM_REQUIRE(paths <= 4.0e6, "exhaustive oracle limited to 4M paths");
+
+  MospSolution best;
+  best.worst = std::numeric_limits<double>::max();
+  std::vector<double> cost = initial_cost(g);
+
+  // Iterative odometer over all option combinations.
+  std::vector<std::size_t> idx(g.row_count(), 0);
+  while (true) {
+    std::vector<double> total = cost;
+    for (std::size_t r = 0; r < g.row_count(); ++r) {
+      const auto& w = g.rows[r][idx[r]].weight;
+      for (std::size_t d = 0; d < total.size(); ++d) total[d] += w[d];
+    }
+    const double worst = max_entry(total);
+    double sum = 0.0;
+    for (double v : total) sum += v;
+    MospSolution cand;
+    cand.worst = worst;
+    cand.sum = sum;
+    if (!best.feasible || cand.better_than(best)) {
+      best.feasible = true;
+      best.worst = worst;
+      best.sum = sum;
+      best.total = std::move(total);
+      best.choice.resize(g.row_count());
+      for (std::size_t r = 0; r < g.row_count(); ++r) {
+        best.choice[r] = g.rows[r][idx[r]].option;
+      }
+    }
+    // Advance the odometer.
+    std::size_t r = 0;
+    while (r < g.row_count()) {
+      if (++idx[r] < g.rows[r].size()) break;
+      idx[r] = 0;
+      ++r;
+    }
+    if (r == g.row_count()) break;
+  }
+  return best;
+}
+
+} // namespace wm

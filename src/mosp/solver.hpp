@@ -1,0 +1,46 @@
+#pragma once
+// Solvers for the min-max objective over MOSP paths (paper Sec. V).
+//
+// solve_exact      — Pareto label-correcting dynamic program with
+//                    dominance and incumbent pruning; exact.
+// solve_warburton  — Warburton-style fully polynomial epsilon-
+//                    approximation: labels are additionally merged when
+//                    they coincide on an epsilon-scaled integer grid,
+//                    bounding the label count; the returned worst cost is
+//                    within (1+epsilon) of optimal.
+// solve_greedy     — the ClkWaveMin-f inner loop (Sec. V-C): repeatedly
+//                    commit the (row, option) whose inclusion worsens the
+//                    running max the least.
+// solve_exhaustive — brute-force oracle for tests (small instances only).
+
+#include <cstdint>
+
+#include "mosp/graph.hpp"
+
+namespace wm {
+
+struct MospSolverOptions {
+  double epsilon = 0.01;        ///< Warburton scaling parameter
+  std::size_t max_labels = 20000;  ///< beam cap per row (safety valve)
+};
+
+struct MospStats {
+  std::size_t labels_created = 0;
+  std::size_t labels_pruned_dominated = 0;
+  std::size_t labels_pruned_incumbent = 0;
+  std::size_t labels_merged_grid = 0;
+  bool beam_capped = false;  ///< true if max_labels truncated the search
+};
+
+MospSolution solve_exact(const MospGraph& g, MospSolverOptions opts = {},
+                         MospStats* stats = nullptr);
+
+MospSolution solve_warburton(const MospGraph& g,
+                             MospSolverOptions opts = {},
+                             MospStats* stats = nullptr);
+
+MospSolution solve_greedy(const MospGraph& g);
+
+MospSolution solve_exhaustive(const MospGraph& g);
+
+} // namespace wm

@@ -1,0 +1,83 @@
+#include "peakmin/baselines.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+int apply_nieh_half_split(ClockTree& tree, const CellLibrary& lib) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  // Descend through single-child segments (source-route repeater
+  // chains) to the first real branch point — that is where the paper's
+  // "two subtrees" live.
+  NodeId split_at = tree.root();
+  while (tree.node(split_at).children.size() == 1) {
+    split_at = tree.node(split_at).children.front();
+  }
+  const TreeNode& root = tree.node(split_at);
+  WM_REQUIRE(!root.children.empty(), "tree has no subtrees");
+
+  // Greedily pick root subtrees until ~half the leaves are covered
+  // (largest first, the way the paper divides the tree evenly).
+  struct Sub {
+    NodeId id;
+    std::size_t leaves;
+  };
+  std::vector<Sub> subs;
+  std::size_t total = 0;
+  for (NodeId c : root.children) {
+    const std::size_t n = tree.leaves_under(c).size();
+    subs.push_back({c, n});
+    total += n;
+  }
+  std::sort(subs.begin(), subs.end(),
+            [](const Sub& a, const Sub& b) { return a.leaves > b.leaves; });
+
+  int inverted = 0;
+  std::size_t covered = 0;
+  for (const Sub& s : subs) {
+    if (covered * 2 >= total) break;
+    const TreeNode& n = tree.node(s.id);
+    // Swap the subtree root's buffer for the same-drive inverter.
+    const Cell* inv = lib.find("INV_X" + std::to_string(n.cell->drive));
+    if (inv == nullptr) continue;
+    tree.set_cell(s.id, inv);
+    covered += s.leaves;
+    ++inverted;
+  }
+  return inverted;
+}
+
+WaveMinResult clk_chen_polarity(ClockTree& tree, const CellLibrary& lib,
+                                const Characterizer& chr, Ps kappa) {
+  // Leaf polarity only, no sizing: same-drive buffer/inverter pair.
+  // The rest of the machinery (zones, feasible intervals, the 4-point
+  // objective of the era) is shared with the PeakMin baseline.
+  int drive = 16;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      drive = n.cell->drive;
+      break;
+    }
+  }
+  const std::vector<const Cell*> pair = {
+      &lib.by_name("BUF_X" + std::to_string(drive)),
+      &lib.by_name("INV_X" + std::to_string(drive))};
+
+  WaveMinOptions opts;
+  opts.kappa = kappa;
+  opts.samples = 4;
+  opts.shift_by_arrival = false;
+  opts.include_nonleaf = false;
+  opts.solver = SolverKind::Exact;
+
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return run_wavemin(tree, lib, chr, ModeSet::single(max_island + 1),
+                     pair, opts);
+}
+
+} // namespace wm

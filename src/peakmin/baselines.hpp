@@ -1,0 +1,35 @@
+#pragma once
+// Earlier polarity-assignment baselines from the paper's related work,
+// implemented for the lineage comparison bench:
+//
+//   [22] Nieh et al., DAC'05   — "opposite-phase clock tree": split the
+//        tree into two halves at the root and invert one half's root
+//        buffer, so half the chip charges while the other discharges.
+//        Global balance only; no local (zone) awareness.
+//
+//   [24] Chen et al., TODAES'09 — skew-aware *leaf* polarity assignment
+//        using placement: per zone, balance the leaf polarities without
+//        resizing, subject to the skew bound.
+//
+// Both reuse this repo's substrates so the comparison against
+// ClkPeakMin [27] and ClkWaveMin is apples-to-apples.
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+/// [22]: invert the root subtrees covering (closest to) half the
+/// leaves. Returns how many subtree roots were inverted. Leaf cells are
+/// untouched; flip-flops under inverted subtrees become negative-edge
+/// triggered (outside this model's scope, as in the paper).
+int apply_nieh_half_split(ClockTree& tree, const CellLibrary& lib);
+
+/// [24]: per-zone, skew-aware leaf polarity assignment *without* buffer
+/// sizing: candidates are the same-drive buffer/inverter pair only.
+WaveMinResult clk_chen_polarity(ClockTree& tree, const CellLibrary& lib,
+                                const Characterizer& chr, Ps kappa);
+
+} // namespace wm

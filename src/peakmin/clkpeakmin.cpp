@@ -1,0 +1,20 @@
+#include "peakmin/clkpeakmin.hpp"
+
+namespace wm {
+
+WaveMinOptions peakmin_options(Ps kappa) {
+  WaveMinOptions o;
+  o.kappa = kappa;
+  o.samples = 4;               // the four classic sampling points
+  o.shift_by_arrival = false;  // limitation 1 of the prior art
+  o.include_nonleaf = false;   // limitation 2
+  o.solver = SolverKind::Exact;  // knapsack-exact per zone
+  return o;
+}
+
+WaveMinResult clk_peakmin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr, Ps kappa) {
+  return clk_wavemin(tree, lib, chr, peakmin_options(kappa));
+}
+
+} // namespace wm

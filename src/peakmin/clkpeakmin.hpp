@@ -1,0 +1,35 @@
+#pragma once
+// ClkPeakMin — the comparison baseline ([27]: Jang, Joo, Kim, TCAD'11),
+// the "best ever known method" the paper measures against.
+//
+// PeakMin performs polarity assignment with sizing per feasible interval
+// and zone, but estimates noise only from four scalar peak values per
+// cell — (VDD, rising), (VDD, falling), (Gnd, rising), (Gnd, falling) —
+// without the arrival-time shift of each sink's pulse and without the
+// non-leaf elements' waveform. Its knapsack formulation solves each zone
+// exactly under that coarse objective.
+//
+// This implementation reuses the WaveMin machinery with the
+// corresponding settings: |S| = 4 windowed slots, shift_by_arrival off,
+// include_nonleaf off, exact inner solver (the Pareto DP on a 4-dim
+// objective is the knapsack equivalent). That makes the baseline share
+// the same preprocessing, skew legality and reporting paths — exactly
+// the controlled comparison Table V needs.
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "core/wavemin.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm {
+
+/// The options run_wavemin needs to behave like ClkPeakMin.
+WaveMinOptions peakmin_options(Ps kappa);
+
+/// Run the baseline on a single-mode design and apply its assignment.
+WaveMinResult clk_peakmin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr, Ps kappa);
+
+} // namespace wm

@@ -1,0 +1,71 @@
+#include "report/design_stats.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+DesignStats analyze_tree(const ClockTree& tree) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  DesignStats s;
+  s.nodes = tree.size();
+  s.leaves = tree.leaf_count();
+  s.min_leaf_depth = std::numeric_limits<int>::max();
+  s.min_sink_cap = std::numeric_limits<Ff>::max();
+
+  for (const TreeNode& n : tree.nodes()) {
+    s.total_wire += n.wire_len;
+    s.max_edge_wire = std::max(s.max_edge_wire, n.wire_len);
+    if (n.cell->adjustable()) ++s.adjustable_cells;
+    if (!n.is_leaf()) continue;
+
+    int depth = 0;
+    for (NodeId v = n.id; v != kNoNode; v = tree.node(v).parent) ++depth;
+    s.min_leaf_depth = std::min(s.min_leaf_depth, depth);
+    s.max_leaf_depth = std::max(s.max_leaf_depth, depth);
+
+    s.total_sink_cap += n.sink_cap;
+    s.min_sink_cap = std::min(s.min_sink_cap, n.sink_cap);
+    s.max_sink_cap = std::max(s.max_sink_cap, n.sink_cap);
+    ++s.leaf_cells[n.cell->name];
+    if (!n.xor_negative.empty()) ++s.xor_reconfigurable;
+  }
+
+  const ZoneMap zones(tree);
+  s.zones = zones.zones().size();
+  s.mean_zone_occupancy = zones.mean_occupancy();
+  return s;
+}
+
+std::string to_string(const DesignStats& s) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed;
+  os << "nodes           : " << s.nodes << " (" << s.leaves
+     << " leaves, depth " << s.min_leaf_depth << ".." << s.max_leaf_depth
+     << ")\n";
+  os << "wire            : " << s.total_wire << " um total, longest edge "
+     << s.max_edge_wire << " um\n";
+  os << "sink loads      : " << s.total_sink_cap << " fF total ["
+     << s.min_sink_cap << ", " << s.max_sink_cap << "]\n";
+  os << "zones (50 um)   : " << s.zones << ", mean occupancy "
+     << s.mean_zone_occupancy << " leaves\n";
+  os << "leaf cells      :";
+  for (const auto& [name, count] : s.leaf_cells) {
+    os << ' ' << name << "=" << count;
+  }
+  os << '\n';
+  if (s.adjustable_cells > 0) {
+    os << "adjustable cells: " << s.adjustable_cells << '\n';
+  }
+  if (s.xor_reconfigurable > 0) {
+    os << "XOR leaves      : " << s.xor_reconfigurable << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wm

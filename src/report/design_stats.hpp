@@ -1,0 +1,37 @@
+#pragma once
+// Design statistics — the quick health report an engineer looks at
+// before and after optimization (also the numbers DESIGN.md quotes for
+// the benchmark generator's fidelity to the published circuits).
+
+#include <map>
+#include <string>
+
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct DesignStats {
+  std::size_t nodes = 0;
+  std::size_t leaves = 0;
+  int min_leaf_depth = 0;
+  int max_leaf_depth = 0;
+  Um total_wire = 0.0;
+  Um max_edge_wire = 0.0;
+  Ff total_sink_cap = 0.0;
+  Ff min_sink_cap = 0.0;
+  Ff max_sink_cap = 0.0;
+  double mean_zone_occupancy = 0.0;  ///< leaves per non-empty 50um tile
+  std::size_t zones = 0;
+  /// Leaf cell usage by name (the polarity/sizing census).
+  std::map<std::string, std::size_t> leaf_cells;
+  std::size_t adjustable_cells = 0;       ///< ADB+ADI anywhere
+  std::size_t xor_reconfigurable = 0;     ///< per-mode-polarity leaves
+};
+
+DesignStats analyze_tree(const ClockTree& tree);
+
+/// Human-readable multi-line rendering.
+std::string to_string(const DesignStats& stats);
+
+} // namespace wm

@@ -1,0 +1,40 @@
+#pragma once
+// Paper-style table rendering for the benchmark binaries: fixed-width
+// aligned text for the console plus CSV export for downstream plotting.
+
+#include <string>
+#include <vector>
+
+namespace wm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Aligned fixed-width rendering with a header rule.
+  std::string to_text() const;
+
+  std::string to_csv() const;
+
+  /// Fixed-precision number formatting ("12.34").
+  static std::string num(double v, int precision = 2);
+
+  /// Signed percentage ("-12.39").
+  static std::string pct(double v, int precision = 2);
+
+  /// If the environment variable WAVEMIN_CSV_DIR names a directory,
+  /// write this table there as <name>.csv (for downstream plotting) and
+  /// return true; otherwise do nothing. Benches call this so every
+  /// reproduced table is machine-readable on demand.
+  bool maybe_export_csv(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace wm

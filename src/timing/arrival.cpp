@@ -1,0 +1,100 @@
+#include "timing/arrival.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "cells/electrical.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+Ps wire_elmore(const ClockTree& tree, NodeId child) {
+  const TreeNode& n = tree.node(child);
+  if (n.parent == kNoNode) return 0.0;
+  const KOhm rw = n.wire_len * tech::kWireResPerUm;
+  const Ff cw = n.wire_len * tech::kWireCapPerUm;
+  return rw * (0.5 * cw + n.cell->c_in);
+}
+
+Ps cell_delay_in_mode(const ClockTree& tree, NodeId id,
+                      const ModeSet& modes, std::size_t mode_index,
+                      Ps slew_in) {
+  const TreeNode& n = tree.node(id);
+  const Volt vdd = modes.vdd(mode_index, n.island);
+  DriveConditions dc{tree.load_of(id), slew_in, vdd,
+                     modes.temp(mode_index, n.island)};
+  Ps d = cell_timing(*n.cell, dc).delay() + n.cell_extra_delay;
+  if (n.cell->adjustable() && !n.adj_codes.empty()) {
+    WM_REQUIRE(mode_index < n.adj_codes.size(),
+               "adjustable node lacks a code for this mode");
+    d += n.cell->adj_step * static_cast<Ps>(n.adj_codes[mode_index]);
+  }
+  return d;
+}
+
+ArrivalResult compute_arrivals(const ClockTree& tree, const ModeSet& modes,
+                               std::size_t mode_index,
+                               const DelayPerturbation* perturb) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  ArrivalResult r;
+  r.input_arrival.assign(tree.size(), 0.0);
+  r.output_arrival.assign(tree.size(), 0.0);
+  r.slew_in.assign(tree.size(), tech::kCharacterizationSlew);
+  r.min_leaf = std::numeric_limits<Ps>::max();
+  r.max_leaf = std::numeric_limits<Ps>::lowest();
+
+  std::vector<Ps> slew_out(tree.size(), tech::kCharacterizationSlew);
+
+  for (const NodeId id : tree.topological_order()) {
+    const TreeNode& n = tree.node(id);
+    const auto i = static_cast<std::size_t>(n.id);
+    Ps in_arr = 0.0;
+    Ps sin = tech::kCharacterizationSlew;
+    if (n.parent != kNoNode) {
+      const Ps we = wire_elmore(tree, n.id);
+      Ps wd = we + n.route_extra;
+      if (perturb && !perturb->wire_factor.empty()) {
+        wd *= perturb->wire_factor[i];
+      }
+      const auto pi = static_cast<std::size_t>(n.parent);
+      in_arr = r.output_arrival[pi] + wd;
+      sin = slew_out[pi] + wire_slew_degradation(we);
+    }
+    Ps cd = cell_delay_in_mode(tree, n.id, modes, mode_index, sin);
+    if (perturb && !perturb->cell_factor.empty()) {
+      cd *= perturb->cell_factor[i];
+    }
+    const Volt vdd = modes.vdd(mode_index, n.island);
+    const CellTiming ct = cell_timing(
+        *n.cell, DriveConditions{tree.load_of(n.id), sin, vdd,
+                                 modes.temp(mode_index, n.island)});
+    slew_out[i] = 0.5 * (ct.slew_rise + ct.slew_fall);
+
+    r.input_arrival[i] = in_arr;
+    r.slew_in[i] = sin;
+    r.output_arrival[i] = in_arr + cd;
+    if (n.is_leaf() && !modes.gated(mode_index, n.island)) {
+      r.min_leaf = std::min(r.min_leaf, r.output_arrival[i]);
+      r.max_leaf = std::max(r.max_leaf, r.output_arrival[i]);
+    }
+  }
+  return r;
+}
+
+ArrivalResult compute_arrivals(const ClockTree& tree) {
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return compute_arrivals(tree, ModeSet::single(max_island + 1), 0);
+}
+
+Ps worst_skew(const ClockTree& tree, const ModeSet& modes) {
+  Ps worst = 0.0;
+  for (std::size_t m = 0; m < modes.count(); ++m) {
+    worst = std::max(worst, compute_arrivals(tree, modes, m).skew());
+  }
+  return worst;
+}
+
+} // namespace wm

@@ -1,0 +1,64 @@
+#pragma once
+// Arrival-time analysis over the buffered clock tree.
+//
+// Elmore-style model with slew propagation:
+//   input_arrival(child) = output_arrival(parent) + wire_elmore(edge)
+//   output_arrival(v)    = input_arrival(v) + cell_delay(v) [+ ADB code]
+//   slew_in(child)       = slew_out(parent) + wire degradation
+// where cell_delay is the analytic timing model at the node's load, the
+// propagated input slew and the island supply of the analyzed power
+// mode, and wire_elmore is R_wire * (C_wire/2 + C_in(child)). This is
+// the same delay model the validation simulator uses, so optimizer and
+// validation agree on timing; their intended disagreement (Sec. VII-C)
+// is confined to the noise lookup table.
+//
+// Per the paper's Observation 4, the optimizer treats a leaf's input
+// arrival as independent of its own cell choice (sizing a leaf does not
+// measurably move its siblings); validation re-runs this analysis on the
+// fully assigned tree, so the approximation is checked, not assumed.
+
+#include <vector>
+
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct ArrivalResult {
+  std::vector<Ps> input_arrival;   ///< per node id
+  std::vector<Ps> output_arrival;  ///< per node id
+  std::vector<Ps> slew_in;         ///< per node id (propagated)
+  Ps min_leaf = 0.0;               ///< earliest leaf output arrival
+  Ps max_leaf = 0.0;               ///< latest leaf output arrival
+  Ps skew() const { return max_leaf - min_leaf; }
+};
+
+/// Optional per-node multiplicative delay perturbations (Monte Carlo).
+struct DelayPerturbation {
+  std::vector<double> cell_factor;  ///< per node; empty => all 1
+  std::vector<double> wire_factor;  ///< per node (edge from parent)
+};
+
+/// Compute arrivals for one power mode of a mode set.
+ArrivalResult compute_arrivals(const ClockTree& tree, const ModeSet& modes,
+                               std::size_t mode_index,
+                               const DelayPerturbation* perturb = nullptr);
+
+/// Nominal single-mode shorthand.
+ArrivalResult compute_arrivals(const ClockTree& tree);
+
+/// Elmore delay of the edge into `child` (wire only).
+Ps wire_elmore(const ClockTree& tree, NodeId child);
+
+/// Delay of the cell at node `id` in the given mode (analytic model at
+/// the node's current load and the given input slew), including any
+/// configured adjustable-delay code for that mode.
+Ps cell_delay_in_mode(const ClockTree& tree, NodeId id,
+                      const ModeSet& modes, std::size_t mode_index,
+                      Ps slew_in = tech::kCharacterizationSlew);
+
+/// Worst skew across all modes.
+Ps worst_skew(const ClockTree& tree, const ModeSet& modes);
+
+} // namespace wm

@@ -1,0 +1,89 @@
+#include "timing/power_mode.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wm {
+
+ModeSet ModeSet::single(int islands) {
+  WM_REQUIRE(islands >= 1, "need at least one island");
+  PowerMode m;
+  m.name = "nominal";
+  m.island_vdd.assign(static_cast<std::size_t>(islands),
+                      tech::kVddNominal);
+  return ModeSet({std::move(m)});
+}
+
+ModeSet::ModeSet(std::vector<PowerMode> modes) : modes_(std::move(modes)) {
+  for (const PowerMode& m : modes_) {
+    WM_REQUIRE(m.island_vdd.size() == island_count(),
+               "all modes must cover the same islands");
+  }
+}
+
+void ModeSet::add(PowerMode mode) {
+  if (!modes_.empty()) {
+    WM_REQUIRE(mode.island_vdd.size() == island_count(),
+               "all modes must cover the same islands");
+  }
+  modes_.push_back(std::move(mode));
+}
+
+const PowerMode& ModeSet::mode(std::size_t m) const {
+  WM_REQUIRE(m < modes_.size(), "mode index out of range");
+  return modes_[m];
+}
+
+Volt ModeSet::vdd(std::size_t mode, int island) const {
+  const PowerMode& m = this->mode(mode);
+  WM_REQUIRE(island >= 0 &&
+                 island < static_cast<int>(m.island_vdd.size()),
+             "island index out of range");
+  return m.island_vdd[static_cast<std::size_t>(island)];
+}
+
+bool ModeSet::gated(std::size_t mode, int island) const {
+  const PowerMode& m = this->mode(mode);
+  if (m.gated_islands.empty()) return false;
+  WM_REQUIRE(island >= 0, "island index out of range");
+  const auto i = static_cast<std::size_t>(island);
+  return i < m.gated_islands.size() && m.gated_islands[i] != 0;
+}
+
+double ModeSet::temp(std::size_t mode, int island) const {
+  const PowerMode& m = this->mode(mode);
+  if (m.island_temp.empty()) return 25.0;
+  WM_REQUIRE(island >= 0, "island index out of range");
+  const auto i = static_cast<std::size_t>(island);
+  return i < m.island_temp.size() ? m.island_temp[i] : 25.0;
+}
+
+std::vector<double> ModeSet::distinct_temps() const {
+  std::vector<double> out{25.0};
+  for (const PowerMode& m : modes_) {
+    for (double t : m.island_temp) {
+      const bool seen = std::any_of(out.begin(), out.end(), [t](double u) {
+        return std::abs(u - t) < 1e-9;
+      });
+      if (!seen) out.push_back(t);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Volt> ModeSet::distinct_vdds() const {
+  std::vector<Volt> out;
+  for (const PowerMode& m : modes_) {
+    for (Volt v : m.island_vdd) {
+      const bool seen = std::any_of(out.begin(), out.end(), [v](Volt u) {
+        return std::abs(u - v) < 1e-9;
+      });
+      if (!seen) out.push_back(v);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+} // namespace wm

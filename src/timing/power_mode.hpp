@@ -1,0 +1,70 @@
+#pragma once
+// Power modes and voltage islands (paper Sec. VI).
+//
+// A design is divided into voltage islands; a power mode assigns a
+// supply voltage to every island. Tree nodes carry an island index
+// (TreeNode::island). Cell delays scale with the island's supply via
+// the alpha-power law (cells/electrical.hpp), so each mode induces its
+// own set of arrival times and its own clock skew.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct PowerMode {
+  std::string name;
+  std::vector<Volt> island_vdd;  ///< supply per island
+  /// Junction temperature per island in Celsius (optional; empty =
+  /// 25 C everywhere). Thermal operating points are the scenario the
+  /// prior art [27] handled with the coolest-corner pessimism the paper
+  /// revisits in Sec. VI.
+  std::vector<double> island_temp;
+  /// Clock-gated islands (optional; empty = nothing gated). The leaf
+  /// buffers of a gated island do not toggle in this mode: they emit no
+  /// current and do not constrain the mode's skew ([30],[31] target
+  /// exactly this scenario with reconfigurable polarities).
+  std::vector<std::uint8_t> gated_islands;
+};
+
+class ModeSet {
+ public:
+  /// Single nominal mode over `islands` islands (default design).
+  static ModeSet single(int islands = 1);
+
+  explicit ModeSet(std::vector<PowerMode> modes = {});
+
+  void add(PowerMode mode);
+
+  std::size_t count() const { return modes_.size(); }
+  std::size_t island_count() const {
+    return modes_.empty() ? 0 : modes_.front().island_vdd.size();
+  }
+
+  const PowerMode& mode(std::size_t m) const;
+  const std::vector<PowerMode>& modes() const { return modes_; }
+
+  Volt vdd(std::size_t mode, int island) const;
+
+  /// True if `island` is clock-gated in `mode`.
+  bool gated(std::size_t mode, int island) const;
+
+  /// Junction temperature of `island` in `mode` (25 C by default).
+  double temp(std::size_t mode, int island) const;
+
+  /// Sorted unique temperatures across all modes (characterization grid).
+  std::vector<double> distinct_temps() const;
+
+  /// Sorted unique list of supply values appearing in any mode — the
+  /// characterization grid the Characterizer needs.
+  std::vector<Volt> distinct_vdds() const;
+
+ private:
+  std::vector<PowerMode> modes_;
+};
+
+} // namespace wm

@@ -1,0 +1,122 @@
+#include "timing/ssta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+/// P(Z > x) for a standard normal.
+double tail(double x) {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+} // namespace
+
+SstaResult analyze_skew_yield(const ClockTree& tree, const ModeSet& modes,
+                              std::size_t mode_index, Ps kappa,
+                              SstaOptions opts) {
+  WM_REQUIRE(kappa > 0.0, "skew bound must be positive");
+  WM_REQUIRE(opts.sigma_over_mu >= 0.0, "sigma must be non-negative");
+
+  const ArrivalResult arr = compute_arrivals(tree, modes, mode_index);
+
+  // Per-node variance of the *output* arrival: parent's variance plus
+  // this edge's wire-stage and cell-stage contributions.
+  std::vector<double> var(tree.size(), 0.0);
+  std::vector<int> depth(tree.size(), 0);
+  const double s2 = opts.sigma_over_mu * opts.sigma_over_mu;
+  for (const NodeId id : tree.topological_order()) {
+    const TreeNode& n = tree.node(id);
+    const auto i = static_cast<std::size_t>(n.id);
+    double v = 0.0;
+    if (n.parent != kNoNode) {
+      const auto p = static_cast<std::size_t>(n.parent);
+      v = var[p];
+      depth[i] = depth[static_cast<std::size_t>(n.parent)] + 1;
+      const Ps wire = arr.input_arrival[i] - arr.output_arrival[p];
+      v += s2 * wire * wire;
+    }
+    const Ps cell = arr.output_arrival[i] - arr.input_arrival[i];
+    v += s2 * cell * cell;
+    var[i] = v;
+  }
+
+  const std::vector<NodeId> leaves = tree.leaves();
+  SstaResult r;
+  r.nominal_skew = arr.skew();
+  if (leaves.size() < 2 || opts.sigma_over_mu == 0.0) {
+    r.yield = r.nominal_skew <= kappa ? 1.0 : 0.0;
+    return r;
+  }
+
+  // Pairwise violation probabilities with shared-prefix covariance.
+  auto lca_var = [&](NodeId a, NodeId b) {
+    int da = depth[static_cast<std::size_t>(a)];
+    int db = depth[static_cast<std::size_t>(b)];
+    while (da > db) {
+      a = tree.node(a).parent;
+      --da;
+    }
+    while (db > da) {
+      b = tree.node(b).parent;
+      --db;
+    }
+    while (a != b) {
+      a = tree.node(a).parent;
+      b = tree.node(b).parent;
+    }
+    return var[static_cast<std::size_t>(a)];
+  };
+
+  double p_total = 0.0;
+  double p_worst = 0.0;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    for (std::size_t j = i + 1; j < leaves.size(); ++j) {
+      const auto li = static_cast<std::size_t>(leaves[i]);
+      const auto lj = static_cast<std::size_t>(leaves[j]);
+      const double mu =
+          arr.output_arrival[li] - arr.output_arrival[lj];
+      const double cov = lca_var(leaves[i], leaves[j]);
+      const double v = std::max(var[li] + var[lj] - 2.0 * cov, 1e-12);
+      const double sd = std::sqrt(v);
+      const double p =
+          tail((kappa - mu) / sd) + tail((kappa + mu) / sd);
+      p_total += p;
+      if (p > p_worst) {
+        p_worst = p;
+        r.skew_sigma = sd;
+        if (mu >= 0.0) {
+          r.critical_late = leaves[i];
+          r.critical_early = leaves[j];
+        } else {
+          r.critical_late = leaves[j];
+          r.critical_early = leaves[i];
+        }
+      }
+    }
+  }
+  // Union bound: a lower bound on the true yield (exact when a single
+  // pair dominates).
+  r.yield = std::clamp(1.0 - p_total, 0.0, 1.0);
+  return r;
+}
+
+SstaResult analyze_skew_yield(const ClockTree& tree, const ModeSet& modes,
+                              Ps kappa, SstaOptions opts) {
+  SstaResult worst;
+  worst.yield = std::numeric_limits<double>::max();
+  for (std::size_t m = 0; m < modes.count(); ++m) {
+    const SstaResult r =
+        analyze_skew_yield(tree, modes, m, kappa, opts);
+    if (r.yield < worst.yield) worst = r;
+  }
+  return worst;
+}
+
+} // namespace wm

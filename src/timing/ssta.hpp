@@ -1,0 +1,61 @@
+#pragma once
+// Statistical timing analysis (SSTA-lite) for skew-yield estimation.
+//
+// The Monte Carlo engine (mc/monte_carlo.hpp) measures skew yield by
+// brute force; this module estimates the same quantity analytically,
+// the way variation-aware assignment ([26], Kang & Kim) needs it inside
+// an optimization loop where a thousand simulations per candidate are
+// unaffordable.
+//
+// Model: every cell delay and every wire delay carries independent
+// Gaussian multiplicative variation with the given sigma/mu (matching
+// the MC engine's model). Arrival times are then Gaussians whose
+// variances accumulate along each root-to-sink path:
+//
+//     var(arrival_i) = sum over path edges/cells of (sigma * d_k)^2.
+//
+// Two sinks share the variance of their common path prefix, so the
+// *skew* between them is Gaussian with
+//
+//     var(a_i - a_j) = var_i + var_j - 2 cov_ij,
+//     cov_ij = variance accumulated on the common prefix.
+//
+// The worst pair bounds the yield: P(skew <= kappa) is estimated from
+// the maximum over pairs of P(|a_i - a_j| > kappa) via a union bound
+// (tight when one pair dominates, conservative otherwise).
+
+#include <vector>
+
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct SstaOptions {
+  double sigma_over_mu = 0.05;  ///< per-stage delay variation
+};
+
+struct SstaResult {
+  Ps nominal_skew = 0.0;
+  /// Standard deviation of the critical (max-mean, max-variance) sink
+  /// pair's skew.
+  Ps skew_sigma = 0.0;
+  /// P(skew <= kappa), union bound over sink pairs (lower bound on the
+  /// true yield; exact in the single-dominant-pair regime).
+  double yield = 1.0;
+  /// The pair realizing the worst violation probability.
+  NodeId critical_early = kNoNode;
+  NodeId critical_late = kNoNode;
+};
+
+/// Analytical skew-yield estimate for one power mode.
+SstaResult analyze_skew_yield(const ClockTree& tree, const ModeSet& modes,
+                              std::size_t mode_index, Ps kappa,
+                              SstaOptions opts = {});
+
+/// Worst (minimum) yield across all modes.
+SstaResult analyze_skew_yield(const ClockTree& tree, const ModeSet& modes,
+                              Ps kappa, SstaOptions opts = {});
+
+} // namespace wm

@@ -1,0 +1,176 @@
+#include "tree/clock_tree.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+NodeId ClockTree::add_root(Point pos, const Cell* cell) {
+  WM_REQUIRE(nodes_.empty(), "tree already has a root");
+  WM_REQUIRE(cell != nullptr, "root needs a cell");
+  TreeNode n;
+  n.id = 0;
+  n.pos = pos;
+  n.cell = cell;
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+NodeId ClockTree::add_node(NodeId parent, Point pos, const Cell* cell,
+                           Um wire_len) {
+  WM_REQUIRE(parent >= 0 && parent < static_cast<NodeId>(nodes_.size()),
+             "invalid parent id");
+  WM_REQUIRE(cell != nullptr, "node needs a cell");
+  const auto id = static_cast<NodeId>(nodes_.size());
+  TreeNode n;
+  n.id = id;
+  n.parent = parent;
+  n.pos = pos;
+  n.cell = cell;
+  n.wire_len = wire_len >= 0.0 ? wire_len : manhattan(pos, nodes_[parent].pos);
+  nodes_.push_back(std::move(n));
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+TreeNode& ClockTree::node(NodeId id) {
+  WM_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+             "invalid node id");
+  return nodes_[id];
+}
+
+const TreeNode& ClockTree::node(NodeId id) const {
+  WM_REQUIRE(id >= 0 && id < static_cast<NodeId>(nodes_.size()),
+             "invalid node id");
+  return nodes_[id];
+}
+
+std::vector<NodeId> ClockTree::leaves() const {
+  std::vector<NodeId> out;
+  for (const TreeNode& n : nodes_) {
+    if (n.is_leaf()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> ClockTree::non_leaves() const {
+  std::vector<NodeId> out;
+  for (const TreeNode& n : nodes_) {
+    if (!n.is_leaf()) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::size_t ClockTree::leaf_count() const {
+  std::size_t k = 0;
+  for (const TreeNode& n : nodes_) {
+    if (n.is_leaf()) ++k;
+  }
+  return k;
+}
+
+void ClockTree::set_cell(NodeId id, const Cell* cell) {
+  WM_REQUIRE(cell != nullptr, "cannot clear a node's cell");
+  node(id).cell = cell;
+}
+
+NodeId ClockTree::split_edge(NodeId child, Point pos, const Cell* cell) {
+  WM_REQUIRE(cell != nullptr, "repeater needs a cell");
+  TreeNode& c = node(child);
+  WM_REQUIRE(c.parent != kNoNode, "cannot split above the root");
+  const NodeId parent = c.parent;
+  const Um total = c.wire_len;
+  const Um to_new = manhattan(nodes_[parent].pos, pos);
+  const Um frac = total > 0.0 ? std::min(1.0, to_new / (to_new + manhattan(
+                                                 pos, c.pos) + 1e-9))
+                              : 0.5;
+
+  const auto id = static_cast<NodeId>(nodes_.size());
+  TreeNode m;
+  m.id = id;
+  m.parent = parent;
+  m.pos = pos;
+  m.cell = cell;
+  m.wire_len = total * frac;
+  m.children.push_back(child);
+  nodes_.push_back(std::move(m));
+
+  // Re-point the edge: parent -> m -> child.
+  auto& siblings = nodes_[parent].children;
+  *std::find(siblings.begin(), siblings.end(), child) = id;
+  nodes_[child].parent = id;
+  nodes_[child].wire_len = total * (1.0 - frac);
+  return id;
+}
+
+NodeId ClockTree::insert_below(NodeId parent, Point pos, const Cell* cell) {
+  WM_REQUIRE(cell != nullptr, "node needs a cell");
+  TreeNode& p = node(parent);
+  const auto id = static_cast<NodeId>(nodes_.size());
+  TreeNode m;
+  m.id = id;
+  m.parent = parent;
+  m.pos = pos;
+  m.cell = cell;
+  m.wire_len = manhattan(pos, p.pos);
+  m.children = std::move(p.children);
+  nodes_.push_back(std::move(m));
+  for (NodeId c : nodes_[static_cast<std::size_t>(id)].children) {
+    nodes_[static_cast<std::size_t>(c)].parent = id;
+  }
+  nodes_[static_cast<std::size_t>(parent)].children = {id};
+  return id;
+}
+
+std::vector<NodeId> ClockTree::topological_order() const {
+  std::vector<NodeId> order;
+  if (nodes_.empty()) return order;
+  order.reserve(nodes_.size());
+  std::vector<NodeId> queue{root()};
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const NodeId v = queue[head];
+    order.push_back(v);
+    for (NodeId c : nodes_[static_cast<std::size_t>(v)].children) {
+      queue.push_back(c);
+    }
+  }
+  WM_ASSERT(order.size() == nodes_.size(), "tree is not connected");
+  return order;
+}
+
+Ff ClockTree::load_of(NodeId id) const {
+  const TreeNode& n = node(id);
+  Ff load = n.sink_cap;
+  for (NodeId c : n.children) {
+    const TreeNode& ch = nodes_[c];
+    load += ch.wire_len * tech::kWireCapPerUm + ch.cell->c_in;
+  }
+  return load;
+}
+
+Polarity ClockTree::output_polarity(NodeId id) const {
+  int inversions = 0;
+  for (NodeId v = id; v != kNoNode; v = nodes_[v].parent) {
+    if (nodes_[v].cell->inverting()) ++inversions;
+  }
+  return inversions % 2 == 0 ? Polarity::Positive : Polarity::Negative;
+}
+
+std::vector<NodeId> ClockTree::leaves_under(NodeId id) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{id};
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    const TreeNode& n = node(v);
+    if (n.is_leaf()) {
+      out.push_back(v);
+    } else {
+      for (NodeId c : n.children) stack.push_back(c);
+    }
+  }
+  return out;
+}
+
+} // namespace wm

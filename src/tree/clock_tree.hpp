@@ -1,0 +1,126 @@
+#pragma once
+// Buffered clock tree data structure.
+//
+// Nodes form an arena (ids are stable indices). Ids are created in
+// parent-before-child order, but split_edge() can break that, so
+// traversals use topological_order(). Every node carries a buffering
+// cell; leaf nodes additionally carry the lumped capacitance of the
+// flip-flops they drive (the paper calls leaf buffering elements "sinks").
+//
+// Polarity assignment / buffer sizing mutate a node's cell in place; the
+// tree also stores, per adjustable cell, the per-power-mode delay codes
+// chosen by the ADB allocator.
+
+#include <cstdint>
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+using NodeId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+struct Point {
+  Um x = 0.0;
+  Um y = 0.0;
+};
+
+inline Um manhattan(const Point& a, const Point& b) {
+  const Um dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const Um dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+struct TreeNode {
+  NodeId id = kNoNode;
+  NodeId parent = kNoNode;
+  std::vector<NodeId> children;
+  Point pos;
+  const Cell* cell = nullptr;  ///< buffering element placed at this node
+  Um wire_len = 0.0;           ///< routed length of the edge from parent
+  Ps route_extra = 0.0;        ///< extra edge delay from a resistive
+                               ///< via/detour stack (delay without the
+                               ///< capacitive load of a snaked wire)
+  Ff sink_cap = 0.0;           ///< leaf only: lumped FF + local wire load
+  int island = 0;              ///< voltage island the node sits in
+  /// Per-power-mode capacitor-bank codes (empty unless the node holds an
+  /// adjustable cell configured by the ADB allocator).
+  std::vector<int> adj_codes;
+  /// Per-power-mode polarity selection of an XOR-reconfigurable leaf
+  /// ([30],[31]: an XOR gate ahead of the cell flips the clock phase
+  /// under mode control). Empty = static polarity from the cell itself.
+  std::vector<std::uint8_t> xor_negative;
+  /// Extra static cell delay (e.g. the XOR gate of a reconfigurable
+  /// leaf); applies identically in every mode.
+  Ps cell_extra_delay = 0.0;
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+class ClockTree {
+ public:
+  /// Create the root node. Must be called exactly once, first.
+  NodeId add_root(Point pos, const Cell* cell);
+
+  /// Append a child of `parent`. wire_len defaults to the Manhattan
+  /// distance between the two node positions.
+  NodeId add_node(NodeId parent, Point pos, const Cell* cell,
+                  Um wire_len = -1.0);
+
+  bool empty() const { return nodes_.empty(); }
+  std::size_t size() const { return nodes_.size(); }
+  NodeId root() const { return nodes_.empty() ? kNoNode : 0; }
+
+  TreeNode& node(NodeId id);
+  const TreeNode& node(NodeId id) const;
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+
+  /// Ids of all leaf nodes (the paper's set L), in id order.
+  std::vector<NodeId> leaves() const;
+
+  /// Ids of all non-leaf nodes, in id order.
+  std::vector<NodeId> non_leaves() const;
+
+  std::size_t leaf_count() const;
+
+  /// Replace the buffering cell at `id` (polarity assignment / sizing).
+  void set_cell(NodeId id, const Cell* cell);
+
+  /// Insert a new node on the edge from `child`'s parent to `child`
+  /// (repeater insertion). The new node takes over a proportional share
+  /// of the edge's wire length based on its position. Returns the new id.
+  NodeId split_edge(NodeId child, Point pos, const Cell* cell);
+
+  /// Insert a new node directly below `parent`, adopting ALL of
+  /// parent's current children (used for source-route repeater chains:
+  /// a common-path cell delays every sink equally, so it is
+  /// skew-neutral). Returns the new id.
+  NodeId insert_below(NodeId parent, Point pos, const Cell* cell);
+
+  /// Parent-before-child order (BFS from the root).
+  std::vector<NodeId> topological_order() const;
+
+  /// Capacitive load seen by the cell at `id`: its own sink load plus,
+  /// for every child edge, the wire capacitance and the child cell's
+  /// input pin capacitance.
+  Ff load_of(NodeId id) const;
+
+  /// Signal polarity (relative to the clock source) at the *output* of
+  /// node `id`: counts inverting cells on the root-to-id path.
+  Polarity output_polarity(NodeId id) const;
+
+  /// All leaf ids in the subtree rooted at `id` (id itself if a leaf).
+  std::vector<NodeId> leaves_under(NodeId id) const;
+
+  /// Deep copy with cells re-pointed into the same library (cells are
+  /// owned by the CellLibrary, so the default copy is already correct;
+  /// provided for clarity at call sites).
+  ClockTree clone() const { return *this; }
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+} // namespace wm

@@ -1,0 +1,47 @@
+#include "tree/zone.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+ZoneMap::ZoneMap(const ClockTree& tree, Um tile) : tile_(tile) {
+  WM_REQUIRE(tile > 0.0, "zone tile size must be positive");
+  leaf_zone_.assign(tree.size(), -1);
+
+  std::map<std::pair<int, int>, std::size_t> index;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) continue;
+    const int gx = static_cast<int>(std::floor(n.pos.x / tile));
+    const int gy = static_cast<int>(std::floor(n.pos.y / tile));
+    const auto key = std::make_pair(gx, gy);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      Zone z;
+      z.gx = gx;
+      z.gy = gy;
+      z.center = {(static_cast<Um>(gx) + 0.5) * tile,
+                  (static_cast<Um>(gy) + 0.5) * tile};
+      it = index.emplace(key, zones_.size()).first;
+      zones_.push_back(std::move(z));
+    }
+    zones_[it->second].members.push_back(n.id);
+    leaf_zone_[n.id] = static_cast<int>(it->second);
+  }
+}
+
+double ZoneMap::mean_occupancy() const {
+  if (zones_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const Zone& z : zones_) total += z.members.size();
+  return static_cast<double>(total) / static_cast<double>(zones_.size());
+}
+
+int ZoneMap::zone_of(NodeId leaf) const {
+  if (leaf < 0 || leaf >= static_cast<NodeId>(leaf_zone_.size())) return -1;
+  return leaf_zone_[leaf];
+}
+
+} // namespace wm

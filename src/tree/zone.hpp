@@ -1,0 +1,45 @@
+#pragma once
+// Zone partitioning (paper Sec. V-A / VII-A).
+//
+// Power/ground noise is a local effect, so the design is divided into
+// square zones (50 x 50 um by default) and the optimization minimizes
+// each zone's local peak current. A Zone is the set of leaf buffering
+// elements whose placement falls inside one grid tile.
+
+#include <vector>
+
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+
+namespace wm {
+
+struct Zone {
+  int gx = 0;  ///< grid column
+  int gy = 0;  ///< grid row
+  std::vector<NodeId> members;  ///< leaf nodes inside this tile
+  Point center;                 ///< tile center (for the grid noise model)
+};
+
+class ZoneMap {
+ public:
+  /// Partition the tree's leaves into zones of the given tile size.
+  /// Only non-empty zones are kept.
+  ZoneMap(const ClockTree& tree, Um tile = tech::kZoneSize);
+
+  const std::vector<Zone>& zones() const { return zones_; }
+  Um tile() const { return tile_; }
+
+  /// Average leaves per (non-empty) zone — the statistic the paper
+  /// quotes (4.3 for ISCAS'89, 4.9 for ISPD'09, 7.1 for s35932).
+  double mean_occupancy() const;
+
+  /// Index of the zone containing the given leaf; -1 if not a leaf.
+  int zone_of(NodeId leaf) const;
+
+ private:
+  Um tile_;
+  std::vector<Zone> zones_;
+  std::vector<int> leaf_zone_;  // indexed by NodeId
+};
+
+} // namespace wm

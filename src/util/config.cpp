@@ -1,0 +1,146 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+bool parse_bool(const std::string& v, const std::string& key) {
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw Error("config: bad boolean for '" + key + "': " + v);
+}
+
+double parse_num(const std::string& v, const std::string& key) {
+  std::size_t used = 0;
+  double out = 0.0;
+  try {
+    out = std::stod(v, &used);
+  } catch (const std::exception&) {
+    throw Error("config: bad number for '" + key + "': " + v);
+  }
+  if (used != v.size()) {
+    throw Error("config: trailing junk for '" + key + "': " + v);
+  }
+  return out;
+}
+
+SolverKind parse_solver(const std::string& v) {
+  if (v == "warburton") return SolverKind::Warburton;
+  if (v == "exact") return SolverKind::Exact;
+  if (v == "greedy") return SolverKind::Greedy;
+  if (v == "exhaustive") return SolverKind::Exhaustive;
+  throw Error("config: unknown solver: " + v);
+}
+
+const char* solver_name(SolverKind s) {
+  switch (s) {
+    case SolverKind::Warburton: return "warburton";
+    case SolverKind::Exact: return "exact";
+    case SolverKind::Greedy: return "greedy";
+    case SolverKind::Exhaustive: return "exhaustive";
+  }
+  return "?";
+}
+
+} // namespace
+
+WaveMinOptions parse_wavemin_config(std::istream& is,
+                                    WaveMinOptions defaults) {
+  WaveMinOptions opts = defaults;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::string t = trim(line);
+    if (t.empty()) continue;
+    const auto eq = t.find('=');
+    WM_REQUIRE(eq != std::string::npos,
+               "config line " + std::to_string(line_no) +
+                   ": expected key = value");
+    const std::string key = trim(t.substr(0, eq));
+    std::string value = trim(t.substr(eq + 1));
+    std::transform(value.begin(), value.end(), value.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+
+    if (key == "kappa") {
+      opts.kappa = parse_num(value, key);
+      WM_REQUIRE(opts.kappa > 0.0, "config: kappa must be positive");
+    } else if (key == "samples") {
+      opts.samples = static_cast<int>(parse_num(value, key));
+      WM_REQUIRE(opts.samples >= 4, "config: samples must be >= 4");
+    } else if (key == "epsilon") {
+      opts.epsilon = parse_num(value, key);
+      WM_REQUIRE(opts.epsilon > 0.0, "config: epsilon must be positive");
+    } else if (key == "solver") {
+      opts.solver = parse_solver(value);
+    } else if (key == "guard_band") {
+      opts.skew_guard_band = parse_num(value, key);
+    } else if (key == "threads") {
+      opts.threads = static_cast<unsigned>(parse_num(value, key));
+    } else if (key == "xor") {
+      opts.enable_xor_polarity = parse_bool(value, key);
+    } else if (key == "include_nonleaf") {
+      opts.include_nonleaf = parse_bool(value, key);
+    } else if (key == "shift_by_arrival") {
+      opts.shift_by_arrival = parse_bool(value, key);
+    } else if (key == "dof_beam") {
+      opts.dof_beam = static_cast<std::size_t>(parse_num(value, key));
+    } else if (key == "zone_tile") {
+      opts.zone_tile = parse_num(value, key);
+      WM_REQUIRE(opts.zone_tile > 0.0,
+                 "config: zone_tile must be positive");
+    } else {
+      throw Error("config: unknown key '" + key + "' (line " +
+                  std::to_string(line_no) + ")");
+    }
+  }
+  return opts;
+}
+
+WaveMinOptions parse_wavemin_config_string(const std::string& text,
+                                           WaveMinOptions defaults) {
+  std::istringstream is(text);
+  return parse_wavemin_config(is, defaults);
+}
+
+WaveMinOptions load_wavemin_config(const std::string& path,
+                                   WaveMinOptions defaults) {
+  std::ifstream is(path);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open config: " + path);
+  return parse_wavemin_config(is, defaults);
+}
+
+std::string wavemin_config_to_string(const WaveMinOptions& opts) {
+  std::ostringstream os;
+  os << "kappa = " << opts.kappa << '\n';
+  os << "samples = " << opts.samples << '\n';
+  os << "epsilon = " << opts.epsilon << '\n';
+  os << "solver = " << solver_name(opts.solver) << '\n';
+  os << "guard_band = " << opts.skew_guard_band << '\n';
+  os << "threads = " << opts.threads << '\n';
+  os << "xor = " << (opts.enable_xor_polarity ? "true" : "false") << '\n';
+  os << "include_nonleaf = "
+     << (opts.include_nonleaf ? "true" : "false") << '\n';
+  os << "shift_by_arrival = "
+     << (opts.shift_by_arrival ? "true" : "false") << '\n';
+  os << "dof_beam = " << opts.dof_beam << '\n';
+  os << "zone_tile = " << opts.zone_tile << '\n';
+  return os.str();
+}
+
+} // namespace wm

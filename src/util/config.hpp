@@ -1,0 +1,42 @@
+#pragma once
+// Key=value configuration files.
+//
+// Flows pin their optimization settings in a small text file checked in
+// next to the design ("wavemin.cfg"), instead of long command lines:
+//
+//     # single-mode run
+//     kappa       = 20
+//     samples     = 158
+//     epsilon     = 0.01
+//     solver      = warburton      # warburton|exact|greedy|exhaustive
+//     guard_band  = 0
+//     threads     = 1
+//     xor         = false
+//
+// Unknown keys are rejected (typos must not silently fall back to
+// defaults). The CLI consumes this via --config <file>.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/options.hpp"
+
+namespace wm {
+
+/// Parse a configuration stream into WaveMinOptions (starting from the
+/// given defaults). Throws wm::Error on malformed lines, unknown keys
+/// or out-of-range values.
+WaveMinOptions parse_wavemin_config(std::istream& is,
+                                    WaveMinOptions defaults = {});
+
+WaveMinOptions parse_wavemin_config_string(const std::string& text,
+                                           WaveMinOptions defaults = {});
+
+/// Load from a file path.
+WaveMinOptions load_wavemin_config(const std::string& path,
+                                   WaveMinOptions defaults = {});
+
+/// Serialize options back out (round-trips through the parser).
+std::string wavemin_config_to_string(const WaveMinOptions& opts);
+
+} // namespace wm

@@ -1,0 +1,15 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wm::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "WM_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg.c_str());
+  std::abort();
+}
+
+} // namespace wm::detail

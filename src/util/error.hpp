@@ -1,0 +1,45 @@
+#pragma once
+// Error-handling helpers.
+//
+// Library invariants are checked with WM_ASSERT (active in all build
+// types: an invariant violation in an EDA optimizer silently corrupts
+// results, which is far worse than an abort). User-facing precondition
+// violations throw wm::Error so callers can recover.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace wm {
+
+/// Exception thrown on violated user-facing preconditions
+/// (malformed trees, empty libraries, inconsistent mode counts, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+} // namespace detail
+
+} // namespace wm
+
+/// Internal invariant check; always active.
+#define WM_ASSERT(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::wm::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));        \
+    }                                                                     \
+  } while (false)
+
+/// Precondition check on public API entry points; throws wm::Error.
+#define WM_REQUIRE(expr, msg)                                             \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream oss_;                                            \
+      oss_ << "precondition failed: " << (msg) << " [" << #expr << "]";   \
+      throw ::wm::Error(oss_.str());                                      \
+    }                                                                     \
+  } while (false)

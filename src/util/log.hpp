@@ -1,0 +1,53 @@
+#pragma once
+// Minimal leveled logging.
+//
+// The optimizers are silent by default (library code must not spam
+// stdout); set the level to Info/Debug to watch the interval sweep,
+// zone solves and ADB allocation decide. The CLI exposes this as
+// --verbose / --debug. Thread-safe for concurrent zone solves (a single
+// global mutex — logging is not on the hot path).
+
+#include <sstream>
+#include <string>
+
+namespace wm {
+
+enum class LogLevel { Silent = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/// Process-wide log level (default Silent... warnings only).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+} // namespace detail
+
+} // namespace wm
+
+/// Usage: WM_LOG(Info) << "solved zone " << z << " worst " << w;
+#define WM_LOG(level_)                                                   \
+  if (::wm::log_level() < ::wm::LogLevel::level_) {                      \
+  } else                                                                 \
+    ::wm::detail::LogLine(::wm::LogLevel::level_)
+
+namespace wm::detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+} // namespace wm::detail

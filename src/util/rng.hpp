@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic random number generation.
+//
+// Every stochastic component of the reproduction (benchmark generation,
+// Monte Carlo process variation) must be reproducible from a single
+// seed, so we carry our own tiny xoshiro256** implementation instead of
+// depending on std::mt19937 (whose distributions are not guaranteed to
+// be bit-stable across standard libraries).
+
+#include <cstdint>
+
+namespace wm {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal();
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Gaussian N(nominal, (ratio*nominal)^2) — the sigma/mu = 5% process
+  /// variation model of the paper (Sec. VII-D). Clamped to stay positive.
+  double vary(double nominal, double sigma_over_mu);
+
+  /// Derive an independent child stream (for per-instance MC streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+} // namespace wm

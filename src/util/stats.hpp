@@ -1,0 +1,24 @@
+#pragma once
+// Small statistics helpers used by the Monte Carlo engine (Sec. VII-D)
+// and the degree-of-freedom correlation study (Fig. 14).
+
+#include <span>
+
+namespace wm {
+
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// sigma-hat / mu-hat, the normalized standard deviation the paper
+/// reports for the MC study; 0 when the mean is 0.
+double normalized_stddev(std::span<const double> xs);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+} // namespace wm

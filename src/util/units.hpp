@@ -1,0 +1,55 @@
+#pragma once
+// Unit conventions used across the whole library (see DESIGN.md §6).
+//
+// All quantities are plain `double`s in fixed engineering units chosen so
+// that the common products come out unit-consistent without conversion
+// factors:
+//
+//   time         : picoseconds  (ps)
+//   capacitance  : femtofarads  (fF)
+//   resistance   : kilo-ohms    (kOhm)   =>  R*C = kOhm*fF = ps
+//   current      : microamperes (uA)
+//   voltage      : volts        (V)
+//   noise        : millivolts   (mV)     =>  uA * kOhm = mV
+//   distance     : micrometers  (um)
+//
+// Strong typedefs were considered; plain doubles with `_ps`-style naming
+// won for interoperability with the numeric kernels (waveform arrays,
+// label vectors) where wrapping every element would obscure the math.
+
+namespace wm {
+
+using Ps = double;    ///< time in picoseconds
+using Ff = double;    ///< capacitance in femtofarads
+using KOhm = double;  ///< resistance in kilo-ohms
+using UA = double;    ///< current in microamperes
+using Volt = double;  ///< voltage in volts
+using MV = double;    ///< voltage noise in millivolts
+using Um = double;    ///< distance in micrometers
+
+/// Process / operating constants of the 45 nm-class cell model.
+namespace tech {
+
+inline constexpr Volt kVddNominal = 1.1;   ///< nominal supply
+inline constexpr Volt kVddLow = 0.9;       ///< low-power-mode supply
+inline constexpr Volt kVth = 0.42;         ///< threshold voltage
+inline constexpr double kAlphaPower = 1.7; ///< alpha-power law exponent
+
+inline constexpr Ps kClockPeriod = 1000.0; ///< 1 GHz clock
+inline constexpr Ps kCharacterizationSlew = 20.0; ///< 1-3 ps sharper than
+                                                  ///< the mean tree slew
+                                                  ///< (paper Sec. IV-B)
+
+inline constexpr Um kZoneSize = 50.0; ///< 50x50 um zones (paper Sec. VII-A)
+
+/// Per-unit-length wire parasitics (per um), 45 nm-class thin
+/// intermediate metal. The resistance/capacitance ratio matters for
+/// zero-skew balancing: delay added along a snaked wire must dominate
+/// the load-delay the same wire adds to its driver, or balancing cannot
+/// converge (ratio here ~4x at typical lengths).
+inline constexpr KOhm kWireResPerUm = 0.002; ///< 2 Ohm/um
+inline constexpr Ff kWireCapPerUm = 0.12;    ///< 0.12 fF/um
+
+} // namespace tech
+
+} // namespace wm

@@ -1,0 +1,253 @@
+#include "viz/svg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+const char* kSeriesColors[] = {"#1f77b4", "#d62728", "#2ca02c",
+                               "#9467bd", "#ff7f0e", "#8c564b"};
+
+const char* node_color(const TreeNode& n) {
+  if (!n.is_leaf()) return "#9aa0a6";  // gray
+  switch (n.cell->kind) {
+    case CellKind::Buffer: return "#1f77b4";    // blue
+    case CellKind::Inverter: return "#d62728";  // red
+    case CellKind::Adb: return "#9467bd";       // purple
+    case CellKind::Adi: return "#ff7f0e";       // orange
+  }
+  return "#000000";
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << v;
+  return os.str();
+}
+
+} // namespace
+
+std::string tree_to_svg(const ClockTree& tree, TreeSvgOptions opts) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  Um max_x = 0.0, max_y = 0.0;
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_x = std::max(max_x, n.pos.x);
+    max_y = std::max(max_y, n.pos.y);
+    max_island = std::max(max_island, n.island);
+  }
+  const double w = max_x * opts.scale + 2.0 * opts.margin;
+  const double h = max_y * opts.scale + 2.0 * opts.margin;
+  auto px = [&](Um x) { return opts.margin + x * opts.scale; };
+  // SVG y grows downward; flip so the layout reads like a floorplan.
+  auto py = [&](Um y) { return h - opts.margin - y * opts.scale; };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt(w)
+      << "\" height=\"" << fmt(h) << "\" viewBox=\"0 0 " << fmt(w) << ' '
+      << fmt(h) << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  if (opts.shade_islands && max_island > 0) {
+    // Vertical stripes, alternating tint (matches the generator's
+    // island geometry).
+    const double stripe_w = max_x * opts.scale /
+                            static_cast<double>(max_island + 1);
+    for (int i = 0; i <= max_island; ++i) {
+      svg << "<rect x=\"" << fmt(opts.margin + i * stripe_w) << "\" y=\""
+          << fmt(opts.margin) << "\" width=\"" << fmt(stripe_w)
+          << "\" height=\"" << fmt(h - 2.0 * opts.margin) << "\" fill=\""
+          << (i % 2 ? "#f2f6fc" : "#fbfbf5") << "\"/>\n";
+    }
+  }
+
+  // Wires.
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.parent == kNoNode) continue;
+    const TreeNode& p = tree.node(n.parent);
+    svg << "<line x1=\"" << fmt(px(p.pos.x)) << "\" y1=\""
+        << fmt(py(p.pos.y)) << "\" x2=\"" << fmt(px(n.pos.x))
+        << "\" y2=\"" << fmt(py(n.pos.y))
+        << "\" stroke=\"#c0c4cc\" stroke-width=\"1\"/>\n";
+  }
+
+  // Nodes.
+  for (const TreeNode& n : tree.nodes()) {
+    const double r = n.is_leaf() ? 4.0 : (n.parent == kNoNode ? 7.0 : 5.0);
+    svg << "<circle cx=\"" << fmt(px(n.pos.x)) << "\" cy=\""
+        << fmt(py(n.pos.y)) << "\" r=\"" << fmt(r) << "\" fill=\""
+        << node_color(n) << "\"";
+    if (!n.xor_negative.empty()) {
+      svg << " stroke=\"#111111\" stroke-width=\"2\"";
+    }
+    svg << "><title>" << n.cell->name << " @ (" << fmt(n.pos.x) << ','
+        << fmt(n.pos.y) << ")</title></circle>\n";
+    if (opts.label_leaves && n.is_leaf()) {
+      svg << "<text x=\"" << fmt(px(n.pos.x) + 6.0) << "\" y=\""
+          << fmt(py(n.pos.y) - 6.0)
+          << "\" font-size=\"9\" fill=\"#333\">" << n.id << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string waveforms_to_svg(const std::vector<const Waveform*>& waves,
+                             const std::vector<std::string>& labels,
+                             WaveSvgOptions opts) {
+  WM_REQUIRE(!waves.empty(), "no waveforms to plot");
+  WM_REQUIRE(waves.size() == labels.size(),
+             "labels must match waveforms");
+
+  Ps lo = opts.t_min, hi = opts.t_max;
+  if (hi <= lo) {
+    lo = std::numeric_limits<Ps>::max();
+    hi = std::numeric_limits<Ps>::lowest();
+    for (const Waveform* w : waves) {
+      WM_REQUIRE(w != nullptr && !w->empty(), "null/empty waveform");
+      lo = std::min(lo, w->t0());
+      hi = std::max(hi, w->t_end());
+    }
+  }
+  double y_max = 0.0;
+  for (const Waveform* w : waves) y_max = std::max(y_max, w->peak());
+  if (y_max <= 0.0) y_max = 1.0;
+
+  const double ml = 56.0, mr = 16.0, mt = 18.0, mb = 40.0;
+  const double pw = opts.width - ml - mr;
+  const double ph = opts.height - mt - mb;
+  auto sx = [&](Ps t) { return ml + pw * (t - lo) / (hi - lo); };
+  auto sy = [&](double v) { return mt + ph * (1.0 - v / y_max); };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+      << fmt(opts.width) << "\" height=\"" << fmt(opts.height)
+      << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  // Axes.
+  svg << "<line x1=\"" << fmt(ml) << "\" y1=\"" << fmt(mt + ph)
+      << "\" x2=\"" << fmt(ml + pw) << "\" y2=\"" << fmt(mt + ph)
+      << "\" stroke=\"#333\"/>\n";
+  svg << "<line x1=\"" << fmt(ml) << "\" y1=\"" << fmt(mt) << "\" x2=\""
+      << fmt(ml) << "\" y2=\"" << fmt(mt + ph) << "\" stroke=\"#333\"/>\n";
+  // Ticks (5 on each axis).
+  for (int i = 0; i <= 5; ++i) {
+    const Ps t = lo + (hi - lo) * i / 5.0;
+    svg << "<text x=\"" << fmt(sx(t)) << "\" y=\"" << fmt(mt + ph + 16.0)
+        << "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#333\">"
+        << fmt(t) << "</text>\n";
+    const double v = y_max * i / 5.0;
+    svg << "<text x=\"" << fmt(ml - 6.0) << "\" y=\"" << fmt(sy(v) + 3.0)
+        << "\" font-size=\"10\" text-anchor=\"end\" fill=\"#333\">"
+        << fmt(v) << "</text>\n";
+  }
+  svg << "<text x=\"" << fmt(ml + pw / 2.0) << "\" y=\""
+      << fmt(opts.height - 6.0)
+      << "\" font-size=\"11\" text-anchor=\"middle\" fill=\"#333\">"
+      << opts.x_label << "</text>\n";
+
+  // Series.
+  for (std::size_t s = 0; s < waves.size(); ++s) {
+    const Waveform& w = *waves[s];
+    const char* color = kSeriesColors[s % 6];
+    svg << "<polyline fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.5\" points=\"";
+    const int n_pts = 400;
+    for (int i = 0; i <= n_pts; ++i) {
+      const Ps t = lo + (hi - lo) * i / n_pts;
+      svg << fmt(sx(t)) << ',' << fmt(sy(std::max(0.0, w.value_at(t))))
+          << ' ';
+    }
+    svg << "\"/>\n";
+    // Legend entry.
+    const double ly = mt + 14.0 * (static_cast<double>(s) + 1.0);
+    svg << "<rect x=\"" << fmt(ml + pw - 150.0) << "\" y=\""
+        << fmt(ly - 8.0)
+        << "\" width=\"10\" height=\"10\" fill=\"" << color << "\"/>\n";
+    svg << "<text x=\"" << fmt(ml + pw - 136.0) << "\" y=\"" << fmt(ly)
+        << "\" font-size=\"11\" fill=\"#333\">" << labels[s]
+        << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+std::string noise_heatmap_svg(const ClockTree& tree, const TreeSim& sim,
+                              HeatmapSvgOptions opts) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  WM_REQUIRE(opts.tile > 0.0, "tile must be positive");
+
+  // Aggregate per tile.
+  struct Tile {
+    int gx, gy;
+    std::vector<NodeId> members;
+    double peak = 0.0;
+  };
+  std::vector<Tile> tiles;
+  auto find_tile = [&](int gx, int gy) -> Tile& {
+    for (Tile& t : tiles) {
+      if (t.gx == gx && t.gy == gy) return t;
+    }
+    tiles.push_back(Tile{gx, gy, {}, 0.0});
+    return tiles.back();
+  };
+  Um max_x = 0.0, max_y = 0.0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_x = std::max(max_x, n.pos.x);
+    max_y = std::max(max_y, n.pos.y);
+    find_tile(static_cast<int>(std::floor(n.pos.x / opts.tile)),
+              static_cast<int>(std::floor(n.pos.y / opts.tile)))
+        .members.push_back(n.id);
+  }
+  double worst = 1e-9;
+  for (Tile& t : tiles) {
+    const Waveform idd = sim.sum_rail(t.members, Rail::Vdd);
+    const Waveform iss = sim.sum_rail(t.members, Rail::Gnd);
+    t.peak = std::max(idd.peak(), iss.peak());
+    worst = std::max(worst, t.peak);
+  }
+
+  const double w = max_x * opts.scale + 2.0 * opts.margin;
+  const double h = max_y * opts.scale + 2.0 * opts.margin;
+  auto px = [&](Um x) { return opts.margin + x * opts.scale; };
+  auto py = [&](Um y) { return h - opts.margin - y * opts.scale; };
+  const double tp = opts.tile * opts.scale;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << fmt(w)
+      << "\" height=\"" << fmt(h) << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  for (const Tile& t : tiles) {
+    // White -> red ramp by relative peak.
+    const double rel = t.peak / worst;
+    const int g = static_cast<int>(255.0 * (1.0 - 0.85 * rel));
+    svg << "<rect x=\"" << fmt(px(t.gx * opts.tile)) << "\" y=\""
+        << fmt(py((t.gy + 1) * opts.tile)) << "\" width=\"" << fmt(tp)
+        << "\" height=\"" << fmt(tp) << "\" fill=\"rgb(255," << g << ','
+        << g << ")\" stroke=\"#ddd\"><title>tile (" << t.gx << ','
+        << t.gy << "): " << fmt(t.peak) << " uA</title></rect>\n";
+  }
+  for (const TreeNode& n : tree.nodes()) {
+    svg << "<circle cx=\"" << fmt(px(n.pos.x)) << "\" cy=\""
+        << fmt(py(n.pos.y)) << "\" r=\"" << (n.is_leaf() ? 3 : 4)
+        << "\" fill=\"" << node_color(n) << "\"/>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const std::string& svg) {
+  std::ofstream os(path);
+  WM_REQUIRE(static_cast<bool>(os), "cannot open for write: " + path);
+  os << svg;
+  WM_REQUIRE(static_cast<bool>(os), "write failed: " + path);
+}
+
+} // namespace wm

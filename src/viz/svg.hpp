@@ -1,0 +1,61 @@
+#pragma once
+// SVG rendering of clock trees and waveforms.
+//
+// A reproduction lives and dies by being inspectable: these helpers
+// render the tree layout (placement, routing, polarity, islands) and
+// current waveforms as standalone SVG documents, for docs and debugging.
+// No external dependencies — the SVG is assembled as text.
+
+#include <string>
+#include <vector>
+
+#include "tree/clock_tree.hpp"
+#include "wave/tree_sim.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+struct TreeSvgOptions {
+  double scale = 3.0;       ///< pixels per um
+  double margin = 24.0;     ///< canvas margin in pixels
+  bool shade_islands = true;
+  bool label_leaves = false;
+};
+
+/// Render the tree: island stripes, wires (parent->child), nodes
+/// colored by role and polarity (buffers blue, inverters red, ADB/ADI
+/// purple/orange, non-leaves gray; XOR-reconfigurable leaves get a ring).
+std::string tree_to_svg(const ClockTree& tree, TreeSvgOptions opts = {});
+
+struct WaveSvgOptions {
+  double width = 860.0;
+  double height = 320.0;
+  Ps t_min = 0.0;         ///< plotted time range; t_max <= t_min plots all
+  Ps t_max = 0.0;
+  const char* x_label = "time (ps)";
+  const char* y_label = "current (uA)";
+};
+
+/// Plot one or more waveforms as colored polylines with axes and a
+/// legend. `labels` must match `waves` in length.
+std::string waveforms_to_svg(const std::vector<const Waveform*>& waves,
+                             const std::vector<std::string>& labels,
+                             WaveSvgOptions opts = {});
+
+struct HeatmapSvgOptions {
+  Um tile = 50.0;       ///< aggregation tile (the zone size)
+  double scale = 3.0;   ///< pixels per um
+  double margin = 24.0;
+};
+
+/// Tile-level peak-current heat map: each 50 um tile is shaded by the
+/// peak of its local current waveform (max of both rails), the
+/// quantity the zone-wise optimization minimizes. Node markers overlay
+/// the tiles.
+std::string noise_heatmap_svg(const ClockTree& tree, const TreeSim& sim,
+                              HeatmapSvgOptions opts = {});
+
+/// Write any SVG string to a file (throws wm::Error on IO failure).
+void save_svg(const std::string& path, const std::string& svg);
+
+} // namespace wm

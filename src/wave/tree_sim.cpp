@@ -1,0 +1,189 @@
+#include "wave/tree_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+
+namespace {
+
+double factor_or_1(const std::vector<double>& v, NodeId id) {
+  if (v.empty()) return 1.0;
+  return v[static_cast<std::size_t>(id)];
+}
+
+} // namespace
+
+TreeSim::TreeSim(const ClockTree& tree, const ModeSet& modes,
+                 std::size_t mode_index, TreeSimOptions opts)
+    : tree_(tree), opts_(std::move(opts)) {
+  WM_REQUIRE(!tree.empty(), "empty tree");
+  const std::size_t n = tree.size();
+  input_arrival_.assign(n, 0.0);
+  output_arrival_.assign(n, 0.0);
+  slew_in_.assign(n, tech::kCharacterizationSlew);
+  shift_.assign(n, 0.0);
+  node_wave_.resize(n);
+
+  std::vector<Ps> slew_out(n, tech::kCharacterizationSlew);
+  std::vector<bool> input_negative(n, false);
+  gated_.assign(n, 0);
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf() && modes.gated(mode_index, node.island)) {
+      gated_[static_cast<std::size_t>(node.id)] = 1;
+    }
+  }
+
+  for (const NodeId nid : tree.topological_order()) {
+    const TreeNode& node = tree.node(nid);
+    const auto i = static_cast<std::size_t>(node.id);
+    Ps in_arr = 0.0;
+    Ps sin = tech::kCharacterizationSlew;
+    bool neg = false;
+    if (node.parent != kNoNode) {
+      const auto p = static_cast<std::size_t>(node.parent);
+      const Ps wd = (wire_elmore(tree_, node.id) + node.route_extra) *
+                    factor_or_1(opts_.wire_delay_factor, node.id);
+      in_arr = output_arrival_[p] + wd;
+      if (opts_.propagate_slew) {
+        // Wire RC degrades the transition on top of the driver's output
+        // slew (same helper the timing analysis uses).
+        sin = slew_out[p] + wire_slew_degradation(wire_elmore(tree_, node.id));
+      }
+      neg = input_negative[p] != tree.node(node.parent).cell->inverting();
+    }
+    // An XOR-reconfigurable leaf flips its effective input phase in the
+    // modes where its control selects negative polarity.
+    if (!node.xor_negative.empty() &&
+        mode_index < node.xor_negative.size() &&
+        node.xor_negative[mode_index]) {
+      neg = !neg;
+    }
+    input_arrival_[i] = in_arr;
+    slew_in_[i] = sin;
+    input_negative[i] = neg;
+
+    const Volt vdd = modes.vdd(mode_index, node.island);
+    DriveConditions dc{tree.load_of(node.id), sin, vdd,
+                       modes.temp(mode_index, node.island)};
+    Ps extra = 0.0;
+    if (node.cell->adjustable() && !node.adj_codes.empty()) {
+      WM_REQUIRE(mode_index < node.adj_codes.size(),
+                 "adjustable node lacks a code for this mode");
+      extra = node.cell->adj_step *
+              static_cast<Ps>(node.adj_codes[mode_index]);
+    }
+    CellWave cw = simulate_cell(*node.cell, dc, opts_.period, opts_.dt,
+                                extra);
+    const double df = factor_or_1(opts_.cell_delay_factor, node.id);
+    const double cf = factor_or_1(opts_.current_factor, node.id);
+    if (cf != 1.0) {
+      cw.idd.scale(cf);
+      cw.iss.scale(cf);
+    }
+    // Delay perturbation moves the output event; approximate by shifting
+    // the whole response (the pulse rides on the output transition).
+    const Ps delay_shift = (df - 1.0) * cw.timing.delay();
+
+    // cw.timing already includes the configured adjustable extra delay.
+    output_arrival_[i] =
+        in_arr + df * cw.timing.delay() + node.cell_extra_delay;
+    slew_out[i] = 0.5 * (cw.timing.slew_rise + cw.timing.slew_fall);
+
+    // A negative-polarity input swaps the roles of the two source edges:
+    // shift the full-period response by half a period (mod period).
+    shift_[i] = in_arr + delay_shift + node.cell_extra_delay +
+                (neg ? 0.5 * opts_.period : 0.0);
+    node_wave_[i] = std::move(cw);
+  }
+
+  // Accumulate everything on an extended window, then fold. Leaves of a
+  // clock-gated island do not toggle in this mode.
+  Waveform ext_idd, ext_iss;
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.is_leaf() && modes.gated(mode_index, node.island)) continue;
+    const auto i = static_cast<std::size_t>(node.id);
+    ext_idd.accumulate(node_wave_[i].idd, shift_[i]);
+    ext_iss.accumulate(node_wave_[i].iss, shift_[i]);
+  }
+  total_idd_ = folded(ext_idd);
+  total_iss_ = folded(ext_iss);
+}
+
+Waveform TreeSim::folded(const Waveform& ext) const {
+  const auto n = static_cast<std::size_t>(opts_.period / opts_.dt);
+  Waveform out = Waveform::zeros(0.0, opts_.dt, n);
+  if (ext.empty()) return out;
+  // Sum all periodic images that intersect the stored span.
+  const auto k_lo = static_cast<long>(
+      std::floor(ext.t0() / opts_.period)) - 1;
+  const auto k_hi = static_cast<long>(
+      std::ceil(ext.t_end() / opts_.period)) + 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Ps t = out.time_at(i);
+    double acc = 0.0;
+    for (long k = k_lo; k <= k_hi; ++k) {
+      acc += ext.value_at(t + static_cast<Ps>(k) * opts_.period);
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+UA TreeSim::peak_current() const {
+  return std::max(total_idd_.peak(), total_iss_.peak());
+}
+
+Waveform TreeSim::sum_rail(std::span<const NodeId> ids, Rail rail) const {
+  Waveform ext;
+  for (NodeId id : ids) {
+    const TreeNode& n = tree_.node(id);
+    if (n.is_leaf() && gated_[static_cast<std::size_t>(id)]) continue;
+    const auto i = static_cast<std::size_t>(id);
+    const Waveform& w =
+        rail == Rail::Vdd ? node_wave_[i].idd : node_wave_[i].iss;
+    ext.accumulate(w, shift_[i]);
+  }
+  return folded(ext);
+}
+
+Waveform TreeSim::leaves_rail(Rail rail) const {
+  const auto ids = tree_.leaves();
+  return sum_rail(ids, rail);
+}
+
+Waveform TreeSim::non_leaves_rail(Rail rail) const {
+  const auto ids = tree_.non_leaves();
+  return sum_rail(ids, rail);
+}
+
+Ps TreeSim::input_arrival(NodeId id) const {
+  return input_arrival_[static_cast<std::size_t>(id)];
+}
+
+Ps TreeSim::output_arrival(NodeId id) const {
+  return output_arrival_[static_cast<std::size_t>(id)];
+}
+
+Ps TreeSim::slew_in(NodeId id) const {
+  return slew_in_[static_cast<std::size_t>(id)];
+}
+
+Ps TreeSim::skew() const {
+  Ps lo = std::numeric_limits<Ps>::max();
+  Ps hi = std::numeric_limits<Ps>::lowest();
+  for (const TreeNode& n : tree_.nodes()) {
+    if (!n.is_leaf()) continue;
+    if (gated_[static_cast<std::size_t>(n.id)]) continue;
+    const Ps a = output_arrival_[static_cast<std::size_t>(n.id)];
+    lo = std::min(lo, a);
+    hi = std::max(hi, a);
+  }
+  return hi - lo;
+}
+
+} // namespace wm

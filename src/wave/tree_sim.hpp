@@ -1,0 +1,85 @@
+#pragma once
+// Full-tree current simulation by superposition — the reproduction's
+// stand-in for the paper's HSPICE validation runs.
+//
+// Unlike the optimizer's characterization-table model, this simulator
+//   * propagates slews through the tree (a leaf sized differently sees
+//     and produces different transition times),
+//   * uses exact (un-quantized) loads,
+//   * folds the response into one steady-state clock period,
+// so it disagrees with the optimizer's LUT model in exactly the ways the
+// paper reports (Sec. VII-C).
+//
+// The source clock rises at t = 0 and falls at t = period/2. A node whose
+// input polarity is negative (an inverting ancestor) responds to the
+// source's falling edge half a period later; periodic folding puts all
+// pulses back into [0, period).
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "cells/electrical.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/units.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+
+struct TreeSimOptions {
+  Ps period = tech::kClockPeriod;
+  Ps dt = 0.5;
+  /// Propagate parent-dependent slews (true) or freeze the
+  /// characterization slew everywhere (false; makes the simulator agree
+  /// with the LUT model, useful in tests).
+  bool propagate_slew = true;
+  /// Optional multiplicative perturbations for Monte Carlo: per-node
+  /// cell-delay factors, wire-delay factors and current-peak factors.
+  std::vector<double> cell_delay_factor;
+  std::vector<double> wire_delay_factor;
+  std::vector<double> current_factor;
+};
+
+class TreeSim {
+ public:
+  TreeSim(const ClockTree& tree, const ModeSet& modes,
+          std::size_t mode_index, TreeSimOptions opts = {});
+
+  /// Whole-tree supply current, folded into [0, period).
+  const Waveform& total_idd() const { return total_idd_; }
+  const Waveform& total_iss() const { return total_iss_; }
+
+  /// Peak of the total current waveform: max over both rails.
+  UA peak_current() const;
+
+  /// Folded subtotal over an arbitrary node subset.
+  Waveform sum_rail(std::span<const NodeId> ids, Rail rail) const;
+
+  /// Convenience: subtotal over leaves only / non-leaves only.
+  Waveform leaves_rail(Rail rail) const;
+  Waveform non_leaves_rail(Rail rail) const;
+
+  Ps input_arrival(NodeId id) const;
+  Ps output_arrival(NodeId id) const;
+  Ps slew_in(NodeId id) const;
+
+  /// Clock skew over leaf output arrivals as seen by this simulator.
+  Ps skew() const;
+
+ private:
+  Waveform folded(const Waveform& ext) const;
+
+  const ClockTree& tree_;
+  TreeSimOptions opts_;
+  std::vector<Ps> input_arrival_;
+  std::vector<Ps> output_arrival_;
+  std::vector<Ps> slew_in_;
+  std::vector<Ps> shift_;  // waveform placement incl. polarity half-period
+  std::vector<std::uint8_t> gated_;  // leaf gated in this mode
+  std::vector<CellWave> node_wave_;
+  Waveform total_idd_;
+  Waveform total_iss_;
+};
+
+} // namespace wm

@@ -1,0 +1,147 @@
+#include "wave/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wm {
+
+Waveform::Waveform(Ps t0, Ps dt, std::vector<double> samples)
+    : t0_(t0), dt_(dt), samples_(std::move(samples)) {
+  WM_REQUIRE(dt > 0.0, "waveform step must be positive");
+}
+
+Waveform Waveform::zeros(Ps t0, Ps dt, std::size_t n) {
+  return Waveform(t0, dt, std::vector<double>(n, 0.0));
+}
+
+Ps Waveform::t_end() const {
+  if (samples_.empty()) return t0_;
+  return t0_ + dt_ * static_cast<Ps>(samples_.size() - 1);
+}
+
+std::size_t Waveform::index_floor(Ps t) const {
+  const double idx = (t - t0_) / dt_;
+  if (idx <= 0.0) return 0;
+  return static_cast<std::size_t>(idx);
+}
+
+double Waveform::value_at(Ps t) const {
+  if (samples_.empty()) return 0.0;
+  const double x = (t - t0_) / dt_;
+  if (x < 0.0 || x > static_cast<double>(samples_.size() - 1)) return 0.0;
+  const auto i = static_cast<std::size_t>(x);
+  if (i + 1 >= samples_.size()) return samples_.back();
+  const double frac = x - static_cast<double>(i);
+  return samples_[i] * (1.0 - frac) + samples_[i + 1] * frac;
+}
+
+double Waveform::max_in(Ps lo, Ps hi) const {
+  if (samples_.empty() || hi < lo) return 0.0;
+  double best = std::max(value_at(lo), value_at(hi));
+  // Interior grid samples dominate any interpolated value between them.
+  std::size_t i = index_floor(lo);
+  if (time_at(i) < lo) ++i;
+  for (; i < samples_.size() && time_at(i) <= hi; ++i) {
+    best = std::max(best, samples_[i]);
+  }
+  return best;
+}
+
+double Waveform::peak() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+Ps Waveform::peak_time() const {
+  if (samples_.empty()) return t0_;
+  const auto it = std::max_element(samples_.begin(), samples_.end());
+  return time_at(static_cast<std::size_t>(it - samples_.begin()));
+}
+
+double Waveform::integral() const {
+  if (samples_.size() < 2) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+    acc += 0.5 * (samples_[i] + samples_[i + 1]);
+  }
+  return acc * dt_;
+}
+
+void Waveform::ensure_span(Ps lo, Ps hi, Ps dt_hint) {
+  WM_REQUIRE(hi >= lo, "ensure_span: hi < lo");
+  if (samples_.empty()) {
+    dt_ = dt_hint;
+    t0_ = std::floor(lo / dt_) * dt_;
+    const auto n =
+        static_cast<std::size_t>(std::ceil((hi - t0_) / dt_)) + 2;
+    samples_.assign(n, 0.0);
+    return;
+  }
+  if (lo < t0_) {
+    const auto extra =
+        static_cast<std::size_t>(std::ceil((t0_ - lo) / dt_)) + 1;
+    samples_.insert(samples_.begin(), extra, 0.0);
+    t0_ -= dt_ * static_cast<Ps>(extra);
+  }
+  if (hi > t_end()) {
+    const auto extra =
+        static_cast<std::size_t>(std::ceil((hi - t_end()) / dt_)) + 1;
+    samples_.insert(samples_.end(), extra, 0.0);
+  }
+}
+
+void Waveform::regrid(Ps new_dt) {
+  if (samples_.empty() || new_dt >= dt_) return;
+  const auto n =
+      static_cast<std::size_t>(std::ceil((t_end() - t0_) / new_dt)) + 1;
+  std::vector<double> fine(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fine[i] = value_at(t0_ + new_dt * static_cast<Ps>(i));
+  }
+  dt_ = new_dt;
+  samples_ = std::move(fine);
+}
+
+void Waveform::accumulate(const Waveform& other, Ps shift) {
+  if (other.empty()) return;
+  regrid(other.dt());  // never lose resolution to a coarse accumulator
+  ensure_span(other.t0() + shift, other.t_end() + shift, other.dt());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    samples_[i] += other.value_at(time_at(i) - shift);
+  }
+}
+
+void Waveform::accumulate_scaled(const Waveform& other, double k,
+                                 Ps shift) {
+  if (other.empty() || k == 0.0) return;
+  regrid(other.dt());
+  ensure_span(other.t0() + shift, other.t_end() + shift, other.dt());
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    samples_[i] += k * other.value_at(time_at(i) - shift);
+  }
+}
+
+void Waveform::accumulate_triangle(Ps t_start, Ps rise, Ps fall,
+                                   double peak) {
+  WM_REQUIRE(rise > 0.0 && fall > 0.0, "triangle edges must be positive");
+  ensure_span(t_start, t_start + rise + fall);
+  const Ps t_peak = t_start + rise;
+  const Ps t_stop = t_peak + fall;
+  std::size_t i = index_floor(t_start);
+  for (; i < samples_.size(); ++i) {
+    const Ps t = time_at(i);
+    if (t < t_start) continue;
+    if (t > t_stop) break;
+    const double v = (t <= t_peak) ? peak * (t - t_start) / rise
+                                   : peak * (t_stop - t) / fall;
+    samples_[i] += v;
+  }
+}
+
+void Waveform::scale(double k) {
+  for (auto& s : samples_) s *= k;
+}
+
+} // namespace wm

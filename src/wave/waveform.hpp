@@ -1,0 +1,103 @@
+#pragma once
+// Uniformly sampled current waveforms.
+//
+// A Waveform stores samples of a current (or voltage) signal on a uniform
+// time grid starting at t0 with step dt. Outside the stored span the
+// signal is defined to be zero, which matches the physics: a clock
+// buffer's supply current is zero away from the switching edges.
+//
+// This is the numeric workhorse of the reproduction: cell
+// characterization (paper Fig. 7), the superposition "HSPICE-lite"
+// validation simulation (Fig. 2), and the fine-grained noise sampling
+// (Sec. IV-B) all operate on Waveforms.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace wm {
+
+/// Which supply rail a current waveform belongs to.
+enum class Rail { Vdd, Gnd };
+
+inline const char* to_string(Rail r) { return r == Rail::Vdd ? "Vdd" : "Gnd"; }
+
+class Waveform {
+ public:
+  /// Empty waveform (identically zero everywhere).
+  Waveform() = default;
+
+  Waveform(Ps t0, Ps dt, std::vector<double> samples);
+
+  /// All-zero waveform spanning [t0, t0 + n*dt].
+  static Waveform zeros(Ps t0, Ps dt, std::size_t n);
+
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  Ps t0() const { return t0_; }
+  Ps dt() const { return dt_; }
+  Ps t_end() const;
+
+  double& operator[](std::size_t i) { return samples_[i]; }
+  double operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Time of sample i.
+  Ps time_at(std::size_t i) const { return t0_ + dt_ * static_cast<Ps>(i); }
+
+  /// Linearly interpolated value; zero outside the stored span.
+  double value_at(Ps t) const;
+
+  /// Maximum over [lo, hi] (linear-interpolation-exact: checks both the
+  /// interior samples and the interpolated endpoints). Zero if the window
+  /// misses the span entirely.
+  double max_in(Ps lo, Ps hi) const;
+
+  /// Global maximum sample value (0 for empty waveform).
+  double peak() const;
+
+  /// Time at which the global maximum is attained (t0 for empty).
+  Ps peak_time() const;
+
+  /// Integral over the whole span (trapezoidal) — total charge for a
+  /// current waveform, in fC when samples are uA... see note in units.hpp:
+  /// uA * ps = 1e-6 A * 1e-12 s = 1e-18 C; we report in fC = 1e-15 C,
+  /// so integral() * 1e-3 is fC. Callers use it for relative checks only.
+  double integral() const;
+
+  /// Grow (never shrink) the stored span so [lo, hi] is covered,
+  /// padding with zeros. Establishes a grid if the waveform is empty
+  /// (using the given dt_hint).
+  void ensure_span(Ps lo, Ps hi, Ps dt_hint = 1.0);
+
+  /// Accumulate `other` shifted right by `shift`: this += other(t - shift).
+  /// The span grows as needed; `other`'s samples are linearly resampled
+  /// onto this grid.
+  void accumulate(const Waveform& other, Ps shift = 0.0);
+
+  /// this += k * other(t - shift). Used by the resistive-kernel power
+  /// grid model, where each tile's current couples with a distance-
+  /// dependent weight.
+  void accumulate_scaled(const Waveform& other, double k, Ps shift = 0.0);
+
+  /// Accumulate an analytic asymmetric triangular pulse: zero before
+  /// t_start, rising linearly to `peak` over `rise`, falling back to zero
+  /// over `fall`. This is the primitive the cell current model emits.
+  void accumulate_triangle(Ps t_start, Ps rise, Ps fall, double peak);
+
+  /// Multiply all samples by a constant.
+  void scale(double k);
+
+ private:
+  std::size_t index_floor(Ps t) const;
+
+  /// Resample onto a finer grid (no-op if new_dt >= dt).
+  void regrid(Ps new_dt);
+
+  Ps t0_ = 0.0;
+  Ps dt_ = 1.0;
+  std::vector<double> samples_;
+};
+
+} // namespace wm

@@ -1,0 +1,161 @@
+// Tests for ADB allocation (multi-power-mode skew legalization) and the
+// ADB/ADI candidate rules.
+
+#include "adb/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/candidates.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+namespace {
+
+class AdbTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+
+  /// A two-island tree whose right half slows down in mode 2 (the
+  /// Fig. 10 situation).
+  ClockTree make_two_island_tree() {
+    ClockTree t;
+    const Cell* root = &lib.by_name("BUF_X32");
+    const Cell* mid = &lib.by_name("BUF_X16");
+    const Cell* leaf = &lib.by_name("BUF_X16");
+    const NodeId r = t.add_root({100.0, 100.0}, root);
+    const NodeId a = t.add_node(r, {50.0, 100.0}, mid);
+    const NodeId b = t.add_node(r, {150.0, 100.0}, mid);
+    for (Um dy : {-20.0, 20.0}) {
+      NodeId l1 = t.add_node(a, {40.0, 100.0 + dy}, leaf);
+      t.node(l1).sink_cap = 12.0;
+      NodeId l2 = t.add_node(b, {160.0, 100.0 + dy}, leaf);
+      t.node(l2).sink_cap = 12.0;
+    }
+    for (const TreeNode& n : t.nodes()) {
+      t.node(n.id).island = n.pos.x < 100.0 ? 0 : 1;
+    }
+    return t;
+  }
+
+  ModeSet two_modes() {
+    return ModeSet({PowerMode{"M1", {1.1, 1.1}, {}, {}},
+                    PowerMode{"M2", {1.1, 0.9}, {}, {}}});
+  }
+};
+
+TEST_F(AdbTest, NoAllocationWhenSkewAlreadyMet) {
+  ClockTree t = make_two_island_tree();
+  const ModeSet modes = two_modes();
+  const Ps initial = worst_skew(t, modes);
+  AdbAllocationResult r = allocate_adbs(t, lib, modes, initial + 10.0);
+  EXPECT_EQ(r.adbs_inserted, 0);
+  EXPECT_TRUE(r.feasible);
+}
+
+TEST_F(AdbTest, AllocationRestoresSkewLegality) {
+  ClockTree t = make_two_island_tree();
+  const ModeSet modes = two_modes();
+  const Ps violated = worst_skew(t, modes);
+  ASSERT_GT(violated, 10.0) << "fixture should violate a 10 ps bound";
+
+  AdbAllocationResult r = allocate_adbs(t, lib, modes, 10.0);
+  EXPECT_TRUE(r.feasible) << "final skew " << r.final_worst_skew;
+  EXPECT_GT(r.adbs_inserted, 0);
+  EXPECT_LE(worst_skew(t, modes), 10.0 + 1e-6);
+
+  // Every adjustable node carries one code per mode, in range.
+  for (const TreeNode& n : t.nodes()) {
+    if (!n.cell->adjustable()) continue;
+    ASSERT_EQ(n.adj_codes.size(), modes.count());
+    for (int code : n.adj_codes) {
+      EXPECT_GE(code, 0);
+      EXPECT_LE(code, n.cell->adj_max_code);
+    }
+  }
+}
+
+TEST_F(AdbTest, AllocationIsMinimalOnThisFixture) {
+  // The mode-2 slowdown is common to the whole right subtree, so a
+  // single ADB at its root suffices; the bottom-up intersection must
+  // not scatter ADBs over the leaves.
+  ClockTree t = make_two_island_tree();
+  AdbAllocationResult r = allocate_adbs(t, lib, two_modes(), 10.0);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.adbs_inserted, 2);
+}
+
+TEST_F(AdbTest, WorksOnBenchmarkCircuits) {
+  for (const char* name : {"s13207", "ispd09f34"}) {
+    const BenchmarkSpec& spec = spec_by_name(name);
+    ClockTree t = make_benchmark(spec, lib);
+    const ModeSet modes = make_mode_set(spec);
+    const Ps kappa = 110.0;
+    AdbAllocationResult r = allocate_adbs(t, lib, modes, kappa);
+    EXPECT_TRUE(r.feasible)
+        << name << ": final skew " << r.final_worst_skew;
+  }
+}
+
+TEST_F(AdbTest, AdbLeafCandidatesFollowTheRules) {
+  ClockTree t = make_two_island_tree();
+  const ModeSet modes = two_modes();
+  allocate_adbs(t, lib, modes, 10.0);
+
+  CharacterizerOptions co;
+  co.vdds = {tech::kVddLow, tech::kVddNominal};
+  Characterizer chr(lib, co);
+  const ZoneMap zones(t);
+  const Preprocessed pre =
+      preprocess(t, zones, modes, lib.assignment_library(), chr, lib);
+
+  for (const SinkInfo& s : pre.sinks) {
+    const TreeNode& n = t.node(s.id);
+    if (n.cell->adjustable()) {
+      // ADB leaf: may stay ADB or become ADI, never a plain cell.
+      for (const Candidate& c : s.candidates) {
+        EXPECT_TRUE(c.cell->kind == CellKind::Adb ||
+                    c.cell->kind == CellKind::Adi);
+        ASSERT_EQ(c.adj_codes.size(), modes.count());
+      }
+    } else {
+      // Normal leaf: never offered an adjustable cell.
+      for (const Candidate& c : s.candidates) {
+        EXPECT_FALSE(c.cell->adjustable());
+      }
+    }
+  }
+}
+
+TEST_F(AdbTest, AdiSwapPreservesPerModeArrival) {
+  ClockTree t = make_two_island_tree();
+  const ModeSet modes = two_modes();
+  allocate_adbs(t, lib, modes, 10.0);
+
+  CharacterizerOptions co;
+  co.vdds = {tech::kVddLow, tech::kVddNominal};
+  Characterizer chr(lib, co);
+  const ZoneMap zones(t);
+  const Preprocessed pre =
+      preprocess(t, zones, modes, lib.assignment_library(), chr, lib);
+
+  for (const SinkInfo& s : pre.sinks) {
+    if (s.candidates.size() < 2) continue;
+    if (s.candidates[0].cell->kind != CellKind::Adb) continue;
+    const Candidate& adb = s.candidates[0];
+    for (std::size_t c = 1; c < s.candidates.size(); ++c) {
+      if (s.candidates[c].cell->kind != CellKind::Adi) continue;
+      for (std::size_t m = 0; m < modes.count(); ++m) {
+        // The code reduction absorbs the ADI delay penalty to within
+        // one code step.
+        EXPECT_NEAR(s.candidates[c].arrival[m], adb.arrival[m],
+                    s.candidates[c].cell->adj_step + 1e-6);
+      }
+    }
+  }
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,86 @@
+// Tests for the prior-art baselines (Nieh'05 [22], Chen'09 [24]) and
+// the PeakMin-equivalence of the configured WaveMin machinery.
+
+#include "peakmin/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/evaluate.hpp"
+#include "cts/benchmarks.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "timing/arrival.hpp"
+
+namespace wm {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(BaselinesTest, NiehInvertsRoughlyHalfTheLeaves) {
+  ClockTree tree = make_benchmark(spec_by_name("s35932"), lib);
+  const int inverted_roots = apply_nieh_half_split(tree, lib);
+  EXPECT_GT(inverted_roots, 0);
+
+  std::size_t negative = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf() &&
+        tree.output_polarity(n.id) == Polarity::Negative) {
+      ++negative;
+    }
+  }
+  const double frac =
+      static_cast<double>(negative) / static_cast<double>(tree.leaf_count());
+  EXPECT_GT(frac, 0.30);
+  EXPECT_LT(frac, 0.70);
+  // Leaf cells themselves are untouched — the inversion is at subtree
+  // roots.
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      EXPECT_EQ(n.cell->kind, CellKind::Buffer);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, NiehReducesPeakOnSmallDies) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree base = make_benchmark(spec, lib);
+  const Evaluation e0 = evaluate_design(base, 2.0);
+  ClockTree split = make_benchmark(spec, lib);
+  apply_nieh_half_split(split, lib);
+  const Evaluation e1 = evaluate_design(split, 2.0);
+  EXPECT_LT(e1.peak_current, e0.peak_current);
+}
+
+TEST_F(BaselinesTest, ChenAssignsPolarityWithoutSizing) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  const int initial_drive = 16;
+  const WaveMinResult r = clk_chen_polarity(tree, lib, chr, 20.0);
+  ASSERT_TRUE(r.success);
+  int inverters = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) continue;
+    EXPECT_EQ(n.cell->drive, initial_drive);  // no sizing
+    if (n.cell->inverting()) ++inverters;
+  }
+  EXPECT_GT(inverters, 0);
+  EXPECT_LE(compute_arrivals(tree).skew(), 20.0 * 1.2);
+}
+
+TEST_F(BaselinesTest, PeakMinSubsumesChen) {
+  // PeakMin = Chen + sizing: with the strictly larger candidate set it
+  // can only match or beat Chen on the shared 4-point model objective.
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree t1 = make_benchmark(spec, lib);
+  ClockTree t2 = make_benchmark(spec, lib);
+  const WaveMinResult chen = clk_chen_polarity(t1, lib, chr, 20.0);
+  const WaveMinResult pm = clk_peakmin(t2, lib, chr, 20.0);
+  ASSERT_TRUE(chen.success && pm.success);
+  EXPECT_LE(pm.model_peak, chen.model_peak + 1e-6);
+}
+
+} // namespace
+} // namespace wm

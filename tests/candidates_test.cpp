@@ -1,0 +1,132 @@
+// Unit tests for the preprocessing step: candidate enumeration and
+// per-mode arrival computation (paper Sec. IV / Fig. 5).
+
+#include "core/candidates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/electrical.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+namespace {
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+  BenchmarkSpec spec = spec_by_name("s15850");
+  ClockTree tree = make_benchmark(spec, lib);
+  ZoneMap zones{tree};
+  ModeSet modes = ModeSet::single(spec.islands);
+
+  Preprocessed run() {
+    return preprocess(tree, zones, modes, lib.assignment_library(), chr,
+                      lib);
+  }
+};
+
+TEST_F(CandidatesTest, EverySinkGetsTheFullStaticLibrary) {
+  const Preprocessed p = run();
+  EXPECT_EQ(p.sinks.size(), tree.leaf_count());
+  EXPECT_EQ(p.non_leaves.size(), tree.size() - tree.leaf_count());
+  for (const SinkInfo& s : p.sinks) {
+    ASSERT_EQ(s.candidates.size(), 4u);  // BUF/INV x X8/X16
+    EXPECT_GE(s.zone, 0);
+    for (const Candidate& c : s.candidates) {
+      ASSERT_EQ(c.arrival.size(), 1u);
+      EXPECT_TRUE(c.adj_codes.empty());
+      EXPECT_TRUE(c.xor_negative.empty());
+    }
+  }
+}
+
+TEST_F(CandidatesTest, ArrivalsMatchTheTimingModel) {
+  const Preprocessed p = run();
+  const ArrivalResult arr = compute_arrivals(tree, modes, 0);
+  for (const SinkInfo& s : p.sinks) {
+    const auto i = static_cast<std::size_t>(s.id);
+    EXPECT_DOUBLE_EQ(s.input_arrival[0], arr.input_arrival[i]);
+    for (const Candidate& c : s.candidates) {
+      const DriveConditions dc{s.load, arr.slew_in[i],
+                               tech::kVddNominal};
+      EXPECT_NEAR(c.arrival[0],
+                  arr.input_arrival[i] + cell_timing(*c.cell, dc).delay(),
+                  1e-9);
+    }
+    // The current cell's arrival equals the analysis' output arrival.
+    bool found_current = false;
+    for (const Candidate& c : s.candidates) {
+      if (c.cell == tree.node(s.id).cell) {
+        EXPECT_NEAR(c.arrival[0], arr.output_arrival[i], 1e-9);
+        found_current = true;
+      }
+    }
+    EXPECT_TRUE(found_current)
+        << "initial cell must be among its own candidates";
+  }
+}
+
+TEST_F(CandidatesTest, InverterCandidatesAreFaster) {
+  const Preprocessed p = run();
+  for (const SinkInfo& s : p.sinks) {
+    Ps buf_arr = 0.0, inv_arr = 0.0;
+    for (const Candidate& c : s.candidates) {
+      if (c.cell->name == "BUF_X16") buf_arr = c.arrival[0];
+      if (c.cell->name == "INV_X16") inv_arr = c.arrival[0];
+    }
+    EXPECT_LT(inv_arr, buf_arr);
+  }
+}
+
+TEST_F(CandidatesTest, ArrivalGridIsSortedUniqueAndCoversCandidates) {
+  const Preprocessed p = run();
+  const auto& grid = p.arrival_grid[0];
+  ASSERT_FALSE(grid.empty());
+  for (std::size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_GT(grid[i], grid[i - 1]);
+  }
+  // Every candidate arrival is within merge tolerance of a grid point.
+  for (const SinkInfo& s : p.sinks) {
+    for (const Candidate& c : s.candidates) {
+      bool close = false;
+      for (Ps t : grid) {
+        if (std::abs(t - c.arrival[0]) < 0.011) close = true;
+      }
+      EXPECT_TRUE(close);
+    }
+  }
+}
+
+TEST_F(CandidatesTest, MultiModeArrivalsScaleWithIslandVdd) {
+  const ModeSet mm = make_mode_set(spec);
+  const Preprocessed p =
+      preprocess(tree, zones, mm, lib.assignment_library(), chr, lib);
+  for (const SinkInfo& s : p.sinks) {
+    for (const Candidate& c : s.candidates) {
+      ASSERT_EQ(c.arrival.size(), mm.count());
+      // Mode 0 is all-nominal; later modes only slow things down.
+      for (std::size_t m = 1; m < mm.count(); ++m) {
+        EXPECT_GE(c.arrival[m], c.arrival[0] - 1e-9);
+      }
+    }
+  }
+}
+
+TEST_F(CandidatesTest, NonLeafInfoCarriesPlacementAndCells) {
+  const Preprocessed p = run();
+  for (const NonLeafInfo& nl : p.non_leaves) {
+    EXPECT_NE(nl.cell, nullptr);
+    EXPECT_FALSE(tree.node(nl.id).is_leaf());
+    EXPECT_DOUBLE_EQ(nl.pos.x, tree.node(nl.id).pos.x);
+    ASSERT_EQ(nl.input_arrival.size(), 1u);
+    ASSERT_EQ(nl.extra_delay.size(), 1u);
+    EXPECT_DOUBLE_EQ(nl.extra_delay[0], 0.0);  // no ADBs in this tree
+  }
+}
+
+} // namespace
+} // namespace wm

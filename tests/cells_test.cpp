@@ -1,0 +1,234 @@
+// Unit tests for the cell models: library construction, delay/slew
+// scaling laws and the current pulse model (the analytic HSPICE
+// substitute — see DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/electrical.hpp"
+#include "cells/library.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class CellLibraryTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+TEST_F(CellLibraryTest, ContainsExpectedFamily) {
+  for (int d : {1, 2, 4, 8, 16, 32, 64}) {
+    EXPECT_NE(lib.find("BUF_X" + std::to_string(d)), nullptr);
+    EXPECT_NE(lib.find("INV_X" + std::to_string(d)), nullptr);
+  }
+  EXPECT_NE(lib.find("ADB_X8"), nullptr);
+  EXPECT_NE(lib.find("ADI_X8"), nullptr);
+  EXPECT_EQ(lib.find("BUF_X128"), nullptr);
+  EXPECT_THROW(lib.by_name("NAND_X1"), Error);
+}
+
+TEST_F(CellLibraryTest, RejectsDuplicateNames) {
+  CellLibrary l;
+  Cell c;
+  c.name = "BUF_X1";
+  l.add(c);
+  EXPECT_THROW(l.add(c), Error);
+}
+
+TEST_F(CellLibraryTest, PolaritiesMatchKinds) {
+  EXPECT_EQ(lib.by_name("BUF_X8").polarity(), Polarity::Positive);
+  EXPECT_EQ(lib.by_name("ADB_X8").polarity(), Polarity::Positive);
+  EXPECT_EQ(lib.by_name("INV_X8").polarity(), Polarity::Negative);
+  EXPECT_EQ(lib.by_name("ADI_X8").polarity(), Polarity::Negative);
+  EXPECT_TRUE(lib.by_name("ADB_X8").adjustable());
+  EXPECT_FALSE(lib.by_name("BUF_X8").adjustable());
+}
+
+TEST_F(CellLibraryTest, AssignmentLibraryIsThePaperSet) {
+  const auto cells = lib.assignment_library();
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0]->name, "BUF_X8");
+  EXPECT_EQ(cells[1]->name, "BUF_X16");
+  EXPECT_EQ(cells[2]->name, "INV_X8");
+  EXPECT_EQ(cells[3]->name, "INV_X16");
+}
+
+TEST_F(CellLibraryTest, OutputResistanceScalesInversely) {
+  // BUF_X16 around 0.4 kOhm, as quoted in the paper's Table I setup.
+  EXPECT_NEAR(lib.by_name("BUF_X16").r_out, 0.4, 0.05);
+  EXPECT_GT(lib.by_name("BUF_X1").r_out, lib.by_name("BUF_X8").r_out);
+}
+
+TEST_F(CellLibraryTest, InverterInputCapScalesWithDrive) {
+  // INV_X8 Cin ~ 2.2 fF (paper Table I text).
+  EXPECT_NEAR(lib.by_name("INV_X8").c_in, 2.2, 0.3);
+  EXPECT_LT(lib.by_name("INV_X1").c_in, lib.by_name("INV_X8").c_in);
+}
+
+TEST(VddDelayFactor, NormalizedAtNominalAndMonotone) {
+  EXPECT_NEAR(vdd_delay_factor(tech::kVddNominal), 1.0, 1e-12);
+  EXPECT_GT(vdd_delay_factor(0.9), 1.0);
+  EXPECT_GT(vdd_delay_factor(0.8), vdd_delay_factor(0.9));
+  EXPECT_LT(vdd_delay_factor(1.2), 1.0);
+  EXPECT_THROW(vdd_delay_factor(0.3), Error);
+}
+
+class CellTimingTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+TEST_F(CellTimingTest, InvertersFasterThanBuffersOfSameDrive) {
+  // Matches the ordering in the paper's Table II.
+  DriveConditions dc{5.0, 20.0, tech::kVddNominal};
+  const CellTiming b = cell_timing(lib.by_name("BUF_X8"), dc);
+  const CellTiming i = cell_timing(lib.by_name("INV_X8"), dc);
+  EXPECT_LT(i.delay(), b.delay());
+}
+
+TEST_F(CellTimingTest, BiggerDriveFasterUnderLoad) {
+  DriveConditions dc{30.0, 20.0, tech::kVddNominal};
+  EXPECT_LT(cell_timing(lib.by_name("BUF_X16"), dc).delay(),
+            cell_timing(lib.by_name("BUF_X8"), dc).delay());
+}
+
+TEST_F(CellTimingTest, DelayIncreasesWithLoadAndLowVdd) {
+  const Cell& buf = lib.by_name("BUF_X8");
+  DriveConditions light{2.0, 20.0, tech::kVddNominal};
+  DriveConditions heavy{40.0, 20.0, tech::kVddNominal};
+  EXPECT_GT(cell_timing(buf, heavy).delay(),
+            cell_timing(buf, light).delay());
+  DriveConditions low{2.0, 20.0, tech::kVddLow};
+  EXPECT_GT(cell_timing(buf, low).delay(),
+            cell_timing(buf, light).delay());
+}
+
+TEST_F(CellTimingTest, AdiSlowerThanAdb) {
+  // Sec. VII-E: the third inverter makes ADIs unavoidably slower.
+  DriveConditions dc{5.0, 20.0, tech::kVddNominal};
+  EXPECT_GT(cell_timing(lib.by_name("ADI_X8"), dc).delay(),
+            cell_timing(lib.by_name("ADB_X8"), dc).delay());
+}
+
+class CellWaveTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  DriveConditions dc{5.0, 20.0, tech::kVddNominal};
+};
+
+TEST_F(CellWaveTest, BufferChargesOnRisingEdge) {
+  // Fig. 1(a): high I_DD hump near the rising edge, low I_SS.
+  const CellWave w = simulate_cell(lib.by_name("BUF_X8"), dc);
+  const Ps half = 0.5 * tech::kClockPeriod;
+  EXPECT_GT(w.idd.max_in(0.0, half), 3.0 * w.iss.max_in(0.0, half));
+  // And the mirror at the falling edge.
+  EXPECT_GT(w.iss.max_in(half, tech::kClockPeriod),
+            3.0 * w.idd.max_in(half, tech::kClockPeriod));
+}
+
+TEST_F(CellWaveTest, InverterIsTheOpposite) {
+  // Fig. 1(b).
+  const CellWave w = simulate_cell(lib.by_name("INV_X8"), dc);
+  const Ps half = 0.5 * tech::kClockPeriod;
+  EXPECT_GT(w.iss.max_in(0.0, half), 3.0 * w.idd.max_in(0.0, half));
+  EXPECT_GT(w.idd.max_in(half, tech::kClockPeriod),
+            3.0 * w.iss.max_in(half, tech::kClockPeriod));
+}
+
+TEST_F(CellWaveTest, ChargePerEdgeTracksSwitchedCapacitance) {
+  // integral(I_DD) over the charging edge ~ (C_load + C_self) * VDD.
+  const Cell& buf = lib.by_name("BUF_X8");
+  const CellWave w = simulate_cell(buf, dc);
+  const double q_fc = (dc.c_load + buf.c_self) * dc.vdd;
+  // uA * ps = 1e-3 fC.
+  const double measured =
+      w.idd.integral() * 1e-3 / (1.0 + buf.sc_frac);
+  EXPECT_NEAR(measured, q_fc, 0.35 * q_fc);
+}
+
+TEST_F(CellWaveTest, PulsePeakGrowsWithLoad) {
+  const Cell& buf = lib.by_name("BUF_X8");
+  DriveConditions heavy = dc;
+  heavy.c_load = 30.0;
+  EXPECT_GT(simulate_cell(buf, heavy).idd.peak(),
+            simulate_cell(buf, dc).idd.peak());
+}
+
+TEST_F(CellWaveTest, ExtraDelayShiftsThePulse) {
+  const Cell& adb = lib.by_name("ADB_X8");
+  const CellWave base = simulate_cell(adb, dc);
+  const CellWave delayed =
+      simulate_cell(adb, dc, tech::kClockPeriod, 0.5, 40.0);
+  EXPECT_NEAR(delayed.idd.peak_time() - base.idd.peak_time(), 40.0, 2.0);
+  EXPECT_THROW(
+      simulate_cell(adb, dc, tech::kClockPeriod, 0.5, adb.adj_range() + 50),
+      Error);
+}
+
+TEST_F(CellWaveTest, NonAdjustableRejectsExtraDelayAboveZero) {
+  // A plain buffer has no adjustable range at all.
+  const Cell& buf = lib.by_name("BUF_X8");
+  EXPECT_THROW(simulate_cell(buf, dc, tech::kClockPeriod, 0.5, 10.0),
+               Error);
+}
+
+class CharacterizerTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(CharacterizerTest, LookupReturnsNearestBin) {
+  const Cell& buf = lib.by_name("BUF_X8");
+  const CellWave& w4 = chr.lookup(buf, 4.0);
+  const CellWave& w4b = chr.lookup(buf, 4.4);  // still nearest bin 4
+  EXPECT_EQ(&w4, &w4b);
+  const CellWave& w8 = chr.lookup(buf, 7.0);  // nearest bin 8
+  EXPECT_NE(&w4, &w8);
+}
+
+TEST_F(CharacterizerTest, UncharacterizedVddThrows) {
+  const Cell& buf = lib.by_name("BUF_X8");
+  EXPECT_THROW(chr.lookup(buf, 4.0, 0.95), Error);
+}
+
+TEST_F(CharacterizerTest, NoiseInShiftsByArrival) {
+  const Cell& buf = lib.by_name("BUF_X8");
+  const CellWave& w = chr.lookup(buf, 4.0);
+  const Ps peak_t = w.idd.peak_time();
+  const double at_peak = chr.noise_in(buf, 4.0, tech::kVddNominal,
+                                      Rail::Vdd, 100.0, peak_t + 100.0,
+                                      peak_t + 100.0);
+  EXPECT_NEAR(at_peak, w.idd.peak(), 1e-6);
+  // Far away from the pulse: ~0.
+  const double far = chr.noise_in(buf, 4.0, tech::kVddNominal, Rail::Vdd,
+                                  100.0, peak_t + 400.0, peak_t + 400.0);
+  EXPECT_LT(far, 0.05 * at_peak);
+}
+
+TEST_F(CharacterizerTest, NoiseInIsPeriodic) {
+  // The clock is periodic: shifting the observation time by one period
+  // must not change the estimate (this is what lets a negative-polarity
+  // input be modelled as a +T/2 arrival shift).
+  const Cell& buf = lib.by_name("BUF_X8");
+  const Ps T = tech::kClockPeriod;
+  for (Ps t : {30.0, 55.0, 520.0, 560.0}) {
+    const double v0 = chr.noise_in(buf, 4.0, tech::kVddNominal, Rail::Vdd,
+                                   0.5 * T, t, t);
+    const double v1 = chr.noise_in(buf, 4.0, tech::kVddNominal, Rail::Vdd,
+                                   0.5 * T, t + T, t + T);
+    EXPECT_NEAR(v0, v1, 1e-9) << "t=" << t;
+  }
+  // And the +T/2 shift really moves the charging hump into the second
+  // half period.
+  const CellWave& w = chr.lookup(buf, 4.0);
+  const Ps peak_t = w.idd.peak_time();
+  const double shifted = chr.noise_in(buf, 4.0, tech::kVddNominal,
+                                      Rail::Vdd, 0.5 * T,
+                                      peak_t + 0.5 * T, peak_t + 0.5 * T);
+  EXPECT_NEAR(shifted, w.idd.peak(), 1e-6);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,80 @@
+// Tests for the key=value configuration parser.
+
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(ConfigTest, ParsesEveryKey) {
+  const WaveMinOptions o = parse_wavemin_config_string(
+      "# comment line\n"
+      "kappa = 35.5\n"
+      "samples = 64   # trailing comment\n"
+      "epsilon = 0.1\n"
+      "solver = greedy\n"
+      "guard_band = 4\n"
+      "threads = 3\n"
+      "xor = true\n"
+      "include_nonleaf = off\n"
+      "shift_by_arrival = no\n"
+      "dof_beam = 12\n"
+      "zone_tile = 40\n");
+  EXPECT_DOUBLE_EQ(o.kappa, 35.5);
+  EXPECT_EQ(o.samples, 64);
+  EXPECT_DOUBLE_EQ(o.epsilon, 0.1);
+  EXPECT_EQ(o.solver, SolverKind::Greedy);
+  EXPECT_DOUBLE_EQ(o.skew_guard_band, 4.0);
+  EXPECT_EQ(o.threads, 3u);
+  EXPECT_TRUE(o.enable_xor_polarity);
+  EXPECT_FALSE(o.include_nonleaf);
+  EXPECT_FALSE(o.shift_by_arrival);
+  EXPECT_EQ(o.dof_beam, 12u);
+  EXPECT_DOUBLE_EQ(o.zone_tile, 40.0);
+}
+
+TEST(ConfigTest, DefaultsSurviveWhenUnset) {
+  const WaveMinOptions d;
+  const WaveMinOptions o =
+      parse_wavemin_config_string("kappa = 10\n", d);
+  EXPECT_DOUBLE_EQ(o.kappa, 10.0);
+  EXPECT_EQ(o.samples, d.samples);
+  EXPECT_EQ(o.solver, d.solver);
+}
+
+TEST(ConfigTest, RejectsGarbage) {
+  EXPECT_THROW(parse_wavemin_config_string("no equals sign\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("typo_key = 1\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("kappa = fast\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("kappa = -5\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("samples = 2\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("solver = quantum\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("xor = maybe\n"), Error);
+  EXPECT_THROW(parse_wavemin_config_string("kappa = 20 ps\n"), Error);
+}
+
+TEST(ConfigTest, RoundTrips) {
+  WaveMinOptions o;
+  o.kappa = 42.0;
+  o.samples = 8;
+  o.solver = SolverKind::Exact;
+  o.enable_xor_polarity = true;
+  o.threads = 5;
+  const WaveMinOptions back =
+      parse_wavemin_config_string(wavemin_config_to_string(o));
+  EXPECT_DOUBLE_EQ(back.kappa, o.kappa);
+  EXPECT_EQ(back.samples, o.samples);
+  EXPECT_EQ(back.solver, o.solver);
+  EXPECT_EQ(back.enable_xor_polarity, o.enable_xor_polarity);
+  EXPECT_EQ(back.threads, o.threads);
+}
+
+TEST(ConfigTest, MissingFileThrows) {
+  EXPECT_THROW(load_wavemin_config("/nonexistent/wavemin.cfg"), Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,175 @@
+// Tests for clock tree synthesis, skew balancing, repeater insertion
+// and the benchmark generator.
+
+#include "cts/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+class CtsTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+
+  std::vector<LeafSpec> random_leaves(int n, std::uint64_t seed,
+                                      Um die = 200.0) {
+    Rng rng(seed);
+    std::vector<LeafSpec> out;
+    for (int i = 0; i < n; ++i) {
+      LeafSpec s;
+      s.pos = {rng.uniform(5.0, die - 5.0), rng.uniform(5.0, die - 5.0)};
+      s.sink_cap = rng.uniform(8.0, 24.0);
+      out.push_back(s);
+    }
+    return out;
+  }
+};
+
+TEST_F(CtsTest, SynthesisCoversAllLeaves) {
+  const auto leaves = random_leaves(37, 11);
+  const ClockTree t = synthesize_tree(leaves, lib);
+  EXPECT_EQ(t.leaf_count(), 37u);
+  // Every leaf position appears exactly once.
+  std::multiset<std::pair<Um, Um>> want, got;
+  for (const LeafSpec& s : leaves) want.insert({s.pos.x, s.pos.y});
+  for (const TreeNode& n : t.nodes()) {
+    if (n.is_leaf()) got.insert({n.pos.x, n.pos.y});
+  }
+  EXPECT_EQ(want, got);
+}
+
+TEST_F(CtsTest, UniformLeafDepth) {
+  // Depth balance is a structural invariant of the synthesizer (cell
+  // count asymmetry cannot be balanced with wire snaking).
+  for (int n : {5, 16, 37, 100}) {
+    const ClockTree t = synthesize_tree(random_leaves(n, 23), lib);
+    int depth = -1;
+    for (const TreeNode& node : t.nodes()) {
+      if (!node.is_leaf()) continue;
+      int d = 0;
+      for (NodeId v = node.id; v != kNoNode; v = t.node(v).parent) ++d;
+      if (depth < 0) depth = d;
+      EXPECT_EQ(d, depth) << "n=" << n;
+    }
+  }
+}
+
+TEST_F(CtsTest, BalanceReachesNearZeroSkew) {
+  ClockTree t = synthesize_tree(random_leaves(48, 3), lib);
+  const Ps final_skew = balance_skew(t, 8);
+  EXPECT_LT(final_skew, 1.0);
+  EXPECT_LT(compute_arrivals(t).skew(), 1.0);
+}
+
+TEST_F(CtsTest, BalanceNeverShrinksBelowManhattan) {
+  ClockTree t = synthesize_tree(random_leaves(30, 5), lib);
+  balance_skew(t, 8);
+  for (const TreeNode& n : t.nodes()) {
+    if (n.parent == kNoNode) continue;
+    EXPECT_GE(n.wire_len + 1e-9,
+              manhattan(n.pos, t.node(n.parent).pos));
+  }
+}
+
+TEST_F(CtsTest, RepeatersInsertExactBudgetAndKeepSkewSmall) {
+  ClockTree t = synthesize_tree(random_leaves(20, 9), lib);
+  const std::size_t before = t.size();
+  const int inserted = insert_repeaters(t, lib, "BUF_X16", 47);
+  EXPECT_EQ(inserted, 47);
+  EXPECT_EQ(t.size(), before + 47);
+  EXPECT_EQ(t.leaf_count(), 20u);
+  balance_skew(t, 8);
+  EXPECT_LT(compute_arrivals(t).skew(), 1.0);
+}
+
+TEST_F(CtsTest, JitterBoundedAndDeterministic) {
+  ClockTree t1 = synthesize_tree(random_leaves(24, 13), lib);
+  balance_skew(t1, 8);
+  ClockTree t2 = t1.clone();
+  Rng r1(99), r2(99);
+  jitter_leaf_arrivals(t1, r1, 9.0);
+  jitter_leaf_arrivals(t2, r2, 9.0);
+  const Ps skew = compute_arrivals(t1).skew();
+  EXPECT_GT(skew, 0.5);
+  EXPECT_LT(skew, 10.0);  // the paper's input trees are < 10 ps
+  EXPECT_NEAR(skew, compute_arrivals(t2).skew(), 1e-12);
+}
+
+TEST_F(CtsTest, SynthesisPreconditions) {
+  EXPECT_THROW(synthesize_tree({}, lib), Error);
+  CtsOptions opts;
+  opts.fanout = 1;
+  EXPECT_THROW(synthesize_tree(random_leaves(4, 1), lib, opts), Error);
+}
+
+class BenchmarkSuiteTest
+    : public ::testing::TestWithParam<BenchmarkSpec> {};
+
+TEST_P(BenchmarkSuiteTest, MatchesPublishedStatistics) {
+  const BenchmarkSpec& spec = GetParam();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree t = make_benchmark(spec, lib);
+  EXPECT_EQ(static_cast<int>(t.size()), spec.n_total);
+  EXPECT_EQ(static_cast<int>(t.leaf_count()), spec.n_leaves);
+  EXPECT_LT(compute_arrivals(t).skew(), 10.0);
+  // Every node lies inside the die and has a valid island.
+  for (const TreeNode& n : t.nodes()) {
+    EXPECT_GE(n.pos.x, 0.0);
+    EXPECT_LE(n.pos.x, spec.die);
+    EXPECT_GE(n.island, 0);
+    EXPECT_LT(n.island, spec.islands);
+  }
+  // Generation is deterministic.
+  const ClockTree t2 = make_benchmark(spec, lib);
+  EXPECT_NEAR(compute_arrivals(t).skew(), compute_arrivals(t2).skew(),
+              1e-12);
+}
+
+TEST_P(BenchmarkSuiteTest, ZoneOccupancyNearPaperValues) {
+  const BenchmarkSpec& spec = GetParam();
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree t = make_benchmark(spec, lib);
+  const ZoneMap zones(t);
+  // Paper: 4.3 (ISCAS), 4.9 (ISPD), 7.1 (s35932) leaves per zone.
+  EXPECT_GT(zones.mean_occupancy(), 2.0) << spec.name;
+  EXPECT_LT(zones.mean_occupancy(), 12.0) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCircuits, BenchmarkSuiteTest,
+                         ::testing::ValuesIn(benchmark_suite()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(BenchmarkLookup, ByName) {
+  EXPECT_EQ(spec_by_name("s35932").n_leaves, 246);
+  EXPECT_THROW(spec_by_name("sXXXX"), Error);
+}
+
+TEST(BenchmarkModes, FourModesOverIslands) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  const ModeSet modes = make_mode_set(spec);
+  EXPECT_EQ(modes.count(), 4u);
+  EXPECT_EQ(modes.island_count(),
+            static_cast<std::size_t>(spec.islands));
+  // Mode 1 is the all-nominal mode.
+  for (Volt v : modes.mode(0).island_vdd) {
+    EXPECT_DOUBLE_EQ(v, tech::kVddNominal);
+  }
+  // Every other mode has at least one low island.
+  for (std::size_t m = 1; m < modes.count(); ++m) {
+    bool low = false;
+    for (Volt v : modes.mode(m).island_vdd) low |= v < 1.0;
+    EXPECT_TRUE(low) << modes.mode(m).name;
+  }
+}
+
+} // namespace
+} // namespace wm

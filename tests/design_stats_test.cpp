@@ -1,0 +1,71 @@
+// Tests for the design statistics report.
+
+#include "report/design_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adb/allocation.hpp"
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(DesignStats, MatchesBenchmarkSpec) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  const ClockTree tree = make_benchmark(spec, lib);
+  const DesignStats s = analyze_tree(tree);
+  EXPECT_EQ(static_cast<int>(s.nodes), spec.n_total);
+  EXPECT_EQ(static_cast<int>(s.leaves), spec.n_leaves);
+  EXPECT_GT(s.total_wire, 0.0);
+  EXPECT_GE(s.max_edge_wire, s.total_wire / static_cast<double>(s.nodes));
+  EXPECT_LE(s.min_sink_cap, s.max_sink_cap);
+  EXPECT_NEAR(s.total_sink_cap,
+              s.leaves * 0.5 * (s.min_sink_cap + s.max_sink_cap),
+              0.4 * s.total_sink_cap);
+  EXPECT_GT(s.zones, 0u);
+  // Initially every leaf is the generator's default cell.
+  ASSERT_EQ(s.leaf_cells.size(), 1u);
+  EXPECT_EQ(s.leaf_cells.begin()->second, s.leaves);
+  EXPECT_EQ(s.xor_reconfigurable, 0u);
+}
+
+TEST(DesignStats, CensusTracksAssignment) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  ASSERT_TRUE(clk_wavemin(tree, lib, chr, opts).success);
+  const DesignStats s = analyze_tree(tree);
+  std::size_t census = 0;
+  for (const auto& [name, count] : s.leaf_cells) census += count;
+  EXPECT_EQ(census, s.leaves);
+  EXPECT_GE(s.leaf_cells.size(), 2u);  // mixed polarities after WaveMin
+}
+
+TEST(DesignStats, CountsAdjustables) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const BenchmarkSpec& spec = spec_by_name("ispd09f34");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  allocate_adbs(tree, lib, modes, 90.0);
+  const DesignStats s = analyze_tree(tree);
+  EXPECT_GT(s.adjustable_cells, 0u);
+}
+
+TEST(DesignStats, RenderingContainsTheNumbers) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  const std::string text = to_string(analyze_tree(tree));
+  EXPECT_NE(text.find("19 leaves"), std::string::npos);
+  EXPECT_NE(text.find("zones"), std::string::npos);
+  EXPECT_THROW(analyze_tree(ClockTree{}), Error);
+}
+
+} // namespace
+} // namespace wm

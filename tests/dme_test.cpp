@@ -1,0 +1,81 @@
+// Tests for the DME zero-skew synthesizer.
+
+#include "cts/dme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "timing/arrival.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+class DmeTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+
+  std::vector<LeafSpec> random_leaves(std::uint64_t seed, int n,
+                                      Um die = 250.0) {
+    Rng rng(seed);
+    std::vector<LeafSpec> out;
+    for (int i = 0; i < n; ++i) {
+      LeafSpec s;
+      s.pos = {rng.uniform(5.0, die), rng.uniform(5.0, die)};
+      s.sink_cap = rng.uniform(6.0, 28.0);
+      out.push_back(s);
+    }
+    return out;
+  }
+};
+
+TEST_P(DmeTest, BinaryTopologyCoversAllLeaves) {
+  const auto leaves = random_leaves(GetParam(), 23);
+  const ClockTree t = synthesize_tree_dme(leaves, lib);
+  EXPECT_EQ(t.leaf_count(), 23u);
+  // Binary merges: n leaves -> n-1 internal nodes.
+  EXPECT_EQ(t.size(), 2u * 23u - 1u);
+  for (const TreeNode& n : t.nodes()) {
+    if (!n.is_leaf()) {
+      EXPECT_EQ(n.children.size(), 2u);
+    }
+  }
+}
+
+TEST_P(DmeTest, NearZeroSkew) {
+  const auto leaves = random_leaves(GetParam() ^ 0xbeef, 31);
+  const ClockTree t = synthesize_tree_dme(leaves, lib);
+  EXPECT_LT(compute_arrivals(t).skew(), 1.0);
+}
+
+TEST_P(DmeTest, WireLengthsAreAtLeastTheRoute) {
+  const auto leaves = random_leaves(GetParam() ^ 0x77, 17);
+  const ClockTree t = synthesize_tree_dme(leaves, lib);
+  for (const TreeNode& n : t.nodes()) {
+    if (n.parent == kNoNode) continue;
+    // DME may snake (extend) but the stored length can never be less
+    // than the point-to-point route it embeds.
+    EXPECT_GE(n.wire_len + 1e-6, manhattan(n.pos, t.node(n.parent).pos));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DmeTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DmeEdgeCases, SingleLeaf) {
+  CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree t =
+      synthesize_tree_dme({LeafSpec{{10.0, 10.0}, 12.0}}, lib);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.leaf_count(), 1u);
+}
+
+TEST(DmeEdgeCases, TwoCoincidentLeaves) {
+  CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree t = synthesize_tree_dme(
+      {LeafSpec{{10.0, 10.0}, 12.0}, LeafSpec{{10.0, 10.0}, 30.0}}, lib);
+  EXPECT_EQ(t.leaf_count(), 2u);
+  EXPECT_LT(compute_arrivals(t).skew(), 1.0);
+}
+
+} // namespace
+} // namespace wm

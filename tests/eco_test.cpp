@@ -1,0 +1,127 @@
+// Tests for the incremental (ECO) re-optimization flow.
+
+#include "core/eco.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+namespace {
+
+class EcoTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+  BenchmarkSpec spec = spec_by_name("s35932");
+  ModeSet modes = ModeSet::single(spec.islands);
+
+  ClockTree optimized_tree() {
+    ClockTree t = make_benchmark(spec, lib);
+    WaveMinOptions opts;
+    opts.kappa = 20.0;
+    opts.samples = 32;
+    EXPECT_TRUE(clk_wavemin(t, lib, chr, opts).success);
+    return t;
+  }
+};
+
+TEST_F(EcoTest, TouchesOnlyZonesNearTheChange) {
+  ClockTree tree = optimized_tree();
+  // Record the full assignment, then grow one leaf's load (an ECO).
+  std::vector<const Cell*> before;
+  for (const TreeNode& n : tree.nodes()) before.push_back(n.cell);
+  const NodeId victim = tree.leaves().front();
+  tree.node(victim).sink_cap *= 1.6;
+
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  const EcoResult r =
+      eco_reoptimize(tree, lib, chr, modes, {victim}, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.zones_touched, 0u);
+  EXPECT_LT(r.zones_touched, r.zones_total);
+
+  // Every changed cell lies in a touched tile (within the one-ring of
+  // the victim's zone).
+  const ZoneMap zones(tree);
+  const int vz = zones.zone_of(victim);
+  ASSERT_GE(vz, 0);
+  const Zone& vzone = zones.zones()[static_cast<std::size_t>(vz)];
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.cell == before[static_cast<std::size_t>(n.id)]) continue;
+    ASSERT_TRUE(n.is_leaf());
+    const Zone& z =
+        zones.zones()[static_cast<std::size_t>(zones.zone_of(n.id))];
+    EXPECT_LE(std::abs(z.gx - vzone.gx), 1);
+    EXPECT_LE(std::abs(z.gy - vzone.gy), 1);
+  }
+}
+
+TEST_F(EcoTest, SkewStaysLegalAfterEco) {
+  ClockTree tree = optimized_tree();
+  const NodeId victim = tree.leaves().back();
+  tree.node(victim).sink_cap *= 1.5;
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  ASSERT_TRUE(
+      eco_reoptimize(tree, lib, chr, modes, {victim}, opts).success);
+  EXPECT_LE(compute_arrivals(tree).skew(), opts.kappa * 1.2);
+}
+
+TEST_F(EcoTest, NoChangesMeansNoWork) {
+  ClockTree tree = optimized_tree();
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  const EcoResult r = eco_reoptimize(tree, lib, chr, modes, {}, opts);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.zones_touched, 0u);
+}
+
+TEST_F(EcoTest, InternalNodeSelectsItsSubtreeZones) {
+  ClockTree tree = optimized_tree();
+  // Pick an internal node with several leaves below.
+  NodeId internal = kNoNode;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf() && n.parent != kNoNode &&
+        tree.leaves_under(n.id).size() >= 4) {
+      internal = n.id;
+      break;
+    }
+  }
+  ASSERT_NE(internal, kNoNode);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  const EcoResult r =
+      eco_reoptimize(tree, lib, chr, modes, {internal}, opts);
+  EXPECT_TRUE(r.success);
+  EXPECT_GE(r.zones_touched, 1u);
+}
+
+TEST_F(EcoTest, MuchCheaperThanFullRerun) {
+  ClockTree t1 = optimized_tree();
+  const NodeId victim = t1.leaves().front();
+  t1.node(victim).sink_cap *= 1.4;
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 158;
+  const EcoResult eco =
+      eco_reoptimize(t1, lib, chr, modes, {victim}, opts);
+  ASSERT_TRUE(eco.success);
+
+  ClockTree t2 = make_benchmark(spec, lib);
+  const WaveMinResult full = clk_wavemin(t2, lib, chr, opts);
+  ASSERT_TRUE(full.success);
+  EXPECT_LT(eco.runtime_ms, full.runtime_ms);
+}
+
+} // namespace
+} // namespace wm

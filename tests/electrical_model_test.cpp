@@ -1,0 +1,145 @@
+// Parameterized sweeps of the analytic cell model: the monotonicity and
+// scaling laws every downstream algorithm assumes. These are the
+// contract the HSPICE substitution must honor (DESIGN.md §2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cells/characterizer.hpp"
+#include "cells/electrical.hpp"
+#include "cells/library.hpp"
+
+namespace wm {
+namespace {
+
+struct SweepPoint {
+  const char* cell;
+  Ff load;
+  Volt vdd;
+  double temp;
+};
+
+class ElectricalSweep : public ::testing::TestWithParam<SweepPoint> {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+TEST_P(ElectricalSweep, DelayMonotoneInLoad) {
+  const SweepPoint& p = GetParam();
+  const Cell& cell = lib.by_name(p.cell);
+  const DriveConditions base{p.load, 20.0, p.vdd, p.temp};
+  DriveConditions heavier = base;
+  heavier.c_load = p.load * 1.5;
+  EXPECT_GT(cell_timing(cell, heavier).delay(),
+            cell_timing(cell, base).delay());
+}
+
+TEST_P(ElectricalSweep, DelayMonotoneInSlew) {
+  const SweepPoint& p = GetParam();
+  const Cell& cell = lib.by_name(p.cell);
+  const DriveConditions base{p.load, 20.0, p.vdd, p.temp};
+  DriveConditions slower = base;
+  slower.slew_in = 40.0;
+  EXPECT_GT(cell_timing(cell, slower).delay(),
+            cell_timing(cell, base).delay());
+}
+
+TEST_P(ElectricalSweep, ChargeConservation) {
+  // Total I_DD charge per edge tracks (C_load + C_self) * VDD within
+  // the short-circuit allowance.
+  const SweepPoint& p = GetParam();
+  const Cell& cell = lib.by_name(p.cell);
+  const DriveConditions dc{p.load, 20.0, p.vdd, p.temp};
+  const CellWave w = simulate_cell(cell, dc);
+  const double q_expect = (p.load + cell.c_self) * p.vdd;  // fC
+  const double q_measured =
+      (w.idd.integral() + w.iss.integral()) * 1e-3 /
+      (2.0 * (1.0 + cell.sc_frac));
+  EXPECT_NEAR(q_measured, q_expect, 0.4 * q_expect);
+}
+
+TEST_P(ElectricalSweep, PulsesLiveNearTheEdges) {
+  // Hot-spot premise of the sampling scheme (Fig. 7): away from both
+  // clock edges the rails are quiet.
+  const SweepPoint& p = GetParam();
+  const Cell& cell = lib.by_name(p.cell);
+  const DriveConditions dc{p.load, 20.0, p.vdd, p.temp};
+  const CellWave w = simulate_cell(cell, dc);
+  const Ps quiet_lo = 200.0, quiet_hi = 450.0;  // between the edges
+  EXPECT_LT(w.idd.max_in(quiet_lo, quiet_hi), 0.02 * w.idd.peak() + 1.0);
+  EXPECT_LT(w.iss.max_in(quiet_lo, quiet_hi), 0.02 * w.iss.peak() + 1.0);
+}
+
+TEST_P(ElectricalSweep, RiseFallAsymmetry) {
+  // Output-falling transitions are modelled slower (Table I shape).
+  const SweepPoint& p = GetParam();
+  const Cell& cell = lib.by_name(p.cell);
+  const DriveConditions dc{p.load, 20.0, p.vdd, p.temp};
+  const CellTiming t = cell_timing(cell, dc);
+  if (cell.inverting()) {
+    EXPECT_GT(t.delay_rise, t.delay_fall);  // input rise -> output fall
+  } else {
+    EXPECT_GT(t.delay_fall, t.delay_rise);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ElectricalSweep,
+    ::testing::Values(SweepPoint{"BUF_X4", 4.0, 1.1, 25.0},
+                      SweepPoint{"BUF_X8", 10.0, 1.1, 25.0},
+                      SweepPoint{"BUF_X16", 20.0, 1.1, 25.0},
+                      SweepPoint{"BUF_X16", 20.0, 0.9, 25.0},
+                      SweepPoint{"BUF_X32", 40.0, 1.1, 85.0},
+                      SweepPoint{"INV_X8", 10.0, 1.1, 25.0},
+                      SweepPoint{"INV_X16", 20.0, 0.9, 0.0},
+                      SweepPoint{"INV_X32", 40.0, 1.1, 25.0},
+                      SweepPoint{"ADB_X8", 12.0, 1.1, 25.0},
+                      SweepPoint{"ADI_X16", 16.0, 0.9, 25.0}),
+    [](const auto& info) {
+      std::string s = info.param.cell;
+      s += "_L" + std::to_string(static_cast<int>(info.param.load));
+      s += info.param.vdd > 1.0 ? "_hi" : "_lo";
+      s += "_T" + std::to_string(static_cast<int>(info.param.temp));
+      return s;
+    });
+
+TEST(CharacterizerConsistency, LutEqualsDirectSimulationAtBinPoints) {
+  // At exactly a characterized (bin, vdd, temp) point the LUT must be
+  // the direct simulation — no interpolation error.
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  CharacterizerOptions co;
+  co.vdds = {0.9, 1.1};
+  co.temps = {0.0, 25.0};
+  const Characterizer chr(lib, co);
+  for (const char* name : {"BUF_X8", "INV_X16"}) {
+    const Cell& cell = lib.by_name(name);
+    for (const Ff bin : {4.0, 16.0, 64.0}) {
+      const CellWave& lut = chr.lookup(cell, bin, 1.1, 25.0);
+      const CellWave direct = simulate_cell(
+          cell, DriveConditions{bin, co.slew, 1.1, 25.0}, co.period,
+          co.dt);
+      EXPECT_DOUBLE_EQ(lut.idd.peak(), direct.idd.peak()) << name;
+      EXPECT_DOUBLE_EQ(lut.timing.delay(), direct.timing.delay());
+    }
+  }
+}
+
+TEST(CharacterizerConsistency, BinQuantizationErrorIsBounded) {
+  // Between bins the LUT is off by at most the bin ratio in peak — the
+  // deliberate model error of Sec. VII-C.
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const Cell& cell = lib.by_name("BUF_X16");
+  for (const Ff load : {5.0, 9.5, 14.0, 21.0, 28.0}) {
+    const CellWave& lut = chr.lookup(cell, load);
+    const CellWave direct =
+        simulate_cell(cell, DriveConditions{load, 20.0, 1.1, 25.0});
+    const double ratio = lut.idd.peak() / direct.idd.peak();
+    EXPECT_GT(ratio, 0.6) << load;
+    EXPECT_LT(ratio, 1.7) << load;
+  }
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,97 @@
+// Tests for the evaluation harness (validation metrics) and for the
+// variation guard band option.
+
+#include "core/evaluate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+
+namespace wm {
+namespace {
+
+class EvaluateTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(EvaluateTest, MetricsArePositiveAndConsistent) {
+  const ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  const Evaluation e = evaluate_design(tree);
+  EXPECT_GT(e.peak_current, 0.0);
+  EXPECT_GT(e.tile_peak_current, 0.0);
+  // The worst tile cannot exceed the whole-chip peak by definition of a
+  // subset, but may exceed it in time alignment? No: a subset's peak is
+  // at most the total's value at the same instant... which is at most
+  // the total's peak. (All currents are non-negative.)
+  EXPECT_LE(e.tile_peak_current, e.peak_current + 1e-6);
+  EXPECT_GT(e.vdd_noise, 0.0);
+  EXPECT_GT(e.gnd_noise, 0.0);
+  EXPECT_GT(e.avg_power_mw, 0.0);
+  EXPECT_NEAR(e.worst_skew, compute_arrivals(tree).skew(), 1e-6);
+  ASSERT_EQ(e.peak_by_mode.size(), 1u);
+  EXPECT_DOUBLE_EQ(e.peak_by_mode[0], e.peak_current);
+}
+
+TEST_F(EvaluateTest, AveragePowerIsInvariantUnderPolarity) {
+  // Polarity assignment redistributes current between rails and over
+  // time, but the total charge per cycle (and hence average power) is
+  // nearly unchanged — only the cell-swap (sizing) differences show up.
+  ClockTree t1 = make_benchmark(spec_by_name("s13207"), lib);
+  const Evaluation before = evaluate_design(t1);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  ASSERT_TRUE(clk_wavemin(t1, lib, chr, opts).success);
+  const Evaluation after = evaluate_design(t1);
+  EXPECT_NEAR(after.avg_power_mw, before.avg_power_mw,
+              0.35 * before.avg_power_mw);
+  // ... while the peak dropped a lot.
+  EXPECT_LT(after.peak_current, 0.85 * before.peak_current);
+}
+
+TEST_F(EvaluateTest, MultiModeWorstCaseIsMaxOverModes) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  const ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  const Evaluation e = evaluate_design(tree, modes, 2.0);
+  ASSERT_EQ(e.peak_by_mode.size(), modes.count());
+  UA max_mode = 0.0;
+  for (UA p : e.peak_by_mode) max_mode = std::max(max_mode, p);
+  EXPECT_DOUBLE_EQ(e.peak_current, max_mode);
+  EXPECT_NEAR(e.worst_skew, worst_skew(tree, modes), 1e-6);
+}
+
+TEST_F(EvaluateTest, GuardBandTightensRealizedSkew) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  WaveMinOptions opts;
+  opts.kappa = 30.0;
+  opts.samples = 32;
+
+  ClockTree loose = make_benchmark(spec, lib);
+  ASSERT_TRUE(clk_wavemin(loose, lib, chr, opts).success);
+
+  opts.skew_guard_band = 12.0;
+  ClockTree tight = make_benchmark(spec, lib);
+  ASSERT_TRUE(clk_wavemin(tight, lib, chr, opts).success);
+
+  // The guarded run must respect the reduced bound (the unguarded run
+  // may legally use the full window).
+  EXPECT_LE(compute_arrivals(tight).skew(), 30.0 - 12.0 + 3.0);
+  EXPECT_LE(compute_arrivals(loose).skew(), 30.0 + 3.0);
+}
+
+TEST_F(EvaluateTest, GuardBandValidation) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.skew_guard_band = 25.0;  // >= kappa: invalid
+  EXPECT_THROW(clk_wavemin(tree, lib, chr, opts), Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,182 @@
+// Tests for feasible-interval enumeration and multi-mode intersections,
+// built around hand-crafted instances in the style of the paper's worked
+// examples (Figs. 5/6 single mode, Figs. 10/11 + Table IV multi-mode).
+
+#include "core/intervals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+/// Build a bare Preprocessed instance from explicit arrival matrices:
+/// arrivals[sink][candidate][mode].
+Preprocessed make_instance(
+    const std::vector<std::vector<std::vector<Ps>>>& arrivals) {
+  Preprocessed p;
+  p.mode_count = arrivals[0][0].size();
+  p.arrival_grid.resize(p.mode_count);
+  for (std::size_t s = 0; s < arrivals.size(); ++s) {
+    SinkInfo si;
+    si.id = static_cast<NodeId>(s);
+    si.zone = 0;
+    for (const auto& cand : arrivals[s]) {
+      Candidate c;
+      c.arrival = cand;
+      si.candidates.push_back(std::move(c));
+      for (std::size_t m = 0; m < p.mode_count; ++m) {
+        p.arrival_grid[m].push_back(cand[m]);
+      }
+    }
+    p.sinks.push_back(std::move(si));
+  }
+  for (auto& grid : p.arrival_grid) {
+    std::sort(grid.begin(), grid.end());
+    grid.erase(std::unique(grid.begin(), grid.end()), grid.end());
+  }
+  return p;
+}
+
+// The paper's Fig. 5/6 instance: four sinks, candidate arrivals from
+// Table II applied to initial arrivals 69, 70, 71, 70 (all types
+// feasible per sink: BUF_X1 +5, BUF_X2 0, INV_X1 +2, INV_X2 -2 relative
+// to the initial BUF_X2 arrival).
+Preprocessed paper_example() {
+  auto cands = [](Ps base) {
+    return std::vector<std::vector<Ps>>{
+        {{base + 5.0}},  // BUF_X1
+        {{base}},        // BUF_X2
+        {{base + 2.0}},  // INV_X1
+        {{base - 2.0}},  // INV_X2
+    };
+  };
+  return make_instance({cands(69), cands(70), cands(71), cands(70)});
+}
+
+TEST(Intervals, PaperExampleHasFeasibleWindows) {
+  const Preprocessed p = paper_example();
+  const auto xs = enumerate_single_mode(p, 0, 5.0);
+  ASSERT_FALSE(xs.empty());
+  // Fig. 6's yellow window [69, 74] must be among the feasible ones:
+  // every sink has at least one candidate with arrival in [69, 74].
+  bool found = false;
+  for (const auto& x : xs) {
+    if (std::abs(x.windows[0].hi - 74.0) < 1e-9) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Intervals, WindowMaskMatchesArrivals) {
+  const Preprocessed p = paper_example();
+  // Window [69, 74]: sink e1 (base 69): candidates at 74,69,71,67 ->
+  // mask 0b0111 (INV_X2 at 67 excluded).
+  const std::uint32_t m = window_mask(p.sinks[0], 0, {69.0, 74.0});
+  EXPECT_EQ(m, 0b0111u);
+  // Degenerate window catches only exact arrivals.
+  const std::uint32_t m2 = window_mask(p.sinks[0], 0, {69.0, 69.0});
+  EXPECT_EQ(m2, 0b0010u);
+}
+
+TEST(Intervals, InfeasibleWhenSkewBoundTooTight) {
+  // Sinks 100 ps apart with candidates spanning only ~7 ps can never
+  // share a 5 ps window.
+  const Preprocessed p = make_instance({
+      {{{100.0}}, {{105.0}}},
+      {{{200.0}}, {{205.0}}},
+  });
+  EXPECT_TRUE(enumerate_single_mode(p, 0, 5.0).empty());
+  EXPECT_FALSE(enumerate_single_mode(p, 0, 105.0).empty());
+}
+
+TEST(Intervals, DofCountsSurvivingCandidates) {
+  const Preprocessed p = paper_example();
+  const auto xs = enumerate_single_mode(p, 0, 5.0);
+  for (const auto& x : xs) {
+    long dof = 0;
+    for (std::uint32_t m : x.masks) dof += std::popcount(m);
+    EXPECT_EQ(dof, x.dof);
+    EXPECT_GE(x.dof, static_cast<long>(p.sinks.size()));
+  }
+  // Sorted by decreasing DOF.
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    EXPECT_GE(xs[i - 1].dof, xs[i].dof);
+  }
+}
+
+TEST(Intervals, DeduplicatesEqualMaskSignatures) {
+  // Two arrival times so close that their windows catch identical
+  // candidate sets must yield one intersection, not two.
+  const Preprocessed p = make_instance({
+      {{{10.0}}, {{10.001}}},
+  });
+  const auto xs = enumerate_single_mode(p, 0, 5.0);
+  EXPECT_EQ(xs.size(), 1u);
+}
+
+// Multi-mode intersection behaviour in the style of Fig. 10/11: mode 2
+// slows one half of the sinks, so only candidates surviving both modes'
+// windows remain.
+TEST(Intersections, MultiModeMasksAreConjunctions) {
+  // Sink 0: cand A arrives (70, 70), cand B (75, 90).
+  // Sink 1: cand A (70, 88),         cand B (75, 75).
+  const Preprocessed p = make_instance({
+      {{{70.0, 70.0}}, {{75.0, 90.0}}},
+      {{{70.0, 88.0}}, {{75.0, 75.0}}},
+  });
+  const auto xs = enumerate_intersections(p, 6.0);
+  ASSERT_FALSE(xs.empty());
+  for (const auto& x : xs) {
+    for (std::size_t s = 0; s < p.sinks.size(); ++s) {
+      ASSERT_NE(x.masks[s], 0u);
+      for (std::size_t c = 0; c < p.sinks[s].candidates.size(); ++c) {
+        if ((x.masks[s] & (1u << c)) == 0) continue;
+        // A surviving candidate is in-window in *every* mode.
+        for (std::size_t m = 0; m < p.mode_count; ++m) {
+          const Ps a = p.sinks[s].candidates[c].arrival[m];
+          EXPECT_GE(a, x.windows[m].lo - 1e-6);
+          EXPECT_LE(a, x.windows[m].hi + 1e-6);
+        }
+      }
+    }
+  }
+}
+
+TEST(Intersections, InfeasibleCombinationRejected) {
+  // In mode 0 both sinks sit at ~70; in mode 1 they are 100 apart with
+  // no candidate overlap: no intersection can be feasible.
+  const Preprocessed p = make_instance({
+      {{{70.0, 100.0}}},
+      {{{70.0, 200.0}}},
+  });
+  EXPECT_TRUE(enumerate_intersections(p, 5.0).empty());
+}
+
+TEST(Intersections, BeamKeepsHighestDof) {
+  // Several distinct windows; beam of 1 must keep the max-DOF one.
+  const Preprocessed p = paper_example();
+  const auto all = enumerate_intersections(p, 5.0, 0);
+  const auto beamed = enumerate_intersections(p, 5.0, 1);
+  ASSERT_FALSE(all.empty());
+  ASSERT_EQ(beamed.size(), 1u);
+  EXPECT_EQ(beamed.front().dof, all.front().dof);
+}
+
+TEST(Intersections, SingleModeDegeneratesToWindows) {
+  const Preprocessed p = paper_example();
+  const auto a = enumerate_single_mode(p, 0, 5.0);
+  const auto b = enumerate_intersections(p, 5.0);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Intervals, RejectsBadArguments) {
+  const Preprocessed p = paper_example();
+  EXPECT_THROW(enumerate_single_mode(p, 7, 5.0), Error);
+  EXPECT_THROW(enumerate_single_mode(p, 0, 0.0), Error);
+}
+
+} // namespace
+} // namespace wm

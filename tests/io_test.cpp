@@ -1,0 +1,156 @@
+// Tests for the .ctree / celllib text formats: round-trips, error
+// handling, and interop with the optimizer.
+
+#include "io/tree_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "adb/allocation.hpp"
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+void expect_trees_equal(const ClockTree& a, const ClockTree& b) {
+  ASSERT_EQ(a.size(), b.size());
+  // Compare in topological order (serialization remaps ids).
+  const auto oa = a.topological_order();
+  const auto ob = b.topological_order();
+  for (std::size_t i = 0; i < oa.size(); ++i) {
+    const TreeNode& na = a.node(oa[i]);
+    const TreeNode& nb = b.node(ob[i]);
+    EXPECT_EQ(na.cell->name, nb.cell->name);
+    EXPECT_DOUBLE_EQ(na.pos.x, nb.pos.x);
+    EXPECT_DOUBLE_EQ(na.pos.y, nb.pos.y);
+    EXPECT_DOUBLE_EQ(na.wire_len, nb.wire_len);
+    EXPECT_DOUBLE_EQ(na.route_extra, nb.route_extra);
+    EXPECT_DOUBLE_EQ(na.sink_cap, nb.sink_cap);
+    EXPECT_EQ(na.island, nb.island);
+    EXPECT_EQ(na.adj_codes, nb.adj_codes);
+    EXPECT_EQ(na.children.size(), nb.children.size());
+  }
+}
+
+TEST_F(IoTest, TreeRoundTripPreservesEverything) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  // Exercise adjustable codes too.
+  const ModeSet modes = make_mode_set(spec_by_name("s13207"));
+  allocate_adbs(tree, lib, modes, 40.0);
+
+  const std::string text = tree_to_string(tree);
+  const ClockTree back = tree_from_string(text, lib);
+  expect_trees_equal(tree, back);
+  // Timing is bit-identical after a round trip.
+  EXPECT_DOUBLE_EQ(compute_arrivals(tree).skew(),
+                   compute_arrivals(back).skew());
+}
+
+TEST_F(IoTest, TreeRoundTripSurvivesEdgeSplits) {
+  // split_edge / insert_below break id ordering; serialization must
+  // renumber so the file still loads.
+  ClockTree t;
+  const NodeId r = t.add_root({0, 0}, &lib.by_name("BUF_X32"));
+  const NodeId l = t.add_node(r, {40, 0}, &lib.by_name("BUF_X16"));
+  t.node(l).sink_cap = 9.0;
+  t.split_edge(l, {20, 0}, &lib.by_name("BUF_X16"));
+  t.insert_below(r, {1, 1}, &lib.by_name("BUF_X16"));
+  const ClockTree back = tree_from_string(tree_to_string(t), lib);
+  expect_trees_equal(t, back);
+}
+
+TEST_F(IoTest, LibraryRoundTrip) {
+  const std::string text = library_to_string(lib);
+  const CellLibrary back = library_from_string(text);
+  ASSERT_EQ(back.cells().size(), lib.cells().size());
+  for (const Cell& c : lib.cells()) {
+    const Cell* b = back.find(c.name);
+    ASSERT_NE(b, nullptr) << c.name;
+    EXPECT_EQ(b->kind, c.kind);
+    EXPECT_EQ(b->drive, c.drive);
+    EXPECT_DOUBLE_EQ(b->c_in, c.c_in);
+    EXPECT_DOUBLE_EQ(b->c_self, c.c_self);
+    EXPECT_DOUBLE_EQ(b->r_out, c.r_out);
+    EXPECT_DOUBLE_EQ(b->d0, c.d0);
+    EXPECT_DOUBLE_EQ(b->slew0, c.slew0);
+    EXPECT_DOUBLE_EQ(b->sc_frac, c.sc_frac);
+    EXPECT_DOUBLE_EQ(b->adj_step, c.adj_step);
+    EXPECT_EQ(b->adj_max_code, c.adj_max_code);
+  }
+}
+
+TEST_F(IoTest, CommentsAndBlankLinesIgnored) {
+  ClockTree t;
+  t.add_root({0, 0}, &lib.by_name("BUF_X32"));
+  std::string text = tree_to_string(t);
+  text = "# leading comment\n\n" + text + "\n# trailing\n\n";
+  const ClockTree back = tree_from_string(text, lib);
+  EXPECT_EQ(back.size(), 1u);
+}
+
+TEST_F(IoTest, MalformedInputsRejected) {
+  EXPECT_THROW(tree_from_string("", lib), Error);
+  EXPECT_THROW(tree_from_string("ctree v2\n", lib), Error);
+  EXPECT_THROW(tree_from_string("ctree v1\nblob 0\n", lib), Error);
+  // Unknown cell.
+  EXPECT_THROW(
+      tree_from_string("ctree v1\nnode 0 -1 NAND2_X1 0 0 0 0 0 0\n", lib),
+      Error);
+  // Non-dense ids.
+  EXPECT_THROW(
+      tree_from_string("ctree v1\nnode 5 -1 BUF_X8 0 0 0 0 0 0\n", lib),
+      Error);
+  // Two roots.
+  EXPECT_THROW(tree_from_string("ctree v1\n"
+                                "node 0 -1 BUF_X8 0 0 0 0 0 0\n"
+                                "node 1 -1 BUF_X8 0 0 0 0 0 0\n",
+                                lib),
+               Error);
+  // Truncated record.
+  EXPECT_THROW(tree_from_string("ctree v1\nnode 0 -1 BUF_X8 0 0\n", lib),
+               Error);
+  EXPECT_THROW(library_from_string("celllib v1\ncell X buffer 1\n"),
+               Error);
+  EXPECT_THROW(library_from_string("celllib v1\n"
+                                   "cell X gizmo 1 1 1 1 1 1 0.1 0 0\n"),
+               Error);
+}
+
+TEST_F(IoTest, FileHelpers) {
+  const std::string path = ::testing::TempDir() + "/roundtrip.ctree";
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  save_tree(path, tree);
+  const ClockTree back = load_tree(path, lib);
+  expect_trees_equal(tree, back);
+  EXPECT_THROW(load_tree("/nonexistent/dir/x.ctree", lib), Error);
+
+  const std::string lpath = ::testing::TempDir() + "/cells.lib";
+  save_library(lpath, lib);
+  EXPECT_EQ(load_library(lpath).cells().size(), lib.cells().size());
+}
+
+TEST_F(IoTest, LoadedTreeIsOptimizable) {
+  // A tree that went through serialization must drive the whole
+  // optimization pipeline identically.
+  Characterizer chr(lib);
+  ClockTree orig = make_benchmark(spec_by_name("s15850"), lib);
+  ClockTree loaded = tree_from_string(tree_to_string(orig), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 16;
+  const WaveMinResult a = clk_wavemin(orig, lib, chr, opts);
+  const WaveMinResult b = clk_wavemin(loaded, lib, chr, opts);
+  ASSERT_TRUE(a.success && b.success);
+  EXPECT_DOUBLE_EQ(a.model_peak, b.model_peak);
+}
+
+} // namespace
+} // namespace wm

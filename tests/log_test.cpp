@@ -1,0 +1,49 @@
+// Tests for the logging facility.
+
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wm {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }
+};
+
+TEST_F(LogTest, LevelRoundTrips) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Silent);
+  EXPECT_EQ(log_level(), LogLevel::Silent);
+}
+
+TEST_F(LogTest, SuppressedLevelsDoNotEvaluate) {
+  // The macro must not evaluate its stream operands when the level is
+  // filtered out (logging in hot loops would otherwise cost even when
+  // silent).
+  set_log_level(LogLevel::Silent);
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  WM_LOG(Debug) << "value " << count();
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Debug);
+  WM_LOG(Debug) << "value " << count();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, OrderingOfLevels) {
+  EXPECT_LT(static_cast<int>(LogLevel::Silent),
+            static_cast<int>(LogLevel::Warn));
+  EXPECT_LT(static_cast<int>(LogLevel::Warn),
+            static_cast<int>(LogLevel::Info));
+  EXPECT_LT(static_cast<int>(LogLevel::Info),
+            static_cast<int>(LogLevel::Debug));
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,88 @@
+// Tests for the Monte Carlo process-variation engine (Sec. VII-D).
+
+#include "mc/monte_carlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/library.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class McTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  ModeSet modes = ModeSet::single(spec_by_name("s13207").islands);
+};
+
+TEST_F(McTest, DeterministicForEqualSeeds) {
+  McOptions opts;
+  opts.instances = 20;
+  opts.with_noise = false;
+  const McResult a = run_monte_carlo(tree, modes, opts);
+  const McResult b = run_monte_carlo(tree, modes, opts);
+  EXPECT_DOUBLE_EQ(a.skew_yield, b.skew_yield);
+  EXPECT_DOUBLE_EQ(a.mean_skew, b.mean_skew);
+}
+
+TEST_F(McTest, YieldIsMonotoneInTheBound) {
+  McOptions tight;
+  tight.instances = 50;
+  tight.with_noise = false;
+  tight.kappa = 5.0;
+  McOptions loose = tight;
+  loose.kappa = 200.0;
+  const McResult t = run_monte_carlo(tree, modes, tight);
+  const McResult l = run_monte_carlo(tree, modes, loose);
+  EXPECT_LE(t.skew_yield, l.skew_yield);
+  EXPECT_DOUBLE_EQ(l.skew_yield, 1.0);
+}
+
+TEST_F(McTest, VariationWidensSkew) {
+  // The nominal tree is near zero skew; 5% variations must produce a
+  // mean skew well above it.
+  McOptions opts;
+  opts.instances = 50;
+  opts.with_noise = false;
+  const McResult r = run_monte_carlo(tree, modes, opts);
+  EXPECT_GT(r.mean_skew, compute_arrivals(tree).skew());
+}
+
+TEST_F(McTest, NoiseStatisticsTrackTheInputSigma) {
+  McOptions opts;
+  opts.instances = 60;
+  opts.dt = 4.0;
+  const McResult r = run_monte_carlo(tree, modes, opts);
+  EXPECT_GT(r.mean_peak, 0.0);
+  EXPECT_GT(r.mean_vdd_noise, 0.0);
+  EXPECT_GT(r.mean_gnd_noise, 0.0);
+  // sigma/mu of the aggregate peak is in the ballpark of the 5% input
+  // variation (partially averaged across cells, so somewhat below).
+  EXPECT_GT(r.norm_std_peak, 0.005);
+  EXPECT_LT(r.norm_std_peak, 0.15);
+}
+
+TEST_F(McTest, BiggerSigmaBiggerSpread) {
+  McOptions small;
+  small.instances = 40;
+  small.sigma_over_mu = 0.02;
+  McOptions big = small;
+  big.sigma_over_mu = 0.10;
+  const McResult a = run_monte_carlo(tree, modes, small);
+  const McResult b = run_monte_carlo(tree, modes, big);
+  EXPECT_LT(a.mean_skew, b.mean_skew);
+  EXPECT_LT(a.norm_std_peak, b.norm_std_peak);
+}
+
+TEST_F(McTest, RejectsZeroInstances) {
+  McOptions opts;
+  opts.instances = 0;
+  EXPECT_THROW(run_monte_carlo(tree, modes, opts), Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,95 @@
+// Tests for the resistive-mesh IR-drop solver and its agreement with
+// the default kernel model.
+
+#include "grid/mesh_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/library.hpp"
+#include "cts/benchmarks.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class MeshGridTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+
+  ClockTree small_tree() {
+    ClockTree t;
+    const NodeId r = t.add_root({100.0, 100.0}, &lib.by_name("BUF_X32"));
+    for (Um dx : {-30.0, -10.0, 10.0, 30.0}) {
+      const NodeId l =
+          t.add_node(r, {100.0 + dx, 100.0}, &lib.by_name("BUF_X16"));
+      t.node(l).sink_cap = 14.0;
+    }
+    return t;
+  }
+};
+
+TEST_F(MeshGridTest, ConvergesAndProducesPositiveDrops) {
+  const ClockTree t = small_tree();
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  const MeshGridResult r = grid_noise_mesh(t, sim);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.vdd_noise, 0.0);
+  EXPECT_GT(r.gnd_noise, 0.0);
+  EXPECT_GE(r.nodes_x, 4);
+  EXPECT_GE(r.nodes_y, 4);
+  EXPECT_GT(r.iterations, 0);
+}
+
+TEST_F(MeshGridTest, DropScalesWithStrapResistance) {
+  const ClockTree t = small_tree();
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  MeshGridOptions soft;
+  soft.strap_res = 0.004;
+  MeshGridOptions stiff;
+  stiff.strap_res = 0.001;
+  const MeshGridResult a = grid_noise_mesh(t, sim, soft);
+  const MeshGridResult b = grid_noise_mesh(t, sim, stiff);
+  EXPECT_GT(a.vdd_noise, b.vdd_noise);
+  // Linear system: 4x resistance -> 4x drop.
+  EXPECT_NEAR(a.vdd_noise, 4.0 * b.vdd_noise, 0.05 * a.vdd_noise);
+}
+
+TEST_F(MeshGridTest, DenserMeshMeansLowerImpedance) {
+  const ClockTree t = small_tree();
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  MeshGridOptions coarse;
+  coarse.pitch = 100.0;
+  MeshGridOptions fine;
+  fine.pitch = 25.0;
+  // Same strap resistance per segment: a finer mesh has more parallel
+  // paths to the pads.
+  EXPECT_LT(grid_noise_mesh(t, sim, fine).vdd_noise,
+            grid_noise_mesh(t, sim, coarse).vdd_noise);
+}
+
+TEST_F(MeshGridTest, TracksKernelRankingOnBenchmarks) {
+  // Kernel and mesh must agree on which circuit is noisier.
+  const ClockTree t1 = make_benchmark(spec_by_name("s15850"), lib);
+  const ClockTree t2 = make_benchmark(spec_by_name("s38584"), lib);
+  const TreeSim s1(t1, ModeSet::single(4), 0, {});
+  const TreeSim s2(t2, ModeSet::single(5), 0, {});
+  const double k1 = grid_noise(t1, s1).vdd_noise;
+  const double k2 = grid_noise(t2, s2).vdd_noise;
+  const double m1 = grid_noise_mesh(t1, s1).vdd_noise;
+  const double m2 = grid_noise_mesh(t2, s2).vdd_noise;
+  EXPECT_EQ(k1 < k2, m1 < m2);
+}
+
+TEST_F(MeshGridTest, RejectsBadOptions) {
+  const ClockTree t = small_tree();
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  MeshGridOptions bad;
+  bad.pitch = 0.0;
+  EXPECT_THROW(grid_noise_mesh(t, sim, bad), Error);
+  MeshGridOptions bad2;
+  bad2.time_samples = 0;
+  EXPECT_THROW(grid_noise_mesh(t, sim, bad2), Error);
+}
+
+} // namespace
+} // namespace wm

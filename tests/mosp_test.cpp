@@ -1,0 +1,194 @@
+// Tests for the MOSP min-max solvers: exact Pareto DP, Warburton-style
+// epsilon approximation, greedy (ClkWaveMin-f inner loop) and the
+// exhaustive oracle.
+
+#include "mosp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+MospGraph tiny_graph() {
+  // Two rows, two options each, 2-dim weights. Options are (option 0)
+  // heavy on dim 0 and (option 1) heavy on dim 1; the min-max optimum
+  // mixes them.
+  MospGraph g;
+  g.dims = 2;
+  g.rows = {
+      {{0, {10.0, 1.0}, "r0o0"}, {1, {1.0, 10.0}, "r0o1"}},
+      {{0, {10.0, 1.0}, "r1o0"}, {1, {1.0, 10.0}, "r1o1"}},
+  };
+  return g;
+}
+
+TEST(MospGraph, ValidateCatchesShapeErrors) {
+  MospGraph g = tiny_graph();
+  g.validate();  // fine
+  g.rows[0][0].weight.pop_back();
+  EXPECT_THROW(g.validate(), Error);
+
+  MospGraph g2 = tiny_graph();
+  g2.rows.push_back({});
+  EXPECT_THROW(g2.validate(), Error);
+
+  MospGraph g3 = tiny_graph();
+  g3.dest_weight = {1.0};  // wrong dimension
+  EXPECT_THROW(g3.validate(), Error);
+}
+
+TEST(MospSolver, ExactFindsTheMixedOptimum) {
+  const MospSolution s = solve_exact(tiny_graph());
+  ASSERT_TRUE(s.feasible);
+  // Mixing gives total (11, 11) -> worst 11; uniform gives (20, 2).
+  EXPECT_NEAR(s.worst, 11.0, 1e-9);
+  EXPECT_NE(s.choice[0], s.choice[1]);
+}
+
+TEST(MospSolver, DestWeightIsIncluded) {
+  MospGraph g = tiny_graph();
+  g.dest_weight = {100.0, 0.0};  // dim 0 already loaded by non-leaves
+  const MospSolution s = solve_exact(g);
+  // Both rows should now avoid dim 0: choose option 1 twice ->
+  // total (102, 20) vs mixing (111, 11): worst 102 < 111.
+  EXPECT_EQ(s.choice[0], 1);
+  EXPECT_EQ(s.choice[1], 1);
+  EXPECT_NEAR(s.worst, 102.0, 1e-9);
+}
+
+TEST(MospSolver, GreedyIsFeasibleAndNotAbsurd) {
+  const MospSolution s = solve_greedy(tiny_graph());
+  ASSERT_TRUE(s.feasible);
+  EXPECT_LE(s.worst, 20.0);  // never worse than the uniform choice
+}
+
+TEST(MospSolver, ExhaustiveMatchesExactOnTiny) {
+  const MospSolution a = solve_exact(tiny_graph());
+  const MospSolution b = solve_exhaustive(tiny_graph());
+  EXPECT_NEAR(a.worst, b.worst, 1e-9);
+}
+
+TEST(MospSolver, ExhaustiveGuardsAgainstBlowup) {
+  MospGraph g;
+  g.dims = 1;
+  std::vector<MospVertex> row;
+  for (int i = 0; i < 50; ++i) row.push_back({i, {1.0}, ""});
+  for (int r = 0; r < 10; ++r) g.rows.push_back(row);  // 50^10 paths
+  EXPECT_THROW(solve_exhaustive(g), Error);
+}
+
+MospGraph random_graph(Rng& rng, std::size_t rows, std::size_t options,
+                       int dims) {
+  MospGraph g;
+  g.dims = dims;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<MospVertex> row;
+    for (std::size_t o = 0; o < options; ++o) {
+      MospVertex v;
+      v.option = static_cast<int>(o);
+      for (int d = 0; d < dims; ++d) {
+        v.weight.push_back(rng.uniform(0.0, 100.0));
+      }
+      row.push_back(std::move(v));
+    }
+    g.rows.push_back(std::move(row));
+  }
+  g.dest_weight.assign(static_cast<std::size_t>(dims), 0.0);
+  for (int d = 0; d < dims; ++d) {
+    g.dest_weight[static_cast<std::size_t>(d)] = rng.uniform(0.0, 50.0);
+  }
+  return g;
+}
+
+struct SolverPropertyCase {
+  std::uint64_t seed;
+  std::size_t rows;
+  std::size_t options;
+  int dims;
+};
+
+class SolverProperty : public ::testing::TestWithParam<SolverPropertyCase> {};
+
+TEST_P(SolverProperty, ExactEqualsExhaustive) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  const MospGraph g = random_graph(rng, p.rows, p.options, p.dims);
+  const MospSolution exact = solve_exact(g);
+  const MospSolution oracle = solve_exhaustive(g);
+  EXPECT_NEAR(exact.worst, oracle.worst, 1e-6);
+}
+
+TEST_P(SolverProperty, WarburtonWithinEpsilonOfOptimal) {
+  const auto& p = GetParam();
+  Rng rng(p.seed ^ 0xabcdef);
+  const MospGraph g = random_graph(rng, p.rows, p.options, p.dims);
+  const MospSolution oracle = solve_exhaustive(g);
+  for (double eps : {0.01, 0.1, 0.5}) {
+    MospSolverOptions opts;
+    opts.epsilon = eps;
+    const MospSolution approx = solve_warburton(g, opts);
+    EXPECT_GE(approx.worst + 1e-9, oracle.worst);
+    // Grid merging can lose at most eps * UB; the greedy incumbent
+    // bounds UB, so allow the documented slack.
+    EXPECT_LE(approx.worst, oracle.worst * (1.0 + eps) + 1e-6)
+        << "eps=" << eps;
+  }
+}
+
+TEST_P(SolverProperty, GreedyNeverBeatsOracleAndIsFeasible) {
+  const auto& p = GetParam();
+  Rng rng(p.seed ^ 0x123456);
+  const MospGraph g = random_graph(rng, p.rows, p.options, p.dims);
+  const MospSolution oracle = solve_exhaustive(g);
+  const MospSolution greedy = solve_greedy(g);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_GE(greedy.worst + 1e-9, oracle.worst);
+  ASSERT_EQ(greedy.choice.size(), p.rows);
+  for (std::size_t r = 0; r < p.rows; ++r) {
+    EXPECT_GE(greedy.choice[r], 0);
+    EXPECT_LT(greedy.choice[r], static_cast<int>(p.options));
+  }
+}
+
+TEST_P(SolverProperty, SolutionTotalsAreConsistent) {
+  const auto& p = GetParam();
+  Rng rng(p.seed ^ 0x777);
+  const MospGraph g = random_graph(rng, p.rows, p.options, p.dims);
+  const MospSolution s = solve_exact(g);
+  // Recompute the total from the choices and compare.
+  std::vector<double> total = g.dest_weight;
+  for (std::size_t r = 0; r < g.rows.size(); ++r) {
+    const auto& row = g.rows[r];
+    const auto it =
+        std::find_if(row.begin(), row.end(), [&](const MospVertex& v) {
+          return v.option == s.choice[r];
+        });
+    ASSERT_NE(it, row.end());
+    for (std::size_t d = 0; d < total.size(); ++d) {
+      total[d] += it->weight[d];
+    }
+  }
+  double worst = 0.0;
+  for (double t : total) worst = std::max(worst, t);
+  EXPECT_NEAR(worst, s.worst, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, SolverProperty,
+    ::testing::Values(SolverPropertyCase{1, 3, 2, 2},
+                      SolverPropertyCase{2, 4, 3, 4},
+                      SolverPropertyCase{3, 5, 4, 4},
+                      SolverPropertyCase{4, 6, 3, 8},
+                      SolverPropertyCase{5, 7, 2, 16},
+                      SolverPropertyCase{6, 4, 4, 32},
+                      SolverPropertyCase{7, 8, 2, 6},
+                      SolverPropertyCase{8, 5, 5, 3}));
+
+} // namespace
+} // namespace wm

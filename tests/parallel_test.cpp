@@ -1,0 +1,61 @@
+// Determinism of the parallel zone solver: thread count must not change
+// the result.
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+
+namespace wm {
+namespace {
+
+TEST(ParallelSolve, BitIdenticalAcrossThreadCounts) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const BenchmarkSpec& spec = spec_by_name("s35932");
+
+  double reference = -1.0;
+  std::vector<const Cell*> ref_cells;
+  for (unsigned threads : {1u, 2u, 4u}) {
+    ClockTree tree = make_benchmark(spec, lib);
+    WaveMinOptions opts;
+    opts.kappa = 20.0;
+    opts.samples = 64;
+    opts.threads = threads;
+    const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+    ASSERT_TRUE(r.success) << "threads=" << threads;
+    if (reference < 0.0) {
+      reference = r.model_peak;
+      for (const TreeNode& n : tree.nodes()) ref_cells.push_back(n.cell);
+    } else {
+      EXPECT_DOUBLE_EQ(r.model_peak, reference) << "threads=" << threads;
+      for (const TreeNode& n : tree.nodes()) {
+        EXPECT_EQ(n.cell, ref_cells[static_cast<std::size_t>(n.id)]);
+      }
+    }
+  }
+}
+
+TEST(ParallelSolve, SpeedupOnBigCircuit) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr(lib);
+  const BenchmarkSpec& spec = spec_by_name("s38417");
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 158;
+
+  ClockTree t1 = make_benchmark(spec, lib);
+  opts.threads = 1;
+  const WaveMinResult seq = clk_wavemin(t1, lib, chr, opts);
+  ClockTree t2 = make_benchmark(spec, lib);
+  opts.threads = 4;
+  const WaveMinResult par = clk_wavemin(t2, lib, chr, opts);
+  ASSERT_TRUE(seq.success && par.success);
+  // No strict speedup assertion (CI machines vary); parallel must at
+  // least not be drastically slower.
+  EXPECT_LT(par.runtime_ms, seq.runtime_ms * 1.5);
+}
+
+} // namespace
+} // namespace wm

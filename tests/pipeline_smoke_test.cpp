@@ -1,0 +1,122 @@
+// End-to-end smoke tests: benchmark generation -> optimization ->
+// validation. These catch integration regressions across every module.
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "core/wavemin_m.hpp"
+#include "cts/benchmarks.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+};
+
+TEST_F(PipelineTest, BenchmarkMatchesPublishedCounts) {
+  for (const BenchmarkSpec& spec : benchmark_suite()) {
+    const ClockTree tree = make_benchmark(spec, lib);
+    EXPECT_EQ(static_cast<int>(tree.size()), spec.n_total) << spec.name;
+    EXPECT_EQ(static_cast<int>(tree.leaf_count()), spec.n_leaves)
+        << spec.name;
+  }
+}
+
+TEST_F(PipelineTest, BenchmarkInitialSkewIsSmall) {
+  // The paper's input trees are zero-skew trees (< ~10 ps).
+  const ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  EXPECT_LT(compute_arrivals(tree).skew(), 10.0);
+}
+
+TEST_F(PipelineTest, ZoneOccupancyInPaperRange) {
+  const ClockTree tree = make_benchmark(spec_by_name("s35932"), lib);
+  const ZoneMap zones(tree);
+  EXPECT_GT(zones.mean_occupancy(), 3.0);
+  EXPECT_LT(zones.mean_occupancy(), 12.0);
+}
+
+TEST_F(PipelineTest, WaveMinImprovesModelPeakAndKeepsSkew) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree tree = make_benchmark(spec, lib);
+  Characterizer chr(lib);
+
+  const Evaluation before = evaluate_design(tree);
+
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+
+  const Evaluation after = evaluate_design(tree);
+  EXPECT_LT(after.peak_current, before.peak_current);
+  EXPECT_LE(after.worst_skew, opts.kappa * 1.5);  // validation-model slack
+
+  // Polarity assignment actually happened: some leaves are inverters.
+  int inverters = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf() && n.cell->inverting()) ++inverters;
+  }
+  EXPECT_GT(inverters, 0);
+}
+
+TEST_F(PipelineTest, PeakMinBaselineRunsAndWaveMinBeatsItOnModel) {
+  const BenchmarkSpec& spec = spec_by_name("s15850");
+  Characterizer chr(lib);
+
+  ClockTree t1 = make_benchmark(spec, lib);
+  ClockTree t2 = make_benchmark(spec, lib);
+
+  const WaveMinResult peakmin = clk_peakmin(t1, lib, chr, 20.0);
+  ASSERT_TRUE(peakmin.success);
+
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  const WaveMinResult wavemin = clk_wavemin(t2, lib, chr, opts);
+  ASSERT_TRUE(wavemin.success);
+
+  const Evaluation e1 = evaluate_design(t1);
+  const Evaluation e2 = evaluate_design(t2);
+  // The fine-grained model should not be (much) worse in validation.
+  EXPECT_LT(e2.peak_current, e1.peak_current * 1.15);
+}
+
+TEST_F(PipelineTest, GreedyVariantRunsFast) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  Characterizer chr(lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  const WaveMinResult r = clk_wavemin_f(tree, lib, chr, opts);
+  EXPECT_TRUE(r.success);
+}
+
+TEST_F(PipelineTest, MultiModeFlowMeetsSkewInAllModes) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  Characterizer chr(lib, [] {
+    CharacterizerOptions o;
+    o.vdds = {tech::kVddLow, tech::kVddNominal};
+    return o;
+  }());
+
+  WaveMinOptions opts;
+  opts.kappa = 110.0;
+  opts.samples = 16;
+  const WaveMinMResult r = clk_wavemin_m(tree, lib, chr, modes, opts);
+  EXPECT_TRUE(r.opt.success);
+  EXPECT_LE(worst_skew(tree, modes), opts.kappa * 1.2);
+}
+
+} // namespace
+} // namespace wm

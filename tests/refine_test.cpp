@@ -1,0 +1,83 @@
+// Tests for the simulation-in-the-loop refinement post-pass.
+
+#include "core/refine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class RefineTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(RefineTest, NeverWorsensTheValidatedTilePeak) {
+  for (const char* name : {"s13207", "s15850"}) {
+    ClockTree tree = make_benchmark(spec_by_name(name), lib);
+    WaveMinOptions opts;
+    opts.kappa = 20.0;
+    opts.samples = 64;
+    ASSERT_TRUE(clk_wavemin(tree, lib, chr, opts).success);
+
+    RefineOptions ro;
+    ro.kappa = 20.0;
+    const ModeSet modes =
+        ModeSet::single(spec_by_name(name).islands);
+    const RefineResult r = refine_with_simulation(tree, lib, modes, ro);
+    EXPECT_LE(r.peak_after, r.peak_before * 1.001) << name;
+    EXPECT_GE(r.moves, 0);
+  }
+}
+
+TEST_F(RefineTest, PreservesTheSkewBound) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  ASSERT_TRUE(clk_wavemin(tree, lib, chr, opts).success);
+  RefineOptions ro;
+  ro.kappa = 20.0;
+  refine_with_simulation(
+      tree, lib, ModeSet::single(spec_by_name("s13207").islands), ro);
+  EXPECT_LE(compute_arrivals(tree).skew(), 20.0 + 1e-6);
+}
+
+TEST_F(RefineTest, OnlyTouchesPlainLeaves) {
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  const ModeSet modes = ModeSet::single(spec_by_name("s15850").islands);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  ASSERT_TRUE(clk_wavemin(tree, lib, chr, opts).success);
+  std::vector<const Cell*> internals;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) internals.push_back(n.cell);
+  }
+  RefineOptions ro;
+  ro.kappa = 20.0;
+  refine_with_simulation(tree, lib, modes, ro);
+  std::size_t i = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) {
+      EXPECT_EQ(n.cell, internals[i++]);
+    }
+  }
+}
+
+TEST_F(RefineTest, RejectsMultiMode) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  EXPECT_THROW(refine_with_simulation(
+                   tree, lib, make_mode_set(spec_by_name("s13207")), {}),
+               Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,112 @@
+// Calibration regression bands: lock the headline metrics of the
+// reproduction inside generous tolerance bands, so future edits to the
+// cell model, the synthesizer or the solvers cannot silently drift the
+// reproduced results (EXPERIMENTS.md quotes these numbers).
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+
+namespace wm {
+namespace {
+
+class RegressionTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(RegressionTest, BenchmarkGeneratorBands) {
+  // s13207: ~5-9 ps jittered skew, leaf slews near the 20 ps
+  // characterization slew (+/- 20 ps), occupancy in the paper's range.
+  const ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  const ArrivalResult arr = compute_arrivals(tree);
+  EXPECT_GT(arr.skew(), 2.0);
+  EXPECT_LT(arr.skew(), 10.0);
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) continue;
+    const Ps slew = arr.slew_in[static_cast<std::size_t>(n.id)];
+    EXPECT_GT(slew, 10.0);
+    EXPECT_LT(slew, 45.0);
+  }
+  const ZoneMap zones(tree);
+  EXPECT_GT(zones.mean_occupancy(), 2.5);
+  EXPECT_LT(zones.mean_occupancy(), 8.0);
+}
+
+TEST_F(RegressionTest, PolarityMixingHalvesTheRailPeak) {
+  // The first-order physics every polarity paper relies on: vs the
+  // all-buffer tree, the optimized peak drops by 20-60%.
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  const UA before = evaluate_design(tree, 2.0).peak_current;
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 64;
+  ASSERT_TRUE(clk_wavemin(tree, lib, chr, opts).success);
+  const UA after = evaluate_design(tree, 2.0).peak_current;
+  EXPECT_LT(after, 0.80 * before);
+  EXPECT_GT(after, 0.40 * before);
+}
+
+TEST_F(RegressionTest, WaveMinVersusPeakMinBand) {
+  // On s35932 (the largest leaf population) WaveMin's validated peak
+  // must stay within [-3%, +8%] of the PeakMin baseline — the Table V
+  // reproduction band (paper direction: positive; our compressed
+  // margin is ~1-2% with circuit-to-circuit noise, EXPERIMENTS.md).
+  const BenchmarkSpec& spec = spec_by_name("s35932");
+  ClockTree t1 = make_benchmark(spec, lib);
+  ClockTree t2 = make_benchmark(spec, lib);
+  ASSERT_TRUE(clk_peakmin(t1, lib, chr, 20.0).success);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 158;
+  ASSERT_TRUE(clk_wavemin(t2, lib, chr, opts).success);
+  const UA pm = evaluate_design(t1, 2.0).peak_current;
+  const UA wm = evaluate_design(t2, 2.0).peak_current;
+  const double gain = 100.0 * (pm - wm) / pm;
+  EXPECT_GT(gain, -3.0);
+  EXPECT_LT(gain, 8.0);
+}
+
+TEST_F(RegressionTest, CellModelBands) {
+  // BUF_X16 at a 16 fF FF bank: delay ~25-45 ps, peak ~3-9 mA.
+  const Cell& buf = lib.by_name("BUF_X16");
+  const DriveConditions dc{16.0, 20.0, tech::kVddNominal, 25.0};
+  const CellTiming t = cell_timing(buf, dc);
+  EXPECT_GT(t.delay(), 20.0);
+  EXPECT_LT(t.delay(), 50.0);
+  const CellWave w = simulate_cell(buf, dc);
+  EXPECT_GT(w.idd.peak(), 2000.0);
+  EXPECT_LT(w.idd.peak(), 12000.0);
+  // INV vs BUF delay gap is the polarity lever: 8-20 ps.
+  const Ps gap =
+      t.delay() - cell_timing(lib.by_name("INV_X16"), dc).delay();
+  EXPECT_GT(gap, 6.0);
+  EXPECT_LT(gap, 25.0);
+}
+
+TEST_F(RegressionTest, MultiModeSkewBands) {
+  // The mode-induced skews that drive Table VII: ISCAS under ~100 ps,
+  // ISPD circuits well above 90 ps (they require ADBs).
+  for (const char* name : {"s13207", "ispd09f34"}) {
+    const BenchmarkSpec& spec = spec_by_name(name);
+    const ClockTree tree = make_benchmark(spec, lib);
+    const Ps skew = worst_skew(tree, make_mode_set(spec));
+    if (std::string(name) == "s13207") {
+      EXPECT_GT(skew, 20.0);
+      EXPECT_LT(skew, 100.0);
+    } else {
+      EXPECT_GT(skew, 100.0);
+      EXPECT_LT(skew, 250.0);
+    }
+  }
+}
+
+} // namespace
+} // namespace wm

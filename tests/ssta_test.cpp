@@ -1,0 +1,97 @@
+// Tests for the analytical skew-yield estimator, validated against the
+// Monte Carlo engine (same variation model, independent implementation).
+
+#include "timing/ssta.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/library.hpp"
+#include "cts/benchmarks.hpp"
+#include "mc/monte_carlo.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class SstaTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  ModeSet modes = ModeSet::single(spec_by_name("s13207").islands);
+};
+
+TEST_F(SstaTest, ZeroSigmaIsDeterministic) {
+  SstaOptions opts;
+  opts.sigma_over_mu = 0.0;
+  const Ps nominal = compute_arrivals(tree).skew();
+  const SstaResult tight =
+      analyze_skew_yield(tree, modes, nominal - 0.5, opts);
+  EXPECT_DOUBLE_EQ(tight.yield, 0.0);
+  const SstaResult loose =
+      analyze_skew_yield(tree, modes, nominal + 0.5, opts);
+  EXPECT_DOUBLE_EQ(loose.yield, 1.0);
+}
+
+TEST_F(SstaTest, YieldMonotoneInBoundAndSigma) {
+  SstaOptions opts;
+  double prev = -1.0;
+  for (Ps kappa : {10.0, 20.0, 40.0, 80.0}) {
+    const double y = analyze_skew_yield(tree, modes, kappa, opts).yield;
+    EXPECT_GE(y, prev);
+    prev = y;
+  }
+  SstaOptions small;
+  small.sigma_over_mu = 0.02;
+  SstaOptions big;
+  big.sigma_over_mu = 0.10;
+  EXPECT_GE(analyze_skew_yield(tree, modes, 25.0, small).yield,
+            analyze_skew_yield(tree, modes, 25.0, big).yield);
+}
+
+TEST_F(SstaTest, CriticalPairIsExtremeInNominal) {
+  const SstaResult r = analyze_skew_yield(tree, modes, 20.0);
+  ASSERT_NE(r.critical_early, kNoNode);
+  ASSERT_NE(r.critical_late, kNoNode);
+  EXPECT_TRUE(tree.node(r.critical_early).is_leaf());
+  EXPECT_TRUE(tree.node(r.critical_late).is_leaf());
+  EXPECT_GT(r.skew_sigma, 0.0);
+}
+
+TEST_F(SstaTest, TracksMonteCarloGroundTruth) {
+  // The union bound is a lower bound on the true yield; with a bound
+  // well above the nominal skew it should agree with MC within a few
+  // points, and it must never exceed MC by much more than MC's own
+  // sampling error.
+  for (Ps kappa : {25.0, 35.0, 60.0}) {
+    const SstaResult ssta = analyze_skew_yield(tree, modes, kappa);
+    McOptions mo;
+    mo.instances = 400;
+    mo.kappa = kappa;
+    mo.with_noise = false;
+    const McResult mc = run_monte_carlo(tree, modes, mo);
+    EXPECT_LE(ssta.yield, mc.skew_yield + 0.08) << "kappa=" << kappa;
+    if (mc.skew_yield > 0.95) {
+      EXPECT_GT(ssta.yield, 0.75) << "kappa=" << kappa;
+    }
+  }
+}
+
+TEST_F(SstaTest, MultiModeTakesTheWorstMode) {
+  const ModeSet mm = make_mode_set(spec_by_name("s13207"));
+  const SstaResult worst = analyze_skew_yield(tree, mm, 40.0);
+  for (std::size_t m = 0; m < mm.count(); ++m) {
+    EXPECT_LE(worst.yield,
+              analyze_skew_yield(tree, mm, m, 40.0).yield + 1e-12);
+  }
+}
+
+TEST_F(SstaTest, RejectsBadArguments) {
+  EXPECT_THROW(analyze_skew_yield(tree, modes, 0.0), Error);
+  SstaOptions opts;
+  opts.sigma_over_mu = -0.1;
+  EXPECT_THROW(analyze_skew_yield(tree, modes, 20.0, opts), Error);
+}
+
+} // namespace
+} // namespace wm

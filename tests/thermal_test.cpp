@@ -1,0 +1,111 @@
+// Tests for thermal operating points: temperature derating of delays,
+// the coolest-corner noise pessimism claim ([27], revisited in the
+// paper's Sec. VI), and optimization across thermal modes.
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/electrical.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "timing/arrival.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+namespace {
+
+class ThermalTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+
+  /// Two thermal corners over one island: cool (0 C) and hot (85 C).
+  ModeSet thermal_modes(int islands) {
+    const auto k = static_cast<std::size_t>(islands);
+    const std::vector<Volt> hi(k, tech::kVddNominal);
+    return ModeSet({PowerMode{"cool", hi, std::vector<double>(k, 0.0), {}},
+                    PowerMode{"hot", hi, std::vector<double>(k, 85.0), {}}});
+  }
+};
+
+TEST_F(ThermalTest, TempFactorMonotone) {
+  EXPECT_DOUBLE_EQ(temp_delay_factor(25.0), 1.0);
+  EXPECT_GT(temp_delay_factor(85.0), 1.0);
+  EXPECT_LT(temp_delay_factor(0.0), 1.0);
+}
+
+TEST_F(ThermalTest, HotCellsAreSlower) {
+  const Cell& buf = lib.by_name("BUF_X16");
+  DriveConditions cool{16.0, 20.0, tech::kVddNominal, 0.0};
+  DriveConditions hot{16.0, 20.0, tech::kVddNominal, 85.0};
+  EXPECT_GT(cell_timing(buf, hot).delay(), cell_timing(buf, cool).delay());
+}
+
+TEST_F(ThermalTest, CoolestCornerHasTheSharpestPulses) {
+  // The prior art's pessimism assumption: peak noise is greatest at the
+  // coolest state (pulses sharpen as transitions speed up).
+  const Cell& buf = lib.by_name("BUF_X16");
+  DriveConditions cool{16.0, 20.0, tech::kVddNominal, 0.0};
+  DriveConditions hot{16.0, 20.0, tech::kVddNominal, 85.0};
+  EXPECT_GT(simulate_cell(buf, cool).idd.peak(),
+            simulate_cell(buf, hot).idd.peak());
+}
+
+TEST_F(ThermalTest, ModeSetTempDefaultsAndQueries) {
+  const ModeSet m = thermal_modes(2);
+  EXPECT_DOUBLE_EQ(m.temp(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.temp(1, 0), 85.0);
+  EXPECT_DOUBLE_EQ(ModeSet::single(2).temp(0, 1), 25.0);
+  const auto temps = m.distinct_temps();
+  ASSERT_EQ(temps.size(), 3u);  // 0, 25 (implicit default), 85
+  EXPECT_DOUBLE_EQ(temps.front(), 0.0);
+  EXPECT_DOUBLE_EQ(temps.back(), 85.0);
+}
+
+TEST_F(ThermalTest, ThermalSkewAppearsWithMixedIslands) {
+  // A gradient across islands (one island hot, one cool) creates skew
+  // in the hot-gradient mode but not in the uniform mode.
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree tree = make_benchmark(spec, lib);
+  const auto k = static_cast<std::size_t>(spec.islands);
+  const std::vector<Volt> hi(k, tech::kVddNominal);
+  std::vector<double> gradient(k, 25.0);
+  for (std::size_t i = 0; i < k / 2; ++i) gradient[i] = 95.0;
+  const ModeSet modes({PowerMode{"uniform", hi, {}, {}},
+                       PowerMode{"gradient", hi, gradient, {}}});
+  const Ps uniform_skew = compute_arrivals(tree, modes, 0).skew();
+  const Ps gradient_skew = compute_arrivals(tree, modes, 1).skew();
+  EXPECT_GT(gradient_skew, uniform_skew + 3.0);
+}
+
+TEST_F(ThermalTest, OptimizationAcrossThermalCorners) {
+  const BenchmarkSpec& spec = spec_by_name("s15850");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = thermal_modes(spec.islands);
+  CharacterizerOptions co;
+  co.temps = modes.distinct_temps();
+  const Characterizer chr(lib, co);
+
+  WaveMinOptions opts;
+  opts.kappa = 25.0;
+  opts.samples = 16;
+  const WaveMinResult r =
+      run_wavemin(tree, lib, chr, modes, lib.assignment_library(), opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(worst_skew(tree, modes), opts.kappa * 1.2);
+
+  // Validation: the cool corner carries the higher peak.
+  const Evaluation e = evaluate_design(tree, modes, 2.0);
+  ASSERT_EQ(e.peak_by_mode.size(), 2u);
+  EXPECT_GT(e.peak_by_mode[0], e.peak_by_mode[1]);
+}
+
+TEST_F(ThermalTest, UncharacterizedTempRejected) {
+  Characterizer chr(lib);  // 25 C only
+  EXPECT_THROW(chr.lookup(lib.by_name("BUF_X8"), 8.0,
+                          tech::kVddNominal, 85.0),
+               Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,131 @@
+// Tests for arrival-time analysis, power modes and skew computation.
+
+#include "timing/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/electrical.hpp"
+#include "cells/library.hpp"
+#include "timing/power_mode.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class TimingTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  const Cell* buf = &lib.by_name("BUF_X16");
+
+  ClockTree chain(int depth) {
+    ClockTree t;
+    NodeId v = t.add_root({0.0, 0.0}, buf);
+    for (int i = 1; i <= depth; ++i) {
+      v = t.add_node(v, {20.0 * i, 0.0}, buf);
+    }
+    t.node(v).sink_cap = 10.0;
+    return t;
+  }
+};
+
+TEST_F(TimingTest, ArrivalsAccumulateAlongAChain) {
+  ClockTree t = chain(3);
+  const ArrivalResult r = compute_arrivals(t);
+  // Strictly increasing along the path.
+  for (NodeId v = 1; v < 4; ++v) {
+    EXPECT_GT(r.input_arrival[static_cast<std::size_t>(v)],
+              r.input_arrival[static_cast<std::size_t>(v - 1)]);
+    EXPECT_GT(r.output_arrival[static_cast<std::size_t>(v)],
+              r.input_arrival[static_cast<std::size_t>(v)]);
+  }
+  // Single leaf: zero skew by definition.
+  EXPECT_DOUBLE_EQ(r.skew(), 0.0);
+}
+
+TEST_F(TimingTest, WireElmoreMatchesClosedForm) {
+  ClockTree t = chain(1);
+  const TreeNode& n = t.node(1);
+  const KOhm rw = n.wire_len * tech::kWireResPerUm;
+  const Ff cw = n.wire_len * tech::kWireCapPerUm;
+  EXPECT_NEAR(wire_elmore(t, 1), rw * (0.5 * cw + n.cell->c_in), 1e-12);
+  EXPECT_DOUBLE_EQ(wire_elmore(t, 0), 0.0);  // root has no edge
+}
+
+TEST_F(TimingTest, RouteExtraAddsPureDelay) {
+  ClockTree t1 = chain(2);
+  ClockTree t2 = chain(2);
+  t2.node(2).route_extra = 17.0;
+  const ArrivalResult r1 = compute_arrivals(t1);
+  const ArrivalResult r2 = compute_arrivals(t2);
+  EXPECT_NEAR(r2.output_arrival[2] - r1.output_arrival[2], 17.0, 1e-9);
+  // Pure delay: slews unchanged.
+  EXPECT_DOUBLE_EQ(r1.slew_in[2], r2.slew_in[2]);
+}
+
+TEST_F(TimingTest, LowVddSlowsIslandsOnly) {
+  // Two leaves, one per island; mode drops island 1 to 0.9 V.
+  ClockTree t;
+  const NodeId r = t.add_root({0.0, 0.0}, buf);
+  const NodeId l0 = t.add_node(r, {10.0, 10.0}, buf);
+  const NodeId l1 = t.add_node(r, {10.0, -10.0}, buf);
+  t.node(l0).sink_cap = t.node(l1).sink_cap = 10.0;
+  t.node(l1).island = 1;
+
+  const ModeSet modes({PowerMode{"hi", {1.1, 1.1}, {}, {}},
+                       PowerMode{"lo", {1.1, 0.9}, {}, {}}});
+  const ArrivalResult hi = compute_arrivals(t, modes, 0);
+  const ArrivalResult lo = compute_arrivals(t, modes, 1);
+  EXPECT_NEAR(hi.output_arrival[static_cast<std::size_t>(l0)],
+              lo.output_arrival[static_cast<std::size_t>(l0)], 1e-9);
+  EXPECT_GT(lo.output_arrival[static_cast<std::size_t>(l1)],
+            hi.output_arrival[static_cast<std::size_t>(l1)]);
+  EXPECT_GT(lo.skew(), hi.skew());
+  EXPECT_NEAR(worst_skew(t, modes), lo.skew(), 1e-9);
+}
+
+TEST_F(TimingTest, AdjustableCodesAddPerModeDelay) {
+  ClockTree t = chain(2);
+  const Cell* adb = &lib.by_name("ADB_X16");
+  t.set_cell(2, adb);
+  t.node(2).adj_codes = {0, 5};
+  const ModeSet modes(
+      {PowerMode{"a", {1.1}, {}, {}}, PowerMode{"b", {1.1}, {}, {}}});
+  const ArrivalResult a = compute_arrivals(t, modes, 0);
+  const ArrivalResult b = compute_arrivals(t, modes, 1);
+  EXPECT_NEAR(b.output_arrival[2] - a.output_arrival[2],
+              5.0 * adb->adj_step, 1e-9);
+}
+
+TEST_F(TimingTest, PerturbationScalesDelays) {
+  ClockTree t = chain(2);
+  DelayPerturbation pert;
+  pert.cell_factor.assign(t.size(), 1.10);
+  pert.wire_factor.assign(t.size(), 1.0);
+  const ArrivalResult base = compute_arrivals(t);
+  const ArrivalResult slow =
+      compute_arrivals(t, ModeSet::single(), 0, &pert);
+  // All cell delays scaled by 1.10, wire delays untouched: the arrival
+  // grows, but by less than 10% of the total.
+  EXPECT_GT(slow.output_arrival[2], base.output_arrival[2]);
+  EXPECT_LE(slow.output_arrival[2], 1.10 * base.output_arrival[2] + 1e-9);
+}
+
+TEST(ModeSetTest, InvariantsAndQueries) {
+  EXPECT_THROW(ModeSet({PowerMode{"a", {1.1, 1.1}, {}, {}},
+                        PowerMode{"b", {1.1}, {}, {}}}),
+               Error);
+  const ModeSet m({PowerMode{"a", {1.1, 0.9}, {}, {}},
+                   PowerMode{"b", {0.9, 0.9}, {}, {}}});
+  EXPECT_EQ(m.count(), 2u);
+  EXPECT_EQ(m.island_count(), 2u);
+  EXPECT_DOUBLE_EQ(m.vdd(0, 1), 0.9);
+  EXPECT_THROW(m.vdd(0, 5), Error);
+  EXPECT_THROW(m.mode(2), Error);
+  EXPECT_EQ(m.distinct_vdds(), (std::vector<Volt>{0.9, 1.1}));
+  const ModeSet s = ModeSet::single(3);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.vdd(0, 2), tech::kVddNominal);
+}
+
+} // namespace
+} // namespace wm

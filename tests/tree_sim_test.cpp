@@ -1,0 +1,169 @@
+// Tests for the superposition validation simulator (TreeSim), zone
+// partitioning and the power-grid noise model.
+
+#include "wave/tree_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cells/library.hpp"
+#include "grid/power_grid.hpp"
+#include "timing/arrival.hpp"
+#include "tree/zone.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+class TreeSimTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  const Cell* buf = &lib.by_name("BUF_X16");
+  const Cell* inv = &lib.by_name("INV_X16");
+
+  ClockTree star(int n_leaves) {
+    ClockTree t;
+    const NodeId r = t.add_root({50.0, 50.0}, &lib.by_name("BUF_X32"));
+    Rng rng(5);
+    for (int i = 0; i < n_leaves; ++i) {
+      const NodeId l = t.add_node(
+          r, {rng.uniform(10.0, 90.0), rng.uniform(10.0, 90.0)}, buf);
+      t.node(l).sink_cap = 12.0;
+    }
+    return t;
+  }
+};
+
+TEST_F(TreeSimTest, SuperpositionDecomposes) {
+  const ClockTree t = star(6);
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  // leaves + non-leaves == total (within resampling error).
+  Waveform sum = sim.leaves_rail(Rail::Vdd);
+  sum.accumulate(sim.non_leaves_rail(Rail::Vdd));
+  for (Ps time = 0.0; time < tech::kClockPeriod; time += 25.0) {
+    EXPECT_NEAR(sum.value_at(time), sim.total_idd().value_at(time),
+                1.0 + 0.01 * sim.total_idd().peak());
+  }
+}
+
+TEST_F(TreeSimTest, AllBuffersLoadVddAtRisingEdge) {
+  const ClockTree t = star(6);
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  const Ps half = 0.5 * tech::kClockPeriod;
+  // First half period: charging dominates I_DD; second half: I_SS.
+  EXPECT_GT(sim.total_idd().max_in(0.0, half),
+            2.0 * sim.total_iss().max_in(0.0, half));
+  EXPECT_GT(sim.total_iss().max_in(half, tech::kClockPeriod),
+            2.0 * sim.total_idd().max_in(half, tech::kClockPeriod));
+}
+
+TEST_F(TreeSimTest, PolarityMixingReducesPeak) {
+  ClockTree t = star(8);
+  const TreeSim all_buf(t, ModeSet::single(), 0, {});
+  // Invert half the leaves.
+  int k = 0;
+  for (const TreeNode& n : t.nodes()) {
+    if (n.is_leaf() && (k++ % 2 == 0)) t.set_cell(n.id, inv);
+  }
+  const TreeSim mixed(t, ModeSet::single(), 0, {});
+  EXPECT_LT(mixed.peak_current(), 0.75 * all_buf.peak_current());
+}
+
+TEST_F(TreeSimTest, NegativePolarityInputShiftsHalfPeriod) {
+  // A buffer behind an inverter responds to the *falling* source edge:
+  // its I_DD hump lands in the second half period.
+  ClockTree t;
+  const NodeId r = t.add_root({0.0, 0.0}, &lib.by_name("BUF_X32"));
+  const NodeId m = t.add_node(r, {20.0, 0.0}, inv);
+  const NodeId l = t.add_node(m, {40.0, 0.0}, buf);
+  t.node(l).sink_cap = 12.0;
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  const Waveform leaf_idd = sim.sum_rail(std::vector<NodeId>{l}, Rail::Vdd);
+  const Ps half = 0.5 * tech::kClockPeriod;
+  EXPECT_GT(leaf_idd.max_in(half, tech::kClockPeriod),
+            2.0 * leaf_idd.max_in(0.0, half));
+}
+
+TEST_F(TreeSimTest, AgreesWithArrivalAnalysis) {
+  const ClockTree t = star(5);
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  const ArrivalResult r = compute_arrivals(t);
+  for (const TreeNode& n : t.nodes()) {
+    EXPECT_NEAR(sim.output_arrival(n.id),
+                r.output_arrival[static_cast<std::size_t>(n.id)], 1e-6);
+  }
+  EXPECT_NEAR(sim.skew(), r.skew(), 1e-6);
+}
+
+TEST_F(TreeSimTest, CurrentFactorScalesPeak) {
+  const ClockTree t = star(4);
+  TreeSimOptions opts;
+  opts.current_factor.assign(t.size(), 1.5);
+  const TreeSim scaled(t, ModeSet::single(), 0, opts);
+  const TreeSim base(t, ModeSet::single(), 0, {});
+  EXPECT_NEAR(scaled.peak_current(), 1.5 * base.peak_current(),
+              0.01 * scaled.peak_current());
+}
+
+TEST(ZoneMapTest, PartitionCoversAllLeavesOnce) {
+  CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree t;
+  const NodeId r = t.add_root({100.0, 100.0}, &lib.by_name("BUF_X32"));
+  Rng rng(3);
+  for (int i = 0; i < 40; ++i) {
+    const NodeId l = t.add_node(
+        r, {rng.uniform(0.0, 199.0), rng.uniform(0.0, 199.0)},
+        &lib.by_name("BUF_X16"));
+    t.node(l).sink_cap = 10.0;
+  }
+  const ZoneMap zones(t, 50.0);
+  std::size_t members = 0;
+  for (const Zone& z : zones.zones()) {
+    members += z.members.size();
+    EXPECT_FALSE(z.members.empty());
+    for (NodeId id : z.members) {
+      EXPECT_EQ(zones.zone_of(id),
+                static_cast<int>(&z - zones.zones().data()));
+      // Member really lies in the tile.
+      const TreeNode& n = t.node(id);
+      EXPECT_GE(n.pos.x, z.gx * 50.0);
+      EXPECT_LT(n.pos.x, (z.gx + 1) * 50.0);
+    }
+  }
+  EXPECT_EQ(members, t.leaf_count());
+  EXPECT_EQ(zones.zone_of(r), -1);  // non-leaf
+  EXPECT_GT(zones.mean_occupancy(), 0.0);
+}
+
+TEST(PowerGridTest, NoiseScalesWithCurrentAndDecaysWithDistance) {
+  CellLibrary lib = CellLibrary::nangate45_like();
+  // Two clusters of leaves far apart.
+  ClockTree t;
+  const NodeId r = t.add_root({200.0, 50.0}, &lib.by_name("BUF_X32"));
+  for (int i = 0; i < 4; ++i) {
+    const NodeId a =
+        t.add_node(r, {20.0 + 5.0 * i, 50.0}, &lib.by_name("BUF_X16"));
+    t.node(a).sink_cap = 12.0;
+  }
+  const TreeSim sim(t, ModeSet::single(), 0, {});
+  const GridNoiseResult base = grid_noise(t, sim);
+  EXPECT_GT(base.vdd_noise, 0.0);
+  EXPECT_GT(base.gnd_noise, 0.0);
+  EXPECT_GT(base.tile_peak_current, 0.0);
+  EXPECT_GE(base.tiles, 2u);
+
+  // Larger decay length -> more coupling -> at least as much noise.
+  PowerGridOptions wide;
+  wide.lambda = 500.0;
+  const GridNoiseResult coupled = grid_noise(t, sim, wide);
+  EXPECT_GE(coupled.vdd_noise, base.vdd_noise - 1e-9);
+
+  // Doubling r0 doubles the IR drop.
+  PowerGridOptions stiff;
+  stiff.r0 = 2.0 * PowerGridOptions{}.r0;
+  const GridNoiseResult doubled = grid_noise(t, sim, stiff);
+  EXPECT_NEAR(doubled.vdd_noise, 2.0 * base.vdd_noise,
+              0.01 * doubled.vdd_noise);
+}
+
+} // namespace
+} // namespace wm

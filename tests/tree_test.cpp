@@ -1,0 +1,138 @@
+// Unit tests for the ClockTree data structure.
+
+#include "tree/clock_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cells/library.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+class TreeTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  const Cell* buf = &lib.by_name("BUF_X8");
+  const Cell* inv = &lib.by_name("INV_X8");
+
+  /// root -> {a -> {l1, l2}, l3}
+  ClockTree make_small() {
+    ClockTree t;
+    const NodeId r = t.add_root({0.0, 0.0}, buf);
+    const NodeId a = t.add_node(r, {10.0, 0.0}, buf);
+    t.add_node(a, {20.0, 5.0}, buf);
+    t.add_node(a, {20.0, -5.0}, buf);
+    t.add_node(r, {0.0, 10.0}, buf);
+    return t;
+  }
+};
+
+TEST_F(TreeTest, ConstructionInvariants) {
+  ClockTree t = make_small();
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.leaf_count(), 3u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.leaves(), (std::vector<NodeId>{2, 3, 4}));
+  EXPECT_EQ(t.non_leaves(), (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(TreeTest, PreconditionsEnforced) {
+  ClockTree t;
+  EXPECT_THROW(t.add_node(0, {0, 0}, buf), Error);  // no root yet
+  t.add_root({0, 0}, buf);
+  EXPECT_THROW(t.add_root({0, 0}, buf), Error);  // double root
+  EXPECT_THROW(t.add_node(99, {0, 0}, buf), Error);
+  EXPECT_THROW(t.add_node(0, {0, 0}, nullptr), Error);
+  EXPECT_THROW(t.node(42), Error);
+}
+
+TEST_F(TreeTest, DefaultWireLengthIsManhattan) {
+  ClockTree t;
+  const NodeId r = t.add_root({0.0, 0.0}, buf);
+  const NodeId c = t.add_node(r, {3.0, 4.0}, buf);
+  EXPECT_DOUBLE_EQ(t.node(c).wire_len, 7.0);
+  const NodeId d = t.add_node(r, {3.0, 4.0}, buf, 42.0);  // snaked
+  EXPECT_DOUBLE_EQ(t.node(d).wire_len, 42.0);
+}
+
+TEST_F(TreeTest, LoadAccountsForWiresPinsAndSinks) {
+  ClockTree t = make_small();
+  t.node(2).sink_cap = 5.0;
+  t.node(3).sink_cap = 7.0;
+  // Node 1 drives two leaf pins plus their wire caps.
+  const Ff expect = t.node(2).wire_len * tech::kWireCapPerUm + buf->c_in +
+                    t.node(3).wire_len * tech::kWireCapPerUm + buf->c_in;
+  EXPECT_NEAR(t.load_of(1), expect, 1e-9);
+  // A leaf's load is its sink capacitance only.
+  EXPECT_DOUBLE_EQ(t.load_of(2), 5.0);
+}
+
+TEST_F(TreeTest, OutputPolarityCountsInversions) {
+  ClockTree t = make_small();
+  EXPECT_EQ(t.output_polarity(2), Polarity::Positive);
+  t.set_cell(2, inv);
+  EXPECT_EQ(t.output_polarity(2), Polarity::Negative);
+  t.set_cell(1, inv);  // ancestor also inverts: double negative
+  EXPECT_EQ(t.output_polarity(2), Polarity::Positive);
+  EXPECT_EQ(t.output_polarity(3), Polarity::Negative);
+  EXPECT_EQ(t.output_polarity(4), Polarity::Positive);
+}
+
+TEST_F(TreeTest, SplitEdgeRewiresAndSharesLength) {
+  ClockTree t = make_small();
+  const Um before = t.node(2).wire_len;
+  const Point mid{15.0, 2.5};
+  const NodeId m = t.split_edge(2, mid, buf);
+  EXPECT_EQ(t.node(2).parent, m);
+  EXPECT_EQ(t.node(m).parent, 1);
+  EXPECT_EQ(t.node(m).children, std::vector<NodeId>{2});
+  // Children list of the old parent now names the repeater.
+  const auto& ch = t.node(1).children;
+  EXPECT_NE(std::find(ch.begin(), ch.end(), m), ch.end());
+  EXPECT_EQ(std::find(ch.begin(), ch.end(), 2), ch.end());
+  EXPECT_NEAR(t.node(m).wire_len + t.node(2).wire_len, before, 1e-9);
+  EXPECT_THROW(t.split_edge(t.root(), mid, buf), Error);
+}
+
+TEST_F(TreeTest, InsertBelowAdoptsAllChildren) {
+  ClockTree t = make_small();
+  const NodeId m = t.insert_below(t.root(), {1.0, 1.0}, buf);
+  EXPECT_EQ(t.node(t.root()).children, std::vector<NodeId>{m});
+  EXPECT_EQ(t.node(m).children.size(), 2u);
+  EXPECT_EQ(t.node(1).parent, m);
+  EXPECT_EQ(t.node(4).parent, m);
+  EXPECT_EQ(t.leaf_count(), 3u);  // leaves unchanged
+}
+
+TEST_F(TreeTest, TopologicalOrderAfterSplits) {
+  ClockTree t = make_small();
+  t.split_edge(2, {15.0, 2.5}, buf);
+  t.insert_below(t.root(), {0.0, 0.0}, buf);
+  const auto order = t.topological_order();
+  ASSERT_EQ(order.size(), t.size());
+  std::vector<int> position(t.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (const TreeNode& n : t.nodes()) {
+    if (n.parent == kNoNode) continue;
+    EXPECT_LT(position[static_cast<std::size_t>(n.parent)],
+              position[static_cast<std::size_t>(n.id)]);
+  }
+}
+
+TEST_F(TreeTest, LeavesUnderSubtree) {
+  ClockTree t = make_small();
+  auto under = t.leaves_under(1);
+  std::sort(under.begin(), under.end());
+  EXPECT_EQ(under, (std::vector<NodeId>{2, 3}));
+  EXPECT_EQ(t.leaves_under(4), std::vector<NodeId>{4});
+  auto all = t.leaves_under(t.root());
+  EXPECT_EQ(all.size(), 3u);
+}
+
+} // namespace
+} // namespace wm

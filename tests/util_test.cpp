@@ -1,0 +1,115 @@
+// Tests for the utility layer: deterministic RNG, statistics helpers
+// and the table renderer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "report/table.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wm {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true, any_diff_seed_equal = true;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    all_equal &= (va == b.next());
+    any_diff_seed_equal &= (va == c.next());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_FALSE(any_diff_seed_equal);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal(10.0, 2.0);
+  EXPECT_NEAR(mean(xs), 10.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(RngTest, VaryStaysPositiveAndUnbiased) {
+  Rng rng(13);
+  std::vector<double> xs(20000);
+  for (double& x : xs) {
+    x = rng.vary(1.0, 0.05);
+    EXPECT_GT(x, 0.0);
+  }
+  EXPECT_NEAR(mean(xs), 1.0, 0.01);
+  EXPECT_NEAR(normalized_stddev(xs), 0.05, 0.01);
+}
+
+TEST(RngTest, SplitStreamsAreIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next() == child2.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(StatsTest, BasicAggregates) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 4.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+  EXPECT_THROW(min_of(std::vector<double>{}), Error);
+}
+
+TEST(StatsTest, PearsonCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  const std::vector<double> flat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+  EXPECT_THROW(pearson(xs, std::vector<double>{1.0}), Error);
+}
+
+TEST(TableTest, RendersAlignedTextAndCsv) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  t.add_row({"wide_cell", "x", "y"});
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("long_header"), std::string::npos);
+  EXPECT_NE(text.find("wide_cell"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,long_header,c"), std::string::npos);
+  EXPECT_NE(csv.find("1,2,3"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "few"}), Error);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::pct(-12.394), "-12.39");
+}
+
+} // namespace
+} // namespace wm

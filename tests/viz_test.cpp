@@ -1,0 +1,93 @@
+// Tests for the SVG renderers: structural well-formedness and content.
+
+#include "viz/svg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "cells/library.hpp"
+#include "cts/benchmarks.hpp"
+#include "util/error.hpp"
+#include "wave/tree_sim.hpp"
+
+namespace wm {
+namespace {
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0, pos = 0;
+  while ((pos = hay.find(needle, pos)) != std::string::npos) {
+    ++n;
+    pos += needle.size();
+  }
+  return n;
+}
+
+class VizTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+};
+
+TEST_F(VizTest, TreeSvgHasOneCirclePerNodeAndOneLinePerEdge) {
+  const std::string svg = tree_to_svg(tree);
+  EXPECT_EQ(count_of(svg, "<circle"), tree.size());
+  EXPECT_EQ(count_of(svg, "<line"), tree.size() - 1);
+  EXPECT_EQ(count_of(svg, "<svg"), 1u);
+  EXPECT_EQ(count_of(svg, "</svg>"), 1u);
+}
+
+TEST_F(VizTest, PolarityColorsAppearAfterAssignment) {
+  // Force one inverter leaf and check the red fill shows up.
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.is_leaf()) {
+      tree.set_cell(n.id, &lib.by_name("INV_X16"));
+      break;
+    }
+  }
+  const std::string svg = tree_to_svg(tree);
+  EXPECT_GT(count_of(svg, "#d62728"), 0u);  // inverter red
+  EXPECT_GT(count_of(svg, "#1f77b4"), 0u);  // buffer blue
+}
+
+TEST_F(VizTest, WaveformSvgPlotsAllSeriesWithLegend) {
+  const TreeSim sim(tree, ModeSet::single(4), 0, {});
+  const Waveform idd = sim.total_idd();
+  const Waveform iss = sim.total_iss();
+  const std::string svg =
+      waveforms_to_svg({&idd, &iss}, {"I_DD", "I_SS"});
+  EXPECT_EQ(count_of(svg, "<polyline"), 2u);
+  EXPECT_NE(svg.find("I_DD"), std::string::npos);
+  EXPECT_NE(svg.find("I_SS"), std::string::npos);
+}
+
+TEST_F(VizTest, HeatmapShadesEveryOccupiedTile) {
+  const TreeSim sim(tree, ModeSet::single(4), 0, {});
+  const std::string svg = noise_heatmap_svg(tree, sim);
+  // One shaded rect per occupied tile plus the background; one circle
+  // per node.
+  EXPECT_GT(count_of(svg, "<rect"), 5u);
+  EXPECT_EQ(count_of(svg, "<circle"), tree.size());
+  EXPECT_NE(svg.find("uA"), std::string::npos);  // tooltips carry peaks
+}
+
+TEST_F(VizTest, RejectsBadInput) {
+  EXPECT_THROW(waveforms_to_svg({}, {}), Error);
+  const Waveform w(0.0, 1.0, {0.0, 1.0});
+  EXPECT_THROW(waveforms_to_svg({&w}, {"a", "b"}), Error);
+  EXPECT_THROW(tree_to_svg(ClockTree{}), Error);
+  EXPECT_THROW(save_svg("/nonexistent/dir/x.svg", "<svg/>"), Error);
+}
+
+TEST_F(VizTest, SaveWritesTheDocument) {
+  const std::string path = ::testing::TempDir() + "/tree.svg";
+  save_svg(path, tree_to_svg(tree));
+  std::ifstream is(path);
+  ASSERT_TRUE(static_cast<bool>(is));
+  std::string first;
+  std::getline(is, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+}
+
+} // namespace
+} // namespace wm

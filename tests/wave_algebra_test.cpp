@@ -1,0 +1,90 @@
+// Property tests for the waveform algebra the whole numeric stack rests
+// on: linearity of superposition, shift invariance of peaks, charge
+// conservation under accumulation, and the periodic folding the
+// validation simulator uses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "wave/waveform.hpp"
+
+namespace wm {
+namespace {
+
+Waveform random_pulse_train(Rng& rng, int pulses) {
+  Waveform w = Waveform::zeros(0.0, 0.5, 600);
+  for (int i = 0; i < pulses; ++i) {
+    w.accumulate_triangle(rng.uniform(5.0, 220.0),
+                          rng.uniform(1.0, 8.0), rng.uniform(2.0, 20.0),
+                          rng.uniform(20.0, 400.0));
+  }
+  return w;
+}
+
+class WaveAlgebra : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WaveAlgebra, AccumulationIsLinearInCharge) {
+  Rng rng(GetParam());
+  const Waveform a = random_pulse_train(rng, 3);
+  const Waveform b = random_pulse_train(rng, 4);
+  Waveform sum = a;
+  sum.accumulate(b);
+  EXPECT_NEAR(sum.integral(), a.integral() + b.integral(),
+              0.01 * (a.integral() + b.integral()) + 1e-9);
+}
+
+TEST_P(WaveAlgebra, AccumulationOrderIrrelevant) {
+  Rng rng(GetParam() ^ 0x55);
+  const Waveform a = random_pulse_train(rng, 2);
+  const Waveform b = random_pulse_train(rng, 3);
+  const Waveform c = random_pulse_train(rng, 2);
+  Waveform abc = a;
+  abc.accumulate(b);
+  abc.accumulate(c);
+  Waveform cba = c;
+  cba.accumulate(b);
+  cba.accumulate(a);
+  for (Ps t = 0.0; t <= 300.0; t += 7.0) {
+    EXPECT_NEAR(abc.value_at(t), cba.value_at(t),
+                1e-6 + 0.01 * std::abs(abc.value_at(t)));
+  }
+}
+
+TEST_P(WaveAlgebra, ShiftPreservesPeakAndCharge) {
+  Rng rng(GetParam() ^ 0xAA);
+  const Waveform a = random_pulse_train(rng, 3);
+  for (const Ps shift : {-40.0, 13.0, 118.0}) {
+    Waveform moved;
+    moved.accumulate(a, shift);
+    EXPECT_NEAR(moved.peak(), a.peak(), 0.02 * a.peak());
+    EXPECT_NEAR(moved.peak_time(), a.peak_time() + shift, 1.0);
+    EXPECT_NEAR(moved.integral(), a.integral(), 0.01 * a.integral());
+  }
+}
+
+TEST_P(WaveAlgebra, ScaleIsExactlyLinear) {
+  Rng rng(GetParam() ^ 0x77);
+  Waveform a = random_pulse_train(rng, 3);
+  const double peak = a.peak();
+  const double q = a.integral();
+  a.scale(2.5);
+  EXPECT_DOUBLE_EQ(a.peak(), 2.5 * peak);
+  EXPECT_NEAR(a.integral(), 2.5 * q, 1e-9 * q);
+}
+
+TEST_P(WaveAlgebra, MaxInIsMonotoneInWindow) {
+  Rng rng(GetParam() ^ 0x33);
+  const Waveform a = random_pulse_train(rng, 4);
+  const double inner = a.max_in(50.0, 150.0);
+  const double outer = a.max_in(20.0, 250.0);
+  EXPECT_LE(inner, outer + 1e-12);
+  EXPECT_NEAR(a.max_in(a.t0(), a.t_end()), a.peak(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WaveAlgebra,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace wm

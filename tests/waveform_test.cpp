@@ -1,0 +1,148 @@
+// Unit tests for wm::Waveform — the numeric foundation of the noise
+// model, characterization and validation simulator.
+
+#include "wave/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+TEST(Waveform, EmptyIsZeroEverywhere) {
+  Waveform w;
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(w.value_at(0.0), 0.0);
+  EXPECT_EQ(w.value_at(123.4), 0.0);
+  EXPECT_EQ(w.peak(), 0.0);
+  EXPECT_EQ(w.max_in(-10.0, 10.0), 0.0);
+  EXPECT_EQ(w.integral(), 0.0);
+}
+
+TEST(Waveform, ZerosSpanAndIndexing) {
+  Waveform w = Waveform::zeros(10.0, 0.5, 21);
+  EXPECT_EQ(w.size(), 21u);
+  EXPECT_DOUBLE_EQ(w.t0(), 10.0);
+  EXPECT_DOUBLE_EQ(w.t_end(), 20.0);
+  w[4] = 2.5;
+  EXPECT_DOUBLE_EQ(w.value_at(12.0), 2.5);
+}
+
+TEST(Waveform, RejectsNonPositiveStep) {
+  EXPECT_THROW(Waveform(0.0, 0.0, {1.0}), Error);
+  EXPECT_THROW(Waveform(0.0, -1.0, {1.0}), Error);
+}
+
+TEST(Waveform, LinearInterpolationBetweenSamples) {
+  Waveform w(0.0, 1.0, {0.0, 10.0, 20.0});
+  EXPECT_DOUBLE_EQ(w.value_at(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.value_at(1.25), 12.5);
+  // Outside the span: zero.
+  EXPECT_DOUBLE_EQ(w.value_at(-0.01), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(2.01), 0.0);
+}
+
+TEST(Waveform, PeakAndPeakTime) {
+  Waveform w(0.0, 2.0, {1.0, 5.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(w.peak(), 5.0);
+  EXPECT_DOUBLE_EQ(w.peak_time(), 2.0);
+}
+
+TEST(Waveform, MaxInWindowHitsInteriorSamples) {
+  Waveform w(0.0, 1.0, {0.0, 1.0, 9.0, 1.0, 0.0});
+  EXPECT_DOUBLE_EQ(w.max_in(1.5, 2.5), 9.0);
+  // Window between samples: interpolated endpoints only.
+  EXPECT_DOUBLE_EQ(w.max_in(0.25, 0.75), 0.75);
+  // Degenerate window = point sample.
+  EXPECT_DOUBLE_EQ(w.max_in(2.0, 2.0), 9.0);
+  // Window fully outside.
+  EXPECT_DOUBLE_EQ(w.max_in(10.0, 20.0), 0.0);
+}
+
+TEST(Waveform, TriangleAreaConservesCharge) {
+  Waveform w = Waveform::zeros(0.0, 0.25, 400);
+  const double peak = 100.0;
+  w.accumulate_triangle(10.0, 4.0, 6.0, peak);
+  // Triangle area = peak * (rise + fall) / 2.
+  EXPECT_NEAR(w.integral(), peak * (4.0 + 6.0) / 2.0, 2.0);
+  EXPECT_NEAR(w.peak(), peak, 1.0);
+  EXPECT_NEAR(w.peak_time(), 14.0, 0.3);
+}
+
+TEST(Waveform, TriangleGrowsSpanWhenNeeded) {
+  Waveform w = Waveform::zeros(0.0, 1.0, 5);
+  w.accumulate_triangle(20.0, 2.0, 2.0, 10.0);
+  EXPECT_GE(w.t_end(), 24.0);
+  EXPECT_NEAR(w.value_at(22.0), 10.0, 1e-9);
+}
+
+TEST(Waveform, AccumulateWithShift) {
+  Waveform a = Waveform::zeros(0.0, 1.0, 11);
+  Waveform b(0.0, 1.0, {0.0, 4.0, 0.0});
+  a.accumulate(b, 5.0);
+  EXPECT_DOUBLE_EQ(a.value_at(6.0), 4.0);
+  EXPECT_DOUBLE_EQ(a.value_at(5.0), 0.0);
+  // Superposition: accumulate twice doubles.
+  a.accumulate(b, 5.0);
+  EXPECT_DOUBLE_EQ(a.value_at(6.0), 8.0);
+}
+
+TEST(Waveform, AccumulateScaled) {
+  Waveform a = Waveform::zeros(0.0, 1.0, 11);
+  Waveform b(0.0, 1.0, {0.0, 4.0, 0.0});
+  a.accumulate_scaled(b, 0.25, 2.0);
+  EXPECT_DOUBLE_EQ(a.value_at(3.0), 1.0);
+}
+
+TEST(Waveform, AccumulateResamplesFinerGrid) {
+  Waveform a = Waveform::zeros(0.0, 2.0, 6);  // coarse grid
+  Waveform b(0.0, 0.5, {0.0, 1.0, 2.0, 1.0, 0.0});
+  a.accumulate(b, 0.0);
+  EXPECT_DOUBLE_EQ(a.value_at(2.0), 0.0);
+  EXPECT_NEAR(a.max_in(0.0, 4.0), 2.0, 1e-9);
+}
+
+TEST(Waveform, EnsureSpanPadsWithZeros) {
+  Waveform w(10.0, 1.0, {5.0, 5.0});
+  w.ensure_span(0.0, 20.0);
+  EXPECT_LE(w.t0(), 0.0);
+  EXPECT_GE(w.t_end(), 20.0);
+  EXPECT_DOUBLE_EQ(w.value_at(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(w.value_at(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.value_at(19.0), 0.0);
+}
+
+TEST(Waveform, ScaleMultipliesSamples) {
+  Waveform w(0.0, 1.0, {1.0, 2.0, 3.0});
+  w.scale(3.0);
+  EXPECT_DOUBLE_EQ(w.peak(), 9.0);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);
+}
+
+// Property: superposition peak is bounded by the sum of peaks and at
+// least the max of peaks (for non-negative waveforms).
+class WaveformSuperpositionProperty
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(WaveformSuperpositionProperty, PeakBounds) {
+  const double shift = GetParam();
+  Waveform a = Waveform::zeros(0.0, 0.5, 200);
+  a.accumulate_triangle(10.0, 3.0, 5.0, 50.0);
+  Waveform b = Waveform::zeros(0.0, 0.5, 200);
+  b.accumulate_triangle(10.0, 4.0, 4.0, 30.0);
+
+  Waveform total = a;
+  total.accumulate(b, shift);
+  EXPECT_GE(total.peak() + 1e-9, std::max(a.peak(), b.peak()));
+  EXPECT_LE(total.peak(), a.peak() + b.peak() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, WaveformSuperpositionProperty,
+                         ::testing::Values(-20.0, -5.0, 0.0, 1.0, 3.0,
+                                           10.0, 40.0));
+
+} // namespace
+} // namespace wm

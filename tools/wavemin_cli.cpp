@@ -1,0 +1,283 @@
+// wavemin — command-line driver for the library.
+//
+// Subcommands:
+//   gen  <circuit> -o <tree.ctree>          generate a benchmark tree
+//   opt  <tree.ctree> [options]             optimize and write back
+//   eval <tree.ctree> [--modes N]           report metrics
+//   dump-lib -o <cells.lib>                 write the default library
+//   list                                    list benchmark circuits
+//
+// `opt` options:
+//   --algo wavemin|wavemin-f|peakmin|wavemin-m   (default wavemin)
+//   --kappa <ps>        skew bound            (default 20)
+//   --samples <n>       |S| per mode          (default 158)
+//   --epsilon <e>       Warburton scaling     (default 0.01)
+//   --xor               enable XOR-reconfigurable polarity
+//   --circuit <name>    mode set source for wavemin-m (default s13207)
+//   -o <path>           output tree           (default: overwrite input)
+//
+// Exit codes: 0 success, 1 usage error, 2 optimization infeasible.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin_m.hpp"
+#include "cts/benchmarks.hpp"
+#include "io/tree_io.hpp"
+#include "report/design_stats.hpp"
+#include "viz/svg.hpp"
+#include "wave/tree_sim.hpp"
+#include "peakmin/clkpeakmin.hpp"
+#include "timing/arrival.hpp"
+#include "util/error.hpp"
+#include "util/config.hpp"
+#include "util/log.hpp"
+
+using namespace wm;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  wavemin_cli list\n"
+      "  wavemin_cli gen <circuit> -o <tree.ctree>\n"
+      "  wavemin_cli opt <tree.ctree> [--algo wavemin|wavemin-f|peakmin|"
+      "wavemin-m]\n"
+      "              [--kappa ps] [--samples n] [--epsilon e] [--xor]\n"
+      "              [--config file.cfg]\n"
+      "              [--circuit name] [-o out.ctree]\n"
+      "  wavemin_cli eval <tree.ctree> [--circuit name] [--multimode]\n"
+      "  wavemin_cli stats <tree.ctree>\n"
+      "  wavemin_cli render <tree.ctree> -o <out.svg> [--waves|--heatmap]\n"
+      "  wavemin_cli dump-lib -o <cells.lib>\n");
+  return 1;
+}
+
+struct Args {
+  std::vector<std::string> positional;
+  std::string algo = "wavemin";
+  std::string out;
+  std::string circuit = "s13207";
+  double kappa = 20.0;
+  int samples = 158;
+  double epsilon = 0.01;
+  bool use_xor = false;
+  bool multimode = false;
+  bool waves = false;
+  bool heatmap = false;
+  std::string config;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    auto next = [&](double& dst) {
+      if (i + 1 >= argc) return false;
+      dst = std::atof(argv[++i]);
+      return true;
+    };
+    if (t == "--algo" && i + 1 < argc) {
+      a.algo = argv[++i];
+    } else if (t == "-o" && i + 1 < argc) {
+      a.out = argv[++i];
+    } else if (t == "--circuit" && i + 1 < argc) {
+      a.circuit = argv[++i];
+    } else if (t == "--config" && i + 1 < argc) {
+      a.config = argv[++i];
+    } else if (t == "--kappa") {
+      if (!next(a.kappa)) return false;
+    } else if (t == "--samples" && i + 1 < argc) {
+      a.samples = std::atoi(argv[++i]);
+    } else if (t == "--epsilon") {
+      if (!next(a.epsilon)) return false;
+    } else if (t == "--xor") {
+      a.use_xor = true;
+    } else if (t == "--multimode") {
+      a.multimode = true;
+    } else if (t == "--waves") {
+      a.waves = true;
+    } else if (t == "--heatmap") {
+      a.heatmap = true;
+    } else if (t == "--verbose") {
+      set_log_level(LogLevel::Info);
+    } else if (t == "--debug") {
+      set_log_level(LogLevel::Debug);
+    } else if (!t.empty() && t[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", t.c_str());
+      return false;
+    } else {
+      a.positional.push_back(t);
+    }
+  }
+  return !a.positional.empty();
+}
+
+void print_eval(const ClockTree& tree, const ModeSet& modes) {
+  const Evaluation e = evaluate_design(tree, modes, 2.0);
+  std::printf("nodes            : %zu (%zu leaves)\n", tree.size(),
+              tree.leaf_count());
+  std::printf("peak current     : %.2f mA (worst tile %.2f mA)\n",
+              e.peak_current / 1000.0, e.tile_peak_current / 1000.0);
+  std::printf("Vdd / Gnd noise  : %.2f / %.2f mV\n", e.vdd_noise,
+              e.gnd_noise);
+  std::printf("worst skew       : %.2f ps over %zu mode(s)\n",
+              e.worst_skew, modes.count());
+  int bufs = 0, invs = 0, adbs = 0, adis = 0, xors = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.is_leaf()) continue;
+    switch (n.cell->kind) {
+      case CellKind::Buffer: ++bufs; break;
+      case CellKind::Inverter: ++invs; break;
+      case CellKind::Adb: ++adbs; break;
+      case CellKind::Adi: ++adis; break;
+    }
+    if (!n.xor_negative.empty()) ++xors;
+  }
+  std::printf("leaf cells       : %d BUF, %d INV, %d ADB, %d ADI"
+              " (%d XOR-reconfigurable)\n",
+              bufs, invs, adbs, adis, xors);
+}
+
+ModeSet modes_for(const Args& a, const ClockTree& tree) {
+  if (a.multimode || a.algo == "wavemin-m") {
+    return make_mode_set(spec_by_name(a.circuit));
+  }
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return ModeSet::single(max_island + 1);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+  const std::string& cmd = a.positional[0];
+  const CellLibrary lib = CellLibrary::nangate45_like();
+
+  try {
+    if (cmd == "list") {
+      std::printf("circuit      n    |L|  die(um)  islands\n");
+      for (const BenchmarkSpec& s : benchmark_suite()) {
+        std::printf("%-10s %4d  %4d  %6.0f  %7d\n", s.name.c_str(),
+                    s.n_total, s.n_leaves, s.die, s.islands);
+      }
+      return 0;
+    }
+
+    if (cmd == "dump-lib") {
+      if (a.out.empty()) return usage();
+      save_library(a.out, lib);
+      std::printf("wrote %zu cells to %s\n", lib.cells().size(),
+                  a.out.c_str());
+      return 0;
+    }
+
+    if (cmd == "gen") {
+      if (a.positional.size() < 2 || a.out.empty()) return usage();
+      const ClockTree tree =
+          make_benchmark(spec_by_name(a.positional[1]), lib);
+      save_tree(a.out, tree);
+      std::printf("wrote %s (%zu nodes, skew %.2f ps)\n", a.out.c_str(),
+                  tree.size(), compute_arrivals(tree).skew());
+      return 0;
+    }
+
+    if (cmd == "stats") {
+      if (a.positional.size() < 2) return usage();
+      const ClockTree tree = load_tree(a.positional[1], lib);
+      std::printf("%s", to_string(analyze_tree(tree)).c_str());
+      return 0;
+    }
+
+    if (cmd == "render") {
+      if (a.positional.size() < 2 || a.out.empty()) return usage();
+      const ClockTree tree = load_tree(a.positional[1], lib);
+      if (a.waves) {
+        const TreeSim sim(tree, modes_for(a, tree), 0, {});
+        const Waveform idd = sim.total_idd();
+        const Waveform iss = sim.total_iss();
+        save_svg(a.out, waveforms_to_svg({&idd, &iss}, {"I_DD", "I_SS"}));
+      } else if (a.heatmap) {
+        const TreeSim sim(tree, modes_for(a, tree), 0, {});
+        save_svg(a.out, noise_heatmap_svg(tree, sim));
+      } else {
+        save_svg(a.out, tree_to_svg(tree));
+      }
+      std::printf("wrote %s\n", a.out.c_str());
+      return 0;
+    }
+
+    if (cmd == "eval") {
+      if (a.positional.size() < 2) return usage();
+      const ClockTree tree = load_tree(a.positional[1], lib);
+      print_eval(tree, modes_for(a, tree));
+      return 0;
+    }
+
+    if (cmd == "opt") {
+      if (a.positional.size() < 2) return usage();
+      const std::string in = a.positional[1];
+      ClockTree tree = load_tree(in, lib);
+      const ModeSet modes = modes_for(a, tree);
+
+      CharacterizerOptions co;
+      co.vdds = modes.distinct_vdds();
+      const Characterizer chr(lib, co);
+
+      WaveMinOptions opts;
+      if (!a.config.empty()) {
+        opts = load_wavemin_config(a.config);
+      } else {
+        opts.kappa = a.kappa;
+        opts.samples = a.samples;
+        opts.epsilon = a.epsilon;
+        opts.enable_xor_polarity = a.use_xor;
+      }
+
+      WaveMinResult r;
+      if (a.algo == "wavemin") {
+        r = clk_wavemin(tree, lib, chr, opts);
+      } else if (a.algo == "wavemin-f") {
+        r = clk_wavemin_f(tree, lib, chr, opts);
+      } else if (a.algo == "peakmin") {
+        r = clk_peakmin(tree, lib, chr, a.kappa);
+      } else if (a.algo == "wavemin-m") {
+        const WaveMinMResult m = clk_wavemin_m(tree, lib, chr, modes, opts);
+        r = m.opt;
+        std::printf("multi-mode flow: %d ADBs inserted, final %d ADB / "
+                    "%d ADI\n",
+                    m.adb.adbs_inserted, m.adb_count, m.adi_count);
+      } else {
+        std::fprintf(stderr, "unknown algorithm: %s\n", a.algo.c_str());
+        return usage();
+      }
+
+      if (!r.success) {
+        std::fprintf(stderr,
+                     "infeasible: no assignment meets kappa=%.1f ps\n",
+                     a.kappa);
+        return 2;
+      }
+      std::printf("%s: model peak %.1f uA, %zu intervals, %.1f ms\n",
+                  a.algo.c_str(), r.model_peak, r.intersections,
+                  r.runtime_ms);
+      print_eval(tree, modes);
+      save_tree(a.out.empty() ? in : a.out, tree);
+      return 0;
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
