@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_clock_gating"
+  "../bench/ext_clock_gating.pdb"
+  "CMakeFiles/ext_clock_gating.dir/ext_clock_gating.cpp.o"
+  "CMakeFiles/ext_clock_gating.dir/ext_clock_gating.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_clock_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_cts_comparison"
+  "../bench/ext_cts_comparison.pdb"
+  "CMakeFiles/ext_cts_comparison.dir/ext_cts_comparison.cpp.o"
+  "CMakeFiles/ext_cts_comparison.dir/ext_cts_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_cts_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

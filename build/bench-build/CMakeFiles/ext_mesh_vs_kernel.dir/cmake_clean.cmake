@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_mesh_vs_kernel"
+  "../bench/ext_mesh_vs_kernel.pdb"
+  "CMakeFiles/ext_mesh_vs_kernel.dir/ext_mesh_vs_kernel.cpp.o"
+  "CMakeFiles/ext_mesh_vs_kernel.dir/ext_mesh_vs_kernel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mesh_vs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_model_fidelity"
+  "../bench/ext_model_fidelity.pdb"
+  "CMakeFiles/ext_model_fidelity.dir/ext_model_fidelity.cpp.o"
+  "CMakeFiles/ext_model_fidelity.dir/ext_model_fidelity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_model_fidelity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

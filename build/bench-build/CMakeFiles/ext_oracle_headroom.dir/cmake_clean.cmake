@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_oracle_headroom"
+  "../bench/ext_oracle_headroom.pdb"
+  "CMakeFiles/ext_oracle_headroom.dir/ext_oracle_headroom.cpp.o"
+  "CMakeFiles/ext_oracle_headroom.dir/ext_oracle_headroom.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_oracle_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

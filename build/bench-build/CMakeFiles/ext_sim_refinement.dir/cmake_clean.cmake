@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_sim_refinement"
+  "../bench/ext_sim_refinement.pdb"
+  "CMakeFiles/ext_sim_refinement.dir/ext_sim_refinement.cpp.o"
+  "CMakeFiles/ext_sim_refinement.dir/ext_sim_refinement.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sim_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

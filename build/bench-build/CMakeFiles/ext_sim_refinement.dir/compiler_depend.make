@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_sim_refinement.
+# This may be replaced when dependencies are built.

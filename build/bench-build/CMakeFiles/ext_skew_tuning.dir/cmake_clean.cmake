@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_skew_tuning"
+  "../bench/ext_skew_tuning.pdb"
+  "CMakeFiles/ext_skew_tuning.dir/ext_skew_tuning.cpp.o"
+  "CMakeFiles/ext_skew_tuning.dir/ext_skew_tuning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skew_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_ssta_vs_mc"
+  "../bench/ext_ssta_vs_mc.pdb"
+  "CMakeFiles/ext_ssta_vs_mc.dir/ext_ssta_vs_mc.cpp.o"
+  "CMakeFiles/ext_ssta_vs_mc.dir/ext_ssta_vs_mc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ssta_vs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_thermal_modes"
+  "../bench/ext_thermal_modes.pdb"
+  "CMakeFiles/ext_thermal_modes.dir/ext_thermal_modes.cpp.o"
+  "CMakeFiles/ext_thermal_modes.dir/ext_thermal_modes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_thermal_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

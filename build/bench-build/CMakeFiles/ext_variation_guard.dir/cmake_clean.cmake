@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_variation_guard"
+  "../bench/ext_variation_guard.pdb"
+  "CMakeFiles/ext_variation_guard.dir/ext_variation_guard.cpp.o"
+  "CMakeFiles/ext_variation_guard.dir/ext_variation_guard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_variation_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_xor_polarity"
+  "../bench/ext_xor_polarity.pdb"
+  "CMakeFiles/ext_xor_polarity.dir/ext_xor_polarity.cpp.o"
+  "CMakeFiles/ext_xor_polarity.dir/ext_xor_polarity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_xor_polarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

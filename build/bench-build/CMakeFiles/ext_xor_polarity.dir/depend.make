@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_xor_polarity.
+# This may be replaced when dependencies are built.

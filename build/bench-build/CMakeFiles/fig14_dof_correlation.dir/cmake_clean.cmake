@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_dof_correlation"
+  "../bench/fig14_dof_correlation.pdb"
+  "CMakeFiles/fig14_dof_correlation.dir/fig14_dof_correlation.cpp.o"
+  "CMakeFiles/fig14_dof_correlation.dir/fig14_dof_correlation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_dof_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

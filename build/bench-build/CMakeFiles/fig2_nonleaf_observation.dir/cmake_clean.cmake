@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_nonleaf_observation"
+  "../bench/fig2_nonleaf_observation.pdb"
+  "CMakeFiles/fig2_nonleaf_observation.dir/fig2_nonleaf_observation.cpp.o"
+  "CMakeFiles/fig2_nonleaf_observation.dir/fig2_nonleaf_observation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_nonleaf_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_nonleaf_observation.
+# This may be replaced when dependencies are built.

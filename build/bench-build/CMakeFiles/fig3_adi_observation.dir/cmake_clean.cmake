@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_adi_observation"
+  "../bench/fig3_adi_observation.pdb"
+  "CMakeFiles/fig3_adi_observation.dir/fig3_adi_observation.cpp.o"
+  "CMakeFiles/fig3_adi_observation.dir/fig3_adi_observation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_adi_observation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/lineage_comparison"
+  "../bench/lineage_comparison.pdb"
+  "CMakeFiles/lineage_comparison.dir/lineage_comparison.cpp.o"
+  "CMakeFiles/lineage_comparison.dir/lineage_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lineage_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

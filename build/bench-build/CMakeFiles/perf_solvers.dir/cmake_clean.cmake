@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_solvers"
+  "../bench/perf_solvers.pdb"
+  "CMakeFiles/perf_solvers.dir/perf_solvers.cpp.o"
+  "CMakeFiles/perf_solvers.dir/perf_solvers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/secVIID_monte_carlo"
+  "../bench/secVIID_monte_carlo.pdb"
+  "CMakeFiles/secVIID_monte_carlo.dir/secVIID_monte_carlo.cpp.o"
+  "CMakeFiles/secVIID_monte_carlo.dir/secVIID_monte_carlo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secVIID_monte_carlo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

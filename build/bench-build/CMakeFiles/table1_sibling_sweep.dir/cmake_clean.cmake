@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_sibling_sweep"
+  "../bench/table1_sibling_sweep.pdb"
+  "CMakeFiles/table1_sibling_sweep.dir/table1_sibling_sweep.cpp.o"
+  "CMakeFiles/table1_sibling_sweep.dir/table1_sibling_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sibling_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

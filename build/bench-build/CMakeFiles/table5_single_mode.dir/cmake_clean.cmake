@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_single_mode"
+  "../bench/table5_single_mode.pdb"
+  "CMakeFiles/table5_single_mode.dir/table5_single_mode.cpp.o"
+  "CMakeFiles/table5_single_mode.dir/table5_single_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_single_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

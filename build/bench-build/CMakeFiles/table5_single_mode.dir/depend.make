@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_single_mode.
+# This may be replaced when dependencies are built.

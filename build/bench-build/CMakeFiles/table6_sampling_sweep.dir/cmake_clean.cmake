@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_sampling_sweep"
+  "../bench/table6_sampling_sweep.pdb"
+  "CMakeFiles/table6_sampling_sweep.dir/table6_sampling_sweep.cpp.o"
+  "CMakeFiles/table6_sampling_sweep.dir/table6_sampling_sweep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sampling_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_multi_mode"
+  "../bench/table7_multi_mode.pdb"
+  "CMakeFiles/table7_multi_mode.dir/table7_multi_mode.cpp.o"
+  "CMakeFiles/table7_multi_mode.dir/table7_multi_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_multi_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

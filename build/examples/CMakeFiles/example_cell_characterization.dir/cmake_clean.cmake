@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cell_characterization.dir/cell_characterization.cpp.o"
+  "CMakeFiles/example_cell_characterization.dir/cell_characterization.cpp.o.d"
+  "example_cell_characterization"
+  "example_cell_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cell_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

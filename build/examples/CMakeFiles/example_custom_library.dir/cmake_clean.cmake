@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_library.dir/custom_library.cpp.o"
+  "CMakeFiles/example_custom_library.dir/custom_library.cpp.o.d"
+  "example_custom_library"
+  "example_custom_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_eco_flow.dir/eco_flow.cpp.o"
+  "CMakeFiles/example_eco_flow.dir/eco_flow.cpp.o.d"
+  "example_eco_flow"
+  "example_eco_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_eco_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multimode_power_design.dir/multimode_power_design.cpp.o"
+  "CMakeFiles/example_multimode_power_design.dir/multimode_power_design.cpp.o.d"
+  "example_multimode_power_design"
+  "example_multimode_power_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multimode_power_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

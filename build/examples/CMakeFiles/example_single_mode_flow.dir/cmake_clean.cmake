@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_single_mode_flow.dir/single_mode_flow.cpp.o"
+  "CMakeFiles/example_single_mode_flow.dir/single_mode_flow.cpp.o.d"
+  "example_single_mode_flow"
+  "example_single_mode_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_single_mode_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_visualization.dir/visualization.cpp.o"
+  "CMakeFiles/example_visualization.dir/visualization.cpp.o.d"
+  "example_visualization"
+  "example_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adb/allocation.cpp" "src/CMakeFiles/wavemin.dir/adb/allocation.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/adb/allocation.cpp.o.d"
+  "/root/repo/src/cells/characterizer.cpp" "src/CMakeFiles/wavemin.dir/cells/characterizer.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cells/characterizer.cpp.o.d"
+  "/root/repo/src/cells/electrical.cpp" "src/CMakeFiles/wavemin.dir/cells/electrical.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cells/electrical.cpp.o.d"
+  "/root/repo/src/cells/library.cpp" "src/CMakeFiles/wavemin.dir/cells/library.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cells/library.cpp.o.d"
+  "/root/repo/src/core/candidates.cpp" "src/CMakeFiles/wavemin.dir/core/candidates.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/candidates.cpp.o.d"
+  "/root/repo/src/core/eco.cpp" "src/CMakeFiles/wavemin.dir/core/eco.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/eco.cpp.o.d"
+  "/root/repo/src/core/evaluate.cpp" "src/CMakeFiles/wavemin.dir/core/evaluate.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/evaluate.cpp.o.d"
+  "/root/repo/src/core/intervals.cpp" "src/CMakeFiles/wavemin.dir/core/intervals.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/intervals.cpp.o.d"
+  "/root/repo/src/core/noise_model.cpp" "src/CMakeFiles/wavemin.dir/core/noise_model.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/noise_model.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/wavemin.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/sampling.cpp" "src/CMakeFiles/wavemin.dir/core/sampling.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/sampling.cpp.o.d"
+  "/root/repo/src/core/wavemin.cpp" "src/CMakeFiles/wavemin.dir/core/wavemin.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/wavemin.cpp.o.d"
+  "/root/repo/src/core/wavemin_m.cpp" "src/CMakeFiles/wavemin.dir/core/wavemin_m.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/core/wavemin_m.cpp.o.d"
+  "/root/repo/src/cts/benchmarks.cpp" "src/CMakeFiles/wavemin.dir/cts/benchmarks.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cts/benchmarks.cpp.o.d"
+  "/root/repo/src/cts/dme.cpp" "src/CMakeFiles/wavemin.dir/cts/dme.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cts/dme.cpp.o.d"
+  "/root/repo/src/cts/synthesis.cpp" "src/CMakeFiles/wavemin.dir/cts/synthesis.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/cts/synthesis.cpp.o.d"
+  "/root/repo/src/grid/mesh_solver.cpp" "src/CMakeFiles/wavemin.dir/grid/mesh_solver.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/grid/mesh_solver.cpp.o.d"
+  "/root/repo/src/grid/power_grid.cpp" "src/CMakeFiles/wavemin.dir/grid/power_grid.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/grid/power_grid.cpp.o.d"
+  "/root/repo/src/io/tree_io.cpp" "src/CMakeFiles/wavemin.dir/io/tree_io.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/io/tree_io.cpp.o.d"
+  "/root/repo/src/mc/monte_carlo.cpp" "src/CMakeFiles/wavemin.dir/mc/monte_carlo.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/mc/monte_carlo.cpp.o.d"
+  "/root/repo/src/mosp/graph.cpp" "src/CMakeFiles/wavemin.dir/mosp/graph.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/mosp/graph.cpp.o.d"
+  "/root/repo/src/mosp/solver.cpp" "src/CMakeFiles/wavemin.dir/mosp/solver.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/mosp/solver.cpp.o.d"
+  "/root/repo/src/peakmin/baselines.cpp" "src/CMakeFiles/wavemin.dir/peakmin/baselines.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/peakmin/baselines.cpp.o.d"
+  "/root/repo/src/peakmin/clkpeakmin.cpp" "src/CMakeFiles/wavemin.dir/peakmin/clkpeakmin.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/peakmin/clkpeakmin.cpp.o.d"
+  "/root/repo/src/report/design_stats.cpp" "src/CMakeFiles/wavemin.dir/report/design_stats.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/report/design_stats.cpp.o.d"
+  "/root/repo/src/report/table.cpp" "src/CMakeFiles/wavemin.dir/report/table.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/report/table.cpp.o.d"
+  "/root/repo/src/timing/arrival.cpp" "src/CMakeFiles/wavemin.dir/timing/arrival.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/timing/arrival.cpp.o.d"
+  "/root/repo/src/timing/power_mode.cpp" "src/CMakeFiles/wavemin.dir/timing/power_mode.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/timing/power_mode.cpp.o.d"
+  "/root/repo/src/timing/ssta.cpp" "src/CMakeFiles/wavemin.dir/timing/ssta.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/timing/ssta.cpp.o.d"
+  "/root/repo/src/tree/clock_tree.cpp" "src/CMakeFiles/wavemin.dir/tree/clock_tree.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/tree/clock_tree.cpp.o.d"
+  "/root/repo/src/tree/zone.cpp" "src/CMakeFiles/wavemin.dir/tree/zone.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/tree/zone.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/wavemin.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/wavemin.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/wavemin.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/wavemin.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/wavemin.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/util/stats.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/wavemin.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/viz/svg.cpp.o.d"
+  "/root/repo/src/wave/tree_sim.cpp" "src/CMakeFiles/wavemin.dir/wave/tree_sim.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/wave/tree_sim.cpp.o.d"
+  "/root/repo/src/wave/waveform.cpp" "src/CMakeFiles/wavemin.dir/wave/waveform.cpp.o" "gcc" "src/CMakeFiles/wavemin.dir/wave/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adb_test.dir/adb_test.cpp.o"
+  "CMakeFiles/adb_test.dir/adb_test.cpp.o.d"
+  "adb_test"
+  "adb_test.pdb"
+  "adb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_stats_test.dir/design_stats_test.cpp.o"
+  "CMakeFiles/design_stats_test.dir/design_stats_test.cpp.o.d"
+  "design_stats_test"
+  "design_stats_test.pdb"
+  "design_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eco_test.dir/eco_test.cpp.o"
+  "CMakeFiles/eco_test.dir/eco_test.cpp.o.d"
+  "eco_test"
+  "eco_test.pdb"
+  "eco_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eco_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/electrical_model_test.dir/electrical_model_test.cpp.o"
+  "CMakeFiles/electrical_model_test.dir/electrical_model_test.cpp.o.d"
+  "electrical_model_test"
+  "electrical_model_test.pdb"
+  "electrical_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/electrical_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gating_test.dir/gating_test.cpp.o"
+  "CMakeFiles/gating_test.dir/gating_test.cpp.o.d"
+  "gating_test"
+  "gating_test.pdb"
+  "gating_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gating_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

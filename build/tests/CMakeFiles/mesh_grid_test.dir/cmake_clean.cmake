@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_grid_test.dir/mesh_grid_test.cpp.o"
+  "CMakeFiles/mesh_grid_test.dir/mesh_grid_test.cpp.o.d"
+  "mesh_grid_test"
+  "mesh_grid_test.pdb"
+  "mesh_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

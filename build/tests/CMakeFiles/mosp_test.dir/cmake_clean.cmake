@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mosp_test.dir/mosp_test.cpp.o"
+  "CMakeFiles/mosp_test.dir/mosp_test.cpp.o.d"
+  "mosp_test"
+  "mosp_test.pdb"
+  "mosp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mosp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_property_test.dir/randomized_property_test.cpp.o"
+  "CMakeFiles/randomized_property_test.dir/randomized_property_test.cpp.o.d"
+  "randomized_property_test"
+  "randomized_property_test.pdb"
+  "randomized_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

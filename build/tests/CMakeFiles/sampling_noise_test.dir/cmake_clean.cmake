@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_noise_test.dir/sampling_noise_test.cpp.o"
+  "CMakeFiles/sampling_noise_test.dir/sampling_noise_test.cpp.o.d"
+  "sampling_noise_test"
+  "sampling_noise_test.pdb"
+  "sampling_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_sim_test.dir/tree_sim_test.cpp.o"
+  "CMakeFiles/tree_sim_test.dir/tree_sim_test.cpp.o.d"
+  "tree_sim_test"
+  "tree_sim_test.pdb"
+  "tree_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

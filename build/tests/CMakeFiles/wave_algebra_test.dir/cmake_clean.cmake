@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wave_algebra_test.dir/wave_algebra_test.cpp.o"
+  "CMakeFiles/wave_algebra_test.dir/wave_algebra_test.cpp.o.d"
+  "wave_algebra_test"
+  "wave_algebra_test.pdb"
+  "wave_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wave_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

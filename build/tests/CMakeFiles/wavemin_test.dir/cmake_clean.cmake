@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavemin_test.dir/wavemin_test.cpp.o"
+  "CMakeFiles/wavemin_test.dir/wavemin_test.cpp.o.d"
+  "wavemin_test"
+  "wavemin_test.pdb"
+  "wavemin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavemin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

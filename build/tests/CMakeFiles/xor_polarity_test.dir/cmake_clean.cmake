@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xor_polarity_test.dir/xor_polarity_test.cpp.o"
+  "CMakeFiles/xor_polarity_test.dir/xor_polarity_test.cpp.o.d"
+  "xor_polarity_test"
+  "xor_polarity_test.pdb"
+  "xor_polarity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xor_polarity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavemin_cli.dir/wavemin_cli.cpp.o"
+  "CMakeFiles/wavemin_cli.dir/wavemin_cli.cpp.o.d"
+  "wavemin_cli"
+  "wavemin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavemin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
