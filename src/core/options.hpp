@@ -7,6 +7,14 @@
 
 namespace wm {
 
+/// Default for WaveMinOptions::verify_invariants: debug builds pay for
+/// the wm::verify phase hooks, optimized builds skip them.
+#ifdef NDEBUG
+inline constexpr bool kVerifyInvariantsDefault = false;
+#else
+inline constexpr bool kVerifyInvariantsDefault = true;
+#endif
+
 enum class SolverKind {
   Warburton,   ///< ClkWaveMin: epsilon-approximate Pareto DP (Sec. V-B)
   Greedy,      ///< ClkWaveMin-f: least-worsening vertex commit (Sec. V-C)
@@ -48,6 +56,13 @@ struct WaveMinOptions {
   std::size_t dof_beam = 64;
 
   Ps period = tech::kClockPeriod;
+
+  /// Run the wm::verify invariant checker at the flow's phase
+  /// boundaries (after preprocessing, interval enumeration, each zone
+  /// MOSP build, ADB allocation and the final assignment). An
+  /// Error-severity diagnostic escalates to wm::Error. On by default in
+  /// debug builds; force-enable anywhere when chasing corruption.
+  bool verify_invariants = kVerifyInvariantsDefault;
 
   // --- XOR-reconfigurable polarity extension ([30],[31]) -------------
   // When enabled (multi-mode designs only), every normal leaf gains

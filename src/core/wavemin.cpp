@@ -14,6 +14,7 @@
 #include "tree/zone.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "verify/verify.hpp"
 
 namespace wm {
 
@@ -64,6 +65,11 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
     xor_opts.xor_delay = opts.xor_delay;
     xor_opts.base_cell = lib.find(opts.xor_base_cell);
   }
+  // Check the inputs before preprocess() walks them: a corrupted tree
+  // or library must surface as a diagnostic, not a crash deeper in.
+  if (opts.verify_invariants) {
+    verify::enforce(verify::check_design(tree, lib, &zones), "preprocess");
+  }
   const Preprocessed pre = preprocess(
       tree, zones, modes, assignable, chr, lib,
       opts.enable_xor_polarity ? &xor_opts : nullptr);
@@ -80,6 +86,12 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
              "guard band must be in [0, kappa)");
   const std::vector<Intersection> inters = enumerate_intersections(
       pre, opts.kappa - opts.skew_guard_band, opts.dof_beam);
+  if (opts.verify_invariants) {
+    verify::enforce(
+        verify::check_intersections(pre, inters,
+                                    opts.kappa - opts.skew_guard_band),
+        "intervals");
+  }
   result.intersections = inters.size();
   WM_LOG(Info) << "wavemin: " << pre.sinks.size() << " sinks, "
                << zones.zones().size() << " zones, " << inters.size()
@@ -109,21 +121,31 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
         misses.push_back(z);
       }
     }
-    auto solve_zone = [&](std::size_t z) {
+    // Zone MOSP verification reports are collected per miss and
+    // enforced on the main thread only — workers must not throw.
+    std::vector<verify::Report> mosp_reports(
+        opts.verify_invariants ? misses.size() : 0);
+    auto solve_zone = [&](std::size_t z, verify::Report* vr) {
       const auto slots =
           build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
       const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
                                           zones.zones()[z], x, chr,
                                           modes, slots, opts);
+      if (vr != nullptr) *vr = verify::check_mosp(g, slots.size());
       const MospSolution sol = dispatch_solve(g, opts);
       ZoneSolution zs;
       zs.worst = sol.worst;
       zs.choice = sol.choice;
       return zs;
     };
+    auto report_for = [&](std::size_t i) {
+      return opts.verify_invariants ? &mosp_reports[i] : nullptr;
+    };
     if (n_threads <= 1 || misses.size() <= 1) {
-      for (const std::size_t z : misses) {
-        memo.emplace(zone_mask_key(z, zone_sinks[z], x), solve_zone(z));
+      for (std::size_t i = 0; i < misses.size(); ++i) {
+        const std::size_t z = misses[i];
+        memo.emplace(zone_mask_key(z, zone_sinks[z], x),
+                     solve_zone(z, report_for(i)));
       }
     } else {
       std::vector<ZoneSolution> solved(misses.size());
@@ -137,7 +159,7 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
             if (next >= misses.size()) return;
             i = next++;
           }
-          solved[i] = solve_zone(misses[i]);
+          solved[i] = solve_zone(misses[i], report_for(i));
         }
       };
       std::vector<std::thread> pool;
@@ -150,6 +172,11 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
         memo.emplace(zone_mask_key(misses[i], zone_sinks[misses[i]], x),
                      std::move(solved[i]));
       }
+    }
+    if (opts.verify_invariants) {
+      verify::Report merged;
+      for (const verify::Report& vr : mosp_reports) merged.merge(vr);
+      verify::enforce(merged, "zone-mosp");
     }
 
     // Phase 2: aggregate.
@@ -197,6 +224,10 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
       node.xor_negative = cand.xor_negative;
       node.cell_extra_delay = cand.cell_extra_delay;
     }
+  }
+
+  if (opts.verify_invariants) {
+    verify::enforce(verify::check_tree(tree, &zones), "assignment");
   }
 
   result.success = true;

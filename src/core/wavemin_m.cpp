@@ -1,5 +1,7 @@
 #include "core/wavemin_m.hpp"
 
+#include "verify/verify.hpp"
+
 namespace wm {
 
 void count_adjustables(const ClockTree& tree, int* adbs, int* adis) {
@@ -27,6 +29,9 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
   // Skew cannot be met by sizing alone: insert ADBs, then re-optimize.
   r.used_adb_flow = true;
   r.adb = allocate_adbs(tree, lib, modes, opts.kappa);
+  if (opts.verify_invariants) {
+    verify::enforce(verify::check_tree(tree), "adb-allocation");
+  }
 
   r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
                       opts);

@@ -104,6 +104,8 @@ WaveMinOptions parse_wavemin_config(std::istream& is,
       opts.zone_tile = parse_num(value, key);
       WM_REQUIRE(opts.zone_tile > 0.0,
                  "config: zone_tile must be positive");
+    } else if (key == "verify_invariants") {
+      opts.verify_invariants = parse_bool(value, key);
     } else {
       throw Error("config: unknown key '" + key + "' (line " +
                   std::to_string(line_no) + ")");
@@ -140,6 +142,8 @@ std::string wavemin_config_to_string(const WaveMinOptions& opts) {
      << (opts.shift_by_arrival ? "true" : "false") << '\n';
   os << "dof_beam = " << opts.dof_beam << '\n';
   os << "zone_tile = " << opts.zone_tile << '\n';
+  os << "verify_invariants = "
+     << (opts.verify_invariants ? "true" : "false") << '\n';
   return os.str();
 }
 

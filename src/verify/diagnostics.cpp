@@ -1,0 +1,59 @@
+#include "verify/diagnostics.hpp"
+
+#include <sstream>
+
+namespace wm::verify {
+
+const char* to_string(Severity severity) {
+  return severity == Severity::Error ? "error" : "warning";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::ostringstream oss;
+  oss << to_string(d.severity) << '[' << d.rule << ']';
+  if (!d.location.empty()) oss << ' ' << d.location;
+  oss << ": " << d.message;
+  return oss.str();
+}
+
+void Report::add(Severity severity, std::string rule, std::string location,
+                 std::string message) {
+  if (severity == Severity::Error) ++errors_;
+  diags_.push_back(Diagnostic{severity, std::move(rule), std::move(location),
+                              std::move(message)});
+}
+
+void Report::error(std::string rule, std::string location,
+                   std::string message) {
+  add(Severity::Error, std::move(rule), std::move(location),
+      std::move(message));
+}
+
+void Report::warning(std::string rule, std::string location,
+                     std::string message) {
+  add(Severity::Warning, std::move(rule), std::move(location),
+      std::move(message));
+}
+
+bool Report::has(std::string_view rule) const {
+  for (const Diagnostic& d : diags_) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+void Report::merge(const Report& other) {
+  diags_.insert(diags_.end(), other.diags_.begin(), other.diags_.end());
+  errors_ += other.errors_;
+}
+
+std::string Report::to_string() const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += verify::to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+} // namespace wm::verify

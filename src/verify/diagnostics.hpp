@@ -1,0 +1,63 @@
+#pragma once
+// Structured diagnostics for the wm::verify invariant checker.
+//
+// Every violated invariant becomes a Diagnostic: a severity, a stable
+// rule id ("tree.cycle", "mosp.weight-dims", ...), a location string
+// ("node 17", "row 3 vertex 0"), and a human-readable message. Checkers
+// accumulate diagnostics into a Report instead of asserting, so a lint
+// pass can list *every* problem in one run; the in-flow phase hooks
+// (core/wavemin.cpp) then escalate Error-severity reports to wm::Error.
+//
+// The rule catalog is documented in docs/static_analysis.md; rule ids
+// are part of the tool's interface (tests and CI grep for them), so
+// renaming one is a breaking change.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wm::verify {
+
+enum class Severity { Warning, Error };
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string rule;      ///< stable rule id, e.g. "tree.cycle"
+  std::string location;  ///< e.g. "node 17", "mode 1", "cell BUF_X8"
+  std::string message;
+};
+
+/// Render as "error[tree.cycle] node 17: message".
+std::string to_string(const Diagnostic& d);
+
+class Report {
+ public:
+  void error(std::string rule, std::string location, std::string message);
+  void warning(std::string rule, std::string location, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool clean() const { return diags_.empty(); }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return diags_.size() - errors_; }
+
+  /// True if any diagnostic carries the given rule id (test helper).
+  bool has(std::string_view rule) const;
+
+  /// Append all of `other`'s diagnostics to this report.
+  void merge(const Report& other);
+
+  /// One to_string(Diagnostic) line per diagnostic.
+  std::string to_string() const;
+
+ private:
+  void add(Severity severity, std::string rule, std::string location,
+           std::string message);
+
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0;
+};
+
+} // namespace wm::verify

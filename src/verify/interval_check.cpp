@@ -1,0 +1,97 @@
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/candidates.hpp"
+#include "core/intervals.hpp"
+#include "verify/verify.hpp"
+
+namespace wm::verify {
+
+namespace {
+
+// Matches the arrival-grid merge tolerance used by window_mask; window
+// bounds are only meaningful to that resolution.
+constexpr Ps kTol = 0.01;
+
+void check_one(const Preprocessed& p, const Intersection& x,
+               std::size_t idx, Ps kappa, Report& r) {
+  const std::string loc = "intersection " + std::to_string(idx);
+
+  if (x.windows.size() != p.mode_count) {
+    r.error("interval.mode-count", loc,
+            std::to_string(x.windows.size()) + " windows for " +
+                std::to_string(p.mode_count) + " power modes");
+    return;
+  }
+  if (x.masks.size() != p.sinks.size()) {
+    r.error("interval.mask-count", loc,
+            std::to_string(x.masks.size()) + " masks for " +
+                std::to_string(p.sinks.size()) + " sinks");
+    return;
+  }
+
+  for (std::size_t m = 0; m < x.windows.size(); ++m) {
+    const TimeWindow& w = x.windows[m];
+    if (w.lo > w.hi) {
+      r.error("interval.bounds", loc + " mode " + std::to_string(m),
+              "window lower bound exceeds upper bound");
+    } else if (w.hi - w.lo > kappa + 2.0 * kTol) {
+      r.error("interval.bounds", loc + " mode " + std::to_string(m),
+              "window wider than the skew bound kappa");
+    }
+  }
+
+  long dof = 0;
+  for (std::size_t s = 0; s < x.masks.size(); ++s) {
+    const std::uint32_t mask = x.masks[s];
+    const SinkInfo& sink = p.sinks[s];
+    const std::string sink_loc = loc + " sink " + std::to_string(s);
+    if (mask == 0) {
+      r.error("interval.empty-mode", sink_loc,
+              "no surviving candidate (empty per-mode intersection)");
+      continue;
+    }
+    if (sink.candidates.size() < 32 &&
+        (mask >> sink.candidates.size()) != 0) {
+      r.error("interval.mask-range", sink_loc,
+              "mask selects candidates beyond the sink's " +
+                  std::to_string(sink.candidates.size()) + " candidates");
+      continue;
+    }
+    std::uint32_t expected = ~0u;
+    for (std::size_t m = 0; m < x.windows.size(); ++m) {
+      expected &= window_mask(sink, m, x.windows[m]);
+    }
+    if (mask != expected) {
+      r.error("interval.mask-stale", sink_loc,
+              "stored mask does not reproduce from the stored windows");
+    }
+    dof += std::popcount(mask);
+  }
+  if (dof != x.dof) {
+    r.error("interval.dof", loc,
+            "stored degree of freedom " + std::to_string(x.dof) +
+                " != surviving-candidate count " + std::to_string(dof));
+  }
+}
+
+} // namespace
+
+Report check_intersections(const Preprocessed& p,
+                           const std::vector<Intersection>& xs, Ps kappa) {
+  Report r;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    check_one(p, xs[i], i, kappa, r);
+    if (i > 0 && xs[i].dof > xs[i - 1].dof) {
+      r.warning("interval.order",
+                "intersection " + std::to_string(i),
+                "intersections not sorted by decreasing degree of "
+                "freedom");
+    }
+  }
+  return r;
+}
+
+} // namespace wm::verify

@@ -1,0 +1,115 @@
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cells/cell.hpp"
+#include "cells/library.hpp"
+#include "verify/verify.hpp"
+
+namespace wm::verify {
+
+namespace {
+
+std::string cell_loc(const Cell& c) { return "cell " + c.name; }
+
+void check_cell(const Cell& c, Report& r) {
+  if (c.drive <= 0) {
+    r.error("lib.nonpositive", cell_loc(c),
+            "drive strength must be positive");
+  }
+  if (c.c_in <= 0.0 || c.c_self < 0.0) {
+    r.error("lib.nonpositive", cell_loc(c),
+            "input capacitance must be positive and self-capacitance "
+            "non-negative");
+  }
+  if (c.r_out <= 0.0) {
+    r.error("lib.nonpositive", cell_loc(c),
+            "output resistance must be positive");
+  }
+  if (c.d0 <= 0.0 || c.slew0 <= 0.0) {
+    r.error("lib.nonpositive", cell_loc(c),
+            "intrinsic delay and slew must be positive");
+  }
+  if (!(std::isfinite(c.sc_frac) && c.sc_frac >= 0.0 && c.sc_frac <= 1.0)) {
+    r.error("lib.sc-frac", cell_loc(c),
+            "short-circuit fraction must lie in [0, 1]");
+  }
+
+  const bool is_adjustable_kind =
+      c.kind == CellKind::Adb || c.kind == CellKind::Adi;
+  if (is_adjustable_kind != c.adjustable()) {
+    r.error("lib.adjustable", cell_loc(c),
+            is_adjustable_kind
+                ? "ADB/ADI cell without a usable code range"
+                : "plain buffer/inverter with adjustable-delay codes");
+  }
+  if ((c.adj_step > 0.0) != (c.adj_max_code > 0) || c.adj_step < 0.0 ||
+      c.adj_max_code < 0) {
+    r.error("lib.adjustable", cell_loc(c),
+            "adj_step and adj_max_code must be positive together or "
+            "zero together");
+  }
+}
+
+/// Within one kind, a bigger drive must not be electrically weaker:
+/// output resistance and intrinsic delay non-increasing, input
+/// capacitance non-decreasing. Warning severity — a hand-written
+/// third-party library may deliberately break the scaling law, but in
+/// the built-in family a violation means corrupted cell data.
+void check_monotone(const std::vector<const Cell*>& family, Report& r) {
+  std::vector<const Cell*> sorted = family;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Cell* a, const Cell* b) {
+                     return a->drive < b->drive;
+                   });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    const Cell& lo = *sorted[i - 1];
+    const Cell& hi = *sorted[i];
+    if (hi.drive == lo.drive) {
+      r.warning("lib.monotone-sizing", cell_loc(hi),
+                "duplicate drive strength within kind (also " + lo.name +
+                    ")");
+      continue;
+    }
+    if (hi.r_out > lo.r_out) {
+      r.warning("lib.monotone-sizing", cell_loc(hi),
+                "output resistance rises with drive (vs " + lo.name + ")");
+    }
+    if (hi.d0 > lo.d0) {
+      r.warning("lib.monotone-sizing", cell_loc(hi),
+                "intrinsic delay rises with drive (vs " + lo.name + ")");
+    }
+    if (hi.c_in < lo.c_in) {
+      r.warning("lib.monotone-sizing", cell_loc(hi),
+                "input capacitance falls with drive (vs " + lo.name + ")");
+    }
+  }
+}
+
+} // namespace
+
+Report check_library(const CellLibrary& lib) {
+  Report r;
+  if (lib.cells().empty()) {
+    r.warning("lib.empty", "", "library has no cells");
+    return r;
+  }
+  for (std::size_t i = 0; i < lib.cells().size(); ++i) {
+    const Cell& c = lib.cells()[i];
+    check_cell(c, r);
+    for (std::size_t j = i + 1; j < lib.cells().size(); ++j) {
+      if (lib.cells()[j].name == c.name) {
+        r.error("lib.duplicate-name", cell_loc(c),
+                "name appears more than once");
+      }
+    }
+  }
+  for (const CellKind kind : {CellKind::Buffer, CellKind::Inverter,
+                              CellKind::Adb, CellKind::Adi}) {
+    check_monotone(lib.of_kind(kind), r);
+  }
+  return r;
+}
+
+} // namespace wm::verify

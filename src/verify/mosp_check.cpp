@@ -1,0 +1,83 @@
+#include <cmath>
+#include <string>
+
+#include "mosp/graph.hpp"
+#include "verify/verify.hpp"
+
+namespace wm::verify {
+
+namespace {
+
+std::string vertex_loc(std::size_t row, std::size_t v) {
+  return "row " + std::to_string(row) + " vertex " + std::to_string(v);
+}
+
+} // namespace
+
+Report check_mosp(const MospGraph& g, std::size_t expected_dims) {
+  Report r;
+  if (g.dims <= 0) {
+    r.error("mosp.dims", "", "weight dimension must be positive");
+  } else if (expected_dims != 0 &&
+             static_cast<std::size_t>(g.dims) != expected_dims) {
+    r.error("mosp.dims", "",
+            "weight dimension " + std::to_string(g.dims) +
+                " does not match the sampling-slot count " +
+                std::to_string(expected_dims));
+  }
+  if (g.rows.empty()) {
+    r.error("mosp.no-rows", "", "graph has no sink rows");
+    return r;
+  }
+
+  const std::size_t dims =
+      g.dims > 0 ? static_cast<std::size_t>(g.dims) : 0;
+  for (std::size_t row = 0; row < g.rows.size(); ++row) {
+    if (g.rows[row].empty()) {
+      r.error("mosp.row-empty", "row " + std::to_string(row),
+              "no feasible option (the feasible-interval preprocessing "
+              "must leave every sink at least one candidate)");
+      continue;
+    }
+    for (std::size_t v = 0; v < g.rows[row].size(); ++v) {
+      const MospVertex& vx = g.rows[row][v];
+      if (dims != 0 && vx.weight.size() != dims) {
+        r.error("mosp.weight-dims", vertex_loc(row, v),
+                "weight vector of dimension " +
+                    std::to_string(vx.weight.size()) + " (graph dims " +
+                    std::to_string(g.dims) + ")");
+      }
+      if (vx.option < 0) {
+        r.error("mosp.option-range", vertex_loc(row, v),
+                "negative candidate-option index " +
+                    std::to_string(vx.option));
+      }
+      for (const double w : vx.weight) {
+        if (!std::isfinite(w) || w < 0.0) {
+          r.error("mosp.weight-value", vertex_loc(row, v),
+                  "noise weights must be finite and non-negative");
+          break;
+        }
+      }
+    }
+  }
+
+  if (!g.dest_weight.empty()) {
+    if (dims != 0 && g.dest_weight.size() != dims) {
+      r.error("mosp.weight-dims", "dest",
+              "dest weight of dimension " +
+                  std::to_string(g.dest_weight.size()) + " (graph dims " +
+                  std::to_string(g.dims) + ")");
+    }
+    for (const double w : g.dest_weight) {
+      if (!std::isfinite(w) || w < 0.0) {
+        r.error("mosp.weight-value", "dest",
+                "noise weights must be finite and non-negative");
+        break;
+      }
+    }
+  }
+  return r;
+}
+
+} // namespace wm::verify

@@ -1,0 +1,224 @@
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "tree/clock_tree.hpp"
+#include "tree/zone.hpp"
+#include "verify/verify.hpp"
+
+namespace wm::verify {
+
+namespace {
+
+std::string node_loc(NodeId id) { return "node " + std::to_string(id); }
+
+bool in_range(NodeId id, std::size_t n) {
+  return id >= 0 && static_cast<std::size_t>(id) < n;
+}
+
+void check_links(const ClockTree& tree, Report& r) {
+  const std::size_t n = tree.size();
+  std::size_t roots = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const TreeNode& node = tree.nodes()[i];
+    if (node.id != static_cast<NodeId>(i)) {
+      r.error("tree.id", node_loc(static_cast<NodeId>(i)),
+              "arena id " + std::to_string(node.id) +
+                  " does not match its index");
+    }
+    if (node.parent == kNoNode) {
+      ++roots;
+      if (i != 0) {
+        r.error("tree.root", node_loc(node.id),
+                "parentless node is not node 0");
+      }
+    } else if (!in_range(node.parent, n)) {
+      r.error("tree.parent-link", node_loc(node.id),
+              "parent " + std::to_string(node.parent) + " out of range");
+    } else if (node.parent == node.id) {
+      r.error("tree.cycle", node_loc(node.id), "node is its own parent");
+    } else {
+      const TreeNode& parent = tree.nodes()[
+          static_cast<std::size_t>(node.parent)];
+      std::size_t links = 0;
+      for (const NodeId c : parent.children) {
+        if (c == node.id) ++links;
+      }
+      if (links != 1) {
+        r.error("tree.parent-link", node_loc(node.id),
+                "listed " + std::to_string(links) +
+                    " times in the child list of parent " +
+                    std::to_string(node.parent));
+      }
+    }
+    for (const NodeId c : node.children) {
+      if (!in_range(c, n)) {
+        r.error("tree.parent-link", node_loc(node.id),
+                "child " + std::to_string(c) + " out of range");
+      } else if (tree.nodes()[static_cast<std::size_t>(c)].parent !=
+                 node.id) {
+        r.error("tree.parent-link", node_loc(node.id),
+                "child " + std::to_string(c) +
+                    " names a different parent (" +
+                    std::to_string(
+                        tree.nodes()[static_cast<std::size_t>(c)].parent) +
+                    ")");
+      }
+    }
+  }
+  if (roots != 1) {
+    r.error("tree.root", "",
+            std::to_string(roots) + " parentless nodes (expected exactly "
+                                    "one root)");
+  }
+}
+
+void check_reachability(const ClockTree& tree, Report& r) {
+  const std::size_t n = tree.size();
+  std::vector<std::uint8_t> visited(n, 0);
+  std::deque<NodeId> queue;
+  if (tree.root() != kNoNode) {
+    queue.push_back(tree.root());
+    visited[0] = 1;
+  }
+  std::size_t reached = queue.size();
+  while (!queue.empty()) {
+    const NodeId id = queue.front();
+    queue.pop_front();
+    for (const NodeId c : tree.nodes()[static_cast<std::size_t>(id)]
+                              .children) {
+      if (!in_range(c, n)) continue;  // reported by check_links
+      if (visited[static_cast<std::size_t>(c)]) {
+        r.error("tree.cycle", node_loc(c),
+                "reached twice walking child edges from the root (cycle "
+                "or shared subtree)");
+        continue;
+      }
+      visited[static_cast<std::size_t>(c)] = 1;
+      ++reached;
+      queue.push_back(c);
+    }
+  }
+  if (reached != n) {
+    r.error("tree.unreachable", "",
+            std::to_string(n - reached) +
+                " node(s) unreachable from the root");
+  }
+}
+
+void check_node_payload(const ClockTree& tree, Report& r) {
+  // Per-mode vector lengths must agree tree-wide: the first non-empty
+  // length seen is the reference mode count.
+  std::size_t mode_ref = 0;
+  auto check_mode_len = [&](const TreeNode& node, std::size_t len,
+                            const char* what) {
+    if (len == 0) return;
+    if (mode_ref == 0) {
+      mode_ref = len;
+    } else if (len != mode_ref) {
+      r.error("tree.leaf-polarity", node_loc(node.id),
+              std::string(what) + " vector of length " +
+                  std::to_string(len) +
+                  " disagrees with the design's mode count " +
+                  std::to_string(mode_ref));
+    }
+  };
+
+  for (const TreeNode& node : tree.nodes()) {
+    if (node.cell == nullptr) {
+      r.error("tree.cell-binding", node_loc(node.id),
+              "no buffering cell bound");
+    }
+    if (node.wire_len < 0.0 || node.route_extra < 0.0 ||
+        node.sink_cap < 0.0) {
+      r.error("tree.geometry", node_loc(node.id),
+              "negative wire_len, route_extra or sink_cap");
+    }
+    if (!node.is_leaf() && node.sink_cap > 0.0) {
+      r.warning("tree.geometry", node_loc(node.id),
+                "non-leaf node carries a sink load");
+    }
+
+    if (!node.xor_negative.empty() && !node.is_leaf()) {
+      r.error("tree.leaf-polarity", node_loc(node.id),
+              "XOR-reconfigurable polarity on a non-leaf node");
+    }
+    check_mode_len(node, node.adj_codes.size(), "adj_codes");
+    check_mode_len(node, node.xor_negative.size(), "xor_negative");
+
+    if (!node.adj_codes.empty()) {
+      if (node.cell != nullptr && !node.cell->adjustable()) {
+        r.error("tree.adj-codes", node_loc(node.id),
+                "delay codes on non-adjustable cell " + node.cell->name);
+      } else if (node.cell != nullptr) {
+        for (const int code : node.adj_codes) {
+          if (code < 0 || code > node.cell->adj_max_code) {
+            r.error("tree.adj-codes", node_loc(node.id),
+                    "code " + std::to_string(code) + " outside [0, " +
+                        std::to_string(node.cell->adj_max_code) + "]");
+            break;
+          }
+        }
+      }
+    }
+  }
+}
+
+void check_zone_membership(const ClockTree& tree, const ZoneMap& zones,
+                           Report& r) {
+  const std::size_t n = tree.size();
+  std::vector<int> membership(n, 0);
+  for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+    const Zone& zone = zones.zones()[z];
+    const std::string loc = "zone " + std::to_string(z);
+    if (zone.members.empty()) {
+      r.warning("tree.zone-membership", loc,
+                "empty zone kept in the zone map");
+    }
+    for (const NodeId m : zone.members) {
+      if (!in_range(m, n)) {
+        r.error("tree.zone-membership", loc,
+                "member " + std::to_string(m) + " out of range");
+        continue;
+      }
+      if (!tree.node(m).is_leaf()) {
+        r.error("tree.zone-membership", loc,
+                "member " + std::to_string(m) + " is not a leaf");
+      }
+      if (zones.zone_of(m) != static_cast<int>(z)) {
+        r.error("tree.zone-membership", loc,
+                "zone_of(" + std::to_string(m) + ") = " +
+                    std::to_string(zones.zone_of(m)) +
+                    " disagrees with the member list");
+      }
+      ++membership[static_cast<std::size_t>(m)];
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!tree.nodes()[i].is_leaf()) continue;
+    if (membership[i] != 1) {
+      r.error("tree.zone-membership", node_loc(static_cast<NodeId>(i)),
+              "leaf appears in " + std::to_string(membership[i]) +
+                  " zones (expected exactly one)");
+    }
+  }
+}
+
+} // namespace
+
+Report check_tree(const ClockTree& tree, const ZoneMap* zones) {
+  Report r;
+  if (tree.empty()) {
+    r.warning("tree.root", "", "tree has no nodes");
+    return r;
+  }
+  check_links(tree, r);
+  check_reachability(tree, r);
+  check_node_payload(tree, r);
+  if (zones != nullptr) check_zone_membership(tree, *zones, r);
+  return r;
+}
+
+} // namespace wm::verify

@@ -1,0 +1,40 @@
+#include "verify/verify.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wm::verify {
+
+Report check_design(const ClockTree& tree, const CellLibrary& lib,
+                    const ZoneMap* zones) {
+  Report r = check_library(lib);
+  r.merge(check_tree(tree, zones));
+  return r;
+}
+
+void enforce(const Report& report, const char* phase) {
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity == Severity::Warning) {
+      WM_LOG(Warn) << "verify[" << phase << "]: " << to_string(d);
+    }
+  }
+  if (report.error_count() == 0) return;
+
+  std::ostringstream oss;
+  oss << "invariant check failed at phase '" << phase << "' ("
+      << report.error_count() << " error(s))";
+  std::size_t listed = 0;
+  for (const Diagnostic& d : report.diagnostics()) {
+    if (d.severity != Severity::Error) continue;
+    oss << "\n  " << to_string(d);
+    if (++listed == 8) {
+      oss << "\n  ...";
+      break;
+    }
+  }
+  throw Error(oss.str());
+}
+
+} // namespace wm::verify

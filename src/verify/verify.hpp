@@ -1,0 +1,81 @@
+#pragma once
+// wm::verify — machine-checked structural invariants of the WaveMin
+// pipeline (the domain half of the static-analysis layer; the toolchain
+// half is the sanitizer/clang-tidy wiring in CMake).
+//
+// Each checker sweeps one data structure and reports every violation as
+// a structured diagnostic (diagnostics.hpp) instead of stopping at the
+// first, so `wavemin_lint` can print a complete picture. The checks are
+// also wired into run_wavemin / clk_wavemin_m as phase-boundary hooks
+// (WaveMinOptions::verify_invariants, on by default in debug builds):
+// there, an Error-severity diagnostic escalates to wm::Error via
+// enforce().
+//
+// Rule catalog (stable ids; see docs/static_analysis.md):
+//   tree.root / tree.id / tree.parent-link / tree.cycle /
+//   tree.unreachable / tree.cell-binding / tree.geometry /
+//   tree.leaf-polarity / tree.adj-codes / tree.zone-membership
+//   lib.empty / lib.duplicate-name / lib.nonpositive / lib.sc-frac /
+//   lib.adjustable / lib.monotone-sizing
+//   mosp.dims / mosp.no-rows / mosp.row-empty / mosp.weight-dims /
+//   mosp.weight-value / mosp.option-range
+//   interval.mode-count / interval.mask-count / interval.bounds /
+//   interval.empty-mode / interval.mask-range / interval.mask-stale /
+//   interval.dof / interval.order
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.hpp"
+#include "verify/diagnostics.hpp"
+
+namespace wm {
+class CellLibrary;
+class ClockTree;
+class ZoneMap;
+struct Intersection;
+struct MospGraph;
+struct Preprocessed;
+} // namespace wm
+
+namespace wm::verify {
+
+/// Clock-tree well-formedness: arena id density, parent/child link
+/// symmetry, acyclicity/reachability from the root, cell bindings,
+/// non-negative geometry, per-mode polarity/ADB-code consistency. If
+/// `zones` is given, additionally checks zone membership (every leaf in
+/// exactly one zone, members are leaves, zone_of agrees).
+Report check_tree(const ClockTree& tree, const ZoneMap* zones = nullptr);
+
+/// Cell-library consistency: unique names, positive electrical
+/// parameters, adjustable-parameter coherence, and (as warnings)
+/// monotone sizing within a cell kind — bigger drive must not raise
+/// output resistance or intrinsic delay, nor shrink input capacitance.
+Report check_library(const CellLibrary& lib);
+
+/// MOSP instance shape: positive weight dimension (== |S| when
+/// `expected_dims` is non-zero), at least one row, no empty row, every
+/// vertex weight of dimension `dims`, finite non-negative weights,
+/// in-range option indices. The layered rows/options representation
+/// forbids back edges by construction; these shape rules are exactly
+/// what encodes that layering.
+Report check_mosp(const MospGraph& g, std::size_t expected_dims = 0);
+
+/// Feasible-interval sanity for the output of enumerate_intersections:
+/// per-mode window count, monotone bounds of width <= kappa, non-empty
+/// per-mode candidate intersection for every sink, masks within the
+/// candidate range and reproducible from the stored windows, dof equal
+/// to the surviving-candidate popcount, decreasing-dof ordering.
+Report check_intersections(const Preprocessed& p,
+                           const std::vector<Intersection>& xs, Ps kappa);
+
+/// Aggregate of everything checkable from a standalone design:
+/// check_library + check_tree (+ zones when given).
+Report check_design(const ClockTree& tree, const CellLibrary& lib,
+                    const ZoneMap* zones = nullptr);
+
+/// Phase-boundary escalation: log warnings, and throw wm::Error naming
+/// `phase` and the first few diagnostics if the report contains errors.
+void enforce(const Report& report, const char* phase);
+
+} // namespace wm::verify

@@ -1,0 +1,331 @@
+// wm::verify — every corruption class must fire its rule id, and the
+// clean pipeline must produce zero diagnostics (the checker is only
+// trustworthy if it is silent on healthy designs).
+
+#include <gtest/gtest.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/candidates.hpp"
+#include "core/intervals.hpp"
+#include "core/wavemin.hpp"
+#include "core/wavemin_m.hpp"
+#include "cts/benchmarks.hpp"
+#include "mosp/graph.hpp"
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+#include "verify/verify.hpp"
+
+namespace wm {
+namespace {
+
+ClockTree small_tree(const CellLibrary& lib) {
+  const Cell* buf = &lib.by_name("BUF_X16");
+  ClockTree tree;
+  const NodeId root = tree.add_root({0.0, 0.0}, buf);
+  const NodeId mid = tree.add_node(root, {40.0, 0.0}, buf);
+  for (int i = 0; i < 3; ++i) {
+    const NodeId leaf =
+        tree.add_node(mid, {80.0, 20.0 * static_cast<double>(i)}, buf);
+    tree.node(leaf).sink_cap = 10.0;
+  }
+  return tree;
+}
+
+// --- tree rules ------------------------------------------------------
+
+TEST(VerifyTree, CleanTreeHasNoDiagnostics) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree tree = small_tree(lib);
+  const ZoneMap zones(tree);
+  EXPECT_TRUE(verify::check_tree(tree, &zones).clean());
+}
+
+TEST(VerifyTree, CycleFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  // Re-adopt the mid node as a child of one of its own descendants: the
+  // child walk now revisits it.
+  tree.node(2).children.push_back(1);
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.cycle")) << r.to_string();
+}
+
+TEST(VerifyTree, BrokenParentLinkFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  tree.node(2).parent = 3;  // parent no longer lists node 2 as a child
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.parent-link")) << r.to_string();
+}
+
+TEST(VerifyTree, UnreachableNodeFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  // Detach a leaf from its parent's child list without reparenting it.
+  tree.node(1).children.pop_back();
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.unreachable")) << r.to_string();
+}
+
+TEST(VerifyTree, MissingCellBindingFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  tree.node(2).cell = nullptr;
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.cell-binding")) << r.to_string();
+}
+
+TEST(VerifyTree, NegativeGeometryFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  tree.node(3).wire_len = -1.0;
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.geometry")) << r.to_string();
+}
+
+TEST(VerifyTree, InconsistentModeVectorsFire) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  const Cell* adb = &lib.by_name("ADB_X8");
+  tree.set_cell(2, adb);
+  tree.set_cell(3, adb);
+  tree.node(2).adj_codes = {1, 2, 3};  // three modes here...
+  tree.node(3).adj_codes = {1, 2};     // ...two modes there
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.leaf-polarity")) << r.to_string();
+}
+
+TEST(VerifyTree, CodesOnNonAdjustableCellFire) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  tree.node(2).adj_codes = {5};  // node 2 holds a plain BUF_X16
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.adj-codes")) << r.to_string();
+}
+
+TEST(VerifyTree, OutOfRangeCodeFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  const Cell* adb = &lib.by_name("ADB_X8");
+  tree.set_cell(2, adb);
+  tree.node(2).adj_codes = {adb->adj_max_code + 1};
+  const verify::Report r = verify::check_tree(tree);
+  EXPECT_TRUE(r.has("tree.adj-codes")) << r.to_string();
+}
+
+TEST(VerifyTree, ZoneMembershipCorruptionFires) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = small_tree(lib);
+  const ZoneMap zones(tree);
+  // Move a leaf across the die after the zone map was built: zone
+  // membership is stale but the link structure is still sound.
+  tree.node(2).pos = {1000.0, 1000.0};
+  ClockTree grown = tree;
+  grown.add_node(2, {1010.0, 1000.0}, &lib.by_name("BUF_X8"));
+  const verify::Report r = verify::check_tree(grown, &zones);
+  EXPECT_TRUE(r.has("tree.zone-membership")) << r.to_string();
+}
+
+// --- library rules ---------------------------------------------------
+
+TEST(VerifyLibrary, CleanLibraryHasNoDiagnostics) {
+  const verify::Report r =
+      verify::check_library(CellLibrary::nangate45_like());
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(VerifyLibrary, NegativeCapFires) {
+  CellLibrary lib;
+  Cell bad;
+  bad.name = "BUF_X1";
+  bad.c_in = -0.5;
+  lib.add(bad);
+  const verify::Report r = verify::check_library(lib);
+  EXPECT_TRUE(r.has("lib.nonpositive")) << r.to_string();
+}
+
+TEST(VerifyLibrary, AdjustableMismatchFires) {
+  CellLibrary lib;
+  Cell bad;
+  bad.name = "ADB_X8";
+  bad.kind = CellKind::Adb;
+  bad.adj_step = 4.0;
+  bad.adj_max_code = 0;  // adjustable kind with no usable codes
+  lib.add(bad);
+  const verify::Report r = verify::check_library(lib);
+  EXPECT_TRUE(r.has("lib.adjustable")) << r.to_string();
+}
+
+TEST(VerifyLibrary, NonMonotoneSizingWarns) {
+  CellLibrary lib;
+  Cell x1;
+  x1.name = "BUF_X1";
+  x1.drive = 1;
+  x1.r_out = 1.0;
+  Cell x2 = x1;
+  x2.name = "BUF_X2";
+  x2.drive = 2;
+  x2.r_out = 2.0;  // bigger drive, *higher* output resistance
+  lib.add(x1);
+  lib.add(x2);
+  const verify::Report r = verify::check_library(lib);
+  EXPECT_TRUE(r.has("lib.monotone-sizing")) << r.to_string();
+  EXPECT_EQ(r.error_count(), 0u);  // warning severity
+}
+
+// --- MOSP rules ------------------------------------------------------
+
+MospGraph small_mosp() {
+  MospGraph g;
+  g.dims = 2;
+  g.rows = {{MospVertex{0, {1.0, 2.0}, "a"}},
+            {MospVertex{0, {3.0, 4.0}, "b"},
+             MospVertex{1, {5.0, 6.0}, "c"}}};
+  g.dest_weight = {1.0, 1.0};
+  return g;
+}
+
+TEST(VerifyMosp, CleanGraphHasNoDiagnostics) {
+  EXPECT_TRUE(verify::check_mosp(small_mosp(), 2).clean());
+}
+
+TEST(VerifyMosp, WrongDimensionArcWeightFires) {
+  MospGraph g = small_mosp();
+  g.rows[1][0].weight = {3.0};  // 1-dimensional weight in a 2-dim graph
+  const verify::Report r = verify::check_mosp(g);
+  EXPECT_TRUE(r.has("mosp.weight-dims")) << r.to_string();
+}
+
+TEST(VerifyMosp, DimsSlotMismatchFires) {
+  const verify::Report r = verify::check_mosp(small_mosp(), 5);
+  EXPECT_TRUE(r.has("mosp.dims")) << r.to_string();
+}
+
+TEST(VerifyMosp, EmptyRowFires) {
+  MospGraph g = small_mosp();
+  g.rows[0].clear();
+  const verify::Report r = verify::check_mosp(g);
+  EXPECT_TRUE(r.has("mosp.row-empty")) << r.to_string();
+}
+
+TEST(VerifyMosp, NegativeWeightFires) {
+  MospGraph g = small_mosp();
+  g.dest_weight[1] = -0.5;
+  const verify::Report r = verify::check_mosp(g);
+  EXPECT_TRUE(r.has("mosp.weight-value")) << r.to_string();
+}
+
+// --- interval rules --------------------------------------------------
+
+/// One-sink, one-mode fixture with candidate arrivals {10, 15}.
+Preprocessed small_pre() {
+  Preprocessed p;
+  p.mode_count = 1;
+  SinkInfo s;
+  s.id = 1;
+  s.zone = 0;
+  Candidate c0;
+  c0.arrival = {10.0};
+  Candidate c1;
+  c1.arrival = {15.0};
+  s.candidates = {c0, c1};
+  p.sinks = {s};
+  p.arrival_grid = {{10.0, 15.0}};
+  return p;
+}
+
+Intersection window_all() {
+  Intersection x;
+  x.windows = {TimeWindow{0.0, 20.0}};
+  x.masks = {0b11u};
+  x.dof = 2;
+  return x;
+}
+
+TEST(VerifyInterval, CleanIntersectionHasNoDiagnostics) {
+  const Preprocessed p = small_pre();
+  const verify::Report r =
+      verify::check_intersections(p, {window_all()}, 20.0);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+TEST(VerifyInterval, EmptyModeIntersectionFires) {
+  const Preprocessed p = small_pre();
+  Intersection x = window_all();
+  x.masks = {0u};  // no surviving candidate for the sink
+  x.dof = 0;
+  const verify::Report r = verify::check_intersections(p, {x}, 20.0);
+  EXPECT_TRUE(r.has("interval.empty-mode")) << r.to_string();
+}
+
+TEST(VerifyInterval, StaleMaskFires) {
+  const Preprocessed p = small_pre();
+  Intersection x = window_all();
+  x.windows = {TimeWindow{0.0, 12.0}};  // only candidate 0 is in-window
+  const verify::Report r = verify::check_intersections(p, {x}, 20.0);
+  EXPECT_TRUE(r.has("interval.mask-stale")) << r.to_string();
+}
+
+TEST(VerifyInterval, WindowWiderThanKappaFires) {
+  const Preprocessed p = small_pre();
+  const verify::Report r =
+      verify::check_intersections(p, {window_all()}, 5.0);
+  EXPECT_TRUE(r.has("interval.bounds")) << r.to_string();
+}
+
+TEST(VerifyInterval, WrongDofFires) {
+  const Preprocessed p = small_pre();
+  Intersection x = window_all();
+  x.dof = 7;
+  const verify::Report r = verify::check_intersections(p, {x}, 20.0);
+  EXPECT_TRUE(r.has("interval.dof")) << r.to_string();
+}
+
+// --- pipeline integration --------------------------------------------
+
+TEST(VerifyPipeline, CleanSingleModeFlowRunsWithHooksOn) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  const Characterizer chr(lib);
+  WaveMinOptions opts;
+  opts.verify_invariants = true;
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+
+  const ZoneMap zones(tree);
+  const verify::Report post = verify::check_design(tree, lib, &zones);
+  EXPECT_TRUE(post.clean()) << post.to_string();
+}
+
+TEST(VerifyPipeline, CleanMultiModeFlowRunsWithHooksOn) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const BenchmarkSpec& spec = spec_by_name("s15850");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  CharacterizerOptions co;
+  co.vdds = modes.distinct_vdds();
+  co.temps = modes.distinct_temps();
+  const Characterizer chr(lib, co);
+  WaveMinOptions opts;
+  opts.verify_invariants = true;
+  const WaveMinMResult r = clk_wavemin_m(tree, lib, chr, modes, opts);
+  ASSERT_TRUE(r.opt.success);
+
+  const ZoneMap zones(tree);
+  const verify::Report post = verify::check_design(tree, lib, &zones);
+  EXPECT_TRUE(post.clean()) << post.to_string();
+}
+
+TEST(VerifyPipeline, HookEscalatesCorruptionToError) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  tree.node(3).cell = nullptr;  // corrupt before the flow runs
+  const Characterizer chr(lib);
+  WaveMinOptions opts;
+  opts.verify_invariants = true;
+  EXPECT_THROW(clk_wavemin(tree, lib, chr, opts), Error);
+}
+
+} // namespace
+} // namespace wm

@@ -1,0 +1,179 @@
+// wavemin_lint — standalone driver for the wm::verify invariant checker.
+//
+// Loads a tree (and optionally a cell library), then runs the full rule
+// catalog: library consistency, clock-tree well-formedness + zone
+// membership, and — unless --shallow is given — the pipeline-derived
+// checks (feasible-interval sanity and per-zone MOSP shape) obtained by
+// running the preprocessing on the loaded design.
+//
+// usage:
+//   wavemin_lint <tree.ctree> [--lib cells.lib] [--circuit name]
+//                [--multimode] [--kappa ps] [--samples n] [--shallow]
+//                [--quiet]
+//
+// Exit codes: 0 no diagnostics, 1 usage/load error, 2 diagnostics found.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/candidates.hpp"
+#include "core/intervals.hpp"
+#include "core/noise_model.hpp"
+#include "core/options.hpp"
+#include "core/sampling.hpp"
+#include "cts/benchmarks.hpp"
+#include "io/tree_io.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/zone.hpp"
+#include "util/error.hpp"
+#include "verify/verify.hpp"
+
+using namespace wm;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wavemin_lint <tree.ctree> [--lib cells.lib]\n"
+      "                    [--circuit name] [--multimode]\n"
+      "                    [--kappa ps] [--samples n] [--shallow]\n"
+      "                    [--quiet]\n"
+      "exit codes: 0 clean, 1 usage/load error, 2 diagnostics found\n");
+  return 1;
+}
+
+struct Args {
+  std::string tree_path;
+  std::string lib_path;
+  std::string circuit = "s13207";
+  bool multimode = false;
+  bool shallow = false;
+  bool quiet = false;
+  double kappa = 20.0;
+  int samples = 158;
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    if (t == "--lib" && i + 1 < argc) {
+      a.lib_path = argv[++i];
+    } else if (t == "--circuit" && i + 1 < argc) {
+      a.circuit = argv[++i];
+    } else if (t == "--kappa" && i + 1 < argc) {
+      a.kappa = std::atof(argv[++i]);
+    } else if (t == "--samples" && i + 1 < argc) {
+      a.samples = std::atoi(argv[++i]);
+    } else if (t == "--multimode") {
+      a.multimode = true;
+    } else if (t == "--shallow") {
+      a.shallow = true;
+    } else if (t == "--quiet") {
+      a.quiet = true;
+    } else if (!t.empty() && t[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", t.c_str());
+      return false;
+    } else if (a.tree_path.empty()) {
+      a.tree_path = t;
+    } else {
+      return false;
+    }
+  }
+  return !a.tree_path.empty();
+}
+
+/// Interval + MOSP rules need the preprocessing pipeline: enumerate the
+/// feasible intersections, check them, then check the zone MOSP graphs
+/// built under the best (highest-DOF) intersection.
+verify::Report deep_checks(const ClockTree& tree, const CellLibrary& lib,
+                           const ZoneMap& zones, const Args& a) {
+  verify::Report r;
+
+  ModeSet modes = ModeSet::single();
+  if (a.multimode) {
+    modes = make_mode_set(spec_by_name(a.circuit));
+  } else {
+    int max_island = 0;
+    for (const TreeNode& n : tree.nodes()) {
+      max_island = std::max(max_island, n.island);
+    }
+    modes = ModeSet::single(max_island + 1);
+  }
+
+  CharacterizerOptions co;
+  co.vdds = modes.distinct_vdds();
+  co.temps = modes.distinct_temps();
+  const Characterizer chr(lib, co);
+
+  const Preprocessed pre = preprocess(tree, zones, modes,
+                                      lib.assignment_library(), chr, lib);
+
+  WaveMinOptions opts;
+  opts.kappa = a.kappa;
+  opts.samples = a.samples;
+  const std::vector<Intersection> inters =
+      enumerate_intersections(pre, opts.kappa, opts.dof_beam);
+  r.merge(verify::check_intersections(pre, inters, opts.kappa));
+  if (inters.empty()) {
+    r.warning("interval.none", "",
+              "no feasible intersection at kappa=" +
+                  std::to_string(a.kappa) +
+                  " (skew bound unreachable by sizing alone)");
+    return r;
+  }
+
+  std::vector<std::vector<std::size_t>> zone_sinks(zones.zones().size());
+  for (std::size_t s = 0; s < pre.sinks.size(); ++s) {
+    if (pre.sinks[s].zone < 0) continue;  // reported by check_tree
+    zone_sinks[static_cast<std::size_t>(pre.sinks[s].zone)].push_back(s);
+  }
+  const Intersection& x = inters.front();
+  for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+    if (zone_sinks[z].empty()) continue;
+    const auto slots =
+        build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
+    const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
+                                        zones.zones()[z], x, chr, modes,
+                                        slots, opts);
+    r.merge(verify::check_mosp(g, slots.size()));
+  }
+  return r;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+
+  try {
+    const CellLibrary lib = a.lib_path.empty()
+                                ? CellLibrary::nangate45_like()
+                                : load_library(a.lib_path);
+    const ClockTree tree = load_tree(a.tree_path, lib);
+    const ZoneMap zones(tree);
+
+    verify::Report report = verify::check_design(tree, lib, &zones);
+    // The pipeline-derived checks assume a structurally sound tree; skip
+    // them when the shallow pass already found errors.
+    if (!a.shallow && report.error_count() == 0) {
+      report.merge(deep_checks(tree, lib, zones, a));
+    }
+
+    if (!a.quiet) {
+      std::fputs(report.to_string().c_str(), stdout);
+    }
+    std::printf("%s: %zu error(s), %zu warning(s)\n", a.tree_path.c_str(),
+                report.error_count(), report.warning_count());
+    return report.clean() ? 0 : 2;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
