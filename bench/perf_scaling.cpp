@@ -3,13 +3,22 @@
 // complexity analysis (Sec. V-B/V-C) predicts ClkWaveMin-f ~ O(|S||L|^2)
 // and ClkWaveMin dominated by the interval sweep with memoized zone
 // solves; this bench measures both on a synthetic size ladder.
+//
+// Besides the console table, the measured wall times are exported as
+// wm::obs gauges into BENCH_perf.json (override the path with
+// WAVEMIN_BENCH_JSON; merges with whatever other bench binaries wrote
+// there) — the repo's perf trajectory, one point per commit.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "cells/characterizer.hpp"
 #include "cells/library.hpp"
 #include "core/wavemin.hpp"
 #include "cts/benchmarks.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
 #include "report/table.hpp"
 
 using namespace wm;
@@ -20,6 +29,7 @@ int main() {
 
   Table table({"|L|", "nodes", "zones", "intervals", "wm_ms", "wm4t_ms",
                "wmf_ms"});
+  obs::MetricsRegistry reg;
 
   for (const int n : {100, 200, 400, 800}) {
     const BenchmarkSpec spec = make_scaled_spec(n);
@@ -44,11 +54,26 @@ int main() {
                    wm.success ? Table::num(wm.runtime_ms, 1) : "infsbl",
                    wm4.success ? Table::num(wm4.runtime_ms, 1) : "-",
                    wmf.success ? Table::num(wmf.runtime_ms, 1) : "-"});
+
+    const std::string prefix = "perf_scaling.L" + std::to_string(n);
+    if (wm.success) {
+      reg.gauge_set(prefix + ".wm_ms", wm.runtime_ms);
+      reg.gauge_set(prefix + ".intersections",
+                    static_cast<double>(wm.intersections));
+      reg.gauge_set(prefix + ".zones", static_cast<double>(wm.zones));
+    }
+    if (wm4.success) reg.gauge_set(prefix + ".wm4t_ms", wm4.runtime_ms);
+    if (wmf.success) reg.gauge_set(prefix + ".wmf_ms", wmf.runtime_ms);
   }
 
   std::printf("Scalability — synthetic size ladder (|S|=64, kappa=20ps); "
               "wm4t = 4 worker threads\n\n%s\n",
               table.to_text().c_str());
   table.maybe_export_csv("perf_scaling");
+
+  const char* env = std::getenv("WAVEMIN_BENCH_JSON");
+  const std::string out = env != nullptr ? env : "BENCH_perf.json";
+  obs::merge_into_file(reg.snapshot(), out);
+  std::printf("perf trajectory merged into %s\n", out.c_str());
   return 0;
 }

@@ -1,8 +1,19 @@
 // Runtime microbenchmarks (google-benchmark): the MOSP solvers over
 // zone-scale instances (the Table VI execution-time columns), the
 // characterization step, and the end-to-end optimizations.
+//
+// Per-benchmark real times are additionally exported as wm::obs gauges
+// merged into BENCH_perf.json (override with WAVEMIN_BENCH_JSON) so the
+// perf trajectory covers the microbenches too.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
 
 #include "cells/characterizer.hpp"
 #include "cells/library.hpp"
@@ -133,7 +144,41 @@ void BM_ClkPeakMin(benchmark::State& state) {
 BENCHMARK(BM_ClkPeakMin)->Args({0})->Args({2})->Unit(
     benchmark::kMillisecond);
 
+// Console reporter that also folds every run's per-iteration real time
+// into a metrics registry, keyed by the benchmark's full name.
+class ObsReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ObsReporter(obs::MetricsRegistry* reg) : reg_(reg) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& r : runs) {
+      if (r.iterations == 0) continue;
+      const double ms = r.real_accumulated_time /
+                        static_cast<double>(r.iterations) * 1e3;
+      reg_->gauge_set("perf_solvers." + r.benchmark_name() + ".real_ms",
+                      ms);
+    }
+  }
+
+ private:
+  obs::MetricsRegistry* reg_;
+};
+
 } // namespace
 } // namespace wm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  wm::obs::MetricsRegistry reg;
+  wm::ObsReporter reporter(&reg);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  const char* env = std::getenv("WAVEMIN_BENCH_JSON");
+  const std::string out = env != nullptr ? env : "BENCH_perf.json";
+  wm::obs::merge_into_file(reg.snapshot(), out);
+  std::printf("perf trajectory merged into %s\n", out.c_str());
+  return 0;
+}

@@ -5,6 +5,10 @@
 
 #include "util/units.hpp"
 
+namespace wm::obs {
+class MetricsRegistry;
+} // namespace wm::obs
+
 namespace wm {
 
 /// Default for WaveMinOptions::verify_invariants: debug builds pay for
@@ -63,6 +67,18 @@ struct WaveMinOptions {
   /// Error-severity diagnostic escalates to wm::Error. On by default in
   /// debug builds; force-enable anywhere when chasing corruption.
   bool verify_invariants = kVerifyInvariantsDefault;
+
+  /// Collect wm::obs phase timers / counters / histograms during the
+  /// run (docs/observability.md lists the catalog). Off by default:
+  /// with collection disabled every instrumentation site reduces to one
+  /// null-pointer test — no clock reads, no allocation.
+  bool collect_metrics = false;
+
+  /// Destination registry for collect_metrics. When left null with
+  /// collection enabled, the process-global registry (obs::global(),
+  /// installed by the CLI) is used; if that is also null, metrics are
+  /// silently not collected. Not owned.
+  obs::MetricsRegistry* metrics = nullptr;
 
   // --- XOR-reconfigurable polarity extension ([30],[31]) -------------
   // When enabled (multi-mode designs only), every normal leaf gains

@@ -11,6 +11,7 @@
 #include "core/noise_model.hpp"
 #include "core/sampling.hpp"
 #include "mosp/solver.hpp"
+#include "obs/metrics.hpp"
 #include "tree/zone.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
@@ -20,17 +21,36 @@ namespace wm {
 
 namespace {
 
-MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& o) {
+MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& o,
+                            MospStats* stats) {
   MospSolverOptions so;
   so.epsilon = o.epsilon;
   so.max_labels = o.max_labels;
   switch (o.solver) {
-    case SolverKind::Warburton: return solve_warburton(g, so);
+    case SolverKind::Warburton: return solve_warburton(g, so, stats);
     case SolverKind::Greedy: return solve_greedy(g);
-    case SolverKind::Exact: return solve_exact(g, so);
+    case SolverKind::Exact: return solve_exact(g, so, stats);
     case SolverKind::Exhaustive: return solve_exhaustive(g);
   }
-  return solve_warburton(g, so);
+  return solve_warburton(g, so, stats);
+}
+
+obs::MetricsRegistry* metrics_for(const WaveMinOptions& o) {
+  if (!o.collect_metrics) return nullptr;
+  return o.metrics != nullptr ? o.metrics : obs::global();
+}
+
+/// Fold one zone solve's MOSP search statistics into the registry
+/// (called from worker threads — counter/gauge ops are thread-safe).
+void record_mosp_stats(obs::MetricsRegistry* m, const MospStats& st) {
+  if (m == nullptr) return;
+  m->add("mosp.labels_created", st.labels_created);
+  m->add("mosp.labels_pruned_dominated", st.labels_pruned_dominated);
+  m->add("mosp.labels_pruned_incumbent", st.labels_pruned_incumbent);
+  m->add("mosp.labels_merged_grid", st.labels_merged_grid);
+  if (st.beam_capped) m->add("mosp.beam_capped_solves");
+  m->gauge_max("mosp.frontier_peak",
+               static_cast<double>(st.frontier_peak));
 }
 
 std::size_t zone_mask_key(std::size_t zone_idx,
@@ -57,22 +77,35 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   const auto t0 = std::chrono::steady_clock::now();
   WaveMinResult result;
 
+  obs::MetricsRegistry* m = metrics_for(opts);
+  obs::ScopedPhase phase_run(m, "wavemin");
+  obs::add(m, "wavemin.runs");
+  obs::gauge_set(m, "wavemin.kappa", opts.kappa);
+  obs::gauge_set(m, "wavemin.samples", static_cast<double>(opts.samples));
+
   const ZoneMap zones(tree, opts.zone_tile);
   result.zones = zones.zones().size();
+  obs::gauge_set(m, "wavemin.zones",
+                 static_cast<double>(zones.zones().size()));
 
   XorCandidateOptions xor_opts;
   if (opts.enable_xor_polarity) {
     xor_opts.xor_delay = opts.xor_delay;
     xor_opts.base_cell = lib.find(opts.xor_base_cell);
   }
-  // Check the inputs before preprocess() walks them: a corrupted tree
-  // or library must surface as a diagnostic, not a crash deeper in.
-  if (opts.verify_invariants) {
-    verify::enforce(verify::check_design(tree, lib, &zones), "preprocess");
-  }
-  const Preprocessed pre = preprocess(
-      tree, zones, modes, assignable, chr, lib,
-      opts.enable_xor_polarity ? &xor_opts : nullptr);
+  const Preprocessed pre = [&] {
+    obs::ScopedPhase phase(m, "preprocess");
+    // Check the inputs before preprocess() walks them: a corrupted tree
+    // or library must surface as a diagnostic, not a crash deeper in.
+    if (opts.verify_invariants) {
+      obs::add(m, "verify.hooks_run");
+      verify::enforce(verify::check_design(tree, lib, &zones),
+                      "preprocess");
+    }
+    return preprocess(tree, zones, modes, assignable, chr, lib,
+                      opts.enable_xor_polarity ? &xor_opts : nullptr);
+  }();
+  obs::add(m, "wavemin.sinks", pre.sinks.size());
 
   // Sink indices per zone, in pre.sinks order.
   std::vector<std::vector<std::size_t>> zone_sinks(zones.zones().size());
@@ -84,15 +117,21 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   WM_REQUIRE(opts.skew_guard_band >= 0.0 &&
                  opts.skew_guard_band < opts.kappa,
              "guard band must be in [0, kappa)");
-  const std::vector<Intersection> inters = enumerate_intersections(
-      pre, opts.kappa - opts.skew_guard_band, opts.dof_beam);
-  if (opts.verify_invariants) {
-    verify::enforce(
-        verify::check_intersections(pre, inters,
-                                    opts.kappa - opts.skew_guard_band),
-        "intervals");
-  }
+  const std::vector<Intersection> inters = [&] {
+    obs::ScopedPhase phase(m, "intervals");
+    std::vector<Intersection> xs = enumerate_intersections(
+        pre, opts.kappa - opts.skew_guard_band, opts.dof_beam);
+    if (opts.verify_invariants) {
+      obs::add(m, "verify.hooks_run");
+      verify::enforce(
+          verify::check_intersections(pre, xs,
+                                      opts.kappa - opts.skew_guard_band),
+          "intervals");
+    }
+    return xs;
+  }();
   result.intersections = inters.size();
+  obs::add(m, "wavemin.intersections_feasible", inters.size());
   WM_LOG(Info) << "wavemin: " << pre.sinks.size() << " sinks, "
                << zones.zones().size() << " zones, " << inters.size()
                << " feasible intersections (kappa=" << opts.kappa
@@ -110,8 +149,17 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   const Intersection* best_x = nullptr;
   std::vector<std::vector<int>> best_choices;
 
+  std::size_t nonempty_zones = 0;
+  for (const auto& zs : zone_sinks) {
+    if (!zs.empty()) ++nonempty_zones;
+  }
+  obs::add(m, "wavemin.zones_nonempty", nonempty_zones);
+
   const unsigned n_threads = std::max(1u, opts.threads);
+  {
+  obs::ScopedPhase phase_solve(m, "zone_solve");
   for (const Intersection& x : inters) {
+    obs::add(m, "wavemin.intersections_evaluated");
     // Phase 1: solve the memo misses (optionally in parallel — zones
     // are independent subproblems).
     std::vector<std::size_t> misses;
@@ -121,21 +169,31 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
         misses.push_back(z);
       }
     }
+    obs::add(m, "wavemin.zone_solves", misses.size());
+    obs::add(m, "wavemin.zone_memo_hits", nonempty_zones - misses.size());
     // Zone MOSP verification reports are collected per miss and
     // enforced on the main thread only — workers must not throw.
     std::vector<verify::Report> mosp_reports(
         opts.verify_invariants ? misses.size() : 0);
     auto solve_zone = [&](std::size_t z, verify::Report* vr) {
+      const obs::Nanos zt0 = m != nullptr ? m->now() : 0;
       const auto slots =
           build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
       const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
                                           zones.zones()[z], x, chr,
                                           modes, slots, opts);
       if (vr != nullptr) *vr = verify::check_mosp(g, slots.size());
-      const MospSolution sol = dispatch_solve(g, opts);
+      MospStats mosp_stats;
+      const MospSolution sol =
+          dispatch_solve(g, opts, m != nullptr ? &mosp_stats : nullptr);
       ZoneSolution zs;
       zs.worst = sol.worst;
       zs.choice = sol.choice;
+      if (m != nullptr) {
+        obs::gauge_max(m, "mosp.dims", static_cast<double>(g.dims));
+        record_mosp_stats(m, mosp_stats);
+        m->histogram("wavemin.zone_solve_ms").record_ns(m->now() - zt0);
+      }
       return zs;
     };
     auto report_for = [&](std::size_t i) {
@@ -174,6 +232,7 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
       }
     }
     if (opts.verify_invariants) {
+      obs::add(m, "verify.hooks_run");
       verify::Report merged;
       for (const verify::Report& vr : mosp_reports) merged.merge(vr);
       verify::enforce(merged, "zone-mosp");
@@ -198,6 +257,7 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
       best_choices = std::move(choices);
     }
   }
+  }  // phase zone_solve
 
   WM_ASSERT(best_x != nullptr, "no intersection evaluated");
 
@@ -210,24 +270,30 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   }
 
   // Apply the winning assignment.
-  for (std::size_t z = 0; z < zone_sinks.size(); ++z) {
-    const auto& sinks = zone_sinks[z];
-    const auto& choice = best_choices[z];
-    WM_ASSERT(choice.size() == sinks.size(), "choice/sink size mismatch");
-    for (std::size_t i = 0; i < sinks.size(); ++i) {
-      const SinkInfo& sink = pre.sinks[sinks[i]];
-      const Candidate& cand =
-          sink.candidates[static_cast<std::size_t>(choice[i])];
-      tree.set_cell(sink.id, cand.cell);
-      TreeNode& node = tree.node(sink.id);
-      node.adj_codes = cand.adj_codes;
-      node.xor_negative = cand.xor_negative;
-      node.cell_extra_delay = cand.cell_extra_delay;
+  {
+    obs::ScopedPhase phase_assign(m, "assign");
+    for (std::size_t z = 0; z < zone_sinks.size(); ++z) {
+      const auto& sinks = zone_sinks[z];
+      const auto& choice = best_choices[z];
+      WM_ASSERT(choice.size() == sinks.size(),
+                "choice/sink size mismatch");
+      for (std::size_t i = 0; i < sinks.size(); ++i) {
+        const SinkInfo& sink = pre.sinks[sinks[i]];
+        const Candidate& cand =
+            sink.candidates[static_cast<std::size_t>(choice[i])];
+        tree.set_cell(sink.id, cand.cell);
+        TreeNode& node = tree.node(sink.id);
+        node.adj_codes = cand.adj_codes;
+        node.xor_negative = cand.xor_negative;
+        node.cell_extra_delay = cand.cell_extra_delay;
+      }
+      obs::add(m, "wavemin.leaves_assigned", sinks.size());
     }
-  }
 
-  if (opts.verify_invariants) {
-    verify::enforce(verify::check_tree(tree, &zones), "assignment");
+    if (opts.verify_invariants) {
+      obs::add(m, "verify.hooks_run");
+      verify::enforce(verify::check_tree(tree, &zones), "assignment");
+    }
   }
 
   result.success = true;

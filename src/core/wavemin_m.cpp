@@ -1,5 +1,9 @@
 #include "core/wavemin_m.hpp"
 
+#include <algorithm>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
 #include "verify/verify.hpp"
 
 namespace wm {
@@ -27,11 +31,24 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
   }
 
   // Skew cannot be met by sizing alone: insert ADBs, then re-optimize.
+  obs::MetricsRegistry* m =
+      opts.collect_metrics
+          ? (opts.metrics != nullptr ? opts.metrics : obs::global())
+          : nullptr;
   r.used_adb_flow = true;
-  r.adb = allocate_adbs(tree, lib, modes, opts.kappa);
-  if (opts.verify_invariants) {
-    verify::enforce(verify::check_tree(tree), "adb-allocation");
+  obs::add(m, "adb.flow_invocations");
+  {
+    obs::ScopedPhase phase(m, "adb_allocation");
+    r.adb = allocate_adbs(tree, lib, modes, opts.kappa);
+    if (opts.verify_invariants) {
+      obs::add(m, "verify.hooks_run");
+      verify::enforce(verify::check_tree(tree), "adb-allocation");
+    }
   }
+  obs::add(m, "adb.inserted",
+           static_cast<std::uint64_t>(
+               std::max(0, r.adb.adbs_inserted)));
+  obs::gauge_set(m, "adb.final_worst_skew", r.adb.final_worst_skew);
 
   r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
                       opts);

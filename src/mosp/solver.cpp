@@ -176,6 +176,7 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
       // within this search.
       return incumbent;
     }
+    st.frontier_peak = std::max(st.frontier_peak, next.size());
     labels = std::move(next);
   }
 

@@ -29,6 +29,9 @@ struct MospStats {
   std::size_t labels_pruned_dominated = 0;
   std::size_t labels_pruned_incumbent = 0;
   std::size_t labels_merged_grid = 0;
+  /// Largest surviving label set (Pareto frontier) after any row's
+  /// pruning — the DP's peak working-set size.
+  std::size_t frontier_peak = 0;
   bool beam_capped = false;  ///< true if max_labels truncated the search
 };
 

@@ -1,0 +1,188 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace wm::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_global{nullptr};
+
+thread_local ScopedPhase* t_current_phase = nullptr;
+
+double ns_to_ms(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+
+// Smallest bucket index whose upper bound 2^(kFirstShift+i) holds `ns`;
+// kBuckets = overflow.
+int bucket_index(Nanos ns) {
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (ns <= (Nanos{1} << (Histogram::kFirstShift + i))) return i;
+  }
+  return Histogram::kBuckets;
+}
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+} // namespace
+
+Nanos monotonic_now() {
+  return static_cast<Nanos>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Histogram::record_ns(Nanos ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  atomic_min(min_ns_, ns);
+  atomic_max(max_ns_, ns);
+  bucket_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::record_ms(double ms) {
+  record_ns(ms <= 0.0 ? 0 : static_cast<Nanos>(ms * 1e6));
+}
+
+Histogram::Sample Histogram::sample() const {
+  Sample s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.min_ms = ns_to_ms(min_ns_.load(std::memory_order_relaxed));
+  s.max_ms = ns_to_ms(max_ns_.load(std::memory_order_relaxed));
+  s.sum_ms = ns_to_ms(sum_ns_.load(std::memory_order_relaxed));
+  for (int i = 0; i <= kBuckets; ++i) {
+    const std::uint64_t c = bucket_[i].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    Bucket b;
+    b.le_ms = i == kBuckets
+                  ? std::numeric_limits<double>::infinity()
+                  : ns_to_ms(Nanos{1} << (kFirstShift + i));
+    b.count = c;
+    s.buckets.push_back(b);
+  }
+  return s;
+}
+
+MetricsRegistry::MetricsRegistry() : clock_(&monotonic_now) {}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_[std::string(name)];
+}
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  counter(name).add(delta);
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+void MetricsRegistry::gauge_max(std::string_view name, double value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    it->second = std::max(it->second, value);
+  } else {
+    gauges_.emplace(std::string(name), value);
+  }
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_[std::string(name)];
+}
+
+void MetricsRegistry::observe_ms(std::string_view name, double ms) {
+  histogram(name).record_ms(ms);
+}
+
+void MetricsRegistry::add_phase(std::string_view path, Nanos wall) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = phases_.find(path);
+  if (it == phases_.end()) {
+    it = phases_.emplace(std::string(path), PhaseAgg{}).first;
+  }
+  ++it->second.calls;
+  it->second.total += wall;
+}
+
+void MetricsRegistry::set_clock(ClockFn clock) {
+  clock_ = std::move(clock);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [path, agg] : phases_) {
+    s.phases.push_back({path, agg.calls, ns_to_ms(agg.total)});
+  }
+  for (const auto& [name, c] : counters_) {
+    s.counters.emplace_back(name, c.value());
+  }
+  for (const auto& [name, v] : gauges_) {
+    s.gauges.emplace_back(name, v);
+  }
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h.sample());
+  }
+  return s;  // std::map iteration order keeps every section sorted
+}
+
+ScopedPhase::ScopedPhase(MetricsRegistry* registry, std::string_view name)
+    : registry_(registry) {
+  if (registry_ == nullptr) return;
+  if (t_current_phase != nullptr) {
+    path_.reserve(t_current_phase->path_.size() + 1 + name.size());
+    path_ = t_current_phase->path_;
+    path_ += '/';
+    path_ += name;
+  } else {
+    path_ = name;
+  }
+  parent_ = t_current_phase;
+  t_current_phase = this;
+  start_ = registry_->now();
+}
+
+ScopedPhase::~ScopedPhase() {
+  if (registry_ == nullptr) return;
+  const Nanos end = registry_->now();
+  registry_->add_phase(path_, end >= start_ ? end - start_ : 0);
+  t_current_phase = parent_;
+}
+
+MetricsRegistry* global() {
+  return g_global.load(std::memory_order_acquire);
+}
+
+void install_global(MetricsRegistry* registry) {
+  g_global.store(registry, std::memory_order_release);
+}
+
+} // namespace wm::obs

@@ -1,0 +1,196 @@
+#pragma once
+// wm::obs — low-overhead observability for the WaveMin pipeline.
+//
+// Three primitives, all owned by a MetricsRegistry:
+//   * hierarchical phase timers — RAII ScopedPhase scopes; nesting
+//     builds slash-separated paths ("wavemin/zone_solve") and repeated
+//     entries of the same path aggregate (call count + total wall time),
+//   * named counters (monotonic, atomic — safe to bump from the MOSP
+//     worker pool) and gauges (last-value or running-max doubles),
+//   * log2-bucketed histograms for wall-time distributions (the
+//     per-zone solve times).
+//
+// Everything is opt-in and null-safe: instrumentation sites hold a
+// MetricsRegistry* that is nullptr when collection is off
+// (WaveMinOptions::collect_metrics, default false), and every helper in
+// this header reduces to a single pointer test in that case — no clock
+// reads, no allocation, no locks. Tests assert this no-op path stays
+// allocation-free.
+//
+// Snapshots serialize to a stable, versioned JSON schema
+// (metrics_json.hpp, "wavemin.metrics/v1") and to a human-readable
+// table (report/table). The registry clock is injectable so tests can
+// drive timers with a fake clock.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wm::obs {
+
+/// Schema identifier embedded in every serialized snapshot. Bump the
+/// suffix when the JSON layout changes shape (see docs/observability.md).
+inline constexpr std::string_view kSchemaVersion = "wavemin.metrics/v1";
+
+using Nanos = std::uint64_t;
+using ClockFn = std::function<Nanos()>;
+
+/// std::chrono::steady_clock, as nanoseconds since an arbitrary epoch.
+Nanos monotonic_now();
+
+/// Monotonic atomic counter; relaxed ordering (counts, not fences).
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Fixed log2-bucketed wall-time histogram (nanoseconds internally,
+/// milliseconds at the API). Bucket k counts samples <= 2^(kFirstShift+k)
+/// ns; the last bucket is the overflow. Lock-free recording.
+class Histogram {
+ public:
+  static constexpr int kFirstShift = 10;  ///< first bucket: <= 1024 ns
+  static constexpr int kBuckets = 27;     ///< last finite: ~67 s
+
+  void record_ns(Nanos ns);
+  void record_ms(double ms);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+  struct Bucket {
+    double le_ms = 0.0;       ///< inclusive upper bound (ms); last is +inf
+    std::uint64_t count = 0;  ///< samples in this bucket (not cumulative)
+  };
+  struct Sample {
+    std::uint64_t count = 0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double sum_ms = 0.0;
+    std::vector<Bucket> buckets;  ///< non-empty buckets only
+  };
+  Sample sample() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
+  std::atomic<std::uint64_t> min_ns_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::atomic<std::uint64_t> bucket_[kBuckets + 1] = {};
+};
+
+struct PhaseSample {
+  std::string path;  ///< slash-separated nesting, e.g. "wavemin/assign"
+  std::uint64_t calls = 0;
+  double wall_ms = 0.0;
+};
+
+/// Point-in-time copy of a registry, and the unit serialized to JSON.
+/// All sequences are sorted by key so serialization is stable.
+struct MetricsSnapshot {
+  std::string schema{kSchemaVersion};
+  std::vector<PhaseSample> phases;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Sample>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Stable reference (std::map nodes don't move); hot loops may cache
+  /// it and bump the atomic without touching the registry lock again.
+  Counter& counter(std::string_view name);
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  void gauge_set(std::string_view name, double value);
+  /// Keep the maximum of all observations (Pareto frontier peaks etc.).
+  void gauge_max(std::string_view name, double value);
+
+  Histogram& histogram(std::string_view name);
+  void observe_ms(std::string_view name, double ms);
+
+  /// Aggregate one finished phase scope into the per-path totals.
+  void add_phase(std::string_view path, Nanos wall);
+
+  Nanos now() const { return clock_(); }
+  /// Replace the monotonic clock (tests). Not thread-safe: install
+  /// before handing the registry to workers.
+  void set_clock(ClockFn clock);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  struct PhaseAgg {
+    std::uint64_t calls = 0;
+    Nanos total = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, PhaseAgg, std::less<>> phases_;
+  ClockFn clock_;
+};
+
+/// RAII phase scope. With a null registry the constructor and destructor
+/// do nothing at all — no clock read, no allocation. Nesting is tracked
+/// per thread: a ScopedPhase constructed while another is alive on the
+/// same thread gets "<parent-path>/<name>" as its path.
+class ScopedPhase {
+ public:
+  ScopedPhase(MetricsRegistry* registry, std::string_view name);
+  ~ScopedPhase();
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  MetricsRegistry* registry_;
+  ScopedPhase* parent_ = nullptr;
+  Nanos start_ = 0;
+  std::string path_;
+};
+
+// Null-safe free helpers for instrumentation sites: exactly one pointer
+// test when collection is disabled.
+inline void add(MetricsRegistry* m, std::string_view name,
+                std::uint64_t delta = 1) {
+  if (m != nullptr) m->add(name, delta);
+}
+inline void gauge_set(MetricsRegistry* m, std::string_view name, double v) {
+  if (m != nullptr) m->gauge_set(name, v);
+}
+inline void gauge_max(MetricsRegistry* m, std::string_view name, double v) {
+  if (m != nullptr) m->gauge_max(name, v);
+}
+inline void observe_ms(MetricsRegistry* m, std::string_view name,
+                       double ms) {
+  if (m != nullptr) m->observe_ms(name, ms);
+}
+
+/// Process-global registry for call sites that have no options plumbing
+/// (wave/TreeSim). Null until installed; the CLI installs its registry
+/// for the duration of a metrics-collecting run. Not owned.
+MetricsRegistry* global();
+void install_global(MetricsRegistry* registry);
+
+} // namespace wm::obs

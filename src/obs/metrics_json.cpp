@@ -1,0 +1,542 @@
+#include "obs/metrics_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "report/table.hpp"
+#include "util/error.hpp"
+
+namespace wm::obs {
+
+namespace {
+
+// ---------------------------------------------------------------- emit
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --------------------------------------------------------------- parse
+//
+// Minimal recursive-descent JSON reader — just enough for the metrics
+// schema (objects, arrays, strings, numbers, bools, null). Numbers keep
+// their raw spelling so counters survive as exact uint64.
+
+struct JValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< number spelling as written
+  std::string str;
+  std::vector<JValue> array;
+  std::vector<std::pair<std::string, JValue>> object;
+
+  const JValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JValue parse() {
+    JValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("metrics json: " + what + " at offset " +
+                std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        JValue v;
+        v.kind = JValue::Kind::String;
+        v.str = string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        JValue v;
+        v.kind = JValue::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        JValue v;
+        v.kind = JValue::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return JValue{};
+      }
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            const long cp = std::strtol(hex.c_str(), nullptr, 16);
+            // Metrics names are ASCII; anything else round-trips as '?'.
+            out += cp < 0x80 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  JValue number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JValue v;
+    v.kind = JValue::Kind::Number;
+    v.raw = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(v.raw.c_str(), &end);
+    if (end != v.raw.c_str() + v.raw.size()) fail("bad number");
+    return v;
+  }
+
+  JValue array() {
+    expect('[');
+    JValue v;
+    v.kind = JValue::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JValue object() {
+    expect('{');
+    JValue v;
+    v.kind = JValue::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JValue& require(const JValue& obj, std::string_view key,
+                      JValue::Kind kind, const char* context) {
+  const JValue* v = obj.find(key);
+  WM_REQUIRE(v != nullptr, std::string("metrics json: ") + context +
+                               " missing \"" + std::string(key) + "\"");
+  WM_REQUIRE(v->kind == kind, std::string("metrics json: ") + context +
+                                  " field \"" + std::string(key) +
+                                  "\" has the wrong type");
+  return *v;
+}
+
+double number_or_inf(const JValue& v, const char* context) {
+  if (v.kind == JValue::Kind::String) {
+    if (v.str == "inf") return std::numeric_limits<double>::infinity();
+    if (v.str == "-inf") return -std::numeric_limits<double>::infinity();
+    throw Error(std::string("metrics json: ") + context +
+                ": non-numeric string");
+  }
+  WM_REQUIRE(v.kind == JValue::Kind::Number,
+             std::string("metrics json: ") + context + ": expected number");
+  return v.number;
+}
+
+std::uint64_t to_u64(const JValue& v, const char* context) {
+  WM_REQUIRE(v.kind == JValue::Kind::Number,
+             std::string("metrics json: ") + context + ": expected number");
+  WM_REQUIRE(!v.raw.empty() && v.raw[0] != '-',
+             std::string("metrics json: ") + context + ": negative count");
+  return std::strtoull(v.raw.c_str(), nullptr, 10);
+}
+
+} // namespace
+
+std::string to_json(const MetricsSnapshot& s) {
+  std::ostringstream out;
+  out << "{\n  \"schema\": " << quote(s.schema) << ",\n";
+
+  out << "  \"phases\": [";
+  for (std::size_t i = 0; i < s.phases.size(); ++i) {
+    const PhaseSample& p = s.phases[i];
+    out << (i ? ",\n    " : "\n    ") << "{\"path\": " << quote(p.path)
+        << ", \"calls\": " << p.calls
+        << ", \"wall_ms\": " << fmt_double(p.wall_ms) << "}";
+  }
+  out << (s.phases.empty() ? "]" : "\n  ]") << ",\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < s.counters.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << quote(s.counters[i].first) << ": "
+        << s.counters[i].second;
+  }
+  out << (s.counters.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < s.gauges.size(); ++i) {
+    out << (i ? ",\n    " : "\n    ") << quote(s.gauges[i].first) << ": "
+        << fmt_double(s.gauges[i].second);
+  }
+  out << (s.gauges.empty() ? "}" : "\n  }") << ",\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < s.histograms.size(); ++i) {
+    const auto& [name, h] = s.histograms[i];
+    out << (i ? ",\n    " : "\n    ") << quote(name) << ": {\"count\": "
+        << h.count << ", \"min_ms\": " << fmt_double(h.min_ms)
+        << ", \"max_ms\": " << fmt_double(h.max_ms)
+        << ", \"sum_ms\": " << fmt_double(h.sum_ms) << ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b ? ", " : "") << "{\"le_ms\": "
+          << fmt_double(h.buckets[b].le_ms)
+          << ", \"count\": " << h.buckets[b].count << "}";
+    }
+    out << "]}";
+  }
+  out << (s.histograms.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+MetricsSnapshot parse_metrics_json(std::string_view text) {
+  const JValue root = Parser(text).parse();
+  WM_REQUIRE(root.kind == JValue::Kind::Object,
+             "metrics json: top level must be an object");
+
+  MetricsSnapshot s;
+  s.schema =
+      require(root, "schema", JValue::Kind::String, "top level").str;
+
+  for (const JValue& p :
+       require(root, "phases", JValue::Kind::Array, "top level").array) {
+    WM_REQUIRE(p.kind == JValue::Kind::Object,
+               "metrics json: phase entry must be an object");
+    PhaseSample ps;
+    ps.path = require(p, "path", JValue::Kind::String, "phase").str;
+    ps.calls = to_u64(require(p, "calls", JValue::Kind::Number, "phase"),
+                      "phase calls");
+    ps.wall_ms =
+        require(p, "wall_ms", JValue::Kind::Number, "phase").number;
+    s.phases.push_back(std::move(ps));
+  }
+
+  for (const auto& [name, v] :
+       require(root, "counters", JValue::Kind::Object, "top level")
+           .object) {
+    s.counters.emplace_back(name, to_u64(v, "counter"));
+  }
+
+  for (const auto& [name, v] :
+       require(root, "gauges", JValue::Kind::Object, "top level").object) {
+    s.gauges.emplace_back(name, number_or_inf(v, "gauge"));
+  }
+
+  for (const auto& [name, v] :
+       require(root, "histograms", JValue::Kind::Object, "top level")
+           .object) {
+    WM_REQUIRE(v.kind == JValue::Kind::Object,
+               "metrics json: histogram must be an object");
+    Histogram::Sample h;
+    h.count = to_u64(require(v, "count", JValue::Kind::Number, "histogram"),
+                     "histogram count");
+    h.min_ms =
+        require(v, "min_ms", JValue::Kind::Number, "histogram").number;
+    h.max_ms =
+        require(v, "max_ms", JValue::Kind::Number, "histogram").number;
+    h.sum_ms =
+        require(v, "sum_ms", JValue::Kind::Number, "histogram").number;
+    for (const JValue& b :
+         require(v, "buckets", JValue::Kind::Array, "histogram").array) {
+      WM_REQUIRE(b.kind == JValue::Kind::Object,
+                 "metrics json: bucket must be an object");
+      Histogram::Bucket bk;
+      const JValue* le = b.find("le_ms");
+      WM_REQUIRE(le != nullptr, "metrics json: bucket missing le_ms");
+      bk.le_ms = number_or_inf(*le, "bucket le_ms");
+      bk.count = to_u64(require(b, "count", JValue::Kind::Number, "bucket"),
+                        "bucket count");
+      h.buckets.push_back(bk);
+    }
+    s.histograms.emplace_back(name, std::move(h));
+  }
+  return s;
+}
+
+std::vector<std::string> validate(const MetricsSnapshot& s) {
+  std::vector<std::string> problems;
+  if (s.schema != kSchemaVersion) {
+    problems.push_back("schema is \"" + s.schema + "\", expected \"" +
+                       std::string(kSchemaVersion) + "\"");
+  }
+  auto check_sorted = [&problems](const auto& seq, auto key,
+                                  const char* what) {
+    for (std::size_t i = 1; i < seq.size(); ++i) {
+      if (!(key(seq[i - 1]) < key(seq[i]))) {
+        problems.push_back(std::string(what) + " keys not sorted/unique: \"" +
+                           key(seq[i]) + "\"");
+      }
+    }
+  };
+  check_sorted(s.phases, [](const PhaseSample& p) { return p.path; },
+               "phase");
+  check_sorted(s.counters, [](const auto& c) { return c.first; },
+               "counter");
+  check_sorted(s.gauges, [](const auto& g) { return g.first; }, "gauge");
+  check_sorted(s.histograms, [](const auto& h) { return h.first; },
+               "histogram");
+
+  for (const PhaseSample& p : s.phases) {
+    if (p.path.empty()) problems.push_back("phase with empty path");
+    if (p.calls == 0) problems.push_back("phase " + p.path + ": 0 calls");
+    if (!(p.wall_ms >= 0.0)) {
+      problems.push_back("phase " + p.path + ": negative wall_ms");
+    }
+  }
+  for (const auto& [name, v] : s.gauges) {
+    if (std::isnan(v)) problems.push_back("gauge " + name + ": NaN");
+  }
+  for (const auto& [name, h] : s.histograms) {
+    std::uint64_t bucket_total = 0;
+    double prev = -1.0;
+    for (const Histogram::Bucket& b : h.buckets) {
+      bucket_total += b.count;
+      if (!(b.le_ms > prev)) {
+        problems.push_back("histogram " + name + ": buckets not sorted");
+      }
+      prev = b.le_ms;
+    }
+    if (bucket_total != h.count) {
+      problems.push_back("histogram " + name +
+                         ": bucket counts do not sum to count");
+    }
+    if (h.count > 0 && !(h.min_ms <= h.max_ms)) {
+      problems.push_back("histogram " + name + ": min_ms > max_ms");
+    }
+    if (!(h.sum_ms >= 0.0)) {
+      problems.push_back("histogram " + name + ": negative sum_ms");
+    }
+  }
+  return problems;
+}
+
+void write_json_file(const MetricsSnapshot& s, const std::string& path) {
+  std::ofstream out(path);
+  WM_REQUIRE(out.good(), "cannot open " + path + " for writing");
+  out << to_json(s);
+  out.flush();
+  WM_REQUIRE(out.good(), "failed writing " + path);
+}
+
+MetricsSnapshot read_json_file(const std::string& path) {
+  std::ifstream in(path);
+  WM_REQUIRE(in.good(), "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_metrics_json(buf.str());
+}
+
+void merge(MetricsSnapshot& into, const MetricsSnapshot& from) {
+  auto overlay = [](auto& dst, const auto& src, auto key) {
+    for (const auto& entry : src) {
+      bool replaced = false;
+      for (auto& existing : dst) {
+        if (key(existing) == key(entry)) {
+          existing = entry;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) dst.push_back(entry);
+    }
+    std::sort(dst.begin(), dst.end(),
+              [&key](const auto& a, const auto& b) {
+                return key(a) < key(b);
+              });
+  };
+  overlay(into.phases, from.phases,
+          [](const PhaseSample& p) -> const std::string& { return p.path; });
+  overlay(into.counters, from.counters,
+          [](const auto& c) -> const std::string& { return c.first; });
+  overlay(into.gauges, from.gauges,
+          [](const auto& g) -> const std::string& { return g.first; });
+  overlay(into.histograms, from.histograms,
+          [](const auto& h) -> const std::string& { return h.first; });
+  into.schema = from.schema;
+}
+
+void merge_into_file(const MetricsSnapshot& snapshot,
+                     const std::string& path) {
+  MetricsSnapshot combined;
+  try {
+    combined = read_json_file(path);
+  } catch (const Error&) {
+    // First write, or a stale/corrupt file: start over.
+    combined = MetricsSnapshot{};
+  }
+  merge(combined, snapshot);
+  write_json_file(combined, path);
+}
+
+Table to_table(const MetricsSnapshot& s) {
+  Table t({"metric", "kind", "value", "detail"});
+  for (const PhaseSample& p : s.phases) {
+    t.add_row({p.path, "phase", Table::num(p.wall_ms, 3) + " ms",
+               "calls=" + std::to_string(p.calls)});
+  }
+  for (const auto& [name, v] : s.counters) {
+    t.add_row({name, "counter", std::to_string(v), ""});
+  }
+  for (const auto& [name, v] : s.gauges) {
+    t.add_row({name, "gauge", Table::num(v, 4), ""});
+  }
+  for (const auto& [name, h] : s.histograms) {
+    t.add_row({name, "histogram", std::to_string(h.count) + " samples",
+               h.count == 0
+                   ? ""
+                   : Table::num(h.min_ms, 3) + "/" +
+                         Table::num(h.sum_ms /
+                                        static_cast<double>(h.count),
+                                    3) +
+                         "/" + Table::num(h.max_ms, 3) +
+                         " ms min/mean/max"});
+  }
+  return t;
+}
+
+} // namespace wm::obs

@@ -1,0 +1,68 @@
+#pragma once
+// Serialization of obs::MetricsSnapshot to the versioned
+// "wavemin.metrics/v1" JSON schema, the matching parser (round-trip —
+// what tools wrote, tools and tests can read back), structural
+// validation, and a human-readable rendering via report/table.
+//
+// Schema (all sections always present, keys sorted):
+//   {
+//     "schema": "wavemin.metrics/v1",
+//     "phases": [{"path": "wavemin/assign", "calls": 1, "wall_ms": 0.2}],
+//     "counters": {"mosp.labels_created": 1234},
+//     "gauges": {"wavemin.kappa": 20.0},
+//     "histograms": {
+//       "wavemin.zone_solve_ms": {
+//         "count": 10, "min_ms": 0.01, "max_ms": 2.5, "sum_ms": 6.0,
+//         "buckets": [{"le_ms": 0.262144, "count": 7}, ...]
+//       }
+//     }
+//   }
+// An overflow histogram bucket serializes its bound as the string "inf".
+// The full metric catalog lives in docs/observability.md.
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace wm {
+class Table;
+} // namespace wm
+
+namespace wm::obs {
+
+/// Stable serialization: sections and keys in sorted order, fixed
+/// number formatting — equal snapshots produce byte-identical JSON.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Parse JSON previously produced by to_json (or hand-written in the
+/// same schema). Throws wm::Error on malformed JSON or schema shape
+/// violations (wrong types, missing required fields).
+MetricsSnapshot parse_metrics_json(std::string_view text);
+
+/// Structural validation beyond what parsing enforces: schema version
+/// match, sorted unique keys, non-negative times and counts. Returns a
+/// human-readable problem list; empty means valid.
+std::vector<std::string> validate(const MetricsSnapshot& snapshot);
+
+/// Whole-file helpers; both throw wm::Error on I/O failure.
+void write_json_file(const MetricsSnapshot& snapshot,
+                     const std::string& path);
+MetricsSnapshot read_json_file(const std::string& path);
+
+/// Merge `from` into `into` section-by-section (keyed by metric name /
+/// phase path); `from` wins on collisions. Used by the bench harness so
+/// several binaries can accumulate into one BENCH_perf.json.
+void merge(MetricsSnapshot& into, const MetricsSnapshot& from);
+
+/// Merge this snapshot into the JSON file at `path`: parse what is
+/// there (a missing or unreadable file starts fresh), overlay
+/// `snapshot`, write back.
+void merge_into_file(const MetricsSnapshot& snapshot,
+                     const std::string& path);
+
+/// Human-readable rendering — one row per metric with kind and value
+/// (phase wall times, counter totals, gauge values, histogram spreads).
+Table to_table(const MetricsSnapshot& snapshot);
+
+} // namespace wm::obs

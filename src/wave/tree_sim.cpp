@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "timing/arrival.hpp"
 #include "util/error.hpp"
 
@@ -22,6 +23,12 @@ TreeSim::TreeSim(const ClockTree& tree, const ModeSet& modes,
                  std::size_t mode_index, TreeSimOptions opts)
     : tree_(tree), opts_(std::move(opts)) {
   WM_REQUIRE(!tree.empty(), "empty tree");
+  // TreeSim has no options plumbing back to the caller, so it reports
+  // to the process-global registry when one is installed (the CLI's
+  // --metrics / --metrics-out runs).
+  obs::ScopedPhase phase_sim(obs::global(), "tree_sim");
+  obs::add(obs::global(), "tree_sim.runs");
+  obs::add(obs::global(), "tree_sim.nodes_simulated", tree.size());
   const std::size_t n = tree.size();
   input_arrival_.assign(n, 0.0);
   output_arrival_.assign(n, 0.0);

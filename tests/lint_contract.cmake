@@ -1,0 +1,41 @@
+# Exit-code contract test for tools/wavemin_lint, run via
+#   cmake -DLINT=<lint> -DCLI=<cli> -DWORK=<scratch dir> -P lint_contract.cmake
+# Contract (see wavemin_lint.cpp): 0 = no diagnostics, 1 = usage/load
+# error, 2 = diagnostics found.
+
+foreach(var LINT CLI WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK})
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+        "expected exit ${code}, got '${rv}' from: ${ARGN}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+# Generate a clean benchmark tree to lint.
+expect_exit(0 ${CLI} gen s13207 -o ${WORK}/clean.ctree)
+
+# 0: a freshly generated tree has no diagnostics (deep checks included).
+expect_exit(0 ${LINT} ${WORK}/clean.ctree --quiet)
+
+# 1: load errors (missing file) and usage errors (no tree argument).
+expect_exit(1 ${LINT} ${WORK}/does_not_exist.ctree)
+expect_exit(1 ${LINT})
+
+# 2: diagnostics found — an unreachable skew bound makes the deep
+# interval check report "interval.none". (Corrupt-but-loadable trees
+# are exercised at the API level by tests/verify_test.cpp.)
+expect_exit(2 ${LINT} ${WORK}/clean.ctree --kappa 0.001 --quiet)
+
+message(STATUS "wavemin_lint exit-code contract holds")

@@ -1,0 +1,319 @@
+// Tests for the wm::obs observability layer: hierarchical phase timers
+// driven by a fake clock, counter/histogram atomicity under a worker
+// pool, the versioned JSON schema (serialize -> parse -> compare), and
+// the zero-allocation guarantee of the disabled (null-registry) path.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+#include "util/error.hpp"
+
+// ---------------------------------------------------------------------
+// Global allocation tracking for the no-op-path test. Replacing the
+// global operator new is binary-wide, so the counter only flips on
+// inside the measured region (single-threaded, no gtest allocations).
+namespace {
+std::atomic<std::size_t> g_alloc_count{0};
+std::atomic<bool> g_alloc_tracking{false};
+
+void* tracked_alloc(std::size_t n) {
+  if (g_alloc_tracking.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(n == 0 ? 1 : n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+} // namespace
+
+void* operator new(std::size_t n) { return tracked_alloc(n); }
+void* operator new[](std::size_t n) { return tracked_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace wm {
+namespace {
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& s,
+                            std::string_view name) {
+  for (const auto& [n, v] : s.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter " << name << " not found";
+  return 0;
+}
+
+// ------------------------------------------------------------- timers
+
+TEST(ObsTimerTest, NestedScopesBuildPathsAndAggregateAcrossCalls) {
+  obs::MetricsRegistry reg;
+  std::uint64_t fake_now = 0;
+  reg.set_clock([&fake_now] { return fake_now; });
+
+  for (int i = 0; i < 2; ++i) {
+    obs::ScopedPhase outer(&reg, "outer");
+    fake_now += 5'000'000;  // 5 ms
+    {
+      obs::ScopedPhase inner(&reg, "inner");
+      fake_now += 2'000'000;  // 2 ms
+    }
+    fake_now += 1'000'000;  // 1 ms
+  }
+
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.phases.size(), 2u);
+  EXPECT_EQ(s.phases[0].path, "outer");
+  EXPECT_EQ(s.phases[0].calls, 2u);
+  EXPECT_NEAR(s.phases[0].wall_ms, 16.0, 1e-9);  // 2 * (5 + 2 + 1)
+  EXPECT_EQ(s.phases[1].path, "outer/inner");
+  EXPECT_EQ(s.phases[1].calls, 2u);
+  EXPECT_NEAR(s.phases[1].wall_ms, 4.0, 1e-9);
+}
+
+TEST(ObsTimerTest, SiblingScopesShareTheParentPrefix) {
+  obs::MetricsRegistry reg;
+  std::uint64_t fake_now = 0;
+  reg.set_clock([&fake_now] { return fake_now; });
+
+  {
+    obs::ScopedPhase run(&reg, "run");
+    {
+      obs::ScopedPhase a(&reg, "a");
+      fake_now += 1'000'000;
+    }
+    {
+      obs::ScopedPhase b(&reg, "b");
+      fake_now += 3'000'000;
+    }
+  }
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.phases.size(), 3u);
+  EXPECT_EQ(s.phases[0].path, "run");
+  EXPECT_NEAR(s.phases[0].wall_ms, 4.0, 1e-9);
+  EXPECT_EQ(s.phases[1].path, "run/a");
+  EXPECT_EQ(s.phases[2].path, "run/b");
+  EXPECT_NEAR(s.phases[2].wall_ms, 3.0, 1e-9);
+}
+
+TEST(ObsTimerTest, RealClockIsMonotonicNonNegative) {
+  obs::MetricsRegistry reg;
+  {
+    obs::ScopedPhase p(&reg, "tick");
+  }
+  const obs::MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.phases.size(), 1u);
+  EXPECT_GE(s.phases[0].wall_ms, 0.0);
+}
+
+// ----------------------------------------------------------- counters
+
+TEST(ObsCounterTest, AtomicUnderWorkerPool) {
+  obs::MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&reg] {
+      // Half through a cached handle (the hot-loop pattern), half
+      // through the by-name path, plus histogram + gauge_max traffic.
+      obs::Counter& handle = reg.counter("pool.handle");
+      for (int i = 0; i < kPerThread; ++i) {
+        handle.add(1);
+        reg.add("pool.by_name", 2);
+        reg.histogram("pool.hist").record_ns(1000 + i);
+        reg.gauge_max("pool.max", static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  const obs::MetricsSnapshot s = reg.snapshot();
+  EXPECT_EQ(counter_value(s, "pool.handle"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(counter_value(s, "pool.by_name"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread * 2);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (const auto& b : s.histograms[0].second.buckets) {
+    bucket_total += b.count;
+  }
+  EXPECT_EQ(bucket_total, s.histograms[0].second.count);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, kPerThread - 1);
+}
+
+TEST(ObsHistogramTest, TracksMinMaxSumAndBuckets) {
+  obs::Histogram h;
+  h.record_ms(0.5);
+  h.record_ms(2.0);
+  h.record_ms(0.001);
+  const obs::Histogram::Sample s = h.sample();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.min_ms, 0.001, 1e-9);
+  EXPECT_NEAR(s.max_ms, 2.0, 1e-9);
+  EXPECT_NEAR(s.sum_ms, 2.501, 1e-9);
+  EXPECT_FALSE(s.buckets.empty());
+}
+
+TEST(ObsHistogramTest, EmptySampleIsAllZero) {
+  obs::Histogram h;
+  const obs::Histogram::Sample s = h.sample();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.min_ms, 0.0);
+  EXPECT_EQ(s.max_ms, 0.0);
+  EXPECT_TRUE(s.buckets.empty());
+}
+
+// --------------------------------------------------------------- JSON
+
+obs::MetricsSnapshot populated_snapshot() {
+  obs::MetricsRegistry reg;
+  std::uint64_t fake_now = 0;
+  reg.set_clock([&fake_now] { return fake_now; });
+  {
+    obs::ScopedPhase run(&reg, "run");
+    fake_now += 7'500'000;
+    obs::ScopedPhase inner(&reg, "inner");
+    fake_now += 500'000;
+  }
+  reg.add("c.one", 1);
+  reg.add("c.big", 123456789);
+  reg.gauge_set("g.pi", 3.14159);
+  reg.gauge_max("g.max", 7.0);
+  reg.histogram("h.times").record_ms(0.25);
+  reg.histogram("h.times").record_ms(1.75);
+  return reg.snapshot();
+}
+
+TEST(ObsJsonTest, RoundTripPreservesEverything) {
+  const obs::MetricsSnapshot before = populated_snapshot();
+  EXPECT_TRUE(obs::validate(before).empty());
+
+  const std::string json = obs::to_json(before);
+  const obs::MetricsSnapshot after = obs::parse_metrics_json(json);
+  EXPECT_TRUE(obs::validate(after).empty());
+
+  EXPECT_EQ(after.schema, std::string(obs::kSchemaVersion));
+  ASSERT_EQ(after.phases.size(), before.phases.size());
+  for (std::size_t i = 0; i < before.phases.size(); ++i) {
+    EXPECT_EQ(after.phases[i].path, before.phases[i].path);
+    EXPECT_EQ(after.phases[i].calls, before.phases[i].calls);
+    EXPECT_NEAR(after.phases[i].wall_ms, before.phases[i].wall_ms, 1e-9);
+  }
+  ASSERT_EQ(after.counters.size(), before.counters.size());
+  EXPECT_EQ(after.counters, before.counters);
+  ASSERT_EQ(after.gauges.size(), before.gauges.size());
+  for (std::size_t i = 0; i < before.gauges.size(); ++i) {
+    EXPECT_EQ(after.gauges[i].first, before.gauges[i].first);
+    EXPECT_NEAR(after.gauges[i].second, before.gauges[i].second, 1e-9);
+  }
+  ASSERT_EQ(after.histograms.size(), before.histograms.size());
+  for (std::size_t i = 0; i < before.histograms.size(); ++i) {
+    const auto& [bn, bh] = before.histograms[i];
+    const auto& [an, ah] = after.histograms[i];
+    EXPECT_EQ(an, bn);
+    EXPECT_EQ(ah.count, bh.count);
+    EXPECT_NEAR(ah.min_ms, bh.min_ms, 1e-9);
+    EXPECT_NEAR(ah.max_ms, bh.max_ms, 1e-9);
+    EXPECT_NEAR(ah.sum_ms, bh.sum_ms, 1e-9);
+    ASSERT_EQ(ah.buckets.size(), bh.buckets.size());
+  }
+
+  // A second serialization of the parsed snapshot is byte-identical —
+  // the schema is stable under round trips (merge_into_file relies on
+  // this to accumulate trajectory points without drift).
+  EXPECT_EQ(obs::to_json(after), json);
+}
+
+TEST(ObsJsonTest, MalformedInputThrows) {
+  EXPECT_THROW(obs::parse_metrics_json("{"), Error);
+  EXPECT_THROW(obs::parse_metrics_json("[]"), Error);
+  EXPECT_THROW(obs::parse_metrics_json("{\"schema\": 3}"), Error);
+  EXPECT_THROW(obs::parse_metrics_json(
+                   "{\"schema\": \"wavemin.metrics/v1\"}"),
+               Error);  // missing sections
+}
+
+TEST(ObsJsonTest, ValidateFlagsSchemaAndShapeProblems) {
+  obs::MetricsSnapshot s = populated_snapshot();
+  s.schema = "wavemin.metrics/v999";
+  EXPECT_FALSE(obs::validate(s).empty());
+
+  obs::MetricsSnapshot unsorted = populated_snapshot();
+  std::swap(unsorted.counters[0], unsorted.counters[1]);
+  EXPECT_FALSE(obs::validate(unsorted).empty());
+}
+
+TEST(ObsJsonTest, CheckedInFixtureParsesAndValidates) {
+  const std::string path =
+      std::string(WAVEMIN_TEST_DATA_DIR) + "/metrics_example_v1.json";
+  const obs::MetricsSnapshot s = obs::read_json_file(path);
+  EXPECT_EQ(s.schema, std::string(obs::kSchemaVersion));
+  EXPECT_TRUE(obs::validate(s).empty());
+  EXPECT_FALSE(s.phases.empty());
+  EXPECT_FALSE(s.counters.empty());
+  EXPECT_FALSE(s.histograms.empty());
+}
+
+TEST(ObsJsonTest, MergePrefersNewValuesAndKeepsOld) {
+  obs::MetricsSnapshot a;
+  a.counters = {{"keep", 1}, {"clash", 2}};
+  obs::MetricsSnapshot b;
+  b.counters = {{"clash", 9}, {"new", 3}};
+  obs::merge(a, b);
+  ASSERT_EQ(a.counters.size(), 3u);
+  EXPECT_EQ(a.counters[0], (std::pair<std::string, std::uint64_t>{
+                               "clash", 9}));
+  EXPECT_EQ(a.counters[1],
+            (std::pair<std::string, std::uint64_t>{"keep", 1}));
+  EXPECT_EQ(a.counters[2],
+            (std::pair<std::string, std::uint64_t>{"new", 3}));
+}
+
+// -------------------------------------------------------- no-op path
+
+TEST(ObsNoopTest, NullRegistryAllocatesNothingAndReadsNoClock) {
+  obs::MetricsRegistry* off = nullptr;
+
+  g_alloc_count.store(0);
+  g_alloc_tracking.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    obs::ScopedPhase phase(off, "a-phase-name-long-enough-to-heap");
+    obs::add(off, "some.counter", 3);
+    obs::gauge_set(off, "some.gauge", 1.0);
+    obs::gauge_max(off, "some.gauge", 2.0);
+    obs::observe_ms(off, "some.histogram", 0.5);
+  }
+  g_alloc_tracking.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+}
+
+TEST(ObsNoopTest, GlobalRegistryDefaultsToNull) {
+  // Nothing in the test binary installed one; library code guarded by
+  // obs::global() must therefore be a no-op here.
+  EXPECT_EQ(obs::global(), nullptr);
+  obs::MetricsRegistry reg;
+  obs::install_global(&reg);
+  EXPECT_EQ(obs::global(), &reg);
+  obs::install_global(nullptr);
+  EXPECT_EQ(obs::global(), nullptr);
+}
+
+} // namespace
+} // namespace wm

@@ -3,18 +3,46 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string_view>
+
 #include "cells/characterizer.hpp"
 #include "cells/library.hpp"
 #include "core/evaluate.hpp"
 #include "core/wavemin.hpp"
 #include "core/wavemin_m.hpp"
 #include "cts/benchmarks.hpp"
+#include "obs/metrics.hpp"
 #include "peakmin/clkpeakmin.hpp"
 #include "timing/arrival.hpp"
 #include "tree/zone.hpp"
 
 namespace wm {
 namespace {
+
+std::uint64_t counter_of(const obs::MetricsSnapshot& s,
+                         std::string_view name) {
+  for (const auto& [k, v] : s.counters) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "counter not in snapshot: " << name;
+  return 0;
+}
+
+double gauge_of(const obs::MetricsSnapshot& s, std::string_view name) {
+  for (const auto& [k, v] : s.gauges) {
+    if (k == name) return v;
+  }
+  ADD_FAILURE() << "gauge not in snapshot: " << name;
+  return 0.0;
+}
+
+bool has_phase(const obs::MetricsSnapshot& s, std::string_view path) {
+  for (const auto& p : s.phases) {
+    if (p.path == path) return true;
+  }
+  return false;
+}
 
 class PipelineTest : public ::testing::Test {
  protected:
@@ -98,6 +126,98 @@ TEST_F(PipelineTest, GreedyVariantRunsFast) {
   opts.samples = 32;
   const WaveMinResult r = clk_wavemin_f(tree, lib, chr, opts);
   EXPECT_TRUE(r.success);
+}
+
+TEST_F(PipelineTest, MetricsReconcileWithSingleModeResult) {
+  // The wm::obs counters must agree with what the optimizer reports and
+  // with the tree itself; a drifting counter means dead instrumentation.
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree tree = make_benchmark(spec, lib);
+  Characterizer chr(lib);
+
+  obs::MetricsRegistry reg;
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.samples = 32;
+  opts.collect_metrics = true;
+  opts.metrics = &reg;
+  opts.verify_invariants = true;  // hooks count only when enabled
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+
+  const obs::MetricsSnapshot s = reg.snapshot();
+
+  // Problem-size counters match the tree and the result struct.
+  EXPECT_EQ(counter_of(s, "wavemin.runs"), 1u);
+  EXPECT_EQ(counter_of(s, "wavemin.sinks"), tree.leaf_count());
+  EXPECT_EQ(counter_of(s, "wavemin.leaves_assigned"), tree.leaf_count());
+  EXPECT_EQ(counter_of(s, "wavemin.intersections_feasible"),
+            r.intersections);
+  EXPECT_DOUBLE_EQ(gauge_of(s, "wavemin.zones"),
+                   static_cast<double>(r.zones));
+  EXPECT_DOUBLE_EQ(gauge_of(s, "wavemin.samples"), 32.0);
+  EXPECT_DOUBLE_EQ(gauge_of(s, "wavemin.kappa"), 20.0);
+  // Single-mode: the sampling dimension of every MOSP instance is |S|.
+  EXPECT_DOUBLE_EQ(gauge_of(s, "mosp.dims"), 32.0);
+
+  // Memoization bookkeeping: every (zone, intersection) pair is either
+  // a fresh solve or a memo hit.
+  const std::uint64_t nonempty = counter_of(s, "wavemin.zones_nonempty");
+  const std::uint64_t evaluated =
+      counter_of(s, "wavemin.intersections_evaluated");
+  EXPECT_EQ(counter_of(s, "wavemin.zone_solves") +
+                counter_of(s, "wavemin.zone_memo_hits"),
+            nonempty * evaluated);
+  EXPECT_GT(counter_of(s, "mosp.labels_created"), 0u);
+
+  // The zone-solve histogram saw exactly one sample per fresh solve.
+  bool found_hist = false;
+  for (const auto& [k, h] : s.histograms) {
+    if (k == "wavemin.zone_solve_ms") {
+      found_hist = true;
+      EXPECT_EQ(h.count, counter_of(s, "wavemin.zone_solves"));
+    }
+  }
+  EXPECT_TRUE(found_hist);
+
+  // All pipeline phases appear, correctly nested under the root.
+  EXPECT_TRUE(has_phase(s, "wavemin"));
+  EXPECT_TRUE(has_phase(s, "wavemin/preprocess"));
+  EXPECT_TRUE(has_phase(s, "wavemin/intervals"));
+  EXPECT_TRUE(has_phase(s, "wavemin/zone_solve"));
+  EXPECT_TRUE(has_phase(s, "wavemin/assign"));
+  EXPECT_GT(counter_of(s, "verify.hooks_run"), 0u);
+}
+
+TEST_F(PipelineTest, MetricsReconcileWithMultiModeResult) {
+  const BenchmarkSpec& spec = spec_by_name("s13207");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  Characterizer chr(lib, [] {
+    CharacterizerOptions o;
+    o.vdds = {tech::kVddLow, tech::kVddNominal};
+    return o;
+  }());
+
+  obs::MetricsRegistry reg;
+  WaveMinOptions opts;
+  opts.kappa = 110.0;
+  opts.samples = 16;
+  opts.collect_metrics = true;
+  opts.metrics = &reg;
+  const WaveMinMResult r = clk_wavemin_m(tree, lib, chr, modes, opts);
+  ASSERT_TRUE(r.opt.success);
+
+  const obs::MetricsSnapshot s = reg.snapshot();
+  EXPECT_GE(counter_of(s, "wavemin.runs"), 1u);
+  EXPECT_TRUE(has_phase(s, "wavemin"));
+  // Multi-mode MOSP weight vectors are |S| * |modes| wide.
+  EXPECT_DOUBLE_EQ(gauge_of(s, "mosp.dims"),
+                   16.0 * static_cast<double>(modes.count()));
+  if (r.used_adb_flow) {
+    EXPECT_GE(counter_of(s, "adb.flow_invocations"), 1u);
+    EXPECT_TRUE(has_phase(s, "adb_allocation"));
+  }
 }
 
 TEST_F(PipelineTest, MultiModeFlowMeetsSkewInAllModes) {

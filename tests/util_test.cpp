@@ -80,6 +80,36 @@ TEST(StatsTest, BasicAggregates) {
   EXPECT_THROW(min_of(std::vector<double>{}), Error);
 }
 
+TEST(StatsTest, DegenerateInputsReturnDocumentedZeros) {
+  // The documented contract (util/stats.hpp): 0 for n < 2 spans and for
+  // constant/zero-mean series — never NaN, so downstream report code
+  // can format results unconditionally.
+  const std::vector<double> empty{};
+  const std::vector<double> one{7.5};
+  const std::vector<double> constant{3.0, 3.0, 3.0, 3.0};
+  const std::vector<double> zero_mean{-2.0, -1.0, 1.0, 2.0};
+
+  EXPECT_DOUBLE_EQ(stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(constant), 0.0);
+
+  EXPECT_DOUBLE_EQ(normalized_stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_stddev(one), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_stddev(constant), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_stddev(zero_mean), 0.0);  // mean == 0 guard
+
+  const std::vector<double> rising{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(pearson(constant, rising), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(rising, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(constant, constant), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(one, one), 0.0);
+
+  // None of the degenerate paths may leak a NaN.
+  EXPECT_FALSE(std::isnan(normalized_stddev(zero_mean)));
+  EXPECT_FALSE(std::isnan(pearson(constant, constant)));
+}
+
 TEST(StatsTest, PearsonCorrelation) {
   const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
   const std::vector<double> up{2.0, 4.0, 6.0, 8.0};

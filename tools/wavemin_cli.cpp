@@ -14,7 +14,13 @@
 //   --epsilon <e>       Warburton scaling     (default 0.01)
 //   --xor               enable XOR-reconfigurable polarity
 //   --circuit <name>    mode set source for wavemin-m (default s13207)
+//   --metrics           print a wm::obs metrics table to stderr
+//   --metrics-out <f>   write wm::obs metrics as JSON (observability.md)
 //   -o <path>           output tree           (default: overwrite input)
+//
+// `metrics-check <file> [--schema <fixture>]` parses a metrics JSON
+// file, validates it structurally, and (with --schema) checks its
+// schema version against a reference fixture. Exit 0 valid, 1 not.
 //
 // Exit codes: 0 success, 1 usage error, 2 optimization infeasible.
 
@@ -27,6 +33,9 @@
 #include "cells/library.hpp"
 #include "core/evaluate.hpp"
 #include "core/wavemin_m.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+#include "report/table.hpp"
 #include "cts/benchmarks.hpp"
 #include "io/tree_io.hpp"
 #include "report/design_stats.hpp"
@@ -53,10 +62,12 @@ int usage() {
       "              [--kappa ps] [--samples n] [--epsilon e] [--xor]\n"
       "              [--config file.cfg]\n"
       "              [--circuit name] [-o out.ctree]\n"
+      "              [--metrics] [--metrics-out m.json]\n"
       "  wavemin_cli eval <tree.ctree> [--circuit name] [--multimode]\n"
       "  wavemin_cli stats <tree.ctree>\n"
       "  wavemin_cli render <tree.ctree> -o <out.svg> [--waves|--heatmap]\n"
-      "  wavemin_cli dump-lib -o <cells.lib>\n");
+      "  wavemin_cli dump-lib -o <cells.lib>\n"
+      "  wavemin_cli metrics-check <m.json> [--schema fixture.json]\n");
   return 1;
 }
 
@@ -73,6 +84,9 @@ struct Args {
   bool waves = false;
   bool heatmap = false;
   std::string config;
+  bool metrics = false;
+  std::string metrics_out;
+  std::string schema;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -99,6 +113,12 @@ bool parse(int argc, char** argv, Args& a) {
       if (!next(a.epsilon)) return false;
     } else if (t == "--xor") {
       a.use_xor = true;
+    } else if (t == "--metrics") {
+      a.metrics = true;
+    } else if (t == "--metrics-out" && i + 1 < argc) {
+      a.metrics_out = argv[++i];
+    } else if (t == "--schema" && i + 1 < argc) {
+      a.schema = argv[++i];
     } else if (t == "--multimode") {
       a.multimode = true;
     } else if (t == "--waves") {
@@ -174,6 +194,31 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (cmd == "metrics-check") {
+      if (a.positional.size() < 2) return usage();
+      const obs::MetricsSnapshot snap =
+          obs::read_json_file(a.positional[1]);
+      std::vector<std::string> problems = obs::validate(snap);
+      if (!a.schema.empty()) {
+        const obs::MetricsSnapshot ref = obs::read_json_file(a.schema);
+        if (snap.schema != ref.schema) {
+          problems.push_back("schema \"" + snap.schema +
+                             "\" does not match fixture \"" + ref.schema +
+                             "\"");
+        }
+      }
+      for (const std::string& p : problems) {
+        std::fprintf(stderr, "invalid: %s\n", p.c_str());
+      }
+      std::printf("%s: %zu phase(s), %zu counter(s), %zu gauge(s), "
+                  "%zu histogram(s) — %s\n",
+                  a.positional[1].c_str(), snap.phases.size(),
+                  snap.counters.size(), snap.gauges.size(),
+                  snap.histograms.size(),
+                  problems.empty() ? "valid" : "INVALID");
+      return problems.empty() ? 0 : 1;
+    }
+
     if (cmd == "dump-lib") {
       if (a.out.empty()) return usage();
       save_library(a.out, lib);
@@ -244,6 +289,29 @@ int main(int argc, char** argv) {
         opts.enable_xor_polarity = a.use_xor;
       }
 
+      obs::MetricsRegistry registry;
+      const bool want_metrics = a.metrics || !a.metrics_out.empty();
+      if (want_metrics) {
+        opts.collect_metrics = true;
+        opts.metrics = &registry;
+        // Also reach call sites without options plumbing (TreeSim in
+        // the post-opt evaluation).
+        obs::install_global(&registry);
+      }
+      auto emit_metrics = [&] {
+        if (!want_metrics) return;
+        obs::install_global(nullptr);
+        const obs::MetricsSnapshot snap = registry.snapshot();
+        if (a.metrics) {
+          std::fputs(obs::to_table(snap).to_text().c_str(), stderr);
+        }
+        if (!a.metrics_out.empty()) {
+          obs::write_json_file(snap, a.metrics_out);
+          std::fprintf(stderr, "metrics written to %s\n",
+                       a.metrics_out.c_str());
+        }
+      };
+
       WaveMinResult r;
       if (a.algo == "wavemin") {
         r = clk_wavemin(tree, lib, chr, opts);
@@ -266,6 +334,7 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "infeasible: no assignment meets kappa=%.1f ps\n",
                      a.kappa);
+        emit_metrics();
         return 2;
       }
       std::printf("%s: model peak %.1f uA, %zu intervals, %.1f ms\n",
@@ -273,6 +342,7 @@ int main(int argc, char** argv) {
                   r.runtime_ms);
       print_eval(tree, modes);
       save_tree(a.out.empty() ? in : a.out, tree);
+      emit_metrics();
       return 0;
     }
   } catch (const Error& e) {
