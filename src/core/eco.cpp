@@ -8,6 +8,7 @@
 #include "core/intervals.hpp"
 #include "core/noise_model.hpp"
 #include "core/sampling.hpp"
+#include "core/solver_dispatch.hpp"
 #include "mosp/solver.hpp"
 #include "tree/zone.hpp"
 #include "util/error.hpp"
@@ -15,19 +16,6 @@
 namespace wm {
 
 namespace {
-
-MospSolution dispatch(const MospGraph& g, const WaveMinOptions& o) {
-  MospSolverOptions so;
-  so.epsilon = o.epsilon;
-  so.max_labels = o.max_labels;
-  switch (o.solver) {
-    case SolverKind::Warburton: return solve_warburton(g, so);
-    case SolverKind::Greedy: return solve_greedy(g);
-    case SolverKind::Exact: return solve_exact(g, so);
-    case SolverKind::Exhaustive: return solve_exhaustive(g);
-  }
-  return solve_warburton(g, so);
-}
 
 /// Does this candidate reproduce the sink's current configuration?
 bool is_current_config(const TreeNode& n, const Candidate& c) {
@@ -120,7 +108,7 @@ EcoResult eco_reoptimize(ClockTree& tree, const CellLibrary& lib,
       const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
                                           zones.zones()[z], x, chr,
                                           modes, slots, opts);
-      const MospSolution sol = dispatch(g, opts);
+      const MospSolution sol = dispatch_solve(g, opts);
       worst = std::max(worst, sol.worst);
       choices[z] = sol.choice;
     }

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "util/budget.hpp"
 #include "util/units.hpp"
 
 namespace wm::obs {
@@ -67,6 +68,30 @@ struct WaveMinOptions {
   /// Error-severity diagnostic escalates to wm::Error. On by default in
   /// debug builds; force-enable anywhere when chasing corruption.
   bool verify_invariants = kVerifyInvariantsDefault;
+
+  // --- fault-tolerant run layer (docs/robustness.md) -----------------
+
+  /// Run budget: wall-clock deadline and/or a global DP-label pool.
+  /// Disabled by default; with both fields 0 the run layer adds no
+  /// checks and results are bit-identical to an unbudgeted build. When
+  /// the budget trips, zones degrade down the ladder (full -> greedy ->
+  /// identity) instead of the run dying; the per-zone account lands in
+  /// WaveMinResult::report.
+  RunBudget budget;
+
+  /// Runtime tracker shared across nested flows — clk_wavemin_m's
+  /// sizing pass, ADB allocation and re-optimization all draw from one
+  /// deadline through this. When null and budget.enabled(), run_wavemin
+  /// creates a private tracker. Callers may also install their own to
+  /// cancel() a run from another thread. Not owned.
+  BudgetTracker* budget_tracker = nullptr;
+
+  /// Quarantine a zone's wm::Error to that zone: the zone falls to the
+  /// bottom of the degradation ladder (identity assignment) and the
+  /// error text is recorded in its ZoneRunReport instead of aborting
+  /// the run. Set by the try_* wrappers; off by default so the throwing
+  /// API keeps its fail-fast contract.
+  bool quarantine_zone_errors = false;
 
   /// Collect wm::obs phase timers / counters / histograms during the
   /// run (docs/observability.md lists the catalog). Off by default:

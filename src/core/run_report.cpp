@@ -1,0 +1,75 @@
+#include "core/run_report.hpp"
+
+#include <sstream>
+
+namespace wm {
+
+const char* to_string(LadderLevel level) {
+  switch (level) {
+    case LadderLevel::Full: return "full";
+    case LadderLevel::Greedy: return "greedy";
+    case LadderLevel::Identity: return "identity";
+  }
+  return "?";
+}
+
+bool RunReport::degraded() const {
+  if (deadline_hit || label_budget_hit || cancelled) return true;
+  if (quarantined_errors > 0 || intersections_skipped > 0) return true;
+  for (const ZoneRunReport& z : zones) {
+    if (z.ladder != LadderLevel::Full || !z.error.empty()) return true;
+  }
+  return false;
+}
+
+std::size_t RunReport::zones_at(LadderLevel level) const {
+  std::size_t n = 0;
+  for (const ZoneRunReport& z : zones) {
+    if (z.ladder == level) ++n;
+  }
+  return n;
+}
+
+std::size_t RunReport::beam_capped_zones() const {
+  std::size_t n = 0;
+  for (const ZoneRunReport& z : zones) {
+    if (z.beam_capped) ++n;
+  }
+  return n;
+}
+
+std::string RunReport::summary() const {
+  std::ostringstream os;
+  os << "run report: " << zones.size() << " zone(s) — "
+     << zones_at(LadderLevel::Full) << " full, "
+     << zones_at(LadderLevel::Greedy) << " greedy, "
+     << zones_at(LadderLevel::Identity) << " identity";
+  if (beam_capped_zones() > 0) {
+    os << "; " << beam_capped_zones() << " beam-capped";
+  }
+  if (deadline_hit) os << "; deadline hit";
+  if (label_budget_hit) os << "; label budget hit";
+  if (cancelled) os << "; cancelled";
+  if (labels_consumed > 0) os << "; " << labels_consumed << " labels";
+  if (intersections_skipped > 0) {
+    os << "; " << intersections_skipped << " intersection(s) skipped";
+  }
+  if (quarantined_errors > 0) {
+    os << "; " << quarantined_errors << " zone error(s) quarantined";
+  }
+  os << '\n';
+  for (const ZoneRunReport& z : zones) {
+    if (z.ladder == LadderLevel::Full && z.error.empty() &&
+        !z.beam_capped) {
+      continue;  // only report the interesting zones
+    }
+    os << "  zone " << z.zone << " (" << z.sinks
+       << " sink(s)): " << to_string(z.ladder);
+    if (z.beam_capped) os << ", beam-capped";
+    if (!z.error.empty()) os << ", quarantined: " << z.error;
+    os << '\n';
+  }
+  return os.str();
+}
+
+} // namespace wm

@@ -1,0 +1,65 @@
+#pragma once
+// RunReport — per-zone account of what the fault-tolerant run layer did
+// (docs/robustness.md). Returned inside WaveMinResult so a caller can
+// tell a clean optimum from a budget-degraded one without parsing logs.
+//
+// Degradation ladder (applied per zone, best rung first):
+//   Full     — the configured solver (Warburton/exact/...) ran to
+//              completion on the zone's MOSP instance;
+//   Greedy   — the budget tripped mid-DP, the solver returned its
+//              greedy incumbent (the ClkWaveMin-f solution, Sec. V-C):
+//              still a modeled, feasible assignment, just not Pareto-
+//              searched;
+//   Identity — no solve at all: every sink takes its first surviving
+//              candidate of the chosen intersection. Feasible w.r.t.
+//              the skew bound by construction (the intersection masks
+//              encode exactly the in-window candidates), but its noise
+//              peak is not modeled (reported as 0).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wm {
+
+enum class LadderLevel {
+  Full = 0,
+  Greedy = 1,
+  Identity = 2,
+};
+
+const char* to_string(LadderLevel level);
+
+struct ZoneRunReport {
+  std::size_t zone = 0;    ///< index into ZoneMap::zones()
+  std::size_t sinks = 0;   ///< leaves assigned in this zone
+  LadderLevel ladder = LadderLevel::Full;
+  bool beam_capped = false;   ///< max_labels truncated the Pareto search
+  double elapsed_ms = 0.0;    ///< wall time of this zone's solve
+  std::string error;          ///< quarantined wm::Error text (if any)
+};
+
+struct RunReport {
+  /// One entry per nonempty zone, for the *chosen* intersection.
+  std::vector<ZoneRunReport> zones;
+
+  bool deadline_hit = false;      ///< wall-clock budget tripped
+  bool label_budget_hit = false;  ///< global label pool exhausted
+  bool cancelled = false;         ///< BudgetTracker::cancel() observed
+  std::uint64_t labels_consumed = 0;
+  /// Feasible intersections left unevaluated when the budget tripped.
+  std::size_t intersections_skipped = 0;
+  /// Zones whose wm::Error was quarantined (fault-tolerant mode only).
+  std::size_t quarantined_errors = 0;
+
+  /// Any zone below Full, any quarantined error, or any budget trip.
+  bool degraded() const;
+  std::size_t zones_at(LadderLevel level) const;
+  std::size_t beam_capped_zones() const;
+
+  /// Human-readable multi-line summary (CLI --verbose / degraded runs).
+  std::string summary() const;
+};
+
+} // namespace wm

@@ -1,0 +1,26 @@
+#include "core/solver_dispatch.hpp"
+
+namespace wm {
+
+MospSolverOptions to_solver_options(const WaveMinOptions& opts,
+                                    BudgetTracker* budget) {
+  MospSolverOptions so;
+  so.epsilon = opts.epsilon;
+  so.max_labels = opts.max_labels;
+  so.budget = budget != nullptr ? budget : opts.budget_tracker;
+  return so;
+}
+
+MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& opts,
+                            MospStats* stats, BudgetTracker* budget) {
+  const MospSolverOptions so = to_solver_options(opts, budget);
+  switch (opts.solver) {
+    case SolverKind::Warburton: return solve_warburton(g, so, stats);
+    case SolverKind::Greedy: return solve_greedy(g);
+    case SolverKind::Exact: return solve_exact(g, so, stats);
+    case SolverKind::Exhaustive: return solve_exhaustive(g);
+  }
+  return solve_warburton(g, so, stats);
+}
+
+} // namespace wm

@@ -1,0 +1,23 @@
+#pragma once
+// Single bridge from the flow-level WaveMinOptions to the inner MOSP
+// solver: both the main flow (core/wavemin.cpp) and the ECO flow
+// (core/eco.cpp) used to hand-copy the solver fields, which is exactly
+// how a newly added knob (e.g. the run budget) drifts out of one of
+// them. Keep every WaveMinOptions -> MospSolverOptions mapping here.
+
+#include "core/options.hpp"
+#include "mosp/solver.hpp"
+
+namespace wm {
+
+/// Map the flow options onto the inner-solver options. `budget` (may be
+/// null) is the run's shared tracker; it overrides opts.budget_tracker.
+MospSolverOptions to_solver_options(const WaveMinOptions& opts,
+                                    BudgetTracker* budget = nullptr);
+
+/// Run the solver selected by opts.solver on `g`.
+MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& opts,
+                            MospStats* stats = nullptr,
+                            BudgetTracker* budget = nullptr);
+
+} // namespace wm

@@ -2,14 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
-#include <mutex>
-#include <thread>
 #include <limits>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <unordered_map>
 
 #include "core/intervals.hpp"
 #include "core/noise_model.hpp"
 #include "core/sampling.hpp"
+#include "core/solver_dispatch.hpp"
 #include "mosp/solver.hpp"
 #include "obs/metrics.hpp"
 #include "tree/zone.hpp"
@@ -20,20 +22,6 @@
 namespace wm {
 
 namespace {
-
-MospSolution dispatch_solve(const MospGraph& g, const WaveMinOptions& o,
-                            MospStats* stats) {
-  MospSolverOptions so;
-  so.epsilon = o.epsilon;
-  so.max_labels = o.max_labels;
-  switch (o.solver) {
-    case SolverKind::Warburton: return solve_warburton(g, so, stats);
-    case SolverKind::Greedy: return solve_greedy(g);
-    case SolverKind::Exact: return solve_exact(g, so, stats);
-    case SolverKind::Exhaustive: return solve_exhaustive(g);
-  }
-  return solve_warburton(g, so, stats);
-}
 
 obs::MetricsRegistry* metrics_for(const WaveMinOptions& o) {
   if (!o.collect_metrics) return nullptr;
@@ -63,19 +51,58 @@ std::size_t zone_mask_key(std::size_t zone_idx,
   return h;
 }
 
+/// One zone's solve outcome — the memoized unit, now carrying the
+/// degradation-ladder account alongside the solution proper.
 struct ZoneSolution {
   double worst = 0.0;
   std::vector<int> choice;  ///< candidate index per zone sink
+  LadderLevel ladder = LadderLevel::Full;
+  bool beam_capped = false;
+  double elapsed_ms = 0.0;
+  std::string error;  ///< quarantined wm::Error text (if any)
 };
+
+/// Ladder bottom: every sink takes its first surviving candidate of the
+/// intersection. Feasible w.r.t. the skew bound by construction (the
+/// masks encode exactly the in-window candidates); peak not modeled.
+ZoneSolution identity_solution(const std::vector<std::size_t>& sinks,
+                               const Intersection& x) {
+  ZoneSolution zs;
+  zs.ladder = LadderLevel::Identity;
+  zs.choice.reserve(sinks.size());
+  for (std::size_t s : sinks) {
+    const std::uint32_t mask = x.masks[s];
+    WM_ASSERT(mask != 0, "intersection with empty sink mask");
+    int c = 0;
+    while ((mask & (1u << c)) == 0) ++c;
+    zs.choice.push_back(c);
+  }
+  return zs;
+}
 
 } // namespace
 
-WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
-                          const Characterizer& chr, const ModeSet& modes,
-                          const std::vector<const Cell*>& assignable,
-                          const WaveMinOptions& opts) {
+namespace detail {
+
+WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
+                               const Characterizer& chr,
+                               const ModeSet& modes,
+                               const std::vector<const Cell*>& assignable,
+                               const WaveMinOptions& opts) {
   const auto t0 = std::chrono::steady_clock::now();
   WaveMinResult result;
+
+  // Run-budget tracker: reuse a caller-installed one (clk_wavemin_m
+  // threads a single deadline through its passes; servers install one
+  // to cancel() from outside), else create a private tracker when a
+  // budget is set. Null tracker = no budget = bit-identical legacy path.
+  std::optional<BudgetTracker> own_tracker;
+  BudgetTracker* tracker = opts.budget_tracker;
+  if (tracker == nullptr && opts.budget.enabled()) {
+    own_tracker.emplace(opts.budget);
+    tracker = &*own_tracker;
+  }
+  const bool quarantine = opts.quarantine_zone_errors;
 
   obs::MetricsRegistry* m = metrics_for(opts);
   obs::ScopedPhase phase_run(m, "wavemin");
@@ -145,7 +172,12 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   }
 
   std::unordered_map<std::size_t, ZoneSolution> memo;
-  double best_worst = std::numeric_limits<double>::max();
+  // Chosen-intersection tracking. `best_cmp` is the comparison key: an
+  // intersection containing identity-degraded zones has an unmodeled
+  // worst, so it compares as +inf — a fully modeled intersection always
+  // beats it, and it can only win when nothing else was evaluated.
+  double best_worst = 0.0;
+  double best_cmp = std::numeric_limits<double>::infinity();
   const Intersection* best_x = nullptr;
   std::vector<std::vector<int>> best_choices;
 
@@ -156,9 +188,17 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
   obs::add(m, "wavemin.zones_nonempty", nonempty_zones);
 
   const unsigned n_threads = std::max(1u, opts.threads);
+  std::size_t intersections_evaluated = 0;
   {
   obs::ScopedPhase phase_solve(m, "zone_solve");
   for (const Intersection& x : inters) {
+    // Budget trip with a result in hand: stop sweeping intersections.
+    // (Without one, press on — the ladder makes the first intersection
+    // cheap to finish, so the run always yields a valid assignment.)
+    if (tracker != nullptr && best_x != nullptr && tracker->should_stop()) {
+      break;
+    }
+    ++intersections_evaluated;
     obs::add(m, "wavemin.intersections_evaluated");
     // Phase 1: solve the memo misses (optionally in parallel — zones
     // are independent subproblems).
@@ -175,23 +215,59 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
     // enforced on the main thread only — workers must not throw.
     std::vector<verify::Report> mosp_reports(
         opts.verify_invariants ? misses.size() : 0);
-    auto solve_zone = [&](std::size_t z, verify::Report* vr) {
+    auto solve_zone = [&](std::size_t z,
+                          verify::Report* vr) -> ZoneSolution {
+      const auto zwall0 = std::chrono::steady_clock::now();
       const obs::Nanos zt0 = m != nullptr ? m->now() : 0;
-      const auto slots =
-          build_slots(pre, zone_sinks[z], x, opts.samples, opts.period);
-      const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
-                                          zones.zones()[z], x, chr,
-                                          modes, slots, opts);
-      if (vr != nullptr) *vr = verify::check_mosp(g, slots.size());
-      MospStats mosp_stats;
-      const MospSolution sol =
-          dispatch_solve(g, opts, m != nullptr ? &mosp_stats : nullptr);
       ZoneSolution zs;
-      zs.worst = sol.worst;
-      zs.choice = sol.choice;
+      // Ladder bottom first: a zone whose turn comes after the budget
+      // tripped is not solved at all — identity assignment, no graph.
+      if (tracker != nullptr && tracker->should_stop()) {
+        zs = identity_solution(zone_sinks[z], x);
+      } else {
+        auto run_ladder = [&]() -> ZoneSolution {
+          const auto slots = build_slots(pre, zone_sinks[z], x,
+                                         opts.samples, opts.period);
+          const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
+                                              zones.zones()[z], x, chr,
+                                              modes, slots, opts);
+          if (vr != nullptr) *vr = verify::check_mosp(g, slots.size());
+          MospStats mosp_stats;
+          const MospSolution sol =
+              dispatch_solve(g, opts, &mosp_stats, tracker);
+          ZoneSolution out;
+          out.worst = sol.worst;
+          out.choice = sol.choice;
+          out.ladder = mosp_stats.budget_stopped ? LadderLevel::Greedy
+                                                 : LadderLevel::Full;
+          out.beam_capped = mosp_stats.beam_capped;
+          if (m != nullptr) {
+            obs::gauge_max(m, "mosp.dims", static_cast<double>(g.dims));
+            record_mosp_stats(m, mosp_stats);
+          }
+          return out;
+        };
+        if (!quarantine) {
+          zs = run_ladder();
+        } else {
+          // Fault quarantine: a zone's wm::Error (corrupt electrical
+          // data, a failed graph invariant, ...) degrades that zone to
+          // the identity assignment instead of aborting the run.
+          try {
+            zs = run_ladder();
+          } catch (const Error& e) {
+            zs = identity_solution(zone_sinks[z], x);
+            zs.error = e.what();
+          } catch (const std::exception& e) {
+            zs = identity_solution(zone_sinks[z], x);
+            zs.error = e.what();
+          }
+        }
+      }
+      zs.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - zwall0)
+                          .count();
       if (m != nullptr) {
-        obs::gauge_max(m, "mosp.dims", static_cast<double>(g.dims));
-        record_mosp_stats(m, mosp_stats);
         m->histogram("wavemin.zone_solve_ms").record_ns(m->now() - zt0);
       }
       return zs;
@@ -240,18 +316,23 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
 
     // Phase 2: aggregate.
     double global_worst = 0.0;
+    bool unmodeled = false;  // any identity-degraded zone in this mix?
     std::vector<std::vector<int>> choices(zones.zones().size());
     for (std::size_t z = 0; z < zones.zones().size(); ++z) {
       if (zone_sinks[z].empty()) continue;
       const auto it = memo.find(zone_mask_key(z, zone_sinks[z], x));
       WM_ASSERT(it != memo.end(), "zone solution missing");
       global_worst = std::max(global_worst, it->second.worst);
+      if (it->second.ladder == LadderLevel::Identity) unmodeled = true;
       choices[z] = it->second.choice;
     }
     result.dof_scatter.push_back({x.dof, global_worst});
-    if (global_worst < best_worst) {
+    const double cmp =
+        unmodeled ? std::numeric_limits<double>::infinity() : global_worst;
+    if (best_x == nullptr || cmp < best_cmp) {
       WM_LOG(Debug) << "intersection dof=" << x.dof << " improves worst "
                     << best_worst << " -> " << global_worst;
+      best_cmp = cmp;
       best_worst = global_worst;
       best_x = &x;
       best_choices = std::move(choices);
@@ -261,12 +342,79 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
 
   WM_ASSERT(best_x != nullptr, "no intersection evaluated");
 
-  // Record per-zone peaks of the winning intersection.
+  // Record per-zone peaks of the winning intersection, and assemble the
+  // run report from the memoized ladder accounts.
   result.zone_peaks.assign(zones.zones().size(), 0.0);
+  RunReport& report = result.report;
   for (std::size_t z = 0; z < zones.zones().size(); ++z) {
     if (zone_sinks[z].empty()) continue;
     const auto it = memo.find(zone_mask_key(z, zone_sinks[z], *best_x));
-    if (it != memo.end()) result.zone_peaks[z] = it->second.worst;
+    if (it == memo.end()) continue;
+    result.zone_peaks[z] = it->second.worst;
+    ZoneRunReport zr;
+    zr.zone = z;
+    zr.sinks = zone_sinks[z].size();
+    zr.ladder = it->second.ladder;
+    zr.beam_capped = it->second.beam_capped;
+    zr.elapsed_ms = it->second.elapsed_ms;
+    zr.error = it->second.error;
+    if (!zr.error.empty()) ++report.quarantined_errors;
+    report.zones.push_back(std::move(zr));
+  }
+  if (tracker != nullptr) {
+    report.deadline_hit = tracker->deadline_expired();
+    report.label_budget_hit = tracker->labels_exhausted();
+    report.cancelled = tracker->cancelled();
+    report.labels_consumed = tracker->labels_consumed();
+  }
+  report.intersections_skipped = inters.size() - intersections_evaluated;
+
+  // Surface the formerly silent beam cap and the ladder account as
+  // structured diagnostics (enforce() logs warnings; no errors here, so
+  // it never throws) plus obs counters.
+  {
+    verify::Report warn;
+    for (const ZoneRunReport& zr : report.zones) {
+      if (zr.beam_capped) {
+        obs::add(m, "mosp.beam_capped_zones");
+        warn.warning("mosp.beam-capped",
+                     "zone " + std::to_string(zr.zone),
+                     "label beam cap (max_labels=" +
+                         std::to_string(opts.max_labels) +
+                         ") truncated the Pareto search; the zone's "
+                         "result may be suboptimal");
+      }
+      if (zr.ladder == LadderLevel::Greedy) {
+        obs::add(m, "run.zones_degraded_greedy");
+      } else if (zr.ladder == LadderLevel::Identity) {
+        obs::add(m, "run.zones_degraded_identity");
+      }
+      if (!zr.error.empty()) {
+        obs::add(m, "run.zone_errors_quarantined");
+        warn.warning("run.zone-quarantined",
+                     "zone " + std::to_string(zr.zone),
+                     "zone error quarantined, identity assignment used: " +
+                         zr.error);
+      }
+    }
+    if (report.deadline_hit) obs::add(m, "run.deadline_hit");
+    if (report.label_budget_hit) obs::add(m, "run.label_budget_hit");
+    if (report.cancelled) obs::add(m, "run.cancelled");
+    obs::add(m, "run.intersections_skipped",
+             report.intersections_skipped);
+    if (!warn.clean()) verify::enforce(warn, "run-report");
+  }
+  if (report.degraded()) {
+    WM_LOG(Warn) << "wavemin: degraded run — "
+                 << report.zones_at(LadderLevel::Full) << " full / "
+                 << report.zones_at(LadderLevel::Greedy) << " greedy / "
+                 << report.zones_at(LadderLevel::Identity)
+                 << " identity zone(s)"
+                 << (report.deadline_hit ? ", deadline hit" : "")
+                 << (report.label_budget_hit ? ", label budget hit" : "")
+                 << (report.cancelled ? ", cancelled" : "")
+                 << (report.quarantined_errors > 0 ? ", zone errors quarantined"
+                                                   : "");
   }
 
   // Apply the winning assignment.
@@ -303,6 +451,49 @@ WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
                           std::chrono::steady_clock::now() - t0)
                           .count();
   return result;
+}
+
+} // namespace detail
+
+WaveMinResult run_wavemin(ClockTree& tree, const CellLibrary& lib,
+                          const Characterizer& chr, const ModeSet& modes,
+                          const std::vector<const Cell*>& assignable,
+                          const WaveMinOptions& opts) {
+  return detail::run_wavemin_impl(tree, lib, chr, modes, assignable, opts);
+}
+
+TryRunResult try_run_wavemin(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr, const ModeSet& modes,
+                             const std::vector<const Cell*>& assignable,
+                             const WaveMinOptions& opts) {
+  TryRunResult out;
+  WaveMinOptions ft = opts;
+  ft.quarantine_zone_errors = true;
+  try {
+    out.result =
+        detail::run_wavemin_impl(tree, lib, chr, modes, assignable, ft);
+    if (!out.result.success) {
+      out.status = Status(StatusCode::Infeasible,
+                          "no feasible intersection at kappa=" +
+                              std::to_string(opts.kappa));
+    }
+  } catch (const Error& e) {
+    out.status = Status(StatusCode::InvalidInput, e.what());
+  } catch (const std::exception& e) {
+    out.status = Status(StatusCode::Internal, e.what());
+  }
+  return out;
+}
+
+TryRunResult try_clk_wavemin(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr,
+                             const WaveMinOptions& opts) {
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  return try_run_wavemin(tree, lib, chr, ModeSet::single(max_island + 1),
+                         lib.assignment_library(), opts);
 }
 
 WaveMinResult clk_wavemin(ClockTree& tree, const CellLibrary& lib,

@@ -17,8 +17,10 @@
 #include "cells/library.hpp"
 #include "core/candidates.hpp"
 #include "core/options.hpp"
+#include "core/run_report.hpp"
 #include "timing/power_mode.hpp"
 #include "tree/clock_tree.hpp"
+#include "util/status.hpp"
 
 namespace wm {
 
@@ -39,8 +41,20 @@ struct WaveMinResult {
   /// Per-intersection (dof, worst) pairs — the Fig. 14 scatter.
   std::vector<DofSample> dof_scatter;
   /// Model peak per zone (uA) under the chosen intersection, indexed
-  /// like ZoneMap::zones(); empty zones carry 0.
+  /// like ZoneMap::zones(); empty zones carry 0. Identity-degraded
+  /// zones (see report) also carry 0: their peak is not modeled.
   std::vector<double> zone_peaks;
+  /// Fault-tolerant run layer account: per-zone ladder levels, budget
+  /// trips, quarantined errors (docs/robustness.md). Empty/clean when
+  /// no budget is set and nothing degraded.
+  RunReport report;
+};
+
+/// Non-throwing result envelope for the try_* entry points.
+struct TryRunResult {
+  Status status;        ///< Ok also covers degraded runs — check
+                        ///< result.report.degraded() for the exit-3 case
+  WaveMinResult result;
 };
 
 /// Run the optimization and apply the winning assignment to `tree`.
@@ -60,5 +74,22 @@ WaveMinResult clk_wavemin(ClockTree& tree, const CellLibrary& lib,
 /// ClkWaveMin-f: same flow with the greedy inner solver (Sec. V-C).
 WaveMinResult clk_wavemin_f(ClockTree& tree, const CellLibrary& lib,
                             const Characterizer& chr, WaveMinOptions opts);
+
+/// Fault-tolerant entry point: never throws wm::Error. Zone-level
+/// errors are quarantined to their zone (the zone degrades to the
+/// identity assignment, the error text lands in its ZoneRunReport);
+/// run-level errors (bad options, corrupt inputs caught by the verify
+/// hooks) come back as a non-Ok Status with result.success == false and
+/// the tree untouched. A budget-degraded but valid run returns Ok —
+/// inspect result.report.degraded().
+TryRunResult try_run_wavemin(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr, const ModeSet& modes,
+                             const std::vector<const Cell*>& assignable,
+                             const WaveMinOptions& opts);
+
+/// Single-mode convenience wrapper around try_run_wavemin.
+TryRunResult try_clk_wavemin(ClockTree& tree, const CellLibrary& lib,
+                             const Characterizer& chr,
+                             const WaveMinOptions& opts);
 
 } // namespace wm

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "obs/metrics.hpp"
+#include "util/error.hpp"
 #include "verify/verify.hpp"
 
 namespace wm {
@@ -19,8 +21,18 @@ void count_adjustables(const ClockTree& tree, int* adbs, int* adis) {
 
 WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
                              const Characterizer& chr, const ModeSet& modes,
-                             const WaveMinOptions& opts) {
+                             const WaveMinOptions& raw_opts) {
   WaveMinMResult r;
+
+  // One budget tracker for the whole flow: the sizing pass, the ADB
+  // allocation and the re-optimization all draw from a single deadline
+  // and label pool, so a caller's budget bounds the flow end to end.
+  std::optional<BudgetTracker> own_tracker;
+  WaveMinOptions opts = raw_opts;
+  if (opts.budget_tracker == nullptr && opts.budget.enabled()) {
+    own_tracker.emplace(opts.budget);
+    opts.budget_tracker = &*own_tracker;
+  }
 
   // Attempt the sizing-only flow first (Fig. 13's left branch).
   r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
@@ -63,6 +75,31 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
 
   count_adjustables(tree, &r.adb_count, &r.adi_count);
   return r;
+}
+
+TryRunMResult try_clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
+                                const Characterizer& chr,
+                                const ModeSet& modes,
+                                const WaveMinOptions& opts) {
+  TryRunMResult out;
+  WaveMinOptions ft = opts;
+  ft.quarantine_zone_errors = true;
+  try {
+    out.result = clk_wavemin_m(tree, lib, chr, modes, ft);
+    if (!out.result.opt.success) {
+      out.status = Status(StatusCode::Infeasible,
+                          "no feasible intersection at kappa=" +
+                              std::to_string(opts.kappa) +
+                              (out.result.used_adb_flow
+                                   ? " even after ADB insertion"
+                                   : ""));
+    }
+  } catch (const Error& e) {
+    out.status = Status(StatusCode::InvalidInput, e.what());
+  } catch (const std::exception& e) {
+    out.status = Status(StatusCode::Internal, e.what());
+  }
+  return out;
 }
 
 } // namespace wm

@@ -31,6 +31,22 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
                              const Characterizer& chr, const ModeSet& modes,
                              const WaveMinOptions& opts);
 
+/// Non-throwing result envelope for try_clk_wavemin_m.
+struct TryRunMResult {
+  Status status;  ///< Ok also covers degraded runs — check
+                  ///< result.opt.report.degraded()
+  WaveMinMResult result;
+};
+
+/// Fault-tolerant multi-mode flow: never throws wm::Error. The whole
+/// flow (sizing pass, ADB allocation, re-optimization) draws from ONE
+/// budget tracker, so a deadline covers the flow end to end; zone
+/// errors are quarantined per zone (see try_run_wavemin).
+TryRunMResult try_clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
+                                const Characterizer& chr,
+                                const ModeSet& modes,
+                                const WaveMinOptions& opts);
+
 /// Count adjustable cells currently in the tree (leaf + non-leaf).
 void count_adjustables(const ClockTree& tree, int* adbs, int* adis);
 

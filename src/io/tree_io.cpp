@@ -1,8 +1,12 @@
 #include "io/tree_io.hpp"
 
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iomanip>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "util/error.hpp"
@@ -10,6 +14,14 @@
 namespace wm {
 
 namespace {
+
+// Hardening limits (docs/robustness.md): a hostile or corrupted input
+// must produce a wm::Error with a location, never an OOM or a crash
+// deeper in the pipeline.
+constexpr std::size_t kMaxLineLen = 1 << 16;     ///< 64 KiB per line
+constexpr std::size_t kMaxTreeNodes = 4'000'000; ///< arena ids are i32
+constexpr std::size_t kMaxLibCells = 100'000;
+constexpr std::size_t kMaxPerModeEntries = 64;   ///< codes / xor bits
 
 const char* kind_name(CellKind k) {
   switch (k) {
@@ -21,25 +33,106 @@ const char* kind_name(CellKind k) {
   return "?";
 }
 
-CellKind kind_from(const std::string& s) {
-  if (s == "buffer") return CellKind::Buffer;
-  if (s == "inverter") return CellKind::Inverter;
-  if (s == "adb") return CellKind::Adb;
-  if (s == "adi") return CellKind::Adi;
-  throw Error("unknown cell kind: " + s);
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
+  throw Error("line " + std::to_string(line_no) + ": " + msg);
 }
 
-/// Next non-empty, non-comment line.
-bool next_line(std::istream& is, std::string& line) {
-  while (std::getline(is, line)) {
-    const auto pos = line.find('#');
-    if (pos != std::string::npos) line.erase(pos);
-    std::istringstream probe(line);
-    std::string tok;
-    if (probe >> tok) return true;
+/// Line source that strips comments, skips blanks, rejects oversized
+/// lines, and remembers the 1-based line number for diagnostics.
+class LineScanner {
+ public:
+  explicit LineScanner(std::istream& is) : is_(is) {}
+
+  bool next(std::string& line) {
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      if (line.size() > kMaxLineLen) {
+        fail_at(line_no_, "oversized line (" +
+                              std::to_string(line.size()) +
+                              " bytes, limit " +
+                              std::to_string(kMaxLineLen) + ")");
+      }
+      const auto pos = line.find('#');
+      if (pos != std::string::npos) line.erase(pos);
+      std::istringstream probe(line);
+      std::string tok;
+      if (probe >> tok) return true;
+    }
+    return false;
   }
-  return false;
-}
+
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::istream& is_;
+  std::size_t line_no_ = 0;
+};
+
+/// Whitespace-field tokenizer over one record line. Every extraction
+/// failure names the line, the 1-based field column and the field, so a
+/// truncated or garbled record is locatable at a glance.
+class FieldParser {
+ public:
+  FieldParser(const std::string& line, std::size_t line_no)
+      : ls_(line), line_no_(line_no) {}
+
+  std::string word(const char* name) {
+    std::string v;
+    ++field_;
+    if (!(ls_ >> v)) {
+      fail_at(line_no_, truncated(name));
+    }
+    return v;
+  }
+
+  long long integer(const char* name) {
+    ++field_;
+    long long v = 0;
+    if (!(ls_ >> v)) {
+      fail_at(line_no_, truncated(name));
+    }
+    return v;
+  }
+
+  /// Finite double — NaN/Inf in geometry or electrical data poisons
+  /// every downstream comparison, so reject it at the boundary. Parsed
+  /// via strtod on the whole token (not stream extraction) so "nan",
+  /// "inf" and overflowing literals like 1e999 all reach the finite
+  /// check instead of failing with a generic parse error.
+  double finite(const char* name) {
+    ++field_;
+    std::string tok;
+    if (!(ls_ >> tok)) {
+      fail_at(line_no_, truncated(name));
+    }
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) {
+      fail_at(line_no_, "field " + std::to_string(field_) + " ('" +
+                            name + "'): not a number ('" + tok + "')");
+    }
+    if (!std::isfinite(v)) {
+      fail_at(line_no_, "field " + std::to_string(field_) + " ('" +
+                            name + "'): non-finite value ('" + tok +
+                            "')");
+    }
+    return v;
+  }
+
+  /// Remaining keyword-introduced extras ("codes", "xor", "xtra").
+  std::istringstream& rest() { return ls_; }
+  std::size_t line_no() const { return line_no_; }
+
+ private:
+  std::string truncated(const char* name) const {
+    return "field " + std::to_string(field_) + " ('" + name +
+           "'): missing or unparsable (truncated record?)";
+  }
+
+  std::istringstream ls_;
+  std::size_t line_no_;
+  int field_ = 0;
+};
 
 } // namespace
 
@@ -88,65 +181,118 @@ std::string tree_to_string(const ClockTree& tree) {
 }
 
 ClockTree read_tree(std::istream& is, const CellLibrary& lib) {
+  LineScanner scan(is);
   std::string line;
-  WM_REQUIRE(next_line(is, line), "empty ctree input");
+  WM_REQUIRE(scan.next(line), "empty ctree input");
   {
     std::istringstream header(line);
     std::string magic, version;
     header >> magic >> version;
-    WM_REQUIRE(magic == "ctree" && version == "v1",
-               "not a ctree v1 file (header: '" + line + "')");
+    if (!(magic == "ctree" && version == "v1")) {
+      fail_at(scan.line_no(),
+              "not a ctree v1 file (header: '" + line + "')");
+    }
   }
 
   ClockTree tree;
-  while (next_line(is, line)) {
-    std::istringstream ls(line);
-    std::string rec;
-    ls >> rec;
-    WM_REQUIRE(rec == "node", "unexpected record: " + rec);
-    NodeId id = kNoNode, parent = kNoNode;
-    std::string cell_name;
+  while (scan.next(line)) {
+    const std::size_t ln = scan.line_no();
+    if (tree.size() >= kMaxTreeNodes) {
+      fail_at(ln, "too many nodes (limit " +
+                      std::to_string(kMaxTreeNodes) + ")");
+    }
+    FieldParser p(line, ln);
+    const std::string rec = p.word("record");
+    if (rec != "node") {
+      fail_at(ln, "unexpected record '" + rec + "' (expected 'node')");
+    }
+    const long long id = p.integer("id");
+    const long long parent = p.integer("parent");
+    const std::string cell_name = p.word("cell");
     Point pos;
-    Um wire_len = 0.0;
-    Ps route_extra = 0.0;
-    Ff sink_cap = 0.0;
-    int island = 0;
-    ls >> id >> parent >> cell_name >> pos.x >> pos.y >> wire_len >>
-        route_extra >> sink_cap >> island;
-    WM_REQUIRE(!ls.fail(), "malformed node record: " + line);
-    WM_REQUIRE(id == static_cast<NodeId>(tree.size()),
-               "node ids must be dense and in order (got " +
-                   std::to_string(id) + ")");
-    const Cell& cell = lib.by_name(cell_name);
+    pos.x = p.finite("x");
+    pos.y = p.finite("y");
+    const Um wire_len = p.finite("wire_len");
+    const Ps route_extra = p.finite("route_extra");
+    const Ff sink_cap = p.finite("sink_cap");
+    const int island = static_cast<int>(p.integer("island"));
+
+    // Dense in-order ids are the arena layout contract; distinguish the
+    // duplicate/out-of-order case from a gap so the fix is obvious.
+    const auto want = static_cast<long long>(tree.size());
+    if (id != want) {
+      if (id < want && id >= 0) {
+        fail_at(ln, "duplicate or out-of-order node id " +
+                        std::to_string(id) + " (expected " +
+                        std::to_string(want) + ")");
+      }
+      fail_at(ln, "non-dense node id " + std::to_string(id) +
+                      " (expected " + std::to_string(want) + ")");
+    }
+    if (parent != static_cast<long long>(kNoNode)) {
+      if (parent < 0 || parent >= want) {
+        fail_at(ln, "parent " + std::to_string(parent) +
+                        " of node " + std::to_string(id) +
+                        " must precede it (parent-before-child order, "
+                        "ids 0.." +
+                        std::to_string(want - 1) + " so far)");
+      }
+    }
+    const Cell* cell = lib.find(cell_name);
+    if (cell == nullptr) {
+      fail_at(ln, "unknown cell '" + cell_name + "' (not in library)");
+    }
     NodeId created;
-    if (parent == kNoNode) {
-      WM_REQUIRE(tree.empty(), "multiple roots in ctree input");
-      created = tree.add_root(pos, &cell);
+    if (parent == static_cast<long long>(kNoNode)) {
+      if (!tree.empty()) fail_at(ln, "multiple roots in ctree input");
+      created = tree.add_root(pos, cell);
     } else {
-      created = tree.add_node(parent, pos, &cell, wire_len);
+      created = tree.add_node(static_cast<NodeId>(parent), pos, cell,
+                              wire_len);
     }
     TreeNode& n = tree.node(created);
     n.wire_len = wire_len;
     n.route_extra = route_extra;
     n.sink_cap = sink_cap;
     n.island = island;
+    std::istringstream& ls = p.rest();
     std::string tok;
     while (ls >> tok) {
       if (tok == "codes") {
         int code;
-        while (ls >> code) n.adj_codes.push_back(code);
+        while (ls >> code) {
+          if (n.adj_codes.size() >= kMaxPerModeEntries) {
+            fail_at(ln, "too many adj codes (limit " +
+                            std::to_string(kMaxPerModeEntries) + ")");
+          }
+          n.adj_codes.push_back(code);
+        }
         ls.clear();  // hit a non-integer (next keyword) or EOF
       } else if (tok == "xor") {
         int bit;
         while (ls >> bit) {
+          if (n.xor_negative.size() >= kMaxPerModeEntries) {
+            fail_at(ln, "too many xor bits (limit " +
+                            std::to_string(kMaxPerModeEntries) + ")");
+          }
           n.xor_negative.push_back(static_cast<std::uint8_t>(bit));
         }
         ls.clear();
       } else if (tok == "xtra") {
-        WM_REQUIRE(static_cast<bool>(ls >> n.cell_extra_delay),
-                   "malformed xtra token: " + line);
+        std::string vtok;
+        if (!(ls >> vtok)) {
+          fail_at(ln, "malformed xtra token (missing value)");
+        }
+        char* end = nullptr;
+        n.cell_extra_delay = std::strtod(vtok.c_str(), &end);
+        if (end != vtok.c_str() + vtok.size()) {
+          fail_at(ln, "malformed xtra token ('" + vtok + "')");
+        }
+        if (!std::isfinite(n.cell_extra_delay)) {
+          fail_at(ln, "non-finite xtra value ('" + vtok + "')");
+        }
       } else {
-        throw Error("unexpected trailing token: " + tok);
+        fail_at(ln, "unexpected trailing token: " + tok);
       }
     }
   }
@@ -180,26 +326,61 @@ std::string library_to_string(const CellLibrary& lib) {
 }
 
 CellLibrary read_library(std::istream& is) {
+  LineScanner scan(is);
   std::string line;
-  WM_REQUIRE(next_line(is, line), "empty celllib input");
+  WM_REQUIRE(scan.next(line), "empty celllib input");
   {
     std::istringstream header(line);
     std::string magic, version;
     header >> magic >> version;
-    WM_REQUIRE(magic == "celllib" && version == "v1",
-               "not a celllib v1 file (header: '" + line + "')");
+    if (!(magic == "celllib" && version == "v1")) {
+      fail_at(scan.line_no(),
+              "not a celllib v1 file (header: '" + line + "')");
+    }
   }
   CellLibrary lib;
-  while (next_line(is, line)) {
-    std::istringstream ls(line);
-    std::string rec, kind;
-    ls >> rec;
-    WM_REQUIRE(rec == "cell", "unexpected record: " + rec);
+  std::set<std::string> seen;
+  while (scan.next(line)) {
+    const std::size_t ln = scan.line_no();
+    if (lib.cells().size() >= kMaxLibCells) {
+      fail_at(ln, "too many cells (limit " +
+                      std::to_string(kMaxLibCells) + ")");
+    }
+    FieldParser p(line, ln);
+    const std::string rec = p.word("record");
+    if (rec != "cell") {
+      fail_at(ln, "unexpected record '" + rec + "' (expected 'cell')");
+    }
     Cell c;
-    ls >> c.name >> kind >> c.drive >> c.c_in >> c.c_self >> c.r_out >>
-        c.d0 >> c.slew0 >> c.sc_frac >> c.adj_step >> c.adj_max_code;
-    WM_REQUIRE(!ls.fail(), "malformed cell record: " + line);
-    c.kind = kind_from(kind);
+    c.name = p.word("name");
+    if (!seen.insert(c.name).second) {
+      fail_at(ln, "duplicate cell name '" + c.name + "'");
+    }
+    const std::string kind = p.word("kind");
+    if (kind == "buffer") {
+      c.kind = CellKind::Buffer;
+    } else if (kind == "inverter") {
+      c.kind = CellKind::Inverter;
+    } else if (kind == "adb") {
+      c.kind = CellKind::Adb;
+    } else if (kind == "adi") {
+      c.kind = CellKind::Adi;
+    } else {
+      fail_at(ln, "unknown cell kind '" + kind + "'");
+    }
+    c.drive = static_cast<int>(p.integer("drive"));
+    c.c_in = p.finite("c_in");
+    c.c_self = p.finite("c_self");
+    c.r_out = p.finite("r_out");
+    c.d0 = p.finite("d0");
+    c.slew0 = p.finite("slew0");
+    c.sc_frac = p.finite("sc_frac");
+    c.adj_step = p.finite("adj_step");
+    c.adj_max_code = static_cast<int>(p.integer("adj_max_code"));
+    std::string extra;
+    if (p.rest() >> extra) {
+      fail_at(ln, "unexpected trailing token: " + extra);
+    }
     lib.add(std::move(c));
   }
   return lib;
@@ -210,6 +391,37 @@ CellLibrary library_from_string(const std::string& text) {
   return read_library(is);
 }
 
+namespace {
+
+/// 256 MiB — far above any legitimate design file; a larger input is a
+/// corrupted or hostile path, rejected before any allocation.
+constexpr std::uintmax_t kMaxFileBytes = 1ull << 28;
+
+std::ifstream open_checked(const std::string& path) {
+  std::ifstream is(path, std::ios::ate);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
+  const auto size = static_cast<std::uintmax_t>(is.tellg());
+  WM_REQUIRE(size <= kMaxFileBytes,
+             "oversized file (" + std::to_string(size) +
+                 " bytes, limit " + std::to_string(kMaxFileBytes) +
+                 "): " + path);
+  is.seekg(0);
+  return is;
+}
+
+/// Prefix reader diagnostics ("line 12: ...") with the file path.
+template <typename Fn>
+auto with_path_context(const std::string& path, Fn&& fn)
+    -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+} // namespace
+
 void save_tree(const std::string& path, const ClockTree& tree) {
   std::ofstream os(path);
   WM_REQUIRE(static_cast<bool>(os), "cannot open for write: " + path);
@@ -218,9 +430,8 @@ void save_tree(const std::string& path, const ClockTree& tree) {
 }
 
 ClockTree load_tree(const std::string& path, const CellLibrary& lib) {
-  std::ifstream is(path);
-  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
-  return read_tree(is, lib);
+  std::ifstream is = open_checked(path);
+  return with_path_context(path, [&] { return read_tree(is, lib); });
 }
 
 void save_library(const std::string& path, const CellLibrary& lib) {
@@ -231,9 +442,8 @@ void save_library(const std::string& path, const CellLibrary& lib) {
 }
 
 CellLibrary load_library(const std::string& path) {
-  std::ifstream is(path);
-  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
-  return read_library(is);
+  std::ifstream is = open_checked(path);
+  return with_path_context(path, [&] { return read_library(is); });
 }
 
 } // namespace wm

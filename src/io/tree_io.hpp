@@ -36,7 +36,11 @@ void write_tree(std::ostream& os, const ClockTree& tree);
 std::string tree_to_string(const ClockTree& tree);
 
 /// Parse a tree; cell names are resolved against `lib`.
-/// Throws wm::Error on malformed input or unknown cells.
+/// Throws wm::Error on malformed input or unknown cells. The readers
+/// are hardened (docs/robustness.md): NaN/Inf fields, duplicate or
+/// non-dense ids, parent-after-child order, truncated records,
+/// oversized lines/files and unknown cells are all rejected with the
+/// offending line (and field) named in the message.
 ClockTree read_tree(std::istream& is, const CellLibrary& lib);
 ClockTree tree_from_string(const std::string& text,
                            const CellLibrary& lib);

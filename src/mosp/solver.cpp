@@ -81,7 +81,17 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
     labels.push_back(std::move(init));
   }
 
+  BudgetTracker* budget = opts.budget;
   for (const auto& row : g.rows) {
+    // Cooperative budget poll (deadline / global label pool /
+    // cancellation): bail to the greedy incumbent — feasible, just not
+    // Pareto-searched — instead of running past the caller's budget.
+    if (budget != nullptr && budget->should_stop()) {
+      st.budget_stopped = true;
+      return incumbent;
+    }
+    const std::size_t row_created_base = st.labels_created;
+    bool budget_tripped = false;
     std::vector<Label> next;
     next.reserve(labels.size() * row.size());
     for (const Label& l : labels) {
@@ -105,6 +115,23 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
         nl.choice.push_back(v.option);
         ++st.labels_created;
         next.push_back(std::move(nl));
+        // A single row can blow up combinatorially, so re-poll inside
+        // the expansion every 1024 created labels.
+        if (budget != nullptr && (st.labels_created & 1023u) == 0 &&
+            budget->should_stop()) {
+          budget_tripped = true;
+          break;
+        }
+      }
+      if (budget_tripped) break;
+    }
+    if (budget != nullptr) {
+      if (!budget->consume_labels(st.labels_created - row_created_base)) {
+        budget_tripped = true;
+      }
+      if (budget_tripped) {
+        st.budget_stopped = true;
+        return incumbent;
       }
     }
 

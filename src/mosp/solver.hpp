@@ -16,12 +16,19 @@
 #include <cstdint>
 
 #include "mosp/graph.hpp"
+#include "util/budget.hpp"
 
 namespace wm {
 
 struct MospSolverOptions {
   double epsilon = 0.01;        ///< Warburton scaling parameter
   std::size_t max_labels = 20000;  ///< beam cap per row (safety valve)
+  /// Cooperative run budget (docs/robustness.md). When set, the label
+  /// DP polls it in its row loop and draws created labels from the
+  /// global pool; on a trip it returns the greedy incumbent (a feasible
+  /// solution) with MospStats::budget_stopped set instead of searching
+  /// on. Not owned; null = unlimited.
+  BudgetTracker* budget = nullptr;
 };
 
 struct MospStats {
@@ -33,6 +40,10 @@ struct MospStats {
   /// pruning — the DP's peak working-set size.
   std::size_t frontier_peak = 0;
   bool beam_capped = false;  ///< true if max_labels truncated the search
+  /// True if the run budget (deadline / label pool / cancellation)
+  /// stopped the DP early; the returned solution is then the greedy
+  /// incumbent (degradation ladder level "greedy").
+  bool budget_stopped = false;
 };
 
 MospSolution solve_exact(const MospGraph& g, MospSolverOptions opts = {},

@@ -1,0 +1,101 @@
+#pragma once
+// Run budgets and cooperative cancellation (docs/robustness.md).
+//
+// RunBudget is the *specification* a caller puts on WaveMinOptions: a
+// wall-clock deadline and/or a global cap on DP labels created across
+// every zone solve of the run. BudgetTracker is the *runtime* state one
+// run (or one clk_wavemin_m flow spanning several run_wavemin passes)
+// shares across its worker threads: a started clock, an atomic label
+// pool, and an atomic cancel flag.
+//
+// Everything is cooperative: hot loops (the MOSP label DP row loop, the
+// zone worker pool, the intersection sweep) poll should_stop() and
+// degrade gracefully — nothing is killed. All members are safe to call
+// concurrently; deadline expiry and label exhaustion latch so a budget
+// that trips once stays tripped for the rest of the run.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace wm {
+
+/// Budget specification; both fields 0 (the default) means unlimited —
+/// the run layer then adds no checks and results are bit-identical to a
+/// build without it.
+struct RunBudget {
+  double deadline_ms = 0.0;           ///< wall-clock budget; 0 = none
+  std::uint64_t max_total_labels = 0; ///< global DP label pool; 0 = none
+
+  bool enabled() const {
+    return deadline_ms > 0.0 || max_total_labels > 0;
+  }
+};
+
+class BudgetTracker {
+ public:
+  /// Starts the wall clock at construction.
+  explicit BudgetTracker(const RunBudget& spec = RunBudget{})
+      : spec_(spec), start_(std::chrono::steady_clock::now()) {}
+  BudgetTracker(const BudgetTracker&) = delete;
+  BudgetTracker& operator=(const BudgetTracker&) = delete;
+
+  const RunBudget& spec() const { return spec_; }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// True once the wall-clock budget is spent (latched: the first
+  /// expired clock read is remembered, later calls skip the clock).
+  bool deadline_expired() const {
+    if (spec_.deadline_ms <= 0.0) return false;
+    if (deadline_hit_.load(std::memory_order_relaxed)) return true;
+    if (elapsed_ms() < spec_.deadline_ms) return false;
+    deadline_hit_.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Draw `n` labels from the global pool. Returns false once the pool
+  /// is exhausted; the overdraw itself is counted, so labels_consumed()
+  /// reports the true amount of work done.
+  bool consume_labels(std::uint64_t n) {
+    const std::uint64_t now =
+        labels_.fetch_add(n, std::memory_order_relaxed) + n;
+    if (spec_.max_total_labels == 0) return true;
+    return now <= spec_.max_total_labels;
+  }
+
+  std::uint64_t labels_consumed() const {
+    return labels_.load(std::memory_order_relaxed);
+  }
+
+  bool labels_exhausted() const {
+    return spec_.max_total_labels != 0 &&
+           labels_consumed() > spec_.max_total_labels;
+  }
+
+  /// Cooperative kill switch; safe from any thread (e.g. a serving
+  /// front-end tearing down a request).
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// The single poll hot loops use: should in-flight work wind down?
+  bool should_stop() const {
+    return cancelled() || labels_exhausted() || deadline_expired();
+  }
+
+ private:
+  RunBudget spec_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> labels_{0};
+  std::atomic<bool> cancelled_{false};
+  mutable std::atomic<bool> deadline_hit_{false};
+};
+
+} // namespace wm

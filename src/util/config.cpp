@@ -106,6 +106,14 @@ WaveMinOptions parse_wavemin_config(std::istream& is,
                  "config: zone_tile must be positive");
     } else if (key == "verify_invariants") {
       opts.verify_invariants = parse_bool(value, key);
+    } else if (key == "deadline_ms") {
+      opts.budget.deadline_ms = parse_num(value, key);
+      WM_REQUIRE(opts.budget.deadline_ms >= 0.0,
+                 "config: deadline_ms must be >= 0");
+    } else if (key == "label_budget") {
+      const double n = parse_num(value, key);
+      WM_REQUIRE(n >= 0.0, "config: label_budget must be >= 0");
+      opts.budget.max_total_labels = static_cast<std::uint64_t>(n);
     } else {
       throw Error("config: unknown key '" + key + "' (line " +
                   std::to_string(line_no) + ")");
@@ -144,6 +152,8 @@ std::string wavemin_config_to_string(const WaveMinOptions& opts) {
   os << "zone_tile = " << opts.zone_tile << '\n';
   os << "verify_invariants = "
      << (opts.verify_invariants ? "true" : "false") << '\n';
+  os << "deadline_ms = " << opts.budget.deadline_ms << '\n';
+  os << "label_budget = " << opts.budget.max_total_labels << '\n';
   return os.str();
 }
 

@@ -1,0 +1,27 @@
+#include "util/status.hpp"
+
+namespace wm {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return "ok";
+    case StatusCode::Infeasible: return "infeasible";
+    case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+    case StatusCode::ResourceExhausted: return "resource-exhausted";
+    case StatusCode::Cancelled: return "cancelled";
+    case StatusCode::InvalidInput: return "invalid-input";
+    case StatusCode::Internal: return "internal";
+  }
+  return "?";
+}
+
+std::string Status::to_string() const {
+  std::string s = wm::to_string(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+} // namespace wm

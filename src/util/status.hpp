@@ -1,0 +1,48 @@
+#pragma once
+// wm::Status — non-throwing error propagation for the fault-tolerant
+// run layer (docs/robustness.md).
+//
+// The library's throwing APIs (wm::Error) stay the primary interface
+// for programming errors and strict flows; Status is the currency of
+// the try_* wrappers (try_run_wavemin, try_clk_wavemin_m), where a
+// production caller needs "what happened" as data instead of an
+// exception unwinding the service loop.
+
+#include <string>
+#include <utility>
+
+namespace wm {
+
+enum class StatusCode {
+  Ok,                 ///< run completed (possibly degraded — see RunReport)
+  Infeasible,         ///< no feasible intersection at the skew bound
+  DeadlineExceeded,   ///< wall-clock budget spent before any result
+  ResourceExhausted,  ///< global label budget spent before any result
+  Cancelled,          ///< cooperative cancellation before any result
+  InvalidInput,       ///< malformed input or bad options (wm::Error text)
+  Internal,           ///< unexpected failure (non-wm exception text)
+};
+
+const char* to_string(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::Ok; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "invalid-input: unknown cell 'X'".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::Ok;
+  std::string message_;
+};
+
+} // namespace wm

@@ -1,0 +1,60 @@
+# Exit-code contract test for tools/wavemin_cli, run via
+#   cmake -DCLI=<cli> -DLINT=<lint> -DBADIO=<tests/data/bad_io>
+#         -DWORK=<scratch dir> -P cli_exit_contract.cmake
+# Contract (see wavemin_cli.cpp): 0 = clean optimum, 1 = usage error,
+# 2 = infeasible, 3 = run degraded by a budget (valid assignment
+# applied), 4 = run failed (malformed input, internal error, or
+# --strict with a degraded run).
+
+foreach(var CLI LINT BADIO WORK)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${WORK})
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+        "expected exit ${code}, got '${rv}' from: ${ARGN}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+expect_exit(0 ${CLI} gen s13207 -o ${WORK}/clean.ctree)
+
+# 0: a normal optimization completes clean.
+expect_exit(0 ${CLI} opt ${WORK}/clean.ctree -o ${WORK}/opt.ctree)
+
+# 1: usage errors (unknown command, unknown option, missing file arg).
+expect_exit(1 ${CLI} frobnicate)
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --no-such-flag)
+expect_exit(1 ${CLI} opt)
+
+# 2: infeasible skew bound — reported as data, not as a failure.
+expect_exit(2 ${CLI} opt ${WORK}/clean.ctree --kappa 0.001)
+
+# 3: a tiny deadline degrades the run, but the CLI still writes a
+# skew-feasible assignment — which wavemin_lint must accept (exit 0).
+expect_exit(3 ${CLI} opt ${WORK}/clean.ctree --deadline-ms 0.01
+              -o ${WORK}/degraded.ctree)
+expect_exit(0 ${LINT} ${WORK}/degraded.ctree --quiet)
+
+# 3: the label-pool budget degrades the same way.
+expect_exit(3 ${CLI} opt ${WORK}/clean.ctree --label-budget 10
+              -o ${WORK}/degraded2.ctree)
+expect_exit(0 ${LINT} ${WORK}/degraded2.ctree --quiet)
+
+# 4: malformed input is a failure, with the offending line named.
+expect_exit(4 ${CLI} opt ${BADIO}/truncated_record.ctree)
+expect_exit(4 ${CLI} opt ${BADIO}/nan_coord.ctree)
+
+# 4: --strict promotes a degraded run to a hard failure.
+expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --deadline-ms 0.01 --strict)
+
+message(STATUS "wavemin_cli exit-code contract holds")

@@ -1,0 +1,270 @@
+// Fault-tolerant run layer (docs/robustness.md): BudgetTracker
+// semantics, budget-stopped label DP, the per-zone degradation ladder
+// under tiny deadlines / label pools, cooperative cancellation (also a
+// tsan target — cancel races the worker pool), and the non-throwing
+// try_* envelopes.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cells/characterizer.hpp"
+#include "core/evaluate.hpp"
+#include "core/wavemin.hpp"
+#include "core/wavemin_m.hpp"
+#include "cts/benchmarks.hpp"
+#include "mosp/solver.hpp"
+#include "timing/arrival.hpp"
+#include "util/budget.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+// ---------------------------------------------------------------- budget
+
+TEST(BudgetTracker, UnlimitedByDefault) {
+  BudgetTracker t;
+  EXPECT_FALSE(RunBudget{}.enabled());
+  EXPECT_FALSE(t.should_stop());
+  EXPECT_TRUE(t.consume_labels(1'000'000));
+  EXPECT_FALSE(t.labels_exhausted());
+  EXPECT_FALSE(t.deadline_expired());
+  EXPECT_GE(t.elapsed_ms(), 0.0);
+}
+
+TEST(BudgetTracker, DeadlineLatches) {
+  RunBudget b;
+  b.deadline_ms = 0.01;
+  EXPECT_TRUE(b.enabled());
+  BudgetTracker t(b);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(t.deadline_expired());
+  EXPECT_TRUE(t.should_stop());
+  // Latched: stays expired on every later poll.
+  EXPECT_TRUE(t.deadline_expired());
+}
+
+TEST(BudgetTracker, LabelPoolCountsOverdraw) {
+  RunBudget b;
+  b.max_total_labels = 100;
+  BudgetTracker t(b);
+  EXPECT_TRUE(t.consume_labels(60));
+  EXPECT_FALSE(t.labels_exhausted());
+  EXPECT_FALSE(t.consume_labels(60));  // 120 > 100
+  EXPECT_TRUE(t.labels_exhausted());
+  EXPECT_TRUE(t.should_stop());
+  // The overdraw is still accounted: true work done, not the cap.
+  EXPECT_EQ(t.labels_consumed(), 120u);
+}
+
+TEST(BudgetTracker, CancelIsSticky) {
+  BudgetTracker t;
+  EXPECT_FALSE(t.cancelled());
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.should_stop());
+}
+
+// ------------------------------------------------------- label DP stop
+
+MospGraph random_graph(Rng& rng, std::size_t rows, std::size_t options,
+                       int dims) {
+  MospGraph g;
+  g.dims = dims;
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<MospVertex> row;
+    for (std::size_t o = 0; o < options; ++o) {
+      MospVertex v;
+      v.option = static_cast<int>(o);
+      for (int d = 0; d < dims; ++d) {
+        v.weight.push_back(rng.uniform(0.0, 100.0));
+      }
+      row.push_back(std::move(v));
+    }
+    g.rows.push_back(std::move(row));
+  }
+  g.dest_weight.assign(static_cast<std::size_t>(dims), 0.0);
+  return g;
+}
+
+TEST(LabelDpBudget, StopReturnsGreedyIncumbent) {
+  Rng rng(1234);
+  const MospGraph g = random_graph(rng, 12, 6, 4);
+  RunBudget b;
+  b.max_total_labels = 1;  // trips on the first row
+  BudgetTracker t(b);
+  MospSolverOptions opts;
+  opts.budget = &t;
+  MospStats st;
+  const MospSolution got = solve_warburton(g, opts, &st);
+  EXPECT_TRUE(st.budget_stopped);
+  // The incumbent is the greedy solution — feasible, fully assigned.
+  const MospSolution greedy = solve_greedy(g);
+  ASSERT_EQ(got.choice.size(), g.rows.size());
+  EXPECT_DOUBLE_EQ(got.worst, greedy.worst);
+}
+
+TEST(LabelDpBudget, NoBudgetMatchesPlainSolve) {
+  Rng rng(99);
+  const MospGraph g = random_graph(rng, 10, 5, 3);
+  BudgetTracker t;  // unlimited
+  MospSolverOptions with;
+  with.budget = &t;
+  MospStats st;
+  const MospSolution a = solve_warburton(g, with, &st);
+  const MospSolution b = solve_warburton(g);
+  EXPECT_FALSE(st.budget_stopped);
+  EXPECT_DOUBLE_EQ(a.worst, b.worst);
+  EXPECT_EQ(a.choice, b.choice);
+}
+
+// ------------------------------------------------------ ladder, e2e
+
+class RunLayerTest : public ::testing::Test {
+ protected:
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Characterizer chr{lib};
+};
+
+TEST_F(RunLayerTest, NoBudgetReportIsClean) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.report.degraded());
+  EXPECT_FALSE(r.report.deadline_hit);
+  EXPECT_FALSE(r.report.label_budget_hit);
+  EXPECT_FALSE(r.report.cancelled);
+  EXPECT_EQ(r.report.intersections_skipped, 0u);
+  EXPECT_EQ(r.report.zones_at(LadderLevel::Full), r.report.zones.size());
+}
+
+TEST_F(RunLayerTest, TinyDeadlineDegradesButStaysFeasible) {
+  ClockTree tree = make_benchmark(spec_by_name("s35932"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.budget.deadline_ms = 0.01;  // expires before the first zone
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.report.degraded());
+  EXPECT_TRUE(r.report.deadline_hit);
+  EXPECT_GT(r.report.zones_at(LadderLevel::Identity), 0u);
+  // Degraded != infeasible: the applied assignment still honors kappa.
+  EXPECT_LE(compute_arrivals(tree).skew(), opts.kappa * 1.15 + 2.0);
+}
+
+TEST_F(RunLayerTest, LabelPoolDegradesButStaysFeasible) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.budget.max_total_labels = 10;
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.report.degraded());
+  EXPECT_TRUE(r.report.label_budget_hit);
+  EXPECT_GT(r.report.labels_consumed, 0u);
+  EXPECT_LE(compute_arrivals(tree).skew(), opts.kappa * 1.15 + 2.0);
+}
+
+TEST_F(RunLayerTest, CancelBeforeStartYieldsIdentityEverywhere) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  BudgetTracker tracker;
+  tracker.cancel();
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.budget_tracker = &tracker;
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.report.cancelled);
+  EXPECT_EQ(r.report.zones_at(LadderLevel::Identity),
+            r.report.zones.size());
+  EXPECT_LE(compute_arrivals(tree).skew(), opts.kappa * 1.15 + 2.0);
+}
+
+// The tsan exercise: cancel() races the zone worker pool. Assertions
+// stay race-agnostic — whoever wins, the run must end feasible.
+TEST_F(RunLayerTest, ConcurrentCancelIsSafe) {
+  ClockTree tree = make_benchmark(spec_by_name("s35932"), lib);
+  BudgetTracker tracker;
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.threads = 4;
+  opts.budget_tracker = &tracker;
+  std::thread killer([&tracker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    tracker.cancel();
+  });
+  const WaveMinResult r = clk_wavemin(tree, lib, chr, opts);
+  killer.join();
+  ASSERT_TRUE(r.success);
+  EXPECT_LE(compute_arrivals(tree).skew(), opts.kappa * 1.15 + 2.0);
+}
+
+// ----------------------------------------------------------- try_* APIs
+
+TEST_F(RunLayerTest, TryRunMapsBadOptionsToInvalidInput) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.skew_guard_band = 50.0;  // >= kappa: rejected by the run
+  const TryRunResult r = try_clk_wavemin(tree, lib, chr, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::InvalidInput);
+  EXPECT_FALSE(r.result.success);
+  EXPECT_NE(r.status.to_string().find("guard band"), std::string::npos)
+      << r.status.to_string();
+}
+
+TEST_F(RunLayerTest, TryRunMapsNoIntersectionToInfeasible) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 0.001;  // far below any achievable window
+  const TryRunResult r = try_clk_wavemin(tree, lib, chr, opts);
+  EXPECT_EQ(r.status.code(), StatusCode::Infeasible);
+  EXPECT_FALSE(r.result.success);
+}
+
+TEST_F(RunLayerTest, TryRunOkOnCleanRun) {
+  ClockTree tree = make_benchmark(spec_by_name("s13207"), lib);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  const TryRunResult r = try_clk_wavemin(tree, lib, chr, opts);
+  EXPECT_TRUE(r.status.is_ok());
+  EXPECT_TRUE(r.result.success);
+  EXPECT_FALSE(r.result.report.degraded());
+}
+
+TEST_F(RunLayerTest, TryMultiModeSharesOneDeadline) {
+  const BenchmarkSpec& spec = spec_by_name("s15850");
+  ClockTree tree = make_benchmark(spec, lib);
+  const ModeSet modes = make_mode_set(spec);
+  CharacterizerOptions co;
+  co.vdds = modes.distinct_vdds();
+  const Characterizer mchr(lib, co);
+  WaveMinOptions opts;
+  opts.kappa = 20.0;
+  opts.budget.deadline_ms = 0.01;
+  const TryRunMResult r =
+      try_clk_wavemin_m(tree, lib, mchr, modes, opts);
+  // A degraded-but-valid flow is Ok; only a total failure is non-Ok.
+  if (r.status.is_ok()) {
+    EXPECT_TRUE(r.result.opt.success);
+    EXPECT_TRUE(r.result.opt.report.degraded());
+  } else {
+    EXPECT_EQ(r.status.code(), StatusCode::Infeasible);
+  }
+}
+
+TEST(StatusTest, ToStringCarriesCodeAndMessage) {
+  EXPECT_EQ(Status::ok().to_string(), "ok");
+  const Status s(StatusCode::DeadlineExceeded, "spent 5ms of 5ms");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_NE(s.to_string().find("deadline"), std::string::npos)
+      << s.to_string();
+  EXPECT_NE(s.to_string().find("spent 5ms"), std::string::npos);
+}
+
+} // namespace
+} // namespace wm

@@ -14,6 +14,9 @@
 //   --epsilon <e>       Warburton scaling     (default 0.01)
 //   --xor               enable XOR-reconfigurable polarity
 //   --circuit <name>    mode set source for wavemin-m (default s13207)
+//   --deadline-ms <ms>  wall-clock run budget (docs/robustness.md)
+//   --label-budget <n>  global DP label budget
+//   --strict            fail (exit 4) instead of degrading per zone
 //   --metrics           print a wm::obs metrics table to stderr
 //   --metrics-out <f>   write wm::obs metrics as JSON (observability.md)
 //   -o <path>           output tree           (default: overwrite input)
@@ -22,11 +25,19 @@
 // file, validates it structurally, and (with --schema) checks its
 // schema version against a reference fixture. Exit 0 valid, 1 not.
 //
-// Exit codes: 0 success, 1 usage error, 2 optimization infeasible.
+// Exit codes (the run-layer contract, docs/robustness.md):
+//   0  clean success
+//   1  usage error
+//   2  optimization infeasible (skew bound unreachable)
+//   3  success but degraded (budget tripped / zone errors quarantined);
+//      the written tree is still a valid, skew-feasible assignment
+//   4  failed (bad input, runtime error, or --strict with degradation)
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "cells/characterizer.hpp"
@@ -61,6 +72,7 @@ int usage() {
       "wavemin-m]\n"
       "              [--kappa ps] [--samples n] [--epsilon e] [--xor]\n"
       "              [--config file.cfg]\n"
+      "              [--deadline-ms ms] [--label-budget n] [--strict]\n"
       "              [--circuit name] [-o out.ctree]\n"
       "              [--metrics] [--metrics-out m.json]\n"
       "  wavemin_cli eval <tree.ctree> [--circuit name] [--multimode]\n"
@@ -87,6 +99,9 @@ struct Args {
   bool metrics = false;
   std::string metrics_out;
   std::string schema;
+  double deadline_ms = 0.0;
+  double label_budget = 0.0;
+  bool strict = false;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -113,6 +128,12 @@ bool parse(int argc, char** argv, Args& a) {
       if (!next(a.epsilon)) return false;
     } else if (t == "--xor") {
       a.use_xor = true;
+    } else if (t == "--deadline-ms") {
+      if (!next(a.deadline_ms)) return false;
+    } else if (t == "--label-budget") {
+      if (!next(a.label_budget)) return false;
+    } else if (t == "--strict") {
+      a.strict = true;
     } else if (t == "--metrics") {
       a.metrics = true;
     } else if (t == "--metrics-out" && i + 1 < argc) {
@@ -288,6 +309,11 @@ int main(int argc, char** argv) {
         opts.epsilon = a.epsilon;
         opts.enable_xor_polarity = a.use_xor;
       }
+      if (a.deadline_ms > 0.0) opts.budget.deadline_ms = a.deadline_ms;
+      if (a.label_budget > 0.0) {
+        opts.budget.max_total_labels =
+            static_cast<std::uint64_t>(a.label_budget);
+      }
 
       obs::MetricsRegistry registry;
       const bool want_metrics = a.metrics || !a.metrics_out.empty();
@@ -312,16 +338,32 @@ int main(int argc, char** argv) {
         }
       };
 
+      // Fault-tolerant by default: budget trips and per-zone errors
+      // degrade the run (exit 3) instead of killing it; --strict keeps
+      // the throwing fail-fast path and turns degradation into exit 4.
       WaveMinResult r;
-      if (a.algo == "wavemin") {
-        r = clk_wavemin(tree, lib, chr, opts);
-      } else if (a.algo == "wavemin-f") {
-        r = clk_wavemin_f(tree, lib, chr, opts);
+      Status status;
+      if (a.algo == "wavemin" || a.algo == "wavemin-f") {
+        if (a.algo == "wavemin-f") opts.solver = SolverKind::Greedy;
+        if (a.strict) {
+          r = clk_wavemin(tree, lib, chr, opts);
+        } else {
+          TryRunResult t = try_clk_wavemin(tree, lib, chr, opts);
+          status = t.status;
+          r = std::move(t.result);
+        }
       } else if (a.algo == "peakmin") {
         r = clk_peakmin(tree, lib, chr, a.kappa);
       } else if (a.algo == "wavemin-m") {
-        const WaveMinMResult m = clk_wavemin_m(tree, lib, chr, modes, opts);
-        r = m.opt;
+        WaveMinMResult m;
+        if (a.strict) {
+          m = clk_wavemin_m(tree, lib, chr, modes, opts);
+        } else {
+          TryRunMResult t = try_clk_wavemin_m(tree, lib, chr, modes, opts);
+          status = t.status;
+          m = std::move(t.result);
+        }
+        r = std::move(m.opt);
         std::printf("multi-mode flow: %d ADBs inserted, final %d ADB / "
                     "%d ADI\n",
                     m.adb.adbs_inserted, m.adb_count, m.adi_count);
@@ -330,6 +372,11 @@ int main(int argc, char** argv) {
         return usage();
       }
 
+      if (!status.is_ok() && status.code() != StatusCode::Infeasible) {
+        std::fprintf(stderr, "failed: %s\n", status.to_string().c_str());
+        emit_metrics();
+        return 4;
+      }
       if (!r.success) {
         std::fprintf(stderr,
                      "infeasible: no assignment meets kappa=%.1f ps\n",
@@ -340,14 +387,21 @@ int main(int argc, char** argv) {
       std::printf("%s: model peak %.1f uA, %zu intervals, %.1f ms\n",
                   a.algo.c_str(), r.model_peak, r.intersections,
                   r.runtime_ms);
+      const bool degraded = r.report.degraded();
+      if (degraded) {
+        std::fputs(r.report.summary().c_str(), stderr);
+      }
       print_eval(tree, modes);
       save_tree(a.out.empty() ? in : a.out, tree);
       emit_metrics();
+      if (degraded) return a.strict ? 4 : 3;
       return 0;
     }
   } catch (const Error& e) {
+    // Run-layer contract: a failed run (bad input, runtime error) is
+    // exit 4, distinct from usage errors (1) and infeasibility (2).
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return 4;
   }
   return usage();
 }
