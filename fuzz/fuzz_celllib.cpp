@@ -1,0 +1,47 @@
+// libFuzzer harness for the hardened celllib reader (io/tree_io.cpp).
+//
+// Same contract as fuzz_ctree: parse or throw wm::Error, nothing else.
+// Seed corpus: tests/data/bad_io/*.celllib.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "io/tree_io.hpp"
+#include "util/error.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)wm::library_from_string(text);
+  } catch (const wm::Error&) {
+    // Rejected input with a diagnostic: exactly the contract.
+  }
+  return 0;
+}
+
+#ifdef WAVEMIN_FUZZ_STANDALONE
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  int files = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream is(argv[i], std::ios::binary);
+    if (!is) {
+      std::fprintf(stderr, "cannot open: %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string text = buf.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    ++files;
+  }
+  std::printf("fuzz_celllib_replay: %d input(s), no crash\n", files);
+  return 0;
+}
+#endif

@@ -1,0 +1,344 @@
+#include "core/checkpoint.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+#include "fault/fault.hpp"
+#include "io/tree_io.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace wm::ck {
+
+namespace {
+
+// A checkpoint scales with the design (zones x sinks), never beyond it;
+// anything larger is corrupt or hostile.
+constexpr std::size_t kMaxCheckpointBytes = 1ull << 28;  // 256 MiB
+constexpr std::size_t kMaxZoneEntries = 4'000'000;
+constexpr std::size_t kMaxChoices = 1'000'000;
+
+std::uint64_t fnv1a(const void* data, std::size_t n,
+                    std::uint64_t h = 1469598103934665603ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t h) {
+  return fnv1a(s.data(), s.size(), h);
+}
+
+template <typename T>
+std::uint64_t fnv1a_pod(const T& v, std::uint64_t h) {
+  return fnv1a(&v, sizeof v, h);
+}
+
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
+  throw Error("wmck line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Percent-escape so an error message survives the whitespace-separated
+/// record format ('%', ' ', tab, CR, LF).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '%': out += "%25"; break;
+      case ' ': out += "%20"; break;
+      case '\t': out += "%09"; break;
+      case '\r': out += "%0d"; break;
+      case '\n': out += "%0a"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(const std::string& s, std::size_t line_no) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    if (i + 2 >= s.size()) fail_at(line_no, "truncated %-escape");
+    const auto hex = [&](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      fail_at(line_no, std::string("bad %-escape digit '") + c + "'");
+    };
+    out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+    i += 2;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& tok, std::size_t line_no,
+                        const char* what, int base = 10) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(tok.c_str(), &end, base);
+  if (tok.empty() || end != tok.c_str() + tok.size()) {
+    fail_at(line_no, std::string("bad ") + what + " ('" + tok + "')");
+  }
+  return v;
+}
+
+double parse_finite(const std::string& tok, std::size_t line_no,
+                    const char* what) {
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size() ||
+      !std::isfinite(v)) {
+    fail_at(line_no, std::string("bad ") + what + " ('" + tok + "')");
+  }
+  return v;
+}
+
+} // namespace
+
+std::uint64_t options_fingerprint(const WaveMinOptions& opts,
+                                  const ClockTree& tree,
+                                  const CellLibrary& lib,
+                                  const ModeSet& modes) {
+  std::uint64_t h = fnv1a_str(tree_to_string(tree),
+                              1469598103934665603ULL);
+  h = fnv1a_str(library_to_string(lib), h);
+  h = fnv1a_pod(modes.count(), h);
+  for (const double v : modes.distinct_vdds()) h = fnv1a_pod(v, h);
+  for (const double t : modes.distinct_temps()) h = fnv1a_pod(t, h);
+  // Every option that changes zone solutions. The budget, thread count,
+  // verify hooks and metrics knobs are deliberately excluded: they
+  // change how much gets solved, never what a solved zone contains.
+  h = fnv1a_pod(opts.kappa, h);
+  h = fnv1a_pod(opts.skew_guard_band, h);
+  h = fnv1a_pod(opts.samples, h);
+  h = fnv1a_pod(static_cast<int>(opts.solver), h);
+  h = fnv1a_pod(opts.epsilon, h);
+  h = fnv1a_pod(opts.max_labels, h);
+  h = fnv1a_pod(opts.include_nonleaf, h);
+  h = fnv1a_pod(opts.shift_by_arrival, h);
+  h = fnv1a_pod(opts.zone_tile, h);
+  h = fnv1a_pod(opts.dof_beam, h);
+  h = fnv1a_pod(opts.period, h);
+  h = fnv1a_pod(opts.enable_xor_polarity, h);
+  if (opts.enable_xor_polarity) {
+    h = fnv1a_pod(opts.xor_delay, h);
+    h = fnv1a_str(opts.xor_base_cell, h);
+  }
+  return h;
+}
+
+std::string to_string(const Checkpoint& c) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+  os << "wmck v1\n";
+  os << "opts " << std::hex << std::setw(16) << std::setfill('0')
+     << c.options_hash << std::dec << std::setfill(' ') << '\n';
+  os << "seed " << c.seed << '\n';
+  for (const ZoneEntry& z : c.zones) {
+    os << "zone " << z.key << ' ' << z.ladder << ' '
+       << (z.beam_capped ? 1 : 0) << ' ' << z.worst << ' '
+       << z.elapsed_ms << ' ' << z.choice.size();
+    for (const int ch : z.choice) os << ' ' << ch;
+    if (!z.error.empty()) os << " err " << escape(z.error);
+    os << '\n';
+  }
+  std::string body = os.str();
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  std::ostringstream trailer;
+  trailer << "crc " << std::hex << std::setw(8) << std::setfill('0')
+          << crc << '\n';
+  return body + trailer.str();
+}
+
+Checkpoint from_string(const std::string& text) {
+  WM_REQUIRE(text.size() <= kMaxCheckpointBytes,
+             "oversized checkpoint (" + std::to_string(text.size()) +
+                 " bytes, limit " + std::to_string(kMaxCheckpointBytes) +
+                 ")");
+  // Split off the trailer: the last non-empty line must be "crc <hex8>"
+  // and the CRC covers every byte before that line.
+  const auto last_nl = text.find_last_of('\n', text.size() - 1);
+  std::size_t trailer_pos = std::string::npos;
+  if (!text.empty() && last_nl == text.size() - 1) {
+    trailer_pos = text.find_last_of('\n', text.size() - 2);
+    trailer_pos = trailer_pos == std::string::npos ? 0 : trailer_pos + 1;
+  }
+  if (trailer_pos == std::string::npos ||
+      text.compare(trailer_pos, 4, "crc ") != 0) {
+    throw Error("wmck: missing crc trailer (truncated checkpoint?)");
+  }
+  const std::string crc_tok = [&] {
+    std::string t = text.substr(trailer_pos + 4);
+    while (!t.empty() && (t.back() == '\n' || t.back() == '\r')) {
+      t.pop_back();
+    }
+    return t;
+  }();
+  const auto want_crc =
+      static_cast<std::uint32_t>(parse_u64(crc_tok, 0, "crc", 16));
+  const std::uint32_t got_crc = crc32(text.data(), trailer_pos);
+  if (want_crc != got_crc) {
+    std::ostringstream os;
+    os << "wmck: crc mismatch (file " << std::hex << std::setw(8)
+       << std::setfill('0') << want_crc << ", computed " << std::setw(8)
+       << got_crc << ") — corrupted checkpoint";
+    throw Error(os.str());
+  }
+
+  std::istringstream is(text.substr(0, trailer_pos));
+  std::string line;
+  std::size_t line_no = 0;
+  Checkpoint c;
+
+  WM_REQUIRE(std::getline(is, line), "empty wmck input");
+  ++line_no;
+  if (line != "wmck v1") {
+    fail_at(line_no, "not a wmck v1 file (header: '" + line + "')");
+  }
+
+  bool saw_opts = false;
+  bool saw_seed = false;
+  std::unordered_set<std::uint64_t> seen_keys;
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string rec;
+    if (!(ls >> rec)) continue;
+    if (rec == "opts") {
+      std::string tok;
+      if (!(ls >> tok)) fail_at(line_no, "missing opts hash");
+      c.options_hash = parse_u64(tok, line_no, "opts hash", 16);
+      saw_opts = true;
+    } else if (rec == "seed") {
+      std::string tok;
+      if (!(ls >> tok)) fail_at(line_no, "missing seed");
+      c.seed = parse_u64(tok, line_no, "seed");
+      saw_seed = true;
+    } else if (rec == "zone") {
+      if (c.zones.size() >= kMaxZoneEntries) {
+        fail_at(line_no, "too many zone entries (limit " +
+                             std::to_string(kMaxZoneEntries) + ")");
+      }
+      ZoneEntry z;
+      std::string key_tok, ladder_tok, beam_tok, worst_tok, ms_tok,
+          n_tok;
+      if (!(ls >> key_tok >> ladder_tok >> beam_tok >> worst_tok >>
+            ms_tok >> n_tok)) {
+        fail_at(line_no, "truncated zone record");
+      }
+      z.key = parse_u64(key_tok, line_no, "zone key");
+      const std::uint64_t ladder =
+          parse_u64(ladder_tok, line_no, "ladder");
+      if (ladder > 2) fail_at(line_no, "ladder out of range");
+      z.ladder = static_cast<int>(ladder);
+      const std::uint64_t beam = parse_u64(beam_tok, line_no, "beam");
+      if (beam > 1) fail_at(line_no, "beam flag out of range");
+      z.beam_capped = beam == 1;
+      z.worst = parse_finite(worst_tok, line_no, "worst");
+      z.elapsed_ms = parse_finite(ms_tok, line_no, "elapsed_ms");
+      const std::uint64_t n = parse_u64(n_tok, line_no, "choice count");
+      if (n > kMaxChoices) {
+        fail_at(line_no, "too many choices (limit " +
+                             std::to_string(kMaxChoices) + ")");
+      }
+      z.choice.reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        std::string tok;
+        if (!(ls >> tok)) fail_at(line_no, "truncated choice list");
+        const long long v = static_cast<long long>(
+            parse_u64(tok, line_no, "choice"));
+        z.choice.push_back(static_cast<int>(v));
+      }
+      std::string tok;
+      if (ls >> tok) {
+        if (tok != "err") {
+          fail_at(line_no, "unexpected trailing token: " + tok);
+        }
+        std::string esc;
+        if (!(ls >> esc)) fail_at(line_no, "missing err text");
+        z.error = unescape(esc, line_no);
+        if (ls >> tok) {
+          fail_at(line_no, "unexpected trailing token: " + tok);
+        }
+      }
+      if (!seen_keys.insert(z.key).second) {
+        fail_at(line_no,
+                "duplicate zone key " + std::to_string(z.key));
+      }
+      c.zones.push_back(std::move(z));
+    } else {
+      fail_at(line_no, "unexpected record '" + rec + "'");
+    }
+  }
+  if (!saw_opts) throw Error("wmck: missing opts record");
+  if (!saw_seed) throw Error("wmck: missing seed record");
+  return c;
+}
+
+void save(const std::string& path, const Checkpoint& c) {
+  fault::inject("ck.write");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    WM_REQUIRE(static_cast<bool>(os),
+               "cannot open for write: " + tmp);
+    os << to_string(c);
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw Error("write failed: " + tmp);
+    }
+  }
+  // POSIX rename within one directory is atomic: a concurrent reader
+  // (or a resume after SIGKILL mid-write) sees the old complete file or
+  // the new one, never a prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename " + tmp + " -> " + path);
+  }
+  fault::inject("ck.kill_after_write");
+}
+
+Checkpoint load(const std::string& path,
+                std::uint64_t expect_options_hash) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open checkpoint: " + path);
+  const auto size = static_cast<std::uint64_t>(is.tellg());
+  WM_REQUIRE(size <= kMaxCheckpointBytes,
+             "oversized checkpoint (" + std::to_string(size) +
+                 " bytes): " + path);
+  is.seekg(0);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  is.read(text.data(), static_cast<std::streamsize>(size));
+  WM_REQUIRE(static_cast<bool>(is), "read failed: " + path);
+  try {
+    Checkpoint c = from_string(text);
+    if (c.options_hash != expect_options_hash) {
+      std::ostringstream os;
+      os << "stale checkpoint: options/design fingerprint " << std::hex
+         << c.options_hash << " does not match this run's "
+         << expect_options_hash
+         << " (tree, library, modes or solver options changed)";
+      throw Error(os.str());
+    }
+    return c;
+  } catch (const Error& e) {
+    throw Error(path + ": " + e.what());
+  }
+}
+
+} // namespace wm::ck

@@ -1,0 +1,84 @@
+#pragma once
+// wm::ck — crash-safe checkpoint/resume of WaveMin runs
+// (docs/robustness.md).
+//
+// run_wavemin memoizes one ZoneSolution per (zone, surviving-candidate
+// mask) key; that memo is exactly the state worth surviving a crash. A
+// checkpoint serializes every memo entry — choice vector, ladder rung,
+// quarantined error text, solve wall time — plus an options/design
+// fingerprint, to a versioned ".wmck" text file with a CRC-32 trailer.
+// Writes go through a temp file + atomic rename, so a reader never sees
+// a torn checkpoint; a killed run leaves either the previous complete
+// checkpoint or the new one, never garbage.
+//
+// On resume the fingerprint must match (same tree bytes, library,
+// modes and solver-relevant options), the CRC must hold, and every
+// record must parse — anything else is a wm::Error naming the problem.
+// Preloaded entries hit the memo, so a resumed run re-derives the
+// intersection sweep from identical zone solutions and produces results
+// bit-identical to an uninterrupted run.
+//
+// Format (line-oriented, '#'-free, LF only):
+//
+//   wmck v1
+//   opts <16-hex fingerprint>
+//   seed <u64>
+//   zone <key> <ladder> <beam> <worst> <elapsed_ms> <n> <c0> ... [err <esc>]
+//   ...
+//   crc <8-hex CRC-32 of every preceding byte>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+
+namespace wm::ck {
+
+/// One memoized zone solution (mirrors wavemin.cpp's ZoneSolution).
+struct ZoneEntry {
+  std::uint64_t key = 0;  ///< zone_mask_key of (zone, masks)
+  int ladder = 0;         ///< LadderLevel as int (0 full / 1 greedy / 2 id)
+  bool beam_capped = false;
+  double worst = 0.0;
+  double elapsed_ms = 0.0;
+  std::vector<int> choice;  ///< candidate index per zone sink
+  std::string error;        ///< quarantined error text ("" if none)
+};
+
+struct Checkpoint {
+  std::uint64_t options_hash = 0;
+  std::uint64_t seed = 0;
+  std::vector<ZoneEntry> zones;
+};
+
+/// Fingerprint binding a checkpoint to its run: FNV-1a over the
+/// serialized tree and library, the mode set, and every option that
+/// changes zone solutions. Two runs with equal fingerprints produce
+/// bit-identical memo entries for equal keys.
+std::uint64_t options_fingerprint(const WaveMinOptions& opts,
+                                  const ClockTree& tree,
+                                  const CellLibrary& lib,
+                                  const ModeSet& modes);
+
+/// Serialize with full double precision (round-trips bit-exactly) and
+/// the CRC trailer already appended.
+std::string to_string(const Checkpoint& c);
+
+/// Parse + verify. Throws wm::Error on a bad header, a CRC mismatch, a
+/// truncated/garbled record, a duplicate key, or an out-of-range field.
+Checkpoint from_string(const std::string& text);
+
+/// Atomic write: serialize to `path + ".tmp"`, then rename over `path`.
+/// Throws wm::Error on I/O failure (the temp file is removed).
+void save(const std::string& path, const Checkpoint& c);
+
+/// Load + verify; additionally rejects a fingerprint mismatch against
+/// `expect_options_hash` ("stale checkpoint") with both hashes named.
+Checkpoint load(const std::string& path,
+                std::uint64_t expect_options_hash);
+
+} // namespace wm::ck

@@ -2,6 +2,8 @@
 // Knobs of the WaveMin optimization (paper Secs. V-VII).
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "util/budget.hpp"
 #include "util/units.hpp"
@@ -92,6 +94,29 @@ struct WaveMinOptions {
   /// the run. Set by the try_* wrappers; off by default so the throwing
   /// API keeps its fail-fast contract.
   bool quarantine_zone_errors = false;
+
+  /// Run seed: the single seed every stochastic or schedule-driven
+  /// companion of a run derives from (fault schedules, MC studies
+  /// launched alongside, benchmark generation via the CLI). The
+  /// optimization itself is deterministic; the seed is recorded in
+  /// RunReport::seed and the metrics JSON (gauge "run.seed") so a
+  /// degraded run is reproducible from its artifacts alone.
+  std::uint64_t seed = 0;
+
+  // --- crash-safe checkpoint/resume (docs/robustness.md) -------------
+
+  /// When non-empty, run_wavemin writes a ".wmck" checkpoint of every
+  /// memoized zone solution after each intersection (atomic rename,
+  /// CRC-checked). A checkpoint write failure degrades to a warning +
+  /// "ck.write_failures" counter — it never aborts a healthy run.
+  std::string checkpoint_path;
+
+  /// When non-empty, preload zone solutions from this checkpoint before
+  /// solving. The checkpoint's options/design fingerprint must match
+  /// this run's (else wm::Error); matched entries skip their zone
+  /// solves and the run's results are bit-identical to an uninterrupted
+  /// one. The count lands in RunReport::resumed_zones.
+  std::string resume_path;
 
   /// Collect wm::obs phase timers / counters / histograms during the
   /// run (docs/observability.md lists the catalog). Off by default:

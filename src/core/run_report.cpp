@@ -57,6 +57,10 @@ std::string RunReport::summary() const {
   if (quarantined_errors > 0) {
     os << "; " << quarantined_errors << " zone error(s) quarantined";
   }
+  if (resumed_zones > 0) {
+    os << "; " << resumed_zones << " zone(s) resumed from checkpoint";
+  }
+  if (seed != 0) os << "; seed " << seed;
   os << '\n';
   for (const ZoneRunReport& z : zones) {
     if (z.ladder == LadderLevel::Full && z.error.empty() &&

@@ -52,6 +52,12 @@ struct RunReport {
   std::size_t intersections_skipped = 0;
   /// Zones whose wm::Error was quarantined (fault-tolerant mode only).
   std::size_t quarantined_errors = 0;
+  /// Zone solutions preloaded from a --resume checkpoint (their solves
+  /// were skipped); 0 on a fresh run.
+  std::size_t resumed_zones = 0;
+  /// The run seed (WaveMinOptions::seed), recorded so a degraded run is
+  /// reproducible from the artifact alone.
+  std::uint64_t seed = 0;
 
   /// Any zone below Full, any quarantined error, or any budget trip.
   bool degraded() const;

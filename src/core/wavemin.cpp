@@ -8,10 +8,12 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/checkpoint.hpp"
 #include "core/intervals.hpp"
 #include "core/noise_model.hpp"
 #include "core/sampling.hpp"
 #include "core/solver_dispatch.hpp"
+#include "fault/fault.hpp"
 #include "mosp/solver.hpp"
 #include "obs/metrics.hpp"
 #include "tree/zone.hpp"
@@ -109,6 +111,17 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
   obs::add(m, "wavemin.runs");
   obs::gauge_set(m, "wavemin.kappa", opts.kappa);
   obs::gauge_set(m, "wavemin.samples", static_cast<double>(opts.samples));
+  result.report.seed = opts.seed;
+  if (opts.seed != 0) {
+    obs::gauge_set(m, "run.seed", static_cast<double>(opts.seed));
+  }
+
+  // Checkpoint/resume binds to an options/design fingerprint computed
+  // over the *input* tree (before the assignment phase mutates it).
+  const bool use_ck =
+      !opts.checkpoint_path.empty() || !opts.resume_path.empty();
+  const std::uint64_t ck_fp =
+      use_ck ? ck::options_fingerprint(opts, tree, lib, modes) : 0;
 
   const ZoneMap zones(tree, opts.zone_tile);
   result.zones = zones.zones().size();
@@ -122,6 +135,7 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
   }
   const Preprocessed pre = [&] {
     obs::ScopedPhase phase(m, "preprocess");
+    fault::inject("core.preprocess");
     // Check the inputs before preprocess() walks them: a corrupted tree
     // or library must surface as a diagnostic, not a crash deeper in.
     if (opts.verify_invariants) {
@@ -172,6 +186,61 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
   }
 
   std::unordered_map<std::size_t, ZoneSolution> memo;
+
+  // --- resume: preload memoized zone solutions from a checkpoint ------
+  if (!opts.resume_path.empty()) {
+    const ck::Checkpoint c = ck::load(opts.resume_path, ck_fp);
+    for (const ck::ZoneEntry& z : c.zones) {
+      ZoneSolution zs;
+      zs.worst = z.worst;
+      zs.choice = z.choice;
+      zs.ladder = static_cast<LadderLevel>(z.ladder);
+      zs.beam_capped = z.beam_capped;
+      zs.elapsed_ms = z.elapsed_ms;
+      zs.error = z.error;
+      memo.emplace(static_cast<std::size_t>(z.key), std::move(zs));
+    }
+    result.report.resumed_zones = c.zones.size();
+    obs::add(m, "ck.zones_resumed", c.zones.size());
+    WM_LOG(Info) << "wavemin: resumed " << c.zones.size()
+                 << " zone solution(s) from " << opts.resume_path;
+  }
+
+  // --- checkpoint writer: snapshot the memo after each intersection ---
+  std::size_t ck_written = 0;
+  auto write_checkpoint = [&] {
+    ck::Checkpoint c;
+    c.options_hash = ck_fp;
+    c.seed = opts.seed;
+    c.zones.reserve(memo.size());
+    for (const auto& [key, zs] : memo) {
+      ck::ZoneEntry z;
+      z.key = key;
+      z.ladder = static_cast<int>(zs.ladder);
+      z.beam_capped = zs.beam_capped;
+      z.worst = zs.worst;
+      z.elapsed_ms = zs.elapsed_ms;
+      z.choice = zs.choice;
+      z.error = zs.error;
+      c.zones.push_back(std::move(z));
+    }
+    std::sort(c.zones.begin(), c.zones.end(),
+              [](const ck::ZoneEntry& a, const ck::ZoneEntry& b) {
+                return a.key < b.key;
+              });
+    try {
+      ck::save(opts.checkpoint_path, c);
+      ck_written = memo.size();
+      obs::add(m, "ck.writes");
+      obs::gauge_set(m, "ck.zones", static_cast<double>(memo.size()));
+    } catch (const Error& e) {
+      // A checkpoint write failure must never take down a healthy run:
+      // warn, count, and carry on without crash protection.
+      obs::add(m, "ck.write_failures");
+      WM_LOG(Warn) << "wavemin: checkpoint write failed: " << e.what();
+    }
+  };
+
   // Chosen-intersection tracking. `best_cmp` is the comparison key: an
   // intersection containing identity-degraded zones has an unmodeled
   // worst, so it compares as +inf — a fully modeled intersection always
@@ -226,6 +295,8 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
         zs = identity_solution(zone_sinks[z], x);
       } else {
         auto run_ladder = [&]() -> ZoneSolution {
+          fault::inject("core.zone_solve");
+          fault::alloc_guard("core.zone_alloc");
           const auto slots = build_slots(pre, zone_sinks[z], x,
                                          opts.samples, opts.period);
           const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
@@ -256,9 +327,14 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
           try {
             zs = run_ladder();
           } catch (const Error& e) {
+            // Poll the budget even on the error path: a solve that died
+            // *because* the deadline passed must still latch the trip,
+            // or the remaining zones keep attempting full solves.
+            if (tracker != nullptr) (void)tracker->should_stop();
             zs = identity_solution(zone_sinks[z], x);
             zs.error = e.what();
           } catch (const std::exception& e) {
+            if (tracker != nullptr) (void)tracker->should_stop();
             zs = identity_solution(zone_sinks[z], x);
             zs.error = e.what();
           }
@@ -337,8 +413,16 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
       best_x = &x;
       best_choices = std::move(choices);
     }
+    if (!opts.checkpoint_path.empty() && memo.size() > ck_written) {
+      write_checkpoint();
+    }
   }
   }  // phase zone_solve
+  // The budget can break out of the sweep between writes; flush once
+  // more so the checkpoint always covers every solved zone.
+  if (!opts.checkpoint_path.empty() && memo.size() > ck_written) {
+    write_checkpoint();
+  }
 
   WM_ASSERT(best_x != nullptr, "no intersection evaluated");
 
@@ -358,8 +442,15 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
     zr.beam_capped = it->second.beam_capped;
     zr.elapsed_ms = it->second.elapsed_ms;
     zr.error = it->second.error;
-    if (!zr.error.empty()) ++report.quarantined_errors;
     report.zones.push_back(std::move(zr));
+  }
+  // Count quarantines over *every* solve, not just the winning
+  // intersection's: a zone that errored on a losing intersection made
+  // that intersection compare as unmodeled (+inf), so the sweep was
+  // incomplete and the result may be suboptimal — that is a degraded
+  // run even when the chosen assignment itself is clean.
+  for (const auto& entry : memo) {
+    if (!entry.second.error.empty()) ++report.quarantined_errors;
   }
   if (tracker != nullptr) {
     report.deadline_hit = tracker->deadline_expired();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "verify/verify.hpp"
@@ -51,6 +52,7 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
   obs::add(m, "adb.flow_invocations");
   {
     obs::ScopedPhase phase(m, "adb_allocation");
+    fault::inject("core.adb_alloc");
     r.adb = allocate_adbs(tree, lib, modes, opts.kappa);
     if (opts.verify_invariants) {
       obs::add(m, "verify.hooks_run");
@@ -62,6 +64,7 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
                std::max(0, r.adb.adbs_inserted)));
   obs::gauge_set(m, "adb.final_worst_skew", r.adb.final_worst_skew);
 
+  fault::inject("core.reopt");
   r.opt = run_wavemin(tree, lib, chr, modes, lib.assignment_library(),
                       opts);
   if (!r.opt.success && opts.dof_beam != 0) {

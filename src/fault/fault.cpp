@@ -1,0 +1,188 @@
+#include "fault/fault.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <new>
+
+#include "obs/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wm::fault {
+
+const std::vector<Site>& site_catalog() {
+  // Source of truth for the fault-site matrix in docs/robustness.md.
+  // `expect` names the CLI exit codes an injection may land on; "0"
+  // appears where the site is not reached on every flow (e.g. the ADB
+  // branch only runs when sizing alone is infeasible).
+  static const std::vector<Site> catalog = {
+      {"io.open_read", "io", Action::Error, "4"},
+      {"io.read_line", "io", Action::Error, "4"},
+      {"io.tree_record", "io", Action::Error, "4"},
+      {"io.cell_record", "io", Action::Error, "0,4"},
+      {"io.save_tree", "io", Action::Error, "4"},
+      {"core.preprocess", "core", Action::Error, "4"},
+      {"core.zone_solve", "core", Action::Error, "3"},
+      {"core.zone_alloc", "core", Action::BadAlloc, "3"},
+      {"core.adb_alloc", "core", Action::Error, "0,4"},
+      {"core.reopt", "core", Action::Error, "0,4"},
+      {"mosp.dp_row", "mosp", Action::Error, "3"},
+      {"obs.metrics_write", "obs", Action::Error, "0,4"},
+      {"ck.write", "ck", Action::Error, "0,3"},
+      {"ck.kill_after_write", "ck", Action::Kill, "SIGKILL"},
+  };
+  return catalog;
+}
+
+namespace detail {
+
+std::atomic<bool> g_armed{false};
+
+namespace {
+
+struct ArmedSite {
+  const Site* site = nullptr;
+  std::uint64_t trip_hit = 0;  ///< 1-based hit that fires the fault
+  std::atomic<std::uint64_t> hits{0};
+};
+
+// Fixed after arm(), read-only during a run; hit counters are atomic.
+// A deque because ArmedSite holds an atomic (not movable) and deque
+// growth never relocates existing elements.
+std::deque<ArmedSite>& armed_sites() {
+  static std::deque<ArmedSite> sites;
+  return sites;
+}
+
+std::atomic<std::uint64_t> g_fired{0};
+
+std::uint64_t fnv1a(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<unsigned char>(*s);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const Site* find_site(const std::string& name) {
+  for (const Site& s : site_catalog()) {
+    if (name == s.name) return &s;
+  }
+  return nullptr;
+}
+
+} // namespace
+
+void on_hit(const char* site) {
+  for (ArmedSite& as : armed_sites()) {
+    if (std::strcmp(as.site->name, site) != 0) continue;
+    const std::uint64_t n =
+        as.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n != as.trip_hit) return;
+    g_fired.fetch_add(1, std::memory_order_relaxed);
+    obs::add(obs::global(), "fault.injected");
+    switch (as.site->action) {
+      case Action::Error:
+        throw Error(std::string("fault injected: ") + site);
+      case Action::BadAlloc:
+        throw std::bad_alloc();
+      case Action::Kill:
+        std::raise(SIGKILL);
+        return;  // unreachable (but keeps the compiler honest)
+    }
+  }
+}
+
+} // namespace detail
+
+void arm(const std::string& spec, std::uint64_t seed) {
+#ifdef WAVEMIN_NO_FAULT
+  (void)seed;
+  throw Error("fault injection compiled out (WAVEMIN_NO_FAULT); "
+              "cannot arm spec: " +
+              spec);
+#else
+  disarm();
+  auto& sites = detail::armed_sites();
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace.
+    const auto b = entry.find_first_not_of(" \t");
+    if (b == std::string::npos) continue;
+    const auto e = entry.find_last_not_of(" \t");
+    entry = entry.substr(b, e - b + 1);
+
+    std::string name = entry;
+    std::uint64_t trip = 0;
+    const auto eq = entry.find('=');
+    if (eq != std::string::npos) {
+      name = entry.substr(0, eq);
+      const std::string k = entry.substr(eq + 1);
+      char* endp = nullptr;
+      trip = std::strtoull(k.c_str(), &endp, 10);
+      if (endp != k.c_str() + k.size() || trip == 0) {
+        throw Error("fault spec: bad hit count '" + k + "' in '" +
+                    entry + "' (want a 1-based integer)");
+      }
+    }
+    const Site* site = detail::find_site(name);
+    if (site == nullptr) {
+      throw Error("fault spec: unknown site '" + name +
+                  "' (see fault::site_catalog())");
+    }
+    if (trip == 0) {
+      // Seeded schedule: the trip hit is a deterministic function of
+      // (seed, site), replayable by re-arming with the same pair.
+      Rng rng(seed ^ detail::fnv1a(site->name));
+      trip = static_cast<std::uint64_t>(rng.uniform_int(1, 8));
+    }
+    sites.emplace_back();
+    sites.back().site = site;
+    sites.back().trip_hit = trip;
+  }
+  if (sites.empty()) {
+    throw Error("fault spec: no sites in '" + spec + "'");
+  }
+  obs::add(obs::global(), "fault.armed_sites", sites.size());
+  detail::g_armed.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void disarm() {
+  detail::g_armed.store(false, std::memory_order_relaxed);
+  detail::armed_sites().clear();
+  detail::g_fired.store(0, std::memory_order_relaxed);
+}
+
+bool armed() {
+  return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t scheduled_hit(const std::string& site) {
+  for (const auto& as : detail::armed_sites()) {
+    if (site == as.site->name) return as.trip_hit;
+  }
+  return 0;
+}
+
+std::uint64_t hits(const std::string& site) {
+  for (const auto& as : detail::armed_sites()) {
+    if (site == as.site->name) {
+      return as.hits.load(std::memory_order_relaxed);
+    }
+  }
+  return 0;
+}
+
+std::uint64_t fired_total() {
+  return detail::g_fired.load(std::memory_order_relaxed);
+}
+
+} // namespace wm::fault

@@ -1,0 +1,95 @@
+#pragma once
+// wm::fault — deterministic fault injection (docs/robustness.md).
+//
+// Named injection sites are threaded through the hardened readers
+// (io.*), the zone worker pool and flow passes (core.*), the MOSP label
+// DP (mosp.*), the metrics writer (obs.*) and the checkpointer (ck.*).
+// Disarmed — the default — a site costs exactly one relaxed atomic
+// load; compiled with -DWAVEMIN_NO_FAULT the sites vanish entirely.
+//
+// Arming is driven by a spec string plus a seed so every failure is
+// replayable bit-for-bit:
+//
+//   fault::arm("io.read_line=3");          // trip on the 3rd hit
+//   fault::arm("core.zone_solve", 1234);   // K-th hit, K drawn from
+//                                          // wm::Rng(seed ^ fnv(site))
+//
+// What a tripped site does is a property of the site (its catalog
+// Action), not of the spec: Error sites throw wm::Error (exercising the
+// quarantine / Status paths), BadAlloc sites throw std::bad_alloc (the
+// flaky-allocation path), Kill sites raise SIGKILL (the crash-safety /
+// checkpoint-resume e2e). The catalog is the source of truth for the
+// fault-site matrix in docs/robustness.md and for the chaos driver's
+// sweep (tools/wavemin_chaos).
+//
+// Hit counters are atomic, so sites may fire from the zone worker pool;
+// the Nth global hit trips regardless of which thread lands on it. For
+// bit-for-bit replay of *which work item* failed, run single-threaded
+// (the chaos driver does).
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wm::fault {
+
+/// What a tripped site does.
+enum class Action {
+  Error,     ///< throw wm::Error("fault injected: <site>")
+  BadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
+  Kill,      ///< raise(SIGKILL) — crash-safety e2e only, never swept
+};
+
+struct Site {
+  const char* name;    ///< e.g. "io.read_line"
+  const char* layer;   ///< owning subsystem ("io", "core", "mosp", ...)
+  Action action;
+  const char* expect;  ///< documented outcome (CLI exit codes)
+};
+
+/// Every injection site compiled into the library.
+const std::vector<Site>& site_catalog();
+
+/// Arm the injector. `spec` is a comma-separated list of entries
+/// "site=K" (1-based: trip on the K-th hit of that site) or bare
+/// "site" (K drawn uniformly from [1, 8] via wm::Rng(seed ^ fnv(site))
+/// — the seeded schedule). Unknown sites throw wm::Error. Arming
+/// resets all hit counters; arm/disarm must not race running work
+/// (hits themselves are thread-safe). Throws wm::Error when the
+/// library was built with WAVEMIN_NO_FAULT.
+void arm(const std::string& spec, std::uint64_t seed = 0);
+void disarm();
+bool armed();
+
+/// Scheduled trip hit for an armed site (0 = site not armed). Lets the
+/// chaos driver print the replay recipe next to each outcome.
+std::uint64_t scheduled_hit(const std::string& site);
+
+/// Hits observed on `site` since the last arm().
+std::uint64_t hits(const std::string& site);
+
+/// Faults actually fired since the last arm().
+std::uint64_t fired_total();
+
+namespace detail {
+extern std::atomic<bool> g_armed;
+void on_hit(const char* site);
+} // namespace detail
+
+#ifdef WAVEMIN_NO_FAULT
+inline void inject(const char*) {}
+#else
+/// The injection point. Disarmed cost: one relaxed atomic load.
+inline void inject(const char* site) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    detail::on_hit(site);
+  }
+}
+#endif
+
+/// Reads as intent at allocation-heavy call sites; the BadAlloc action
+/// itself comes from the site's catalog entry.
+inline void alloc_guard(const char* site) { inject(site); }
+
+} // namespace wm::fault

@@ -9,6 +9,7 @@
 #include <set>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "util/error.hpp"
 
 namespace wm {
@@ -46,6 +47,7 @@ class LineScanner {
   bool next(std::string& line) {
     while (std::getline(is_, line)) {
       ++line_no_;
+      fault::inject("io.read_line");
       if (line.size() > kMaxLineLen) {
         fail_at(line_no_, "oversized line (" +
                               std::to_string(line.size()) +
@@ -196,6 +198,7 @@ ClockTree read_tree(std::istream& is, const CellLibrary& lib) {
 
   ClockTree tree;
   while (scan.next(line)) {
+    fault::inject("io.tree_record");
     const std::size_t ln = scan.line_no();
     if (tree.size() >= kMaxTreeNodes) {
       fail_at(ln, "too many nodes (limit " +
@@ -341,6 +344,7 @@ CellLibrary read_library(std::istream& is) {
   CellLibrary lib;
   std::set<std::string> seen;
   while (scan.next(line)) {
+    fault::inject("io.cell_record");
     const std::size_t ln = scan.line_no();
     if (lib.cells().size() >= kMaxLibCells) {
       fail_at(ln, "too many cells (limit " +
@@ -398,6 +402,7 @@ namespace {
 constexpr std::uintmax_t kMaxFileBytes = 1ull << 28;
 
 std::ifstream open_checked(const std::string& path) {
+  fault::inject("io.open_read");
   std::ifstream is(path, std::ios::ate);
   WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
   const auto size = static_cast<std::uintmax_t>(is.tellg());
@@ -423,6 +428,7 @@ auto with_path_context(const std::string& path, Fn&& fn)
 } // namespace
 
 void save_tree(const std::string& path, const ClockTree& tree) {
+  fault::inject("io.save_tree");
   std::ofstream os(path);
   WM_REQUIRE(static_cast<bool>(os), "cannot open for write: " + path);
   write_tree(os, tree);

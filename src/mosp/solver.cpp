@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "fault/fault.hpp"
 #include "util/error.hpp"
 
 namespace wm {
@@ -83,6 +84,7 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
 
   BudgetTracker* budget = opts.budget;
   for (const auto& row : g.rows) {
+    fault::inject("mosp.dp_row");
     // Cooperative budget poll (deadline / global label pool /
     // cancellation): bail to the greedy incumbent — feasible, just not
     // Pareto-searched — instead of running past the caller's budget.

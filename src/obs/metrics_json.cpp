@@ -10,6 +10,7 @@
 #include <limits>
 #include <sstream>
 
+#include "fault/fault.hpp"
 #include "report/table.hpp"
 #include "util/error.hpp"
 
@@ -456,6 +457,7 @@ std::vector<std::string> validate(const MetricsSnapshot& s) {
 }
 
 void write_json_file(const MetricsSnapshot& s, const std::string& path) {
+  fault::inject("obs.metrics_write");
   std::ofstream out(path);
   WM_REQUIRE(out.good(), "cannot open " + path + " for writing");
   out << to_json(s);

@@ -114,6 +114,10 @@ WaveMinOptions parse_wavemin_config(std::istream& is,
       const double n = parse_num(value, key);
       WM_REQUIRE(n >= 0.0, "config: label_budget must be >= 0");
       opts.budget.max_total_labels = static_cast<std::uint64_t>(n);
+    } else if (key == "seed") {
+      const double n = parse_num(value, key);
+      WM_REQUIRE(n >= 0.0, "config: seed must be >= 0");
+      opts.seed = static_cast<std::uint64_t>(n);
     } else {
       throw Error("config: unknown key '" + key + "' (line " +
                   std::to_string(line_no) + ")");
@@ -154,6 +158,7 @@ std::string wavemin_config_to_string(const WaveMinOptions& opts) {
      << (opts.verify_invariants ? "true" : "false") << '\n';
   os << "deadline_ms = " << opts.budget.deadline_ms << '\n';
   os << "label_budget = " << opts.budget.max_total_labels << '\n';
+  os << "seed = " << opts.seed << '\n';
   return os.str();
 }
 

@@ -1,0 +1,45 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// trailer of the .wmck checkpoint format (core/checkpoint.hpp). Header-
+// only, table generated at compile time; no dependency beyond <cstdint>.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wm {
+
+namespace detail {
+
+struct Crc32Table {
+  std::uint32_t t[256];
+};
+
+constexpr Crc32Table make_crc32_table() {
+  Crc32Table tbl{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    tbl.t[i] = c;
+  }
+  return tbl;
+}
+
+inline constexpr Crc32Table kCrc32Table = make_crc32_table();
+
+} // namespace detail
+
+/// CRC-32 of `n` bytes. Chainable: pass a previous result as `seed` to
+/// continue over a split buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n,
+                           std::uint32_t seed = 0) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32Table.t[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace wm

@@ -1,0 +1,229 @@
+// wm::ck — crash-safe checkpoint/resume (docs/robustness.md): format
+// round-trips, CRC/truncation/stale-fingerprint rejection, atomic save,
+// and the run_wavemin resume path producing bit-identical results.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/checkpoint.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "io/tree_io.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+ck::Checkpoint sample_checkpoint() {
+  ck::Checkpoint c;
+  c.options_hash = 0xdeadbeefcafe1234ULL;
+  c.seed = 42;
+  ck::ZoneEntry a;
+  a.key = 17;
+  a.ladder = 0;
+  a.worst = 1234.5678901234567;
+  a.elapsed_ms = 0.125;
+  a.choice = {0, 3, 1, 2};
+  c.zones.push_back(a);
+  ck::ZoneEntry b;
+  b.key = 99;
+  b.ladder = 2;
+  b.beam_capped = true;
+  b.worst = 0.0;
+  b.elapsed_ms = 7.5;
+  b.choice = {1};
+  b.error = "zone 4: bad slew (line 12)\t50% off";
+  c.zones.push_back(b);
+  return c;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+// ------------------------------------------------------------ round-trip
+
+TEST(Checkpoint, RoundTripsBitExactly) {
+  const ck::Checkpoint c = sample_checkpoint();
+  const std::string text = ck::to_string(c);
+  const ck::Checkpoint back = ck::from_string(text);
+  EXPECT_EQ(back.options_hash, c.options_hash);
+  EXPECT_EQ(back.seed, c.seed);
+  ASSERT_EQ(back.zones.size(), c.zones.size());
+  for (std::size_t i = 0; i < c.zones.size(); ++i) {
+    EXPECT_EQ(back.zones[i].key, c.zones[i].key);
+    EXPECT_EQ(back.zones[i].ladder, c.zones[i].ladder);
+    EXPECT_EQ(back.zones[i].beam_capped, c.zones[i].beam_capped);
+    // Doubles must survive exactly (max_digits10 serialization) — the
+    // resume bit-identity guarantee rests on this.
+    EXPECT_EQ(back.zones[i].worst, c.zones[i].worst);
+    EXPECT_EQ(back.zones[i].elapsed_ms, c.zones[i].elapsed_ms);
+    EXPECT_EQ(back.zones[i].choice, c.zones[i].choice);
+    EXPECT_EQ(back.zones[i].error, c.zones[i].error);
+  }
+  // Serialization is canonical: round-tripping reproduces the bytes.
+  EXPECT_EQ(ck::to_string(back), text);
+}
+
+TEST(Checkpoint, SaveLoadRoundTrip) {
+  const std::string path = temp_path("ck_roundtrip.wmck");
+  const ck::Checkpoint c = sample_checkpoint();
+  ck::save(path, c);
+  const ck::Checkpoint back = ck::load(path, c.options_hash);
+  EXPECT_EQ(back.zones.size(), c.zones.size());
+  EXPECT_EQ(back.seed, c.seed);
+  // The temp file must be gone after the atomic rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- rejection
+
+TEST(Checkpoint, RejectsCorruptedBytes) {
+  std::string text = ck::to_string(sample_checkpoint());
+  // Flip one payload byte; the CRC trailer must catch it.
+  const auto pos = text.find("zone 17");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 5] = '8';
+  try {
+    ck::from_string(text);
+    FAIL() << "corrupted checkpoint accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("crc mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Checkpoint, RejectsTruncation) {
+  const std::string text = ck::to_string(sample_checkpoint());
+  // Any strict prefix must be rejected (missing/invalid trailer) —
+  // this is the torn-write case the atomic rename protects against.
+  for (const std::size_t keep :
+       {text.size() - 1, text.size() / 2, std::size_t{10},
+        std::size_t{0}}) {
+    EXPECT_THROW(ck::from_string(text.substr(0, keep)), Error)
+        << "accepted a " << keep << "-byte prefix";
+  }
+}
+
+TEST(Checkpoint, RejectsStaleFingerprint) {
+  const std::string path = temp_path("ck_stale.wmck");
+  const ck::Checkpoint c = sample_checkpoint();
+  ck::save(path, c);
+  try {
+    ck::load(path, c.options_hash + 1);
+    FAIL() << "stale checkpoint accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stale checkpoint"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsGarbledRecords) {
+  const auto reject = [](const std::string& body) {
+    std::string text = body;
+    const std::uint32_t crc = crc32(text.data(), text.size());
+    std::ostringstream os;
+    os << text << "crc " << std::hex << std::setw(8) << std::setfill('0')
+       << crc << '\n';
+    EXPECT_THROW(ck::from_string(os.str()), Error) << body;
+  };
+  reject("wmck v2\nopts 0\nseed 0\n");                    // bad version
+  reject("wmck v1\nseed 0\n");                            // missing opts
+  reject("wmck v1\nopts 0\n");                            // missing seed
+  reject("wmck v1\nopts 0\nseed 0\nzone 1 0 0 1 1\n");    // truncated
+  reject("wmck v1\nopts 0\nseed 0\nzone 1 9 0 1 1 0\n");  // bad ladder
+  reject("wmck v1\nopts 0\nseed 0\nzone 1 0 0 nan 1 0\n");  // non-finite
+  reject("wmck v1\nopts 0\nseed 0\nzone 1 0 0 1 1 2 0\n");  // short list
+  reject(
+      "wmck v1\nopts 0\nseed 0\nzone 1 0 0 1 1 0\nzone 1 0 0 1 1 0\n");
+  reject("wmck v1\nopts 0\nseed 0\nbogus record\n");
+}
+
+// ------------------------------------------------------------ fingerprint
+
+TEST(Checkpoint, FingerprintTracksSolverRelevantOptions) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  const ModeSet modes = ModeSet::single(1);
+
+  WaveMinOptions opts;
+  const std::uint64_t base =
+      ck::options_fingerprint(opts, tree, lib, modes);
+  EXPECT_EQ(ck::options_fingerprint(opts, tree, lib, modes), base);
+
+  WaveMinOptions changed = opts;
+  changed.kappa = 25.0;
+  EXPECT_NE(ck::options_fingerprint(changed, tree, lib, modes), base);
+
+  // Budget / threads / metrics knobs change how much gets solved, never
+  // what a solved zone contains — they must NOT invalidate a resume.
+  WaveMinOptions harmless = opts;
+  harmless.threads = 8;
+  harmless.budget.deadline_ms = 1000.0;
+  harmless.collect_metrics = true;
+  harmless.checkpoint_path = "x.wmck";
+  harmless.seed = 7;
+  EXPECT_EQ(ck::options_fingerprint(harmless, tree, lib, modes), base);
+}
+
+// ------------------------------------------------------------- end-to-end
+
+TEST(Checkpoint, ResumeReproducesBitIdenticalResults) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+  const std::string path = temp_path("ck_resume.wmck");
+
+  WaveMinOptions opts;
+  opts.checkpoint_path = path;
+  ClockTree t1 = make_benchmark(spec_by_name("s15850"), lib);
+  const WaveMinResult r1 = clk_wavemin(t1, lib, chr, opts);
+  ASSERT_TRUE(r1.success);
+  EXPECT_EQ(r1.report.resumed_zones, 0u);
+
+  WaveMinOptions resume;
+  resume.resume_path = path;
+  ClockTree t2 = make_benchmark(spec_by_name("s15850"), lib);
+  const WaveMinResult r2 = clk_wavemin(t2, lib, chr, resume);
+  ASSERT_TRUE(r2.success);
+  EXPECT_GT(r2.report.resumed_zones, 0u);
+
+  // Bit-identical: same chosen intersection, same peak, same tree.
+  EXPECT_EQ(r2.model_peak, r1.model_peak);
+  EXPECT_EQ(r2.chosen_dof, r1.chosen_dof);
+  EXPECT_EQ(tree_to_string(t2), tree_to_string(t1));
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ResumeRejectsCheckpointFromDifferentDesign) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+  const std::string path = temp_path("ck_wrongdesign.wmck");
+
+  WaveMinOptions opts;
+  opts.checkpoint_path = path;
+  ClockTree t1 = make_benchmark(spec_by_name("s15850"), lib);
+  ASSERT_TRUE(clk_wavemin(t1, lib, chr, opts).success);
+
+  // Same options, different design: the fingerprint must not match.
+  WaveMinOptions resume;
+  resume.resume_path = path;
+  ClockTree other = make_benchmark(spec_by_name("s13207"), lib);
+  EXPECT_THROW(clk_wavemin(other, lib, chr, resume), Error);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace wm

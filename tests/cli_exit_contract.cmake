@@ -26,6 +26,24 @@ function(expect_exit code)
   endif()
 endfunction()
 
+# expect_exit + a regex the command's stdout must match.
+function(expect_exit_stdout code pattern)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+        "expected exit ${code}, got '${rv}' from: ${ARGN}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT out MATCHES "${pattern}")
+    message(FATAL_ERROR
+        "stdout does not match '${pattern}' from: ${ARGN}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
 expect_exit(0 ${CLI} gen s13207 -o ${WORK}/clean.ctree)
 
 # 0: a normal optimization completes clean.
@@ -50,11 +68,62 @@ expect_exit(3 ${CLI} opt ${WORK}/clean.ctree --label-budget 10
               -o ${WORK}/degraded2.ctree)
 expect_exit(0 ${LINT} ${WORK}/degraded2.ctree --quiet)
 
+# 3: a degraded run prints the machine-greppable ladder account on
+# stdout (Full/Greedy/Identity zone counts).
+expect_exit_stdout(3 "ladder: [0-9]+ full / [0-9]+ greedy / [0-9]+ identity"
+              ${CLI} opt ${WORK}/clean.ctree --deadline-ms 0.01
+              -o ${WORK}/degraded3.ctree)
+
 # 4: malformed input is a failure, with the offending line named.
 expect_exit(4 ${CLI} opt ${BADIO}/truncated_record.ctree)
 expect_exit(4 ${CLI} opt ${BADIO}/nan_coord.ctree)
 
 # 4: --strict promotes a degraded run to a hard failure.
 expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --deadline-ms 0.01 --strict)
+
+# --- fault injection (docs/robustness.md fault-site matrix) -----------
+
+# 4: an armed io.* site fails the run with the site named.
+expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --fault-spec io.read_line=3)
+
+# 3: a quarantined zone fault degrades the run instead of failing it,
+# and the ladder line still appears.
+expect_exit_stdout(3 "ladder: [0-9]+ full"
+              ${CLI} opt ${WORK}/clean.ctree
+              --fault-spec core.zone_solve=1 -o ${WORK}/faulted.ctree)
+expect_exit(0 ${LINT} ${WORK}/faulted.ctree --quiet)
+
+# 4: an unknown fault site is a spec error.
+expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --fault-spec no.such_site)
+
+# --- checkpoint / resume ----------------------------------------------
+
+# 0: a checkpointed run succeeds and leaves a .wmck behind; resuming
+# from it also succeeds.
+expect_exit(0 ${CLI} opt ${WORK}/clean.ctree --checkpoint ${WORK}/run.wmck
+              -o ${WORK}/ck_a.ctree --seed 42)
+if(NOT EXISTS ${WORK}/run.wmck)
+  message(FATAL_ERROR "--checkpoint did not write ${WORK}/run.wmck")
+endif()
+expect_exit(0 ${CLI} opt ${WORK}/clean.ctree --resume ${WORK}/run.wmck
+              -o ${WORK}/ck_b.ctree --seed 42)
+
+# Resume is bit-identical to the uninterrupted run.
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK}/ck_a.ctree ${WORK}/ck_b.ctree
+                RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "resumed run is not byte-identical")
+endif()
+
+# 4: a checkpoint from a different design is stale (fingerprint check).
+expect_exit(0 ${CLI} gen s15850 -o ${WORK}/other.ctree)
+expect_exit(4 ${CLI} opt ${WORK}/other.ctree --resume ${WORK}/run.wmck)
+
+# 4: a corrupted checkpoint is rejected, not trusted.
+file(READ ${WORK}/run.wmck ck_bytes)
+string(REPLACE "zone" "zoNe" ck_bytes "${ck_bytes}")
+file(WRITE ${WORK}/corrupt.wmck "${ck_bytes}")
+expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --resume ${WORK}/corrupt.wmck)
 
 message(STATUS "wavemin_cli exit-code contract holds")

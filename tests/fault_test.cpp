@@ -1,0 +1,168 @@
+// wm::fault — deterministic fault injection (docs/robustness.md):
+// catalog sanity, spec parsing, Nth-hit trip semantics, the seeded
+// schedule's determinism, and the end-to-end quarantine behavior when a
+// site fires inside a real try_clk_wavemin run.
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <set>
+#include <string>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "fault/fault.hpp"
+#include "util/error.hpp"
+
+namespace wm {
+namespace {
+
+/// Every test leaves the injector disarmed (it is process-global).
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+// ---------------------------------------------------------------- catalog
+
+TEST_F(FaultTest, CatalogHasUniqueNamesAndLayers) {
+  const auto& catalog = fault::site_catalog();
+  ASSERT_FALSE(catalog.empty());
+  std::set<std::string> names;
+  for (const fault::Site& s : catalog) {
+    EXPECT_TRUE(names.insert(s.name).second)
+        << "duplicate site: " << s.name;
+    // Site names are "layer.what" with the layer prefix matching.
+    const std::string name = s.name;
+    ASSERT_NE(name.find('.'), std::string::npos) << name;
+    EXPECT_EQ(name.substr(0, name.find('.')), s.layer) << name;
+    EXPECT_NE(std::string(s.expect), "") << name;
+  }
+}
+
+TEST_F(FaultTest, KillSitesAreExplicitlyMarked) {
+  // The chaos sweep relies on Kill actions being identifiable so it
+  // can exclude them; make sure the catalog keeps that invariant.
+  bool have_kill = false;
+  for (const fault::Site& s : fault::site_catalog()) {
+    if (s.action == fault::Action::Kill) {
+      have_kill = true;
+      EXPECT_STREQ(s.expect, "SIGKILL") << s.name;
+    }
+  }
+  EXPECT_TRUE(have_kill);
+}
+
+// ------------------------------------------------------------ arm / spec
+
+TEST_F(FaultTest, DisarmedInjectIsANoop) {
+  EXPECT_FALSE(fault::armed());
+  fault::inject("io.read_line");  // must not throw, must not count
+  EXPECT_EQ(fault::hits("io.read_line"), 0u);
+}
+
+TEST_F(FaultTest, UnknownSiteThrows) {
+  EXPECT_THROW(fault::arm("no.such_site"), Error);
+  EXPECT_THROW(fault::arm("io.read_line=3,bogus=1"), Error);
+  EXPECT_FALSE(fault::armed());
+}
+
+TEST_F(FaultTest, MalformedCountThrows) {
+  EXPECT_THROW(fault::arm("io.read_line=0"), Error);
+  EXPECT_THROW(fault::arm("io.read_line=abc"), Error);
+  EXPECT_THROW(fault::arm("io.read_line=3x"), Error);
+  EXPECT_THROW(fault::arm(""), Error);
+  EXPECT_THROW(fault::arm(" , "), Error);
+}
+
+TEST_F(FaultTest, TripsOnExactlyTheNthHit) {
+  fault::arm("io.read_line=3");
+  EXPECT_TRUE(fault::armed());
+  EXPECT_EQ(fault::scheduled_hit("io.read_line"), 3u);
+  EXPECT_NO_THROW(fault::inject("io.read_line"));
+  EXPECT_NO_THROW(fault::inject("io.read_line"));
+  EXPECT_THROW(fault::inject("io.read_line"), Error);
+  // Past the trip: later hits pass through (one-shot semantics).
+  EXPECT_NO_THROW(fault::inject("io.read_line"));
+  EXPECT_EQ(fault::hits("io.read_line"), 4u);
+  EXPECT_EQ(fault::fired_total(), 1u);
+  // Unarmed sites never fire, even while the injector is armed.
+  EXPECT_NO_THROW(fault::inject("io.open_read"));
+  EXPECT_EQ(fault::hits("io.open_read"), 0u);
+}
+
+TEST_F(FaultTest, BadAllocSiteThrowsBadAlloc) {
+  fault::arm("core.zone_alloc=1");
+  EXPECT_THROW(fault::alloc_guard("core.zone_alloc"), std::bad_alloc);
+}
+
+TEST_F(FaultTest, SeededScheduleIsDeterministic) {
+  fault::arm("io.read_line,core.zone_solve", 1234);
+  const std::uint64_t k1 = fault::scheduled_hit("io.read_line");
+  const std::uint64_t k2 = fault::scheduled_hit("core.zone_solve");
+  ASSERT_GE(k1, 1u);
+  ASSERT_LE(k1, 8u);
+  ASSERT_GE(k2, 1u);
+  ASSERT_LE(k2, 8u);
+  // Re-arming with the same seed reproduces the same schedule...
+  fault::arm("io.read_line,core.zone_solve", 1234);
+  EXPECT_EQ(fault::scheduled_hit("io.read_line"), k1);
+  EXPECT_EQ(fault::scheduled_hit("core.zone_solve"), k2);
+  // ...and the per-site hash decouples sites: the schedule of one site
+  // does not depend on which other sites are armed.
+  fault::arm("io.read_line", 1234);
+  EXPECT_EQ(fault::scheduled_hit("io.read_line"), k1);
+}
+
+TEST_F(FaultTest, ArmResetsCounters) {
+  fault::arm("io.read_line=1");
+  EXPECT_THROW(fault::inject("io.read_line"), Error);
+  EXPECT_EQ(fault::fired_total(), 1u);
+  fault::arm("io.read_line=5");
+  EXPECT_EQ(fault::hits("io.read_line"), 0u);
+  EXPECT_EQ(fault::fired_total(), 0u);
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
+  EXPECT_EQ(fault::scheduled_hit("io.read_line"), 0u);
+}
+
+// ----------------------------------------------------------- end-to-end
+
+TEST_F(FaultTest, ZoneSolveFaultIsQuarantinedNotFatal) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+
+  fault::arm("core.zone_solve=1");
+  WaveMinOptions opts;
+  const TryRunResult r = try_clk_wavemin(tree, lib, chr, opts);
+  fault::disarm();
+
+  // The fault landed in one zone's solve; the run still succeeds with
+  // a valid assignment, reports the quarantine, and counts as degraded.
+  ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+  ASSERT_TRUE(r.result.success);
+  EXPECT_GE(r.result.report.quarantined_errors, 1u);
+  EXPECT_TRUE(r.result.report.degraded());
+}
+
+TEST_F(FaultTest, PreprocessFaultFailsTheRunCleanly) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+
+  fault::arm("core.preprocess=1");
+  const TryRunResult r = try_clk_wavemin(tree, lib, chr, {});
+  fault::disarm();
+
+  // A flow-level (non-zone) fault is not quarantinable: the try_*
+  // envelope converts it to a Status instead of an escaped exception.
+  EXPECT_FALSE(r.status.is_ok());
+  EXPECT_NE(r.status.to_string().find("fault injected"),
+            std::string::npos);
+}
+
+} // namespace
+} // namespace wm

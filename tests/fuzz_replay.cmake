@@ -1,0 +1,27 @@
+# Replays the malformed-input corpus (tests/data/bad_io) through the
+# standalone fuzz-harness builds; any crash or nonzero exit fails. Run
+# via the fuzz_replay_bad_io ctest entry.
+
+foreach(var CTREE_REPLAY CELLLIB_REPLAY BADIO)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(GLOB ctrees ${BADIO}/*.ctree)
+file(GLOB celllibs ${BADIO}/*.celllib)
+if(NOT ctrees OR NOT celllibs)
+  message(FATAL_ERROR "empty corpus under ${BADIO}")
+endif()
+
+execute_process(COMMAND ${CTREE_REPLAY} ${ctrees} RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "fuzz_ctree_replay failed (${rv}) on the corpus")
+endif()
+
+execute_process(COMMAND ${CELLLIB_REPLAY} ${celllibs} RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "fuzz_celllib_replay failed (${rv}) on the corpus")
+endif()
+
+message(STATUS "fuzz replay over bad_io corpus: no crash")

@@ -1,0 +1,358 @@
+// wavemin_chaos — fault-injection sweep + crash/resume e2e driver.
+//
+// Two jobs, both built on wm::fault (docs/robustness.md):
+//
+//   sweep (default)   For every Error/BadAlloc site in the catalog,
+//                     fork a child that runs the full CLI-equivalent
+//                     flow (load library + tree from disk, optimize,
+//                     save, write metrics) with that one site armed.
+//                     The child must honor the run-layer exit contract:
+//                     it may exit 0 (fault recovered or site not
+//                     reached), 2 (infeasible), 3 (degraded) or 4
+//                     (failed) — but it must NEVER die on a signal.
+//                     Kill-action sites are excluded from the sweep.
+//
+//   --kill-resume     Crash-safety e2e: repeatedly run the flow with a
+//                     checkpoint and "ck.kill_after_write=K" armed for
+//                     K = 1, 2, ... — each child SIGKILLs itself right
+//                     after its K-th atomic checkpoint write. After
+//                     each kill, resume from the surviving checkpoint
+//                     and require the output tree to be byte-identical
+//                     to an uninterrupted reference run. Stops when K
+//                     exceeds the number of writes (the child survives).
+//
+// Usage:
+//   wavemin_chaos [--circuit name] [--kappa ps] [--site name]
+//                 [--fault-seed n] [--trip k] [--kill-resume]
+//                 [--workdir dir] [--verbose]
+//
+// Exit 0 when every case lands inside the contract, 1 otherwise.
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/wavemin.hpp"
+#include "cts/benchmarks.hpp"
+#include "fault/fault.hpp"
+#include "io/tree_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+using namespace wm;
+
+namespace {
+
+struct ChaosArgs {
+  std::string circuit = "s15850";
+  double kappa = 20.0;
+  std::string site;        ///< sweep only this site when non-empty
+  std::uint64_t trip = 0;  ///< explicit trip hit (0 = seeded schedule)
+  std::uint64_t fault_seed = 0;
+  bool kill_resume = false;
+  std::string workdir = "chaos_work";
+  bool verbose = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wavemin_chaos [--circuit name] [--kappa ps]\n"
+               "                     [--site name] [--trip k]\n"
+               "                     [--fault-seed n] [--kill-resume]\n"
+               "                     [--workdir dir] [--verbose]\n");
+  return 1;
+}
+
+bool parse(int argc, char** argv, ChaosArgs& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    if (t == "--circuit" && i + 1 < argc) {
+      a.circuit = argv[++i];
+    } else if (t == "--kappa" && i + 1 < argc) {
+      a.kappa = std::atof(argv[++i]);
+    } else if (t == "--site" && i + 1 < argc) {
+      a.site = argv[++i];
+    } else if (t == "--trip" && i + 1 < argc) {
+      a.trip = std::strtoull(argv[++i], nullptr, 10);
+    } else if (t == "--fault-seed" && i + 1 < argc) {
+      a.fault_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (t == "--kill-resume") {
+      a.kill_resume = true;
+    } else if (t == "--workdir" && i + 1 < argc) {
+      a.workdir = argv[++i];
+    } else if (t == "--verbose") {
+      a.verbose = true;
+      set_log_level(LogLevel::Info);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  WM_REQUIRE(static_cast<bool>(is), "cannot open: " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+/// The CLI-equivalent flow, run inside a forked child so a fault that
+/// escalates (or a Kill site) cannot take the sweep down with it.
+/// Mirrors wavemin_cli's `opt` exit mapping exactly.
+int child_flow(const ChaosArgs& a, const std::string& lib_path,
+               const std::string& tree_path, const std::string& out_path,
+               const std::string& fault_spec,
+               const std::string& checkpoint_path,
+               const std::string& resume_path) {
+  try {
+    if (!fault_spec.empty()) fault::arm(fault_spec, a.fault_seed);
+
+    obs::MetricsRegistry registry;
+    obs::install_global(&registry);
+
+    // Full I/O round: exercises io.open_read / io.read_line /
+    // io.cell_record / io.tree_record on the way in.
+    const CellLibrary lib = load_library(lib_path);
+    ClockTree tree = load_tree(tree_path, lib);
+    const Characterizer chr(lib);
+
+    WaveMinOptions opts;
+    opts.kappa = a.kappa;
+    opts.collect_metrics = true;
+    opts.metrics = &registry;
+    opts.checkpoint_path = checkpoint_path;
+    opts.resume_path = resume_path;
+
+    const TryRunResult t = try_clk_wavemin(tree, lib, chr, opts);
+    if (!t.status.is_ok() &&
+        t.status.code() != StatusCode::Infeasible) {
+      std::fprintf(stderr, "failed: %s\n", t.status.to_string().c_str());
+      return 4;
+    }
+    if (!t.result.success) return 2;
+
+    save_tree(out_path, tree);  // exercises io.save_tree
+    obs::install_global(nullptr);
+    obs::write_json_file(registry.snapshot(),
+                         out_path + ".metrics.json");
+    return t.result.report.degraded() ? 3 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  }
+}
+
+struct ChildOutcome {
+  bool signaled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+ChildOutcome run_child(const ChaosArgs& a, const std::string& lib_path,
+                       const std::string& tree_path,
+                       const std::string& out_path,
+                       const std::string& fault_spec,
+                       const std::string& checkpoint_path = "",
+                       const std::string& resume_path = "") {
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    // _exit (not exit): skip atexit handlers the parent registered.
+    _exit(child_flow(a, lib_path, tree_path, out_path, fault_spec,
+                     checkpoint_path, resume_path));
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    std::exit(1);
+  }
+  ChildOutcome out;
+  if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    out.exit_code = WEXITSTATUS(status);
+  }
+  return out;
+}
+
+/// Parse a catalog `expect` string ("0,4") into the allowed exit set.
+/// Exit 0 is always allowed: a seeded trip hit beyond the site's actual
+/// hit count simply never fires, and a quarantined fault can be fully
+/// recovered by a clean winning intersection.
+std::vector<int> allowed_exits(const char* expect) {
+  std::vector<int> allowed = {0};
+  for (const char* p = expect; *p != '\0'; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      const int code = *p - '0';
+      bool have = false;
+      for (int c : allowed) have = have || c == code;
+      if (!have) allowed.push_back(code);
+    }
+  }
+  return allowed;
+}
+
+int run_sweep(const ChaosArgs& a, const std::string& lib_path,
+              const std::string& tree_path) {
+  int failures = 0;
+  std::size_t swept = 0;
+  for (const fault::Site& site : fault::site_catalog()) {
+    if (site.action == fault::Action::Kill) continue;  // e2e only
+    if (!a.site.empty() && a.site != site.name) continue;
+    ++swept;
+
+    std::string spec = site.name;
+    if (a.trip != 0) spec += "=" + std::to_string(a.trip);
+    const std::string out_path =
+        a.workdir + "/sweep_" + std::to_string(swept) + ".ctree";
+    // ck.* sites need a checkpoint path to be reachable.
+    const std::string ck_path =
+        std::strncmp(site.name, "ck.", 3) == 0
+            ? a.workdir + "/sweep_" + std::to_string(swept) + ".wmck"
+            : std::string();
+
+    const ChildOutcome r =
+        run_child(a, lib_path, tree_path, out_path, spec, ck_path);
+
+    bool ok = !r.signaled;
+    if (ok) {
+      ok = false;
+      for (int code : allowed_exits(site.expect)) {
+        ok = ok || r.exit_code == code;
+      }
+    }
+    if (r.signaled) {
+      std::printf("[FAIL] %-20s spec=%-28s CRASHED (signal %d)\n",
+                  site.name, spec.c_str(), r.signal);
+    } else {
+      std::printf("[%s] %-20s spec=%-28s exit=%d (expect {%s})\n",
+                  ok ? " ok " : "FAIL", site.name, spec.c_str(),
+                  r.exit_code, site.expect);
+    }
+    if (!ok) ++failures;
+  }
+  if (swept == 0) {
+    std::fprintf(stderr, "no catalog site matches --site %s\n",
+                 a.site.c_str());
+    return 1;
+  }
+  std::printf("chaos sweep: %zu site(s), %d failure(s)\n", swept,
+              failures);
+  return failures == 0 ? 0 : 1;
+}
+
+int run_kill_resume(const ChaosArgs& a, const std::string& lib_path,
+                    const std::string& tree_path) {
+  // Uninterrupted reference run (no faults, no checkpoint).
+  const std::string ref_path = a.workdir + "/ref.ctree";
+  const ChildOutcome ref =
+      run_child(a, lib_path, tree_path, ref_path, "");
+  if (ref.signaled || (ref.exit_code != 0 && ref.exit_code != 3)) {
+    std::fprintf(stderr, "kill-resume: reference run failed (exit %d)\n",
+                 ref.exit_code);
+    return 1;
+  }
+  const std::string ref_bytes = read_file(ref_path);
+
+  const std::string ck_path = a.workdir + "/kill.wmck";
+  const std::string out_path = a.workdir + "/kill.ctree";
+  int kills = 0;
+  for (std::uint64_t k = 1;; ++k) {
+    std::remove(ck_path.c_str());
+    const ChildOutcome killed = run_child(
+        a, lib_path, tree_path, out_path,
+        "ck.kill_after_write=" + std::to_string(k), ck_path);
+    if (!killed.signaled) {
+      // K exceeded the number of checkpoint writes: the child survived
+      // every write and finished normally. The loop has covered a kill
+      // after each write point — done.
+      if (killed.exit_code != 0 && killed.exit_code != 3) {
+        std::printf("[FAIL] kill-resume k=%llu: survivor exit=%d\n",
+                    static_cast<unsigned long long>(k),
+                    killed.exit_code);
+        return 1;
+      }
+      std::printf(
+          "kill-resume: %d kill point(s) covered, all resumes "
+          "byte-identical\n",
+          kills);
+      return 0;
+    }
+    if (killed.signal != SIGKILL) {
+      std::printf("[FAIL] kill-resume k=%llu: unexpected signal %d\n",
+                  static_cast<unsigned long long>(k), killed.signal);
+      return 1;
+    }
+    ++kills;
+
+    // The checkpoint must have survived the kill (atomic rename), must
+    // load, and the resumed run must reproduce the reference bytes.
+    const ChildOutcome resumed =
+        run_child(a, lib_path, tree_path, out_path, "", ck_path,
+                  ck_path);
+    if (resumed.signaled || (resumed.exit_code != 0 &&
+                             resumed.exit_code != 3)) {
+      std::printf("[FAIL] kill-resume k=%llu: resume exit=%d\n",
+                  static_cast<unsigned long long>(k), resumed.exit_code);
+      return 1;
+    }
+    if (read_file(out_path) != ref_bytes) {
+      std::printf("[FAIL] kill-resume k=%llu: resumed output differs "
+                  "from reference\n",
+                  static_cast<unsigned long long>(k));
+      return 1;
+    }
+    std::printf("[ ok ] kill-resume k=%llu: killed mid-run, resumed "
+                "byte-identical\n",
+                static_cast<unsigned long long>(k));
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  ChaosArgs a;
+  if (!parse(argc, argv, a)) return usage();
+
+  try {
+    // Setup (parent, fault-free): materialize the benchmark and the
+    // library as files so the children's flows cross the real I/O
+    // boundary — that is where the io.* sites live.
+    (void)::mkdir(a.workdir.c_str(), 0777);
+    const CellLibrary lib = CellLibrary::nangate45_like();
+    const std::string lib_path = a.workdir + "/cells.lib";
+    const std::string tree_path = a.workdir + "/input.ctree";
+    save_library(lib_path, lib);
+    save_tree(tree_path, make_benchmark(spec_by_name(a.circuit), lib));
+
+    if (a.kill_resume) return run_kill_resume(a, lib_path, tree_path);
+    return run_sweep(a, lib_path, tree_path);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "chaos setup error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -17,6 +17,13 @@
 //   --deadline-ms <ms>  wall-clock run budget (docs/robustness.md)
 //   --label-budget <n>  global DP label budget
 //   --strict            fail (exit 4) instead of degrading per zone
+//   --seed <n>          run seed (recorded in the report / metrics; also
+//                       overrides the gen subcommand's benchmark seed)
+//   --checkpoint <f>    write a crash-safe .wmck checkpoint as zones solve
+//   --resume <f>        preload zone solutions from a .wmck checkpoint
+//   --fault-spec <s>    arm deterministic fault injection, e.g.
+//                       "io.read_line=3,core.zone_solve" (docs/robustness.md)
+//   --fault-seed <n>    seed for unscheduled fault-spec entries
 //   --metrics           print a wm::obs metrics table to stderr
 //   --metrics-out <f>   write wm::obs metrics as JSON (observability.md)
 //   -o <path>           output tree           (default: overwrite input)
@@ -35,6 +42,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -52,6 +60,7 @@
 #include "report/design_stats.hpp"
 #include "viz/svg.hpp"
 #include "wave/tree_sim.hpp"
+#include "fault/fault.hpp"
 #include "peakmin/clkpeakmin.hpp"
 #include "timing/arrival.hpp"
 #include "util/error.hpp"
@@ -73,6 +82,8 @@ int usage() {
       "              [--kappa ps] [--samples n] [--epsilon e] [--xor]\n"
       "              [--config file.cfg]\n"
       "              [--deadline-ms ms] [--label-budget n] [--strict]\n"
+      "              [--seed n] [--checkpoint f.wmck] [--resume f.wmck]\n"
+      "              [--fault-spec site[=N],...] [--fault-seed n]\n"
       "              [--circuit name] [-o out.ctree]\n"
       "              [--metrics] [--metrics-out m.json]\n"
       "  wavemin_cli eval <tree.ctree> [--circuit name] [--multimode]\n"
@@ -102,6 +113,11 @@ struct Args {
   double deadline_ms = 0.0;
   double label_budget = 0.0;
   bool strict = false;
+  std::uint64_t seed = 0;
+  std::string checkpoint;
+  std::string resume;
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -134,6 +150,16 @@ bool parse(int argc, char** argv, Args& a) {
       if (!next(a.label_budget)) return false;
     } else if (t == "--strict") {
       a.strict = true;
+    } else if (t == "--seed" && i + 1 < argc) {
+      a.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (t == "--checkpoint" && i + 1 < argc) {
+      a.checkpoint = argv[++i];
+    } else if (t == "--resume" && i + 1 < argc) {
+      a.resume = argv[++i];
+    } else if (t == "--fault-spec" && i + 1 < argc) {
+      a.fault_spec = argv[++i];
+    } else if (t == "--fault-seed" && i + 1 < argc) {
+      a.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (t == "--metrics") {
       a.metrics = true;
     } else if (t == "--metrics-out" && i + 1 < argc) {
@@ -206,6 +232,11 @@ int main(int argc, char** argv) {
   const CellLibrary lib = CellLibrary::nangate45_like();
 
   try {
+    // Arm fault injection before any I/O so the io.* sites are live for
+    // every subcommand. A bad spec (unknown site, malformed count) is a
+    // wm::Error -> exit 4.
+    if (!a.fault_spec.empty()) fault::arm(a.fault_spec, a.fault_seed);
+
     if (cmd == "list") {
       std::printf("circuit      n    |L|  die(um)  islands\n");
       for (const BenchmarkSpec& s : benchmark_suite()) {
@@ -250,8 +281,9 @@ int main(int argc, char** argv) {
 
     if (cmd == "gen") {
       if (a.positional.size() < 2 || a.out.empty()) return usage();
-      const ClockTree tree =
-          make_benchmark(spec_by_name(a.positional[1]), lib);
+      BenchmarkSpec spec = spec_by_name(a.positional[1]);
+      if (a.seed != 0) spec.seed = a.seed;
+      const ClockTree tree = make_benchmark(spec, lib);
       save_tree(a.out, tree);
       std::printf("wrote %s (%zu nodes, skew %.2f ps)\n", a.out.c_str(),
                   tree.size(), compute_arrivals(tree).skew());
@@ -314,6 +346,9 @@ int main(int argc, char** argv) {
         opts.budget.max_total_labels =
             static_cast<std::uint64_t>(a.label_budget);
       }
+      if (a.seed != 0) opts.seed = a.seed;
+      opts.checkpoint_path = a.checkpoint;
+      opts.resume_path = a.resume;
 
       obs::MetricsRegistry registry;
       const bool want_metrics = a.metrics || !a.metrics_out.empty();
@@ -389,6 +424,12 @@ int main(int argc, char** argv) {
                   r.runtime_ms);
       const bool degraded = r.report.degraded();
       if (degraded) {
+        // Machine-greppable ladder account on stdout (the detailed
+        // multi-line summary stays on stderr).
+        std::printf("ladder: %zu full / %zu greedy / %zu identity\n",
+                    r.report.zones_at(LadderLevel::Full),
+                    r.report.zones_at(LadderLevel::Greedy),
+                    r.report.zones_at(LadderLevel::Identity));
         std::fputs(r.report.summary().c_str(), stderr);
       }
       print_eval(tree, modes);
@@ -400,6 +441,11 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     // Run-layer contract: a failed run (bad input, runtime error) is
     // exit 4, distinct from usage errors (1) and infeasibility (2).
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 4;
+  } catch (const std::exception& e) {
+    // Allocation failure or any other escaped exception is still a
+    // *failed* run, never a crash (the exit contract's last line).
     std::fprintf(stderr, "error: %s\n", e.what());
     return 4;
   }
