@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Serving-layer soak / chaos acceptance e2e (docs/serving.md).
+#
+#   serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir>
+#
+# Drives a real wavemin_served daemon through the full resilience
+# matrix and asserts on observable outcomes only (client frames, stats
+# counters, process table):
+#
+#   1. stale *.wmck.tmp in the spool is swept on boot (ck.stale_tmp_removed);
+#   2. a 50-job clean batch with serve.worker_kill=3 armed (the 3rd
+#      worker launch dies mid-solve) and serve.queue_full=20 armed (the
+#      20th admission is shed) completes: every job done/degraded/
+#      infeasible or shed, the daemon never exits, and the retried job
+#      resumes from its checkpoint (serve.resumed_zones > 0);
+#   3. deterministically-bad input (bad_io corpus) fails without
+#      retries burning the budget, opens the per-design circuit
+#      breaker, and later submits of the same design are quarantined;
+#   4. SIGTERM drains: exit code 0, no orphan workers, no socket file.
+#
+# Exit 0 when every assertion holds.
+
+set -u
+
+BIN=${1:?usage: serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir>}
+BADIO=${2:?missing bad_io dir}
+WORK=${3:?missing work dir}
+
+CLI="$BIN/wavemin_cli"
+SERVED="$BIN/wavemin_served"
+CLIENT="$BIN/wavemin_client"
+SOCK="$WORK/wm.sock"
+SPOOL="$WORK/spool"
+LOG="$WORK/daemon.log"
+DAEMON_PID=""
+
+fail() {
+  echo "serve_soak: FAIL: $*" >&2
+  [ -f "$LOG" ] && tail -30 "$LOG" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  exit 1
+}
+
+# counter <stats-json> <name> -> value (0 when absent)
+counter() {
+  local v
+  v=$(printf '%s' "$1" | grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$')
+  echo "${v:-0}"
+}
+
+# field <batch-summary> <label> -> the count before the label (0 when absent)
+field() {
+  local v
+  v=$(printf '%s' "$1" | grep -o "[0-9]* $2" | head -1 | grep -o '^[0-9]*')
+  echo "${v:-0}"
+}
+
+rm -rf "$WORK"
+mkdir -p "$SPOOL"
+
+"$CLI" gen s15850 -o "$WORK/clean.ctree" >/dev/null || fail "gen"
+
+# --- 1. boot: stale tmp sweep ----------------------------------------
+echo "stale droppings" > "$SPOOL/dead.wmck.tmp"
+
+"$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 64 --workers 4 \
+  --breaker 3 --retry-base-ms 50 --retry-cap-ms 500 \
+  --drain-grace-ms 4000 --seed 7 \
+  --fault-spec "serve.worker_kill=3,serve.queue_full=20" \
+  --verbose >"$LOG" 2>&1 &
+DAEMON_PID=$!
+
+HEALTH=$("$CLIENT" --socket "$SOCK" --connect-wait-ms 10000 health) \
+  || fail "daemon did not come up"
+case "$HEALTH" in
+  *'"state": "serving"'*) ;;
+  *) fail "unexpected health: $HEALTH" ;;
+esac
+[ -e "$SPOOL/dead.wmck.tmp" ] && fail "stale .wmck.tmp not swept on boot"
+
+# --- 2. 50-job chaos batch -------------------------------------------
+SUMMARY=$("$CLIENT" --socket "$SOCK" batch "$WORK/clean.ctree" \
+  --jobs 50 --prefix c --max-retries 3 --timeout-ms 300000) \
+  || fail "chaos batch rc=$? summary=$SUMMARY"
+echo "serve_soak: $SUMMARY"
+
+done_n=$(field "$SUMMARY" done)
+degraded_n=$(field "$SUMMARY" degraded)
+infeasible_n=$(field "$SUMMARY" infeasible)
+failed_n=$(field "$SUMMARY" failed)
+shed_n=$(field "$SUMMARY" shed)
+acceptable=$((done_n + degraded_n + infeasible_n + shed_n))
+[ "$failed_n" = "0" ] || fail "chaos batch had $failed_n failed job(s)"
+[ "$acceptable" = "50" ] || fail "only $acceptable/50 jobs accounted for"
+[ "$shed_n" -ge 1 ] || fail "no job was shed (serve.queue_full armed at 20)"
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during the chaos batch"
+
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats"
+[ "$(counter "$STATS" serve.crashes)" -ge 1 ] \
+  || fail "no worker crash recorded (worker_kill armed): $STATS"
+[ "$(counter "$STATS" serve.retries)" -ge 1 ] \
+  || fail "no retry recorded: $STATS"
+[ "$(counter "$STATS" serve.resumed_zones)" -ge 1 ] \
+  || fail "retried job did not resume from its checkpoint: $STATS"
+[ "$(counter "$STATS" serve.shed)" -ge 1 ] \
+  || fail "shed not counted: $STATS"
+[ "$(counter "$STATS" ck.stale_tmp_removed)" -ge 1 ] \
+  || fail "stale tmp sweep not counted: $STATS"
+
+# --- 3. deterministic failures open the breaker ----------------------
+# Same bad design repeatedly, sequentially (--wait) so each failure is
+# recorded before the next submit. InvalidInput is never retried even
+# with a retry budget; the 3rd consecutive failure opens the breaker
+# and the 4th submit is rejected at admission.
+for k in 1 2 3; do
+  "$CLIENT" --socket "$SOCK" submit "$BADIO/truncated_record.ctree" \
+    --id "x$k" --max-retries 2 --wait >/dev/null 2>&1 \
+    && fail "bad job x$k did not fail"
+done
+REJ=$("$CLIENT" --socket "$SOCK" submit "$BADIO/truncated_record.ctree" \
+  --id x4 --wait 2>&1)
+case "$REJ" in
+  *breaker-open*) ;;
+  *) fail "4th bad submit was not breaker-rejected: $REJ" ;;
+esac
+
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats after bad jobs"
+[ "$(counter "$STATS" serve.breaker_opened)" -ge 1 ] \
+  || fail "breaker never opened: $STATS"
+[ "$(counter "$STATS" serve.breaker_rejected)" -ge 1 ] \
+  || fail "breaker rejection not counted: $STATS"
+launched=$(counter "$STATS" serve.launched)
+# InvalidInput must not retry: the 3 deterministic failures cost
+# exactly 3 launches on top of the clean batch's 50 (49 admitted jobs
+# + 1 crash retry); the rejected x4 never launches.
+[ "$launched" -le 55 ] \
+  || fail "deterministic failures were retried ($launched launches): $STATS"
+
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during the bad batch"
+
+# --- 4. SIGTERM drain ------------------------------------------------
+# Leave work in flight, then drain: the daemon must finish or kill the
+# stragglers, reply to nobody left hanging, and exit 0.
+for k in 1 2 3 4 5; do
+  "$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id "d$k" \
+    >/dev/null || fail "drain-phase submit d$k"
+done
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+rc=$?
+[ "$rc" = "0" ] || fail "daemon exited $rc after SIGTERM"
+[ -S "$SOCK" ] && fail "socket file leaked after drain"
+LEFT=$(pgrep -f "wavemin_served --socket $SOCK" | wc -l)
+[ "$LEFT" = "0" ] || fail "$LEFT orphan daemon/worker process(es) leaked"
+DAEMON_PID=""
+
+echo "serve_soak: PASS"

@@ -3,16 +3,21 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <limits>
 #include <sstream>
+#include <string_view>
+#include <system_error>
 #include <unordered_set>
 
 #include "fault/fault.hpp"
 #include "io/tree_io.hpp"
+#include "obs/metrics.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
+#include "util/log.hpp"
 
 namespace wm::ck {
 
@@ -289,9 +294,38 @@ Checkpoint from_string(const std::string& text) {
   return c;
 }
 
+std::size_t clean_stale_tmps(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    constexpr std::string_view kSuffix = ".wmck.tmp";
+    if (name.size() < kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(),
+                     kSuffix) != 0) {
+      continue;
+    }
+    if (std::remove(entry.path().string().c_str()) == 0) ++removed;
+  }
+  if (removed > 0) {
+    obs::add(obs::global(), "ck.stale_tmp_removed", removed);
+    WM_LOG(Info) << "ck: removed " << removed
+                 << " stale checkpoint tmp file(s) from " << dir;
+  }
+  return removed;
+}
+
 void save(const std::string& path, const Checkpoint& c) {
   fault::inject("ck.write");
   const std::string tmp = path + ".tmp";
+  // A leftover tmp from a writer that died between open and rename is
+  // dead weight (resume only ever reads the renamed file) — drop it
+  // before writing so it cannot outlive this run either.
+  if (std::remove(tmp.c_str()) == 0) {
+    obs::add(obs::global(), "ck.stale_tmp_removed");
+  }
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     WM_REQUIRE(static_cast<bool>(os),

@@ -73,8 +73,18 @@ std::string to_string(const Checkpoint& c);
 Checkpoint from_string(const std::string& text);
 
 /// Atomic write: serialize to `path + ".tmp"`, then rename over `path`.
-/// Throws wm::Error on I/O failure (the temp file is removed).
+/// Throws wm::Error on I/O failure (the temp file is removed). A stale
+/// tmp file left by a process that died between open and rename is
+/// removed first and counted as "ck.stale_tmp_removed".
 void save(const std::string& path, const Checkpoint& c);
+
+/// Remove every stale "*.wmck.tmp" under `dir` (non-recursive) — the
+/// droppings of checkpoint writers killed mid-save. Returns the number
+/// removed, also added to the "ck.stale_tmp_removed" counter. A
+/// missing/unreadable directory is not an error (returns 0): callers
+/// run this opportunistically at startup (the serve daemon sweeps its
+/// spool on boot).
+std::size_t clean_stale_tmps(const std::string& dir);
 
 /// Load + verify; additionally rejects a fingerprint mismatch against
 /// `expect_options_hash` ("stale checkpoint") with both hashes named.

@@ -103,6 +103,13 @@ struct WaveMinOptions {
   /// degraded run is reproducible from its artifacts alone.
   std::uint64_t seed = 0;
 
+  /// Serving-layer job id (docs/serving.md). Purely observational:
+  /// recorded in RunReport::job_id and the run's log lines so one
+  /// daemon log interleaving many jobs stays attributable. Never part
+  /// of the checkpoint fingerprint — a retry of the same job (or a
+  /// different job over the same design) may resume the same .wmck.
+  std::string job_id;
+
   // --- crash-safe checkpoint/resume (docs/robustness.md) -------------
 
   /// When non-empty, run_wavemin writes a ".wmck" checkpoint of every

@@ -61,6 +61,7 @@ std::string RunReport::summary() const {
     os << "; " << resumed_zones << " zone(s) resumed from checkpoint";
   }
   if (seed != 0) os << "; seed " << seed;
+  if (!job_id.empty()) os << "; job " << job_id;
   os << '\n';
   for (const ZoneRunReport& z : zones) {
     if (z.ladder == LadderLevel::Full && z.error.empty() &&

@@ -58,6 +58,10 @@ struct RunReport {
   /// The run seed (WaveMinOptions::seed), recorded so a degraded run is
   /// reproducible from the artifact alone.
   std::uint64_t seed = 0;
+  /// Serving-layer job id (WaveMinOptions::job_id): ties this report —
+  /// and every log line and checkpoint derived from it — back to the
+  /// submitted job. Empty outside the serve flow.
+  std::string job_id;
 
   /// Any zone below Full, any quarantined error, or any budget trip.
   bool degraded() const;

@@ -112,8 +112,12 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
   obs::gauge_set(m, "wavemin.kappa", opts.kappa);
   obs::gauge_set(m, "wavemin.samples", static_cast<double>(opts.samples));
   result.report.seed = opts.seed;
+  result.report.job_id = opts.job_id;
   if (opts.seed != 0) {
     obs::gauge_set(m, "run.seed", static_cast<double>(opts.seed));
+  }
+  if (!opts.job_id.empty()) {
+    WM_LOG(Info) << "wavemin: job " << opts.job_id;
   }
 
   // Checkpoint/resume binds to an options/design fingerprint computed

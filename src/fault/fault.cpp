@@ -1,5 +1,6 @@
 #include "fault/fault.hpp"
 
+#include <cctype>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +33,18 @@ const std::vector<Site>& site_catalog() {
       {"obs.metrics_write", "obs", Action::Error, "0,4"},
       {"ck.write", "ck", Action::Error, "0,3"},
       {"ck.kill_after_write", "ck", Action::Kill, "SIGKILL"},
+      // Serving-layer chaos (docs/serving.md). worker_kill selects a
+      // forked job worker to die: the daemon note()s the launch count,
+      // and the launch landing on the scheduled hit becomes the victim
+      // (killed after its first checkpoint write, so the retry can
+      // prove resume; arming it in a job's own fault_spec instead
+      // kills at worker startup). queue_full forces an admission
+      // rejection; socket_torn tears a client connection mid-reply.
+      // None are reachable from the one-shot CLI flow, so the chaos
+      // sweep passes them through untripped (exit 0).
+      {"serve.worker_kill", "serve", Action::Kill, "SIGKILL"},
+      {"serve.queue_full", "serve", Action::Error, "overloaded"},
+      {"serve.socket_torn", "serve", Action::Error, "drop"},
   };
   return catalog;
 }
@@ -75,6 +88,14 @@ const Site* find_site(const std::string& name) {
 }
 
 } // namespace
+
+void on_note(const char* site) {
+  for (ArmedSite& as : armed_sites()) {
+    if (std::strcmp(as.site->name, site) == 0) {
+      as.hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
 
 void on_hit(const char* site) {
   for (ArmedSite& as : armed_sites()) {
@@ -127,7 +148,10 @@ void arm(const std::string& spec, std::uint64_t seed) {
       const std::string k = entry.substr(eq + 1);
       char* endp = nullptr;
       trip = std::strtoull(k.c_str(), &endp, 10);
-      if (endp != k.c_str() + k.size() || trip == 0) {
+      // The leading-digit check rejects what strtoull would silently
+      // accept: "-1" (wraps to ULLONG_MAX), "+3", and leading spaces.
+      if (k.empty() || std::isdigit(static_cast<unsigned char>(k[0])) == 0 ||
+          endp != k.c_str() + k.size() || trip == 0) {
         throw Error("fault spec: bad hit count '" + k + "' in '" +
                     entry + "' (want a 1-based integer)");
       }

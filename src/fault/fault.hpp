@@ -75,15 +75,28 @@ std::uint64_t fired_total();
 namespace detail {
 extern std::atomic<bool> g_armed;
 void on_hit(const char* site);
+void on_note(const char* site);
 } // namespace detail
 
 #ifdef WAVEMIN_NO_FAULT
 inline void inject(const char*) {}
+inline void note(const char*) {}
 #else
 /// The injection point. Disarmed cost: one relaxed atomic load.
 inline void inject(const char* site) {
   if (detail::g_armed.load(std::memory_order_relaxed)) {
     detail::on_hit(site);
+  }
+}
+
+/// Count a hit on `site` without ever tripping it. Lets a supervisor
+/// process advance a site's schedule on behalf of work it forks out:
+/// the serve daemon note()s "serve.worker_kill" once per worker launch,
+/// and the launch whose count lands on the scheduled hit forks the
+/// child that actually dies (docs/serving.md).
+inline void note(const char* site) {
+  if (detail::g_armed.load(std::memory_order_relaxed)) {
+    detail::on_note(site);
   }
 }
 #endif

@@ -1,11 +1,9 @@
 #include "obs/metrics_json.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -13,253 +11,22 @@
 #include "fault/fault.hpp"
 #include "report/table.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 
 namespace wm::obs {
 
 namespace {
 
-// ---------------------------------------------------------------- emit
+// Emit helpers delegate to wm::json so the serialized bytes stay
+// identical to the pre-refactor writer (round-trip tests pin them).
 
-std::string fmt_double(double v) {
-  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
+std::string fmt_double(double v) { return json::number_token(v); }
 
-std::string quote(std::string_view s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
+std::string quote(std::string_view s) { return json::quote(s); }
 
-// --------------------------------------------------------------- parse
-//
-// Minimal recursive-descent JSON reader — just enough for the metrics
-// schema (objects, arrays, strings, numbers, bools, null). Numbers keep
-// their raw spelling so counters survive as exact uint64.
-
-struct JValue {
-  enum class Kind { Null, Bool, Number, String, Array, Object };
-  Kind kind = Kind::Null;
-  bool boolean = false;
-  double number = 0.0;
-  std::string raw;  ///< number spelling as written
-  std::string str;
-  std::vector<JValue> array;
-  std::vector<std::pair<std::string, JValue>> object;
-
-  const JValue* find(std::string_view key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(std::string_view text) : text_(text) {}
-
-  JValue parse() {
-    JValue v = value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing content");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw Error("metrics json: " + what + " at offset " +
-                std::to_string(pos_));
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\n' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= text_.size()) fail("unexpected end of input");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(std::string_view lit) {
-    if (text_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  JValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JValue v;
-        v.kind = JValue::Kind::String;
-        v.str = string();
-        return v;
-      }
-      case 't': {
-        if (!consume_literal("true")) fail("bad literal");
-        JValue v;
-        v.kind = JValue::Kind::Bool;
-        v.boolean = true;
-        return v;
-      }
-      case 'f': {
-        if (!consume_literal("false")) fail("bad literal");
-        JValue v;
-        v.kind = JValue::Kind::Bool;
-        return v;
-      }
-      case 'n': {
-        if (!consume_literal("null")) fail("bad literal");
-        return JValue{};
-      }
-      default: return number();
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= text_.size()) fail("unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') break;
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
-            const std::string hex(text_.substr(pos_, 4));
-            pos_ += 4;
-            const long cp = std::strtol(hex.c_str(), nullptr, 16);
-            // Metrics names are ASCII; anything else round-trips as '?'.
-            out += cp < 0x80 ? static_cast<char>(cp) : '?';
-            break;
-          }
-          default: fail("bad escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-    return out;
-  }
-
-  JValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E' || text_[pos_] == '-' ||
-            text_[pos_] == '+')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JValue v;
-    v.kind = JValue::Kind::Number;
-    v.raw = std::string(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    v.number = std::strtod(v.raw.c_str(), &end);
-    if (end != v.raw.c_str() + v.raw.size()) fail("bad number");
-    return v;
-  }
-
-  JValue array() {
-    expect('[');
-    JValue v;
-    v.kind = JValue::Kind::Array;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect(']');
-      return v;
-    }
-  }
-
-  JValue object() {
-    expect('{');
-    JValue v;
-    v.kind = JValue::Kind::Object;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object.emplace_back(std::move(key), value());
-      skip_ws();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      return v;
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-const JValue& require(const JValue& obj, std::string_view key,
-                      JValue::Kind kind, const char* context) {
-  const JValue* v = obj.find(key);
+const json::Value& require(const json::Value& obj, std::string_view key,
+                           json::Value::Kind kind, const char* context) {
+  const json::Value* v = obj.find(key);
   WM_REQUIRE(v != nullptr, std::string("metrics json: ") + context +
                                " missing \"" + std::string(key) + "\"");
   WM_REQUIRE(v->kind == kind, std::string("metrics json: ") + context +
@@ -268,20 +35,20 @@ const JValue& require(const JValue& obj, std::string_view key,
   return *v;
 }
 
-double number_or_inf(const JValue& v, const char* context) {
-  if (v.kind == JValue::Kind::String) {
+double number_or_inf(const json::Value& v, const char* context) {
+  if (v.is_string()) {
     if (v.str == "inf") return std::numeric_limits<double>::infinity();
     if (v.str == "-inf") return -std::numeric_limits<double>::infinity();
     throw Error(std::string("metrics json: ") + context +
                 ": non-numeric string");
   }
-  WM_REQUIRE(v.kind == JValue::Kind::Number,
+  WM_REQUIRE(v.is_number(),
              std::string("metrics json: ") + context + ": expected number");
   return v.number;
 }
 
-std::uint64_t to_u64(const JValue& v, const char* context) {
-  WM_REQUIRE(v.kind == JValue::Kind::Number,
+std::uint64_t u64_field(const json::Value& v, const char* context) {
+  WM_REQUIRE(v.is_number(),
              std::string("metrics json: ") + context + ": expected number");
   WM_REQUIRE(!v.raw.empty() && v.raw[0] != '-',
              std::string("metrics json: ") + context + ": negative count");
@@ -336,61 +103,61 @@ std::string to_json(const MetricsSnapshot& s) {
 }
 
 MetricsSnapshot parse_metrics_json(std::string_view text) {
-  const JValue root = Parser(text).parse();
-  WM_REQUIRE(root.kind == JValue::Kind::Object,
+  const json::Value root = [&] {
+    try {
+      return json::parse(text);
+    } catch (const Error& e) {
+      throw Error(std::string("metrics ") + e.what());
+    }
+  }();
+  WM_REQUIRE(root.is_object(),
              "metrics json: top level must be an object");
 
+  using JK = json::Value::Kind;
   MetricsSnapshot s;
-  s.schema =
-      require(root, "schema", JValue::Kind::String, "top level").str;
+  s.schema = require(root, "schema", JK::String, "top level").str;
 
-  for (const JValue& p :
-       require(root, "phases", JValue::Kind::Array, "top level").array) {
-    WM_REQUIRE(p.kind == JValue::Kind::Object,
+  for (const json::Value& p :
+       require(root, "phases", JK::Array, "top level").array) {
+    WM_REQUIRE(p.is_object(),
                "metrics json: phase entry must be an object");
     PhaseSample ps;
-    ps.path = require(p, "path", JValue::Kind::String, "phase").str;
-    ps.calls = to_u64(require(p, "calls", JValue::Kind::Number, "phase"),
+    ps.path = require(p, "path", JK::String, "phase").str;
+    ps.calls = u64_field(require(p, "calls", JK::Number, "phase"),
                       "phase calls");
-    ps.wall_ms =
-        require(p, "wall_ms", JValue::Kind::Number, "phase").number;
+    ps.wall_ms = require(p, "wall_ms", JK::Number, "phase").number;
     s.phases.push_back(std::move(ps));
   }
 
   for (const auto& [name, v] :
-       require(root, "counters", JValue::Kind::Object, "top level")
-           .object) {
-    s.counters.emplace_back(name, to_u64(v, "counter"));
+       require(root, "counters", JK::Object, "top level").object) {
+    s.counters.emplace_back(name, u64_field(v, "counter"));
   }
 
   for (const auto& [name, v] :
-       require(root, "gauges", JValue::Kind::Object, "top level").object) {
+       require(root, "gauges", JK::Object, "top level").object) {
     s.gauges.emplace_back(name, number_or_inf(v, "gauge"));
   }
 
   for (const auto& [name, v] :
-       require(root, "histograms", JValue::Kind::Object, "top level")
-           .object) {
-    WM_REQUIRE(v.kind == JValue::Kind::Object,
+       require(root, "histograms", JK::Object, "top level").object) {
+    WM_REQUIRE(v.is_object(),
                "metrics json: histogram must be an object");
     Histogram::Sample h;
-    h.count = to_u64(require(v, "count", JValue::Kind::Number, "histogram"),
+    h.count = u64_field(require(v, "count", JK::Number, "histogram"),
                      "histogram count");
-    h.min_ms =
-        require(v, "min_ms", JValue::Kind::Number, "histogram").number;
-    h.max_ms =
-        require(v, "max_ms", JValue::Kind::Number, "histogram").number;
-    h.sum_ms =
-        require(v, "sum_ms", JValue::Kind::Number, "histogram").number;
-    for (const JValue& b :
-         require(v, "buckets", JValue::Kind::Array, "histogram").array) {
-      WM_REQUIRE(b.kind == JValue::Kind::Object,
+    h.min_ms = require(v, "min_ms", JK::Number, "histogram").number;
+    h.max_ms = require(v, "max_ms", JK::Number, "histogram").number;
+    h.sum_ms = require(v, "sum_ms", JK::Number, "histogram").number;
+    for (const json::Value& b :
+         require(v, "buckets", JK::Array, "histogram").array) {
+      WM_REQUIRE(b.is_object(),
                  "metrics json: bucket must be an object");
       Histogram::Bucket bk;
-      const JValue* le = b.find("le_ms");
+      const json::Value* le = b.find("le_ms");
       WM_REQUIRE(le != nullptr, "metrics json: bucket missing le_ms");
       bk.le_ms = number_or_inf(*le, "bucket le_ms");
-      bk.count = to_u64(require(b, "count", JValue::Kind::Number, "bucket"),
+      bk.count = u64_field(require(b, "count", JK::Number, "bucket"),
                         "bucket count");
       h.buckets.push_back(bk);
     }
@@ -512,7 +279,25 @@ void merge_into_file(const MetricsSnapshot& snapshot,
     combined = MetricsSnapshot{};
   }
   merge(combined, snapshot);
-  write_json_file(combined, path);
+  // Same tmp-file + atomic-rename discipline as wm::ck::save, so
+  // concurrent bench/serve writers never tear the accumulated file: a
+  // racing reader sees the previous complete JSON or the new one.
+  fault::inject("obs.metrics_write");
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    WM_REQUIRE(out.good(), "cannot open " + tmp + " for writing");
+    out << to_json(combined);
+    out.flush();
+    if (!out.good()) {
+      std::remove(tmp.c_str());
+      throw Error("failed writing " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("cannot rename " + tmp + " -> " + path);
+  }
 }
 
 Table to_table(const MetricsSnapshot& s) {

@@ -1,0 +1,74 @@
+#include "serve/breaker.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace wm::serve {
+
+namespace {
+
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_str(const std::string& s, std::uint64_t h) {
+  return fnv1a(s.data(), s.size(), h);
+}
+
+} // namespace
+
+std::uint64_t design_fingerprint(const JobSpec& spec) {
+  std::uint64_t h = 1469598103934665603ULL;
+  // Hash the input bytes when readable; an unreadable input hashes by
+  // path — its jobs all fail identically anyway, which is exactly the
+  // deterministic-failure shape the breaker exists for.
+  std::ifstream is(spec.tree, std::ios::binary);
+  if (is.good()) {
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    h = fnv1a_str(buf.str(), h);
+  } else {
+    h = fnv1a_str(spec.tree, h);
+  }
+  h = fnv1a_str(spec.algo, h);
+  h = fnv1a(&spec.kappa, sizeof spec.kappa, h);
+  h = fnv1a(&spec.samples, sizeof spec.samples, h);
+  return h;
+}
+
+bool CircuitBreaker::is_open(std::uint64_t fingerprint) const {
+  if (threshold_ <= 0) return false;
+  const auto it = entries_.find(fingerprint);
+  return it != entries_.end() && it->second.open;
+}
+
+bool CircuitBreaker::record_failure(std::uint64_t fingerprint) {
+  if (threshold_ <= 0) return false;
+  Entry& e = entries_[fingerprint];
+  ++e.consecutive_failures;
+  if (!e.open && e.consecutive_failures >= threshold_) {
+    e.open = true;
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_success(std::uint64_t fingerprint) {
+  const auto it = entries_.find(fingerprint);
+  if (it != entries_.end()) entries_.erase(it);
+}
+
+std::size_t CircuitBreaker::open_count() const {
+  std::size_t n = 0;
+  for (const auto& [fp, e] : entries_) {
+    if (e.open) ++n;
+  }
+  return n;
+}
+
+} // namespace wm::serve

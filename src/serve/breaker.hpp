@@ -1,0 +1,54 @@
+#pragma once
+// Per-design circuit breaker (docs/serving.md).
+//
+// A design that fails deterministically — same fingerprint, N
+// consecutive terminal failures — gets quarantined: further jobs over
+// it are rejected at admission (and at launch, for jobs already
+// queued) with a structured "breaker-open" error instead of burning
+// worker slots and retry budget. Any acceptable terminal outcome for
+// a fingerprint closes its account again.
+//
+// The fingerprint is FNV-1a over the input tree bytes plus the
+// solver-relevant job knobs (algo, kappa, samples), so two jobs that
+// would run the same deterministic optimization share a breaker entry
+// while a re-submission with a fixed input file opens a fresh one.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "serve/protocol.hpp"
+
+namespace wm::serve {
+
+std::uint64_t design_fingerprint(const JobSpec& spec);
+
+class CircuitBreaker {
+ public:
+  /// `threshold` consecutive failures open the breaker; <= 0 disables
+  /// it entirely (is_open is always false).
+  explicit CircuitBreaker(int threshold = 3) : threshold_(threshold) {}
+
+  bool is_open(std::uint64_t fingerprint) const;
+
+  /// Record a terminal failure. Returns true when this one opened the
+  /// breaker (the transition, for the serve.breaker_open counter).
+  bool record_failure(std::uint64_t fingerprint);
+
+  /// Any acceptable terminal outcome resets the consecutive count and
+  /// closes an open breaker.
+  void record_success(std::uint64_t fingerprint);
+
+  std::size_t open_count() const;
+
+ private:
+  struct Entry {
+    int consecutive_failures = 0;
+    bool open = false;
+  };
+  int threshold_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+};
+
+} // namespace wm::serve

@@ -1,0 +1,181 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace wm::serve {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Backoff: return "backoff";
+    case JobState::Done: return "done";
+    case JobState::Degraded: return "degraded";
+    case JobState::Infeasible: return "infeasible";
+    case JobState::Failed: return "failed";
+    case JobState::Quarantined: return "quarantined";
+    case JobState::Drained: return "drained";
+  }
+  return "?";
+}
+
+bool is_terminal(JobState state) {
+  switch (state) {
+    case JobState::Queued:
+    case JobState::Running:
+    case JobState::Backoff: return false;
+    default: return true;
+  }
+}
+
+bool is_acceptable_terminal(JobState state) {
+  return state == JobState::Done || state == JobState::Degraded ||
+         state == JobState::Infeasible ||
+         state == JobState::Quarantined;
+}
+
+const char* to_string(Attempt::Outcome outcome) {
+  switch (outcome) {
+    case Attempt::Outcome::Done: return "done";
+    case Attempt::Outcome::Degraded: return "degraded";
+    case Attempt::Outcome::Infeasible: return "infeasible";
+    case Attempt::Outcome::Failed: return "failed";
+    case Attempt::Outcome::Crashed: return "crashed";
+  }
+  return "?";
+}
+
+Attempt classify_exit(bool exited, int exit_code, bool signaled,
+                      int sig) {
+  Attempt a;
+  if (signaled) {
+    a.outcome = Attempt::Outcome::Crashed;
+    a.signal = sig;
+    return a;
+  }
+  if (!exited) {
+    // Stopped/continued never reach the supervisor (no WUNTRACED), but
+    // classify defensively rather than asserting on kernel behavior.
+    a.outcome = Attempt::Outcome::Failed;
+    return a;
+  }
+  a.exit_code = exit_code;
+  switch (exit_code) {
+    case 0: a.outcome = Attempt::Outcome::Done; break;
+    case 2: a.outcome = Attempt::Outcome::Infeasible; break;
+    case 3: a.outcome = Attempt::Outcome::Degraded; break;
+    default: a.outcome = Attempt::Outcome::Failed; break;
+  }
+  return a;
+}
+
+bool retryable(Attempt::Outcome outcome, ErrorCategory category) {
+  switch (outcome) {
+    case Attempt::Outcome::Done:
+    case Attempt::Outcome::Degraded:
+    case Attempt::Outcome::Infeasible: return false;
+    case Attempt::Outcome::Crashed: return true;
+    case Attempt::Outcome::Failed:
+      // Deterministic rejections re-fail identically on every attempt;
+      // retrying burns budget the breaker is meant to protect.
+      return category != ErrorCategory::InvalidInput;
+  }
+  return false;
+}
+
+double backoff_ms(int completed_attempts, double base_ms, double cap_ms,
+                  std::uint64_t seed, std::uint64_t job_key) {
+  WM_ASSERT(completed_attempts >= 1, "backoff before any attempt");
+  double delay = base_ms;
+  for (int i = 1; i < completed_attempts && delay < cap_ms; ++i) {
+    delay *= 2.0;
+  }
+  delay = std::min(delay, cap_ms);
+  Rng rng(seed ^ job_key ^
+          static_cast<std::uint64_t>(completed_attempts) * 0x9e3779b97f4a7c15ULL);
+  return delay + rng.uniform(0.0, delay * 0.5);
+}
+
+std::string dump_worker_result(const WorkerResult& r) {
+  json::Value v = json::Value::object_v();
+  v.set("category",
+        json::Value::string_v(wm::to_string(r.category)));
+  v.set("degraded", json::Value::boolean_v(r.degraded));
+  v.set("resumed_zones", json::Value::number_v(r.resumed_zones));
+  v.set("zones_full", json::Value::number_v(r.zones_full));
+  v.set("zones_greedy", json::Value::number_v(r.zones_greedy));
+  v.set("zones_identity", json::Value::number_v(r.zones_identity));
+  if (!r.error.empty()) v.set("error", json::Value::string_v(r.error));
+  return json::dump(v);
+}
+
+WorkerResult load_worker_result(const std::string& path) {
+  WorkerResult r;
+  std::ifstream is(path, std::ios::binary);
+  if (!is.good()) return r;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  try {
+    const json::Value v = json::parse(buf.str());
+    WM_REQUIRE(v.is_object(), "worker result must be an object");
+    const std::string cat = v.get_string("category", "worker result");
+    if (cat == "none") {
+      r.category = ErrorCategory::None;
+    } else if (cat == "invalid-input") {
+      r.category = ErrorCategory::InvalidInput;
+    } else if (cat == "infeasible") {
+      r.category = ErrorCategory::Infeasible;
+    } else {
+      r.category = ErrorCategory::Internal;
+    }
+    r.degraded = v.get_bool_or("degraded", false);
+    r.resumed_zones = v.get_u64_or("resumed_zones", 0);
+    r.zones_full = v.get_u64_or("zones_full", 0);
+    r.zones_greedy = v.get_u64_or("zones_greedy", 0);
+    r.zones_identity = v.get_u64_or("zones_identity", 0);
+    r.error = v.get_string_or("error", "");
+    r.valid = true;
+  } catch (const Error&) {
+    // A torn or garbled result file reads as "child crashed before
+    // reporting" — the conservative, retryable interpretation.
+    r = WorkerResult{};
+  }
+  return r;
+}
+
+std::string status_frame(const Job& job) {
+  json::Value frame = ok_frame();
+  json::Value j = json::Value::object_v();
+  j.set("id", json::Value::string_v(job.spec.id));
+  j.set("state", json::Value::string_v(to_string(job.state)));
+  j.set("attempts", json::Value::number_v(job.attempts));
+  if (is_terminal(job.state)) {
+    j.set("acceptable",
+          json::Value::boolean_v(is_acceptable_terminal(job.state)));
+  }
+  if (job.last.exit_code >= 0) {
+    j.set("exit", json::Value::number_v(job.last.exit_code));
+  }
+  if (job.last.signal != 0) {
+    j.set("signal", json::Value::number_v(job.last.signal));
+  }
+  if (job.last_result.valid) {
+    j.set("resumed_zones",
+          json::Value::number_v(job.last_result.resumed_zones));
+  }
+  if (!job.spec.out.empty()) {
+    j.set("out", json::Value::string_v(job.spec.out));
+  }
+  if (!job.error.empty()) {
+    j.set("error", json::Value::string_v(job.error));
+  }
+  frame.set("job", std::move(j));
+  return json::dump(frame);
+}
+
+} // namespace wm::serve

@@ -1,0 +1,118 @@
+#pragma once
+// Serving-layer job model (docs/serving.md): the lifecycle of one
+// submitted optimization, the supervisor's mapping from a worker
+// child's wait-status onto the CLI exit contract, and the retry
+// backoff schedule. Everything here is plain data + pure functions so
+// the policy is unit-testable without forking a single process
+// (tests/serve_test.cpp); the event loop in server.cpp just wires it
+// to real pids.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace wm::serve {
+
+/// Lifecycle:  Queued -> Running -> {terminal} | Backoff -> Running...
+enum class JobState {
+  Queued,       ///< admitted, waiting for a worker slot
+  Running,      ///< a forked worker child is on it
+  Backoff,      ///< failed attempt, waiting out the retry delay
+  Done,         ///< terminal: clean optimum applied (child exit 0)
+  Degraded,     ///< terminal: valid but budget/fault-degraded (exit 3)
+  Infeasible,   ///< terminal: skew bound unreachable (exit 2) — data,
+                ///< not failure; never retried
+  Failed,       ///< terminal: all retries burned, or non-retryable
+  Quarantined,  ///< terminal: circuit breaker open for this design
+  Drained,      ///< terminal: daemon shut down first; any checkpoint
+                ///< written by the killed straggler survives for resume
+};
+
+const char* to_string(JobState state);
+bool is_terminal(JobState state);
+/// Terminal states the chaos acceptance gate tolerates: Done, Degraded
+/// and (breaker) Quarantined — plus Infeasible, which is data.
+bool is_acceptable_terminal(JobState state);
+
+/// What the supervisor learned from one reaped worker child.
+struct Attempt {
+  enum class Outcome {
+    Done,        ///< exit 0
+    Degraded,    ///< exit 3
+    Infeasible,  ///< exit 2
+    Failed,      ///< exit 4 or an unknown exit code
+    Crashed,     ///< died on a signal (SIGKILL'd, OOM'd, faulted)
+  };
+  Outcome outcome = Outcome::Failed;
+  int exit_code = -1;  ///< -1 when signaled
+  int signal = 0;      ///< 0 when exited
+};
+
+const char* to_string(Attempt::Outcome outcome);
+
+/// Map a child's (exited, code) / (signaled, sig) onto the exit
+/// contract. Any exit code outside {0,2,3,4} (including 1, which the
+/// worker never emits) is Failed — the supervisor treats contract
+/// violations as failures, never as successes.
+Attempt classify_exit(bool exited, int exit_code, bool signaled,
+                      int sig);
+
+/// Should this attempt outcome be retried? Crashes and retryable
+/// failures are; terminal data outcomes and invalid input are not.
+/// `category` comes from the worker's result file (ErrorCategory::
+/// Internal when the child crashed before writing one).
+bool retryable(Attempt::Outcome outcome, ErrorCategory category);
+
+/// Exponential backoff with deterministic jitter: attempt k (1-based
+/// count of *completed* attempts) waits base * 2^(k-1) capped at
+/// `cap_ms`, plus up to 50% jitter drawn from Rng(seed ^ job_key ^ k)
+/// so a thundering herd of retries spreads out yet every delay is
+/// replayable from the run seed.
+double backoff_ms(int completed_attempts, double base_ms, double cap_ms,
+                  std::uint64_t seed, std::uint64_t job_key);
+
+/// What a worker child leaves behind for the supervisor (one JSON
+/// line at result_path): its Status category, degradation account and
+/// checkpoint-resume proof. The parent must never parse the child's
+/// stdout — a crashed child leaves no file, and absence is informative.
+struct WorkerResult {
+  bool valid = false;  ///< file existed and parsed
+  ErrorCategory category = ErrorCategory::Internal;
+  bool degraded = false;
+  std::uint64_t resumed_zones = 0;  ///< > 0 proves checkpoint resume
+  std::uint64_t zones_full = 0;
+  std::uint64_t zones_greedy = 0;
+  std::uint64_t zones_identity = 0;
+  std::string error;
+};
+
+std::string dump_worker_result(const WorkerResult& r);
+/// Missing/corrupt file yields valid == false, never a throw: the
+/// supervisor treats that exactly like a crash-before-reporting.
+WorkerResult load_worker_result(const std::string& path);
+
+/// Supervisor bookkeeping for one admitted job.
+struct Job {
+  JobSpec spec;
+  JobState state = JobState::Queued;
+  std::uint64_t design_fp = 0;  ///< circuit-breaker fingerprint
+  int attempts = 0;             ///< attempts launched so far
+  double submitted_ms = 0.0;    ///< against the server's steady clock
+  double next_attempt_ms = 0.0; ///< Backoff: earliest relaunch time
+  long pid = -1;                ///< Running: worker child pid
+  std::string checkpoint;       ///< spool .wmck path (shared by retries)
+  std::string result_path;      ///< spool result-file path
+  Attempt last;                 ///< most recent reaped attempt
+  WorkerResult last_result;
+  std::string error;            ///< terminal failure text
+  std::vector<int> waiters;     ///< conn fds blocked on wait:true
+};
+
+/// One status frame for a job ({"ok":true,"job":{...}}).
+std::string status_frame(const Job& job);
+
+} // namespace wm::serve

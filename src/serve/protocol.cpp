@@ -1,0 +1,128 @@
+#include "serve/protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+JobSpec parse_job(const json::Value& root) {
+  JobSpec job;
+  job.id = root.get_string_or("id", "");
+  job.tree = root.get_string("tree", "submit");
+  WM_REQUIRE(!job.tree.empty(), "submit: empty \"tree\" path");
+  job.out = root.get_string_or("out", "");
+  job.algo = root.get_string_or("algo", "wavemin");
+  WM_REQUIRE(job.algo == "wavemin" || job.algo == "wavemin-f",
+             "submit: unknown algo \"" + job.algo +
+                 "\" (want wavemin|wavemin-f)");
+  job.kappa = root.get_number_or("kappa", job.kappa);
+  WM_REQUIRE(job.kappa > 0.0, "submit: kappa must be > 0");
+  job.samples =
+      static_cast<int>(root.get_number_or("samples", job.samples));
+  WM_REQUIRE(job.samples > 0, "submit: samples must be > 0");
+  job.deadline_ms = root.get_number_or("deadline_ms", 0.0);
+  WM_REQUIRE(job.deadline_ms >= 0.0, "submit: negative deadline_ms");
+  job.max_retries =
+      static_cast<int>(root.get_number_or("max_retries", job.max_retries));
+  WM_REQUIRE(job.max_retries >= 0 && job.max_retries <= 16,
+             "submit: max_retries must be in [0, 16]");
+  job.seed = root.get_u64_or("seed", 0);
+  job.fault_spec = root.get_string_or("fault_spec", "");
+  return job;
+}
+
+json::Value job_to_json(const JobSpec& job) {
+  json::Value v = json::Value::object_v();
+  if (!job.id.empty()) v.set("id", json::Value::string_v(job.id));
+  v.set("tree", json::Value::string_v(job.tree));
+  if (!job.out.empty()) v.set("out", json::Value::string_v(job.out));
+  v.set("algo", json::Value::string_v(job.algo));
+  v.set("kappa", json::Value::number_v(job.kappa));
+  v.set("samples", json::Value::number_v(job.samples));
+  if (job.deadline_ms > 0.0) {
+    v.set("deadline_ms", json::Value::number_v(job.deadline_ms));
+  }
+  v.set("max_retries", json::Value::number_v(job.max_retries));
+  if (job.seed != 0) v.set("seed", json::Value::number_v(job.seed));
+  if (!job.fault_spec.empty()) {
+    v.set("fault_spec", json::Value::string_v(job.fault_spec));
+  }
+  return v;
+}
+
+json::Value request_header(const char* op) {
+  json::Value v = json::Value::object_v();
+  v.set("v", json::Value::string_v(std::string(kProtocolVersion)));
+  v.set("op", json::Value::string_v(op));
+  return v;
+}
+
+} // namespace
+
+Request parse_request(const std::string& line) {
+  const json::Value root = json::parse(line);
+  WM_REQUIRE(root.is_object(), "request must be a json object");
+  const std::string v = root.get_string_or("v", std::string(kProtocolVersion));
+  WM_REQUIRE(v == kProtocolVersion,
+             "protocol version \"" + v + "\" is not \"" +
+                 std::string(kProtocolVersion) + "\"");
+  const std::string& op = root.get_string("op", "request");
+
+  Request req;
+  if (op == "submit") {
+    req.op = Request::Op::Submit;
+    // Job fields live at the top level of the frame, not nested: one
+    // line stays human-writable ({"op":"submit","tree":"x.ctree"}).
+    req.job = parse_job(root);
+    req.wait = root.get_bool_or("wait", false);
+  } else if (op == "status") {
+    req.op = Request::Op::Status;
+    req.id = root.get_string("id", "status");
+  } else if (op == "health") {
+    req.op = Request::Op::Health;
+  } else if (op == "stats") {
+    req.op = Request::Op::Stats;
+  } else if (op == "drain") {
+    req.op = Request::Op::Drain;
+  } else {
+    throw Error("unknown op \"" + op + "\"");
+  }
+  return req;
+}
+
+std::string dump_submit(const JobSpec& job, bool wait) {
+  json::Value v = request_header("submit");
+  for (auto& [key, field] : job_to_json(job).object) {
+    v.set(key, std::move(field));
+  }
+  if (wait) v.set("wait", json::Value::boolean_v(true));
+  return json::dump(v);
+}
+
+std::string dump_simple(const char* op) {
+  return json::dump(request_header(op));
+}
+
+std::string dump_status(const std::string& id) {
+  json::Value v = request_header("status");
+  v.set("id", json::Value::string_v(id));
+  return json::dump(v);
+}
+
+std::string error_frame(const std::string& code,
+                        const std::string& message) {
+  json::Value v = json::Value::object_v();
+  v.set("ok", json::Value::boolean_v(false));
+  v.set("error", json::Value::string_v(code));
+  if (!message.empty()) v.set("message", json::Value::string_v(message));
+  return json::dump(v);
+}
+
+json::Value ok_frame() {
+  json::Value v = json::Value::object_v();
+  v.set("ok", json::Value::boolean_v(true));
+  return v;
+}
+
+} // namespace wm::serve

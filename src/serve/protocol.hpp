@@ -1,0 +1,74 @@
+#pragma once
+// wavemin.jobs/v1 — the serving layer's wire protocol
+// (docs/serving.md).
+//
+// Newline-delimited JSON over a unix-domain socket: every request and
+// every response is exactly one JSON object on one line. Requests
+// carry {"v": "wavemin.jobs/v1", "op": ...}; responses carry
+// {"ok": true, ...} or {"ok": false, "error": "<code>",
+// "message": ...} where <code> is a small stable vocabulary
+// ("overloaded", "breaker-open", "draining", "bad-request",
+// "not-found", "duplicate-id") that clients branch on — the message is
+// for humans only.
+//
+// Parsing is strict about shape (unknown ops, missing fields and
+// malformed JSON throw wm::Error, which the daemon answers with a
+// "bad-request" frame) and lenient about extras (unknown fields are
+// ignored, so v1 clients keep working against later daemons).
+
+#include <cstdint>
+#include <string>
+
+#include "util/json.hpp"
+
+namespace wm::serve {
+
+inline constexpr std::string_view kProtocolVersion = "wavemin.jobs/v1";
+
+/// One optimization job as submitted by a client. Mirrors the CLI
+/// `opt` surface that makes sense per-job; daemon-wide policy (queue
+/// capacity, worker count, retry caps) lives in ServerOptions.
+struct JobSpec {
+  std::string id;            ///< client-chosen; daemon assigns "j<N>" if empty
+  std::string tree;          ///< input .ctree path (required)
+  std::string out;           ///< output path ("" = <spool>/<id>.ctree)
+  std::string algo = "wavemin";  ///< "wavemin" | "wavemin-f"
+  double kappa = 20.0;
+  int samples = 158;
+  /// Client deadline for the whole job, submit to terminal state. The
+  /// remaining share is propagated into RunBudget::deadline_ms at each
+  /// attempt launch, so a retried job never outlives its caller's
+  /// patience.
+  double deadline_ms = 0.0;
+  int max_retries = 3;
+  std::uint64_t seed = 0;
+  /// Per-job fault injection, armed inside the worker child only
+  /// (chaos testing; the daemon itself stays clean).
+  std::string fault_spec;
+};
+
+struct Request {
+  enum class Op { Submit, Status, Health, Stats, Drain };
+  Op op = Op::Health;
+  JobSpec job;         ///< Submit
+  bool wait = false;   ///< Submit: hold the reply until terminal state
+  std::string id;      ///< Status
+};
+
+/// Parse one request frame. Throws wm::Error on malformed JSON, a
+/// protocol-version mismatch, an unknown op or a missing field.
+Request parse_request(const std::string& line);
+
+/// Serialize a submit request (the client side of parse_request).
+std::string dump_submit(const JobSpec& job, bool wait);
+std::string dump_simple(const char* op);          ///< health/stats/drain
+std::string dump_status(const std::string& id);   ///< status
+
+/// {"ok": false, "error": code, "message": message} — one frame.
+std::string error_frame(const std::string& code,
+                        const std::string& message);
+
+/// Start an {"ok": true, ...} frame the caller extends and dumps.
+json::Value ok_frame();
+
+} // namespace wm::serve

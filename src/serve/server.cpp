@@ -1,0 +1,869 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "core/checkpoint.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "serve/breaker.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "serve/worker.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+// ---- self-pipe signal plumbing --------------------------------------
+// Handlers only set a flag and poke the pipe; every state change
+// happens in the loop body. One serve_loop per process, so globals are
+// the honest representation.
+
+std::atomic<int> g_wake_fd{-1};
+volatile std::sig_atomic_t g_sig_term = 0;
+volatile std::sig_atomic_t g_sig_chld = 0;
+
+void on_signal(int sig) {
+  if (sig == SIGCHLD) {
+    g_sig_chld = 1;
+  } else {
+    g_sig_term = 1;
+  }
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 0;
+    // A full pipe just means a wakeup is already pending.
+    [[maybe_unused]] ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options)
+      : opt_(options),
+        breaker_(options.breaker_threshold),
+        epoch_(std::chrono::steady_clock::now()) {}
+
+  int run();
+
+ private:
+  struct Conn {
+    std::string in;
+    std::string out;
+    bool torn = false;  ///< injected serve.socket_torn: close, no reply
+    bool eof = false;   ///< peer closed; drop once replies flush
+  };
+
+  double now_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  std::string spool_path(const std::string& id,
+                         const char* suffix) const {
+    return opt_.spool_dir + "/" + id + suffix;
+  }
+
+  std::size_t pending_count() const {
+    return queue_.size() + backoff_.size();
+  }
+
+  void touch_gauges() {
+    registry_.gauge_set("serve.queue_depth",
+                        static_cast<double>(pending_count()));
+    registry_.gauge_max("serve.queue_depth_max",
+                        static_cast<double>(pending_count()));
+    registry_.gauge_set("serve.in_flight",
+                        static_cast<double>(running_.size()));
+  }
+
+  int setup();
+  void teardown();
+  void loop_once();
+  int next_timeout_ms() const;
+
+  void accept_clients();
+  void service_conn(int fd, short revents);
+  void close_conn(int fd);
+  void handle_line(int fd, const std::string& line);
+  std::string handle_submit(int fd, Request& req);
+  std::string health_frame() const;
+  std::string stats_frame() const;
+  void send_reply(int fd, const std::string& frame);
+
+  void requeue_due();
+  void launch_ready();
+  void reap_children();
+  void finish(Job& job, JobState state, std::string error);
+  void notify_waiters(Job& job);
+
+  void begin_drain(const char* reason);
+  void kill_stragglers();
+  void flush_conns();
+
+  ServerOptions opt_;
+  obs::MetricsRegistry registry_;
+  CircuitBreaker breaker_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int listen_fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  bool socket_bound_ = false;
+
+  std::map<std::string, Job> jobs_;
+  std::deque<std::string> queue_;     ///< Queued, FIFO
+  std::vector<std::string> backoff_;  ///< Backoff, waiting out the delay
+  std::map<pid_t, std::string> running_;
+  std::map<int, Conn> conns_;
+  std::uint64_t job_seq_ = 0;
+
+  bool draining_ = false;
+  bool killed_stragglers_ = false;
+  double drain_deadline_ms_ = 0.0;
+};
+
+int Server::setup() {
+  std::error_code ec;
+  std::filesystem::create_directories(opt_.spool_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "serve: cannot create spool dir %s: %s\n",
+                 opt_.spool_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  obs::install_global(&registry_);
+  // Sweep droppings of checkpoint writers killed mid-save in a previous
+  // daemon life (satellite: ck.stale_tmp_removed counts them).
+  ck::clean_stale_tmps(opt_.spool_dir);
+
+  if (!opt_.fault_spec.empty()) {
+    try {
+      fault::arm(opt_.fault_spec, opt_.fault_seed);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "serve: bad --fault-spec: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (opt_.socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "serve: socket path too long: %s\n",
+                 opt_.socket_path.c_str());
+    return 1;
+  }
+  std::memcpy(addr.sun_path, opt_.socket_path.c_str(),
+              opt_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    std::perror("serve: socket");
+    return 1;
+  }
+  // A stale socket file from a crashed daemon would fail the bind; the
+  // spool checkpoints are the durable state, the socket never is.
+  ::unlink(opt_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    std::perror("serve: bind/listen");
+    return 1;
+  }
+  socket_bound_ = true;
+  set_nonblocking(listen_fd_);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    std::perror("serve: pipe");
+    return 1;
+  }
+  wake_r_ = pipe_fds[0];
+  wake_w_ = pipe_fds[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+  g_sig_term = 0;
+  g_sig_chld = 0;
+  g_wake_fd.store(wake_w_, std::memory_order_relaxed);
+
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGCHLD, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  WM_LOG(Info) << "serve: listening on " << opt_.socket_path
+               << " (spool " << opt_.spool_dir << ", queue "
+               << opt_.queue_capacity << ", workers "
+               << opt_.max_workers << ")";
+  return 0;
+}
+
+void Server::teardown() {
+  g_wake_fd.store(-1, std::memory_order_relaxed);
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  if (socket_bound_) ::unlink(opt_.socket_path.c_str());
+  fault::disarm();
+  obs::install_global(nullptr);
+}
+
+int Server::next_timeout_ms() const {
+  double next = -1.0;
+  for (const std::string& id : backoff_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    const double t = it->second.next_attempt_ms;
+    if (next < 0.0 || t < next) next = t;
+  }
+  if (draining_ && !running_.empty() && !killed_stragglers_) {
+    if (next < 0.0 || drain_deadline_ms_ < next) {
+      next = drain_deadline_ms_;
+    }
+  }
+  if (next < 0.0) return -1;
+  const double wait = next - now_ms();
+  if (wait <= 0.0) return 0;
+  return static_cast<int>(std::min(std::ceil(wait), 60000.0));
+}
+
+int Server::run() {
+  if (const int rc = setup(); rc != 0) {
+    teardown();
+    return rc;
+  }
+  while (true) {
+    requeue_due();
+    launch_ready();
+    if (draining_ && !killed_stragglers_ && !running_.empty() &&
+        now_ms() >= drain_deadline_ms_) {
+      kill_stragglers();
+    }
+    if (draining_ && running_.empty()) break;
+    loop_once();
+  }
+  flush_conns();
+  WM_LOG(Info) << "serve: drained cleanly, " << jobs_.size()
+               << " job(s) served";
+  teardown();
+  return 0;
+}
+
+void Server::loop_once() {
+  std::vector<pollfd> fds;
+  fds.push_back({wake_r_, POLLIN, 0});
+  if (!draining_ && listen_fd_ >= 0) {
+    fds.push_back({listen_fd_, POLLIN, 0});
+  }
+  const std::size_t conn_base = fds.size();
+  std::vector<int> conn_fds;
+  for (const auto& [fd, conn] : conns_) {
+    short events = POLLIN;
+    if (!conn.out.empty() || conn.torn) events |= POLLOUT;
+    fds.push_back({fd, events, 0});
+    conn_fds.push_back(fd);
+  }
+
+  const int rc = ::poll(fds.data(), fds.size(), next_timeout_ms());
+  if (rc < 0 && errno != EINTR) {
+    std::perror("serve: poll");
+  }
+
+  if (fds[0].revents != 0) {
+    char buf[64];
+    while (::read(wake_r_, buf, sizeof buf) > 0) {
+    }
+  }
+  if (g_sig_term != 0) {
+    g_sig_term = 0;
+    begin_drain("signal");
+  }
+  if (g_sig_chld != 0) {
+    g_sig_chld = 0;
+    reap_children();
+  }
+  if (!draining_ && listen_fd_ >= 0 && conn_base > 1 &&
+      fds[1].revents != 0) {
+    accept_clients();
+  }
+  for (std::size_t i = 0; i < conn_fds.size(); ++i) {
+    const pollfd& p = fds[conn_base + i];
+    if (p.revents != 0) service_conn(conn_fds[i], p.revents);
+  }
+}
+
+void Server::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    set_nonblocking(fd);
+    conns_.emplace(fd, Conn{});
+    registry_.add("serve.connections");
+  }
+}
+
+void Server::close_conn(int fd) {
+  conns_.erase(fd);
+  ::close(fd);
+  // A waiter that hung up must not get a write to a recycled fd later.
+  for (auto& [id, job] : jobs_) {
+    auto& w = job.waiters;
+    w.erase(std::remove(w.begin(), w.end(), fd), w.end());
+  }
+}
+
+void Server::service_conn(int fd, short revents) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    close_conn(fd);
+    return;
+  }
+  if ((revents & POLLIN) != 0) {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        // EOF: serve what was already buffered, then drop the conn
+        // once the replies flush (or now, if nothing is pending).
+        conn.eof = true;
+        break;
+      }
+      break;  // EAGAIN or error
+    }
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t nl = conn.in.find('\n', start);
+      if (nl == std::string::npos) break;
+      const std::string line = conn.in.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) handle_line(fd, line);
+      // handle_line may close the conn (torn socket fault).
+      it = conns_.find(fd);
+      if (it == conns_.end()) return;
+    }
+    conn.in.erase(0, start);
+  }
+  if ((revents & POLLOUT) != 0 && !conn.out.empty()) {
+    const ssize_t n = ::write(fd, conn.out.data(), conn.out.size());
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+    } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+      close_conn(fd);
+      return;
+    }
+  }
+  if ((conn.torn || conn.eof || (revents & POLLHUP) != 0) &&
+      conn.out.empty()) {
+    close_conn(fd);
+  }
+}
+
+void Server::send_reply(int fd, const std::string& frame) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  try {
+    fault::inject("serve.socket_torn");
+  } catch (const Error&) {
+    // Chaos: the connection dies mid-reply. The client sees EOF and
+    // falls back to polling `status` — the job itself is unaffected.
+    registry_.add("serve.conn_torn");
+    it->second.torn = true;
+    it->second.out.clear();
+    return;
+  }
+  it->second.out += frame;
+  it->second.out += '\n';
+}
+
+void Server::handle_line(int fd, const std::string& line) {
+  std::string reply;
+  try {
+    Request req = parse_request(line);
+    switch (req.op) {
+      case Request::Op::Submit:
+        reply = handle_submit(fd, req);
+        break;
+      case Request::Op::Status: {
+        const auto it = jobs_.find(req.id);
+        reply = it == jobs_.end()
+                    ? error_frame("not-found", "no job \"" + req.id + "\"")
+                    : status_frame(it->second);
+        break;
+      }
+      case Request::Op::Health:
+        reply = health_frame();
+        break;
+      case Request::Op::Stats:
+        reply = stats_frame();
+        break;
+      case Request::Op::Drain: {
+        json::Value v = ok_frame();
+        v.set("state", json::Value::string_v("draining"));
+        reply = json::dump(v);
+        send_reply(fd, reply);
+        begin_drain("client drain op");
+        return;
+      }
+    }
+  } catch (const Error& e) {
+    registry_.add("serve.bad_requests");
+    reply = error_frame("bad-request", e.what());
+  }
+  if (!reply.empty()) send_reply(fd, reply);
+}
+
+std::string Server::handle_submit(int fd, Request& req) {
+  if (draining_) {
+    return error_frame("draining", "daemon is draining; resubmit later");
+  }
+  JobSpec spec = req.job;
+  if (spec.id.empty()) spec.id = "j" + std::to_string(++job_seq_);
+  if (jobs_.count(spec.id) != 0) {
+    return error_frame("duplicate-id",
+                       "job \"" + spec.id + "\" already exists");
+  }
+  // Load shedding: a full queue (or an injected serve.queue_full) turns
+  // the submit away with a structured error instead of buffering
+  // unboundedly — the client owns the retry decision.
+  bool shed = pending_count() >= static_cast<std::size_t>(
+                                     std::max(1, opt_.queue_capacity));
+  if (!shed) {
+    try {
+      fault::inject("serve.queue_full");
+    } catch (const Error&) {
+      shed = true;
+    }
+  }
+  if (shed) {
+    registry_.add("serve.shed");
+    return error_frame("overloaded",
+                       "queue full (capacity " +
+                           std::to_string(opt_.queue_capacity) + ")");
+  }
+  const std::uint64_t fp = design_fingerprint(spec);
+  if (breaker_.is_open(fp)) {
+    registry_.add("serve.breaker_rejected");
+    return error_frame("breaker-open",
+                       "design quarantined after repeated failures");
+  }
+
+  Job job;
+  job.spec = std::move(spec);
+  job.design_fp = fp;
+  job.submitted_ms = now_ms();
+  job.checkpoint = spool_path(job.spec.id, ".wmck");
+  job.result_path = spool_path(job.spec.id, ".result.json");
+  if (job.spec.out.empty()) {
+    job.spec.out = spool_path(job.spec.id, ".ctree");
+  }
+  const std::string id = job.spec.id;
+  if (req.wait) job.waiters.push_back(fd);
+  Job& stored = jobs_.emplace(id, std::move(job)).first->second;
+  queue_.push_back(id);
+  registry_.add("serve.submitted");
+  touch_gauges();
+  WM_LOG(Info) << "serve: job " << id << " queued (depth "
+               << pending_count() << ")";
+  return req.wait ? std::string() : status_frame(stored);
+}
+
+std::string Server::health_frame() const {
+  json::Value v = ok_frame();
+  v.set("version",
+        json::Value::string_v(std::string(kProtocolVersion)));
+  v.set("state",
+        json::Value::string_v(draining_ ? "draining" : "serving"));
+  v.set("queue_depth", json::Value::number_v(
+                           static_cast<std::uint64_t>(pending_count())));
+  v.set("queue_capacity", json::Value::number_v(opt_.queue_capacity));
+  v.set("in_flight", json::Value::number_v(static_cast<std::uint64_t>(
+                         running_.size())));
+  v.set("max_workers", json::Value::number_v(opt_.max_workers));
+  v.set("jobs", json::Value::number_v(
+                    static_cast<std::uint64_t>(jobs_.size())));
+  v.set("breakers_open", json::Value::number_v(
+                             static_cast<std::uint64_t>(
+                                 breaker_.open_count())));
+  return json::dump(v);
+}
+
+std::string Server::stats_frame() const {
+  json::Value v = ok_frame();
+  v.set("queue_depth", json::Value::number_v(
+                           static_cast<std::uint64_t>(pending_count())));
+  v.set("in_flight", json::Value::number_v(static_cast<std::uint64_t>(
+                         running_.size())));
+  v.set("breakers_open", json::Value::number_v(
+                             static_cast<std::uint64_t>(
+                                 breaker_.open_count())));
+  json::Value counters = json::Value::object_v();
+  const obs::MetricsSnapshot snap = registry_.snapshot();
+  for (const auto& [name, value] : snap.counters) {
+    counters.set(name, json::Value::number_v(value));
+  }
+  v.set("counters", std::move(counters));
+  return json::dump(v);
+}
+
+void Server::requeue_due() {
+  const double now = now_ms();
+  for (auto it = backoff_.begin(); it != backoff_.end();) {
+    const auto jit = jobs_.find(*it);
+    if (jit == jobs_.end() || jit->second.state != JobState::Backoff) {
+      it = backoff_.erase(it);
+      continue;
+    }
+    if (now >= jit->second.next_attempt_ms) {
+      jit->second.state = JobState::Queued;
+      queue_.push_back(*it);
+      it = backoff_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::launch_ready() {
+  while (static_cast<int>(running_.size()) < std::max(1, opt_.max_workers) &&
+         !queue_.empty()) {
+    const std::string id = queue_.front();
+    queue_.pop_front();
+    const auto jit = jobs_.find(id);
+    if (jit == jobs_.end() || jit->second.state != JobState::Queued) {
+      continue;
+    }
+    Job& job = jit->second;
+
+    // A breaker that opened while this job sat in the queue quarantines
+    // it at launch — the admission check alone cannot cover that race.
+    if (breaker_.is_open(job.design_fp)) {
+      registry_.add("serve.breaker_quarantined");
+      finish(job, JobState::Quarantined,
+             "design quarantined after repeated failures");
+      continue;
+    }
+    double attempt_deadline = 0.0;
+    if (job.spec.deadline_ms > 0.0) {
+      attempt_deadline = job.spec.deadline_ms -
+                         (now_ms() - job.submitted_ms);
+      if (attempt_deadline <= 0.0) {
+        registry_.add("serve.deadline_exhausted");
+        registry_.add("serve.failed");
+        finish(job, JobState::Failed,
+               "job deadline exhausted before launch");
+        continue;
+      }
+    }
+
+    // The daemon advances the worker-kill schedule on behalf of the
+    // children it forks: exactly the launch whose note() lands on the
+    // scheduled hit forks a victim (which arms kill-on-first-hit
+    // itself). Children never inherit our armed state — run_worker
+    // disarms first.
+    bool victim = false;
+    if (fault::armed()) {
+      const std::uint64_t sched = fault::scheduled_hit("serve.worker_kill");
+      if (sched != 0) {
+        fault::note("serve.worker_kill");
+        victim = fault::hits("serve.worker_kill") == sched;
+      }
+    }
+    // A stale result file from the previous attempt must not be read as
+    // this attempt's report.
+    std::remove(job.result_path.c_str());
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      // Transient (EAGAIN under load): put the job back and let the
+      // next loop iteration retry the fork.
+      std::perror("serve: fork");
+      queue_.push_front(id);
+      break;
+    }
+    if (pid == 0) {
+      // Worker child: drop every daemon fd, restore default signal
+      // dispositions, run the attempt, and _exit with the contract
+      // code — never return into the event loop's state.
+      ::signal(SIGCHLD, SIG_DFL);
+      ::signal(SIGTERM, SIG_DFL);
+      ::signal(SIGINT, SIG_DFL);
+      ::signal(SIGPIPE, SIG_DFL);
+      if (listen_fd_ >= 0) ::close(listen_fd_);
+      ::close(wake_r_);
+      ::close(wake_w_);
+      for (const auto& [cfd, conn] : conns_) ::close(cfd);
+      WorkerConfig cfg;
+      cfg.spec = job.spec;
+      cfg.out = job.spec.out;
+      cfg.checkpoint = job.checkpoint;
+      cfg.result_path = job.result_path;
+      cfg.attempt_deadline_ms = attempt_deadline;
+      cfg.victim = victim;
+      cfg.fault_seed = opt_.fault_seed;
+      ::_exit(run_worker(cfg));
+    }
+
+    job.state = JobState::Running;
+    job.pid = pid;
+    ++job.attempts;
+    running_.emplace(pid, id);
+    registry_.add("serve.launched");
+    if (job.attempts > 1) registry_.add("serve.retries");
+    touch_gauges();
+    WM_LOG(Info) << "serve: job " << id << " attempt " << job.attempts
+                 << " -> pid " << pid
+                 << (victim ? " (chaos victim)" : "");
+  }
+}
+
+void Server::reap_children() {
+  while (true) {
+    int st = 0;
+    const pid_t pid = ::waitpid(-1, &st, WNOHANG);
+    if (pid <= 0) break;
+    const auto rit = running_.find(pid);
+    if (rit == running_.end()) continue;
+    const std::string id = rit->second;
+    running_.erase(rit);
+    const auto jit = jobs_.find(id);
+    if (jit == jobs_.end()) continue;
+    Job& job = jit->second;
+    job.pid = -1;
+
+    const Attempt a = classify_exit(
+        WIFEXITED(st), WIFEXITED(st) ? WEXITSTATUS(st) : 0,
+        WIFSIGNALED(st), WIFSIGNALED(st) ? WTERMSIG(st) : 0);
+    job.last = a;
+    job.last_result = load_worker_result(job.result_path);
+    std::remove(job.result_path.c_str());
+    const ErrorCategory cat = job.last_result.valid
+                                  ? job.last_result.category
+                                  : ErrorCategory::Internal;
+    if (job.last_result.valid && job.last_result.resumed_zones > 0) {
+      registry_.add("serve.resumed_zones", job.last_result.resumed_zones);
+    }
+
+    switch (a.outcome) {
+      case Attempt::Outcome::Done:
+        registry_.add("serve.done");
+        breaker_.record_success(job.design_fp);
+        std::remove(job.checkpoint.c_str());
+        finish(job, JobState::Done, "");
+        break;
+      case Attempt::Outcome::Degraded:
+        registry_.add("serve.degraded");
+        breaker_.record_success(job.design_fp);
+        std::remove(job.checkpoint.c_str());
+        finish(job, JobState::Degraded, "");
+        break;
+      case Attempt::Outcome::Infeasible:
+        registry_.add("serve.infeasible");
+        // Infeasible is an *answer* about the design, not a failure —
+        // it closes the breaker account like a success.
+        breaker_.record_success(job.design_fp);
+        std::remove(job.checkpoint.c_str());
+        finish(job, JobState::Infeasible,
+               job.last_result.valid ? job.last_result.error
+                                     : "infeasible");
+        break;
+      case Attempt::Outcome::Failed:
+      case Attempt::Outcome::Crashed: {
+        if (a.outcome == Attempt::Outcome::Crashed) {
+          registry_.add("serve.crashes");
+        }
+        if (draining_) {
+          // A straggler we SIGKILLed (or one that failed during drain):
+          // its checkpoint stays in the spool for a future resume.
+          registry_.add("serve.drained_jobs");
+          finish(job, JobState::Drained, "daemon drained mid-attempt");
+          break;
+        }
+        if (retryable(a.outcome, cat) &&
+            job.attempts <= job.spec.max_retries) {
+          job.state = JobState::Backoff;
+          job.next_attempt_ms =
+              now_ms() + backoff_ms(job.attempts, opt_.retry_base_ms,
+                                    opt_.retry_cap_ms, opt_.seed,
+                                    fnv1a(job.spec.id));
+          backoff_.push_back(id);
+          registry_.add("serve.backoff_scheduled");
+          WM_LOG(Info) << "serve: job " << id << " attempt "
+                       << job.attempts << " "
+                       << serve::to_string(a.outcome)
+                       << ", retrying in "
+                       << (job.next_attempt_ms - now_ms()) << " ms";
+          break;
+        }
+        std::string err = job.last_result.valid &&
+                                  !job.last_result.error.empty()
+                              ? job.last_result.error
+                              : (a.outcome == Attempt::Outcome::Crashed
+                                     ? "worker crashed on signal " +
+                                           std::to_string(a.signal)
+                                     : "worker exit " +
+                                           std::to_string(a.exit_code));
+        registry_.add("serve.failed");
+        finish(job, JobState::Failed, std::move(err));
+        if (breaker_.record_failure(job.design_fp)) {
+          registry_.add("serve.breaker_opened");
+          WM_LOG(Warn) << "serve: breaker OPEN for design of job " << id;
+        }
+        break;
+      }
+    }
+    touch_gauges();
+  }
+}
+
+void Server::finish(Job& job, JobState state, std::string error) {
+  job.state = state;
+  job.error = std::move(error);
+  WM_LOG(Info) << "serve: job " << job.spec.id << " -> "
+               << serve::to_string(state)
+               << (job.error.empty() ? "" : (": " + job.error));
+  notify_waiters(job);
+  touch_gauges();
+}
+
+void Server::notify_waiters(Job& job) {
+  if (job.waiters.empty()) return;
+  const std::string frame = status_frame(job);
+  std::vector<int> waiters;
+  waiters.swap(job.waiters);
+  for (const int fd : waiters) send_reply(fd, frame);
+}
+
+void Server::begin_drain(const char* reason) {
+  if (draining_) return;
+  draining_ = true;
+  drain_deadline_ms_ = now_ms() + std::max(0.0, opt_.drain_grace_ms);
+  registry_.add("serve.drains");
+  WM_LOG(Info) << "serve: draining (" << reason << "): "
+               << running_.size() << " in flight, " << pending_count()
+               << " pending";
+  // Stop admission at the socket: new connects fail fast instead of
+  // queueing behind a dying daemon.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (socket_bound_) {
+    ::unlink(opt_.socket_path.c_str());
+    socket_bound_ = false;
+  }
+  // Jobs that never launched end Drained; in-flight ones get the grace
+  // window (then kill_stragglers).
+  std::deque<std::string> pending;
+  pending.swap(queue_);
+  for (const std::string& id : backoff_) pending.push_back(id);
+  backoff_.clear();
+  for (const std::string& id : pending) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end() || is_terminal(it->second.state)) continue;
+    if (it->second.state == JobState::Running) continue;
+    registry_.add("serve.drained_jobs");
+    finish(it->second, JobState::Drained,
+           "daemon drained before launch");
+  }
+}
+
+void Server::kill_stragglers() {
+  killed_stragglers_ = true;
+  for (const auto& [pid, id] : running_) {
+    WM_LOG(Warn) << "serve: drain grace expired, SIGKILL job " << id
+                 << " (pid " << pid << ")";
+    registry_.add("serve.stragglers_killed");
+    ::kill(pid, SIGKILL);
+  }
+}
+
+void Server::flush_conns() {
+  // Best-effort delivery of the final frames (waiter notifications from
+  // the drain) before the fds close; bounded so a dead client cannot
+  // wedge shutdown.
+  const double deadline = now_ms() + 500.0;
+  while (now_ms() < deadline) {
+    std::vector<pollfd> fds;
+    std::vector<int> conn_fds;
+    for (const auto& [fd, conn] : conns_) {
+      if (conn.out.empty()) continue;
+      fds.push_back({fd, POLLOUT, 0});
+      conn_fds.push_back(fd);
+    }
+    if (fds.empty()) return;
+    const int rc = ::poll(fds.data(), fds.size(), 50);
+    if (rc <= 0) continue;
+    for (std::size_t i = 0; i < conn_fds.size(); ++i) {
+      if ((fds[i].revents & POLLOUT) == 0) {
+        if (fds[i].revents != 0) close_conn(conn_fds[i]);
+        continue;
+      }
+      Conn& conn = conns_.at(conn_fds[i]);
+      const ssize_t n =
+          ::write(conn_fds[i], conn.out.data(), conn.out.size());
+      if (n > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+        close_conn(conn_fds[i]);
+      }
+    }
+  }
+}
+
+} // namespace
+
+int serve_loop(const ServerOptions& options) {
+  Server server(options);
+  return server.run();
+}
+
+} // namespace wm::serve

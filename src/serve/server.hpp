@@ -1,0 +1,61 @@
+#pragma once
+// The serving daemon (docs/serving.md): a single-threaded poll() event
+// loop speaking wavemin.jobs/v1 over a unix-domain socket, a bounded
+// admission queue, and a supervisor that runs every job attempt in a
+// forked worker child.
+//
+// Single-threaded on purpose: the daemon forks, and forking a
+// multi-threaded process is where deadlocks live. Signals (SIGCHLD,
+// SIGTERM, SIGINT) reach the loop through a self-pipe, so there is
+// exactly one place where state changes — the loop body — and the
+// whole supervisor is sequentially consistent by construction.
+//
+// Resilience policy (all unit-tested via serve/job.hpp):
+//   * admission     — queue full or an injected serve.queue_full fault
+//                     sheds the job with an "overloaded" error;
+//   * isolation     — a worker crash (SIGKILL, OOM, assert) costs one
+//                     attempt, never the daemon;
+//   * retries       — Internal failures and crashes retry with
+//                     exponential backoff + deterministic jitter, up to
+//                     the job's max_retries, resuming from the job's
+//                     .wmck checkpoint;
+//   * breaker       — deterministic failures (same design fingerprint,
+//                     breaker_threshold consecutive terminal failures)
+//                     quarantine the design;
+//   * deadlines     — the client's job deadline propagates into each
+//                     attempt's RunBudget; an exhausted deadline fails
+//                     the job instead of launching a doomed attempt;
+//   * drain         — SIGTERM (or the drain op) stops admission,
+//                     grants in-flight workers drain_grace_ms, then
+//                     SIGKILLs stragglers (their checkpoints survive
+//                     for resume) and exits 0.
+
+#include <cstdint>
+#include <string>
+
+namespace wm::serve {
+
+struct ServerOptions {
+  std::string socket_path = "wavemin.sock";
+  std::string spool_dir = "spool";  ///< checkpoints, results, default outs
+  int queue_capacity = 64;   ///< Queued + Backoff jobs before shedding
+  int max_workers = 2;       ///< concurrent forked worker children
+  int breaker_threshold = 3; ///< consecutive failures per design; <=0 off
+  double retry_base_ms = 100.0;
+  double retry_cap_ms = 5000.0;
+  double drain_grace_ms = 2000.0;  ///< SIGKILL stragglers after this
+  std::uint64_t seed = 0;          ///< backoff jitter seed
+  /// Daemon-side chaos (serve.* sites): worker_kill schedules a victim
+  /// launch, queue_full forces sheds, socket_torn tears replies.
+  std::string fault_spec;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Run the daemon until drained. Returns the process exit code: 0 for
+/// a clean drain (including SIGTERM), nonzero when the loop could not
+/// start (bad socket path, spool not writable). Installs SIGCHLD /
+/// SIGTERM / SIGINT handlers and the process-global metrics registry
+/// for its lifetime; one serve_loop per process.
+int serve_loop(const ServerOptions& options);
+
+} // namespace wm::serve

@@ -1,0 +1,161 @@
+#include "serve/worker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "core/wavemin.hpp"
+#include "fault/fault.hpp"
+#include "io/tree_io.hpp"
+#include "serve/job.hpp"
+#include "timing/power_mode.hpp"
+#include "tree/clock_tree.hpp"
+#include "util/error.hpp"
+#include "util/status.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+/// Leave the result where the supervisor looks, atomically: a reaped
+/// child either wrote the whole line or (crash) none of it — the
+/// supervisor never sees a torn file it could misclassify.
+void write_result(const std::string& path, const WorkerResult& r) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) return;
+    os << dump_worker_result(r) << '\n';
+    os.flush();
+    if (!os.good()) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+}
+
+std::string combined_fault_spec(const WorkerConfig& cfg) {
+  std::string spec = cfg.spec.fault_spec;
+  if (cfg.victim) {
+    // The scheduled chaos victim dies mid-solve, right after its first
+    // checkpoint write hits disk — the worst honest crash: work was
+    // done, and the retry must prove it resumes it (resumed_zones > 0)
+    // instead of redoing it.
+    if (!spec.empty()) spec += ',';
+    spec += "ck.kill_after_write=1";
+  }
+  return spec;
+}
+
+int attempt(const WorkerConfig& cfg, WorkerResult& wr) {
+  // The fork copied the daemon's armed fault state (and its hit
+  // counters) into this child; drop it before arming our own, or a
+  // non-victim child could land on the daemon's scheduled kill hit.
+  fault::disarm();
+  // Arm before any work so io.* sites cover the loads below. The
+  // serve.worker_kill site fires here when a job's own fault_spec arms
+  // it (crash-before-any-work); a daemon-scheduled victim instead dies
+  // later, on its first checkpoint write (combined_fault_spec).
+  const std::string spec = combined_fault_spec(cfg);
+  if (!spec.empty()) fault::arm(spec, cfg.fault_seed);
+  fault::inject("serve.worker_kill");
+
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = load_tree(cfg.spec.tree, lib);
+
+  int max_island = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    max_island = std::max(max_island, n.island);
+  }
+  const ModeSet modes = ModeSet::single(max_island + 1);
+
+  CharacterizerOptions co;
+  co.vdds = modes.distinct_vdds();
+  const Characterizer chr(lib, co);
+
+  WaveMinOptions opts;
+  opts.kappa = cfg.spec.kappa;
+  opts.samples = cfg.spec.samples;
+  if (cfg.spec.algo == "wavemin-f") opts.solver = SolverKind::Greedy;
+  opts.seed = cfg.spec.seed;
+  opts.job_id = cfg.spec.id;
+  opts.quarantine_zone_errors = true;
+  if (cfg.attempt_deadline_ms > 0.0) {
+    opts.budget.deadline_ms = cfg.attempt_deadline_ms;
+  }
+  opts.checkpoint_path = cfg.checkpoint;
+  std::error_code ec;
+  if (!cfg.checkpoint.empty() &&
+      std::filesystem::exists(cfg.checkpoint, ec)) {
+    // A retry picks up the previous attempt's zone memo; a matching
+    // fingerprint is guaranteed because the spec (and so the options
+    // that feed the fingerprint) is identical across attempts.
+    opts.resume_path = cfg.checkpoint;
+  }
+
+  const TryRunResult t = try_clk_wavemin(tree, lib, chr, opts);
+  wr.category = error_category(t.status.code());
+  if (!t.status.is_ok() &&
+      t.status.code() != StatusCode::Infeasible) {
+    wr.error = t.status.to_string();
+    return cli_exit_code(t.status.code());
+  }
+  if (!t.result.success) {
+    wr.category = ErrorCategory::Infeasible;
+    wr.error = "no assignment meets the skew bound";
+    return 2;
+  }
+
+  const RunReport& rep = t.result.report;
+  wr.category = ErrorCategory::None;
+  wr.degraded = rep.degraded();
+  wr.resumed_zones = rep.resumed_zones;
+  wr.zones_full = rep.zones_at(LadderLevel::Full);
+  wr.zones_greedy = rep.zones_at(LadderLevel::Greedy);
+  wr.zones_identity = rep.zones_at(LadderLevel::Identity);
+
+  save_tree(cfg.out, tree);
+  return wr.degraded ? 3 : 0;
+}
+
+} // namespace
+
+int run_worker(const WorkerConfig& cfg) noexcept {
+  WorkerResult wr;
+  int code = 4;
+  try {
+    code = attempt(cfg, wr);
+  } catch (const Error& e) {
+    // wm::Error is the library's bad-input currency — deterministic,
+    // so the supervisor must not retry it (the breaker's domain).
+    wr.category = ErrorCategory::InvalidInput;
+    wr.error = e.what();
+    std::fprintf(stderr, "worker %s: error: %s\n", cfg.spec.id.c_str(),
+                 e.what());
+  } catch (const std::exception& e) {
+    wr.category = ErrorCategory::Internal;
+    wr.error = e.what();
+    std::fprintf(stderr, "worker %s: error: %s\n", cfg.spec.id.c_str(),
+                 e.what());
+  }
+  try {
+    write_result(cfg.result_path, wr);
+  } catch (...) {
+    // A lost result file reads as "crashed before reporting" — the
+    // retryable interpretation; never turn it into a child abort.
+  }
+  return code;
+}
+
+} // namespace wm::serve

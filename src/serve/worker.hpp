@@ -1,0 +1,41 @@
+#pragma once
+// The worker side of the fork boundary (docs/serving.md).
+//
+// The daemon forks; the child calls run_worker() and _exit()s with its
+// return value. run_worker never throws and never returns to the event
+// loop's state: it runs the optimization in-process (no exec — the
+// library is already mapped), writes the tree and a one-line
+// WorkerResult file, and reports through the CLI exit contract
+// (0 done / 2 infeasible / 3 degraded / 4 failed). Fault injection —
+// the job's own spec plus the daemon's scheduled serve.worker_kill
+// victim slot — is armed inside the child only, so chaos never
+// destabilizes the supervisor.
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace wm::serve {
+
+/// Everything a worker child needs, resolved by the supervisor at
+/// launch time (the child does no policy, only work).
+struct WorkerConfig {
+  JobSpec spec;
+  std::string out;         ///< resolved output tree path
+  std::string checkpoint;  ///< spool .wmck (written always, resumed when present)
+  std::string result_path; ///< spool WorkerResult destination
+  /// Remaining share of the job's deadline at this launch; 0 = none.
+  double attempt_deadline_ms = 0.0;
+  /// This launch drew the armed serve.worker_kill slot: the child arms
+  /// the site at hit 1 and injects it, SIGKILLing itself mid-setup.
+  bool victim = false;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Run one attempt to completion. Returns the child's exit code; the
+/// caller (the forked child) passes it straight to _exit(). Noexcept
+/// by contract: every failure is mapped, never propagated.
+int run_worker(const WorkerConfig& cfg) noexcept;
+
+} // namespace wm::serve

@@ -1,0 +1,386 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace wm::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw Error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::String;
+        v.str = string();
+        return v;
+      }
+      case 't': {
+        if (!consume_literal("true")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        if (!consume_literal("false")) fail("bad literal");
+        Value v;
+        v.kind = Value::Kind::Bool;
+        return v;
+      }
+      case 'n': {
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            const std::string hex(text_.substr(pos_, 4));
+            pos_ += 4;
+            char* end = nullptr;
+            const long cp = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) fail("bad \\u escape");
+            // Payloads are ASCII; anything else round-trips as '?'.
+            out += cp < 0x80 ? static_cast<char>(cp) : '?';
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    Value v;
+    v.kind = Value::Kind::Number;
+    v.raw = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    v.number = std::strtod(v.raw.c_str(), &end);
+    if (end != v.raw.c_str() + v.raw.size()) fail("bad number");
+    return v;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::Array;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::Object;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_to(const Value& v, std::string& out) {
+  switch (v.kind) {
+    case Value::Kind::Null: out += "null"; return;
+    case Value::Kind::Bool: out += v.boolean ? "true" : "false"; return;
+    case Value::Kind::Number:
+      out += v.raw.empty() ? number_token(v.number) : v.raw;
+      return;
+    case Value::Kind::String: out += quote(v.str); return;
+    case Value::Kind::Array: {
+      out += '[';
+      for (std::size_t i = 0; i < v.array.size(); ++i) {
+        if (i != 0) out += ", ";
+        dump_to(v.array[i], out);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Kind::Object: {
+      out += '{';
+      for (std::size_t i = 0; i < v.object.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += quote(v.object[i].first);
+        out += ": ";
+        dump_to(v.object[i].second, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+} // namespace
+
+const Value* Value::find(std::string_view key) const {
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Value Value::null() { return Value{}; }
+
+Value Value::boolean_v(bool b) {
+  Value v;
+  v.kind = Kind::Bool;
+  v.boolean = b;
+  return v;
+}
+
+Value Value::number_v(double d) {
+  Value v;
+  v.kind = Kind::Number;
+  v.number = d;
+  return v;
+}
+
+Value Value::number_v(std::uint64_t n) {
+  Value v;
+  v.kind = Kind::Number;
+  v.number = static_cast<double>(n);
+  v.raw = std::to_string(n);  // exact spelling, not %.9g
+  return v;
+}
+
+Value Value::string_v(std::string s) {
+  Value v;
+  v.kind = Kind::String;
+  v.str = std::move(s);
+  return v;
+}
+
+Value Value::object_v() {
+  Value v;
+  v.kind = Kind::Object;
+  return v;
+}
+
+Value Value::array_v() {
+  Value v;
+  v.kind = Kind::Array;
+  return v;
+}
+
+Value& Value::set(std::string key, Value v) {
+  WM_ASSERT(kind == Kind::Object, "set() on a non-object json value");
+  object.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+Value& Value::push(Value v) {
+  WM_ASSERT(kind == Kind::Array, "push() on a non-array json value");
+  array.push_back(std::move(v));
+  return *this;
+}
+
+const std::string& Value::get_string(std::string_view key,
+                                     const char* context) const {
+  const Value* v = find(key);
+  WM_REQUIRE(v != nullptr && v->is_string(),
+             std::string(context) + ": missing string field \"" +
+                 std::string(key) + "\"");
+  return v->str;
+}
+
+std::string Value::get_string_or(std::string_view key,
+                                 std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->str : std::move(fallback);
+}
+
+double Value::get_number(std::string_view key, const char* context) const {
+  const Value* v = find(key);
+  WM_REQUIRE(v != nullptr && v->is_number(),
+             std::string(context) + ": missing numeric field \"" +
+                 std::string(key) + "\"");
+  return v->number;
+}
+
+double Value::get_number_or(std::string_view key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+std::uint64_t Value::get_u64_or(std::string_view key,
+                                std::uint64_t fallback) const {
+  const Value* v = find(key);
+  if (v == nullptr || !v->is_number()) return fallback;
+  return to_u64(*v, "field");
+}
+
+bool Value::get_bool_or(std::string_view key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->kind == Kind::Bool ? v->boolean : fallback;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_to(v, out);
+  return out;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string number_token(double v) {
+  if (std::isinf(v)) return v > 0 ? "\"inf\"" : "\"-inf\"";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::uint64_t to_u64(const Value& v, const char* context) {
+  WM_REQUIRE(v.is_number(),
+             std::string("json: ") + context + ": expected number");
+  WM_REQUIRE(!v.raw.empty() && v.raw[0] != '-',
+             std::string("json: ") + context + ": negative count");
+  char* endp = nullptr;
+  const std::uint64_t n = std::strtoull(v.raw.c_str(), &endp, 10);
+  // The raw token must be digits through the end — "1.5" and "1e3"
+  // are numbers but not counts.
+  WM_REQUIRE(endp == v.raw.c_str() + v.raw.size(),
+             std::string("json: ") + context +
+                 ": expected unsigned integer, got '" + v.raw + "'");
+  return n;
+}
+
+} // namespace wm::json

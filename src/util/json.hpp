@@ -1,0 +1,84 @@
+#pragma once
+// wm::json — minimal dependency-free JSON value, parser and writer.
+//
+// Grown out of the metrics reader (obs/metrics_json) when the serving
+// layer needed the same machinery for its newline-delimited request
+// protocol ("wavemin.jobs/v1", docs/serving.md). Just enough JSON:
+// objects, arrays, strings, numbers, bools, null. Numbers keep their
+// raw spelling so 64-bit counters round-trip exactly; object keys keep
+// insertion order so serialization is deterministic.
+//
+// Parse errors throw wm::Error with the byte offset named. dump()
+// emits a single line (no trailing newline) — exactly one protocol
+// frame.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wm::json {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string raw;  ///< number spelling as written / to write
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First value under `key` (objects), or nullptr.
+  const Value* find(std::string_view key) const;
+
+  bool is_object() const { return kind == Kind::Object; }
+  bool is_array() const { return kind == Kind::Array; }
+  bool is_string() const { return kind == Kind::String; }
+  bool is_number() const { return kind == Kind::Number; }
+
+  // -- construction helpers (builder style, used by the protocol) -----
+  static Value null();
+  static Value boolean_v(bool b);
+  static Value number_v(double v);
+  static Value number_v(std::uint64_t v);
+  static Value number_v(int v) { return number_v(static_cast<double>(v)); }
+  static Value string_v(std::string s);
+  static Value object_v();
+  static Value array_v();
+
+  /// Append (key, value) to an object; no key dedup (callers own keys).
+  Value& set(std::string key, Value v);
+  Value& push(Value v);
+
+  // -- typed field accessors, throwing wm::Error with `context` -------
+  const std::string& get_string(std::string_view key,
+                                const char* context) const;
+  std::string get_string_or(std::string_view key,
+                            std::string fallback) const;
+  double get_number(std::string_view key, const char* context) const;
+  double get_number_or(std::string_view key, double fallback) const;
+  std::uint64_t get_u64_or(std::string_view key,
+                           std::uint64_t fallback) const;
+  bool get_bool_or(std::string_view key, bool fallback) const;
+};
+
+/// Parse one complete JSON document (trailing content is an error).
+Value parse(std::string_view text);
+
+/// Serialize compactly on one line (NDJSON frame, no newline appended).
+std::string dump(const Value& v);
+
+/// JSON string token for `s`, quotes included, control chars escaped.
+std::string quote(std::string_view s);
+
+/// Number token: "%.9g", with inf spelled as the string "inf" (quoted)
+/// to match the metrics schema.
+std::string number_token(double v);
+
+/// Strict uint64 read of a Number value (rejects sign/fraction noise by
+/// raw spelling). Throws wm::Error naming `context`.
+std::uint64_t to_u64(const Value& v, const char* context);
+
+} // namespace wm::json

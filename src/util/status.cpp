@@ -15,6 +15,42 @@ const char* to_string(StatusCode code) {
   return "?";
 }
 
+ErrorCategory error_category(StatusCode code) {
+  switch (code) {
+    case StatusCode::Ok: return ErrorCategory::None;
+    case StatusCode::Infeasible: return ErrorCategory::Infeasible;
+    case StatusCode::InvalidInput: return ErrorCategory::InvalidInput;
+    // Budget exhaustion and cancellation are transient properties of
+    // one attempt (another attempt may have more budget), as is any
+    // unexpected exception — all retryable.
+    case StatusCode::DeadlineExceeded:
+    case StatusCode::ResourceExhausted:
+    case StatusCode::Cancelled:
+    case StatusCode::Internal: return ErrorCategory::Internal;
+  }
+  return ErrorCategory::Internal;
+}
+
+const char* to_string(ErrorCategory category) {
+  switch (category) {
+    case ErrorCategory::None: return "none";
+    case ErrorCategory::InvalidInput: return "invalid-input";
+    case ErrorCategory::Internal: return "internal";
+    case ErrorCategory::Infeasible: return "infeasible";
+  }
+  return "?";
+}
+
+int cli_exit_code(StatusCode code) {
+  switch (error_category(code)) {
+    case ErrorCategory::None: return 0;
+    case ErrorCategory::Infeasible: return 2;
+    case ErrorCategory::InvalidInput:
+    case ErrorCategory::Internal: return 4;
+  }
+  return 4;
+}
+
 std::string Status::to_string() const {
   std::string s = wm::to_string(code_);
   if (!message_.empty()) {

@@ -25,6 +25,30 @@ enum class StatusCode {
 
 const char* to_string(StatusCode code);
 
+/// Coarse error category a StatusCode belongs to. This is the serving
+/// supervisor's retry policy key (docs/serving.md): InvalidInput is
+/// deterministic (retrying burns budget — the circuit breaker's
+/// domain), Internal covers transient/unexpected failures (retried
+/// with backoff), Infeasible is a *data* outcome, not a failure.
+/// Every non-Ok StatusCode maps to exactly one category; see the
+/// table-driven test in tests/status_map_test.cpp.
+enum class ErrorCategory {
+  None,          ///< StatusCode::Ok
+  InvalidInput,  ///< malformed input / bad options — do not retry
+  Internal,      ///< transient or unexpected — retry with backoff
+  Infeasible,    ///< well-formed but unsatisfiable — report, not retry
+};
+
+ErrorCategory error_category(StatusCode code);
+const char* to_string(ErrorCategory category);
+
+/// The CLI/serve exit contract (docs/robustness.md): Ok -> 0,
+/// Infeasible -> 2, every failure -> 4. Exit 3 (degraded) is decided
+/// from RunReport::degraded(), never from a StatusCode, so it does not
+/// appear here. wavemin_cli and the serve worker children both derive
+/// their exit codes through this single function.
+int cli_exit_code(StatusCode code);
+
 class Status {
  public:
   Status() = default;

@@ -93,8 +93,16 @@ expect_exit_stdout(3 "ladder: [0-9]+ full"
               --fault-spec core.zone_solve=1 -o ${WORK}/faulted.ctree)
 expect_exit(0 ${LINT} ${WORK}/faulted.ctree --quiet)
 
-# 4: an unknown fault site is a spec error.
-expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --fault-spec no.such_site)
+# 1: a malformed --fault-spec is a *usage* error, not a run failure —
+# a supervisor watching the exit contract must never read a typo'd
+# chaos flag as "the optimization failed". Unknown site, missing hit
+# count, negative hit count (strtoull would silently wrap it), and an
+# empty spec all land on 1.
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --fault-spec no.such_site)
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --fault-spec io.read_line=)
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --fault-spec io.read_line=-1)
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --fault-spec io.read_line=x)
+expect_exit(1 ${CLI} opt ${WORK}/clean.ctree --fault-spec "")
 
 # --- checkpoint / resume ----------------------------------------------
 

@@ -1,0 +1,384 @@
+// Serving layer unit tests (docs/serving.md): supervisor policy
+// (exit classification, retry matrix, backoff schedule), the circuit
+// breaker, the wavemin.jobs/v1 protocol codec, the worker result file
+// round-trip, and the wm::json machinery underneath — all pure logic,
+// no sockets and no forks (the e2e lives in scripts/serve_soak.sh).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "serve/breaker.hpp"
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wm::serve {
+namespace {
+
+// ------------------------------------------------------------ wm::json
+
+TEST(JsonTest, RoundTripsScalarsAndContainers) {
+  const json::Value v =
+      json::parse(R"({"a": 1, "b": "x\n", "c": [true, null, 2.5]})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.get_number("a", "t"), 1.0);
+  EXPECT_EQ(v.get_string("b", "t"), "x\n");
+  const json::Value* c = v.find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_TRUE(c->is_array());
+  ASSERT_EQ(c->array.size(), 3u);
+  EXPECT_TRUE(c->array[0].boolean);
+  EXPECT_EQ(c->array[1].kind, json::Value::Kind::Null);
+  EXPECT_EQ(c->array[2].number, 2.5);
+  // dump -> parse -> dump is a fixpoint.
+  const std::string once = json::dump(v);
+  EXPECT_EQ(json::dump(json::parse(once)), once);
+}
+
+TEST(JsonTest, NumbersKeepTheirRawSpelling) {
+  // 64-bit counters survive exactly — no double rounding on the wire.
+  const std::string big = "18446744073709551615";
+  const json::Value v = json::parse("{\"n\": " + big + "}");
+  EXPECT_EQ(v.get_u64_or("n", 0), 18446744073709551615ULL);
+  EXPECT_NE(json::dump(v).find(big), std::string::npos);
+}
+
+TEST(JsonTest, ParseErrorsNameTheOffset) {
+  try {
+    json::parse("{\"a\": }");
+    FAIL() << "expected wm::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+  EXPECT_THROW(json::parse(""), Error);
+  EXPECT_THROW(json::parse("{} trailing"), Error);
+  EXPECT_THROW(json::parse("{\"a\": 1,}"), Error);
+}
+
+TEST(JsonTest, ToU64RejectsNegativeAndFractional) {
+  EXPECT_THROW(json::to_u64(json::parse("-3"), "t"), Error);
+  EXPECT_THROW(json::to_u64(json::parse("1.5"), "t"), Error);
+  EXPECT_EQ(json::to_u64(json::parse("42"), "t"), 42u);
+}
+
+// -------------------------------------------------- exit classification
+
+TEST(ClassifyExitTest, ContractTable) {
+  struct Case {
+    bool exited;
+    int code;
+    bool signaled;
+    int sig;
+    Attempt::Outcome want;
+  };
+  const Case cases[] = {
+      {true, 0, false, 0, Attempt::Outcome::Done},
+      {true, 2, false, 0, Attempt::Outcome::Infeasible},
+      {true, 3, false, 0, Attempt::Outcome::Degraded},
+      {true, 4, false, 0, Attempt::Outcome::Failed},
+      // Exit 1 (usage) and unknown codes are contract violations —
+      // failures, never successes.
+      {true, 1, false, 0, Attempt::Outcome::Failed},
+      {true, 77, false, 0, Attempt::Outcome::Failed},
+      {false, 0, true, 9, Attempt::Outcome::Crashed},   // SIGKILL
+      {false, 0, true, 11, Attempt::Outcome::Crashed},  // SIGSEGV
+      {false, 0, false, 0, Attempt::Outcome::Failed},   // defensive
+  };
+  for (const Case& c : cases) {
+    const Attempt a = classify_exit(c.exited, c.code, c.signaled, c.sig);
+    EXPECT_EQ(a.outcome, c.want)
+        << "exited=" << c.exited << " code=" << c.code
+        << " signaled=" << c.signaled;
+    if (c.signaled) {
+      EXPECT_EQ(a.signal, c.sig);
+      EXPECT_EQ(a.exit_code, -1);
+    } else if (c.exited) {
+      EXPECT_EQ(a.exit_code, c.code);
+      EXPECT_EQ(a.signal, 0);
+    }
+  }
+}
+
+// ------------------------------------------------------------- retryable
+
+TEST(RetryableTest, PolicyMatrix) {
+  using O = Attempt::Outcome;
+  using C = ErrorCategory;
+  // Crashes always retry; Failed retries unless deterministic
+  // (InvalidInput); data outcomes never retry.
+  EXPECT_TRUE(retryable(O::Crashed, C::Internal));
+  EXPECT_TRUE(retryable(O::Crashed, C::InvalidInput));  // no result file
+  EXPECT_TRUE(retryable(O::Failed, C::Internal));
+  EXPECT_TRUE(retryable(O::Failed, C::None));
+  EXPECT_FALSE(retryable(O::Failed, C::InvalidInput));
+  EXPECT_FALSE(retryable(O::Done, C::None));
+  EXPECT_FALSE(retryable(O::Degraded, C::None));
+  EXPECT_FALSE(retryable(O::Infeasible, C::Infeasible));
+}
+
+// -------------------------------------------------------------- backoff
+
+TEST(BackoffTest, DoublesAndCaps) {
+  const double base = 100.0, cap = 1000.0;
+  double prev = 0.0;
+  for (int k = 1; k <= 8; ++k) {
+    const double d = backoff_ms(k, base, cap, 7, 42);
+    const double nominal = std::min(base * (1 << (k - 1)), cap);
+    EXPECT_GE(d, nominal) << "attempt " << k;
+    EXPECT_LE(d, nominal * 1.5) << "attempt " << k;  // <= 50% jitter
+    if (k <= 4) EXPECT_GT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(BackoffTest, DeterministicPerSeedAndJobKey) {
+  EXPECT_EQ(backoff_ms(2, 100, 5000, 7, 42),
+            backoff_ms(2, 100, 5000, 7, 42));
+  // Different jobs jitter apart (thundering-herd spreading).
+  EXPECT_NE(backoff_ms(2, 100, 5000, 7, 42),
+            backoff_ms(2, 100, 5000, 7, 43));
+  EXPECT_NE(backoff_ms(2, 100, 5000, 8, 42),
+            backoff_ms(2, 100, 5000, 7, 42));
+}
+
+// -------------------------------------------------------------- breaker
+
+TEST(BreakerTest, OpensAfterThresholdConsecutiveFailures) {
+  CircuitBreaker b(3);
+  const std::uint64_t fp = 0xabcd;
+  EXPECT_FALSE(b.is_open(fp));
+  EXPECT_FALSE(b.record_failure(fp));
+  EXPECT_FALSE(b.record_failure(fp));
+  EXPECT_FALSE(b.is_open(fp));
+  EXPECT_TRUE(b.record_failure(fp));  // the opening transition
+  EXPECT_TRUE(b.is_open(fp));
+  EXPECT_FALSE(b.record_failure(fp));  // already open: no re-transition
+  EXPECT_EQ(b.open_count(), 1u);
+  // Other designs are unaffected.
+  EXPECT_FALSE(b.is_open(0x1234));
+}
+
+TEST(BreakerTest, SuccessResetsTheConsecutiveCount) {
+  CircuitBreaker b(2);
+  const std::uint64_t fp = 1;
+  b.record_failure(fp);
+  b.record_success(fp);  // interleaved success: not *consecutive*
+  EXPECT_FALSE(b.record_failure(fp));
+  EXPECT_FALSE(b.is_open(fp));
+  EXPECT_TRUE(b.record_failure(fp));
+  EXPECT_TRUE(b.is_open(fp));
+  b.record_success(fp);  // closes an open breaker too
+  EXPECT_FALSE(b.is_open(fp));
+  EXPECT_EQ(b.open_count(), 0u);
+}
+
+TEST(BreakerTest, ZeroThresholdDisables) {
+  CircuitBreaker b(0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(b.record_failure(5));
+  EXPECT_FALSE(b.is_open(5));
+}
+
+TEST(BreakerTest, FingerprintTracksContentAndKnobs) {
+  const std::string path = "serve_test_fp.ctree";
+  {
+    std::ofstream os(path);
+    os << "tree bytes v1\n";
+  }
+  JobSpec a;
+  a.tree = path;
+  JobSpec b = a;
+  EXPECT_EQ(design_fingerprint(a), design_fingerprint(b));
+  b.kappa = 15.0;
+  EXPECT_NE(design_fingerprint(a), design_fingerprint(b));
+  b = a;
+  b.algo = "wavemin-f";
+  EXPECT_NE(design_fingerprint(a), design_fingerprint(b));
+  // Same spec, different content: different design.
+  {
+    std::ofstream os(path);
+    os << "tree bytes v2\n";
+  }
+  EXPECT_NE(design_fingerprint(a), design_fingerprint(b));
+  std::remove(path.c_str());
+  // Unreadable input still fingerprints (by path) — its jobs fail
+  // deterministically, which is what the breaker exists to catch.
+  EXPECT_NE(design_fingerprint(a), 0u);
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ProtocolTest, SubmitRoundTrip) {
+  JobSpec job;
+  job.id = "job-1";
+  job.tree = "x.ctree";
+  job.algo = "wavemin-f";
+  job.kappa = 15.0;
+  job.samples = 16;
+  job.deadline_ms = 2500.0;
+  job.max_retries = 5;
+  job.seed = 99;
+  job.fault_spec = "core.zone_solve=2";
+  const Request req = parse_request(dump_submit(job, true));
+  EXPECT_EQ(req.op, Request::Op::Submit);
+  EXPECT_TRUE(req.wait);
+  EXPECT_EQ(req.job.id, "job-1");
+  EXPECT_EQ(req.job.tree, "x.ctree");
+  EXPECT_EQ(req.job.algo, "wavemin-f");
+  EXPECT_EQ(req.job.kappa, 15.0);
+  EXPECT_EQ(req.job.samples, 16);
+  EXPECT_EQ(req.job.deadline_ms, 2500.0);
+  EXPECT_EQ(req.job.max_retries, 5);
+  EXPECT_EQ(req.job.seed, 99u);
+  EXPECT_EQ(req.job.fault_spec, "core.zone_solve=2");
+}
+
+TEST(ProtocolTest, SimpleOpsRoundTrip) {
+  EXPECT_EQ(parse_request(dump_simple("health")).op, Request::Op::Health);
+  EXPECT_EQ(parse_request(dump_simple("stats")).op, Request::Op::Stats);
+  EXPECT_EQ(parse_request(dump_simple("drain")).op, Request::Op::Drain);
+  const Request st = parse_request(dump_status("j7"));
+  EXPECT_EQ(st.op, Request::Op::Status);
+  EXPECT_EQ(st.id, "j7");
+}
+
+TEST(ProtocolTest, StrictAboutShapeLenientAboutExtras) {
+  // Unknown fields are ignored (v1 clients against later daemons)...
+  const Request req = parse_request(
+      R"({"v":"wavemin.jobs/v1","op":"submit","tree":"t.ctree","future_knob":1})");
+  EXPECT_EQ(req.job.tree, "t.ctree");
+  // ...but shape violations throw.
+  EXPECT_THROW(parse_request("not json"), Error);
+  EXPECT_THROW(parse_request("[1,2]"), Error);
+  EXPECT_THROW(parse_request(R"({"op":"frobnicate"})"), Error);
+  EXPECT_THROW(parse_request(R"({"v":"wavemin.jobs/v2","op":"health"})"),
+               Error);
+  EXPECT_THROW(parse_request(R"({"op":"submit"})"), Error);  // no tree
+  EXPECT_THROW(parse_request(R"({"op":"status"})"), Error);  // no id
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","tree":"t","algo":"peakmin"})"),
+      Error);
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","tree":"t","kappa":-1})"), Error);
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","tree":"t","max_retries":99})"),
+      Error);
+  EXPECT_THROW(
+      parse_request(R"({"op":"submit","tree":"t","deadline_ms":-5})"),
+      Error);
+}
+
+TEST(ProtocolTest, ErrorFrameShape) {
+  const json::Value v =
+      json::parse(error_frame("overloaded", "queue full"));
+  EXPECT_FALSE(v.get_bool_or("ok", true));
+  EXPECT_EQ(v.get_string("error", "t"), "overloaded");
+  EXPECT_EQ(v.get_string("message", "t"), "queue full");
+}
+
+// ------------------------------------------------------ worker results
+
+TEST(WorkerResultTest, FileRoundTrip) {
+  WorkerResult r;
+  r.valid = true;
+  r.category = ErrorCategory::None;
+  r.degraded = true;
+  r.resumed_zones = 4;
+  r.zones_full = 2;
+  r.zones_greedy = 1;
+  r.zones_identity = 1;
+  const std::string path = "serve_test_result.json";
+  {
+    std::ofstream os(path);
+    os << dump_worker_result(r) << "\n";
+  }
+  const WorkerResult back = load_worker_result(path);
+  std::remove(path.c_str());
+  ASSERT_TRUE(back.valid);
+  EXPECT_EQ(back.category, ErrorCategory::None);
+  EXPECT_TRUE(back.degraded);
+  EXPECT_EQ(back.resumed_zones, 4u);
+  EXPECT_EQ(back.zones_full, 2u);
+  EXPECT_EQ(back.zones_greedy, 1u);
+  EXPECT_EQ(back.zones_identity, 1u);
+}
+
+TEST(WorkerResultTest, ErrorCategoriesRoundTrip) {
+  for (const ErrorCategory cat :
+       {ErrorCategory::None, ErrorCategory::InvalidInput,
+        ErrorCategory::Internal, ErrorCategory::Infeasible}) {
+    WorkerResult r;
+    r.valid = true;
+    r.category = cat;
+    r.error = "why";
+    const std::string path = "serve_test_cat.json";
+    {
+      std::ofstream os(path);
+      os << dump_worker_result(r) << "\n";
+    }
+    const WorkerResult back = load_worker_result(path);
+    std::remove(path.c_str());
+    ASSERT_TRUE(back.valid);
+    EXPECT_EQ(back.category, cat);
+    EXPECT_EQ(back.error, "why");
+  }
+}
+
+TEST(WorkerResultTest, MissingOrTornFileIsInvalidNeverAThrow) {
+  // Missing: the crashed-before-reporting interpretation.
+  EXPECT_FALSE(load_worker_result("no_such_result.json").valid);
+  // Torn/corrupt: same, and load never throws.
+  const std::string path = "serve_test_torn.json";
+  {
+    std::ofstream os(path);
+    os << "{\"category\": \"none\", \"degr";  // torn mid-write
+  }
+  EXPECT_FALSE(load_worker_result(path).valid);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------- job states
+
+TEST(JobStateTest, TerminalAndAcceptableSets) {
+  using S = JobState;
+  for (const S s : {S::Queued, S::Running, S::Backoff}) {
+    EXPECT_FALSE(is_terminal(s)) << to_string(s);
+    EXPECT_FALSE(is_acceptable_terminal(s)) << to_string(s);
+  }
+  for (const S s : {S::Done, S::Degraded, S::Infeasible, S::Failed,
+                    S::Quarantined, S::Drained}) {
+    EXPECT_TRUE(is_terminal(s)) << to_string(s);
+  }
+  for (const S s : {S::Done, S::Degraded, S::Infeasible, S::Quarantined}) {
+    EXPECT_TRUE(is_acceptable_terminal(s)) << to_string(s);
+  }
+  EXPECT_FALSE(is_acceptable_terminal(S::Failed));
+  EXPECT_FALSE(is_acceptable_terminal(S::Drained));
+}
+
+TEST(JobStateTest, StatusFrameCarriesTheContract) {
+  Job job;
+  job.spec.id = "j3";
+  job.spec.out = "out.ctree";
+  job.state = JobState::Done;
+  job.attempts = 2;
+  job.last = classify_exit(true, 0, false, 0);
+  job.last_result.valid = true;
+  job.last_result.resumed_zones = 5;
+  const json::Value v = json::parse(status_frame(job));
+  EXPECT_TRUE(v.get_bool_or("ok", false));
+  const json::Value* j = v.find("job");
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->get_string("id", "t"), "j3");
+  EXPECT_EQ(j->get_string("state", "t"), "done");
+  EXPECT_EQ(j->get_number("attempts", "t"), 2.0);
+  EXPECT_TRUE(j->get_bool_or("acceptable", false));
+  EXPECT_EQ(j->get_u64_or("resumed_zones", 0), 5u);
+  EXPECT_EQ(j->get_string("out", "t"), "out.ctree");
+}
+
+} // namespace
+} // namespace wm::serve

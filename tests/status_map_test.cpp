@@ -1,0 +1,99 @@
+// Table-driven contract test: every StatusCode maps to exactly one
+// ErrorCategory and exactly one CLI exit code, and both stay inside
+// their closed vocabularies. The serving supervisor's retry policy
+// and the CLI's exit codes both key off these two functions
+// (util/status.hpp), so a new StatusCode that forgets to extend the
+// mapping must fail here, not in production.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace wm {
+namespace {
+
+struct MapCase {
+  StatusCode code;
+  ErrorCategory want_category;
+  int want_exit;
+};
+
+// The full StatusCode enumeration. If a code is added to the enum but
+// not here, the Exhaustive test below fails by count.
+const MapCase kTable[] = {
+    {StatusCode::Ok, ErrorCategory::None, 0},
+    {StatusCode::Infeasible, ErrorCategory::Infeasible, 2},
+    // Budget/cancellation exhaustion is transient from the caller's
+    // perspective: a retry with a fresh budget may well succeed.
+    {StatusCode::DeadlineExceeded, ErrorCategory::Internal, 4},
+    {StatusCode::ResourceExhausted, ErrorCategory::Internal, 4},
+    {StatusCode::Cancelled, ErrorCategory::Internal, 4},
+    // Malformed input is deterministic: never retried, breaker fodder.
+    {StatusCode::InvalidInput, ErrorCategory::InvalidInput, 4},
+    {StatusCode::Internal, ErrorCategory::Internal, 4},
+};
+
+TEST(StatusMapTest, EveryCodeMapsPerTheTable) {
+  for (const MapCase& c : kTable) {
+    EXPECT_EQ(error_category(c.code), c.want_category)
+        << to_string(c.code);
+    EXPECT_EQ(cli_exit_code(c.code), c.want_exit) << to_string(c.code);
+  }
+}
+
+TEST(StatusMapTest, ExitCodesStayInsideTheContract) {
+  // The run-layer contract (docs/robustness.md): 0 clean, 2 infeasible,
+  // 4 failed. 1 is reserved for usage errors and 3 for degraded runs —
+  // neither is ever derived from a StatusCode.
+  const std::set<int> allowed = {0, 2, 4};
+  for (const MapCase& c : kTable) {
+    EXPECT_EQ(allowed.count(cli_exit_code(c.code)), 1u)
+        << to_string(c.code);
+  }
+}
+
+TEST(StatusMapTest, CategoryPartitionIsConsistent) {
+  // Exactly the Ok code is None, exactly the Infeasible code is
+  // Infeasible — the failure categories partition the rest.
+  for (const MapCase& c : kTable) {
+    const ErrorCategory cat = error_category(c.code);
+    EXPECT_EQ(cat == ErrorCategory::None, c.code == StatusCode::Ok);
+    EXPECT_EQ(cat == ErrorCategory::Infeasible,
+              c.code == StatusCode::Infeasible);
+    // And the exit code is a function of the category alone.
+    switch (cat) {
+      case ErrorCategory::None:
+        EXPECT_EQ(cli_exit_code(c.code), 0);
+        break;
+      case ErrorCategory::Infeasible:
+        EXPECT_EQ(cli_exit_code(c.code), 2);
+        break;
+      case ErrorCategory::InvalidInput:
+      case ErrorCategory::Internal:
+        EXPECT_EQ(cli_exit_code(c.code), 4);
+        break;
+    }
+  }
+}
+
+TEST(StatusMapTest, TableIsExhaustive) {
+  // Count distinct codes in the table; a StatusCode added to the enum
+  // must be added here too (this cannot catch it directly — C++ has no
+  // enum reflection — but the duplicate check plus the to_string
+  // coverage below keeps the table honest).
+  std::set<StatusCode> seen;
+  for (const MapCase& c : kTable) {
+    EXPECT_TRUE(seen.insert(c.code).second)
+        << "duplicate table row: " << to_string(c.code);
+    // Every code and category stringifies to something real.
+    EXPECT_STRNE(to_string(c.code), "");
+    EXPECT_STRNE(to_string(error_category(c.code)), "");
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+} // namespace
+} // namespace wm

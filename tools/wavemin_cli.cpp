@@ -117,6 +117,7 @@ struct Args {
   std::string checkpoint;
   std::string resume;
   std::string fault_spec;
+  bool fault_spec_set = false;  ///< --fault-spec given (maybe empty)
   std::uint64_t fault_seed = 0;
 };
 
@@ -158,6 +159,7 @@ bool parse(int argc, char** argv, Args& a) {
       a.resume = argv[++i];
     } else if (t == "--fault-spec" && i + 1 < argc) {
       a.fault_spec = argv[++i];
+      a.fault_spec_set = true;
     } else if (t == "--fault-seed" && i + 1 < argc) {
       a.fault_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (t == "--metrics") {
@@ -231,12 +233,21 @@ int main(int argc, char** argv) {
   const std::string& cmd = a.positional[0];
   const CellLibrary lib = CellLibrary::nangate45_like();
 
-  try {
-    // Arm fault injection before any I/O so the io.* sites are live for
-    // every subcommand. A bad spec (unknown site, malformed count) is a
-    // wm::Error -> exit 4.
-    if (!a.fault_spec.empty()) fault::arm(a.fault_spec, a.fault_seed);
+  // Arm fault injection before any I/O so the io.* sites are live for
+  // every subcommand. A malformed spec (unknown site, bad or missing
+  // hit count, empty spec) is an error in how the tool was invoked —
+  // exit 1 like any other usage error, never 4 (which would read as a
+  // *run* failure to a supervisor watching the exit contract).
+  if (a.fault_spec_set) {
+    try {
+      fault::arm(a.fault_spec, a.fault_seed);
+    } catch (const Error& e) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n", e.what());
+      return 1;
+    }
+  }
 
+  try {
     if (cmd == "list") {
       std::printf("circuit      n    |L|  die(um)  islands\n");
       for (const BenchmarkSpec& s : benchmark_suite()) {

@@ -1,0 +1,376 @@
+// wavemin_client — command-line client for wavemin_served
+// (docs/serving.md, protocol wavemin.jobs/v1).
+//
+//   wavemin_client [--socket p] submit <tree.ctree> [job options]
+//   wavemin_client [--socket p] batch  <tree.ctree> --jobs N [job options]
+//   wavemin_client [--socket p] status <id>
+//   wavemin_client [--socket p] health | stats | drain
+//
+// Job options (submit/batch):
+//   --id <s>              job id (submit only; batch ids are <prefix><k>)
+//   --prefix <s>          batch id prefix (default "b")
+//   --algo wavemin|wavemin-f
+//   --kappa <ps> --samples <n> --seed <n>
+//   --deadline-ms <ms>    whole-job deadline, propagated into RunBudget
+//   --max-retries <n>     per-job retry cap (default 3)
+//   --out <path>          output tree (submit only)
+//   --job-fault-spec <s>  fault spec armed inside the worker child
+//   --wait                submit: hold the connection until terminal
+//
+// Client options:
+//   --connect-wait-ms <ms>  keep retrying the connect (daemon booting)
+//   --timeout-ms <ms>       overall batch/wait deadline (default 120000)
+//
+// `submit` prints the daemon's reply frame and exits 0 on an
+// acceptable terminal/queued frame, 1 otherwise. `batch` submits N
+// jobs over one connection, polls status until all are terminal, and
+// prints a one-line summary:
+//   batch: N jobs, D done, G degraded, I infeasible, F failed,
+//   Q quarantined, R drained, S shed, B breaker-rejected
+// exiting 0 when nothing Failed, 1 otherwise, 2 on timeout.
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+using namespace wm;
+
+namespace {
+
+struct Args {
+  std::string socket_path = "wavemin.sock";
+  std::string cmd;
+  std::vector<std::string> positional;
+  serve::JobSpec job;
+  std::string prefix = "b";
+  int jobs = 1;
+  bool wait = false;
+  double connect_wait_ms = 5000.0;
+  double timeout_ms = 120000.0;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: wavemin_client [--socket p] "
+               "submit|batch|status|health|stats|drain ...\n"
+               "  submit <tree> [--id s] [--algo a] [--kappa k] "
+               "[--samples n] [--seed n]\n"
+               "         [--deadline-ms d] [--max-retries r] [--out f] "
+               "[--job-fault-spec s] [--wait]\n"
+               "  batch  <tree> --jobs N [--prefix s] [job options]\n"
+               "  status <id>\n");
+  return 1;
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (t == "--socket" && (v = value()) != nullptr) {
+      a.socket_path = v;
+    } else if (t == "--id" && (v = value()) != nullptr) {
+      a.job.id = v;
+    } else if (t == "--prefix" && (v = value()) != nullptr) {
+      a.prefix = v;
+    } else if (t == "--jobs" && (v = value()) != nullptr) {
+      a.jobs = std::atoi(v);
+    } else if (t == "--algo" && (v = value()) != nullptr) {
+      a.job.algo = v;
+    } else if (t == "--kappa" && (v = value()) != nullptr) {
+      a.job.kappa = std::atof(v);
+    } else if (t == "--samples" && (v = value()) != nullptr) {
+      a.job.samples = std::atoi(v);
+    } else if (t == "--seed" && (v = value()) != nullptr) {
+      a.job.seed = std::strtoull(v, nullptr, 10);
+    } else if (t == "--deadline-ms" && (v = value()) != nullptr) {
+      a.job.deadline_ms = std::atof(v);
+    } else if (t == "--max-retries" && (v = value()) != nullptr) {
+      a.job.max_retries = std::atoi(v);
+    } else if (t == "--out" && (v = value()) != nullptr) {
+      a.job.out = v;
+    } else if (t == "--job-fault-spec" && (v = value()) != nullptr) {
+      a.job.fault_spec = v;
+    } else if (t == "--wait") {
+      a.wait = true;
+    } else if (t == "--connect-wait-ms" && (v = value()) != nullptr) {
+      a.connect_wait_ms = std::atof(v);
+    } else if (t == "--timeout-ms" && (v = value()) != nullptr) {
+      a.timeout_ms = std::atof(v);
+    } else if (!t.empty() && t[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", t.c_str());
+      return false;
+    } else if (a.cmd.empty()) {
+      a.cmd = t;
+    } else {
+      a.positional.push_back(t);
+    }
+  }
+  return !a.cmd.empty();
+}
+
+double now_ms() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration<double, std::milli>(clock::now() - epoch)
+      .count();
+}
+
+/// Blocking line-framed connection to the daemon.
+class DaemonConn {
+ public:
+  ~DaemonConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connect(const std::string& path, double wait_ms) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) return false;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const double deadline = now_ms() + wait_ms;
+    while (true) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0) return false;
+      if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        return true;
+      }
+      ::close(fd_);
+      fd_ = -1;
+      if (now_ms() >= deadline) return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+
+  bool send_line(const std::string& line) {
+    std::string frame = line;
+    frame += '\n';
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n =
+          ::write(fd_, frame.data() + off, frame.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// One reply line (without the newline); false on EOF/error.
+  bool read_line(std::string& line) {
+    while (true) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+/// Parse a reply frame; returns false (with fields cleared) on junk.
+struct Reply {
+  bool ok = false;
+  std::string error;    ///< code when !ok
+  std::string state;    ///< job state when a job frame
+  std::string id;
+  std::uint64_t resumed_zones = 0;
+};
+
+bool parse_reply(const std::string& line, Reply& r) {
+  r = Reply{};
+  try {
+    const json::Value v = json::parse(line);
+    if (!v.is_object()) return false;
+    r.ok = v.get_bool_or("ok", false);
+    r.error = v.get_string_or("error", "");
+    if (const json::Value* job = v.find("job");
+        job != nullptr && job->is_object()) {
+      r.id = job->get_string_or("id", "");
+      r.state = job->get_string_or("state", "");
+      r.resumed_zones = job->get_u64_or("resumed_zones", 0);
+    } else {
+      r.state = v.get_string_or("state", "");
+    }
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+bool acceptable_state(const std::string& state) {
+  return state == "done" || state == "degraded" ||
+         state == "infeasible" || state == "quarantined";
+}
+
+int run_batch(const Args& a, DaemonConn& conn) {
+  if (a.positional.empty() || a.jobs <= 0) return usage();
+  const double deadline = now_ms() + a.timeout_ms;
+
+  // Phase 1: submit everything (no wait) over one connection. Every
+  // submit gets exactly one immediate reply, in order, so attribution
+  // is positional.
+  std::map<std::string, std::string> outstanding;  // id -> last state
+  int shed = 0, breaker_rejected = 0, rejected = 0;
+  for (int k = 0; k < a.jobs; ++k) {
+    serve::JobSpec spec = a.job;
+    spec.id = a.prefix + std::to_string(k);
+    spec.tree = a.positional[k % a.positional.size()];
+    spec.out.clear();  // daemon spools outputs; batch never collides
+    if (!conn.send_line(serve::dump_submit(spec, false))) {
+      std::fprintf(stderr, "batch: connection lost on submit %d\n", k);
+      return 2;
+    }
+    std::string line;
+    if (!conn.read_line(line)) {
+      std::fprintf(stderr, "batch: no reply to submit %d\n", k);
+      return 2;
+    }
+    Reply r;
+    if (!parse_reply(line, r)) {
+      std::fprintf(stderr, "batch: junk reply: %s\n", line.c_str());
+      return 2;
+    }
+    if (r.ok) {
+      outstanding.emplace(spec.id, r.state);
+    } else if (r.error == "overloaded") {
+      ++shed;
+    } else if (r.error == "breaker-open") {
+      ++breaker_rejected;
+    } else {
+      ++rejected;
+      std::fprintf(stderr, "batch: %s rejected: %s\n", spec.id.c_str(),
+                   line.c_str());
+    }
+  }
+
+  // Phase 2: poll status until every admitted job is terminal.
+  std::map<std::string, int> terminal;
+  std::uint64_t resumed_zones = 0;
+  while (true) {
+    bool all_done = true;
+    for (auto& [id, state] : outstanding) {
+      if (terminal.count(id) != 0) continue;
+      if (!conn.send_line(serve::dump_status(id))) return 2;
+      std::string line;
+      if (!conn.read_line(line)) return 2;
+      Reply r;
+      if (!parse_reply(line, r) || !r.ok) {
+        std::fprintf(stderr, "batch: status %s: %s\n", id.c_str(),
+                     line.c_str());
+        return 2;
+      }
+      state = r.state;
+      if (r.state == "queued" || r.state == "running" ||
+          r.state == "backoff") {
+        all_done = false;
+        continue;
+      }
+      terminal[id] = 1;
+      resumed_zones += r.resumed_zones;
+    }
+    if (all_done) break;
+    if (now_ms() >= deadline) {
+      std::fprintf(stderr, "batch: timeout with %zu job(s) pending\n",
+                   outstanding.size() - terminal.size());
+      return 2;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  std::map<std::string, int> by_state;
+  for (const auto& [id, state] : outstanding) ++by_state[state];
+  std::printf(
+      "batch: %d jobs, %d done, %d degraded, %d infeasible, %d failed, "
+      "%d quarantined, %d drained, %d shed, %d breaker-rejected, "
+      "%llu resumed-zones\n",
+      a.jobs, by_state["done"], by_state["degraded"],
+      by_state["infeasible"], by_state["failed"],
+      by_state["quarantined"] + breaker_rejected, by_state["drained"],
+      shed, breaker_rejected,
+      static_cast<unsigned long long>(resumed_zones));
+  if (rejected != 0 || by_state["failed"] != 0) return 1;
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) return usage();
+
+  DaemonConn conn;
+  if (!conn.connect(a.socket_path, a.connect_wait_ms)) {
+    std::fprintf(stderr, "wavemin_client: cannot connect to %s\n",
+                 a.socket_path.c_str());
+    return 2;
+  }
+
+  if (a.cmd == "batch") return run_batch(a, conn);
+
+  std::string request;
+  if (a.cmd == "submit") {
+    if (a.positional.empty()) return usage();
+    serve::JobSpec spec = a.job;
+    spec.tree = a.positional[0];
+    request = serve::dump_submit(spec, a.wait);
+  } else if (a.cmd == "status") {
+    if (a.positional.empty()) return usage();
+    request = serve::dump_status(a.positional[0]);
+  } else if (a.cmd == "health" || a.cmd == "stats" || a.cmd == "drain") {
+    request = serve::dump_simple(a.cmd.c_str());
+  } else {
+    return usage();
+  }
+
+  if (!conn.send_line(request)) {
+    std::fprintf(stderr, "wavemin_client: send failed\n");
+    return 2;
+  }
+  std::string line;
+  if (!conn.read_line(line)) {
+    std::fprintf(stderr, "wavemin_client: connection closed\n");
+    return 2;
+  }
+  std::printf("%s\n", line.c_str());
+
+  Reply r;
+  if (!parse_reply(line, r)) return 1;
+  if (!r.ok) return 1;
+  if (a.cmd == "submit" && a.wait) {
+    return acceptable_state(r.state) ? 0 : 1;
+  }
+  return 0;
+}

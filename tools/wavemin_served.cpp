@@ -1,0 +1,90 @@
+// wavemin_served — the resilient serving daemon (docs/serving.md).
+//
+// Speaks wavemin.jobs/v1 (newline-delimited JSON) over a unix-domain
+// socket. Every job attempt runs in a forked worker child; the
+// supervisor in src/serve/server.cpp owns admission control, retries
+// with backoff, the per-design circuit breaker and graceful drain.
+//
+//   wavemin_served --socket wavemin.sock --spool spool [options]
+//
+// Options:
+//   --socket <path>         unix socket path   (default wavemin.sock)
+//   --spool <dir>           checkpoint/result spool (default spool)
+//   --queue <n>             admission queue capacity (default 64)
+//   --workers <n>           concurrent worker children (default 2)
+//   --breaker <n>           consecutive failures per design that open
+//                           the circuit breaker; 0 disables (default 3)
+//   --retry-base-ms <ms>    first retry delay (default 100)
+//   --retry-cap-ms <ms>     backoff ceiling (default 5000)
+//   --drain-grace-ms <ms>   SIGKILL stragglers after this on drain
+//                           (default 2000)
+//   --seed <n>              backoff jitter seed
+//   --fault-spec <s>        daemon-side chaos, e.g. serve.worker_kill=3
+//   --fault-seed <n>        seed for unscheduled fault entries
+//   --verbose / --debug     log level
+//
+// Exit: 0 after a clean drain (SIGTERM, SIGINT or the drain op);
+// 1 on a usage/startup error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/server.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  wm::serve::ServerOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (t == "--socket" && (v = value()) != nullptr) {
+      opt.socket_path = v;
+    } else if (t == "--spool" && (v = value()) != nullptr) {
+      opt.spool_dir = v;
+    } else if (t == "--queue" && (v = value()) != nullptr) {
+      opt.queue_capacity = std::atoi(v);
+    } else if (t == "--workers" && (v = value()) != nullptr) {
+      opt.max_workers = std::atoi(v);
+    } else if (t == "--breaker" && (v = value()) != nullptr) {
+      opt.breaker_threshold = std::atoi(v);
+    } else if (t == "--retry-base-ms" && (v = value()) != nullptr) {
+      opt.retry_base_ms = std::atof(v);
+    } else if (t == "--retry-cap-ms" && (v = value()) != nullptr) {
+      opt.retry_cap_ms = std::atof(v);
+    } else if (t == "--drain-grace-ms" && (v = value()) != nullptr) {
+      opt.drain_grace_ms = std::atof(v);
+    } else if (t == "--seed" && (v = value()) != nullptr) {
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (t == "--fault-spec" && (v = value()) != nullptr) {
+      opt.fault_spec = v;
+    } else if (t == "--fault-seed" && (v = value()) != nullptr) {
+      opt.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (t == "--verbose") {
+      wm::set_log_level(wm::LogLevel::Info);
+    } else if (t == "--debug") {
+      wm::set_log_level(wm::LogLevel::Debug);
+    } else {
+      std::fprintf(stderr,
+                   "wavemin_served: unknown option %s\n"
+                   "usage: wavemin_served [--socket p] [--spool d] "
+                   "[--queue n] [--workers n] [--breaker n]\n"
+                   "       [--retry-base-ms x] [--retry-cap-ms x] "
+                   "[--drain-grace-ms x] [--seed n]\n"
+                   "       [--fault-spec s] [--fault-seed n] "
+                   "[--verbose|--debug]\n",
+                   t.c_str());
+      return 1;
+    }
+  }
+  if (opt.queue_capacity <= 0 || opt.max_workers <= 0) {
+    std::fprintf(stderr,
+                 "wavemin_served: --queue and --workers must be > 0\n");
+    return 1;
+  }
+  return wm::serve::serve_loop(opt);
+}
