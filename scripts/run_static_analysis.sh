@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
 # Static-analysis driver for wavemin.
 #
-# Runs up to three passes, each in its own build directory so a normal
-# `build/` tree is never polluted with instrumented objects:
+# Runs up to four passes; the build passes each use their own build
+# directory so a normal `build/` tree is never polluted with
+# instrumented objects:
 #
-#   asan   build-asan/  — ASan+UBSan build, full ctest suite
-#   tsan   build-tsan/  — ThreadSanitizer build, threaded tests only
-#   tidy   build-tidy/  — clang-tidy over src/ via WAVEMIN_CLANG_TIDY
+#   asan      build-asan/  — ASan+UBSan build, full ctest suite
+#   tsan      build-tsan/  — ThreadSanitizer build, threaded tests only
+#   tidy      build-tidy/  — clang-tidy over src/ via the exported
+#                            compile_commands.json (no wrapper rebuild)
+#   metalint  build/       — wavemin_metalint catalog/contract lint
 #
-# usage: scripts/run_static_analysis.sh [asan|tsan|tidy|all]   (default: all)
+# usage: scripts/run_static_analysis.sh [asan|tsan|tidy|metalint|all]
+# (default: all)
 #
 # `all` skips the tidy pass with a notice when clang-tidy is not
 # installed (the cpp toolchain image ships gcc only); requesting `tidy`
@@ -39,24 +43,42 @@ run_tsan() {
 }
 
 run_tidy() {
-  echo "== clang-tidy over src/ =="
+  echo "== clang-tidy via compile_commands.json =="
   if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "clang-tidy not found on PATH" >&2
     return 1
   fi
-  cmake -B build-tidy -S . -DWAVEMIN_CLANG_TIDY=ON -DWAVEMIN_WERROR=ON
-  # The library target covers every file under src/; tests and benches
-  # are linted by the same flag when built, but the CI gate is src/.
-  cmake --build build-tidy -j "$jobs" --target wavemin
+  # The top-level CMakeLists exports compile_commands.json on every
+  # configure (CMAKE_EXPORT_COMPILE_COMMANDS), so tidy runs against the
+  # real compile lines without recompiling the tree under a wrapper.
+  cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  # The CI gate is src/: every library translation unit, headers via
+  # HeaderFilterRegex. run-clang-tidy parallelizes when available.
+  mapfile -t files < <(find src -name '*.cpp' | sort)
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-tidy -quiet -j "$jobs" \
+      -warnings-as-errors='*' "${files[@]}"
+  else
+    clang-tidy -p build-tidy --quiet --warnings-as-errors='*' "${files[@]}"
+  fi
+}
+
+run_metalint() {
+  echo "== wavemin_metalint: repo catalog / contract lint =="
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build build -j "$jobs" --target wavemin_metalint
+  build/tools/wavemin_metalint --root .
 }
 
 case "$mode" in
   asan) run_asan ;;
   tsan) run_tsan ;;
   tidy) run_tidy ;;
+  metalint) run_metalint ;;
   all)
     run_asan
     run_tsan
+    run_metalint
     if command -v clang-tidy >/dev/null 2>&1; then
       run_tidy
     else
@@ -64,7 +86,7 @@ case "$mode" in
     fi
     ;;
   *)
-    echo "usage: $0 [asan|tsan|tidy|all]" >&2
+    echo "usage: $0 [asan|tsan|tidy|metalint|all]" >&2
     exit 1
     ;;
 esac

@@ -41,6 +41,14 @@ fail() {
   exit 1
 }
 
+# Missing binaries must be a loud, immediate failure — not a cascade of
+# confusing downstream errors (or worse, a vacuous pass).
+for bin in "$CLI" "$SERVED" "$CLIENT"; do
+  [ -x "$bin" ] || fail "required binary not built: $bin" \
+    "(cmake --build <build> --target wavemin_cli wavemin_served wavemin_client)"
+done
+[ -d "$BADIO" ] || fail "bad_io corpus dir not found: $BADIO"
+
 # counter <stats-json> <name> -> value (0 when absent)
 counter() {
   local v

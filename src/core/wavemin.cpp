@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -363,16 +362,23 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
       }
     } else {
       std::vector<ZoneSolution> solved(misses.size());
-      std::mutex next_mutex;
-      std::size_t next = 0;
+      // Work queue for the zone pool: mu_ guards the claim cursor; each
+      // worker writes only the solved[] slots it claimed.
+      struct ZoneWorkQueue {
+        Mutex mu_;
+        std::size_t next_ GUARDED_BY(mu_) = 0;
+        const std::size_t end_;
+        explicit ZoneWorkQueue(std::size_t end) : end_(end) {}
+        bool take(std::size_t* i) EXCLUDES(mu_) {
+          const MutexLock lock(mu_);
+          if (next_ >= end_) return false;
+          *i = next_++;
+          return true;
+        }
+      } queue(misses.size());
       auto worker = [&] {
-        while (true) {
-          std::size_t i;
-          {
-            const std::lock_guard<std::mutex> lock(next_mutex);
-            if (next >= misses.size()) return;
-            i = next++;
-          }
+        std::size_t i;
+        while (queue.take(&i)) {
           solved[i] = solve_zone(misses[i], report_for(i));
         }
       };

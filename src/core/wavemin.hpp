@@ -51,7 +51,7 @@ struct WaveMinResult {
 };
 
 /// Non-throwing result envelope for the try_* entry points.
-struct TryRunResult {
+struct [[nodiscard]] TryRunResult {
   Status status;        ///< Ok also covers degraded runs — check
                         ///< result.report.degraded() for the exit-3 case
   WaveMinResult result;

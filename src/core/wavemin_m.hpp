@@ -32,7 +32,7 @@ WaveMinMResult clk_wavemin_m(ClockTree& tree, const CellLibrary& lib,
                              const WaveMinOptions& opts);
 
 /// Non-throwing result envelope for try_clk_wavemin_m.
-struct TryRunMResult {
+struct [[nodiscard]] TryRunMResult {
   Status status;  ///< Ok also covers degraded runs — check
                   ///< result.opt.report.degraded()
   WaveMinMResult result;

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wm::fault {
 
@@ -61,10 +62,15 @@ struct ArmedSite {
   std::atomic<std::uint64_t> hits{0};
 };
 
+// Serializes arm()/disarm() mutation of the armed-site table. The hot
+// path (on_hit/on_note) reads the table *without* this mutex under the
+// epoch protocol below.
+Mutex g_arm_mutex;
+
 // Fixed after arm(), read-only during a run; hit counters are atomic.
 // A deque because ArmedSite holds an atomic (not movable) and deque
 // growth never relocates existing elements.
-std::deque<ArmedSite>& armed_sites() {
+std::deque<ArmedSite>& armed_sites() REQUIRES(g_arm_mutex) {
   static std::deque<ArmedSite> sites;
   return sites;
 }
@@ -87,9 +93,25 @@ const Site* find_site(const std::string& name) {
   return nullptr;
 }
 
+// Unpublish first, then tear down: a site that checks g_armed after
+// this store skips the table entirely.
+void disarm_locked() REQUIRES(g_arm_mutex) {
+  g_armed.store(false, std::memory_order_relaxed);
+  armed_sites().clear();
+  g_fired.store(0, std::memory_order_relaxed);
+}
+
 } // namespace
 
-void on_note(const char* site) {
+// Epoch protocol (the NO_THREAD_SAFETY_ANALYSIS contract): arm() fully
+// builds the table *before* publishing g_armed=true, and the header
+// requires that arm/disarm never race running work — so whenever the
+// inject()/note() fast path sees g_armed and lands here, the table is
+// structurally frozen and only its atomic hit counters mutate. Taking
+// g_arm_mutex per hit would put a lock on every instrumented site;
+// instead the mutex covers the writers and these two readers opt out
+// with the invariant spelled out.
+void on_note(const char* site) NO_THREAD_SAFETY_ANALYSIS {
   for (ArmedSite& as : armed_sites()) {
     if (std::strcmp(as.site->name, site) == 0) {
       as.hits.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +119,7 @@ void on_note(const char* site) {
   }
 }
 
-void on_hit(const char* site) {
+void on_hit(const char* site) NO_THREAD_SAFETY_ANALYSIS {
   for (ArmedSite& as : armed_sites()) {
     if (std::strcmp(as.site->name, site) != 0) continue;
     const std::uint64_t n =
@@ -126,7 +148,8 @@ void arm(const std::string& spec, std::uint64_t seed) {
               "cannot arm spec: " +
               spec);
 #else
-  disarm();
+  const MutexLock lock(detail::g_arm_mutex);
+  detail::disarm_locked();
   auto& sites = detail::armed_sites();
   std::size_t begin = 0;
   while (begin <= spec.size()) {
@@ -180,9 +203,8 @@ void arm(const std::string& spec, std::uint64_t seed) {
 }
 
 void disarm() {
-  detail::g_armed.store(false, std::memory_order_relaxed);
-  detail::armed_sites().clear();
-  detail::g_fired.store(0, std::memory_order_relaxed);
+  const MutexLock lock(detail::g_arm_mutex);
+  detail::disarm_locked();
 }
 
 bool armed() {
@@ -190,6 +212,7 @@ bool armed() {
 }
 
 std::uint64_t scheduled_hit(const std::string& site) {
+  const MutexLock lock(detail::g_arm_mutex);
   for (const auto& as : detail::armed_sites()) {
     if (site == as.site->name) return as.trip_hit;
   }
@@ -197,6 +220,7 @@ std::uint64_t scheduled_hit(const std::string& site) {
 }
 
 std::uint64_t hits(const std::string& site) {
+  const MutexLock lock(detail::g_arm_mutex);
   for (const auto& as : detail::armed_sites()) {
     if (site == as.site->name) {
       return as.hits.load(std::memory_order_relaxed);

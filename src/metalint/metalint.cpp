@@ -1,0 +1,740 @@
+#include "metalint/metalint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace wm::metalint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- grammar --------------------------------------------------------
+
+bool lower_word(std::string_view s, bool dashes) {
+  if (s.empty()) return false;
+  if (std::islower(static_cast<unsigned char>(s.front())) == 0) {
+    return false;
+  }
+  for (const char c : s) {
+    const bool ok = std::islower(static_cast<unsigned char>(c)) != 0 ||
+                    std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || (dashes && c == '-');
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool dotted(std::string_view s, bool dashes) {
+  std::size_t begin = 0;
+  int segments = 0;
+  while (begin <= s.size()) {
+    const std::size_t dot = s.find('.', begin);
+    const std::string_view seg =
+        s.substr(begin, (dot == std::string_view::npos ? s.size() : dot) -
+                            begin);
+    if (!lower_word(seg, dashes)) return false;
+    ++segments;
+    if (dot == std::string_view::npos) break;
+    begin = dot + 1;
+  }
+  return segments >= 2;
+}
+
+} // namespace
+
+bool is_dotted_name(std::string_view token) {
+  return dotted(token, /*dashes=*/false);
+}
+
+bool is_rule_name(std::string_view token) {
+  return dotted(token, /*dashes=*/true);
+}
+
+bool is_vocab_name(std::string_view token) {
+  return lower_word(token, /*dashes=*/true);
+}
+
+bool is_wildcard(std::string_view token) {
+  if (token.size() < 3 || token.substr(token.size() - 2) != ".*") {
+    return false;
+  }
+  const std::string_view prefix = token.substr(0, token.size() - 2);
+  return lower_word(prefix, /*dashes=*/false) ||
+         dotted(prefix, /*dashes=*/false);
+}
+
+namespace {
+
+// ---- C++ tokenizer --------------------------------------------------
+// Just enough lexing to make string literals, comments and call
+// structure unambiguous. Preprocessor directives are skipped whole
+// (so #include "path" never looks like a string operand); numbers
+// become opaque tokens; char literals vanish.
+
+struct Tok {
+  enum class Kind { Ident, Str, Num, Punct };
+  Kind kind;
+  std::string text;  ///< Str: contents between the quotes, raw escapes
+  int line = 0;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<Tok> tokenize(std::string_view src) {
+  std::vector<Tok> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  bool at_line_start = true;  // only whitespace seen since the newline
+
+  auto newline = [&] {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      newline();
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: swallow to end of line, honoring
+    // backslash continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          newline();
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') newline();
+        ++i;
+      }
+      i = std::min(i + 2, n);
+      continue;
+    }
+    if (c == '"') {
+      const int start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') newline();  // unterminated; keep lexing
+        text += src[i];
+        ++i;
+      }
+      ++i;  // closing quote
+      out.push_back({Tok::Kind::Str, std::move(text), start_line});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\') ++i;
+        if (i < n && src[i] == '\n') newline();
+        ++i;
+      }
+      ++i;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back(
+          {Tok::Kind::Ident, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      // Accept ' digit separators (4'000'000) so they don't get lexed
+      // as char literals.
+      while (j < n &&
+             (ident_char(src[j]) || src[j] == '.' ||
+              (src[j] == '\'' && j + 1 < n && ident_char(src[j + 1])))) {
+        ++j;
+      }
+      out.push_back({Tok::Kind::Num, std::string(src.substr(i, j - i)),
+                     line});
+      i = j;
+      continue;
+    }
+    out.push_back({Tok::Kind::Punct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// First string literal inside the call whose open paren is at `open`
+// (any nesting depth) that satisfies `grammar`; empty if none. Sets
+// `*close` to the index of the matching ')'.
+std::string first_literal_in_call(const std::vector<Tok>& toks,
+                                  std::size_t open,
+                                  bool (*grammar)(std::string_view),
+                                  std::size_t* close, int* lit_line) {
+  int depth = 0;
+  std::string found;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == Tok::Kind::Punct && t.text == "(") {
+      ++depth;
+    } else if (t.kind == Tok::Kind::Punct && t.text == ")") {
+      --depth;
+      if (depth == 0) {
+        *close = i;
+        return found;
+      }
+    } else if (found.empty() && t.kind == Tok::Kind::Str &&
+               grammar(t.text)) {
+      found = t.text;
+      if (lit_line != nullptr) *lit_line = t.line;
+    }
+  }
+  *close = toks.size();
+  return found;
+}
+
+// ---- repository walking ---------------------------------------------
+
+struct SourceFile {
+  std::string rel;   ///< path relative to the repo root
+  std::string text;  ///< full contents
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// All .cpp/.hpp under root/<subdir>, sorted by relative path so the
+// report order is deterministic.
+std::vector<SourceFile> collect_sources(const fs::path& root,
+                                        const char* subdir) {
+  std::vector<SourceFile> files;
+  const fs::path base = root / subdir;
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return files;
+  for (fs::recursive_directory_iterator it(base, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp") continue;
+    files.push_back({fs::relative(it->path(), root).generic_string(),
+                     slurp(it->path())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return files;
+}
+
+std::vector<SourceFile> collect_docs(const fs::path& root) {
+  std::vector<SourceFile> files;
+  const fs::path base = root / "docs";
+  std::error_code ec;
+  if (!fs::is_directory(base, ec)) return files;
+  for (fs::directory_iterator it(base, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    if (it->path().extension() != ".md") continue;
+    files.push_back({fs::relative(it->path(), root).generic_string(),
+                     slurp(it->path())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  return files;
+}
+
+// ---- shared cross-check plumbing ------------------------------------
+
+struct Use {
+  std::string name;
+  std::string file;
+  int line = 0;
+};
+
+std::string loc(const std::string& file, int line) {
+  return file + ":" + std::to_string(line);
+}
+
+// Pull `name` uses out of calls to any function in `callees`
+// ("add"/"inject"/...), applying `grammar` to candidate literals.
+// `dot_qualified` restricts to member-style calls (`x.error(`,
+// `x->error(`) — the rule-id scan needs it because bare error(...)
+// identifiers are everywhere.
+void scan_calls(const SourceFile& f, const std::set<std::string>& callees,
+                bool (*grammar)(std::string_view), bool dot_qualified,
+                std::vector<Use>* out) {
+  const std::vector<Tok> toks = tokenize(f.text);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Ident ||
+        callees.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (toks[i + 1].kind != Tok::Kind::Punct || toks[i + 1].text != "(") {
+      continue;
+    }
+    if (dot_qualified) {
+      if (i == 0) continue;
+      const Tok& prev = toks[i - 1];
+      const bool member =
+          prev.kind == Tok::Kind::Punct &&
+          (prev.text == "." || prev.text == ">");  // ">" tail of "->"
+      if (!member) continue;
+    }
+    std::size_t close = 0;
+    int lit_line = toks[i].line;
+    const std::string name =
+        first_literal_in_call(toks, i + 1, grammar, &close, &lit_line);
+    if (!name.empty()) {
+      out->push_back({name, f.rel, lit_line});
+    }
+    if (close > i) i = close;
+  }
+}
+
+struct Catalog {
+  std::map<std::string, CatalogEntry> exact;  ///< name -> first mention
+  std::vector<CatalogEntry> wildcards;        ///< "prefix.*" entries
+};
+
+Catalog build_catalog(const std::vector<SourceFile>& docs,
+                      std::string_view kind,
+                      bool (*grammar)(std::string_view)) {
+  Catalog cat;
+  for (const SourceFile& doc : docs) {
+    for (CatalogEntry& e : catalog_entries(doc.text, kind, doc.rel)) {
+      if (is_wildcard(e.name)) {
+        cat.wildcards.push_back(std::move(e));
+      } else if (grammar(e.name)) {
+        cat.exact.emplace(e.name, std::move(e));
+      }
+    }
+  }
+  return cat;
+}
+
+bool cataloged(const Catalog& cat, const std::string& name) {
+  if (cat.exact.count(name) != 0) return true;
+  for (const CatalogEntry& w : cat.wildcards) {
+    const std::string_view prefix(w.name.data(), w.name.size() - 1);
+    if (name.size() > prefix.size() &&
+        std::string_view(name).substr(0, prefix.size()) == prefix) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// The bidirectional drift check every catalog rule shares: each code
+// use must be cataloged, each exact catalog entry must be used. The
+// caller supplies `emit` so the rule id is a string literal at a real
+// Report::error() call — which is exactly the shape the rule-id scan
+// itself looks for.
+template <typename Emit>
+void cross_check(const std::vector<Use>& uses, const Catalog& cat,
+                 const char* what, const char* where, Emit&& emit) {
+  std::set<std::string> reported;
+  std::set<std::string> used;
+  for (const Use& u : uses) {
+    used.insert(u.name);
+    if (cataloged(cat, u.name)) continue;
+    if (!reported.insert(u.name).second) continue;
+    emit(loc(u.file, u.line),
+         std::string(what) + " \"" + u.name + "\" is not cataloged in " +
+             where +
+             " (add it to the metalint region, or fix the name)");
+  }
+  for (const auto& [name, entry] : cat.exact) {
+    if (used.count(name) != 0) continue;
+    emit(loc(entry.file, entry.line),
+         std::string(what) + " \"" + name +
+             "\" is cataloged but never appears in the code "
+             "(stale docs entry, or the emission was renamed)");
+  }
+}
+
+// ---- rule: metalint.include-guard -----------------------------------
+
+void check_include_guards(const std::vector<SourceFile>& files,
+                          verify::Report* out) {
+  for (const SourceFile& f : files) {
+    if (f.rel.size() < 4 ||
+        f.rel.substr(f.rel.size() - 4) != ".hpp") {
+      continue;
+    }
+    std::istringstream ss(f.text);
+    std::string line;
+    int lineno = 0;
+    bool in_block_comment = false;
+    while (std::getline(ss, line)) {
+      ++lineno;
+      std::string_view s(line);
+      while (!s.empty() &&
+             std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+        s.remove_prefix(1);
+      }
+      if (in_block_comment) {
+        const std::size_t close = s.find("*/");
+        if (close == std::string_view::npos) continue;
+        in_block_comment = false;
+        s.remove_prefix(close + 2);
+        while (!s.empty() &&
+               std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+          s.remove_prefix(1);
+        }
+      }
+      if (s.empty()) continue;
+      if (s.substr(0, 2) == "//") continue;
+      if (s.substr(0, 2) == "/*") {
+        if (s.find("*/", 2) == std::string_view::npos) {
+          in_block_comment = true;
+        }
+        continue;  // assume nothing after the comment on this line
+      }
+      // First meaningful line.
+      if (s.substr(0, 12) == "#pragma once") break;
+      out->error("metalint.include-guard", loc(f.rel, lineno),
+                 s.substr(0, 7) == "#ifndef"
+                     ? "header opens with an #ifndef guard; this repo "
+                       "standardizes on #pragma once as the first "
+                       "meaningful line"
+                     : "header does not start with #pragma once "
+                       "(every src/ header must, before any other "
+                       "code)");
+      break;
+    }
+  }
+}
+
+// ---- rule: metalint.status-discarded --------------------------------
+
+bool status_shaped(std::string_view name) {
+  if (name == "Status") return true;
+  if (name.size() > 8 && name.substr(0, 8) == "StatusOr") return true;
+  return name.size() >= 12 && name.substr(0, 6) == "TryRun" &&
+         name.substr(name.size() - 6) == "Result";
+}
+
+// Definitions of Status-shaped classes must carry [[nodiscard]].
+void check_nodiscard_types(const SourceFile& f, verify::Report* out) {
+  const std::vector<Tok> toks = tokenize(f.text);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Ident ||
+        (toks[i].text != "class" && toks[i].text != "struct")) {
+      continue;
+    }
+    if (i > 0 && toks[i - 1].kind == Tok::Kind::Ident &&
+        toks[i - 1].text == "enum") {
+      continue;  // enum class
+    }
+    // Swallow attribute groups, remembering a [[nodiscard]].
+    std::size_t j = i + 1;
+    bool nodiscard = false;
+    while (j + 1 < toks.size() && toks[j].kind == Tok::Kind::Punct &&
+           toks[j].text == "[" && toks[j + 1].text == "[") {
+      int brackets = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].kind == Tok::Kind::Punct && toks[j].text == "[") {
+          ++brackets;
+        } else if (toks[j].kind == Tok::Kind::Punct &&
+                   toks[j].text == "]") {
+          if (--brackets == 0) {
+            ++j;
+            break;
+          }
+        } else if (toks[j].kind == Tok::Kind::Ident &&
+                   toks[j].text == "nodiscard") {
+          nodiscard = true;
+        }
+      }
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::Kind::Ident) continue;
+    const Tok& name = toks[j];
+    if (!status_shaped(name.text)) continue;
+    if (j + 1 >= toks.size()) continue;
+    const Tok& after = toks[j + 1];
+    const bool definition =
+        after.kind == Tok::Kind::Punct &&
+        (after.text == "{" || after.text == ":");
+    if (!definition || nodiscard) continue;
+    out->error("metalint.status-discarded", loc(f.rel, name.line),
+               "Status-shaped type " + name.text +
+                   " is defined without [[nodiscard]]; callers could "
+                   "silently drop errors");
+  }
+}
+
+// Function names declared in src/ headers to return a Status-shaped
+// type — calls to these must not be bare expression statements.
+std::set<std::string> collect_status_returning(
+    const std::vector<SourceFile>& headers) {
+  std::set<std::string> names;
+  for (const SourceFile& f : headers) {
+    if (f.rel.size() < 4 ||
+        f.rel.substr(f.rel.size() - 4) != ".hpp") {
+      continue;
+    }
+    const std::vector<Tok> toks = tokenize(f.text);
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (toks[i].kind == Tok::Kind::Ident &&
+          status_shaped(toks[i].text) &&
+          toks[i + 1].kind == Tok::Kind::Ident &&
+          toks[i + 2].kind == Tok::Kind::Punct &&
+          toks[i + 2].text == "(") {
+        names.insert(toks[i + 1].text);
+      }
+    }
+  }
+  return names;
+}
+
+void check_discarded_calls(const SourceFile& f,
+                           const std::set<std::string>& returning,
+                           verify::Report* out) {
+  const std::vector<Tok> toks = tokenize(f.text);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Tok::Kind::Ident ||
+        returning.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (toks[i + 1].kind != Tok::Kind::Punct || toks[i + 1].text != "(") {
+      continue;
+    }
+    // Only bare statements: the previous token ends a statement (or
+    // the call is qualified like wm::try_run(...) right after one).
+    std::size_t p = i;
+    while (p >= 2 && toks[p - 1].kind == Tok::Kind::Punct &&
+           toks[p - 1].text == ":" && toks[p - 2].text == ":") {
+      if (p < 3 || toks[p - 3].kind != Tok::Kind::Ident) break;
+      p -= 3;  // step over a name:: qualifier
+    }
+    const bool stmt_start =
+        p == 0 || (toks[p - 1].kind == Tok::Kind::Punct &&
+                   (toks[p - 1].text == ";" || toks[p - 1].text == "{" ||
+                    toks[p - 1].text == "}"));
+    if (!stmt_start) continue;
+    std::size_t close = 0;
+    (void)first_literal_in_call(toks, i + 1, is_dotted_name, &close,
+                                nullptr);
+    if (close + 1 >= toks.size()) continue;
+    const Tok& after = toks[close + 1];
+    if (after.kind == Tok::Kind::Punct && after.text == ";") {
+      out->error("metalint.status-discarded", loc(f.rel, toks[i].line),
+                 "result of " + toks[i].text +
+                     "() is discarded; it returns a Status-shaped "
+                     "value — check it or cast to (void) with a "
+                     "reason");
+    }
+    i = close;
+  }
+}
+
+} // namespace
+
+// ---- markdown catalog parsing ---------------------------------------
+
+std::vector<CatalogEntry> catalog_entries(std::string_view markdown,
+                                          std::string_view kind,
+                                          std::string_view file) {
+  const std::string begin_tag =
+      "<!-- metalint:" + std::string(kind) + ":begin -->";
+  const std::string end_tag =
+      "<!-- metalint:" + std::string(kind) + ":end -->";
+  std::vector<CatalogEntry> out;
+  std::istringstream ss{std::string(markdown)};
+  std::string line;
+  int lineno = 0;
+  bool inside = false;
+  while (std::getline(ss, line)) {
+    ++lineno;
+    if (line.find(begin_tag) != std::string::npos) {
+      inside = true;
+      continue;
+    }
+    if (line.find(end_tag) != std::string::npos) {
+      inside = false;
+      continue;
+    }
+    if (!inside) continue;
+    std::size_t i = 0;
+    while (true) {
+      const std::size_t open = line.find('`', i);
+      if (open == std::string::npos) break;
+      const std::size_t close = line.find('`', open + 1);
+      if (close == std::string::npos) break;
+      CatalogEntry e;
+      e.name = line.substr(open + 1, close - open - 1);
+      e.file = std::string(file);
+      e.line = lineno;
+      if (!e.name.empty()) out.push_back(std::move(e));
+      i = close + 1;
+    }
+  }
+  return out;
+}
+
+// ---- the engine -----------------------------------------------------
+
+verify::Report run(const Options& options) {
+  verify::Report out;
+  const fs::path root(options.root);
+
+  const std::vector<SourceFile> src = collect_sources(root, "src");
+  const std::vector<SourceFile> tools = collect_sources(root, "tools");
+  const std::vector<SourceFile> docs = collect_docs(root);
+
+  std::vector<SourceFile> src_and_tools = src;
+  src_and_tools.insert(src_and_tools.end(), tools.begin(), tools.end());
+
+  // metalint.counter-uncataloged — every metric literal passed to the
+  // obs helpers must be in a docs metrics region, and vice versa.
+  {
+    const std::set<std::string> callees = {"add",        "gauge_set",
+                                           "gauge_max",  "observe_ms",
+                                           "counter",    "histogram"};
+    std::vector<Use> uses;
+    for (const SourceFile& f : src) {
+      scan_calls(f, callees, &is_dotted_name, /*dot_qualified=*/false,
+                 &uses);
+    }
+    const Catalog cat = build_catalog(docs, "metrics", &is_dotted_name);
+    cross_check(uses, cat, "metric",
+                "a docs metrics region (docs/observability.md)",
+                [&out](const std::string& at, const std::string& msg) {
+                  out.error("metalint.counter-uncataloged", at, msg);
+                });
+  }
+
+  // metalint.fault-site-uncataloged — inject()/note() site names vs the
+  // fault-site matrix in docs/robustness.md.
+  {
+    const std::set<std::string> callees = {"inject", "note",
+                                           "alloc_guard"};
+    std::vector<Use> uses;
+    for (const SourceFile& f : src) {
+      scan_calls(f, callees, &is_dotted_name, /*dot_qualified=*/false,
+                 &uses);
+    }
+    const Catalog cat =
+        build_catalog(docs, "fault-sites", &is_dotted_name);
+    cross_check(uses, cat, "fault site",
+                "a docs fault-sites region (docs/robustness.md)",
+                [&out](const std::string& at, const std::string& msg) {
+                  out.error("metalint.fault-site-uncataloged", at, msg);
+                });
+  }
+
+  // metalint.rule-id-collision — every diagnostic rule id has exactly
+  // one owning file, and the id set matches the docs rule catalog.
+  {
+    const std::set<std::string> callees = {"error", "warning"};
+    std::vector<Use> uses;
+    for (const SourceFile& f : src_and_tools) {
+      scan_calls(f, callees, &is_rule_name, /*dot_qualified=*/true,
+                 &uses);
+    }
+    std::map<std::string, std::map<std::string, int>> owners;
+    for (const Use& u : uses) {
+      owners[u.name].emplace(u.file, u.line);
+    }
+    for (const auto& [id, files] : owners) {
+      if (files.size() <= 1) continue;
+      std::string listing;
+      for (const auto& [file, line] : files) {
+        if (!listing.empty()) listing += ", ";
+        listing += loc(file, line);
+      }
+      out.error("metalint.rule-id-collision",
+                loc(files.begin()->first, files.begin()->second),
+                "rule id \"" + id + "\" is emitted from " +
+                    std::to_string(files.size()) +
+                    " different files (" + listing +
+                    "); rule ids are owned by exactly one checker");
+    }
+    const Catalog cat = build_catalog(docs, "rules", &is_rule_name);
+    cross_check(uses, cat, "rule id",
+                "the docs rules region (docs/static_analysis.md)",
+                [&out](const std::string& at, const std::string& msg) {
+                  out.error("metalint.rule-id-collision", at, msg);
+                });
+  }
+
+  // metalint.error-vocab-drift — error_frame() codes in src/serve vs
+  // the wavemin.jobs/v1 vocabulary in docs/serving.md.
+  {
+    const std::set<std::string> callees = {"error_frame"};
+    std::vector<Use> uses;
+    for (const SourceFile& f : src) {
+      if (f.rel.substr(0, 10) != "src/serve/") continue;
+      scan_calls(f, callees, &is_vocab_name, /*dot_qualified=*/false,
+                 &uses);
+    }
+    const Catalog cat = build_catalog(docs, "error-vocab",
+                                      &is_vocab_name);
+    cross_check(uses, cat, "serve error code",
+                "the docs error-vocab region (docs/serving.md)",
+                [&out](const std::string& at, const std::string& msg) {
+                  out.error("metalint.error-vocab-drift", at, msg);
+                });
+  }
+
+  // metalint.status-discarded — [[nodiscard]] on the types, no bare
+  // calls dropping a Status-shaped result.
+  {
+    for (const SourceFile& f : src) check_nodiscard_types(f, &out);
+    const std::set<std::string> returning =
+        collect_status_returning(src);
+    for (const SourceFile& f : src_and_tools) {
+      check_discarded_calls(f, returning, &out);
+    }
+  }
+
+  // metalint.include-guard — pragma-once hygiene across src/ headers.
+  check_include_guards(src, &out);
+
+  return out;
+}
+
+} // namespace wm::metalint

@@ -1,0 +1,84 @@
+#pragma once
+// wm::metalint — project-level source/artifact lint (docs/static_analysis.md).
+//
+// Where wm::verify checks *designs* (trees, libraries, MOSP graphs),
+// metalint checks the *repository*: the string catalogs that tie the
+// code to its contracts. The repo's observability names, fault sites,
+// verify rule ids and the serve error vocabulary are all plain strings
+// — nothing in the compiler keeps `registry_.add("serve.submited")`
+// from silently minting a counter the docs never heard of. metalint
+// closes that gap with a standalone scanner (no LLVM dependency): a
+// small C++ tokenizer walks src/ and tools/, a markdown parser reads
+// the anchored catalog regions in docs/, and every catalog is checked
+// BIDIRECTIONALLY — code→docs (no uncataloged emission) and docs→code
+// (no stale catalog entry).
+//
+// Rules (stable ids, cataloged in docs/static_analysis.md):
+//   metalint.counter-uncataloged    metric literals  <-> docs metrics
+//   metalint.fault-site-uncataloged inject/note sites <-> docs fault-sites
+//   metalint.rule-id-collision      rule-id ownership + <-> docs rules
+//   metalint.error-vocab-drift      serve error codes <-> docs error-vocab
+//   metalint.status-discarded       [[nodiscard]] on Status-shaped types
+//                                   and no bare discarded Status calls
+//   metalint.include-guard          every src/ header is #pragma once
+//
+// Catalog regions are delimited in the docs with HTML comments:
+//   <!-- metalint:<kind>:begin --> ... <!-- metalint:<kind>:end -->
+// where <kind> is one of metrics, fault-sites, rules, error-vocab.
+// Inside a region, every `backtick` token matching the kind's grammar
+// is a catalog entry; `prefix.*` wildcards satisfy code→docs and are
+// exempt from docs→code.
+//
+// Diagnostics reuse wm::verify's machinery (stable rule ids, Report),
+// and the driver (tools/wavemin_metalint) shares wavemin_lint's exit
+// contract: 0 clean, 1 usage/bad root, 2 findings.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "verify/diagnostics.hpp"
+
+namespace wm::metalint {
+
+struct Options {
+  /// Repository root: the directory holding src/, tools/ and docs/.
+  std::string root = ".";
+};
+
+/// Run every metalint rule against the tree at `options.root`.
+verify::Report run(const Options& options);
+
+// ---- testable building blocks (metalint_test.cpp) -------------------
+
+/// Dotted lowercase identifier: metric / fault-site names
+/// ("serve.queue_depth", "ck.kill_after_write").
+bool is_dotted_name(std::string_view token);
+
+/// Dotted name that may also use dashes: verify/metalint rule ids
+/// ("mosp.beam-capped", "metalint.rule-id-collision").
+bool is_rule_name(std::string_view token);
+
+/// Lowercase dash word: serve error vocabulary ("breaker-open").
+bool is_vocab_name(std::string_view token);
+
+/// Wildcard catalog entry: "prefix.*" (the prefix itself dotted-valid
+/// or a single segment).
+bool is_wildcard(std::string_view token);
+
+/// One catalog entry parsed out of an anchored docs region.
+struct CatalogEntry {
+  std::string name;
+  std::string file;  ///< repo-relative markdown path
+  int line = 0;
+};
+
+/// Extract the `backtick` tokens inside every
+/// "<!-- metalint:<kind>:begin/end -->" region of one markdown file.
+/// No grammar filtering here — callers filter; `file` only labels the
+/// returned entries.
+std::vector<CatalogEntry> catalog_entries(std::string_view markdown,
+                                          std::string_view kind,
+                                          std::string_view file);
+
+} // namespace wm::metalint

@@ -81,7 +81,7 @@ Histogram::Sample Histogram::sample() const {
 MetricsRegistry::MetricsRegistry() : clock_(&monotonic_now) {}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return it->second;
   return counters_[std::string(name)];
@@ -92,7 +92,7 @@ void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
 }
 
 void MetricsRegistry::gauge_set(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = value;
@@ -102,7 +102,7 @@ void MetricsRegistry::gauge_set(std::string_view name, double value) {
 }
 
 void MetricsRegistry::gauge_max(std::string_view name, double value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) {
     it->second = std::max(it->second, value);
@@ -112,7 +112,7 @@ void MetricsRegistry::gauge_max(std::string_view name, double value) {
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   return histograms_[std::string(name)];
@@ -123,7 +123,7 @@ void MetricsRegistry::observe_ms(std::string_view name, double ms) {
 }
 
 void MetricsRegistry::add_phase(std::string_view path, Nanos wall) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   auto it = phases_.find(path);
   if (it == phases_.end()) {
     it = phases_.emplace(std::string(path), PhaseAgg{}).first;
@@ -137,7 +137,7 @@ void MetricsRegistry::set_clock(ClockFn clock) {
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   MetricsSnapshot s;
   for (const auto& [path, agg] : phases_) {
     s.phases.push_back({path, agg.calls, ns_to_ms(agg.total)});

@@ -26,11 +26,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace wm::obs {
 
@@ -144,12 +145,17 @@ class MetricsRegistry {
     Nanos total = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, double, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
-  std::map<std::string, PhaseAgg, std::less<>> phases_;
-  ClockFn clock_;
+  // mu_ guards the name->metric maps (insertion and lookup); the
+  // Counter/Histogram *values* are atomic, so references handed out by
+  // counter()/histogram() stay valid and writable without the lock
+  // (std::map nodes don't move).
+  mutable Mutex mu_;
+  std::map<std::string, Counter, std::less<>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, double, std::less<>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      GUARDED_BY(mu_);
+  std::map<std::string, PhaseAgg, std::less<>> phases_ GUARDED_BY(mu_);
+  ClockFn clock_;  // installed before workers exist (see set_clock)
 };
 
 /// RAII phase scope. With a null registry the constructor and destructor

@@ -63,7 +63,11 @@ std::string Table::to_csv() const {
 }
 
 bool Table::maybe_export_csv(const std::string& name) const {
-  const char* dir = std::getenv("WAVEMIN_CSV_DIR");
+  // Read-only env lookup on a reporting path that only runs from the
+  // single-threaded CLI/bench mains; nothing in the process calls
+  // setenv, so the getenv data race concurrency-mt-unsafe guards
+  // against cannot occur.
+  const char* dir = std::getenv("WAVEMIN_CSV_DIR");  // NOLINT(concurrency-mt-unsafe)
   if (dir == nullptr || *dir == '\0') return false;
   const std::string path = std::string(dir) + "/" + name + ".csv";
   std::ofstream os(path);

@@ -31,6 +31,7 @@
 #include "serve/worker.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace wm::serve {
 
@@ -101,11 +102,11 @@ class Server {
     return opt_.spool_dir + "/" + id + suffix;
   }
 
-  std::size_t pending_count() const {
+  std::size_t pending_count() const REQUIRES(loop_role_) {
     return queue_.size() + backoff_.size();
   }
 
-  void touch_gauges() {
+  void touch_gauges() REQUIRES(loop_role_) {
     registry_.gauge_set("serve.queue_depth",
                         static_cast<double>(pending_count()));
     registry_.gauge_max("serve.queue_depth_max",
@@ -114,50 +115,63 @@ class Server {
                         static_cast<double>(running_.size()));
   }
 
-  int setup();
-  void teardown();
-  void loop_once();
-  int next_timeout_ms() const;
+  int setup() REQUIRES(loop_role_);
+  void teardown() REQUIRES(loop_role_);
+  void loop_once() REQUIRES(loop_role_);
+  int next_timeout_ms() const REQUIRES(loop_role_);
 
-  void accept_clients();
-  void service_conn(int fd, short revents);
-  void close_conn(int fd);
-  void handle_line(int fd, const std::string& line);
-  std::string handle_submit(int fd, Request& req);
-  std::string health_frame() const;
-  std::string stats_frame() const;
-  void send_reply(int fd, const std::string& frame);
+  void accept_clients() REQUIRES(loop_role_);
+  void service_conn(int fd, short revents) REQUIRES(loop_role_);
+  void close_conn(int fd) REQUIRES(loop_role_);
+  void handle_line(int fd, const std::string& line) REQUIRES(loop_role_);
+  std::string handle_submit(int fd, Request& req) REQUIRES(loop_role_);
+  std::string health_frame() const REQUIRES(loop_role_);
+  std::string stats_frame() const REQUIRES(loop_role_);
+  void send_reply(int fd, const std::string& frame) REQUIRES(loop_role_);
 
-  void requeue_due();
-  void launch_ready();
-  void reap_children();
-  void finish(Job& job, JobState state, std::string error);
-  void notify_waiters(Job& job);
+  void requeue_due() REQUIRES(loop_role_);
+  void launch_ready() REQUIRES(loop_role_);
+  void reap_children() REQUIRES(loop_role_);
+  void finish(Job& job, JobState state, std::string error)
+      REQUIRES(loop_role_);
+  void notify_waiters(Job& job) REQUIRES(loop_role_);
 
-  void begin_drain(const char* reason);
-  void kill_stragglers();
-  void flush_conns();
+  void begin_drain(const char* reason) REQUIRES(loop_role_);
+  void kill_stragglers() REQUIRES(loop_role_);
+  void flush_conns() REQUIRES(loop_role_);
+
+  // The daemon is single-threaded by design: fork() isolates the
+  // workers, and only signal handlers (which touch nothing but
+  // g_sig_*/g_wake_fd) run concurrently. loop_role_ is a zero-cost
+  // capability (util/thread_annotations.hpp) encoding that contract:
+  // every piece of loop state below is GUARDED_BY it, run() acquires it
+  // for the loop's lifetime, and any future helper thread reaching this
+  // state without the role is a compile error under
+  // WAVEMIN_THREAD_SAFETY instead of a latent data race.
+  ThreadRole loop_role_;
 
   ServerOptions opt_;
-  obs::MetricsRegistry registry_;
-  CircuitBreaker breaker_;
+  obs::MetricsRegistry registry_;  // internally synchronized
+  CircuitBreaker breaker_ GUARDED_BY(loop_role_);
   std::chrono::steady_clock::time_point epoch_;
 
-  int listen_fd_ = -1;
-  int wake_r_ = -1;
-  int wake_w_ = -1;
-  bool socket_bound_ = false;
+  int listen_fd_ GUARDED_BY(loop_role_) = -1;
+  int wake_r_ GUARDED_BY(loop_role_) = -1;
+  int wake_w_ GUARDED_BY(loop_role_) = -1;
+  bool socket_bound_ GUARDED_BY(loop_role_) = false;
 
-  std::map<std::string, Job> jobs_;
-  std::deque<std::string> queue_;     ///< Queued, FIFO
-  std::vector<std::string> backoff_;  ///< Backoff, waiting out the delay
-  std::map<pid_t, std::string> running_;
-  std::map<int, Conn> conns_;
-  std::uint64_t job_seq_ = 0;
+  std::map<std::string, Job> jobs_ GUARDED_BY(loop_role_);
+  std::deque<std::string> queue_
+      GUARDED_BY(loop_role_);  ///< Queued, FIFO
+  std::vector<std::string> backoff_
+      GUARDED_BY(loop_role_);  ///< Backoff, waiting out the delay
+  std::map<pid_t, std::string> running_ GUARDED_BY(loop_role_);
+  std::map<int, Conn> conns_ GUARDED_BY(loop_role_);
+  std::uint64_t job_seq_ GUARDED_BY(loop_role_) = 0;
 
-  bool draining_ = false;
-  bool killed_stragglers_ = false;
-  double drain_deadline_ms_ = 0.0;
+  bool draining_ GUARDED_BY(loop_role_) = false;
+  bool killed_stragglers_ GUARDED_BY(loop_role_) = false;
+  double drain_deadline_ms_ GUARDED_BY(loop_role_) = 0.0;
 };
 
 int Server::setup() {
@@ -270,6 +284,9 @@ int Server::next_timeout_ms() const {
 }
 
 int Server::run() {
+  // The whole daemon lifetime runs under the loop role — the one place
+  // the capability is ever acquired.
+  const ThreadRoleGuard role(loop_role_);
   if (const int rc = setup(); rc != 0) {
     teardown();
     return rc;

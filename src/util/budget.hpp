@@ -91,6 +91,12 @@ class BudgetTracker {
   }
 
  private:
+  // Lock-free by design (util/thread_annotations.hpp conventions): no
+  // capability guards anything here. spec_ and start_ are immutable
+  // after construction; the global label pool (labels_) and both latch
+  // flags are relaxed atomics — every cross-thread protocol is a
+  // monotonic latch, so no ordering beyond the counter itself is
+  // needed and the thread-safety analysis has nothing to check.
   RunBudget spec_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> labels_{0};

@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace wm {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
-std::mutex g_mutex;
+// Serializes the fprintf so concurrent zone-solve workers don't
+// interleave lines. Nothing is GUARDED_BY it — stderr is the resource.
+Mutex g_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -26,7 +29,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace detail {
 void log_emit(LogLevel level, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::fprintf(stderr, "[wm:%s] %s\n", tag(level), message.c_str());
 }
 } // namespace detail

@@ -49,7 +49,11 @@ const char* to_string(ErrorCategory category);
 /// their exit codes through this single function.
 int cli_exit_code(StatusCode code);
 
-class Status {
+// [[nodiscard]] on the class: every function returning a Status must
+// have its result inspected (or explicitly (void)-cast) — dropping an
+// error on the floor is a compile warning, and metalint.status-discarded
+// backstops the few shapes the compiler can't see.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)

@@ -1,0 +1,138 @@
+#pragma once
+// Clang Thread Safety Analysis annotations (docs/static_analysis.md).
+//
+// These macros put the repo's locking contracts into the type system:
+// which mutex guards which field, which capability a function needs,
+// and which RAII types acquire/release what. Under clang with
+// -Wthread-safety (the WAVEMIN_THREAD_SAFETY build, CI job
+// `thread-safety`) a violated contract is a *compile error*; on gcc
+// and other compilers every macro expands to nothing and the
+// annotated code is byte-identical to unannotated code.
+//
+// Two capability flavors are used in this repo:
+//
+//   * real mutexes — wm::Mutex + wm::MutexLock below. std::mutex is
+//     not annotated by libstdc++, so guarded state must be locked
+//     through these wrappers for the analysis to see the acquisition
+//     (wm::obs::MetricsRegistry, the log sink, the zone worker pool).
+//
+//   * thread roles — wm::ThreadRole, a *fake* capability that models
+//     "this code runs on the owning thread". Single-threaded-by-design
+//     state (the serve daemon's job table/queue/breaker) is GUARDED_BY
+//     a role the event loop acquires at entry; any future thread that
+//     reaches that state without the role becomes a compile error
+//     instead of a data race.
+//
+// Lock-free atomics (BudgetTracker, wm::fault arming, obs::Counter)
+// need no capability to touch; where a lock-free *protocol* exists
+// (publish-then-read epochs), the reader is marked
+// NO_THREAD_SAFETY_ANALYSIS with the protocol documented at the
+// opt-out — the analysis enforces the writers' mutual exclusion.
+//
+// Macro names follow the official clang documentation so examples
+// from the manual paste in unchanged.
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#define WM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define WM_THREAD_ANNOTATION(x)
+#endif
+
+#define CAPABILITY(x) WM_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY WM_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) WM_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) WM_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) \
+  WM_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  WM_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) \
+  WM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  WM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) \
+  WM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  WM_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  WM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  WM_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+  WM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) WM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) \
+  WM_THREAD_ANNOTATION(assert_capability(x))
+#define RETURN_CAPABILITY(x) WM_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+  WM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace wm {
+
+/// std::mutex wearing the CAPABILITY attribute so clang can track who
+/// holds it. Drop-in: same lock/unlock surface, zero overhead.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII guard for wm::Mutex (the std::lock_guard shape). A scoped
+/// capability: clang knows the mutex is held exactly for the guard's
+/// lifetime.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// A fake capability that models *which thread* may touch some state,
+/// with no runtime lock at all. Single-threaded-by-design subsystems
+/// (the serve daemon's poll loop) declare one, GUARDED_BY their state
+/// with it, and acquire it once at the loop entry via ThreadRoleGuard;
+/// functions reaching that state are REQUIRES(role). The contract
+/// costs nothing at runtime and turns "we promise only the loop
+/// thread calls this" into a compile-time fact.
+class CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  // No-ops: the "acquisition" is purely for the analysis.
+  void acquire() ACQUIRE() {}
+  void release() RELEASE() {}
+};
+
+/// Scoped acquisition of a ThreadRole for the duration of a frame
+/// (e.g. the whole Server::run()).
+class SCOPED_CAPABILITY ThreadRoleGuard {
+ public:
+  explicit ThreadRoleGuard(ThreadRole& role) ACQUIRE(role)
+      : role_(role) {
+    role_.acquire();
+  }
+  ~ThreadRoleGuard() RELEASE() { role_.release(); }
+  ThreadRoleGuard(const ThreadRoleGuard&) = delete;
+  ThreadRoleGuard& operator=(const ThreadRoleGuard&) = delete;
+
+ private:
+  ThreadRole& role_;
+};
+
+} // namespace wm

@@ -1,0 +1,5 @@
+// A fully clean mini-repo: the one metric emitted here is cataloged in
+// docs/catalog.md, the header uses #pragma once, nothing else to find.
+void touch(Registry* m) {
+  add(m, "demo.events_seen", 1);
+}

@@ -1,0 +1,6 @@
+// Seeded violation for metalint.counter-uncataloged: this metric
+// literal appears at an obs-style call site but the docs region in
+// ../docs/catalog.md never catalogs it.
+void touch(Registry* m) {
+  add(m, "demo.uncounted_events", 1);
+}

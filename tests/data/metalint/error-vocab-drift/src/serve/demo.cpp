@@ -1,0 +1,5 @@
+// Seeded violation for metalint.error-vocab-drift: an error code the
+// docs error-vocab region never lists.
+Frame reject() {
+  return error_frame("mystery-code", "unknown to the docs");
+}

@@ -1,0 +1,5 @@
+// Seeded violation for metalint.fault-site-uncataloged: an injection
+// site the docs fault-sites region never catalogs.
+void poke() {
+  inject("demo.untracked_site");
+}

@@ -1,0 +1,6 @@
+#ifndef WAVEMIN_TESTS_DATA_METALINT_GUARDED_HPP
+#define WAVEMIN_TESTS_DATA_METALINT_GUARDED_HPP
+// Seeded violation for metalint.include-guard: classic ifndef guard
+// instead of the repo's #pragma once convention.
+int answer();
+#endif

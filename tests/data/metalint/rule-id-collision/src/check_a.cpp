@@ -1,0 +1,5 @@
+// Seeded violation for metalint.rule-id-collision: this rule id is
+// also emitted from check_b.cpp, so no single file owns it.
+void check_a(Report& rep) {
+  rep.error("demo.shared-rule", "a", "first owner");
+}

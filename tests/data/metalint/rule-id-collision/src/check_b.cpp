@@ -1,0 +1,4 @@
+// Second emitter of demo.shared-rule — the collision check_a.cpp sets up.
+void check_b(Report& rep) {
+  rep.error("demo.shared-rule", "b", "second owner");
+}

@@ -1,0 +1,7 @@
+#pragma once
+// Seeded violation for metalint.status-discarded: a Status-shaped type
+// declared without [[nodiscard]].
+class Status {
+ public:
+  bool ok() const { return true; }
+};

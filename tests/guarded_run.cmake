@@ -1,0 +1,35 @@
+# Binary-guarded test runner, used via
+#   cmake -DNAME=<test> -DBIN=<binary> "-DARGS=<;-separated args>"
+#         -P guarded_run.cmake
+#
+# Asserts the binary exists before running it, so a test whose tool was
+# never built fails with an actionable message instead of ctest's
+# generic "Unable to find executable" — and can never be skipped
+# silently. With no -DBIN (or an empty one) it fails outright; -DWHY
+# adds context to that message (e.g. "bash not found on this host").
+
+if(NOT DEFINED NAME)
+  message(FATAL_ERROR "missing -DNAME=...")
+endif()
+
+if(NOT DEFINED BIN OR BIN STREQUAL "")
+  if(NOT DEFINED WHY)
+    set(WHY "no binary configured")
+  endif()
+  message(FATAL_ERROR "${NAME}: cannot run — ${WHY}")
+endif()
+
+if(NOT EXISTS ${BIN})
+  message(FATAL_ERROR
+      "${NAME}: required binary is missing: ${BIN}\n"
+      "build it first (cmake --build <build-dir>), then re-run ctest")
+endif()
+
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+
+execute_process(COMMAND ${BIN} ${ARGS} RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+  message(FATAL_ERROR "${NAME}: ${BIN} exited ${rv}")
+endif()

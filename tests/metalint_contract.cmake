@@ -1,0 +1,59 @@
+# Exit-code contract test for tools/wavemin_metalint, run via
+#   cmake -DMETALINT=<bin> -DREPO=<repo root> -DFIXTURES=<tests/data/metalint>
+#         -P metalint_contract.cmake
+# Contract (shared with wavemin_lint): 0 = no diagnostics, 1 = usage or
+# a root without the src/ + docs/ layout, 2 = diagnostics found.
+
+foreach(var METALINT REPO FIXTURES)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+function(expect_exit code)
+  execute_process(COMMAND ${ARGN}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL ${code})
+    message(FATAL_ERROR
+        "expected exit ${code}, got '${rv}' from: ${ARGN}\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+# Run on a seeded fixture: must exit 2 AND name the seeded rule id.
+function(expect_finding fixture rule)
+  execute_process(COMMAND ${METALINT} --root ${FIXTURES}/${fixture}
+                  RESULT_VARIABLE rv
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rv EQUAL 2)
+    message(FATAL_ERROR
+        "fixture ${fixture}: expected exit 2, got '${rv}'\n"
+        "stdout:\n${out}\nstderr:\n${err}")
+  endif()
+  if(NOT out MATCHES "\\[${rule}\\]")
+    message(FATAL_ERROR
+        "fixture ${fixture}: exit 2 but no [${rule}] diagnostic\n"
+        "stdout:\n${out}")
+  endif()
+endfunction()
+
+# 0: the repository itself is catalog-clean (the CI `metalint` gate).
+expect_exit(0 ${METALINT} --root ${REPO} --quiet)
+
+# 1: usage errors, and a root that lacks the src/ + docs/ layout (that
+# must not "pass" by scanning nothing).
+expect_exit(1 ${METALINT} --bogus-flag)
+expect_exit(1 ${METALINT} --root ${FIXTURES}/clean/src)
+
+# 2: one seeded fixture per rule id.
+expect_finding(counter-uncataloged metalint.counter-uncataloged)
+expect_finding(fault-site-uncataloged metalint.fault-site-uncataloged)
+expect_finding(rule-id-collision metalint.rule-id-collision)
+expect_finding(error-vocab-drift metalint.error-vocab-drift)
+expect_finding(status-discarded metalint.status-discarded)
+expect_finding(include-guard metalint.include-guard)
+
+message(STATUS "wavemin_metalint exit-code contract holds")

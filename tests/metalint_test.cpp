@@ -1,0 +1,168 @@
+// Unit tests for wm::metalint (docs/static_analysis.md): the catalog
+// grammars, the markdown region parser, and the full engine driven
+// over the seeded-violation corpus in tests/data/metalint/ — one
+// fixture mini-repo per rule id plus a clean one. The same corpus is
+// driven through the real wavemin_metalint binary (exit contract) by
+// tests/metalint_contract.cmake.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "metalint/metalint.hpp"
+
+namespace wm::metalint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(WAVEMIN_TEST_DATA_DIR) + "/metalint/" + name;
+}
+
+verify::Report run_on(const std::string& name) {
+  Options opt;
+  opt.root = fixture(name);
+  return run(opt);
+}
+
+// ---- grammars -------------------------------------------------------
+
+TEST(MetalintGrammar, DottedNames) {
+  EXPECT_TRUE(is_dotted_name("serve.queue_depth"));
+  EXPECT_TRUE(is_dotted_name("ck.kill_after_write"));
+  EXPECT_TRUE(is_dotted_name("a.b.c"));
+  EXPECT_TRUE(is_dotted_name("log2.v1"));
+
+  EXPECT_FALSE(is_dotted_name("single"));          // needs >= 2 segments
+  EXPECT_FALSE(is_dotted_name("mosp.beam-capped")); // dashes are rule-only
+  EXPECT_FALSE(is_dotted_name("Serve.queue"));      // lowercase only
+  EXPECT_FALSE(is_dotted_name("serve..queue"));     // empty segment
+  EXPECT_FALSE(is_dotted_name(".queue"));
+  EXPECT_FALSE(is_dotted_name("serve.queue."));
+  EXPECT_FALSE(is_dotted_name("serve.queue depth"));
+  EXPECT_FALSE(is_dotted_name(""));
+}
+
+TEST(MetalintGrammar, RuleNames) {
+  EXPECT_TRUE(is_rule_name("mosp.beam-capped"));
+  EXPECT_TRUE(is_rule_name("metalint.rule-id-collision"));
+  EXPECT_TRUE(is_rule_name("tree.cycle"));
+
+  EXPECT_FALSE(is_rule_name("beam-capped"));  // still needs a dot
+  EXPECT_FALSE(is_rule_name("Tree.cycle"));
+}
+
+TEST(MetalintGrammar, VocabNames) {
+  EXPECT_TRUE(is_vocab_name("breaker-open"));
+  EXPECT_TRUE(is_vocab_name("overloaded"));  // dash optional
+
+  EXPECT_FALSE(is_vocab_name("serve.shed"));  // no dots
+  EXPECT_FALSE(is_vocab_name("Overloaded"));
+  EXPECT_FALSE(is_vocab_name("-leading"));    // must start with a letter
+  EXPECT_FALSE(is_vocab_name(""));
+}
+
+TEST(MetalintGrammar, Wildcards) {
+  EXPECT_TRUE(is_wildcard("serve.*"));
+  EXPECT_TRUE(is_wildcard("perf_scaling.*"));
+  EXPECT_TRUE(is_wildcard("a.b.*"));
+
+  EXPECT_FALSE(is_wildcard("serve.queue_depth"));
+  EXPECT_FALSE(is_wildcard("*.wmck.tmp"));  // suffix pattern: unsupported
+  EXPECT_FALSE(is_wildcard(".*"));          // empty prefix
+  EXPECT_FALSE(is_wildcard("Serve.*"));
+}
+
+// ---- markdown region parser -----------------------------------------
+
+TEST(MetalintCatalog, ExtractsBackticksInsideRegionOnly) {
+  const std::string md =
+      "`outside.before`\n"
+      "<!-- metalint:metrics:begin -->\n"
+      "| `a.one` | first |\n"
+      "prose with `a.two` and `not_a_name`\n"
+      "<!-- metalint:metrics:end -->\n"
+      "`outside.after`\n";
+  const auto entries = catalog_entries(md, "metrics", "doc.md");
+  ASSERT_EQ(entries.size(), 3u);  // grammar filtering is the caller's job
+  EXPECT_EQ(entries[0].name, "a.one");
+  EXPECT_EQ(entries[0].file, "doc.md");
+  EXPECT_EQ(entries[0].line, 3);
+  EXPECT_EQ(entries[1].name, "a.two");
+  EXPECT_EQ(entries[2].name, "not_a_name");
+}
+
+TEST(MetalintCatalog, MultipleRegionsOfOneKindMerge) {
+  const std::string md =
+      "<!-- metalint:rules:begin -->\n"
+      "`x.first`\n"
+      "<!-- metalint:rules:end -->\n"
+      "between\n"
+      "<!-- metalint:rules:begin -->\n"
+      "`x.second`\n"
+      "<!-- metalint:rules:end -->\n";
+  const auto entries = catalog_entries(md, "rules", "doc.md");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].name, "x.first");
+  EXPECT_EQ(entries[1].name, "x.second");
+}
+
+TEST(MetalintCatalog, OtherKindsAreInvisible) {
+  const std::string md =
+      "<!-- metalint:metrics:begin -->\n"
+      "`m.name`\n"
+      "<!-- metalint:metrics:end -->\n";
+  EXPECT_TRUE(catalog_entries(md, "fault-sites", "doc.md").empty());
+  EXPECT_TRUE(catalog_entries(md, "rules", "doc.md").empty());
+}
+
+// ---- the engine over the seeded corpus ------------------------------
+
+TEST(MetalintEngine, CleanFixtureIsClean) {
+  const verify::Report r = run_on("clean");
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+struct SeededCase {
+  const char* fixture;
+  const char* rule;
+};
+
+class MetalintSeeded : public ::testing::TestWithParam<SeededCase> {};
+
+TEST_P(MetalintSeeded, FixtureTripsExactlyItsRule) {
+  const SeededCase& c = GetParam();
+  const verify::Report r = run_on(c.fixture);
+  EXPECT_TRUE(r.has(c.rule)) << r.to_string();
+  EXPECT_EQ(r.error_count(), 1u) << r.to_string();
+  EXPECT_EQ(r.warning_count(), 0u) << r.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MetalintSeeded,
+    ::testing::Values(
+        SeededCase{"counter-uncataloged", "metalint.counter-uncataloged"},
+        SeededCase{"fault-site-uncataloged",
+                   "metalint.fault-site-uncataloged"},
+        SeededCase{"rule-id-collision", "metalint.rule-id-collision"},
+        SeededCase{"error-vocab-drift", "metalint.error-vocab-drift"},
+        SeededCase{"status-discarded", "metalint.status-discarded"},
+        SeededCase{"include-guard", "metalint.include-guard"}),
+    [](const ::testing::TestParamInfo<SeededCase>& info) {
+      std::string name = info.param.fixture;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// The repository this test is built from must itself be metalint-clean
+// — the same gate the CI `metalint` job enforces on every PR.
+TEST(MetalintEngine, RepositoryIsClean) {
+  Options opt;
+  opt.root = std::string(WAVEMIN_TEST_DATA_DIR) + "/../..";
+  const verify::Report r = run(opt);
+  EXPECT_TRUE(r.clean()) << r.to_string();
+}
+
+} // namespace
+} // namespace wm::metalint

@@ -1,0 +1,70 @@
+// wavemin_metalint — standalone driver for the wm::metalint project
+// lint (docs/static_analysis.md).
+//
+// Scans the repository itself: metric/fault-site/rule-id/error-vocab
+// catalogs are cross-checked bidirectionally against the docs, headers
+// are checked for #pragma once, and Status-shaped results for
+// [[nodiscard]] discipline. No compiler or LLVM involved — point it at
+// a repo root and it reads src/, tools/ and docs/ directly, so it runs
+// in a second on every PR (the CI `metalint` job).
+//
+// usage:
+//   wavemin_metalint [--root dir] [--quiet]
+//
+// Exit codes (wavemin_lint's contract): 0 no diagnostics, 1 usage/bad
+// root, 2 diagnostics found.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "metalint/metalint.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wavemin_metalint [--root dir] [--quiet]\n"
+      "exit codes: 0 clean, 1 usage/bad root, 2 diagnostics found\n");
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  wm::metalint::Options opt;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    if (t == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (t == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+
+  // A root without the expected layout would "pass" by scanning
+  // nothing; make that a usage error instead of a silent 0.
+  std::error_code ec;
+  if (!std::filesystem::is_directory(
+          std::filesystem::path(opt.root) / "src", ec) ||
+      !std::filesystem::is_directory(
+          std::filesystem::path(opt.root) / "docs", ec)) {
+    std::fprintf(stderr,
+                 "wavemin_metalint: %s does not look like a repo root "
+                 "(needs src/ and docs/)\n",
+                 opt.root.c_str());
+    return 1;
+  }
+
+  const wm::verify::Report report = wm::metalint::run(opt);
+  if (!quiet) {
+    std::fputs(report.to_string().c_str(), stdout);
+  }
+  std::printf("%s: %zu error(s), %zu warning(s)\n", opt.root.c_str(),
+              report.error_count(), report.warning_count());
+  return report.clean() ? 0 : 2;
+}
