@@ -60,6 +60,32 @@ BENCHMARK(BM_MospExact)
     ->Args({7, 158})
     ->Args({10, 158});
 
+// The same exact solve pinned to one vector backend — the kernel
+// dimension of the perf trajectory. Arg 2 selects the backend
+// (0 = scalar reference, 1 = SIMD); the simd legs error out rather
+// than silently re-measuring scalar when AVX2 is unavailable.
+void BM_MospKernel(benchmark::State& state) {
+  const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
+                              4, static_cast<int>(state.range(1)));
+  const mosp::Kernel kernel =
+      state.range(2) == 0 ? mosp::Kernel::Scalar : mosp::Kernel::Simd;
+  if (kernel == mosp::Kernel::Simd && !mosp::simd_available()) {
+    state.SkipWithError("SIMD backend not compiled in or unsupported");
+    return;
+  }
+  MospSolverOptions opts;
+  opts.kernel = kernel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_exact(g, opts));
+  }
+  state.SetLabel(mosp::vec_ops(kernel).name);
+}
+BENCHMARK(BM_MospKernel)
+    ->Args({7, 32, 0})
+    ->Args({7, 32, 1})
+    ->Args({10, 158, 0})
+    ->Args({10, 158, 1});
+
 void BM_MospWarburton(benchmark::State& state) {
   const auto g = random_graph(7, static_cast<std::size_t>(state.range(0)),
                               4, static_cast<int>(state.range(1)));

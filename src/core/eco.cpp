@@ -108,7 +108,10 @@ EcoResult eco_reoptimize(ClockTree& tree, const CellLibrary& lib,
       const MospGraph g = build_zone_mosp(pre, zone_sinks[z],
                                           zones.zones()[z], x, chr,
                                           modes, slots, opts);
-      const MospSolution sol = dispatch_solve(g, opts);
+      MospStats mosp_stats;
+      const MospSolution sol = dispatch_solve(g, opts, &mosp_stats);
+      result.labels_created += mosp_stats.labels_created;
+      result.labels_pruned_pre += mosp_stats.labels_pruned_pre;
       worst = std::max(worst, sol.worst);
       choices[z] = sol.choice;
     }

@@ -33,6 +33,11 @@ struct EcoResult {
   std::size_t zones_total = 0;
   double model_peak = 0.0;         ///< worst re-solved zone (uA)
   double runtime_ms = 0.0;
+  /// DP effort across the re-solved zones (ECO is a hot loop for the
+  /// co-optimization direction — ROADMAP item 5 — so the label kernel's
+  /// work and the pre-DP pruning win are surfaced per call).
+  std::size_t labels_created = 0;
+  std::size_t labels_pruned_pre = 0;
 };
 
 /// Re-optimize only the zones containing (or adjacent to, within one

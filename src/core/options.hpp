@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "mosp/vecops.hpp"
 #include "util/budget.hpp"
 #include "util/units.hpp"
 
@@ -47,6 +48,17 @@ struct WaveMinOptions {
   SolverKind solver = SolverKind::Warburton;
   double epsilon = 0.01;        ///< Warburton scaling (Table V setting)
   std::size_t max_labels = 20000;
+
+  /// Vector backend for the MOSP label kernels (mosp/vecops.hpp):
+  /// Auto = AVX2 when compiled in and the CPU has it, else scalar.
+  /// The two backends are bit-identical (the differential suite
+  /// enforces it), so this knob only moves runtime, never results.
+  mosp::Kernel mosp_kernel = mosp::Kernel::Auto;
+
+  /// Li&Shi-style pre-DP pruning of dominated row candidates (counted
+  /// as `mosp.labels_pruned_pre`). On by default; off reproduces the
+  /// pre-kernel search order exactly, for ablation.
+  bool mosp_prune_rows = true;
 
   bool include_nonleaf = true;    ///< Observation 1 (D2 in DESIGN.md)
   bool shift_by_arrival = true;   ///< Observation 2 (D3 in DESIGN.md)

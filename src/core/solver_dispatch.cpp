@@ -8,6 +8,8 @@ MospSolverOptions to_solver_options(const WaveMinOptions& opts,
   so.epsilon = opts.epsilon;
   so.max_labels = opts.max_labels;
   so.budget = budget != nullptr ? budget : opts.budget_tracker;
+  so.kernel = opts.mosp_kernel;
+  so.prune_rows = opts.mosp_prune_rows;
   return so;
 }
 

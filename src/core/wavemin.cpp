@@ -36,10 +36,13 @@ void record_mosp_stats(obs::MetricsRegistry* m, const MospStats& st) {
   m->add("mosp.labels_created", st.labels_created);
   m->add("mosp.labels_pruned_dominated", st.labels_pruned_dominated);
   m->add("mosp.labels_pruned_incumbent", st.labels_pruned_incumbent);
+  m->add("mosp.labels_pruned_pre", st.labels_pruned_pre);
   m->add("mosp.labels_merged_grid", st.labels_merged_grid);
   if (st.beam_capped) m->add("mosp.beam_capped_solves");
   m->gauge_max("mosp.frontier_peak",
                static_cast<double>(st.frontier_peak));
+  m->gauge_max("mosp.arena_peak_bytes",
+               static_cast<double>(st.arena_peak_bytes));
 }
 
 std::size_t zone_mask_key(std::size_t zone_idx,

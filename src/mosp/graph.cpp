@@ -10,6 +10,29 @@ std::size_t MospGraph::vertex_count() const {
   return n;
 }
 
+PackedRows MospGraph::pack_padded(std::size_t width) const {
+  WM_REQUIRE(width >= static_cast<std::size_t>(dims),
+             "packed width must cover the weight dimension");
+  PackedRows p;
+  p.width = width;
+  p.offset.reserve(rows.size() + 1);
+  std::size_t total = 0;
+  for (const auto& row : rows) {
+    p.offset.push_back(total);
+    total += row.size();
+  }
+  p.offset.push_back(total);
+  p.weights.assign(total * width, 0.0);  // padding lanes stay +0.0
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (std::size_t v = 0; v < rows[r].size(); ++v) {
+      const auto& w = rows[r][v].weight;
+      double* dst = p.weights.data() + (p.offset[r] + v) * width;
+      for (std::size_t d = 0; d < w.size(); ++d) dst[d] = w[d];
+    }
+  }
+  return p;
+}
+
 void MospGraph::validate() const {
   WM_REQUIRE(dims > 0, "MOSP graph needs a positive weight dimension");
   WM_REQUIRE(!rows.empty(), "MOSP graph needs at least one row");

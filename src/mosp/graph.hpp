@@ -22,8 +22,25 @@ namespace wm {
 
 struct MospVertex {
   int option = 0;  ///< index into the row's candidate list (caller-defined)
-  std::vector<double> weight;  ///< r-dimensional noise vector
+  /// r-dimensional noise vector. Entries are finite and non-negative
+  /// (charge/current samples); the SIMD label kernel's 0-seeded max and
+  /// zero padding lanes rely on this (mosp/vecops.hpp).
+  std::vector<double> weight;
   std::string label;           ///< e.g. "e2:INV_X8" (diagnostics)
+};
+
+/// The graph's weight vectors re-laid-out for the DP hot loop: one
+/// contiguous block, vertex-major, each vector padded to `width` with
+/// +0.0 lanes so the vecops kernels can run full SIMD registers with no
+/// tail handling.
+struct PackedRows {
+  std::size_t width = 0;        ///< padded vector width
+  std::vector<double> weights;  ///< vertex v of row r at (offset[r]+v)*width
+  std::vector<std::size_t> offset;  ///< per-row first vertex; rows+1 entries
+
+  const double* vertex(std::size_t row, std::size_t v) const {
+    return weights.data() + (offset[row] + v) * width;
+  }
 };
 
 struct MospGraph {
@@ -35,6 +52,10 @@ struct MospGraph {
 
   /// Total vertex count excluding src/dest.
   std::size_t vertex_count() const;
+
+  /// Pack every row's weight vectors into a padded SoA block
+  /// (`width` >= dims, a mosp::padded_width multiple).
+  PackedRows pack_padded(std::size_t width) const;
 
   /// Validate row/vector shapes; throws wm::Error on inconsistency.
   void validate() const;

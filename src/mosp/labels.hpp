@@ -1,0 +1,127 @@
+#pragma once
+// Structure-of-arrays label storage for the MOSP DP (DESIGN.md "MOSP
+// label kernel").
+//
+// The label-correcting DP used to hold each label as a heap-allocated
+// std::vector<double> cost plus a std::vector<int> choice copied on
+// every extension — at |S|=158 that is one 1.3 KB allocation and one
+// growing copy per created label, and the solver churned the allocator
+// harder than it did arithmetic. A LabelArena instead stores one DP
+// frontier as parallel columns:
+//
+//   cost   — count × width doubles, contiguous, width padded to the
+//            SIMD lane multiple (vecops.hpp padding contract: padding
+//            lanes are +0.0 and stay +0.0 under add);
+//   worst  — the label's running min-max objective value;
+//   trail  — index into the solver's append-only (parent, option)
+//            trail, replacing the per-label choice vector entirely
+//            (paths are reconstructed once, for the winner).
+//
+// Thread-safety: an arena belongs to exactly one zone solve on one
+// thread — it is deliberately unsynchronized (docs/static_analysis.md).
+// The only cross-thread traffic is the optional BudgetTracker, which
+// keeps a relaxed high-watermark of arena bytes so the run layer can
+// report the label pool's true memory footprint.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "util/budget.hpp"
+
+namespace wm::mosp {
+
+class LabelArena {
+ public:
+  /// `width` is the padded vector width; `budget` (nullable, not
+  /// owned) receives byte high-watermarks as the arena grows.
+  explicit LabelArena(std::size_t width, BudgetTracker* budget = nullptr)
+      : width_(width), budget_(budget) {}
+
+  std::size_t width() const { return width_; }
+  std::size_t count() const { return count_; }
+
+  double* cost(std::size_t i) { return cost_.get() + i * width_; }
+  const double* cost(std::size_t i) const {
+    return cost_.get() + i * width_;
+  }
+  double worst(std::size_t i) const { return worst_[i]; }
+  std::int32_t trail(std::size_t i) const { return trail_[i]; }
+
+  void clear() {
+    count_ = 0;
+    worst_.clear();
+    trail_.clear();
+  }
+
+  void reserve(std::size_t labels) {
+    if (labels > cap_) grow(labels);
+    worst_.reserve(labels);
+    trail_.reserve(labels);
+  }
+
+  /// Cost slot for the *next* label. The slot only becomes a label via
+  /// commit(); an uncommitted scratch write (e.g. a label the incumbent
+  /// bound rejects) is simply overwritten by the next candidate, so
+  /// pruned labels cost no copy at all.
+  double* scratch() {
+    if (count_ + 1 > cap_) grow(count_ + 1);
+    return cost(count_);
+  }
+
+  void commit(double worst, std::int32_t trail_id) {
+    worst_.push_back(worst);
+    trail_.push_back(trail_id);
+    ++count_;
+  }
+
+  /// Current heap footprint (capacity, not count — what the allocator
+  /// actually holds).
+  std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(cap_) * width_ * sizeof(double) +
+           static_cast<std::uint64_t>(worst_.capacity()) * sizeof(double) +
+           static_cast<std::uint64_t>(trail_.capacity()) *
+               sizeof(std::int32_t);
+  }
+
+ private:
+  struct Free {
+    void operator()(double* p) const { std::free(p); }
+  };
+
+  void grow(std::size_t labels) {
+    // Geometric growth into *uninitialized*, 64-byte-aligned storage:
+    // the solver always reserve()s before a materialization burst, so
+    // growth almost always happens at count_ == 0 and copies nothing —
+    // and unlike vector::resize there is no zero-fill pass over tens
+    // of megabytes the very next store would overwrite anyway. The
+    // alignment (with width padded to the lane multiple) keeps every
+    // cost slot on a 32-byte boundary, which lets the AVX2
+    // extend_sweep kernel use non-temporal stores for the frontier
+    // write.
+    std::size_t cap = cap_ < 16 ? 16 : cap_;
+    while (cap < labels) cap *= 2;
+    const std::size_t raw = (cap * width_ * sizeof(double) + 63) / 64 * 64;
+    std::unique_ptr<double[], Free> fresh(
+        static_cast<double*>(std::aligned_alloc(64, raw)));
+    if (count_ != 0) {
+      std::memcpy(fresh.get(), cost_.get(),
+                  count_ * width_ * sizeof(double));
+    }
+    cost_ = std::move(fresh);
+    cap_ = cap;
+    if (budget_ != nullptr) budget_->note_arena_bytes(bytes());
+  }
+
+  std::size_t width_;
+  BudgetTracker* budget_;
+  std::size_t count_ = 0;
+  std::size_t cap_ = 0;
+  std::unique_ptr<double[], Free> cost_;
+  std::vector<double> worst_;
+  std::vector<std::int32_t> trail_;
+};
+
+} // namespace wm::mosp

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <numeric>
 #include <unordered_map>
 
 #include "fault/fault.hpp"
+#include "mosp/labels.hpp"
 #include "util/error.hpp"
 
 namespace wm {
@@ -18,42 +21,50 @@ double max_entry(const std::vector<double>& v) {
   return m;
 }
 
-struct Label {
-  std::vector<double> cost;
-  std::vector<int> choice;
-  double worst = 0.0;
-  double sum = 0.0;
-
-  bool better_than(const Label& other) const {
-    return worst < other.worst;
-  }
-};
-
-bool dominates(const std::vector<double>& a, const std::vector<double>& b) {
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] > b[i]) return false;
-  }
-  return true;
-}
-
 std::vector<double> initial_cost(const MospGraph& g) {
   if (!g.dest_weight.empty()) return g.dest_weight;
   return std::vector<double>(static_cast<std::size_t>(g.dims), 0.0);
 }
 
-MospSolution to_solution(const Label& l) {
-  MospSolution s;
-  s.feasible = true;
-  s.choice = l.choice;
-  s.total = l.cost;
-  s.worst = l.worst;
-  s.sum = l.sum;
-  return s;
-}
-
 // Pairwise dominance pruning is O(n^2 * dims); past this size we fall
 // back to incumbent/beam pruning only.
 constexpr std::size_t kDominanceLimit = 1024;
+
+/// Li & Shi-style pre-DP candidate pruning: drop a row option whose
+/// weight vector is component-wise dominated by a sibling's — no
+/// Pareto-optimal label can ever use it. Equal vectors keep the
+/// first occurrence, so exactly one representative survives a tie.
+/// Returns surviving vertex indices per row, in original order.
+std::vector<std::vector<std::uint32_t>> prune_row_candidates(
+    const MospGraph& g, const PackedRows& packed,
+    const mosp::VecOps& ops, bool enabled, MospStats& st) {
+  std::vector<std::vector<std::uint32_t>> live(g.row_count());
+  for (std::size_t r = 0; r < g.row_count(); ++r) {
+    const std::size_t k = g.rows[r].size();
+    auto& keep = live[r];
+    keep.reserve(k);
+    for (std::uint32_t v = 0; v < k; ++v) {
+      bool dominated = false;
+      if (enabled) {
+        const double* wv = packed.vertex(r, v);
+        for (std::uint32_t u = 0; u < k && !dominated; ++u) {
+          if (u == v) continue;
+          const double* wu = packed.vertex(r, u);
+          if (ops.dominates(wu, wv, packed.width) &&
+              (u < v || !ops.dominates(wv, wu, packed.width))) {
+            dominated = true;
+          }
+        }
+      }
+      if (dominated) {
+        ++st.labels_pruned_pre;
+      } else {
+        keep.push_back(v);
+      }
+    }
+  }
+  return live;
+}
 
 MospSolution label_dp(const MospGraph& g, bool grid_merge,
                       const MospSolverOptions& opts, MospStats* stats) {
@@ -61,8 +72,44 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
   MospStats local_stats;
   MospStats& st = stats ? *stats : local_stats;
 
+  const mosp::VecOps& ops = mosp::vec_ops(opts.kernel);
+  const std::size_t dims = static_cast<std::size_t>(g.dims);
+  const std::size_t width = mosp::padded_width(dims);
+
+  // Pack the weight vectors into a padded SoA block once; the DP below
+  // then touches only contiguous memory (mosp/labels.hpp).
+  const PackedRows packed = g.pack_padded(width);
+  const std::vector<std::vector<std::uint32_t>> live =
+      prune_row_candidates(g, packed, ops, opts.prune_rows, st);
+
   // Greedy incumbent: upper-bounds the optimum, prunes hopeless labels.
   const MospSolution incumbent = solve_greedy(g);
+
+  // Admissible completion bound: minrem row r holds, per dimension, the
+  // least any completion through rows r+1.. can still add (each row's
+  // minimum over its live options, summed). A candidate entering row r
+  // is dead the moment max_d(cost[d] + minrem[d]) cannot beat the
+  // incumbent; on the last row minrem is zero and the test degenerates
+  // to the plain incumbent check. The bound folds the suffix into one
+  // precomputed sum where a real completion adds row by row —
+  // ulp-level reassociation, which can prune a label that beats the
+  // incumbent by < 1 ulp; the solver's documented tolerance is far
+  // coarser. Built once in scalar code so both kernels read
+  // bit-identical bound vectors (padding dims stay 0.0).
+  std::vector<double> minrem(g.row_count() * width, 0.0);
+  for (std::size_t r = g.row_count(); r-- > 1;) {
+    const double* below = minrem.data() + r * width;
+    double* here = minrem.data() + (r - 1) * width;
+    const std::size_t base = packed.offset[r];
+    for (std::size_t d = 0; d < dims; ++d) {
+      double lo = std::numeric_limits<double>::max();
+      for (const std::uint32_t v : live[r]) {
+        const double x = packed.weights[(base + v) * width + d];
+        lo = x < lo ? x : lo;
+      }
+      here[d] = below[d] + lo;
+    }
+  }
 
   // Grid step for Warburton-style merging: each row can introduce at most
   // `step` rounding error per dimension, so the final worst value is
@@ -73,17 +120,48 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
                                 static_cast<double>(g.row_count()))
           : 0.0;
 
-  std::vector<Label> labels;
+  BudgetTracker* budget = opts.budget;
+  // Append-only (parent, option) trail shared by all labels; a label
+  // carries one int32 into it instead of a per-label choice vector.
+  std::vector<std::pair<std::int32_t, std::int32_t>> trail;
+  mosp::LabelArena cur(width, budget);
+  mosp::LabelArena nxt(width, budget);
+  // Indices of the live frontier inside `cur` — survivor selection
+  // shrinks this list; the arena itself is never compacted or copied.
+  std::vector<std::uint32_t> front;
   {
-    Label init;
-    init.cost = initial_cost(g);
-    init.worst = max_entry(init.cost);
-    for (double c : init.cost) init.sum += c;
-    labels.push_back(std::move(init));
+    const std::vector<double> init = initial_cost(g);
+    double* dst = cur.scratch();
+    std::fill(dst, dst + width, 0.0);
+    std::copy(init.begin(), init.end(), dst);
+    cur.commit(max_entry(init), /*trail_id=*/-1);
+    front.assign(1, 0);
   }
 
-  BudgetTracker* budget = opts.budget;
-  for (const auto& row : g.rows) {
+  // A swept candidate is 16 bytes; its |S|-wide cost vector is
+  // materialized only when something actually needs it. On the exact
+  // path past the dominance limit a whole row's survivors stay *lazy*
+  // — (parent, vertex, worst) records over `cur` — and the next row's
+  // fused extend_sweep writes each survivor's vector exactly once
+  // while already sweeping its children, so the frontier crosses
+  // memory once per row instead of twice. Beam-evicted and
+  // bound-pruned candidates never touch the arena at all, and the DP
+  // is memory-bound (DESIGN.md "MOSP label kernel").
+  struct Cand {
+    std::uint32_t parent;  ///< slot in `cur` (store-free last row:
+                           ///< index into `srec` instead)
+    std::uint32_t vertex;  ///< index into the row's vertex list
+    double worst;          ///< min-max objective if committed
+  };
+  std::vector<Cand> cands;  // this row's bound-surviving candidates
+  std::vector<Cand> srec;   // previous row's lazy survivor records
+  bool lazy = false;        // frontier is `srec` over `cur`, not `front`
+  std::vector<std::uint32_t> idx;
+  std::vector<const double*> wopt;     // live weight vectors, this row
+  std::vector<double> wmax_o, bmax_o;  // per-option sweep results
+  std::vector<double> tmp(width);      // rebuilt parent, store-free row
+
+  for (std::size_t r = 0; r < g.row_count(); ++r) {
     fault::inject("mosp.dp_row");
     // Cooperative budget poll (deadline / global label pool /
     // cancellation): bail to the greedy incumbent — feasible, just not
@@ -92,41 +170,106 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
       st.budget_stopped = true;
       return incumbent;
     }
+    const auto& row = g.rows[r];
+    const double* rem = minrem.data() + r * width;
     const std::size_t row_created_base = st.labels_created;
     bool budget_tripped = false;
-    std::vector<Label> next;
-    next.reserve(labels.size() * row.size());
-    for (const Label& l : labels) {
-      for (const MospVertex& v : row) {
-        Label nl;
-        nl.cost.resize(l.cost.size());
-        double worst = l.worst;
-        double sum = 0.0;
-        for (std::size_t d = 0; d < l.cost.size(); ++d) {
-          nl.cost[d] = l.cost[d] + v.weight[d];
-          worst = std::max(worst, nl.cost[d]);
-          sum += nl.cost[d];
-        }
-        if (worst >= incumbent.worst) {
-          ++st.labels_pruned_incumbent;
-          continue;  // cannot beat the greedy incumbent
-        }
-        nl.worst = worst;
-        nl.sum = sum;
-        nl.choice = l.choice;
-        nl.choice.push_back(v.option);
-        ++st.labels_created;
-        next.push_back(std::move(nl));
-        // A single row can blow up combinatorially, so re-poll inside
-        // the expansion every 1024 created labels.
-        if (budget != nullptr && (st.labels_created & 1023u) == 0 &&
-            budget->should_stop()) {
-          budget_tripped = true;
-          break;
+    cands.clear();
+
+    wopt.clear();
+    for (const std::uint32_t vi : live[r]) {
+      wopt.push_back(packed.vertex(r, vi));
+    }
+    wmax_o.resize(wopt.size());
+    bmax_o.resize(wopt.size());
+
+    // The last exact row never needs the previous generation written
+    // out: each lazy parent is rebuilt into a cache-resident scratch
+    // slot, swept, and forgotten — only the winner's two-row chain is
+    // materialized (unless the caller wants the whole frontier).
+    const bool store_free =
+        lazy && r + 1 == g.row_count() && !opts.capture_frontier;
+
+    // Bound-test one swept option and record the survivor. Same
+    // candidate order, counters and 1024-label budget cadence on every
+    // sweep variant below.
+    const auto emit = [&](std::uint32_t parent, std::size_t oi,
+                          double lworst) {
+      const double bmax = bmax_o[oi];
+      if ((lworst > bmax ? lworst : bmax) >= incumbent.worst) {
+        ++st.labels_pruned_incumbent;
+        return;  // no completion can beat the greedy incumbent
+      }
+      const double wmax = wmax_o[oi];
+      cands.push_back(
+          Cand{parent, live[r][oi], lworst > wmax ? lworst : wmax});
+      ++st.labels_created;
+      // A single row can blow up combinatorially, so re-poll inside
+      // the sweep every 1024 created labels.
+      if (budget != nullptr && (st.labels_created & 1023u) == 0 &&
+          budget->should_stop()) {
+        budget_tripped = true;
+      }
+    };
+
+    if (!lazy) {
+      for (std::size_t jj = 0; jj < front.size() && !budget_tripped;
+           ++jj) {
+        const std::uint32_t j = front[jj];
+        const double* lc = cur.cost(j);
+        const double lworst = cur.worst(j);
+        for (std::size_t oi = 0; oi < wopt.size() && !budget_tripped;
+             ++oi) {
+          // One streaming pass yields both the candidate's own worst
+          // and its completion bound; nothing is written.
+          ops.add_max_bound(lc, wopt[oi], rem, width, &wmax_o[oi],
+                            &bmax_o[oi]);
+          emit(j, oi, lworst);
         }
       }
-      if (budget_tripped) break;
+    } else {
+      // Fused pass: materialize each lazy survivor of row r-1 into
+      // `nxt` and sweep its row-r children while its sums are still in
+      // registers (or, store-free, in a scratch slot in cache).
+      const auto& prow = g.rows[r - 1];
+      if (!store_free) {
+        nxt.clear();
+        nxt.reserve(srec.size());
+      }
+      for (std::size_t sj = 0; sj < srec.size() && !budget_tripped;
+           ++sj) {
+        const Cand& rec = srec[sj];
+        const double* pc = cur.cost(rec.parent);
+        const double* pw = packed.vertex(r - 1, rec.vertex);
+        std::uint32_t slot;
+        if (store_free) {
+          ops.extend_sweep(tmp.data(), pc, pw, wopt.data(), wopt.size(),
+                           rem, width, wmax_o.data(), bmax_o.data(),
+                           /*stream=*/false);
+          slot = static_cast<std::uint32_t>(sj);
+        } else {
+          double* dst = nxt.scratch();
+          ops.extend_sweep(dst, pc, pw, wopt.data(), wopt.size(), rem,
+                           width, wmax_o.data(), bmax_o.data(),
+                           /*stream=*/true);
+          trail.emplace_back(cur.trail(rec.parent),
+                             prow[rec.vertex].option);
+          nxt.commit(rec.worst,
+                     static_cast<std::int32_t>(trail.size() - 1));
+          slot = static_cast<std::uint32_t>(nxt.count() - 1);
+        }
+        for (std::size_t oi = 0; oi < wopt.size() && !budget_tripped;
+             ++oi) {
+          emit(slot, oi, rec.worst);
+        }
+      }
+      if (!store_free) {
+        // Row r-1 is now materialized in `nxt`; make it the parent
+        // arena so candidate slots resolve uniformly below.
+        std::swap(cur, nxt);
+      }
     }
+
     if (budget != nullptr) {
       if (!budget->consume_labels(st.labels_created - row_created_base)) {
         budget_tripped = true;
@@ -136,84 +279,244 @@ MospSolution label_dp(const MospGraph& g, bool grid_merge,
         return incumbent;
       }
     }
-
-    if (grid_merge && !next.empty()) {
-      // Keep one representative per rounded cost vector.
-      std::unordered_map<std::size_t, std::size_t> seen;
-      std::vector<Label> merged;
-      merged.reserve(next.size());
-      for (auto& l : next) {
-        std::size_t h = 1469598103934665603ULL;
-        for (double c : l.cost) {
-          const auto q = static_cast<long long>(std::floor(c / step));
-          h ^= static_cast<std::size_t>(q) + 0x9e3779b97f4a7c15ULL +
-               (h << 6) + (h >> 2);
-        }
-        auto [it, inserted] = seen.emplace(h, merged.size());
-        if (inserted) {
-          merged.push_back(std::move(l));
-        } else if (l.better_than(merged[it->second])) {
-          merged[it->second] = std::move(l);
-          ++st.labels_merged_grid;
-        } else {
-          ++st.labels_merged_grid;
-        }
-      }
-      next = std::move(merged);
-    }
-
-    if (next.size() <= kDominanceLimit) {
-      // Exact pairwise dominance pruning (cheapest labels first so a
-      // dominated label is found quickly).
-      std::sort(next.begin(), next.end(),
-                [](const Label& a, const Label& b) {
-                  return a.better_than(b);
-                });
-      std::vector<Label> kept;
-      kept.reserve(next.size());
-      for (auto& cand : next) {
-        bool dominated = false;
-        for (const Label& k : kept) {
-          if (dominates(k.cost, cand.cost)) {
-            dominated = true;
-            break;
-          }
-        }
-        if (dominated) {
-          ++st.labels_pruned_dominated;
-        } else {
-          kept.push_back(std::move(cand));
-        }
-      }
-      next = std::move(kept);
-    }
-
-    if (next.size() > opts.max_labels) {
-      // Safety valve: beam on the min-max objective.
-      std::nth_element(next.begin(),
-                       next.begin() + static_cast<std::ptrdiff_t>(
-                                          opts.max_labels),
-                       next.end(), [](const Label& a, const Label& b) {
-                         return a.better_than(b);
-                       });
-      next.resize(opts.max_labels);
-      st.beam_capped = true;
-    }
-
-    if (next.empty()) {
-      // Everything pruned against the incumbent: greedy was optimal
-      // within this search.
+    if (cands.empty()) {
       return incumbent;
     }
-    st.frontier_peak = std::max(st.frontier_peak, next.size());
-    labels = std::move(next);
+
+    // Turn a surviving candidate into a real label in `nxt`. The
+    // add_max recomputes exactly the element-wise sums the sweep saw,
+    // so the stored vector is bit-identical across backends.
+    const auto materialize = [&](const Cand& c) {
+      double* dst = nxt.scratch();
+      ops.add_max(dst, cur.cost(c.parent), packed.vertex(r, c.vertex),
+                  width);
+      trail.emplace_back(cur.trail(c.parent), row[c.vertex].option);
+      nxt.commit(c.worst, static_cast<std::int32_t>(trail.size() - 1));
+    };
+
+    // Rebuild a store-free candidate in two hops: its lazy parent into
+    // `tmp`, then the candidate itself into `nxt`, pushing both trail
+    // links the chain skipped.
+    const auto materialize2 = [&](const Cand& c) {
+      const Cand& rec = srec[c.parent];
+      ops.add_max(tmp.data(), cur.cost(rec.parent),
+                  packed.vertex(r - 1, rec.vertex), width);
+      double* dst = nxt.scratch();
+      ops.add_max(dst, tmp.data(), packed.vertex(r, c.vertex), width);
+      trail.emplace_back(cur.trail(rec.parent),
+                         g.rows[r - 1][rec.vertex].option);
+      trail.emplace_back(static_cast<std::int32_t>(trail.size() - 1),
+                         row[c.vertex].option);
+      nxt.commit(c.worst, static_cast<std::int32_t>(trail.size() - 1));
+    };
+
+    // Grid/dominance/beam selection over fully materialized candidates
+    // in `nxt`; on success `cur`/`front` become the new frontier.
+    const auto select_materialized = [&]() -> bool {
+      idx.resize(nxt.count());
+      std::iota(idx.begin(), idx.end(), 0u);
+
+      if (grid_merge) {
+        // Keep one representative per rounded cost vector.
+        std::unordered_map<std::size_t, std::size_t> seen;
+        std::vector<std::uint32_t> merged;
+        merged.reserve(idx.size());
+        for (const std::uint32_t li : idx) {
+          const double* c = nxt.cost(li);
+          std::size_t h = 1469598103934665603ULL;
+          for (std::size_t d = 0; d < dims; ++d) {
+            const auto q = static_cast<long long>(std::floor(c[d] / step));
+            h ^= static_cast<std::size_t>(q) + 0x9e3779b97f4a7c15ULL +
+                 (h << 6) + (h >> 2);
+          }
+          auto [it, inserted] = seen.emplace(h, merged.size());
+          if (inserted) {
+            merged.push_back(li);
+          } else {
+            if (nxt.worst(li) < nxt.worst(merged[it->second])) {
+              merged[it->second] = li;
+            }
+            ++st.labels_merged_grid;
+          }
+        }
+        idx = std::move(merged);
+      }
+
+      if (idx.size() <= kDominanceLimit) {
+        // Exact pairwise dominance pruning (cheapest labels first so a
+        // dominated label is found quickly). stable_sort keeps ties in
+        // creation order — both backends see the same permutation.
+        std::stable_sort(idx.begin(), idx.end(),
+                         [&](std::uint32_t a, std::uint32_t b) {
+                           return nxt.worst(a) < nxt.worst(b);
+                         });
+        std::vector<std::uint32_t> kept;
+        kept.reserve(idx.size());
+        for (const std::uint32_t c : idx) {
+          bool dominated = false;
+          for (const std::uint32_t k : kept) {
+            if (ops.dominates(nxt.cost(k), nxt.cost(c), width)) {
+              dominated = true;
+              break;
+            }
+          }
+          if (dominated) {
+            ++st.labels_pruned_dominated;
+          } else {
+            kept.push_back(c);
+          }
+        }
+        idx = std::move(kept);
+      }
+
+      if (idx.size() > opts.max_labels) {
+        // Safety valve: beam on the min-max objective.
+        std::nth_element(
+            idx.begin(),
+            idx.begin() + static_cast<std::ptrdiff_t>(opts.max_labels),
+            idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+              return nxt.worst(a) < nxt.worst(b);
+            });
+        idx.resize(opts.max_labels);
+        st.beam_capped = true;
+      }
+
+      if (idx.empty()) {
+        return false;
+      }
+      st.frontier_peak = std::max(st.frontier_peak, idx.size());
+      std::swap(cur, nxt);
+      front = idx;
+      lazy = false;
+      return true;
+    };
+
+    // Beam the 16-byte candidate records in place, restoring creation
+    // order afterwards: candidates were swept parent-first, so
+    // ascending indices keep parent reads sequential and tie-breaks
+    // identical to a materialized frontier scan.
+    const auto beam_records = [&]() {
+      idx.resize(cands.size());
+      std::iota(idx.begin(), idx.end(), 0u);
+      if (idx.size() > opts.max_labels) {
+        std::nth_element(
+            idx.begin(),
+            idx.begin() + static_cast<std::ptrdiff_t>(opts.max_labels),
+            idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+              return cands[a].worst < cands[b].worst;
+            });
+        idx.resize(opts.max_labels);
+        std::sort(idx.begin(), idx.end());
+        st.beam_capped = true;
+      }
+      st.frontier_peak = std::max(st.frontier_peak, idx.size());
+    };
+
+    if (store_free) {
+      if (cands.size() <= kDominanceLimit) {
+        // The final row thinned below the dominance limit after all:
+        // rebuild every candidate's vector and run the exact pipeline.
+        nxt.clear();
+        nxt.reserve(cands.size());
+        for (const Cand& c : cands) materialize2(c);
+        if (!select_materialized()) {
+          return incumbent;
+        }
+      } else {
+        beam_records();
+        // Only the winner's cost vector is ever read again: first
+        // minimal worst in selection order — the same label the
+        // epilogue scan would pick from a materialized frontier.
+        std::uint32_t best_c = idx[0];
+        for (const std::uint32_t ci : idx) {
+          if (cands[ci].worst < cands[best_c].worst) best_c = ci;
+        }
+        nxt.clear();
+        materialize2(cands[best_c]);
+        std::swap(cur, nxt);
+        front.assign(1, 0);
+        lazy = false;
+      }
+    } else if (grid_merge || cands.size() <= kDominanceLimit) {
+      // Grid merging and pairwise dominance both inspect full cost
+      // vectors, so this path materializes every candidate up front.
+      nxt.clear();
+      nxt.reserve(cands.size());
+      for (const Cand& c : cands) materialize(c);
+      if (!select_materialized()) {
+        return incumbent;
+      }
+    } else {
+      // Exact path past the dominance limit: select on the candidate
+      // records alone and keep the survivors lazy — the next row's
+      // fused pass (or the epilogue) writes their vectors.
+      beam_records();
+      srec.clear();
+      srec.reserve(idx.size());
+      for (const std::uint32_t ci : idx) srec.push_back(cands[ci]);
+      lazy = true;
+    }
+    WM_ASSERT(trail.size() < static_cast<std::size_t>(
+                                 std::numeric_limits<std::int32_t>::max()),
+              "label trail overflow");
+    st.arena_peak_bytes =
+        std::max(st.arena_peak_bytes, cur.bytes() + nxt.bytes());
   }
 
-  const auto best = std::min_element(
-      labels.begin(), labels.end(),
-      [](const Label& a, const Label& b) { return a.better_than(b); });
-  if (best == labels.end()) return incumbent;
-  MospSolution sol = to_solution(*best);
+  if (lazy) {
+    // The DP ended while the frontier was still lazy (the last row was
+    // deferred off a materialized frontier): write only the labels the
+    // epilogue reads — all of them when capturing, else the winner.
+    const std::size_t pr = g.row_count() - 1;
+    const auto rebuild = [&](const Cand& rec) {
+      double* dst = nxt.scratch();
+      ops.add_max(dst, cur.cost(rec.parent),
+                  packed.vertex(pr, rec.vertex), width);
+      trail.emplace_back(cur.trail(rec.parent),
+                         g.rows[pr][rec.vertex].option);
+      nxt.commit(rec.worst, static_cast<std::int32_t>(trail.size() - 1));
+    };
+    nxt.clear();
+    if (opts.capture_frontier) {
+      nxt.reserve(srec.size());
+      for (const Cand& rec : srec) rebuild(rec);
+      front.resize(nxt.count());
+      std::iota(front.begin(), front.end(), 0u);
+    } else {
+      std::size_t best_r = 0;
+      for (std::size_t j = 1; j < srec.size(); ++j) {
+        if (srec[j].worst < srec[best_r].worst) best_r = j;
+      }
+      rebuild(srec[best_r]);
+      front.assign(1, 0);
+    }
+    std::swap(cur, nxt);
+  }
+
+  if (opts.capture_frontier) {
+    st.final_frontier.reserve(front.size());
+    for (const std::uint32_t j : front) {
+      st.final_frontier.emplace_back(cur.cost(j), cur.cost(j) + dims);
+    }
+  }
+
+  std::uint32_t best = front[0];
+  for (const std::uint32_t j : front) {
+    if (cur.worst(j) < cur.worst(best)) best = j;
+  }
+  MospSolution sol;
+  sol.feasible = true;
+  sol.total.assign(cur.cost(best), cur.cost(best) + dims);
+  sol.worst = cur.worst(best);
+  for (const double v : sol.total) sol.sum += v;
+  sol.choice.resize(g.row_count());
+  std::size_t row_out = g.row_count();
+  for (std::int32_t t = cur.trail(best); t >= 0;) {
+    const auto& [parent, option] = trail[static_cast<std::size_t>(t)];
+    sol.choice[--row_out] = option;
+    t = parent;
+  }
+  WM_ASSERT(row_out == 0, "trail walk did not cover every row");
   return sol.better_than(incumbent) ? sol : incumbent;
 }
 

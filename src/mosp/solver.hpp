@@ -14,8 +14,10 @@
 // solve_exhaustive — brute-force oracle for tests (small instances only).
 
 #include <cstdint>
+#include <vector>
 
 #include "mosp/graph.hpp"
+#include "mosp/vecops.hpp"
 #include "util/budget.hpp"
 
 namespace wm {
@@ -29,12 +31,29 @@ struct MospSolverOptions {
   /// solution) with MospStats::budget_stopped set instead of searching
   /// on. Not owned; null = unlimited.
   BudgetTracker* budget = nullptr;
+  /// Vector backend for the label kernels (mosp/vecops.hpp). Auto picks
+  /// AVX2 when available; the differential test harness pins Scalar and
+  /// Simd explicitly and asserts bit-identical results.
+  mosp::Kernel kernel = mosp::Kernel::Auto;
+  /// Li&Shi-style pre-DP candidate pruning ([19]'s O(bn^2) insight):
+  /// a row option whose weight vector is component-wise dominated by a
+  /// sibling option can never appear in a Pareto-optimal label, so it
+  /// is dropped before the DP ever expands it. Counted in
+  /// MospStats::labels_pruned_pre.
+  bool prune_rows = true;
+  /// Copy the final row's surviving label costs (unpadded, frontier
+  /// order) into MospStats::final_frontier — the differential harness
+  /// uses this to assert bit-identical label *sets*, not just the
+  /// winning solution. Off in production solves.
+  bool capture_frontier = false;
 };
 
 struct MospStats {
   std::size_t labels_created = 0;
   std::size_t labels_pruned_dominated = 0;
   std::size_t labels_pruned_incumbent = 0;
+  /// Row options eliminated before the DP (dominated by a sibling).
+  std::size_t labels_pruned_pre = 0;
   std::size_t labels_merged_grid = 0;
   /// Largest surviving label set (Pareto frontier) after any row's
   /// pruning — the DP's peak working-set size.
@@ -44,6 +63,11 @@ struct MospStats {
   /// stopped the DP early; the returned solution is then the greedy
   /// incumbent (degradation ladder level "greedy").
   bool budget_stopped = false;
+  /// Peak heap footprint of the DP's label arenas for this solve.
+  std::uint64_t arena_peak_bytes = 0;
+  /// Final-row surviving label costs, one vector per label, only when
+  /// MospSolverOptions::capture_frontier is set.
+  std::vector<std::vector<double>> final_frontier;
 };
 
 MospSolution solve_exact(const MospGraph& g, MospSolverOptions opts = {},

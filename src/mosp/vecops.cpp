@@ -1,0 +1,100 @@
+#include "mosp/vecops.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace wm::mosp {
+
+// Defined in vecops_avx2.cpp; returns null when the backend was not
+// compiled in (WAVEMIN_SIMD=OFF / non-x86) or the CPU lacks AVX2.
+const VecOps* avx2_vec_ops();
+
+namespace {
+
+double scalar_add_max(double* dst, const double* a, const double* b,
+                      std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = a[i] + b[i];
+    dst[i] = s;
+    // Written as a compare-select (not std::max) to match the vector
+    // backend's maxpd tie semantics exactly.
+    m = m > s ? m : s;
+  }
+  return m;
+}
+
+void scalar_add_max_bound(const double* a, const double* b, const double* c,
+                          std::size_t n, double* max_ab, double* max_abc) {
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double s = a[i] + b[i];
+    m1 = m1 > s ? m1 : s;
+    const double t = s + c[i];
+    m2 = m2 > t ? m2 : t;
+  }
+  *max_ab = m1;
+  *max_abc = m2;
+}
+
+void scalar_extend_sweep(double* dst, const double* a, const double* b,
+                         const double* const* w, std::size_t k,
+                         const double* c, std::size_t n, double* wmax,
+                         double* bmax, bool /*stream*/) {
+  for (std::size_t o = 0; o < k; ++o) {
+    wmax[o] = 0.0;
+    bmax[o] = 0.0;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = a[i] + b[i];
+    dst[i] = v;
+    const double ci = c[i];
+    for (std::size_t o = 0; o < k; ++o) {
+      const double s = v + w[o][i];
+      wmax[o] = wmax[o] > s ? wmax[o] : s;
+      const double t = s + ci;
+      bmax[o] = bmax[o] > t ? bmax[o] : t;
+    }
+  }
+}
+
+bool scalar_dominates(const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+constexpr VecOps kScalarOps{"scalar", scalar_add_max, scalar_add_max_bound,
+                            scalar_extend_sweep, scalar_dominates};
+
+Kernel env_kernel() {
+  const char* e = std::getenv("WAVEMIN_MOSP_KERNEL");
+  if (e == nullptr) return Kernel::Auto;
+  if (std::strcmp(e, "scalar") == 0) return Kernel::Scalar;
+  if (std::strcmp(e, "simd") == 0 || std::strcmp(e, "avx2") == 0) {
+    return Kernel::Simd;
+  }
+  return Kernel::Auto;
+}
+
+} // namespace
+
+const VecOps& scalar_ops() { return kScalarOps; }
+
+bool simd_available() { return avx2_vec_ops() != nullptr; }
+
+const VecOps& vec_ops(Kernel k) {
+  if (k == Kernel::Auto) {
+    static const Kernel forced = env_kernel();
+    k = forced == Kernel::Scalar ? Kernel::Scalar : Kernel::Simd;
+  }
+  if (k == Kernel::Simd) {
+    const VecOps* v = avx2_vec_ops();
+    if (v != nullptr) return *v;
+  }
+  return kScalarOps;
+}
+
+} // namespace wm::mosp

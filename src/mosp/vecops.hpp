@@ -1,0 +1,101 @@
+#pragma once
+// Vector kernels for the MOSP label DP (DESIGN.md "MOSP label kernel").
+//
+// The label DP spends essentially all of its time in two |S|-dimensional
+// operations per label: the fused add+max that extends a label along an
+// arc and the component-wise dominance compare that prunes the Pareto
+// frontier. This header exposes them as a function-pointer bundle
+// (VecOps) with two backends:
+//
+//   scalar — portable reference implementation, always compiled;
+//   avx2   — 4-wide double kernels (vecops_avx2.cpp), compiled when the
+//            WAVEMIN_SIMD CMake option is ON and selected at runtime
+//            only if the CPU actually reports AVX2.
+//
+// Both backends are bit-identical by construction: every operation is
+// an element-wise IEEE-754 add or compare plus a max-reduction, and max
+// is associative and commutative over the finite, non-negative values
+// the solver feeds it — so tests/mosp_differential_test.cpp asserts
+// *equality* between backends, never tolerance.
+//
+// Padding contract (tests/randomized_property_test.cpp proves it):
+// callers round vector widths up to padded_width() and keep every
+// padding lane at +0.0. All kernels then treat padding as neutral:
+// x + 0 = x, max(m, 0) = m because label costs are non-negative, and
+// 0 <= 0 leaves every dominance verdict unchanged.
+
+#include <cstddef>
+
+namespace wm::mosp {
+
+/// Doubles per SIMD register (AVX2: 256 bit / 64 bit). The scalar
+/// backend honours the same padding so widths agree across backends.
+inline constexpr std::size_t kSimdLanes = 4;
+
+/// Round a weight-vector dimension up to the SIMD width.
+inline constexpr std::size_t padded_width(std::size_t dims) {
+  return (dims + kSimdLanes - 1) / kSimdLanes * kSimdLanes;
+}
+
+/// Backend request. Auto prefers AVX2 when compiled in and supported by
+/// the CPU; the WAVEMIN_MOSP_KERNEL environment variable ("scalar" or
+/// "simd") overrides Auto for whole-process experiments.
+enum class Kernel {
+  Auto,
+  Scalar,
+  Simd,  ///< explicit AVX2 request; falls back to scalar when absent
+};
+
+/// One backend: free functions over padded, densely stored vectors.
+/// `n` is always a padded_width() multiple — the AVX2 kernels load full
+/// registers with no tail loop.
+struct VecOps {
+  const char* name;  ///< "scalar" or "avx2" (metrics / bench labels)
+
+  /// dst[i] = a[i] + b[i] for i < n; returns max(0, max_i dst[i]).
+  /// The 0 floor mirrors the solver's historical max_entry() seed and
+  /// is what makes the +0.0 padding lanes neutral.
+  double (*add_max)(double* dst, const double* a, const double* b,
+                    std::size_t n);
+
+  /// The DP's candidate sweep in one streaming pass, nothing stored:
+  /// with s[i] = a[i] + b[i], writes max_ab = max(0, max_i s[i]) (the
+  /// candidate's own min-max value) and max_abc =
+  /// max(0, max_i (s[i] + c[i])) (its admissible completion bound,
+  /// c[i] being the least any completion still adds to dimension i).
+  /// Most candidates die on the bound or the beam and never get an
+  /// arena slot — add_max materializes only the survivors.
+  void (*add_max_bound)(const double* a, const double* b, const double* c,
+                        std::size_t n, double* max_ab, double* max_abc);
+
+  /// Fused materialize-and-sweep, the DP's hot loop on the exact path:
+  /// writes dst[i] = a[i] + b[i] (a lazy survivor's cost vector) and,
+  /// in the same pass while the sums are still in registers, evaluates
+  /// the next row's k options against it — with s_o[i] = dst[i] +
+  /// w[o][i], wmax[o] = max(0, max_i s_o[i]) and bmax[o] =
+  /// max(0, max_i (s_o[i] + c[i])). Element-for-element equivalent to
+  /// add_max(dst, a, b, n) followed by k add_max_bound(dst, w[o], c)
+  /// calls, but touches memory once. With `stream` true the AVX2
+  /// backend stores dst past the cache (requires a 32-byte-aligned
+  /// slot): right for arena bursts the next row re-reads as one long
+  /// sequential scan, wrong for scratch slots read back immediately.
+  void (*extend_sweep)(double* dst, const double* a, const double* b,
+                       const double* const* w, std::size_t k,
+                       const double* c, std::size_t n, double* wmax,
+                       double* bmax, bool stream);
+
+  /// True iff a[i] <= b[i] for every i < n (component-wise dominance).
+  bool (*dominates)(const double* a, const double* b, std::size_t n);
+};
+
+/// Resolve a backend choice to concrete kernels.
+const VecOps& vec_ops(Kernel k = Kernel::Auto);
+
+/// Always the portable reference backend.
+const VecOps& scalar_ops();
+
+/// True when the AVX2 backend is compiled in (WAVEMIN_SIMD=ON) and the
+/// CPU supports it; when false, vec_ops(Kernel::Simd) == scalar_ops().
+bool simd_available();
+
+} // namespace wm::mosp

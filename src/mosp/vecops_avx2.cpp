@@ -1,0 +1,158 @@
+// AVX2 backend of the MOSP vector kernels (see vecops.hpp for the
+// bit-identity and padding contracts). This translation unit is the
+// only one compiled with -mavx2 (WAVEMIN_SIMD=ON, x86-64 only), so the
+// rest of the library never emits AVX instructions and the binary
+// still runs on pre-AVX2 machines: avx2_vec_ops() probes the CPU at
+// first use and hands back null when the instructions would fault.
+//
+// Deliberately no FMA anywhere: a fused multiply-add rounds once where
+// the scalar backend rounds twice, which would break the differential
+// suite's exact-equality contract. Plain add/max/compare round
+// identically lane-by-lane.
+
+#include "mosp/vecops.hpp"
+
+#if defined(WAVEMIN_SIMD_AVX2) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace wm::mosp {
+namespace {
+
+double hmax(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d m2 = _mm_max_pd(lo, hi);
+  const __m128d m1 = _mm_max_sd(m2, _mm_unpackhi_pd(m2, m2));
+  return _mm_cvtsd_f64(m1);
+}
+
+double avx2_add_max(double* dst, const double* a, const double* b,
+                    std::size_t n) {
+  // acc starts at +0.0 per lane — the same floor the scalar kernel
+  // seeds — so the horizontal reduction below maxes the identical
+  // multiset of values (max is associative/commutative over the
+  // finite inputs, hence order-independent).
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; i += kSimdLanes) {
+    const __m256d s =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    _mm256_storeu_pd(dst + i, s);
+    acc = _mm256_max_pd(acc, s);
+  }
+  return hmax(acc);
+}
+
+// One option block of avx2_extend_sweep, K options wide so every
+// accumulator lives in a register. mode: 2 = non-temporal store of the
+// materialized label (32-byte-aligned arena slot; the line is not read
+// again until the next row streams it, so bypassing the cache skips
+// the read-for-ownership on tens of MB per row), 1 = plain store,
+// 0 = no store (later chunks when a row has more than four options).
+template <int K>
+void extend_block(double* dst, const double* a, const double* b,
+                  const double* const* w, const double* c, std::size_t n,
+                  double* wmax, double* bmax, int mode) {
+  __m256d acc1[K];
+  __m256d acc2[K];
+  for (int o = 0; o < K; ++o) {
+    acc1[o] = _mm256_setzero_pd();
+    acc2[o] = _mm256_setzero_pd();
+  }
+  for (std::size_t i = 0; i < n; i += kSimdLanes) {
+    const __m256d v =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    if (mode == 2) {
+      _mm256_stream_pd(dst + i, v);
+    } else if (mode == 1) {
+      _mm256_storeu_pd(dst + i, v);
+    }
+    const __m256d cv = _mm256_loadu_pd(c + i);
+    for (int o = 0; o < K; ++o) {
+      const __m256d s = _mm256_add_pd(v, _mm256_loadu_pd(w[o] + i));
+      acc1[o] = _mm256_max_pd(acc1[o], s);
+      acc2[o] = _mm256_max_pd(acc2[o], _mm256_add_pd(s, cv));
+    }
+  }
+  for (int o = 0; o < K; ++o) {
+    wmax[o] = hmax(acc1[o]);
+    bmax[o] = hmax(acc2[o]);
+  }
+}
+
+void avx2_extend_sweep(double* dst, const double* a, const double* b,
+                       const double* const* w, std::size_t k,
+                       const double* c, std::size_t n, double* wmax,
+                       double* bmax, bool stream) {
+  if (k == 0) {
+    avx2_add_max(dst, a, b, n);
+    return;
+  }
+  int mode =
+      stream && (reinterpret_cast<std::uintptr_t>(dst) & 31u) == 0 ? 2 : 1;
+  for (std::size_t o = 0; o < k; o += 4) {
+    const std::size_t kk = k - o < 4 ? k - o : 4;
+    switch (kk) {
+      case 1:
+        extend_block<1>(dst, a, b, w + o, c, n, wmax + o, bmax + o, mode);
+        break;
+      case 2:
+        extend_block<2>(dst, a, b, w + o, c, n, wmax + o, bmax + o, mode);
+        break;
+      case 3:
+        extend_block<3>(dst, a, b, w + o, c, n, wmax + o, bmax + o, mode);
+        break;
+      default:
+        extend_block<4>(dst, a, b, w + o, c, n, wmax + o, bmax + o, mode);
+        break;
+    }
+    mode = 0;  // later chunks recompute a+b; dst is already written
+  }
+}
+
+void avx2_add_max_bound(const double* a, const double* b, const double* c,
+                        std::size_t n, double* max_ab, double* max_abc) {
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; i += kSimdLanes) {
+    const __m256d s =
+        _mm256_add_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc1 = _mm256_max_pd(acc1, s);
+    acc2 = _mm256_max_pd(acc2, _mm256_add_pd(s, _mm256_loadu_pd(c + i)));
+  }
+  *max_ab = hmax(acc1);
+  *max_abc = hmax(acc2);
+}
+
+bool avx2_dominates(const double* a, const double* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; i += kSimdLanes) {
+    const __m256d gt = _mm256_cmp_pd(_mm256_loadu_pd(a + i),
+                                     _mm256_loadu_pd(b + i), _CMP_GT_OQ);
+    if (_mm256_movemask_pd(gt) != 0) return false;
+  }
+  return true;
+}
+
+constexpr VecOps kAvx2Ops{"avx2", avx2_add_max, avx2_add_max_bound,
+                          avx2_extend_sweep, avx2_dominates};
+
+} // namespace
+
+const VecOps* avx2_vec_ops() {
+  static const bool supported = __builtin_cpu_supports("avx2") != 0;
+  return supported ? &kAvx2Ops : nullptr;
+}
+
+} // namespace wm::mosp
+
+#else // !WAVEMIN_SIMD_AVX2
+
+namespace wm::mosp {
+
+const VecOps* avx2_vec_ops() { return nullptr; }
+
+} // namespace wm::mosp
+
+#endif

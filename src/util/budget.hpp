@@ -77,6 +77,22 @@ class BudgetTracker {
            labels_consumed() > spec_.max_total_labels;
   }
 
+  /// Record a MOSP label-arena footprint (mosp/labels.hpp). The global
+  /// label pool this tracker meters is backed by those arenas; keeping
+  /// the byte high-watermark here gives the run layer one place to ask
+  /// what the pool actually cost in memory. Monotonic max, any thread.
+  void note_arena_bytes(std::uint64_t bytes) {
+    std::uint64_t prev = arena_peak_.load(std::memory_order_relaxed);
+    while (prev < bytes &&
+           !arena_peak_.compare_exchange_weak(prev, bytes,
+                                              std::memory_order_relaxed)) {
+    }
+  }
+
+  std::uint64_t arena_peak_bytes() const {
+    return arena_peak_.load(std::memory_order_relaxed);
+  }
+
   /// Cooperative kill switch; safe from any thread (e.g. a serving
   /// front-end tearing down a request).
   void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -100,6 +116,7 @@ class BudgetTracker {
   RunBudget spec_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> labels_{0};
+  std::atomic<std::uint64_t> arena_peak_{0};
   std::atomic<bool> cancelled_{false};
   mutable std::atomic<bool> deadline_hit_{false};
 };

@@ -1,0 +1,196 @@
+// Differential harness for the MOSP vector backends: the scalar and
+// AVX2 kernels must produce *bit-identical* solver behaviour — same
+// polarity assignments, same label sets, same costs down to the last
+// ulp, same pruning counters — across vector widths that exercise every
+// padding shape (|S| mod 4 = 0, 1, 3, exact lane multiples, and the
+// paper-scale 158). vecops.hpp explains why equality (never tolerance)
+// is achievable: both backends perform the same element-wise IEEE adds
+// and compares, and the max reductions commute.
+//
+// When the AVX2 backend is not available (WAVEMIN_SIMD=OFF or an older
+// CPU) the differential tests skip rather than silently comparing
+// scalar against itself.
+
+#include "mosp/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "core/wavemin.hpp"
+#include "cts/synthesis.hpp"
+#include "mosp/vecops.hpp"
+#include "timing/arrival.hpp"
+#include "util/rng.hpp"
+
+namespace wm {
+namespace {
+
+MospGraph random_graph(std::uint64_t seed, std::size_t rows,
+                       std::size_t options, int dims) {
+  Rng rng(seed);
+  MospGraph g;
+  g.dims = dims;
+  g.rows.resize(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t o = 0; o < options; ++o) {
+      MospVertex v;
+      v.option = static_cast<int>(o);
+      v.label = "r" + std::to_string(r) + "o" + std::to_string(o);
+      v.weight.resize(static_cast<std::size_t>(dims));
+      for (double& w : v.weight) w = rng.uniform(0.0, 10.0);
+      g.rows[r].push_back(std::move(v));
+    }
+  }
+  g.dest_weight.resize(static_cast<std::size_t>(dims));
+  for (double& w : g.dest_weight) w = rng.uniform(0.0, 5.0);
+  return g;
+}
+
+struct SolveOutcome {
+  MospSolution sol;
+  MospStats stats;
+};
+
+SolveOutcome run(const MospGraph& g, mosp::Kernel k, bool warburton,
+                 std::size_t max_labels) {
+  MospSolverOptions opts;
+  opts.kernel = k;
+  opts.max_labels = max_labels;
+  opts.capture_frontier = true;
+  SolveOutcome out;
+  out.sol = warburton ? solve_warburton(g, opts, &out.stats)
+                      : solve_exact(g, opts, &out.stats);
+  return out;
+}
+
+// Exact equality on every observable: the winning assignment, its cost
+// vector bit for bit, every pruning counter, and the whole surviving
+// final label set. EXPECT_EQ on doubles is exact comparison — that is
+// the point of this harness.
+void expect_identical(const SolveOutcome& a, const SolveOutcome& b) {
+  ASSERT_EQ(a.sol.feasible, b.sol.feasible);
+  EXPECT_EQ(a.sol.choice, b.sol.choice);
+  EXPECT_EQ(a.sol.worst, b.sol.worst);
+  EXPECT_EQ(a.sol.sum, b.sol.sum);
+  ASSERT_EQ(a.sol.total.size(), b.sol.total.size());
+  for (std::size_t d = 0; d < a.sol.total.size(); ++d) {
+    EXPECT_EQ(a.sol.total[d], b.sol.total[d]) << "dimension " << d;
+  }
+  EXPECT_EQ(a.stats.labels_created, b.stats.labels_created);
+  EXPECT_EQ(a.stats.labels_pruned_dominated, b.stats.labels_pruned_dominated);
+  EXPECT_EQ(a.stats.labels_pruned_incumbent, b.stats.labels_pruned_incumbent);
+  EXPECT_EQ(a.stats.labels_pruned_pre, b.stats.labels_pruned_pre);
+  EXPECT_EQ(a.stats.labels_merged_grid, b.stats.labels_merged_grid);
+  EXPECT_EQ(a.stats.frontier_peak, b.stats.frontier_peak);
+  EXPECT_EQ(a.stats.beam_capped, b.stats.beam_capped);
+  ASSERT_EQ(a.stats.final_frontier.size(), b.stats.final_frontier.size());
+  for (std::size_t i = 0; i < a.stats.final_frontier.size(); ++i) {
+    ASSERT_EQ(a.stats.final_frontier[i].size(),
+              b.stats.final_frontier[i].size());
+    for (std::size_t d = 0; d < a.stats.final_frontier[i].size(); ++d) {
+      EXPECT_EQ(a.stats.final_frontier[i][d], b.stats.final_frontier[i][d])
+          << "label " << i << " dimension " << d;
+    }
+  }
+}
+
+// Widths chosen to cover the padding contract: 1 and 9 leave three
+// +0.0 lanes, 7 leaves one, 8 is an exact lane multiple, 31 spans
+// several registers with a partial tail, 158 is the paper-scale width
+// the benchmarks run.
+class MospDifferential : public ::testing::TestWithParam<int> {};
+
+TEST_P(MospDifferential, ExactSolvesAreBitIdentical) {
+  if (!mosp::simd_available()) GTEST_SKIP() << "AVX2 backend absent";
+  const int dims = GetParam();
+  for (const std::uint64_t seed : {11u, 29u, 47u}) {
+    const MospGraph g = random_graph(seed, 6, 3, dims);
+    expect_identical(run(g, mosp::Kernel::Scalar, false, 20000),
+                     run(g, mosp::Kernel::Simd, false, 20000));
+  }
+}
+
+TEST_P(MospDifferential, WarburtonSolvesAreBitIdentical) {
+  if (!mosp::simd_available()) GTEST_SKIP() << "AVX2 backend absent";
+  const int dims = GetParam();
+  for (const std::uint64_t seed : {13u, 31u}) {
+    const MospGraph g = random_graph(seed, 6, 3, dims);
+    expect_identical(run(g, mosp::Kernel::Scalar, true, 20000),
+                     run(g, mosp::Kernel::Simd, true, 20000));
+  }
+}
+
+TEST_P(MospDifferential, BeamCappedSolvesAreBitIdentical) {
+  if (!mosp::simd_available()) GTEST_SKIP() << "AVX2 backend absent";
+  const int dims = GetParam();
+  // A small beam forces the exact path through record selection,
+  // nth_element eviction and the store-free last row — the tie-break
+  // order there must not depend on the backend either.
+  const MospGraph g = random_graph(97, 8, 4, dims);
+  const SolveOutcome a = run(g, mosp::Kernel::Scalar, false, 1500);
+  const SolveOutcome b = run(g, mosp::Kernel::Simd, false, 1500);
+  expect_identical(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MospDifferential,
+                         ::testing::Values(1, 7, 8, 9, 31, 158));
+
+TEST(MospDifferential, ScalarKernelRequestIsHonoured) {
+  // Kernel::Scalar must resolve to the reference backend even when
+  // AVX2 exists; Kernel::Simd falls back to scalar when it does not.
+  EXPECT_STREQ(mosp::vec_ops(mosp::Kernel::Scalar).name, "scalar");
+  if (mosp::simd_available()) {
+    EXPECT_STREQ(mosp::vec_ops(mosp::Kernel::Simd).name, "avx2");
+  } else {
+    EXPECT_STREQ(mosp::vec_ops(mosp::Kernel::Simd).name, "scalar");
+  }
+}
+
+TEST(MospDifferential, EndToEndPolarityAssignmentMatches) {
+  if (!mosp::simd_available()) GTEST_SKIP() << "AVX2 backend absent";
+  // Whole-flow differential: clk_wavemin driven once per backend over
+  // identical trees must pick the same intersection, the same per-zone
+  // peaks, and the same per-leaf cell assignment.
+  CellLibrary lib = CellLibrary::nangate45_like();
+  Rng rng(4242);
+  std::vector<LeafSpec> leaves;
+  for (int i = 0; i < 24; ++i) {
+    LeafSpec s;
+    s.pos = {rng.uniform(5.0, 260.0), rng.uniform(5.0, 260.0)};
+    s.sink_cap = rng.uniform(5.0, 30.0);
+    leaves.push_back(s);
+  }
+  CtsOptions cts;
+  cts.fanout = 4;
+  ClockTree scalar_tree = synthesize_tree(leaves, lib, cts);
+  balance_skew(scalar_tree);
+  ClockTree simd_tree = scalar_tree;
+
+  Characterizer chr(lib);
+  WaveMinOptions opts;
+  opts.kappa = 30.0;
+  opts.samples = 32;
+  opts.mosp_kernel = mosp::Kernel::Scalar;
+  const WaveMinResult rs = clk_wavemin(scalar_tree, lib, chr, opts);
+  opts.mosp_kernel = mosp::Kernel::Simd;
+  const WaveMinResult rv = clk_wavemin(simd_tree, lib, chr, opts);
+
+  ASSERT_EQ(rs.success, rv.success);
+  if (!rs.success) GTEST_SKIP() << "infeasible for this random design";
+  EXPECT_EQ(rs.model_peak, rv.model_peak);
+  EXPECT_EQ(rs.chosen_dof, rv.chosen_dof);
+  EXPECT_EQ(rs.zone_peaks, rv.zone_peaks);
+  ASSERT_EQ(scalar_tree.size(), simd_tree.size());
+  for (const TreeNode& n : scalar_tree.nodes()) {
+    EXPECT_EQ(n.cell, simd_tree.node(n.id).cell) << "node " << n.id;
+  }
+}
+
+} // namespace
+} // namespace wm

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cells/characterizer.hpp"
+#include "mosp/vecops.hpp"
 #include "core/evaluate.hpp"
 #include "core/wavemin.hpp"
 #include "cts/synthesis.hpp"
@@ -120,6 +123,165 @@ TEST_P(RandomDesign, ZonePartitionIsExhaustive) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDesign,
                          ::testing::Values(101, 202, 303, 404, 505, 606,
                                            707, 808, 909, 1010));
+
+// ---------------------------------------------------------------------
+// Algebraic properties of the MOSP vector kernels (mosp/vecops.hpp),
+// checked on random padded vectors against every compiled backend. The
+// solver's correctness rests on dominance being a partial order and on
+// the +0.0 padding lanes being invisible to every kernel.
+
+class VecOpsProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static std::vector<const mosp::VecOps*> backends() {
+    std::vector<const mosp::VecOps*> b{&mosp::scalar_ops()};
+    if (mosp::simd_available()) {
+      b.push_back(&mosp::vec_ops(mosp::Kernel::Simd));
+    }
+    return b;
+  }
+
+  // Random non-negative vector of `dims` real entries padded with +0.0
+  // to the lane multiple — exactly the shape MospGraph::pack_padded
+  // hands the kernels.
+  static std::vector<double> padded(Rng& rng, std::size_t dims) {
+    std::vector<double> v(mosp::padded_width(dims), 0.0);
+    for (std::size_t d = 0; d < dims; ++d) v[d] = rng.uniform(0.0, 10.0);
+    return v;
+  }
+};
+
+TEST_P(VecOpsProperty, DominanceIsAPartialOrder) {
+  Rng rng(GetParam());
+  for (const std::size_t dims : {1u, 7u, 8u, 31u}) {
+    const std::size_t width = mosp::padded_width(dims);
+    const std::vector<double> a = padded(rng, dims);
+    // b >= a and c >= b component-wise by construction, so the
+    // transitivity premise actually holds.
+    std::vector<double> b = a;
+    std::vector<double> c;
+    for (std::size_t d = 0; d < dims; ++d) b[d] += rng.uniform(0.0, 2.0);
+    c = b;
+    for (std::size_t d = 0; d < dims; ++d) c[d] += rng.uniform(0.0, 2.0);
+    const std::vector<double> u = padded(rng, dims);
+    for (const mosp::VecOps* ops : backends()) {
+      // Reflexivity.
+      EXPECT_TRUE(ops->dominates(a.data(), a.data(), width)) << ops->name;
+      // Antisymmetry: mutual dominance forces element-wise equality.
+      if (ops->dominates(a.data(), u.data(), width) &&
+          ops->dominates(u.data(), a.data(), width)) {
+        for (std::size_t d = 0; d < width; ++d) EXPECT_EQ(a[d], u[d]);
+      }
+      // Transitivity along the constructed chain.
+      EXPECT_TRUE(ops->dominates(a.data(), b.data(), width)) << ops->name;
+      EXPECT_TRUE(ops->dominates(b.data(), c.data(), width)) << ops->name;
+      EXPECT_TRUE(ops->dominates(a.data(), c.data(), width)) << ops->name;
+    }
+  }
+}
+
+TEST_P(VecOpsProperty, PaddingLanesAreNeutral) {
+  Rng rng(GetParam() ^ 0xabcdULL);
+  for (const std::size_t dims : {1u, 7u, 9u, 31u}) {
+    const std::size_t width = mosp::padded_width(dims);
+    const std::vector<double> a = padded(rng, dims);
+    const std::vector<double> b = padded(rng, dims);
+    // Unpadded scalar reference over the real dimensions only.
+    double ref_max = 0.0;
+    std::vector<double> ref_sum(width, 0.0);
+    for (std::size_t d = 0; d < dims; ++d) {
+      ref_sum[d] = a[d] + b[d];
+      ref_max = ref_max > ref_sum[d] ? ref_max : ref_sum[d];
+    }
+    for (const mosp::VecOps* ops : backends()) {
+      std::vector<double> dst(width, -1.0);
+      EXPECT_EQ(ops->add_max(dst.data(), a.data(), b.data(), width),
+                ref_max)
+          << ops->name;
+      // Real lanes match the reference; padding lanes stay +0.0, so a
+      // chain of adds can never leak values into them.
+      EXPECT_EQ(dst, ref_sum) << ops->name;
+      // Dominance verdicts are decided by the real lanes alone.
+      EXPECT_EQ(ops->dominates(a.data(), b.data(), width),
+                [&] {
+                  for (std::size_t d = 0; d < dims; ++d) {
+                    if (a[d] > b[d]) return false;
+                  }
+                  return true;
+                }())
+          << ops->name;
+    }
+  }
+}
+
+TEST_P(VecOpsProperty, FusedKernelsMatchTheirComposition) {
+  Rng rng(GetParam() ^ 0x5eedULL);
+  for (const std::size_t dims : {7u, 8u, 158u}) {
+    const std::size_t width = mosp::padded_width(dims);
+    const std::vector<double> a = padded(rng, dims);
+    const std::vector<double> b = padded(rng, dims);
+    const std::vector<double> c = padded(rng, dims);
+    std::vector<std::vector<double>> w;
+    std::vector<const double*> wp;
+    for (int o = 0; o < 6; ++o) {  // > 4 options exercises chunking
+      w.push_back(padded(rng, dims));
+      wp.push_back(w.back().data());
+    }
+    for (const mosp::VecOps* ops : backends()) {
+      // add_max_bound == add_max (into scratch) + bound over the sums.
+      std::vector<double> sum(width);
+      const double ref_ab =
+          ops->add_max(sum.data(), a.data(), b.data(), width);
+      double ref_abc = 0.0;
+      for (std::size_t d = 0; d < width; ++d) {
+        const double t = sum[d] + c[d];
+        ref_abc = ref_abc > t ? ref_abc : t;
+      }
+      double mab = -1.0;
+      double mabc = -1.0;
+      ops->add_max_bound(a.data(), b.data(), c.data(), width, &mab, &mabc);
+      EXPECT_EQ(mab, ref_ab) << ops->name;
+      EXPECT_EQ(mabc, ref_abc) << ops->name;
+
+      // extend_sweep == add_max + per-option add_max_bound, for both
+      // stream settings, across backends (the solver relies on this to
+      // fuse the materialize/sweep passes without changing a bit).
+      for (const bool stream : {false, true}) {
+        std::vector<double> dst(width, -1.0);
+        std::vector<double> wmax(wp.size(), -1.0);
+        std::vector<double> bmax(wp.size(), -1.0);
+        ops->extend_sweep(dst.data(), a.data(), b.data(), wp.data(),
+                          wp.size(), c.data(), width, wmax.data(),
+                          bmax.data(), stream);
+        EXPECT_EQ(dst, sum) << ops->name;
+        for (std::size_t o = 0; o < wp.size(); ++o) {
+          double rw = -1.0;
+          double rb = -1.0;
+          ops->add_max_bound(sum.data(), wp[o], c.data(), width, &rw, &rb);
+          EXPECT_EQ(wmax[o], rw) << ops->name << " option " << o;
+          EXPECT_EQ(bmax[o], rb) << ops->name << " option " << o;
+        }
+      }
+    }
+  }
+  // Cross-backend: identical outputs for identical inputs is what the
+  // solver-level differential suite assumes kernel-by-kernel.
+  if (mosp::simd_available()) {
+    const std::size_t width = mosp::padded_width(158);
+    Rng r2(GetParam() ^ 0xf00dULL);
+    const std::vector<double> a = padded(r2, 158);
+    const std::vector<double> b = padded(r2, 158);
+    std::vector<double> d1(width);
+    std::vector<double> d2(width);
+    EXPECT_EQ(mosp::scalar_ops().add_max(d1.data(), a.data(), b.data(),
+                                         width),
+              mosp::vec_ops(mosp::Kernel::Simd)
+                  .add_max(d2.data(), a.data(), b.data(), width));
+    EXPECT_EQ(d1, d2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VecOpsProperty,
+                         ::testing::Values(21, 42, 84, 168, 336));
 
 } // namespace
 } // namespace wm
