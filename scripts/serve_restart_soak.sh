@@ -1,0 +1,238 @@
+#!/usr/bin/env bash
+# Crash-consistency / restart-recovery e2e (docs/serving.md "Crash
+# recovery").
+#
+#   serve_restart_soak.sh <build-tools-dir> <work-dir>
+#
+# Drives a real wavemin_served daemon through the durable-journal
+# contract and asserts on observable outcomes only:
+#
+#   1. a daemon with --journal-sync always, a scheduled self-SIGKILL
+#      (serve.daemon_kill) and a scheduled torn journal append
+#      (serve.journal_torn) is fed a 50-job stream and dies mid-batch;
+#   2. a second daemon on the SAME spool replays the journal (dropping
+#      the torn tail), rehydrates terminal jobs, re-admits live ones,
+#      and sweeps planted orphan spool files;
+#   3. every one of the 50 jobs reaches a terminal state exactly once:
+#      resubmitting all 50 after completion answers every single one
+#      from the result cache without one extra worker launch;
+#   4. a SIGSTOPped (wedged) daemon makes the client time out with
+#      exit 2 instead of hanging (--timeout-ms);
+#   5. a worker wedged mid-solve (serve.worker_hang, hung after its
+#      first checkpoint write) is SIGKILLed by the watchdog
+#      (--hang-timeout-ms) and the retry resumes from the checkpoint;
+#   6. SIGTERM still drains clean: exit 0, no socket, no orphans.
+#
+# Exit 0 when every assertion holds.
+
+set -u
+
+BIN=${1:?usage: serve_restart_soak.sh <build-tools-dir> <work-dir>}
+WORK=${2:?missing work dir}
+
+CLI="$BIN/wavemin_cli"
+SERVED="$BIN/wavemin_served"
+CLIENT="$BIN/wavemin_client"
+SOCK="$WORK/wm.sock"
+SPOOL="$WORK/spool"
+LOG1="$WORK/daemon1.log"
+LOG2="$WORK/daemon2.log"
+DAEMON_PID=""
+HANG_PID=""
+
+fail() {
+  echo "serve_restart_soak: FAIL: $*" >&2
+  for log in "$LOG1" "$LOG2" "$WORK/daemon_h.log"; do
+    [ -f "$log" ] && { echo "--- $log" >&2; tail -20 "$log" >&2; }
+  done
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  [ -n "$HANG_PID" ] && kill -9 "$HANG_PID" 2>/dev/null
+  exit 1
+}
+
+for bin in "$CLI" "$SERVED" "$CLIENT"; do
+  [ -x "$bin" ] || fail "required binary not built: $bin" \
+    "(cmake --build <build> --target wavemin_cli wavemin_served wavemin_client)"
+done
+
+# counter <stats-json> <name> -> value (0 when absent)
+counter() {
+  local v
+  v=$(printf '%s' "$1" | grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$')
+  echo "${v:-0}"
+}
+
+# state <status-frame> -> the job state string (empty when absent)
+state_of() {
+  printf '%s' "$1" | grep -o '"state": "[a-z]*"' | head -1 \
+    | sed 's/.*"state": "\([a-z]*\)".*/\1/'
+}
+
+rm -rf "$WORK"
+mkdir -p "$SPOOL"
+
+"$CLI" gen s13207 -o "$WORK/clean.ctree" >/dev/null || fail "gen"
+
+# --- 1. first daemon: fed 50 jobs, dies by its own scheduled SIGKILL -
+# serve.daemon_kill=12: the daemon SIGKILLs itself right after its 12th
+# worker launch — jobs in every state (terminal, running, queued) are
+# stranded. serve.journal_torn=9: the 9th journal append writes only
+# half its record, so the replay also has a torn tail to drop.
+"$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 64 --workers 4 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
+  --journal-sync always \
+  --fault-spec "serve.daemon_kill=12,serve.journal_torn=9" \
+  --verbose >"$LOG1" 2>&1 &
+DAEMON_PID=$!
+
+"$CLIENT" --socket "$SOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "daemon 1 did not come up"
+
+# Submit r1..r50 until the daemon's self-kill severs the connection;
+# jobs lost in flight (or never submitted) are resubmitted in phase 3.
+submitted=0
+for k in $(seq 1 50); do
+  "$CLIENT" --socket "$SOCK" --connect-wait-ms 1000 --timeout-ms 5000 \
+    submit "$WORK/clean.ctree" --id "r$k" --samples 8 --max-retries 3 \
+    >/dev/null 2>&1 || break
+  submitted=$k
+done
+[ "$submitted" -ge 1 ] || fail "no job was ever submitted to daemon 1"
+
+wait "$DAEMON_PID"
+rc=$?
+[ "$rc" -ge 128 ] \
+  || fail "daemon 1 exited $rc — expected death by its scheduled SIGKILL"
+DAEMON_PID=""
+echo "serve_restart_soak: daemon 1 killed after $submitted submit(s)"
+
+[ -f "$SPOOL/jobs.wmj" ] || fail "no journal written to $SPOOL/jobs.wmj"
+
+# --- 2. restart on the same spool: replay, rehydrate, sweep ----------
+# Orphan droppings a journal-less daemon would have leaked; the journal
+# knows no job "ghost", so boot must sweep both.
+echo '{"valid": true}' > "$SPOOL/ghost.result.json"
+echo 'tree droppings' > "$SPOOL/ghost.ctree"
+
+"$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 64 --workers 4 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
+  --journal-sync always --journal-compact-bytes 2000 \
+  --verbose >"$LOG2" 2>&1 &
+DAEMON_PID=$!
+
+"$CLIENT" --socket "$SOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "daemon 2 did not come up on the reused spool"
+
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats after restart"
+[ "$(counter "$STATS" serve.journal_replayed)" -ge 1 ] \
+  || fail "journal was not replayed: $STATS"
+[ "$(counter "$STATS" serve.journal_truncated)" -ge 1 ] \
+  || fail "the scheduled torn append left no tail to drop: $STATS"
+recovered=$(( $(counter "$STATS" serve.jobs_recovered) \
+            + $(counter "$STATS" serve.jobs_rehydrated) ))
+[ "$recovered" -ge 1 ] || fail "no job survived the restart: $STATS"
+[ "$(counter "$STATS" serve.spool_orphans_removed)" -ge 2 ] \
+  || fail "planted orphan spool files not swept: $STATS"
+[ -e "$SPOOL/ghost.result.json" ] && fail "ghost.result.json survived the sweep"
+[ -e "$SPOOL/ghost.ctree" ] && fail "ghost.ctree survived the sweep"
+
+# --- 3. every job terminal exactly once ------------------------------
+# Jobs whose admit record fell past the torn tail answer not-found;
+# resubmitting them (same id, same design) is the client's retry
+# contract. Everything else must already be live or terminal.
+for k in $(seq 1 50); do
+  if ! "$CLIENT" --socket "$SOCK" status "r$k" >/dev/null 2>&1; then
+    "$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id "r$k" \
+      --samples 8 --max-retries 3 >/dev/null \
+      || fail "resubmit of lost job r$k rejected"
+  fi
+done
+
+deadline=$(( $(date +%s) + 420 ))
+pending=50
+while [ "$pending" -gt 0 ]; do
+  [ "$(date +%s)" -lt "$deadline" ] \
+    || fail "$pending job(s) still not terminal at the deadline"
+  pending=0
+  for k in $(seq 1 50); do
+    FRAME=$("$CLIENT" --socket "$SOCK" status "r$k") \
+      || fail "status r$k failed mid-poll"
+    case "$(state_of "$FRAME")" in
+      queued|running|backoff) pending=$((pending + 1)) ;;
+      done|degraded) ;;
+      *) fail "job r$k landed in state '$(state_of "$FRAME")': $FRAME" ;;
+    esac
+  done
+  [ "$pending" -gt 0 ] && sleep 1
+done
+kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon 2 died during the batch"
+
+# Exactly-once: resubmitting all 50 finished jobs must answer every
+# one from the result cache — zero additional worker launches.
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats before resubmit"
+launched_before=$(counter "$STATS" serve.launched)
+hits_before=$(counter "$STATS" serve.result_cache_hits)
+for k in $(seq 1 50); do
+  "$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id "r$k" \
+    --samples 8 --max-retries 3 >/dev/null \
+    || fail "duplicate submit r$k was not answered from the cache"
+done
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats after resubmit"
+launched_after=$(counter "$STATS" serve.launched)
+hits=$(( $(counter "$STATS" serve.result_cache_hits) - hits_before ))
+[ "$launched_after" = "$launched_before" ] \
+  || fail "resubmits re-executed: launches $launched_before -> $launched_after"
+[ "$hits" -ge 50 ] || fail "only $hits/50 resubmits hit the result cache"
+
+# --- 4. a wedged daemon times the client out, never hangs it ---------
+kill -STOP "$DAEMON_PID"
+"$CLIENT" --socket "$SOCK" --timeout-ms 800 status r1 >/dev/null 2>&1
+rc=$?
+kill -CONT "$DAEMON_PID"
+[ "$rc" = "2" ] \
+  || fail "client against a SIGSTOPped daemon exited $rc, want 2 (timeout)"
+
+# --- 5. hung-worker supervision --------------------------------------
+# A fresh daemon schedules its first worker launch as the hang victim:
+# the child wedges right after its first checkpoint write hits disk.
+# The watchdog (--hang-timeout-ms + grace) SIGKILLs it; the retry must
+# resume the checkpointed zones, not redo them.
+HSOCK="$WORK/wm_h.sock"
+HSPOOL="$WORK/spool_h"
+mkdir -p "$HSPOOL"
+"$SERVED" --socket "$HSOCK" --spool "$HSPOOL" --workers 1 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
+  --hang-timeout-ms 8000 --hang-grace-ms 500 \
+  --fault-spec "serve.worker_hang=1" \
+  --verbose >"$WORK/daemon_h.log" 2>&1 &
+HANG_PID=$!
+
+"$CLIENT" --socket "$HSOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "hang daemon did not come up"
+FRAME=$("$CLIENT" --socket "$HSOCK" --timeout-ms 120000 \
+  submit "$WORK/clean.ctree" --id h1 --samples 8 --max-retries 3 --wait) \
+  || fail "hung-then-retried job did not finish acceptably: $FRAME"
+case "$(state_of "$FRAME")" in
+  done|degraded) ;;
+  *) fail "hung-then-retried job state '$(state_of "$FRAME")': $FRAME" ;;
+esac
+
+STATS=$("$CLIENT" --socket "$HSOCK" stats) || fail "hang daemon stats"
+[ "$(counter "$STATS" serve.hung_killed)" -ge 1 ] \
+  || fail "watchdog never fired (serve.hung_killed = 0): $STATS"
+[ "$(counter "$STATS" serve.resumed_zones)" -ge 1 ] \
+  || fail "retry after the watchdog kill did not resume: $STATS"
+
+# --- 6. both daemons still drain clean -------------------------------
+for pid in "$DAEMON_PID" "$HANG_PID"; do
+  kill -TERM "$pid"
+  wait "$pid"
+  rc=$?
+  [ "$rc" = "0" ] || fail "daemon $pid exited $rc after SIGTERM"
+done
+DAEMON_PID=""
+HANG_PID=""
+[ -S "$SOCK" ] && fail "socket file leaked after drain"
+[ -S "$HSOCK" ] && fail "hang daemon socket leaked after drain"
+
+echo "serve_restart_soak: PASS"

@@ -345,6 +345,46 @@ void save(const std::string& path, const Checkpoint& c) {
     throw Error("cannot rename " + tmp + " -> " + path);
   }
   fault::inject("ck.kill_after_write");
+  // The wedge twin of kill_after_write: the checkpoint is durable but
+  // the worker never makes progress again — exactly what the serving
+  // daemon's hung-worker watchdog exists to SIGKILL (docs/serving.md).
+  fault::inject("ck.hang_after_write");
+}
+
+std::size_t sweep_orphans(const std::string& dir,
+                          const std::vector<std::string>& suffixes,
+                          const std::vector<std::string>& keep_stems) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const auto& entry : it) {
+    const std::string name = entry.path().filename().string();
+    for (const std::string& suffix : suffixes) {
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0) {
+        continue;
+      }
+      const std::string stem = name.substr(0, name.size() - suffix.size());
+      bool keep = false;
+      for (const std::string& live : keep_stems) {
+        if (stem == live) {
+          keep = true;
+          break;
+        }
+      }
+      if (!keep && std::remove(entry.path().string().c_str()) == 0) {
+        ++removed;
+      }
+      break;  // a name matches at most one suffix
+    }
+  }
+  if (removed > 0) {
+    WM_LOG(Info) << "ck: removed " << removed
+                 << " orphaned spool file(s) from " << dir;
+  }
+  return removed;
 }
 
 Checkpoint load(const std::string& path,

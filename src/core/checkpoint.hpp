@@ -86,6 +86,17 @@ void save(const std::string& path, const Checkpoint& c);
 /// spool on boot).
 std::size_t clean_stale_tmps(const std::string& dir);
 
+/// Remove every file under `dir` (non-recursive) whose name is
+/// `<stem><suffix>` for some suffix in `suffixes` and whose stem is
+/// *not* in `keep_stems` — the serving daemon's boot-time sweep of
+/// result/output files orphaned by jobs the journal does not know
+/// (docs/serving.md "Crash recovery"). Returns the number removed;
+/// the caller owns any counter. A missing/unreadable directory is
+/// not an error (returns 0).
+std::size_t sweep_orphans(const std::string& dir,
+                          const std::vector<std::string>& suffixes,
+                          const std::vector<std::string>& keep_stems);
+
 /// Load + verify; additionally rejects a fingerprint mismatch against
 /// `expect_options_hash` ("stale checkpoint") with both hashes named.
 Checkpoint load(const std::string& path,

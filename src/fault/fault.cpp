@@ -1,11 +1,13 @@
 #include "fault/fault.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <new>
+#include <thread>
 
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -46,6 +48,18 @@ const std::vector<Site>& site_catalog() {
       {"serve.worker_kill", "serve", Action::Kill, "SIGKILL"},
       {"serve.queue_full", "serve", Action::Error, "overloaded"},
       {"serve.socket_torn", "serve", Action::Error, "drop"},
+      // Crash-consistency chaos (docs/serving.md "Crash recovery").
+      // worker_hang mirrors worker_kill with a wedge instead of a
+      // death: the scheduled victim sleeps forever after its first
+      // checkpoint write (ck.hang_after_write) until the daemon's
+      // watchdog SIGKILLs it. journal_torn makes the next journal
+      // append write only half its record (a simulated torn tail);
+      // daemon_kill SIGKILLs the daemon itself right after a worker
+      // launch, which is what the restart soak recovers from.
+      {"serve.worker_hang", "serve", Action::Hang, "watchdog SIGKILL"},
+      {"ck.hang_after_write", "ck", Action::Hang, "watchdog SIGKILL"},
+      {"serve.journal_torn", "serve", Action::Error, "torn tail dropped"},
+      {"serve.daemon_kill", "serve", Action::Kill, "SIGKILL"},
   };
   return catalog;
 }
@@ -135,6 +149,13 @@ void on_hit(const char* site) NO_THREAD_SAFETY_ANALYSIS {
       case Action::Kill:
         std::raise(SIGKILL);
         return;  // unreachable (but keeps the compiler honest)
+      case Action::Hang:
+        // A worker that wedges without tripping its own RunBudget —
+        // the case the serve watchdog exists for. Sleep, don't spin:
+        // a busy loop would eat the soak machine's cores.
+        for (;;) {
+          std::this_thread::sleep_for(std::chrono::seconds(3600));
+        }
     }
   }
 }

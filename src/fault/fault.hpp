@@ -39,6 +39,7 @@ enum class Action {
   Error,     ///< throw wm::Error("fault injected: <site>")
   BadAlloc,  ///< throw std::bad_alloc (simulated allocation failure)
   Kill,      ///< raise(SIGKILL) — crash-safety e2e only, never swept
+  Hang,      ///< sleep forever — hung-worker watchdog e2e only, never swept
 };
 
 struct Site {

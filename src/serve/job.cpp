@@ -24,6 +24,21 @@ const char* to_string(JobState state) {
   return "?";
 }
 
+bool parse_job_state(const std::string& name, JobState* out) {
+  static constexpr JobState kAll[] = {
+      JobState::Queued,     JobState::Running,     JobState::Backoff,
+      JobState::Done,       JobState::Degraded,    JobState::Infeasible,
+      JobState::Failed,     JobState::Quarantined, JobState::Drained,
+  };
+  for (const JobState s : kAll) {
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 bool is_terminal(JobState state) {
   switch (state) {
     case JobState::Queued:

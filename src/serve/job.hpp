@@ -33,6 +33,9 @@ enum class JobState {
 };
 
 const char* to_string(JobState state);
+/// Inverse of to_string; false (out untouched) on an unknown name.
+/// Journal replay uses this, so it must not throw on corrupt input.
+bool parse_job_state(const std::string& name, JobState* out);
 bool is_terminal(JobState state);
 /// Terminal states the chaos acceptance gate tolerates: Done, Degraded
 /// and (breaker) Quarantined — plus Infeasible, which is data.
@@ -103,6 +106,8 @@ struct Job {
   int attempts = 0;             ///< attempts launched so far
   double submitted_ms = 0.0;    ///< against the server's steady clock
   double next_attempt_ms = 0.0; ///< Backoff: earliest relaunch time
+  double watchdog_ms = 0.0;     ///< Running: SIGKILL the child past this
+                                ///< steady-clock instant (0 = no watchdog)
   long pid = -1;                ///< Running: worker child pid
   std::string checkpoint;       ///< spool .wmck path (shared by retries)
   std::string result_path;      ///< spool result-file path

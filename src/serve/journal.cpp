@@ -1,0 +1,433 @@
+#include "serve/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+// The CRC trailer: " crc " + 8 lowercase hex digits, always the line's
+// final 13 bytes. Searching for the *last* marker keeps record bodies
+// free to contain the marker text inside JSON strings.
+constexpr const char kCrcMarker[] = " crc ";
+constexpr std::size_t kCrcMarkerLen = 5;
+constexpr std::size_t kCrcHexLen = 8;
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[kCrcHexLen + 1];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return std::string(buf, kCrcHexLen);
+}
+
+bool parse_crc_hex(const std::string& hex, std::uint32_t* out) {
+  if (hex.size() != kCrcHexLen) return false;
+  std::uint32_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint32_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+const char* type_tag(JournalRecord::Type type) {
+  switch (type) {
+    case JournalRecord::Type::Version: return "v";
+    case JournalRecord::Type::Admit: return "admit";
+    case JournalRecord::Type::Launch: return "launch";
+    case JournalRecord::Type::Exit: return "exit";
+    case JournalRecord::Type::Term: return "term";
+    case JournalRecord::Type::Snapshot: return "job";
+  }
+  return "?";
+}
+
+JournalRecord decode_body(const json::Value& root) {
+  JournalRecord rec;
+  const std::string tag = root.get_string("t", "journal record");
+  if (tag == "v") {
+    rec.type = JournalRecord::Type::Version;
+    WM_REQUIRE(root.get_string("v", "journal version") == kJournalVersion,
+               "journal: unknown format version");
+    return rec;
+  }
+  rec.id = root.get_string("id", "journal record");
+  WM_REQUIRE(!rec.id.empty(), "journal: empty job id");
+  if (tag == "admit" || tag == "job") {
+    rec.type = tag == "admit" ? JournalRecord::Type::Admit
+                              : JournalRecord::Type::Snapshot;
+    rec.fp = root.get_u64_or("fp", 0);
+    const json::Value* spec = root.find("spec");
+    WM_REQUIRE(spec != nullptr && spec->is_object(),
+               "journal: record lacks a spec object");
+    rec.spec = parse_job_spec(*spec);
+    if (tag == "job") {
+      rec.attempt =
+          static_cast<int>(root.get_number("attempts", "journal snapshot"));
+      WM_REQUIRE(parse_job_state(root.get_string("state", "journal snapshot"),
+                                 &rec.state),
+                 "journal: unknown job state");
+      rec.error = root.get_string_or("error", "");
+    }
+  } else if (tag == "launch" || tag == "exit") {
+    rec.type = tag == "launch" ? JournalRecord::Type::Launch
+                               : JournalRecord::Type::Exit;
+    rec.attempt =
+        static_cast<int>(root.get_number("attempt", "journal record"));
+    WM_REQUIRE(rec.attempt >= 1, "journal: attempt must be >= 1");
+  } else if (tag == "term") {
+    rec.type = JournalRecord::Type::Term;
+    WM_REQUIRE(parse_job_state(root.get_string("state", "journal term"),
+                               &rec.state),
+               "journal: unknown job state");
+    WM_REQUIRE(is_terminal(rec.state), "journal: term with live state");
+    rec.error = root.get_string_or("error", "");
+  } else {
+    throw Error("journal: unknown record type \"" + tag + "\"");
+  }
+  return rec;
+}
+
+} // namespace
+
+std::string encode_record(const JournalRecord& rec) {
+  json::Value v = json::Value::object_v();
+  v.set("t", json::Value::string_v(type_tag(rec.type)));
+  switch (rec.type) {
+    case JournalRecord::Type::Version:
+      v.set("v", json::Value::string_v(std::string(kJournalVersion)));
+      break;
+    case JournalRecord::Type::Admit:
+      v.set("id", json::Value::string_v(rec.id));
+      v.set("fp", json::Value::number_v(rec.fp));
+      v.set("spec", job_spec_to_json(rec.spec));
+      break;
+    case JournalRecord::Type::Launch:
+    case JournalRecord::Type::Exit:
+      v.set("id", json::Value::string_v(rec.id));
+      v.set("attempt", json::Value::number_v(rec.attempt));
+      break;
+    case JournalRecord::Type::Term:
+      v.set("id", json::Value::string_v(rec.id));
+      v.set("state", json::Value::string_v(to_string(rec.state)));
+      if (!rec.error.empty()) {
+        v.set("error", json::Value::string_v(rec.error));
+      }
+      break;
+    case JournalRecord::Type::Snapshot:
+      v.set("id", json::Value::string_v(rec.id));
+      v.set("fp", json::Value::number_v(rec.fp));
+      v.set("state", json::Value::string_v(to_string(rec.state)));
+      v.set("attempts", json::Value::number_v(rec.attempt));
+      if (!rec.error.empty()) {
+        v.set("error", json::Value::string_v(rec.error));
+      }
+      v.set("spec", job_spec_to_json(rec.spec));
+      break;
+  }
+  const std::string body = json::dump(v);
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  return body + kCrcMarker + crc_hex(crc);
+}
+
+bool decode_record(const std::string& line, JournalRecord* out) {
+  const std::size_t tail = kCrcMarkerLen + kCrcHexLen;
+  if (line.size() < tail + 2) return false;  // "{}" is the minimal body
+  const std::size_t marker = line.rfind(kCrcMarker);
+  if (marker == std::string::npos ||
+      marker != line.size() - tail) {
+    return false;
+  }
+  std::uint32_t want = 0;
+  if (!parse_crc_hex(line.substr(marker + kCrcMarkerLen), &want)) {
+    return false;
+  }
+  if (crc32(line.data(), marker) != want) return false;
+  try {
+    const json::Value root = json::parse(
+        std::string_view(line.data(), marker));
+    if (!root.is_object()) return false;
+    *out = decode_body(root);
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<JournalRecord> replay_journal(const std::string& path,
+                                          ReplayStats* stats) {
+  *stats = ReplayStats{};
+  std::vector<JournalRecord> records;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return records;  // no journal yet: an empty one
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty()) return records;
+
+  std::size_t begin = 0;
+  bool good = true;
+  while (begin < text.size()) {
+    std::size_t end = text.find('\n', begin);
+    const bool newline_terminated = end != std::string::npos;
+    if (!newline_terminated) end = text.size();
+    const std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    if (good) {
+      JournalRecord rec;
+      good = decode_record(line, &rec) && newline_terminated;
+      // The whole file is only trusted when it opens with the version
+      // record — anything else is a foreign or pre-v1 file.
+      if (good && records.empty() &&
+          rec.type != JournalRecord::Type::Version) {
+        good = false;
+      }
+      if (good) {
+        ++stats->applied;
+        records.push_back(std::move(rec));
+        continue;
+      }
+      // A complete record missing its newline is itself suspect (the
+      // crash landed mid-append); drop it so replay never trusts a
+      // line an append could still be concatenated onto.
+      stats->torn = true;
+    }
+    ++stats->dropped;
+  }
+  return records;
+}
+
+std::vector<std::pair<std::string, RecoveredJob>> fold_journal(
+    const std::vector<JournalRecord>& records) {
+  std::vector<std::pair<std::string, RecoveredJob>> table;
+  auto lookup = [&table](const std::string& id) -> RecoveredJob* {
+    for (auto& [key, job] : table) {
+      if (key == id) return &job;
+    }
+    return nullptr;
+  };
+  for (const JournalRecord& rec : records) {
+    switch (rec.type) {
+      case JournalRecord::Type::Version:
+        break;
+      case JournalRecord::Type::Admit: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) {
+          table.emplace_back(rec.id, RecoveredJob{});
+          job = &table.back().second;
+        }
+        // Re-admission (a failed terminal job resubmitted) resets the
+        // whole entry, exactly like Server::handle_submit does live.
+        *job = RecoveredJob{};
+        job->spec = rec.spec;
+        job->fp = rec.fp;
+        break;
+      }
+      case JournalRecord::Type::Launch: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) break;  // admit lost to a torn tail
+        if (rec.attempt > job->attempts) job->attempts = rec.attempt;
+        job->mid_attempt = true;
+        job->terminal = false;
+        job->state = JobState::Running;
+        break;
+      }
+      case JournalRecord::Type::Exit: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) break;
+        job->mid_attempt = false;
+        job->state = JobState::Backoff;
+        break;
+      }
+      case JournalRecord::Type::Term: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) break;
+        job->mid_attempt = false;
+        job->terminal = true;
+        job->state = rec.state;
+        job->error = rec.error;
+        break;
+      }
+      case JournalRecord::Type::Snapshot: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) {
+          table.emplace_back(rec.id, RecoveredJob{});
+          job = &table.back().second;
+        }
+        *job = RecoveredJob{};
+        job->spec = rec.spec;
+        job->fp = rec.fp;
+        job->attempts = rec.attempt;
+        job->state = rec.state;
+        job->error = rec.error;
+        job->terminal = is_terminal(rec.state);
+        job->mid_attempt = rec.state == JobState::Running;
+        break;
+      }
+    }
+  }
+  return table;
+}
+
+bool parse_sync_policy(const std::string& name, SyncPolicy* out) {
+  if (name == "always") {
+    *out = SyncPolicy::Always;
+  } else if (name == "batch") {
+    *out = SyncPolicy::Batch;
+  } else if (name == "off") {
+    *out = SyncPolicy::Off;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* to_string(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::Always: return "always";
+    case SyncPolicy::Batch: return "batch";
+    case SyncPolicy::Off: return "off";
+  }
+  return "?";
+}
+
+namespace {
+
+// EINTR-safe full write; false on error or when the fd runs dry
+// mid-record (ENOSPC reports as a short write before it reports as an
+// errno on many filesystems — both are journal loss).
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+} // namespace
+
+bool Journal::open(const std::string& path, SyncPolicy sync,
+                   obs::MetricsRegistry* metrics) {
+  close();
+  path_ = path;
+  sync_ = sync;
+  metrics_ = metrics;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) return false;
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) {
+    close();
+    return false;
+  }
+  bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (bytes_ == 0) {
+    JournalRecord version;
+    version.type = JournalRecord::Type::Version;
+    if (!append(version)) {
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Journal::append(const JournalRecord& rec) {
+  if (fd_ < 0) return false;
+  std::string line = encode_record(rec);
+  line += '\n';
+  std::size_t n = line.size();
+  try {
+    fault::inject("serve.journal_torn");
+  } catch (const Error&) {
+    // Simulate the crash-mid-append the replay path must drop: half a
+    // record lands on disk and "succeeds". The next restart's replay
+    // detects it by CRC (serve.journal_truncated).
+    n = n / 2;
+    obs::add(metrics_, "serve.journal_torn_writes");
+  }
+  if (!write_all(fd_, line.data(), n)) return false;
+  bytes_ += n;
+  obs::add(metrics_, "serve.journal_appended");
+  if (sync_ == SyncPolicy::Always) {
+    if (::fsync(fd_) != 0) return false;
+  } else if (sync_ == SyncPolicy::Batch) {
+    dirty_ = true;
+  }
+  return true;
+}
+
+bool Journal::flush() {
+  if (fd_ < 0 || !dirty_) return true;
+  dirty_ = false;
+  return ::fsync(fd_) == 0;
+}
+
+bool Journal::rewrite(const std::vector<JournalRecord>& records) {
+  if (path_.empty()) return false;
+  std::string text;
+  JournalRecord version;
+  version.type = JournalRecord::Type::Version;
+  text += encode_record(version);
+  text += '\n';
+  for (const JournalRecord& rec : records) {
+    text += encode_record(rec);
+    text += '\n';
+  }
+  // Same tmp-plus-rename discipline as ck::save: the old journal stays
+  // whole until the new one is fully on disk.
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return false;
+  const bool wrote = write_all(fd, text.data(), text.size()) &&
+                     ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (fd_ >= 0) ::close(fd_);
+  dirty_ = false;
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) return false;
+  bytes_ = static_cast<std::uint64_t>(text.size());
+  obs::add(metrics_, "serve.journal_compactions");
+  return true;
+}
+
+void Journal::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dirty_ = false;
+}
+
+} // namespace wm::serve

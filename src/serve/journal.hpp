@@ -1,0 +1,152 @@
+#pragma once
+// wavemin.journal/v1 — the serving layer's durable job journal
+// (docs/serving.md "Crash recovery").
+//
+// An append-only write-ahead log in the spool directory recording
+// every job lifecycle transition, so a daemon crash loses no job
+// metadata: the spool checkpoints were already the durable *work*
+// state, the journal makes the job *table* durable too. One record
+// per line:
+//
+//   {"t":"admit","id":"j1","fp":123,"spec":{...}} crc 5f3a9c01
+//
+// The body is one wavemin.jobs/v1-style JSON object; the trailer is
+// the CRC-32 (IEEE) of the body bytes. Replay stops at the first line
+// that fails the CRC or does not parse — a torn tail from a crash
+// mid-append is dropped at the last valid record, never an error.
+// Record types: "v" (format version, always the first record),
+// "admit" (job accepted, with full spec + breaker fingerprint),
+// "launch" / "exit" (attempt lifecycle), "term" (terminal state) and
+// "job" (a whole-job snapshot, written by compaction).
+//
+// Durability is a policy knob (--journal-sync): Always fsyncs every
+// append, Batch fsyncs once per event-loop iteration before the
+// daemon blocks in poll(), Off leaves it to the page cache. Any write
+// or fsync failure (ENOSPC, quota, a yanked disk) is reported to the
+// caller, who degrades to journal-less in-memory serving rather than
+// aborting — see Server::journal_append.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/protocol.hpp"
+
+namespace wm::obs {
+class MetricsRegistry;
+}
+
+namespace wm::serve {
+
+inline constexpr std::string_view kJournalVersion = "wavemin.journal/v1";
+
+/// One journal record. Which fields are meaningful depends on `type`
+/// (see the format comment above); the rest stay at their defaults.
+struct JournalRecord {
+  enum class Type { Version, Admit, Launch, Exit, Term, Snapshot };
+  Type type = Type::Version;
+  std::string id;
+  std::uint64_t fp = 0;    ///< Admit/Snapshot: breaker fingerprint
+  JobSpec spec;            ///< Admit/Snapshot
+  int attempt = 0;         ///< Launch/Exit: attempt number (1-based);
+                           ///< Snapshot: attempts launched so far
+  JobState state = JobState::Queued;  ///< Term/Snapshot
+  std::string error;       ///< Term/Snapshot: terminal failure text
+};
+
+/// Record -> one journal line (CRC trailer included, no newline).
+std::string encode_record(const JournalRecord& rec);
+
+/// Line -> record. False on a CRC mismatch, malformed JSON, an unknown
+/// type or a missing field — never throws (replay feeds it torn tails).
+bool decode_record(const std::string& line, JournalRecord* out);
+
+struct ReplayStats {
+  std::size_t applied = 0;  ///< records decoded and returned
+  std::size_t dropped = 0;  ///< trailing lines dropped (torn/corrupt)
+  /// True when the file needs compaction before it is safe to append:
+  /// a torn tail was dropped, or the last record lacks its newline.
+  bool torn = false;
+};
+
+/// Read and decode a journal file. A missing file is an empty journal;
+/// a file whose first record is not the expected version record is
+/// treated as wholly corrupt (everything dropped). Never throws.
+std::vector<JournalRecord> replay_journal(const std::string& path,
+                                          ReplayStats* stats);
+
+/// What recovery knows about one job after folding the journal.
+struct RecoveredJob {
+  JobSpec spec;
+  std::uint64_t fp = 0;
+  int attempts = 0;         ///< attempts launched before the crash
+  bool mid_attempt = false; ///< a launch had no matching exit/term
+  bool terminal = false;
+  JobState state = JobState::Queued;
+  std::string error;
+};
+
+/// Fold replayed records into the per-job recovery table, in
+/// first-admit order (so recovered jobs re-enter admission in their
+/// original order). Launch/exit/term records whose admit record was
+/// lost to a torn tail are ignored — without the spec there is
+/// nothing to recover. The table is prefix-consistent: folding the
+/// first N records of a journal always yields the table the daemon
+/// had after applying those N transitions (tests/serve_test.cpp
+/// truncation fuzz).
+std::vector<std::pair<std::string, RecoveredJob>> fold_journal(
+    const std::vector<JournalRecord>& records);
+
+/// --journal-sync policy (see the durability note above).
+enum class SyncPolicy { Always, Batch, Off };
+bool parse_sync_policy(const std::string& name, SyncPolicy* out);
+const char* to_string(SyncPolicy policy);
+
+/// The append handle. Plain POSIX fd, O_APPEND; not thread-safe — the
+/// daemon's event loop is the only writer (ThreadRole loop_role_).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal() { close(); }
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Open (creating if absent) for append; writes the version record
+  /// into an empty file. `metrics` (nullable) receives the journal's
+  /// own counters. False on open/write failure.
+  bool open(const std::string& path, SyncPolicy sync,
+            obs::MetricsRegistry* metrics);
+
+  /// Append one record (plus newline) in a single write(2). False on
+  /// a short write, write error or (policy Always) fsync failure —
+  /// the caller must treat the journal as gone. The serve.journal_torn
+  /// fault site deliberately writes only half the record and reports
+  /// success, simulating the crash-mid-append the replay path drops.
+  bool append(const JournalRecord& rec);
+
+  /// Policy Batch: fsync if anything was appended since the last
+  /// flush. Called once per event-loop iteration, before poll().
+  bool flush();
+
+  /// Snapshot-plus-truncate compaction: atomically replace the file
+  /// with a version record plus `records`, then reopen for append.
+  /// On failure the old journal (and fd) are left intact.
+  bool rewrite(const std::vector<JournalRecord>& records);
+
+  void close();
+  bool is_open() const { return fd_ >= 0; }
+  std::uint64_t bytes() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  SyncPolicy sync_ = SyncPolicy::Batch;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  bool dirty_ = false;
+};
+
+} // namespace wm::serve

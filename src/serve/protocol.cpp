@@ -6,7 +6,16 @@ namespace wm::serve {
 
 namespace {
 
-JobSpec parse_job(const json::Value& root) {
+json::Value request_header(const char* op) {
+  json::Value v = json::Value::object_v();
+  v.set("v", json::Value::string_v(std::string(kProtocolVersion)));
+  v.set("op", json::Value::string_v(op));
+  return v;
+}
+
+} // namespace
+
+JobSpec parse_job_spec(const json::Value& root) {
   JobSpec job;
   job.id = root.get_string_or("id", "");
   job.tree = root.get_string("tree", "submit");
@@ -32,7 +41,7 @@ JobSpec parse_job(const json::Value& root) {
   return job;
 }
 
-json::Value job_to_json(const JobSpec& job) {
+json::Value job_spec_to_json(const JobSpec& job) {
   json::Value v = json::Value::object_v();
   if (!job.id.empty()) v.set("id", json::Value::string_v(job.id));
   v.set("tree", json::Value::string_v(job.tree));
@@ -51,15 +60,6 @@ json::Value job_to_json(const JobSpec& job) {
   return v;
 }
 
-json::Value request_header(const char* op) {
-  json::Value v = json::Value::object_v();
-  v.set("v", json::Value::string_v(std::string(kProtocolVersion)));
-  v.set("op", json::Value::string_v(op));
-  return v;
-}
-
-} // namespace
-
 Request parse_request(const std::string& line) {
   const json::Value root = json::parse(line);
   WM_REQUIRE(root.is_object(), "request must be a json object");
@@ -74,7 +74,7 @@ Request parse_request(const std::string& line) {
     req.op = Request::Op::Submit;
     // Job fields live at the top level of the frame, not nested: one
     // line stays human-writable ({"op":"submit","tree":"x.ctree"}).
-    req.job = parse_job(root);
+    req.job = parse_job_spec(root);
     req.wait = root.get_bool_or("wait", false);
   } else if (op == "status") {
     req.op = Request::Op::Status;
@@ -93,7 +93,7 @@ Request parse_request(const std::string& line) {
 
 std::string dump_submit(const JobSpec& job, bool wait) {
   json::Value v = request_header("submit");
-  for (auto& [key, field] : job_to_json(job).object) {
+  for (auto& [key, field] : job_spec_to_json(job).object) {
     v.set(key, std::move(field));
   }
   if (wait) v.set("wait", json::Value::boolean_v(true));

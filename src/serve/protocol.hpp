@@ -59,6 +59,13 @@ struct Request {
 /// protocol-version mismatch, an unknown op or a missing field.
 Request parse_request(const std::string& line);
 
+/// JobSpec <-> JSON, the same field layout submit frames use. Shared
+/// with the job journal (src/serve/journal.hpp), whose admit/snapshot
+/// records embed the spec so recovery can relaunch a job without the
+/// client. parse_job_spec throws wm::Error on a missing/invalid field.
+JobSpec parse_job_spec(const json::Value& root);
+json::Value job_spec_to_json(const JobSpec& job);
+
 /// Serialize a submit request (the client side of parse_request).
 std::string dump_submit(const JobSpec& job, bool wait);
 std::string dump_simple(const char* op);          ///< health/stats/drain

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <filesystem>
@@ -27,6 +28,7 @@
 #include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
 #include "serve/worker.hpp"
 #include "util/error.hpp"
@@ -102,6 +104,10 @@ class Server {
     return opt_.spool_dir + "/" + id + suffix;
   }
 
+  std::string journal_path() const {
+    return opt_.spool_dir + "/jobs.wmj";
+  }
+
   std::size_t pending_count() const REQUIRES(loop_role_) {
     return queue_.size() + backoff_.size();
   }
@@ -131,10 +137,19 @@ class Server {
 
   void requeue_due() REQUIRES(loop_role_);
   void launch_ready() REQUIRES(loop_role_);
+  void check_watchdogs() REQUIRES(loop_role_);
   void reap_children() REQUIRES(loop_role_);
   void finish(Job& job, JobState state, std::string error)
       REQUIRES(loop_role_);
   void notify_waiters(Job& job) REQUIRES(loop_role_);
+
+  // -- durable job journal (serve/journal.hpp) ------------------------
+  void recover_spool() REQUIRES(loop_role_);
+  void journal_append(const JournalRecord& rec) REQUIRES(loop_role_);
+  void degrade_journal(const char* what) REQUIRES(loop_role_);
+  std::vector<JournalRecord> snapshot_records() const
+      REQUIRES(loop_role_);
+  void compact_journal_if_needed() REQUIRES(loop_role_);
 
   void begin_drain(const char* reason) REQUIRES(loop_role_);
   void kill_stragglers() REQUIRES(loop_role_);
@@ -159,6 +174,14 @@ class Server {
   int wake_r_ GUARDED_BY(loop_role_) = -1;
   int wake_w_ GUARDED_BY(loop_role_) = -1;
   bool socket_bound_ GUARDED_BY(loop_role_) = false;
+
+  // The WAL of job state. journal_enabled_ drops to false on the
+  // first write/fsync failure (ENOSPC and friends): the daemon then
+  // serves journal-less from memory — degraded, loudly logged, never
+  // aborted (serve.spool_write_failed).
+  Journal journal_ GUARDED_BY(loop_role_);
+  bool journal_enabled_ GUARDED_BY(loop_role_) = false;
+  SyncPolicy journal_sync_ GUARDED_BY(loop_role_) = SyncPolicy::Batch;
 
   std::map<std::string, Job> jobs_ GUARDED_BY(loop_role_);
   std::deque<std::string> queue_
@@ -195,6 +218,14 @@ int Server::setup() {
       return 1;
     }
   }
+
+  if (!parse_sync_policy(opt_.journal_sync, &journal_sync_)) {
+    std::fprintf(stderr,
+                 "serve: bad --journal-sync \"%s\" (want always|batch|off)\n",
+                 opt_.journal_sync.c_str());
+    return 1;
+  }
+  recover_spool();
 
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -253,6 +284,8 @@ int Server::setup() {
 }
 
 void Server::teardown() {
+  if (journal_enabled_) journal_.flush();
+  journal_.close();
   g_wake_fd.store(-1, std::memory_order_relaxed);
   for (auto& [fd, conn] : conns_) ::close(fd);
   conns_.clear();
@@ -271,6 +304,14 @@ int Server::next_timeout_ms() const {
     if (it == jobs_.end()) continue;
     const double t = it->second.next_attempt_ms;
     if (next < 0.0 || t < next) next = t;
+  }
+  // The watchdog must fire even when no client talks to us: a wedged
+  // child generates no SIGCHLD and no socket traffic.
+  for (const auto& [pid, id] : running_) {
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) continue;
+    const double t = it->second.watchdog_ms;
+    if (t > 0.0 && (next < 0.0 || t < next)) next = t;
   }
   if (draining_ && !running_.empty() && !killed_stragglers_) {
     if (next < 0.0 || drain_deadline_ms_ < next) {
@@ -294,6 +335,8 @@ int Server::run() {
   while (true) {
     requeue_due();
     launch_ready();
+    check_watchdogs();
+    compact_journal_if_needed();
     if (draining_ && !killed_stragglers_ && !running_.empty() &&
         now_ms() >= drain_deadline_ms_) {
       kill_stragglers();
@@ -321,6 +364,12 @@ void Server::loop_once() {
     if (!conn.out.empty() || conn.torn) events |= POLLOUT;
     fds.push_back({fd, events, 0});
     conn_fds.push_back(fd);
+  }
+
+  // Batch sync policy: one fsync covers every transition this
+  // iteration appended, paid once before the loop blocks.
+  if (journal_enabled_ && !journal_.flush()) {
+    degrade_journal("journal fsync failed");
   }
 
   const int rc = ::poll(fds.data(), fds.size(), next_timeout_ms());
@@ -484,9 +533,30 @@ std::string Server::handle_submit(int fd, Request& req) {
   }
   JobSpec spec = req.job;
   if (spec.id.empty()) spec.id = "j" + std::to_string(++job_seq_);
-  if (jobs_.count(spec.id) != 0) {
-    return error_frame("duplicate-id",
-                       "job \"" + spec.id + "\" already exists");
+  const auto dup = jobs_.find(spec.id);
+  if (dup != jobs_.end()) {
+    Job& old = dup->second;
+    if (!is_terminal(old.state)) {
+      return error_frame("duplicate-id",
+                         "job \"" + spec.id + "\" already exists");
+    }
+    if (design_fingerprint(spec) != old.design_fp) {
+      return error_frame("duplicate-id",
+                         "job \"" + spec.id +
+                             "\" already ran a different design");
+    }
+    // Same id, same design, already answered: serve the cached result
+    // (possibly rehydrated from the journal after a restart) instead of
+    // re-executing — the exactly-once half of crash consistency.
+    if (old.state == JobState::Done || old.state == JobState::Degraded ||
+        old.state == JobState::Infeasible) {
+      registry_.add("serve.result_cache_hits");
+      return status_frame(old);
+    }
+    // Failed/Quarantined/Drained: an explicit resubmit re-admits the
+    // job with a fresh retry budget; a surviving spool checkpoint makes
+    // the new attempt a resume, not a redo.
+    jobs_.erase(dup);
   }
   // Load shedding: a full queue (or an injected serve.queue_full) turns
   // the submit away with a structured error instead of buffering
@@ -526,6 +596,12 @@ std::string Server::handle_submit(int fd, Request& req) {
   if (req.wait) job.waiters.push_back(fd);
   Job& stored = jobs_.emplace(id, std::move(job)).first->second;
   queue_.push_back(id);
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::Admit;
+  admit.id = id;
+  admit.fp = stored.design_fp;
+  admit.spec = stored.spec;
+  journal_append(admit);
   registry_.add("serve.submitted");
   touch_gauges();
   WM_LOG(Info) << "serve: job " << id << " queued (depth "
@@ -627,11 +703,18 @@ void Server::launch_ready() {
     // itself). Children never inherit our armed state — run_worker
     // disarms first.
     bool victim = false;
+    bool victim_hang = false;
     if (fault::armed()) {
       const std::uint64_t sched = fault::scheduled_hit("serve.worker_kill");
       if (sched != 0) {
         fault::note("serve.worker_kill");
         victim = fault::hits("serve.worker_kill") == sched;
+      }
+      const std::uint64_t hang_sched =
+          fault::scheduled_hit("serve.worker_hang");
+      if (hang_sched != 0) {
+        fault::note("serve.worker_hang");
+        victim_hang = fault::hits("serve.worker_hang") == hang_sched;
       }
     }
     // A stale result file from the previous attempt must not be read as
@@ -658,6 +741,7 @@ void Server::launch_ready() {
       ::close(wake_r_);
       ::close(wake_w_);
       for (const auto& [cfd, conn] : conns_) ::close(cfd);
+      journal_.close();  // the supervisor's WAL, never the child's
       WorkerConfig cfg;
       cfg.spec = job.spec;
       cfg.out = job.spec.out;
@@ -665,6 +749,7 @@ void Server::launch_ready() {
       cfg.result_path = job.result_path;
       cfg.attempt_deadline_ms = attempt_deadline;
       cfg.victim = victim;
+      cfg.victim_hang = victim_hang;
       cfg.fault_seed = opt_.fault_seed;
       ::_exit(run_worker(cfg));
     }
@@ -672,13 +757,35 @@ void Server::launch_ready() {
     job.state = JobState::Running;
     job.pid = pid;
     ++job.attempts;
+    // Watchdog: the tighter of the client's remaining deadline and the
+    // daemon-wide hang cap, plus grace. A cooperative child beats it
+    // (its RunBudget degrades first); a wedged one meets SIGKILL.
+    double watchdog_limit = attempt_deadline;
+    if (opt_.hang_timeout_ms > 0.0 &&
+        (watchdog_limit <= 0.0 || opt_.hang_timeout_ms < watchdog_limit)) {
+      watchdog_limit = opt_.hang_timeout_ms;
+    }
+    job.watchdog_ms =
+        watchdog_limit > 0.0
+            ? now_ms() + watchdog_limit + std::max(0.0, opt_.hang_grace_ms)
+            : 0.0;
     running_.emplace(pid, id);
     registry_.add("serve.launched");
     if (job.attempts > 1) registry_.add("serve.retries");
+    JournalRecord launch;
+    launch.type = JournalRecord::Type::Launch;
+    launch.id = id;
+    launch.attempt = job.attempts;
+    journal_append(launch);
     touch_gauges();
     WM_LOG(Info) << "serve: job " << id << " attempt " << job.attempts
                  << " -> pid " << pid
-                 << (victim ? " (chaos victim)" : "");
+                 << (victim ? " (chaos victim)" : "")
+                 << (victim_hang ? " (chaos hang victim)" : "");
+    // Chaos: the daemon itself dies right after a launch hit the
+    // journal — the exact crash the restart soak recovers from. A Kill
+    // site, so this line simply never returns when it trips.
+    fault::inject("serve.daemon_kill");
   }
 }
 
@@ -695,13 +802,16 @@ void Server::reap_children() {
     if (jit == jobs_.end()) continue;
     Job& job = jit->second;
     job.pid = -1;
+    job.watchdog_ms = 0.0;
 
     const Attempt a = classify_exit(
         WIFEXITED(st), WIFEXITED(st) ? WEXITSTATUS(st) : 0,
         WIFSIGNALED(st), WIFSIGNALED(st) ? WTERMSIG(st) : 0);
     job.last = a;
+    // The result file stays on disk: it is what rehydrates a terminal
+    // job's status after a daemon restart (launch_ready removes it
+    // before each fresh attempt; the boot sweep removes orphans).
     job.last_result = load_worker_result(job.result_path);
-    std::remove(job.result_path.c_str());
     const ErrorCategory cat = job.last_result.valid
                                   ? job.last_result.category
                                   : ErrorCategory::Internal;
@@ -752,6 +862,11 @@ void Server::reap_children() {
                                     opt_.retry_cap_ms, opt_.seed,
                                     fnv1a(job.spec.id));
           backoff_.push_back(id);
+          JournalRecord exit_rec;
+          exit_rec.type = JournalRecord::Type::Exit;
+          exit_rec.id = id;
+          exit_rec.attempt = job.attempts;
+          journal_append(exit_rec);
           registry_.add("serve.backoff_scheduled");
           WM_LOG(Info) << "serve: job " << id << " attempt "
                        << job.attempts << " "
@@ -784,11 +899,194 @@ void Server::reap_children() {
 void Server::finish(Job& job, JobState state, std::string error) {
   job.state = state;
   job.error = std::move(error);
+  JournalRecord term;
+  term.type = JournalRecord::Type::Term;
+  term.id = job.spec.id;
+  term.state = state;
+  term.error = job.error;
+  journal_append(term);
   WM_LOG(Info) << "serve: job " << job.spec.id << " -> "
                << serve::to_string(state)
                << (job.error.empty() ? "" : (": " + job.error));
   notify_waiters(job);
   touch_gauges();
+}
+
+void Server::check_watchdogs() {
+  const double now = now_ms();
+  for (const auto& [pid, id] : running_) {
+    const auto jit = jobs_.find(id);
+    if (jit == jobs_.end()) continue;
+    Job& job = jit->second;
+    if (job.watchdog_ms <= 0.0 || now < job.watchdog_ms) continue;
+    // One kill per attempt: the reap classifies the SIGKILL as Crashed
+    // and the normal retry-from-checkpoint path takes over.
+    job.watchdog_ms = 0.0;
+    registry_.add("serve.hung_killed");
+    WM_LOG(Warn) << "serve: job " << id << " (pid " << pid
+                 << ") overran its watchdog, SIGKILL";
+    ::kill(pid, SIGKILL);
+  }
+}
+
+void Server::journal_append(const JournalRecord& rec) {
+  if (!journal_enabled_) return;
+  if (!journal_.append(rec)) {
+    degrade_journal("journal append failed");
+    return;
+  }
+  registry_.gauge_set("serve.journal_bytes",
+                      static_cast<double>(journal_.bytes()));
+}
+
+void Server::degrade_journal(const char* what) {
+  journal_.close();
+  journal_enabled_ = false;
+  registry_.add("serve.spool_write_failed");
+  // Loud by design: the daemon keeps serving, but a crash from here on
+  // loses job state — an operator must see this line.
+  WM_LOG(Warn) << "serve: JOB JOURNAL LOST (" << what << ", spool "
+               << opt_.spool_dir
+               << "): continuing journal-less; a daemon restart will "
+                  "not recover in-flight jobs";
+}
+
+std::vector<JournalRecord> Server::snapshot_records() const {
+  std::vector<JournalRecord> records;
+  records.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::Snapshot;
+    rec.id = id;
+    rec.fp = job.design_fp;
+    rec.spec = job.spec;
+    rec.attempt = job.attempts;
+    rec.state = job.state;
+    rec.error = job.error;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void Server::compact_journal_if_needed() {
+  if (!journal_enabled_ ||
+      journal_.bytes() <= opt_.journal_compact_bytes) {
+    return;
+  }
+  if (!journal_.rewrite(snapshot_records())) {
+    degrade_journal("journal compaction failed");
+    return;
+  }
+  registry_.gauge_set("serve.journal_bytes",
+                      static_cast<double>(journal_.bytes()));
+  WM_LOG(Info) << "serve: journal compacted to " << journal_.bytes()
+               << " bytes (" << jobs_.size() << " job snapshot(s))";
+}
+
+void Server::recover_spool() {
+  ReplayStats stats;
+  const std::vector<JournalRecord> records =
+      replay_journal(journal_path(), &stats);
+  if (stats.applied > 0) {
+    registry_.add("serve.journal_replayed", stats.applied);
+  }
+  if (stats.dropped > 0) {
+    registry_.add("serve.journal_truncated", stats.dropped);
+    WM_LOG(Warn) << "serve: journal " << journal_path() << ": dropped "
+                 << stats.dropped
+                 << " torn/corrupt trailing line(s) at replay";
+  }
+
+  const double now = now_ms();
+  std::size_t rehydrated = 0;
+  std::size_t recovered = 0;
+  for (auto& [id, rec] : fold_journal(records)) {
+    Job job;
+    job.spec = rec.spec;
+    job.design_fp = rec.fp;
+    job.attempts = rec.attempts;
+    job.submitted_ms = now;
+    job.error = rec.error;
+    job.checkpoint = spool_path(id, ".wmck");
+    job.result_path = spool_path(id, ".result.json");
+    if (job.spec.out.empty()) job.spec.out = spool_path(id, ".ctree");
+    if (rec.terminal) {
+      // Rehydrate: status and duplicate submits answer from memory +
+      // the spooled result file, with no re-execution.
+      job.state = rec.state;
+      job.last_result = load_worker_result(job.result_path);
+      jobs_.emplace(id, std::move(job));
+      ++rehydrated;
+      continue;
+    }
+    if (rec.attempts > 0) {
+      // Mid-attempt at the crash (or already in backoff): rewind to
+      // Backoff — the old child is gone or orphaned — and let the
+      // relaunch resume from whatever checkpoint the spool holds.
+      job.state = JobState::Backoff;
+      job.next_attempt_ms =
+          now + backoff_ms(rec.attempts, opt_.retry_base_ms,
+                           opt_.retry_cap_ms, opt_.seed, fnv1a(id));
+      jobs_.emplace(id, std::move(job));
+      backoff_.push_back(id);
+    } else {
+      // Admitted, never launched: back into the queue, original order.
+      job.state = JobState::Queued;
+      jobs_.emplace(id, std::move(job));
+      queue_.push_back(id);
+    }
+    ++recovered;
+  }
+  if (rehydrated > 0) {
+    registry_.add("serve.jobs_rehydrated", rehydrated);
+  }
+  if (recovered > 0) registry_.add("serve.jobs_recovered", recovered);
+
+  // Daemon-assigned ids must not collide with recovered ones.
+  for (const auto& [id, job] : jobs_) {
+    if (id.size() < 2 || id[0] != 'j') continue;
+    char* end = nullptr;
+    const std::uint64_t n = std::strtoull(id.c_str() + 1, &end, 10);
+    if (end == id.c_str() + id.size() && n > job_seq_) job_seq_ = n;
+  }
+
+  if (!journal_.open(journal_path(), journal_sync_, &registry_)) {
+    degrade_journal("cannot open journal");
+  } else {
+    journal_enabled_ = true;
+    if (stats.torn) {
+      // The file ends in half a record; appending onto it would corrupt
+      // the next record too. Compact to a clean snapshot before the
+      // first append.
+      if (!journal_.rewrite(snapshot_records())) {
+        degrade_journal("journal compaction failed");
+      }
+    }
+    if (journal_enabled_) {
+      registry_.gauge_set("serve.journal_bytes",
+                          static_cast<double>(journal_.bytes()));
+    }
+  }
+
+  // Orphan sweep: result/output files whose job the journal does not
+  // know are droppings of a pre-journal daemon or of attempts whose
+  // admit record was lost — status can never find them, so they only
+  // leak spool space.
+  std::vector<std::string> keep;
+  keep.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) keep.push_back(id);
+  const std::size_t orphans = ck::sweep_orphans(
+      opt_.spool_dir, {".result.json", ".ctree"}, keep);
+  if (orphans > 0) {
+    registry_.add("serve.spool_orphans_removed", orphans);
+  }
+
+  if (!jobs_.empty()) {
+    WM_LOG(Info) << "serve: journal replay: " << rehydrated
+                 << " terminal job(s) rehydrated, " << recovered
+                 << " live job(s) recovered (queue " << queue_.size()
+                 << ", backoff " << backoff_.size() << ")";
+  }
 }
 
 void Server::notify_waiters(Job& job) {

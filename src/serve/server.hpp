@@ -28,7 +28,15 @@
 //   * drain         — SIGTERM (or the drain op) stops admission,
 //                     grants in-flight workers drain_grace_ms, then
 //                     SIGKILLs stragglers (their checkpoints survive
-//                     for resume) and exits 0.
+//                     for resume) and exits 0;
+//   * durability    — every job lifecycle transition lands in an
+//                     append-only journal in the spool (journal.hpp);
+//                     on boot the daemon replays it, so a crashed
+//                     daemon restarted on the same spool loses no job
+//                     and re-runs no already-terminal one;
+//   * supervision   — a per-child watchdog (client deadline and/or
+//                     hang_timeout_ms, plus grace) SIGKILLs wedged
+//                     workers so the retry path can take over.
 
 #include <cstdint>
 #include <string>
@@ -45,6 +53,17 @@ struct ServerOptions {
   double retry_cap_ms = 5000.0;
   double drain_grace_ms = 2000.0;  ///< SIGKILL stragglers after this
   std::uint64_t seed = 0;          ///< backoff jitter seed
+  /// Journal fsync policy: "always" | "batch" (once per loop
+  /// iteration) | "off" (page cache only). See serve/journal.hpp.
+  std::string journal_sync = "batch";
+  /// Snapshot-plus-truncate the journal past this size.
+  std::uint64_t journal_compact_bytes = 1 << 20;
+  /// Hung-worker watchdog: SIGKILL a child still running after
+  /// min(remaining client deadline, hang_timeout_ms) + hang_grace_ms.
+  /// hang_timeout_ms 0 = only client deadlines arm the watchdog (a
+  /// job with no deadline may legitimately run for hours).
+  double hang_timeout_ms = 0.0;
+  double hang_grace_ms = 1000.0;
   /// Daemon-side chaos (serve.* sites): worker_kill schedules a victim
   /// launch, queue_full forces sheds, socket_torn tears replies.
   std::string fault_spec;

@@ -55,6 +55,13 @@ std::string combined_fault_spec(const WorkerConfig& cfg) {
     if (!spec.empty()) spec += ',';
     spec += "ck.kill_after_write=1";
   }
+  if (cfg.victim_hang) {
+    // The wedge twin: durable progress on disk, then a worker that
+    // never returns — SIGKILLed by the daemon's watchdog, retried, and
+    // the retry must resume the checkpointed zones.
+    if (!spec.empty()) spec += ',';
+    spec += "ck.hang_after_write=1";
+  }
   return spec;
 }
 
@@ -70,6 +77,9 @@ int attempt(const WorkerConfig& cfg, WorkerResult& wr) {
   const std::string spec = combined_fault_spec(cfg);
   if (!spec.empty()) fault::arm(spec, cfg.fault_seed);
   fault::inject("serve.worker_kill");
+  // Job-spec-armed wedge at startup (before any work): the watchdog
+  // kill classifies as Crashed and the retry starts from scratch.
+  fault::inject("serve.worker_hang");
 
   const CellLibrary lib = CellLibrary::nangate45_like();
   ClockTree tree = load_tree(cfg.spec.tree, lib);

@@ -30,6 +30,11 @@ struct WorkerConfig {
   /// This launch drew the armed serve.worker_kill slot: the child arms
   /// the site at hit 1 and injects it, SIGKILLing itself mid-setup.
   bool victim = false;
+  /// This launch drew the serve.worker_hang slot: the child wedges
+  /// forever after its first checkpoint write (ck.hang_after_write)
+  /// until the daemon's watchdog SIGKILLs it — proving supervision +
+  /// retry-from-checkpoint end to end.
+  bool victim_hang = false;
   std::uint64_t fault_seed = 0;
 };
 

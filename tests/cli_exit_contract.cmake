@@ -1,12 +1,14 @@
-# Exit-code contract test for tools/wavemin_cli, run via
-#   cmake -DCLI=<cli> -DLINT=<lint> -DBADIO=<tests/data/bad_io>
-#         -DWORK=<scratch dir> -P cli_exit_contract.cmake
+# Exit-code contract test for tools/wavemin_cli (and the dead-daemon
+# half of the wavemin_client contract), run via
+#   cmake -DCLI=<cli> -DLINT=<lint> -DCLIENT=<client>
+#         -DBADIO=<tests/data/bad_io> -DWORK=<scratch dir>
+#         -P cli_exit_contract.cmake
 # Contract (see wavemin_cli.cpp): 0 = clean optimum, 1 = usage error,
 # 2 = infeasible, 3 = run degraded by a budget (valid assignment
 # applied), 4 = run failed (malformed input, internal error, or
 # --strict with a degraded run).
 
-foreach(var CLI LINT BADIO WORK)
+foreach(var CLI LINT CLIENT BADIO WORK)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "missing -D${var}=...")
   endif()
@@ -133,5 +135,24 @@ file(READ ${WORK}/run.wmck ck_bytes)
 string(REPLACE "zone" "zoNe" ck_bytes "${ck_bytes}")
 file(WRITE ${WORK}/corrupt.wmck "${ck_bytes}")
 expect_exit(4 ${CLI} opt ${WORK}/clean.ctree --resume ${WORK}/corrupt.wmck)
+
+# --- wavemin_client against a dead daemon -----------------------------
+# Contract (see wavemin_client.cpp): 2 = connection trouble — cannot
+# connect, connection lost, or a reply that never arrives inside
+# --timeout-ms. A dead or wedged daemon must be a prompt clean exit,
+# never a hang (the restart soak covers the wedged-daemon half with a
+# live SIGSTOPped daemon; here the socket simply does not exist).
+
+expect_exit(2 ${CLIENT} --socket ${WORK}/no_such_daemon.sock
+              --connect-wait-ms 200 health)
+expect_exit(2 ${CLIENT} --socket ${WORK}/no_such_daemon.sock
+              --connect-wait-ms 200 --timeout-ms 500 status j1)
+expect_exit(2 ${CLIENT} --socket ${WORK}/no_such_daemon.sock
+              --connect-wait-ms 200 --timeout-ms 500
+              submit ${WORK}/clean.ctree --id dead1)
+
+# 1: client usage errors stay distinct from connection trouble.
+expect_exit(1 ${CLIENT} --socket ${WORK}/no_such_daemon.sock frobnicate)
+expect_exit(1 ${CLIENT})
 
 message(STATUS "wavemin_cli exit-code contract holds")

@@ -1,18 +1,24 @@
 // Serving layer unit tests (docs/serving.md): supervisor policy
 // (exit classification, retry matrix, backoff schedule), the circuit
 // breaker, the wavemin.jobs/v1 protocol codec, the worker result file
-// round-trip, and the wm::json machinery underneath — all pure logic,
-// no sockets and no forks (the e2e lives in scripts/serve_soak.sh).
+// round-trip, the wavemin.journal/v1 durable job journal (including
+// the every-byte-boundary truncation fuzz), and the wm::json machinery
+// underneath — all pure logic, no sockets and no forks (the e2e lives
+// in scripts/serve_soak.sh and scripts/serve_restart_soak.sh).
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "serve/breaker.hpp"
 #include "serve/job.hpp"
+#include "serve/journal.hpp"
 #include "serve/protocol.hpp"
+#include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 
@@ -378,6 +384,368 @@ TEST(JobStateTest, StatusFrameCarriesTheContract) {
   EXPECT_TRUE(j->get_bool_or("acceptable", false));
   EXPECT_EQ(j->get_u64_or("resumed_zones", 0), 5u);
   EXPECT_EQ(j->get_string("out", "t"), "out.ctree");
+}
+
+// -------------------------------------------------------------- journal
+
+JobSpec journal_spec(const std::string& id) {
+  JobSpec s;
+  s.id = id;
+  s.tree = id + ".ctree";
+  s.algo = "wavemin-f";
+  s.kappa = 15.0;
+  s.samples = 16;
+  s.deadline_ms = 2500.0;
+  s.max_retries = 2;
+  s.seed = 7;
+  return s;
+}
+
+// Record equality via the codec itself: two records are the same iff
+// they encode to the same line (the codec is deterministic).
+bool same_record(const JournalRecord& a, const JournalRecord& b) {
+  return encode_record(a) == encode_record(b);
+}
+
+// A journal exercising every record type, including a terminal error
+// string that contains the CRC marker text — the trailer must still be
+// found at the line's end, not inside the body.
+std::vector<JournalRecord> journal_fixture() {
+  std::vector<JournalRecord> recs;
+  JournalRecord v;
+  v.type = JournalRecord::Type::Version;
+  recs.push_back(v);
+
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::Admit;
+  admit.id = "j1";
+  admit.fp = 18446744073709551615ULL;  // u64 fingerprints survive exactly
+  admit.spec = journal_spec("j1");
+  recs.push_back(admit);
+
+  JournalRecord launch;
+  launch.type = JournalRecord::Type::Launch;
+  launch.id = "j1";
+  launch.attempt = 1;
+  recs.push_back(launch);
+
+  JournalRecord exit_r;
+  exit_r.type = JournalRecord::Type::Exit;
+  exit_r.id = "j1";
+  exit_r.attempt = 1;
+  recs.push_back(exit_r);
+
+  JournalRecord launch2 = launch;
+  launch2.attempt = 2;
+  recs.push_back(launch2);
+
+  JournalRecord term;
+  term.type = JournalRecord::Type::Term;
+  term.id = "j1";
+  term.state = JobState::Failed;
+  term.error = "looks like \" crc 00000000\" but is payload";
+  recs.push_back(term);
+
+  JournalRecord snap;
+  snap.type = JournalRecord::Type::Snapshot;
+  snap.id = "j2";
+  snap.fp = 42;
+  snap.spec = journal_spec("j2");
+  snap.attempt = 3;
+  snap.state = JobState::Done;
+  recs.push_back(snap);
+  return recs;
+}
+
+std::string journal_text(const std::vector<JournalRecord>& recs) {
+  std::string text;
+  for (const JournalRecord& r : recs) {
+    text += encode_record(r);
+    text += '\n';
+  }
+  return text;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(JournalTest, RecordRoundTripsEveryType) {
+  for (const JournalRecord& rec : journal_fixture()) {
+    const std::string line = encode_record(rec);
+    JournalRecord back;
+    ASSERT_TRUE(decode_record(line, &back)) << line;
+    EXPECT_TRUE(same_record(rec, back)) << line;
+  }
+  // Spec fields survive the Admit round-trip individually, not just
+  // codec-to-codec.
+  JournalRecord admit = journal_fixture()[1];
+  JournalRecord back;
+  ASSERT_TRUE(decode_record(encode_record(admit), &back));
+  EXPECT_EQ(back.fp, admit.fp);
+  EXPECT_EQ(back.spec.tree, "j1.ctree");
+  EXPECT_EQ(back.spec.algo, "wavemin-f");
+  EXPECT_EQ(back.spec.kappa, 15.0);
+  EXPECT_EQ(back.spec.samples, 16);
+  EXPECT_EQ(back.spec.deadline_ms, 2500.0);
+  EXPECT_EQ(back.spec.max_retries, 2);
+  EXPECT_EQ(back.spec.seed, 7u);
+}
+
+TEST(JournalTest, CrcRejectsCorruption) {
+  JournalRecord term;
+  term.type = JournalRecord::Type::Term;
+  term.id = "j1";
+  term.state = JobState::Done;
+  const std::string line = encode_record(term);
+  JournalRecord out;
+  ASSERT_TRUE(decode_record(line, &out));
+  // Any single-byte flip — body or trailer — must be rejected.
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    std::string bad = line;
+    bad[i] = bad[i] == 'x' ? 'y' : 'x';
+    if (bad == line) continue;
+    EXPECT_FALSE(decode_record(bad, &out)) << "flip at " << i;
+  }
+  EXPECT_FALSE(decode_record("", &out));
+  EXPECT_FALSE(decode_record("{}", &out));  // no trailer
+  EXPECT_FALSE(decode_record(line + "x", &out));  // trailing garbage
+  EXPECT_FALSE(decode_record(line.substr(0, line.size() - 1), &out));
+}
+
+TEST(JournalTest, DecodeRejectsValidCrcOverBadBody) {
+  // A structurally broken body with a *correct* CRC (e.g. written by a
+  // newer daemon) must fail decode, not crash replay.
+  auto with_crc = [](const std::string& body) {
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%08x",
+                  crc32(body.data(), body.size()));
+    return body + " crc " + hex;
+  };
+  JournalRecord out;
+  EXPECT_FALSE(decode_record(with_crc("{\"t\":\"future_type\",\"id\":\"j\"}"),
+                             &out));
+  EXPECT_FALSE(decode_record(with_crc("{\"t\":\"term\",\"id\":\"j\"}"),
+                             &out));  // term without a state
+  EXPECT_FALSE(decode_record(
+      with_crc("{\"t\":\"term\",\"id\":\"j\",\"state\":\"running\"}"),
+      &out));  // term with a live state
+  EXPECT_FALSE(decode_record(with_crc("[1,2]"), &out));
+  EXPECT_FALSE(decode_record(with_crc("not json"), &out));
+  EXPECT_FALSE(decode_record(
+      with_crc("{\"t\":\"v\",\"v\":\"wavemin.journal/v2\"}"), &out));
+}
+
+TEST(JournalTest, SyncPolicyParse) {
+  SyncPolicy p;
+  ASSERT_TRUE(parse_sync_policy("always", &p));
+  EXPECT_EQ(p, SyncPolicy::Always);
+  ASSERT_TRUE(parse_sync_policy("batch", &p));
+  EXPECT_EQ(p, SyncPolicy::Batch);
+  ASSERT_TRUE(parse_sync_policy("off", &p));
+  EXPECT_EQ(p, SyncPolicy::Off);
+  EXPECT_FALSE(parse_sync_policy("sometimes", &p));
+  EXPECT_FALSE(parse_sync_policy("", &p));
+  for (const SyncPolicy q :
+       {SyncPolicy::Always, SyncPolicy::Batch, SyncPolicy::Off}) {
+    SyncPolicy back;
+    ASSERT_TRUE(parse_sync_policy(to_string(q), &back));
+    EXPECT_EQ(back, q);
+  }
+}
+
+TEST(JournalTest, ReplayDropsTornTailKeepsPrefix) {
+  const std::vector<JournalRecord> recs = journal_fixture();
+  const std::string path = "serve_test_journal_torn.wmj";
+  // A crash mid-append: the last record is only half on disk.
+  const std::string half = encode_record(recs.back());
+  write_file(path, journal_text({recs[0], recs[1], recs[2]}) +
+                       half.substr(0, half.size() / 2));
+  ReplayStats st;
+  const std::vector<JournalRecord> back = replay_journal(path, &st);
+  std::remove(path.c_str());
+  ASSERT_EQ(st.applied, 3u);
+  EXPECT_EQ(st.dropped, 1u);
+  EXPECT_TRUE(st.torn);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_TRUE(same_record(back[i], recs[i])) << i;
+  }
+}
+
+TEST(JournalTest, ReplayDistrustsCompleteButUnterminatedTail) {
+  // A complete last record missing its newline is still dropped: the
+  // crash landed mid-append and a later append would concatenate onto
+  // it, so the replay marks the file torn (boot compacts it).
+  const std::vector<JournalRecord> recs = journal_fixture();
+  const std::string path = "serve_test_journal_nolf.wmj";
+  write_file(path, journal_text({recs[0], recs[1]}) +
+                       encode_record(recs[2]));  // no trailing '\n'
+  ReplayStats st;
+  const std::vector<JournalRecord> back = replay_journal(path, &st);
+  std::remove(path.c_str());
+  EXPECT_EQ(st.applied, 2u);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_TRUE(st.torn);
+}
+
+TEST(JournalTest, ReplayRequiresTheVersionRecordFirst) {
+  const std::vector<JournalRecord> recs = journal_fixture();
+  const std::string path = "serve_test_journal_nover.wmj";
+  write_file(path, journal_text({recs[1], recs[2]}));  // no version
+  ReplayStats st;
+  EXPECT_TRUE(replay_journal(path, &st).empty());
+  std::remove(path.c_str());
+  EXPECT_EQ(st.applied, 0u);
+  EXPECT_EQ(st.dropped, 2u);
+  // Missing file: an empty journal, not an error.
+  EXPECT_TRUE(replay_journal("no_such_journal.wmj", &st).empty());
+  EXPECT_FALSE(st.torn);
+}
+
+TEST(JournalTest, TruncationFuzzEveryByteBoundary) {
+  // The satellite contract: truncate the journal at EVERY byte
+  // boundary; replay must never crash and must return a consistent
+  // prefix — exactly the first `applied` records of the full journal,
+  // so the recovered job table is always a table the daemon really had.
+  const std::vector<JournalRecord> full = journal_fixture();
+  const std::string text = journal_text(full);
+  const std::string path = "serve_test_journal_fuzz.wmj";
+  // Cuts landing exactly after a record's newline leave a clean
+  // shorter journal; every other cut is a torn tail.
+  std::vector<bool> clean_cut(text.size() + 1, false);
+  clean_cut[0] = true;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') clean_cut[i + 1] = true;
+  }
+  for (std::size_t cut = 0; cut <= text.size(); ++cut) {
+    write_file(path, text.substr(0, cut));
+    ReplayStats st;
+    const std::vector<JournalRecord> back = replay_journal(path, &st);
+    ASSERT_EQ(back.size(), st.applied) << "cut=" << cut;
+    ASSERT_LE(st.applied, full.size()) << "cut=" << cut;
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      ASSERT_TRUE(same_record(back[i], full[i]))
+          << "cut=" << cut << " record=" << i;
+    }
+    // Folding a truncated journal never throws either (recovery path).
+    const auto table = fold_journal(back);
+    ASSERT_LE(table.size(), 2u) << "cut=" << cut;
+    // A cut on a record boundary is a clean shorter journal; a cut
+    // inside a record is a torn tail (boot compacts it before
+    // appending). Either way the applied prefix above held.
+    if (clean_cut[cut]) {
+      EXPECT_FALSE(st.torn) << "cut=" << cut;
+    } else if (cut > 0) {
+      EXPECT_TRUE(st.torn || st.applied == 0) << "cut=" << cut;
+    }
+    if (cut == text.size()) EXPECT_EQ(st.applied, full.size());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, FoldFollowsTheLiveStateMachine) {
+  std::vector<JournalRecord> recs = journal_fixture();
+  // After the fixture: j1 admitted, launched twice with one exit
+  // between, then terminal Failed; j2 snapshotted Done.
+  auto table = fold_journal(recs);
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table[0].first, "j1");  // first-admit order
+  const RecoveredJob& j1 = table[0].second;
+  EXPECT_EQ(j1.attempts, 2);
+  EXPECT_FALSE(j1.mid_attempt);
+  EXPECT_TRUE(j1.terminal);
+  EXPECT_EQ(j1.state, JobState::Failed);
+  EXPECT_EQ(j1.spec.tree, "j1.ctree");
+  EXPECT_EQ(j1.fp, 18446744073709551615ULL);
+  const RecoveredJob& j2 = table[1].second;
+  EXPECT_TRUE(j2.terminal);
+  EXPECT_EQ(j2.state, JobState::Done);
+  EXPECT_EQ(j2.attempts, 3);
+
+  // Cut after the second launch: j1 is mid-attempt (the daemon died
+  // with a worker in flight) — recovery rewinds it to Backoff.
+  auto mid = fold_journal({recs[0], recs[1], recs[2], recs[3], recs[4]});
+  ASSERT_EQ(mid.size(), 1u);
+  EXPECT_TRUE(mid[0].second.mid_attempt);
+  EXPECT_EQ(mid[0].second.attempts, 2);
+  EXPECT_FALSE(mid[0].second.terminal);
+
+  // Re-admission resets the entry (a failed job resubmitted), exactly
+  // like the live handle_submit path.
+  std::vector<JournalRecord> readmit = recs;
+  JournalRecord again = recs[1];  // admit j1 again
+  readmit.push_back(again);
+  auto re = fold_journal(readmit);
+  ASSERT_EQ(re.size(), 2u);
+  EXPECT_EQ(re[0].first, "j1");  // keeps its original slot
+  EXPECT_FALSE(re[0].second.terminal);
+  EXPECT_EQ(re[0].second.attempts, 0);
+  EXPECT_EQ(re[0].second.state, JobState::Queued);
+
+  // Lifecycle records whose admit was lost to a torn tail are ignored.
+  JournalRecord orphan;
+  orphan.type = JournalRecord::Type::Launch;
+  orphan.id = "ghost";
+  orphan.attempt = 1;
+  auto g = fold_journal({recs[0], orphan});
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(JournalTest, AppendReopenReplayRoundTrip) {
+  const std::string path = "serve_test_journal_rt.wmj";
+  std::remove(path.c_str());
+  const std::vector<JournalRecord> recs = journal_fixture();
+  {
+    Journal j;
+    ASSERT_TRUE(j.open(path, SyncPolicy::Always, nullptr));
+    ASSERT_TRUE(j.append(recs[1]));  // admit
+    ASSERT_TRUE(j.append(recs[2]));  // launch
+    EXPECT_GT(j.bytes(), 0u);
+  }  // destructor closes
+  {
+    // Reopen across a "restart": no second version record, appends
+    // land after the existing tail.
+    Journal j;
+    ASSERT_TRUE(j.open(path, SyncPolicy::Batch, nullptr));
+    ASSERT_TRUE(j.append(recs[5]));  // term
+    ASSERT_TRUE(j.flush());
+  }
+  ReplayStats st;
+  const std::vector<JournalRecord> back = replay_journal(path, &st);
+  ASSERT_EQ(back.size(), 4u);
+  EXPECT_FALSE(st.torn);
+  EXPECT_EQ(back[0].type, JournalRecord::Type::Version);
+  EXPECT_TRUE(same_record(back[1], recs[1]));
+  EXPECT_TRUE(same_record(back[2], recs[2]));
+  EXPECT_TRUE(same_record(back[3], recs[5]));
+  std::remove(path.c_str());
+}
+
+TEST(JournalTest, RewriteCompactsAndStaysAppendable) {
+  const std::string path = "serve_test_journal_cmp.wmj";
+  std::remove(path.c_str());
+  const std::vector<JournalRecord> recs = journal_fixture();
+  Journal j;
+  ASSERT_TRUE(j.open(path, SyncPolicy::Off, nullptr));
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_TRUE(j.append(recs[2]));  // launch spam to grow the file
+  }
+  const std::uint64_t before = j.bytes();
+  // Compact down to one snapshot; the journal must stay appendable.
+  JournalRecord snap = recs[6];
+  ASSERT_TRUE(j.rewrite({snap}));
+  EXPECT_LT(j.bytes(), before);
+  ASSERT_TRUE(j.append(recs[1]));
+  j.close();
+  ReplayStats st;
+  const std::vector<JournalRecord> back = replay_journal(path, &st);
+  std::remove(path.c_str());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_FALSE(st.torn);
+  EXPECT_EQ(back[0].type, JournalRecord::Type::Version);
+  EXPECT_TRUE(same_record(back[1], snap));
+  EXPECT_TRUE(same_record(back[2], recs[1]));
 }
 
 } // namespace

@@ -221,7 +221,13 @@ int run_sweep(const ChaosArgs& a, const std::string& lib_path,
   int failures = 0;
   std::size_t swept = 0;
   for (const fault::Site& site : fault::site_catalog()) {
-    if (site.action == fault::Action::Kill) continue;  // e2e only
+    // Only Error/BadAlloc sites are sweepable in-process: Kill sites
+    // would take the sweep down with them and Hang sites would wedge
+    // it — both are exercised by the dedicated e2e drivers instead.
+    if (site.action != fault::Action::Error &&
+        site.action != fault::Action::BadAlloc) {
+      continue;
+    }
     if (!a.site.empty() && a.site != site.name) continue;
     ++swept;
 

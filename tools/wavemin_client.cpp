@@ -19,7 +19,11 @@
 //
 // Client options:
 //   --connect-wait-ms <ms>  keep retrying the connect (daemon booting)
-//   --timeout-ms <ms>       overall batch/wait deadline (default 120000)
+//   --timeout-ms <ms>       overall batch/wait deadline AND the
+//                           per-read socket timeout, so a wedged
+//                           daemon (SIGSTOPped, deadlocked) yields a
+//                           clean exit 2 instead of a client that
+//                           hangs forever (default 120000; 0 = none)
 //
 // `submit` prints the daemon's reply frame and exits 0 on an
 // acceptable terminal/queued frame, 1 otherwise. `batch` submits N
@@ -39,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -175,14 +180,35 @@ class DaemonConn {
     return true;
   }
 
-  /// One reply line (without the newline); false on EOF/error.
+  /// Per-read deadline for read_line; <= 0 blocks forever.
+  void set_read_timeout(double timeout_ms) { timeout_ms_ = timeout_ms; }
+  bool timed_out() const { return timed_out_; }
+
+  /// One reply line (without the newline); false on EOF/error, and —
+  /// with a read timeout set — on a daemon that stops answering
+  /// (timed_out() distinguishes the two for the error message).
   bool read_line(std::string& line) {
+    timed_out_ = false;
+    const double deadline =
+        timeout_ms_ > 0.0 ? now_ms() + timeout_ms_ : 0.0;
     while (true) {
       const std::size_t nl = buf_.find('\n');
       if (nl != std::string::npos) {
         line = buf_.substr(0, nl);
         buf_.erase(0, nl + 1);
         return true;
+      }
+      if (deadline > 0.0) {
+        const double remaining = deadline - now_ms();
+        if (remaining <= 0.0) {
+          timed_out_ = true;
+          return false;
+        }
+        pollfd p{fd_, POLLIN, 0};
+        const int rc =
+            ::poll(&p, 1, static_cast<int>(remaining) + 1);
+        if (rc < 0 && errno != EINTR) return false;
+        if (rc <= 0) continue;  // timeout tick or EINTR: re-check
       }
       char chunk[4096];
       const ssize_t n = ::read(fd_, chunk, sizeof chunk);
@@ -198,6 +224,8 @@ class DaemonConn {
  private:
   int fd_ = -1;
   std::string buf_;
+  double timeout_ms_ = 0.0;
+  bool timed_out_ = false;
 };
 
 /// Parse a reply frame; returns false (with fields cleared) on junk.
@@ -330,6 +358,12 @@ int run_batch(const Args& a, DaemonConn& conn) {
 int main(int argc, char** argv) {
   Args a;
   if (!parse(argc, argv, a)) return usage();
+  // An unknown command is a usage error (exit 1) before any connect —
+  // it must never read as "daemon unreachable" (exit 2).
+  if (a.cmd != "batch" && a.cmd != "submit" && a.cmd != "status" &&
+      a.cmd != "health" && a.cmd != "stats" && a.cmd != "drain") {
+    return usage();
+  }
 
   DaemonConn conn;
   if (!conn.connect(a.socket_path, a.connect_wait_ms)) {
@@ -337,6 +371,7 @@ int main(int argc, char** argv) {
                  a.socket_path.c_str());
     return 2;
   }
+  conn.set_read_timeout(a.timeout_ms);
 
   if (a.cmd == "batch") return run_batch(a, conn);
 
@@ -361,7 +396,14 @@ int main(int argc, char** argv) {
   }
   std::string line;
   if (!conn.read_line(line)) {
-    std::fprintf(stderr, "wavemin_client: connection closed\n");
+    if (conn.timed_out()) {
+      std::fprintf(stderr,
+                   "wavemin_client: timed out after %.0f ms waiting "
+                   "for a reply\n",
+                   a.timeout_ms);
+    } else {
+      std::fprintf(stderr, "wavemin_client: connection closed\n");
+    }
     return 2;
   }
   std::printf("%s\n", line.c_str());

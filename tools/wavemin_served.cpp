@@ -19,6 +19,17 @@
 //   --drain-grace-ms <ms>   SIGKILL stragglers after this on drain
 //                           (default 2000)
 //   --seed <n>              backoff jitter seed
+//   --journal-sync <p>      job-journal fsync policy: always | batch
+//                           (once per loop iteration) | off
+//                           (default batch)
+//   --journal-compact-bytes <n>
+//                           snapshot-plus-truncate the journal past
+//                           this size (default 1 MiB)
+//   --hang-timeout-ms <ms>  watchdog cap for jobs with no client
+//                           deadline; 0 = client deadlines only
+//                           (default 0)
+//   --hang-grace-ms <ms>    watchdog slack past the deadline/cap
+//                           before SIGKILL (default 1000)
 //   --fault-spec <s>        daemon-side chaos, e.g. serve.worker_kill=3
 //   --fault-seed <n>        seed for unscheduled fault entries
 //   --verbose / --debug     log level
@@ -60,6 +71,14 @@ int main(int argc, char** argv) {
       opt.drain_grace_ms = std::atof(v);
     } else if (t == "--seed" && (v = value()) != nullptr) {
       opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (t == "--journal-sync" && (v = value()) != nullptr) {
+      opt.journal_sync = v;
+    } else if (t == "--journal-compact-bytes" && (v = value()) != nullptr) {
+      opt.journal_compact_bytes = std::strtoull(v, nullptr, 10);
+    } else if (t == "--hang-timeout-ms" && (v = value()) != nullptr) {
+      opt.hang_timeout_ms = std::atof(v);
+    } else if (t == "--hang-grace-ms" && (v = value()) != nullptr) {
+      opt.hang_grace_ms = std::atof(v);
     } else if (t == "--fault-spec" && (v = value()) != nullptr) {
       opt.fault_spec = v;
     } else if (t == "--fault-seed" && (v = value()) != nullptr) {
@@ -75,6 +94,9 @@ int main(int argc, char** argv) {
                    "[--queue n] [--workers n] [--breaker n]\n"
                    "       [--retry-base-ms x] [--retry-cap-ms x] "
                    "[--drain-grace-ms x] [--seed n]\n"
+                   "       [--journal-sync always|batch|off] "
+                   "[--journal-compact-bytes n]\n"
+                   "       [--hang-timeout-ms x] [--hang-grace-ms x]\n"
                    "       [--fault-spec s] [--fault-seed n] "
                    "[--verbose|--debug]\n",
                    t.c_str());
