@@ -1,0 +1,349 @@
+// Serving throughput: 50 small jobs through a real wavemin_served
+// daemon, fork-per-attempt vs the supervised worker pool
+// (docs/serving.md "Worker pool"). The pool's claim is that the shared
+// wavemin.blob/v1 artifact pays for characterization exactly once per
+// library instead of once per attempt, which dominates small jobs —
+// the acceptance bar is pool >= 5x fork on this workload.
+//
+// Both modes run at --char-dt 0.1 (the blob is compiled with the same
+// grid): the paper's premise is HSPICE-grade per-cell simulation, paid
+// once and reused, and the 0.1 ps waveform resolution stands in for
+// that cost honestly — ~24 ms per characterization vs ~4 ms at the
+// 0.5 ps library default. The pool run must not characterize at all
+// (serve.pool_characterized == 0 is asserted from the daemon's stats);
+// the fork run pays it on every attempt. Journal fsyncs are off in
+// both modes so the comparison measures the serving compute paths,
+// not the disk.
+//
+//   perf_serve [<build-tools-dir>]
+//
+// The tools dir defaults to ../tools next to this binary (the normal
+// build layout). Results are exported as wm::obs gauges into
+// BENCH_perf.json (override with WAVEMIN_BENCH_JSON), merged with
+// whatever other bench binaries wrote there.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "cts/benchmarks.hpp"
+#include "io/blob.hpp"
+#include "io/tree_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/metrics_json.hpp"
+#include "serve/protocol.hpp"
+#include "util/posix_io.hpp"
+
+using namespace wm;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr int kJobs = 50;
+constexpr int kWarmup = 3;       // drained before the timed window opens
+constexpr double kCharDt = 0.1;  // ps; see the header comment
+
+[[noreturn]] void die(const std::string& what) {
+  std::fprintf(stderr, "perf_serve: %s\n", what.c_str());
+  std::exit(1);
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One request frame down a fresh connection, one reply line back.
+bool roundtrip(const std::string& sock, const std::string& request,
+               std::string* reply) {
+  const int fd = connect_unix(sock);
+  if (fd < 0) return false;
+  const std::string frame = request + '\n';
+  if (!write_all(fd, frame.data(), frame.size())) {
+    ::close(fd);
+    return false;
+  }
+  reply->clear();
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = retry_read(fd, buf, sizeof buf);
+    if (n <= 0) {
+      ::close(fd);
+      return false;
+    }
+    reply->append(buf, static_cast<std::size_t>(n));
+    if (reply->back() == '\n') {
+      reply->pop_back();
+      break;
+    }
+  }
+  ::close(fd);
+  return true;
+}
+
+/// Whole-file read; dies if the file is missing or unreadable.
+std::string slurp(const fs::path& p) {
+  std::string bytes;
+  const int fd = ::open(p.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) die("cannot open " + p.string());
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = retry_read(fd, buf, sizeof buf);
+    if (n < 0) {
+      ::close(fd);
+      die("read failed for " + p.string());
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return bytes;
+}
+
+/// "serve.done": 42 -> 42 (0 when the counter is absent).
+long counter(const std::string& stats, const std::string& name) {
+  const std::string key = "\"" + name + "\": ";
+  const std::size_t at = stats.find(key);
+  if (at == std::string::npos) return 0;
+  return std::atol(stats.c_str() + at + key.size());
+}
+
+long spawn_daemon(const std::string& served,
+                  const std::vector<std::string>& args,
+                  const std::string& log_path) {
+  const long pid = ::fork();
+  if (pid != 0) return pid;
+  const int log = ::open(log_path.c_str(),
+                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (log >= 0) {
+    ::dup2(log, 1);
+    ::dup2(log, 2);
+  }
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(served.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(served.c_str(), argv.data());
+  _exit(127);
+}
+
+void stop_daemon(long pid) {
+  ::kill(static_cast<pid_t>(pid), SIGTERM);
+  int status = 0;
+  ::waitpid(static_cast<pid_t>(pid), &status, 0);
+}
+
+/// Submit one fire-and-forget job; dies on a rejected submit.
+void submit_job(const std::string& sock, const std::string& mode,
+                const std::string& id, const std::string& tree, long pid) {
+  serve::JobSpec job;
+  job.id = id;
+  job.tree = tree;
+  job.samples = 16;
+  std::string reply;
+  if (!roundtrip(sock, serve::dump_submit(job, /*wait=*/false), &reply) ||
+      reply.find("\"ok\": true") == std::string::npos) {
+    stop_daemon(pid);
+    die(mode + ": submit " + id + " failed: " + reply);
+  }
+}
+
+/// Poll stats every 20 ms until `want` jobs are terminal; returns the
+/// last stats frame. Dies past the deadline.
+std::string drain_to(const std::string& sock, const std::string& mode,
+                     long want, long pid) {
+  std::string reply;
+  long terminal = 0;
+  const double deadline = now_ms() + 600000.0;
+  while (terminal < want) {
+    if (now_ms() > deadline) {
+      stop_daemon(pid);
+      die(mode + ": jobs did not finish (" + std::to_string(terminal) +
+          "/" + std::to_string(want) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (!roundtrip(sock, serve::dump_simple("stats"), &reply)) continue;
+    terminal = counter(reply, "serve.done") +
+               counter(reply, "serve.degraded") +
+               counter(reply, "serve.infeasible") +
+               counter(reply, "serve.failed") + counter(reply, "serve.shed");
+  }
+  return reply;
+}
+
+/// Run one daemon mode: a warmup batch first (the health endpoint
+/// answers while pool workers are still restoring the blob — timing
+/// from there would charge worker boot to the serving rate), then
+/// kJobs fire-and-forget inside the timed window, polled to terminal.
+/// Returns jobs/sec over the submit->drained window; `final_stats`
+/// receives the daemon's last stats frame.
+double run_mode(const std::string& served, const std::string& work,
+                const std::string& mode, const std::string& tree,
+                const std::vector<std::string>& extra_args,
+                std::string* final_stats) {
+  const std::string sock = work + "/" + mode + ".sock";
+  const std::string spool = work + "/spool." + mode;
+  fs::remove_all(spool);
+  fs::create_directories(spool);
+
+  std::vector<std::string> args = {
+      "--socket",  sock, "--spool",        spool,  "--queue",   "64",
+      "--workers", "3",  "--journal-sync", "off",  "--char-dt", "0.1"};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  const long pid =
+      spawn_daemon(served, args, work + "/" + mode + ".log");
+
+  // Wait for the daemon (and, in pool mode, its workers) to come up.
+  std::string reply;
+  const double boot_deadline = now_ms() + 30000.0;
+  while (!roundtrip(sock, serve::dump_simple("health"), &reply)) {
+    if (now_ms() > boot_deadline) {
+      stop_daemon(pid);
+      die(mode + ": daemon did not come up (see " + work + "/" + mode +
+          ".log)");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  // Warmup: brings every pool worker through blob restore (and the
+  // fork path through its first page-ins) before the clock starts.
+  for (int k = 0; k < kWarmup; ++k) {
+    submit_job(sock, mode, mode + "w" + std::to_string(k), tree, pid);
+  }
+  drain_to(sock, mode, kWarmup, pid);
+
+  const double t0 = now_ms();
+  for (int k = 0; k < kJobs; ++k) {
+    submit_job(sock, mode, mode + std::to_string(k), tree, pid);
+  }
+  reply = drain_to(sock, mode, kWarmup + kJobs, pid);
+  const double wall_ms = now_ms() - t0;
+
+  const long failed = counter(reply, "serve.failed") +
+                      counter(reply, "serve.shed");
+  if (failed != 0) {
+    stop_daemon(pid);
+    die(mode + ": " + std::to_string(failed) +
+        " job(s) failed/shed — not a valid throughput sample");
+  }
+  stop_daemon(pid);
+  *final_stats = reply;
+  return kJobs / (wall_ms / 1000.0);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  // Locate the daemon binary: explicit dir, or ../tools next to us.
+  std::string tools;
+  if (argc > 1) {
+    tools = argv[1];
+  } else {
+    tools = (fs::path(argv[0]).parent_path() / ".." / "tools").string();
+  }
+  const std::string served = tools + "/wavemin_served";
+  if (!fs::exists(served)) {
+    die("wavemin_served not found at " + served +
+        " (pass the build tools dir as the first argument)");
+  }
+
+  const std::string work = "perf_serve_work";
+  fs::create_directories(work);
+
+  // Small job: s15850 is the smallest circuit of the suite (22
+  // buffers), so per-job solve time is negligible against per-attempt
+  // characterization — the cost the pool's shared blob amortizes.
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  ClockTree tree = make_benchmark(spec_by_name("s15850"), lib);
+  const std::string tree_path = work + "/s15850.ctree";
+  save_tree(tree_path, tree);
+
+  // The blob carries the same --char-dt grid the fork workers build
+  // per attempt, so results stay byte-identical across modes.
+  const std::string blob_path = work + "/lib.wmblob";
+  CharacterizerOptions co;
+  co.dt = kCharDt;
+  blob::write_blob(blob_path, lib, Characterizer(lib, co));
+
+  std::string fork_stats;
+  std::string pool_stats;
+  const double fork_jps =
+      run_mode(served, work, "fork", tree_path, {}, &fork_stats);
+  const double pool_jps = run_mode(
+      served, work, "pool", tree_path,
+      {"--pool-workers", "3", "--blob", blob_path, "--shards-per-job",
+       "3"},
+      &pool_stats);
+  const double speedup = fork_jps > 0.0 ? pool_jps / fork_jps : 0.0;
+
+  // Faster must not mean different: every pool result is byte-identical
+  // to the fork-per-attempt result for the same job.
+  for (int k = 0; k < kJobs; ++k) {
+    const fs::path a =
+        fs::path(work) / "spool.fork" / ("fork" + std::to_string(k) + ".ctree");
+    const fs::path b =
+        fs::path(work) / "spool.pool" / ("pool" + std::to_string(k) + ".ctree");
+    if (slurp(a) != slurp(b)) {
+      die("pool result differs from fork result for job " +
+          std::to_string(k) + " (" + a.string() + " vs " + b.string() + ")");
+    }
+  }
+
+  // The point of the pool: the blob is restored, never recomputed.
+  if (counter(pool_stats, "serve.pool_characterized") != 0) {
+    die("pool workers characterized in-process — the blob was not used");
+  }
+  if (counter(pool_stats, "serve.pool_blob_restored") < 3) {
+    die("expected every pool worker to restore the blob");
+  }
+
+  std::printf("Serving throughput — %d x s15850 jobs, 3 workers\n\n", kJobs);
+  std::printf("  fork-per-attempt : %8.2f jobs/s\n", fork_jps);
+  std::printf("  worker pool      : %8.2f jobs/s\n", pool_jps);
+  std::printf("  speedup          : %8.2fx\n", speedup);
+
+  obs::MetricsRegistry reg;
+  reg.gauge_set("perf_serve.fork.jobs_per_sec", fork_jps);
+  reg.gauge_set("perf_serve.pool.jobs_per_sec", pool_jps);
+  reg.gauge_set("perf_serve.pool_speedup", speedup);
+  const char* env = std::getenv("WAVEMIN_BENCH_JSON");
+  const std::string out = env != nullptr ? env : "BENCH_perf.json";
+  obs::merge_into_file(reg.snapshot(), out);
+  std::printf("perf trajectory merged into %s\n", out.c_str());
+  return 0;
+}

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Regenerate the wavemin.blob/v1 negative corpus in tests/data/bad_io.
+
+Each fixture trips exactly one validation step of blob::View::map
+(src/io/blob.cpp), in the order the reader checks them: short file,
+magic, version, section count, declared size, CRC, section table.
+Fixtures past the CRC check carry a correct CRC-32 trailer (the reader
+verifies integrity before it parses the table), which is why these are
+generated rather than hand-hexed.
+
+Usage: python3 scripts/gen_bad_blobs.py [out-dir]
+       (default out-dir: tests/data/bad_io next to this script)
+"""
+
+import os
+import struct
+import sys
+import zlib
+
+MAGIC = b"WMBLOB1\n"
+VERSION = 1
+HEADER = 24       # magic[8] + u32 version + u32 count + u64 total
+ENTRY = 32        # name[16] + u64 off + u64 size
+
+
+def header(version, count, total):
+    return MAGIC + struct.pack("<IIQ", version, count, total)
+
+
+def entry(name, off, size):
+    return name.ljust(16, b"\0") + struct.pack("<QQ", off, size)
+
+
+def sealed(body):
+    """Append the CRC-32 trailer the reader recomputes."""
+    return body + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def valid_blob():
+    """A structurally valid one-section blob to corrupt from."""
+    payload = b"wavemin-negative-corpus-payload!"
+    total = HEADER + ENTRY + len(payload) + 4
+    body = (header(VERSION, 1, total) +
+            entry(b"library", HEADER + ENTRY, len(payload)) + payload)
+    return sealed(body)
+
+
+def main():
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), os.pardir,
+        "tests", "data", "bad_io")
+    fixtures = {}
+
+    # Shorter than header + CRC trailer: rejected before any parsing.
+    fixtures["blob_short.wmblob"] = b"WMBLOB1\n tiny"
+
+    # Wrong magic at offset 0 (size fields valid so only magic trips).
+    good = valid_blob()
+    fixtures["blob_bad_magic.wmblob"] = b"NOTABLOB" + good[8:]
+
+    # Unsupported version at offset 8; CRC resealed so version is the
+    # first (and only) check that fires.
+    body = header(99, 1, len(good)) + good[HEADER:-4]
+    fixtures["blob_bad_version.wmblob"] = sealed(body)
+
+    # Section count past kMaxSections (64) at offset 12.
+    body = header(VERSION, 65, len(good)) + good[HEADER:-4]
+    fixtures["blob_section_count.wmblob"] = sealed(body)
+
+    # Header declares a different total size at offset 16.
+    body = (MAGIC + struct.pack("<IIQ", VERSION, 1, len(good) + 100) +
+            good[HEADER:-4])
+    fixtures["blob_size_mismatch.wmblob"] = sealed(body)
+
+    # Single flipped bit in the CRC trailer: everything before the CRC
+    # check passes, the trailer itself lies.
+    flipped = bytearray(good)
+    flipped[-1] ^= 0x01
+    fixtures["blob_crc_flip.wmblob"] = bytes(flipped)
+
+    # Section count claims a table larger than the whole payload; CRC
+    # is valid so the table-bounds check is what fires (offset 24).
+    total = HEADER + 4
+    fixtures["blob_truncated_table.wmblob"] = sealed(
+        header(VERSION, 8, total))
+
+    # Table entry whose size runs past the CRC trailer (offset 24).
+    payload = b"short"
+    total = HEADER + ENTRY + len(payload) + 4
+    body = (header(VERSION, 1, total) +
+            entry(b"library", HEADER + ENTRY, 1 << 30) + payload)
+    fixtures["blob_oversize_section.wmblob"] = sealed(body)
+
+    # All-zero section name is unusable for lookup (offset 24).
+    payload = b"short"
+    total = HEADER + ENTRY + len(payload) + 4
+    body = (header(VERSION, 1, total) +
+            entry(b"", HEADER + ENTRY, len(payload)) + payload)
+    fixtures["blob_bad_name.wmblob"] = sealed(body)
+
+    for name, image in sorted(fixtures.items()):
+        path = os.path.join(out_dir, name)
+        with open(path, "wb") as f:
+            f.write(image)
+        print(f"{name}: {len(image)} bytes")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,7 +2,7 @@
 # Crash-consistency / restart-recovery e2e (docs/serving.md "Crash
 # recovery").
 #
-#   serve_restart_soak.sh <build-tools-dir> <work-dir>
+#   serve_restart_soak.sh <build-tools-dir> <work-dir> [fork|pool]
 #
 # Drives a real wavemin_served daemon through the durable-journal
 # contract and asserts on observable outcomes only:
@@ -23,16 +23,27 @@
 #      (--hang-timeout-ms) and the retry resumes from the checkpoint;
 #   6. SIGTERM still drains clean: exit 0, no socket, no orphans.
 #
+# Mode `pool` (ctest entry serve_pool_restart_soak) runs the same
+# crash-restart-exactly-once contract through the supervised worker
+# pool: both daemons serve from a shared wavemin.blob/v1 artifact with
+# zone-sharded jobs, so the restart replays the journal's shard-level
+# records and re-admits mid-flight pool plans. Phase 5 (the hung fork
+# worker) stays on the fork path in both modes — serve.worker_hang is
+# a fork-worker site; the pool's stall watchdog has its own soak leg
+# in serve_soak.sh.
+#
 # Exit 0 when every assertion holds.
 
 set -u
 
-BIN=${1:?usage: serve_restart_soak.sh <build-tools-dir> <work-dir>}
+BIN=${1:?usage: serve_restart_soak.sh <build-tools-dir> <work-dir> [fork|pool]}
 WORK=${2:?missing work dir}
+MODE=${3:-fork}
 
 CLI="$BIN/wavemin_cli"
 SERVED="$BIN/wavemin_served"
 CLIENT="$BIN/wavemin_client"
+BLOBC="$BIN/wavemin_blobc"
 SOCK="$WORK/wm.sock"
 SPOOL="$WORK/spool"
 LOG1="$WORK/daemon1.log"
@@ -73,6 +84,15 @@ mkdir -p "$SPOOL"
 
 "$CLI" gen s13207 -o "$WORK/clean.ctree" >/dev/null || fail "gen"
 
+# Pool mode: both daemons map the same shared artifact and shard jobs
+# across 2 pre-forked workers.
+POOL_ARGS=()
+if [ "$MODE" = "pool" ]; then
+  [ -x "$BLOBC" ] || fail "required binary not built: $BLOBC"
+  "$BLOBC" -o "$WORK/lib.wmblob" >/dev/null || fail "blob compile"
+  POOL_ARGS=(--pool-workers 2 --blob "$WORK/lib.wmblob" --shards-per-job 2)
+fi
+
 # --- 1. first daemon: fed 50 jobs, dies by its own scheduled SIGKILL -
 # serve.daemon_kill=12: the daemon SIGKILLs itself right after its 12th
 # worker launch — jobs in every state (terminal, running, queued) are
@@ -81,6 +101,7 @@ mkdir -p "$SPOOL"
 "$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 64 --workers 4 \
   --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
   --journal-sync always \
+  ${POOL_ARGS[@]+"${POOL_ARGS[@]}"} \
   --fault-spec "serve.daemon_kill=12,serve.journal_torn=9" \
   --verbose >"$LOG1" 2>&1 &
 DAEMON_PID=$!
@@ -117,6 +138,7 @@ echo 'tree droppings' > "$SPOOL/ghost.ctree"
 "$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 64 --workers 4 \
   --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
   --journal-sync always --journal-compact-bytes 2000 \
+  ${POOL_ARGS[@]+"${POOL_ARGS[@]}"} \
   --verbose >"$LOG2" 2>&1 &
 DAEMON_PID=$!
 
@@ -167,9 +189,20 @@ while [ "$pending" -gt 0 ]; do
 done
 kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon 2 died during the batch"
 
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats before resubmit"
+if [ "$MODE" = "pool" ]; then
+  # The batch must actually have flowed through the pool, with every
+  # worker serving off the mapped blob (zero in-process simulation).
+  [ "$(counter "$STATS" serve.pool_jobs)" -ge 1 ] \
+    || fail "no job ran through the pool after the restart: $STATS"
+  [ "$(counter "$STATS" serve.pool_blob_restored)" -ge 2 ] \
+    || fail "pool workers did not restore the shared blob: $STATS"
+  [ "$(counter "$STATS" serve.pool_characterized)" = "0" ] \
+    || fail "a pool worker characterized in-process despite the blob: $STATS"
+fi
+
 # Exactly-once: resubmitting all 50 finished jobs must answer every
 # one from the result cache — zero additional worker launches.
-STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats before resubmit"
 launched_before=$(counter "$STATS" serve.launched)
 hits_before=$(counter "$STATS" serve.result_cache_hits)
 for k in $(seq 1 50); do

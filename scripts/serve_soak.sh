@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Serving-layer soak / chaos acceptance e2e (docs/serving.md).
 #
-#   serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir>
+#   serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir> [fork|pool]
 #
 # Drives a real wavemin_served daemon through the full resilience
 # matrix and asserts on observable outcomes only (client frames, stats
-# counters, process table):
+# counters, process table).
+#
+# Mode `fork` (default) — the classic fork-per-attempt supervisor:
 #
 #   1. stale *.wmck.tmp in the spool is swept on boot (ck.stale_tmp_removed);
 #   2. a 50-job clean batch with serve.worker_kill=3 armed (the 3rd
@@ -18,13 +20,33 @@
 #      breaker, and later submits of the same design are quarantined;
 #   4. SIGTERM drains: exit code 0, no orphan workers, no socket file.
 #
+# Mode `pool` — the supervised zone-sharded worker pool
+# (docs/serving.md "Worker pool"), registered in ctest as
+# serve_pool_soak:
+#
+#   P0. a corrupt wavemin.blob/v1 is rejected loudly at boot and the
+#       daemon degrades to fork-per-attempt (serve.pool_degraded);
+#   P1. a fork-mode run produces the reference output tree;
+#   P2. a pool daemon with serve.worker_kill=2 armed loses one worker
+#       mid-job: only the victim's stripe is retried (serve.shard_retries
+#       <= serve.pool_worker_deaths), sibling checkpoints are reused by
+#       the merge (serve.resumed_zones > 0), every worker restored the
+#       LUT from the shared blob (zero in-worker characterization), and
+#       the pool output is byte-identical to the fork reference;
+#   P3. a stripe that keeps dying (serve.shard_poison) is quarantined
+#       after its retries and the job completes degraded, not failed;
+#   P4. pool collapse (--pool-collapse 1 + a worker kill) degrades to
+#       fork-per-attempt with the in-flight job completing exactly once,
+#       still byte-identical; SIGTERM then drains with no orphans.
+#
 # Exit 0 when every assertion holds.
 
 set -u
 
-BIN=${1:?usage: serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir>}
+BIN=${1:?usage: serve_soak.sh <build-tools-dir> <bad_io-dir> <work-dir> [fork|pool]}
 BADIO=${2:?missing bad_io dir}
 WORK=${3:?missing work dir}
+MODE=${4:-fork}
 
 CLI="$BIN/wavemin_cli"
 SERVED="$BIN/wavemin_served"
@@ -67,6 +89,149 @@ rm -rf "$WORK"
 mkdir -p "$SPOOL"
 
 "$CLI" gen s15850 -o "$WORK/clean.ctree" >/dev/null || fail "gen"
+
+# =====================================================================
+# Pool mode (serve_pool_soak): the supervised zone-sharded worker pool.
+# =====================================================================
+if [ "$MODE" = "pool" ]; then
+  BLOBC="$BIN/wavemin_blobc"
+  [ -x "$BLOBC" ] || fail "required binary not built: $BLOBC" \
+    "(cmake --build <build> --target wavemin_blobc)"
+
+  # One daemon at a time; each phase gets a fresh spool so counters and
+  # journals never bleed across phases.
+  start_daemon() {  # start_daemon <spool> <daemon args...>
+    local spool=$1; shift
+    rm -rf "$spool"; mkdir -p "$spool"
+    "$SERVED" --socket "$SOCK" --spool "$spool" --queue 64 \
+      --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 \
+      --seed 7 --verbose "$@" >>"$LOG" 2>&1 &
+    DAEMON_PID=$!
+    "$CLIENT" --socket "$SOCK" --connect-wait-ms 10000 health \
+      >/dev/null || fail "daemon did not come up ($*)"
+  }
+
+  stop_daemon() {  # SIGTERM drain; daemon must exit 0
+    kill -TERM "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID"
+    local rc=$?
+    [ "$rc" = "0" ] || fail "daemon exited $rc on drain"
+    DAEMON_PID=""
+  }
+
+  # job_state <submit-frame> -> the terminal state string
+  job_state() {
+    printf '%s' "$1" | grep -o '"state": "[a-z]*"' | head -1 \
+      | sed 's/.*"state": "//; s/"//'
+  }
+
+  "$BLOBC" -o "$WORK/lib.wmblob" --check >/dev/null \
+    || fail "wavemin_blobc could not compile the shared blob"
+
+  # --- P0. corrupt blob: loud rejection, fork-mode fallback ----------
+  cp "$WORK/lib.wmblob" "$WORK/bad.wmblob"
+  printf '\377\377\377\377' \
+    | dd of="$WORK/bad.wmblob" bs=1 seek=100 conv=notrunc 2>/dev/null
+  cmp -s "$WORK/lib.wmblob" "$WORK/bad.wmblob" \
+    && fail "test bug: blob corruption was a no-op"
+  start_daemon "$SPOOL.p0" --workers 2 --pool-workers 2 \
+    --blob "$WORK/bad.wmblob" --shards-per-job 3
+  STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "p0 stats"
+  [ "$(counter "$STATS" serve.pool_degraded)" -ge 1 ] \
+    || fail "corrupt blob did not degrade the pool: $STATS"
+  # Degraded, not dead: the fork path still serves jobs.
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id p0 \
+    --wait --timeout-ms 120000) || fail "p0 fork-fallback job: $R"
+  [ "$(job_state "$R")" = "done" ] || fail "p0 job not done: $R"
+  stop_daemon
+
+  # --- P1. fork-mode reference output --------------------------------
+  start_daemon "$SPOOL.p1" --workers 2
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id ref \
+    --out "$WORK/ref.ctree" --wait --timeout-ms 120000) \
+    || fail "reference job: $R"
+  [ -f "$WORK/ref.ctree" ] || fail "reference output missing"
+  stop_daemon
+
+  # --- P2. worker kill mid-job: zone-granular recovery ---------------
+  start_daemon "$SPOOL.p2" --workers 2 --pool-workers 3 \
+    --blob "$WORK/lib.wmblob" --shards-per-job 3 --shard-retries 2 \
+    --fault-spec "serve.worker_kill=2"
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id kill1 \
+    --max-retries 3 --wait --timeout-ms 300000) || fail "kill1: $R"
+  [ "$(job_state "$R")" = "done" ] || fail "kill1 not done: $R"
+  # The chaos schedule (hit 2) is spent; this job runs clean and its
+  # output must match the fork reference bit for bit.
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id ident \
+    --out "$WORK/pool_ident.ctree" --wait --timeout-ms 300000) \
+    || fail "ident: $R"
+  cmp -s "$WORK/ref.ctree" "$WORK/pool_ident.ctree" \
+    || fail "pool output differs from fork-per-attempt output"
+
+  STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "p2 stats"
+  deaths=$(counter "$STATS" serve.pool_worker_deaths)
+  retries=$(counter "$STATS" serve.shard_retries)
+  [ "$deaths" -ge 1 ] || fail "no pool worker death recorded: $STATS"
+  [ "$retries" -ge 1 ] || fail "victim's stripe was not retried: $STATS"
+  # Zone granularity: a worker death re-runs at most the one stripe the
+  # victim held — sibling results are reused, never re-solved.
+  [ "$retries" -le "$deaths" ] \
+    || fail "more stripes retried ($retries) than workers died ($deaths): $STATS"
+  [ "$(counter "$STATS" serve.resumed_zones)" -ge 1 ] \
+    || fail "merge did not reuse sibling shard checkpoints: $STATS"
+  [ "$(counter "$STATS" serve.pool_spawned)" -ge 4 ] \
+    || fail "killed worker was not respawned: $STATS"
+  # The shared blob did the characterization exactly once (at blobc
+  # time): every worker restored, none re-characterized.
+  [ "$(counter "$STATS" serve.pool_blob_restored)" -ge 3 ] \
+    || fail "workers did not restore the LUT from the blob: $STATS"
+  [ "$(counter "$STATS" serve.pool_characterized)" = "0" ] \
+    || fail "a pool worker re-ran characterization despite the blob: $STATS"
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died in phase P2"
+  stop_daemon
+
+  # --- P3. poisoned stripe: quarantined, job degrades ----------------
+  start_daemon "$SPOOL.p3" --workers 2 --pool-workers 2 \
+    --blob "$WORK/lib.wmblob" --shards-per-job 3 --shard-retries 1 \
+    --fault-spec "serve.shard_poison=1"
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id poi \
+    --max-retries 3 --wait --timeout-ms 300000) || fail "poi: $R"
+  [ "$(job_state "$R")" = "degraded" ] \
+    || fail "poisoned stripe did not degrade the job: $R"
+  STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "p3 stats"
+  [ "$(counter "$STATS" serve.shard_poisoned)" -ge 1 ] \
+    || fail "stripe was not quarantined: $STATS"
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died in phase P3"
+  stop_daemon
+
+  # --- P4. pool collapse: degrade to fork, exactly-once, drain -------
+  start_daemon "$SPOOL.p4" --workers 2 --pool-workers 2 \
+    --blob "$WORK/lib.wmblob" --shards-per-job 3 --pool-collapse 1 \
+    --fault-spec "serve.worker_kill=1"
+  R=$("$CLIENT" --socket "$SOCK" submit "$WORK/clean.ctree" --id col \
+    --out "$WORK/collapse.ctree" --max-retries 3 --wait \
+    --timeout-ms 300000) || fail "col: $R"
+  [ "$(job_state "$R")" = "done" ] || fail "collapse job not done: $R"
+  STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "p4 stats"
+  [ "$(counter "$STATS" serve.pool_degraded)" -ge 1 ] \
+    || fail "pool collapse did not degrade to fork-per-attempt: $STATS"
+  [ "$(counter "$STATS" serve.done)" = "1" ] \
+    || fail "collapse job not completed exactly once: $STATS"
+  cmp -s "$WORK/ref.ctree" "$WORK/collapse.ctree" \
+    || fail "post-collapse fork output differs from the reference"
+
+  kill -TERM "$DAEMON_PID"
+  wait "$DAEMON_PID"
+  rc=$?
+  [ "$rc" = "0" ] || fail "daemon exited $rc after SIGTERM"
+  [ -S "$SOCK" ] && fail "socket file leaked after drain"
+  LEFT=$(pgrep -f "wavemin_served --socket $SOCK" | wc -l)
+  [ "$LEFT" = "0" ] || fail "$LEFT orphan daemon/pool process(es) leaked"
+  DAEMON_PID=""
+
+  echo "serve_pool_soak: PASS"
+  exit 0
+fi
 
 # --- 1. boot: stale tmp sweep ----------------------------------------
 echo "stale droppings" > "$SPOOL/dead.wmck.tmp"

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace wm {
@@ -31,6 +33,31 @@ Characterizer::Characterizer(const CellLibrary& lib,
     }
     table_.push_back(std::move(waves));
   }
+  // The serving layer's throughput lever hangs off this counter: a
+  // fork-per-attempt worker pays it every job, a blob-backed pool
+  // worker at most once per process (docs/serving.md).
+  obs::add(obs::global(), "cells.characterized", table_.size());
+}
+
+Characterizer Characterizer::restore(
+    CharacterizerOptions opts,
+    std::unordered_map<std::string, std::size_t> cell_index,
+    std::vector<std::vector<CellWave>> table) {
+  WM_REQUIRE(cell_index.size() == table.size(),
+             "characterizer restore: index/table size mismatch");
+  const std::size_t want =
+      opts.load_bins.size() * opts.vdds.size() * opts.temps.size();
+  for (const auto& waves : table) {
+    WM_REQUIRE(waves.size() == want,
+               "characterizer restore: table row does not match the "
+               "options grid");
+  }
+  Characterizer chr;
+  chr.opts_ = std::move(opts);
+  chr.cell_index_ = std::move(cell_index);
+  chr.table_ = std::move(table);
+  obs::add(obs::global(), "cells.lut_restored", chr.table_.size());
+  return chr;
 }
 
 std::size_t Characterizer::bin_index(Ff c_load) const {

@@ -39,9 +39,30 @@ struct CharacterizerOptions {
 
 class Characterizer {
  public:
+  /// Eager characterization: simulates every cell over the full grid
+  /// (counts "cells.characterized" — the serving layer asserts pool
+  /// workers pay this at most once per process, docs/serving.md).
   Characterizer(const CellLibrary& lib, CharacterizerOptions opts = {});
 
+  /// Rebuild from a precomputed table — the wavemin.blob/v1 load path
+  /// (io/blob.hpp); no simulation runs ("cells.lut_restored"). The
+  /// table must come from a Characterizer with the same options over
+  /// the same cells; lookups are then bit-identical to the original.
+  static Characterizer restore(
+      CharacterizerOptions opts,
+      std::unordered_map<std::string, std::size_t> cell_index,
+      std::vector<std::vector<CellWave>> table);
+
   const CharacterizerOptions& options() const { return opts_; }
+
+  /// Serialization access (io/blob.cpp): the LUT proper and the
+  /// cell-name -> table-row mapping.
+  const std::vector<std::vector<CellWave>>& table() const {
+    return table_;
+  }
+  const std::unordered_map<std::string, std::size_t>& cell_index() const {
+    return cell_index_;
+  }
 
   /// Characterized response of `cell` at the nearest load bin / exact
   /// vdd and temperature. Throws wm::Error for an unknown cell or an
@@ -67,6 +88,8 @@ class Characterizer {
                   Ps extra_delay = 0.0, double temp_c = 25.0) const;
 
  private:
+  Characterizer() = default;  // restore() fills the members directly
+
   std::size_t bin_index(Ff c_load) const;
   std::size_t vdd_index(Volt vdd) const;
   std::size_t temp_index(double temp_c) const;

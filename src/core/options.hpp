@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mosp/vecops.hpp"
 #include "util/budget.hpp"
@@ -130,12 +131,52 @@ struct WaveMinOptions {
   /// "ck.write_failures" counter — it never aborts a healthy run.
   std::string checkpoint_path;
 
+  /// Minimum wall-clock spacing between mid-run checkpoint writes. A
+  /// crash loses at most this much solved work; the final flush after
+  /// the sweep is unconditional, so a clean run always leaves a
+  /// complete checkpoint. Each write snapshots the whole memo, so the
+  /// dense cadence (0 = after every intersection that grew the memo)
+  /// costs O(intersections x zones) serialization and dominates small
+  /// runs — only the chaos harness, which wants a kill point at every
+  /// write, should ask for it. Never part of the resume fingerprint.
+  double checkpoint_interval_ms = 100.0;
+
   /// When non-empty, preload zone solutions from this checkpoint before
   /// solving. The checkpoint's options/design fingerprint must match
   /// this run's (else wm::Error); matched entries skip their zone
   /// solves and the run's results are bit-identical to an uninterrupted
   /// one. The count lands in RunReport::resumed_zones.
   std::string resume_path;
+
+  /// Additional checkpoints to preload alongside resume_path — the
+  /// shard-merge run feeds every shard's .wmck through here and then
+  /// finds 100% memo hits. Same fingerprint contract as resume_path;
+  /// duplicate keys keep the first entry seen.
+  std::vector<std::string> resume_paths;
+
+  // --- zone-sharded serving (docs/serving.md "Worker pool") ----------
+  // None of these feed ck::options_fingerprint: a shard's checkpoint
+  // must interoperate with its siblings', with the merge run's, and
+  // with a fork-per-attempt retry of the same job.
+
+  /// Shard the zone space: with shard_count > 1 and shard_index >= 0,
+  /// the run solves only zones z with z % shard_count == shard_index,
+  /// checkpoints them, and skips winner selection + assignment (the
+  /// merge run owns those; WaveMinResult::sharded is set). Zones are
+  /// independent, deterministic subproblems, so shard + merge is
+  /// bit-identical to a monolithic run.
+  int shard_count = 0;
+  /// Which stripe this run owns; -1 with shard_count > 1 marks the
+  /// merge run (solves nothing that a shard already solved, but may
+  /// fill stripes a poisoned shard never delivered).
+  int shard_index = -1;
+
+  /// Shard stripes forced straight to the identity rung without
+  /// solving ("run.zones_forced_identity"): the serving supervisor
+  /// lists the stripes of shards that exhausted their retries, so the
+  /// merge completes degraded (exit 3) instead of failing the job.
+  /// Ignored when shard_count <= 1.
+  std::vector<int> identity_shards;
 
   /// Collect wm::obs phase timers / counters / histograms during the
   /// run (docs/observability.md lists the catalog). Off by default:

@@ -124,10 +124,39 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
 
   // Checkpoint/resume binds to an options/design fingerprint computed
   // over the *input* tree (before the assignment phase mutates it).
-  const bool use_ck =
-      !opts.checkpoint_path.empty() || !opts.resume_path.empty();
+  const bool use_ck = !opts.checkpoint_path.empty() ||
+                      !opts.resume_path.empty() ||
+                      !opts.resume_paths.empty();
   const std::uint64_t ck_fp =
       use_ck ? ck::options_fingerprint(opts, tree, lib, modes) : 0;
+
+  // Zone sharding (docs/serving.md "Worker pool"): a shard run solves
+  // only its stripe of the zone space and skips winner selection; the
+  // merge run (shard_index < 0) behaves as a normal full run — any
+  // stripe a shard delivered is a memo hit, any stripe lost to a
+  // poisoned shard is either re-solved here or, when listed in
+  // identity_shards, forced down to the ladder bottom.
+  const bool shard_run = opts.shard_count > 1 && opts.shard_index >= 0;
+  if (shard_run) {
+    WM_REQUIRE(opts.shard_index < opts.shard_count,
+               "shard_index out of range");
+    obs::add(m, "wavemin.shard_runs");
+  }
+  auto zone_owned = [&](std::size_t z) {
+    return !shard_run ||
+           static_cast<int>(z % static_cast<std::size_t>(
+                                    opts.shard_count)) == opts.shard_index;
+  };
+  auto zone_forced_identity = [&](std::size_t z) {
+    if (opts.shard_count <= 1 || opts.identity_shards.empty()) {
+      return false;
+    }
+    const int stripe = static_cast<int>(
+        z % static_cast<std::size_t>(opts.shard_count));
+    return std::find(opts.identity_shards.begin(),
+                     opts.identity_shards.end(),
+                     stripe) != opts.identity_shards.end();
+  };
 
   const ZoneMap zones(tree, opts.zone_tile);
   result.zones = zones.zones().size();
@@ -193,9 +222,19 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
 
   std::unordered_map<std::size_t, ZoneSolution> memo;
 
-  // --- resume: preload memoized zone solutions from a checkpoint ------
-  if (!opts.resume_path.empty()) {
-    const ck::Checkpoint c = ck::load(opts.resume_path, ck_fp);
+  // --- resume: preload memoized zone solutions from checkpoints -------
+  // resume_path plus every resume_paths entry (the shard merge feeds
+  // all shard checkpoints through here). Keys collide only between
+  // shards that solved the same (zone, mask) — identical entries by
+  // determinism — so first-wins emplace is safe.
+  std::vector<std::string> resume_from;
+  if (!opts.resume_path.empty()) resume_from.push_back(opts.resume_path);
+  for (const std::string& p : opts.resume_paths) {
+    if (!p.empty()) resume_from.push_back(p);
+  }
+  for (const std::string& path : resume_from) {
+    const ck::Checkpoint c = ck::load(path, ck_fp);
+    std::size_t loaded = 0;
     for (const ck::ZoneEntry& z : c.zones) {
       ZoneSolution zs;
       zs.worst = z.worst;
@@ -204,16 +243,21 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
       zs.beam_capped = z.beam_capped;
       zs.elapsed_ms = z.elapsed_ms;
       zs.error = z.error;
-      memo.emplace(static_cast<std::size_t>(z.key), std::move(zs));
+      if (memo.emplace(static_cast<std::size_t>(z.key), std::move(zs))
+              .second) {
+        ++loaded;
+      }
     }
-    result.report.resumed_zones = c.zones.size();
-    obs::add(m, "ck.zones_resumed", c.zones.size());
-    WM_LOG(Info) << "wavemin: resumed " << c.zones.size()
-                 << " zone solution(s) from " << opts.resume_path;
+    result.report.resumed_zones += loaded;
+    obs::add(m, "ck.zones_resumed", loaded);
+    WM_LOG(Info) << "wavemin: resumed " << loaded
+                 << " zone solution(s) from " << path;
   }
 
-  // --- checkpoint writer: snapshot the memo after each intersection ---
+  // --- checkpoint writer: snapshot the memo, throttled by the
+  // checkpoint_interval_ms cadence (final flush is unconditional) -----
   std::size_t ck_written = 0;
+  double last_ck_ms = 0.0;
   auto write_checkpoint = [&] {
     ck::Checkpoint c;
     c.options_hash = ck_fp;
@@ -278,14 +322,17 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
     // Phase 1: solve the memo misses (optionally in parallel — zones
     // are independent subproblems).
     std::vector<std::size_t> misses;
+    std::size_t owned_nonempty = 0;
     for (std::size_t z = 0; z < zones.zones().size(); ++z) {
       if (zone_sinks[z].empty()) continue;
+      if (!zone_owned(z)) continue;  // another shard's stripe
+      ++owned_nonempty;
       if (memo.find(zone_mask_key(z, zone_sinks[z], x)) == memo.end()) {
         misses.push_back(z);
       }
     }
     obs::add(m, "wavemin.zone_solves", misses.size());
-    obs::add(m, "wavemin.zone_memo_hits", nonempty_zones - misses.size());
+    obs::add(m, "wavemin.zone_memo_hits", owned_nonempty - misses.size());
     // Zone MOSP verification reports are collected per miss and
     // enforced on the main thread only — workers must not throw.
     std::vector<verify::Report> mosp_reports(
@@ -295,9 +342,13 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
       const auto zwall0 = std::chrono::steady_clock::now();
       const obs::Nanos zt0 = m != nullptr ? m->now() : 0;
       ZoneSolution zs;
-      // Ladder bottom first: a zone whose turn comes after the budget
-      // tripped is not solved at all — identity assignment, no graph.
-      if (tracker != nullptr && tracker->should_stop()) {
+      // Ladder bottom first: a stripe the serving supervisor gave up on
+      // (identity_shards), or a zone whose turn comes after the budget
+      // tripped, is not solved at all — identity assignment, no graph.
+      if (zone_forced_identity(z)) {
+        zs = identity_solution(zone_sinks[z], x);
+        obs::add(m, "run.zones_forced_identity");
+      } else if (tracker != nullptr && tracker->should_stop()) {
         zs = identity_solution(zone_sinks[z], x);
       } else {
         auto run_ladder = [&]() -> ZoneSolution {
@@ -403,31 +454,45 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
       verify::enforce(merged, "zone-mosp");
     }
 
-    // Phase 2: aggregate.
-    double global_worst = 0.0;
-    bool unmodeled = false;  // any identity-degraded zone in this mix?
-    std::vector<std::vector<int>> choices(zones.zones().size());
-    for (std::size_t z = 0; z < zones.zones().size(); ++z) {
-      if (zone_sinks[z].empty()) continue;
-      const auto it = memo.find(zone_mask_key(z, zone_sinks[z], x));
-      WM_ASSERT(it != memo.end(), "zone solution missing");
-      global_worst = std::max(global_worst, it->second.worst);
-      if (it->second.ladder == LadderLevel::Identity) unmodeled = true;
-      choices[z] = it->second.choice;
-    }
-    result.dof_scatter.push_back({x.dof, global_worst});
-    const double cmp =
-        unmodeled ? std::numeric_limits<double>::infinity() : global_worst;
-    if (best_x == nullptr || cmp < best_cmp) {
-      WM_LOG(Debug) << "intersection dof=" << x.dof << " improves worst "
-                    << best_worst << " -> " << global_worst;
-      best_cmp = cmp;
-      best_worst = global_worst;
-      best_x = &x;
-      best_choices = std::move(choices);
+    // Phase 2: aggregate. A shard run only fills the memo — winner
+    // selection needs every stripe, which is the merge run's job.
+    if (!shard_run) {
+      double global_worst = 0.0;
+      bool unmodeled = false;  // any identity-degraded zone in this mix?
+      std::vector<std::vector<int>> choices(zones.zones().size());
+      for (std::size_t z = 0; z < zones.zones().size(); ++z) {
+        if (zone_sinks[z].empty()) continue;
+        const auto it = memo.find(zone_mask_key(z, zone_sinks[z], x));
+        WM_ASSERT(it != memo.end(), "zone solution missing");
+        global_worst = std::max(global_worst, it->second.worst);
+        if (it->second.ladder == LadderLevel::Identity) unmodeled = true;
+        choices[z] = it->second.choice;
+      }
+      result.dof_scatter.push_back({x.dof, global_worst});
+      const double cmp = unmodeled
+                             ? std::numeric_limits<double>::infinity()
+                             : global_worst;
+      if (best_x == nullptr || cmp < best_cmp) {
+        WM_LOG(Debug) << "intersection dof=" << x.dof << " improves worst "
+                      << best_worst << " -> " << global_worst;
+        best_cmp = cmp;
+        best_worst = global_worst;
+        best_x = &x;
+        best_choices = std::move(choices);
+      }
     }
     if (!opts.checkpoint_path.empty() && memo.size() > ck_written) {
-      write_checkpoint();
+      // Bounded-staleness cadence: a mid-sweep write only after the
+      // configured quiet period, so fast runs pay one final flush
+      // instead of a full-memo rewrite per intersection.
+      const double el = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+      if (opts.checkpoint_interval_ms <= 0.0 ||
+          el - last_ck_ms >= opts.checkpoint_interval_ms) {
+        write_checkpoint();
+        last_ck_ms = el;
+      }
     }
   }
   }  // phase zone_solve
@@ -435,6 +500,32 @@ WaveMinResult run_wavemin_impl(ClockTree& tree, const CellLibrary& lib,
   // more so the checkpoint always covers every solved zone.
   if (!opts.checkpoint_path.empty() && memo.size() > ck_written) {
     write_checkpoint();
+  }
+
+  if (shard_run) {
+    // The shard's deliverable is its checkpoint; report only what this
+    // stripe saw so the serving layer can account for degradation.
+    for (const auto& entry : memo) {
+      if (!entry.second.error.empty()) {
+        ++result.report.quarantined_errors;
+      }
+    }
+    if (tracker != nullptr) {
+      result.report.deadline_hit = tracker->deadline_expired();
+      result.report.label_budget_hit = tracker->labels_exhausted();
+      result.report.cancelled = tracker->cancelled();
+      result.report.labels_consumed = tracker->labels_consumed();
+    }
+    result.sharded = true;
+    result.success = true;
+    result.runtime_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    WM_LOG(Info) << "wavemin: shard " << opts.shard_index << "/"
+                 << opts.shard_count << " solved " << memo.size()
+                 << " zone solution(s) over " << intersections_evaluated
+                 << " intersection(s)";
+    return result;
   }
 
   WM_ASSERT(best_x != nullptr, "no intersection evaluated");

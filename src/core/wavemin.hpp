@@ -31,6 +31,12 @@ struct DofSample {
 
 struct WaveMinResult {
   bool success = false;
+  /// True for a shard run (opts.shard_count > 1, shard_index >= 0):
+  /// the owned zone stripes were solved and checkpointed, but no
+  /// winner was chosen and the tree was not touched — model_peak,
+  /// chosen_dof and zone_peaks are not populated. The merge run (which
+  /// preloads every shard checkpoint) produces the full result.
+  bool sharded = false;
   double model_peak = 0.0;  ///< optimizer objective at the chosen
                             ///< intersection: max over zones of the
                             ///< min-max path cost (uA)

@@ -60,6 +60,20 @@ const std::vector<Site>& site_catalog() {
       {"ck.hang_after_write", "ck", Action::Hang, "watchdog SIGKILL"},
       {"serve.journal_torn", "serve", Action::Error, "torn tail dropped"},
       {"serve.daemon_kill", "serve", Action::Kill, "SIGKILL"},
+      // Worker-pool chaos (docs/serving.md "Worker pool").
+      // pool_worker_stall wedges a pool worker mid-shard: the
+      // supervisor note()s each shard assignment and the one landing
+      // on the scheduled hit is told to stall, until the pool watchdog
+      // SIGKILLs and respawns the worker and the shard retries
+      // elsewhere. shard_poison is its deterministic twin: the chosen
+      // shard fails on *every* attempt, exhausts its retries, and
+      // degrades its zones via the identity rung (job exit 3).
+      // blob_corrupt makes the next wavemin.blob/v1 map fail exactly
+      // like real corruption — a loud rejection, never silent reuse.
+      {"serve.pool_worker_stall", "serve", Action::Hang,
+       "pool watchdog SIGKILL"},
+      {"serve.shard_poison", "serve", Action::Error, "3"},
+      {"io.blob_corrupt", "io", Action::Error, "rejected at map"},
   };
   return catalog;
 }

@@ -1,0 +1,490 @@
+#include "io/blob.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "fault/fault.hpp"
+#include "util/crc32.hpp"
+#include "util/error.hpp"
+#include "util/posix_io.hpp"
+
+namespace wm::blob {
+
+namespace {
+
+// ---- little-endian scalar plumbing ----------------------------------
+// Raw IEEE bits for doubles (bit-exact round trips); explicit byte
+// order for integers so a blob compiled on any host maps on any other.
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_str(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Bounds-checked cursor over one section's payload. Every decode
+/// failure names the blob's section so a truncated record is a loud,
+/// attributable rejection rather than a read past the mapping.
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t left;
+  const char* what;
+
+  void need(std::size_t n) const {
+    if (left < n) {
+      throw Error(std::string("blob: truncated \"") + what +
+                  "\" section (needed " + std::to_string(n) +
+                  " more byte(s))");
+    }
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = read_u32(p);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    const std::uint64_t v = read_u64(p);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return s;
+  }
+};
+
+// ---- waveform / LUT record codecs -----------------------------------
+
+void put_waveform(std::vector<std::uint8_t>& out, const Waveform& w) {
+  put_u64(out, w.size());
+  if (w.empty()) return;  // identically-zero waveform: no grid to keep
+  put_f64(out, w.t0());
+  put_f64(out, w.dt());
+  for (std::size_t i = 0; i < w.size(); ++i) put_f64(out, w[i]);
+}
+
+Waveform read_waveform(Cursor& c) {
+  const std::uint64_t n = c.u64();
+  if (n == 0) return Waveform();
+  const double t0 = c.f64();
+  const double dt = c.f64();
+  std::vector<double> samples;
+  samples.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) samples.push_back(c.f64());
+  return Waveform(t0, dt, std::move(samples));
+}
+
+void put_doubles(std::vector<std::uint8_t>& out,
+                 const std::vector<double>& xs) {
+  put_u32(out, static_cast<std::uint32_t>(xs.size()));
+  for (double x : xs) put_f64(out, x);
+}
+
+std::vector<double> read_doubles(Cursor& c) {
+  const std::uint32_t n = c.u32();
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) xs.push_back(c.f64());
+  return xs;
+}
+
+std::string offset_error(const std::string& path, std::size_t offset,
+                         const std::string& what) {
+  return "blob: " + path + ": " + what + " at offset " +
+         std::to_string(offset);
+}
+
+} // namespace
+
+// ---- Writer ---------------------------------------------------------
+
+void Writer::add_section(std::string_view name,
+                         std::vector<std::uint8_t> bytes) {
+  WM_REQUIRE(!name.empty() && name.size() < kSectionNameBytes,
+             "blob: section name must be 1..15 bytes");
+  for (const Section& s : sections_) {
+    WM_REQUIRE(s.name != name, "blob: duplicate section \"" +
+                                   std::string(name) + "\"");
+  }
+  sections_.push_back({std::string(name), std::move(bytes)});
+}
+
+std::vector<std::uint8_t> Writer::to_bytes() const {
+  const std::size_t table_bytes = sections_.size() * kSectionEntryBytes;
+  std::size_t total = kHeaderBytes + table_bytes + 4;
+  for (const Section& s : sections_) total += s.bytes.size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(total);
+  out.insert(out.end(), kBlobMagic.begin(), kBlobMagic.end());
+  put_u32(out, kBlobVersion);
+  put_u32(out, static_cast<std::uint32_t>(sections_.size()));
+  put_u64(out, total);
+  std::size_t off = kHeaderBytes + table_bytes;
+  for (const Section& s : sections_) {
+    std::uint8_t name[kSectionNameBytes] = {};
+    std::memcpy(name, s.name.data(), s.name.size());
+    out.insert(out.end(), name, name + kSectionNameBytes);
+    put_u64(out, off);
+    put_u64(out, s.bytes.size());
+    off += s.bytes.size();
+  }
+  for (const Section& s : sections_) {
+    out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+  }
+  put_u32(out, crc32(out.data(), out.size()));
+  return out;
+}
+
+void Writer::save(const std::string& path) const {
+  const std::vector<std::uint8_t> image = to_bytes();
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw Error("blob: cannot open " + tmp + " for write");
+  }
+  const bool wrote =
+      write_all(fd, image.data(), image.size()) && ::fsync(fd) == 0;
+  ::close(fd);
+  if (!wrote || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw Error("blob: write failed for " + path);
+  }
+}
+
+// ---- View -----------------------------------------------------------
+
+View::View(View&& other) noexcept
+    : path_(std::move(other.path_)),
+      data_(other.data_),
+      size_(other.size_),
+      entries_(std::move(other.entries_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+View& View::operator=(View&& other) noexcept {
+  if (this != &other) {
+    this->~View();
+    new (this) View(std::move(other));
+  }
+  return *this;
+}
+
+View::~View() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    data_ = nullptr;
+  }
+}
+
+View View::map(const std::string& path) {
+  // Chaos hook: an armed io.blob_corrupt makes this map fail exactly
+  // like real corruption would, so the pool's loud-rejection path is
+  // testable without hand-flipping bits on disk.
+  fault::inject("io.blob_corrupt");
+
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error("blob: cannot open " + path);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("blob: cannot stat " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < kHeaderBytes + 4) {
+    ::close(fd);
+    throw Error("blob: " + path + ": short file (" +
+                std::to_string(size) + " bytes, header needs " +
+                std::to_string(kHeaderBytes + 4) + ")");
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    throw Error("blob: cannot mmap " + path);
+  }
+  View v;
+  v.path_ = path;
+  v.data_ = static_cast<const std::uint8_t*>(mem);
+  v.size_ = size;
+
+  // Validation order matters for the error offsets the negative corpus
+  // pins: magic, version, section count, declared size, CRC, table.
+  if (std::memcmp(v.data_, kBlobMagic.data(), kBlobMagic.size()) != 0) {
+    throw Error(offset_error(path, 0, "bad magic"));
+  }
+  const std::uint32_t version = read_u32(v.data_ + 8);
+  if (version != kBlobVersion) {
+    throw Error(offset_error(path, 8,
+                             "unsupported version " +
+                                 std::to_string(version) + " (want " +
+                                 std::to_string(kBlobVersion) + ")"));
+  }
+  const std::uint32_t n_sections = read_u32(v.data_ + 12);
+  if (n_sections > kMaxSections) {
+    throw Error(offset_error(path, 12,
+                             "section count " +
+                                 std::to_string(n_sections) +
+                                 " out of range"));
+  }
+  const std::uint64_t declared = read_u64(v.data_ + 16);
+  if (declared != size) {
+    throw Error(offset_error(
+        path, 16,
+        "file size mismatch (header says " + std::to_string(declared) +
+            ", file is " + std::to_string(size) + " bytes)"));
+  }
+  const std::size_t payload_end = size - 4;
+  const std::uint32_t want = read_u32(v.data_ + payload_end);
+  const std::uint32_t got = crc32(v.data_, payload_end);
+  if (want != got) {
+    throw Error(offset_error(path, payload_end, "CRC mismatch"));
+  }
+  const std::size_t table_end =
+      kHeaderBytes +
+      static_cast<std::size_t>(n_sections) * kSectionEntryBytes;
+  if (table_end > payload_end) {
+    throw Error(offset_error(path, kHeaderBytes,
+                             "truncated section table"));
+  }
+  for (std::uint32_t i = 0; i < n_sections; ++i) {
+    const std::size_t entry = kHeaderBytes + i * kSectionEntryBytes;
+    const std::uint8_t* p = v.data_ + entry;
+    const std::size_t name_len =
+        ::strnlen(reinterpret_cast<const char*>(p), kSectionNameBytes);
+    if (name_len == 0 || name_len == kSectionNameBytes) {
+      throw Error(offset_error(path, entry, "bad section name"));
+    }
+    Entry e;
+    e.name.assign(reinterpret_cast<const char*>(p), name_len);
+    e.off = read_u64(p + kSectionNameBytes);
+    e.size = read_u64(p + kSectionNameBytes + 8);
+    if (e.off < table_end || e.off > payload_end ||
+        e.size > payload_end - e.off) {
+      throw Error(offset_error(path, entry,
+                               "section \"" + e.name +
+                                   "\" out of bounds"));
+    }
+    v.entries_.push_back(std::move(e));
+  }
+  return v;
+}
+
+const std::uint8_t* View::section(std::string_view name,
+                                  std::size_t* size) const {
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      if (size != nullptr) *size = e.size;
+      return data_ + e.off;
+    }
+  }
+  return nullptr;
+}
+
+// ---- library / LUT (de)serialization --------------------------------
+
+namespace {
+
+std::vector<std::uint8_t> encode_library(const CellLibrary& lib) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, static_cast<std::uint32_t>(lib.cells().size()));
+  for (const Cell& c : lib.cells()) {
+    put_str(out, c.name);
+    put_u32(out, static_cast<std::uint32_t>(c.kind));
+    put_u32(out, static_cast<std::uint32_t>(c.drive));
+    put_f64(out, c.c_in);
+    put_f64(out, c.c_self);
+    put_f64(out, c.r_out);
+    put_f64(out, c.d0);
+    put_f64(out, c.slew0);
+    put_f64(out, c.sc_frac);
+    put_f64(out, c.adj_step);
+    put_u32(out, static_cast<std::uint32_t>(c.adj_max_code));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode_charlut(const Characterizer& chr) {
+  const CharacterizerOptions& o = chr.options();
+  std::vector<std::uint8_t> out;
+  put_doubles(out, o.load_bins);
+  put_doubles(out, o.vdds);
+  put_doubles(out, o.temps);
+  put_f64(out, o.slew);
+  put_f64(out, o.period);
+  put_f64(out, o.dt);
+  const auto& table = chr.table();
+  // Cells in index order, so the restored table lines up with the
+  // restored indices without a second pass.
+  std::vector<std::string> names(table.size());
+  for (const auto& [name, idx] : chr.cell_index()) names[idx] = name;
+  put_u32(out, static_cast<std::uint32_t>(table.size()));
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    put_str(out, names[i]);
+    put_u32(out, static_cast<std::uint32_t>(table[i].size()));
+    for (const CellWave& w : table[i]) {
+      put_f64(out, w.timing.delay_rise);
+      put_f64(out, w.timing.delay_fall);
+      put_f64(out, w.timing.slew_rise);
+      put_f64(out, w.timing.slew_fall);
+      put_waveform(out, w.idd);
+      put_waveform(out, w.iss);
+    }
+  }
+  return out;
+}
+
+Cursor section_cursor(const View& view, const char* name) {
+  std::size_t size = 0;
+  const std::uint8_t* p = view.section(name, &size);
+  if (p == nullptr) {
+    throw Error("blob: " + view.path() + ": missing \"" +
+                std::string(name) + "\" section");
+  }
+  return Cursor{p, size, name};
+}
+
+} // namespace
+
+void write_blob(const std::string& path, const CellLibrary& lib,
+                const Characterizer& chr) {
+  Writer w;
+  w.add_section("library", encode_library(lib));
+  w.add_section("charlut", encode_charlut(chr));
+  w.save(path);
+}
+
+CellLibrary load_library(const View& view) {
+  Cursor c = section_cursor(view, "library");
+  const std::uint32_t n = c.u32();
+  CellLibrary lib;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Cell cell;
+    cell.name = c.str();
+    const std::uint32_t kind = c.u32();
+    if (kind > static_cast<std::uint32_t>(CellKind::Adi)) {
+      throw Error("blob: " + view.path() + ": cell \"" + cell.name +
+                  "\" has unknown kind " + std::to_string(kind));
+    }
+    cell.kind = static_cast<CellKind>(kind);
+    cell.drive = static_cast<int>(c.u32());
+    cell.c_in = c.f64();
+    cell.c_self = c.f64();
+    cell.r_out = c.f64();
+    cell.d0 = c.f64();
+    cell.slew0 = c.f64();
+    cell.sc_frac = c.f64();
+    cell.adj_step = c.f64();
+    cell.adj_max_code = static_cast<int>(c.u32());
+    lib.add(std::move(cell));
+  }
+  return lib;
+}
+
+Characterizer load_characterizer(const View& view,
+                                 const CellLibrary& lib) {
+  Cursor c = section_cursor(view, "charlut");
+  CharacterizerOptions opts;
+  opts.load_bins = read_doubles(c);
+  opts.vdds = read_doubles(c);
+  opts.temps = read_doubles(c);
+  opts.slew = c.f64();
+  opts.period = c.f64();
+  opts.dt = c.f64();
+  const std::uint32_t n_cells = c.u32();
+  const std::size_t want_waves =
+      opts.load_bins.size() * opts.vdds.size() * opts.temps.size();
+  std::unordered_map<std::string, std::size_t> index;
+  std::vector<std::vector<CellWave>> table;
+  table.reserve(n_cells);
+  for (std::uint32_t i = 0; i < n_cells; ++i) {
+    const std::string name = c.str();
+    if (lib.find(name) == nullptr) {
+      throw Error("blob: " + view.path() + ": LUT cell \"" + name +
+                  "\" is not in the library");
+    }
+    const std::uint32_t n_waves = c.u32();
+    if (n_waves != want_waves) {
+      throw Error("blob: " + view.path() + ": cell \"" + name +
+                  "\" has " + std::to_string(n_waves) +
+                  " LUT entries, grid needs " +
+                  std::to_string(want_waves));
+    }
+    std::vector<CellWave> waves;
+    waves.reserve(n_waves);
+    for (std::uint32_t wi = 0; wi < n_waves; ++wi) {
+      CellWave w;
+      w.timing.delay_rise = c.f64();
+      w.timing.delay_fall = c.f64();
+      w.timing.slew_rise = c.f64();
+      w.timing.slew_fall = c.f64();
+      w.idd = read_waveform(c);
+      w.iss = read_waveform(c);
+      waves.push_back(std::move(w));
+    }
+    index.emplace(name, table.size());
+    table.push_back(std::move(waves));
+  }
+  for (const Cell& cell : lib.cells()) {
+    if (index.find(cell.name) == index.end()) {
+      throw Error("blob: " + view.path() + ": library cell \"" +
+                  cell.name + "\" has no LUT entry");
+    }
+  }
+  return Characterizer::restore(std::move(opts), std::move(index),
+                                std::move(table));
+}
+
+} // namespace wm::blob

@@ -1,0 +1,126 @@
+#pragma once
+// wavemin.blob/v1 — mmap-able binary artifact holding the cell library
+// and the characterization LUT (docs/serving.md "Shared artifacts").
+//
+// Characterization is the dominant per-attempt cost for small jobs:
+// every fork-per-attempt worker re-simulates every cell x load bin x
+// vdd x temperature before it can touch the design. The blob moves
+// that work to build time: `wavemin_blobc` compiles a library once,
+// and every pool worker maps the result read-only — the kernel shares
+// one page-cache copy across the whole pool, and no worker ever
+// simulates a cell again.
+//
+// Layout (little-endian, offsets in bytes):
+//
+//   [0..7]    magic  "WMBLOB1\n"
+//   [8..11]   u32    format version (1)
+//   [12..15]  u32    section count
+//   [16..23]  u64    total file size (trailer included)
+//   [24..]    section table: count x { char name[16], u64 off, u64 size }
+//   ...       section payloads
+//   [sz-4..]  u32    CRC-32 (IEEE) of every byte before the trailer
+//
+// Doubles are stored as raw IEEE-754 bits, so a LUT loaded from a blob
+// is bit-identical to the one the compiler simulated — pool-mode
+// results match fork-per-attempt results byte for byte.
+//
+// View::map validates magic, version, declared size, section bounds
+// and the CRC before returning; every failure is a wm::Error naming
+// the path and the byte offset of the problem (tests/io_negative_test
+// pins the messages against the tests/data/bad_io corpus). Corruption
+// is loud by design: a worker that maps a bad blob must die telling
+// the operator which file to rebuild, never serve garbage timing.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+
+namespace wm::blob {
+
+inline constexpr std::string_view kBlobMagic = "WMBLOB1\n";
+inline constexpr std::uint32_t kBlobVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kSectionNameBytes = 16;
+inline constexpr std::size_t kSectionEntryBytes = kSectionNameBytes + 16;
+/// Sanity bound on the section count: a header claiming more sections
+/// than this is corruption, not a big file.
+inline constexpr std::uint32_t kMaxSections = 64;
+
+/// Accumulates named sections and writes the framed, CRC-trailed file
+/// via tmp + atomic rename. Section names longer than 15 bytes or
+/// duplicated are a caller bug (wm::Error).
+class Writer {
+ public:
+  void add_section(std::string_view name, std::vector<std::uint8_t> bytes);
+
+  /// Serialize to `path + ".tmp"`, fsync, rename. Throws wm::Error on
+  /// any I/O failure (the temp file is removed).
+  void save(const std::string& path) const;
+
+  /// The full framed image (header, table, payloads, CRC trailer).
+  std::vector<std::uint8_t> to_bytes() const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Section> sections_;
+};
+
+/// A validated, read-only mapping of one blob file. Move-only; the
+/// mapping lives until destruction, so returned section pointers stay
+/// valid for the View's lifetime.
+class View {
+ public:
+  /// Open + mmap + validate. Throws wm::Error (path and offset named)
+  /// on any structural problem; the io.blob_corrupt fault site injects
+  /// here so the rejection path stays exercised.
+  static View map(const std::string& path);
+
+  View() = default;
+  View(View&& other) noexcept;
+  View& operator=(View&& other) noexcept;
+  View(const View&) = delete;
+  View& operator=(const View&) = delete;
+  ~View();
+
+  bool mapped() const { return data_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Payload pointer for a named section, or nullptr when absent.
+  const std::uint8_t* section(std::string_view name,
+                              std::size_t* size) const;
+
+ private:
+  std::string path_;
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  struct Entry {
+    std::string name;
+    std::size_t off = 0;
+    std::size_t size = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Compile `lib` + its characterization into a blob at `path`
+/// (sections "library" and "charlut").
+void write_blob(const std::string& path, const CellLibrary& lib,
+                const Characterizer& chr);
+
+/// Deserialize the "library" section. Throws wm::Error on a missing
+/// section or a truncated/garbled record.
+CellLibrary load_library(const View& view);
+
+/// Deserialize the "charlut" section into a ready Characterizer (no
+/// simulation runs; counts "cells.lut_restored"). The cell set must
+/// match `lib` exactly — the blob is the library's artifact.
+Characterizer load_characterizer(const View& view, const CellLibrary& lib);
+
+} // namespace wm::blob

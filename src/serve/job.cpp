@@ -1,6 +1,7 @@
 #include "serve/job.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -161,6 +162,24 @@ WorkerResult load_worker_result(const std::string& path) {
     r = WorkerResult{};
   }
   return r;
+}
+
+void write_worker_result(const std::string& path, const WorkerResult& r) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os.good()) return;
+    os << dump_worker_result(r) << '\n';
+    os.flush();
+    if (!os.good()) {
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
 }
 
 std::string status_frame(const Job& job) {

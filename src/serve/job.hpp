@@ -97,6 +97,12 @@ std::string dump_worker_result(const WorkerResult& r);
 /// Missing/corrupt file yields valid == false, never a throw: the
 /// supervisor treats that exactly like a crash-before-reporting.
 WorkerResult load_worker_result(const std::string& path);
+/// Leave the result where the supervisor looks, atomically (tmp +
+/// rename): a dead child either wrote the whole line or none of it —
+/// the supervisor never sees a torn file it could misclassify. Silent
+/// no-op on an empty path; write failures are swallowed (absence reads
+/// as crash-before-reporting, the retryable interpretation).
+void write_worker_result(const std::string& path, const WorkerResult& r);
 
 /// Supervisor bookkeeping for one admitted job.
 struct Job {
@@ -115,6 +121,10 @@ struct Job {
   WorkerResult last_result;
   std::string error;            ///< terminal failure text
   std::vector<int> waiters;     ///< conn fds blocked on wait:true
+  /// Pool mode: stripes the journal already recorded as Poisoned — a
+  /// re-admission after a daemon restart starts them Poisoned instead
+  /// of re-burning their retry budget.
+  std::vector<int> poisoned_shards;
 };
 
 /// One status frame for a job ({"ok":true,"job":{...}}).

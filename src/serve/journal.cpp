@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
@@ -14,6 +15,7 @@
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/posix_io.hpp"
 
 namespace wm::serve {
 
@@ -55,6 +57,7 @@ const char* type_tag(JournalRecord::Type type) {
     case JournalRecord::Type::Admit: return "admit";
     case JournalRecord::Type::Launch: return "launch";
     case JournalRecord::Type::Exit: return "exit";
+    case JournalRecord::Type::Shard: return "shard";
     case JournalRecord::Type::Term: return "term";
     case JournalRecord::Type::Snapshot: return "job";
   }
@@ -94,6 +97,13 @@ JournalRecord decode_body(const json::Value& root) {
     rec.attempt =
         static_cast<int>(root.get_number("attempt", "journal record"));
     WM_REQUIRE(rec.attempt >= 1, "journal: attempt must be >= 1");
+  } else if (tag == "shard") {
+    rec.type = JournalRecord::Type::Shard;
+    rec.shard = static_cast<int>(root.get_number("shard", "journal shard"));
+    WM_REQUIRE(rec.shard >= 0, "journal: shard index must be >= 0");
+    WM_REQUIRE(parse_shard_state(root.get_string("state", "journal shard"),
+                                 &rec.shard_state),
+               "journal: unknown shard state");
   } else if (tag == "term") {
     rec.type = JournalRecord::Type::Term;
     WM_REQUIRE(parse_job_state(root.get_string("state", "journal term"),
@@ -125,6 +135,11 @@ std::string encode_record(const JournalRecord& rec) {
     case JournalRecord::Type::Exit:
       v.set("id", json::Value::string_v(rec.id));
       v.set("attempt", json::Value::number_v(rec.attempt));
+      break;
+    case JournalRecord::Type::Shard:
+      v.set("id", json::Value::string_v(rec.id));
+      v.set("shard", json::Value::number_v(rec.shard));
+      v.set("state", json::Value::string_v(to_string(rec.shard_state)));
       break;
     case JournalRecord::Type::Term:
       v.set("id", json::Value::string_v(rec.id));
@@ -259,6 +274,17 @@ std::vector<std::pair<std::string, RecoveredJob>> fold_journal(
         job->state = JobState::Backoff;
         break;
       }
+      case JournalRecord::Type::Shard: {
+        RecoveredJob* job = lookup(rec.id);
+        if (job == nullptr) break;
+        if (rec.shard_state == ShardState::Poisoned &&
+            std::find(job->poisoned_shards.begin(),
+                      job->poisoned_shards.end(),
+                      rec.shard) == job->poisoned_shards.end()) {
+          job->poisoned_shards.push_back(rec.shard);
+        }
+        break;
+      }
       case JournalRecord::Type::Term: {
         RecoveredJob* job = lookup(rec.id);
         if (job == nullptr) break;
@@ -310,27 +336,6 @@ const char* to_string(SyncPolicy policy) {
   }
   return "?";
 }
-
-namespace {
-
-// EINTR-safe full write; false on error or when the fd runs dry
-// mid-record (ENOSPC reports as a short write before it reports as an
-// errno on many filesystems — both are journal loss).
-bool write_all(int fd, const char* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t wrote = ::write(fd, data, n);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (wrote == 0) return false;
-    data += wrote;
-    n -= static_cast<std::size_t>(wrote);
-  }
-  return true;
-}
-
-} // namespace
 
 bool Journal::open(const std::string& path, SyncPolicy sync,
                    obs::MetricsRegistry* metrics) {

@@ -16,8 +16,10 @@
 // mid-append is dropped at the last valid record, never an error.
 // Record types: "v" (format version, always the first record),
 // "admit" (job accepted, with full spec + breaker fingerprint),
-// "launch" / "exit" (attempt lifecycle), "term" (terminal state) and
-// "job" (a whole-job snapshot, written by compaction).
+// "launch" / "exit" (attempt lifecycle), "shard" (pool-mode stripe
+// transitions — done/poisoned — so a restart neither re-trusts a
+// poisoned stripe nor re-burns its retry budget), "term" (terminal
+// state) and "job" (a whole-job snapshot, written by compaction).
 //
 // Durability is a policy knob (--journal-sync): Always fsyncs every
 // append, Batch fsyncs once per event-loop iteration before the
@@ -33,6 +35,7 @@
 
 #include "serve/job.hpp"
 #include "serve/protocol.hpp"
+#include "serve/supervisor.hpp"
 
 namespace wm::obs {
 class MetricsRegistry;
@@ -45,7 +48,7 @@ inline constexpr std::string_view kJournalVersion = "wavemin.journal/v1";
 /// One journal record. Which fields are meaningful depends on `type`
 /// (see the format comment above); the rest stay at their defaults.
 struct JournalRecord {
-  enum class Type { Version, Admit, Launch, Exit, Term, Snapshot };
+  enum class Type { Version, Admit, Launch, Exit, Shard, Term, Snapshot };
   Type type = Type::Version;
   std::string id;
   std::uint64_t fp = 0;    ///< Admit/Snapshot: breaker fingerprint
@@ -54,6 +57,8 @@ struct JournalRecord {
                            ///< Snapshot: attempts launched so far
   JobState state = JobState::Queued;  ///< Term/Snapshot
   std::string error;       ///< Term/Snapshot: terminal failure text
+  int shard = -1;          ///< Shard: stripe index
+  ShardState shard_state = ShardState::Pending;  ///< Shard: done/poisoned
 };
 
 /// Record -> one journal line (CRC trailer included, no newline).
@@ -86,6 +91,10 @@ struct RecoveredJob {
   bool terminal = false;
   JobState state = JobState::Queued;
   std::string error;
+  /// Pool-mode stripes that exhausted their retries before the crash:
+  /// a relaunch admits them straight to Poisoned so the retry budget
+  /// is not re-burned proving the same failure.
+  std::vector<int> poisoned_shards;
 };
 
 /// Fold replayed records into the per-job recovery table, in

@@ -1,0 +1,154 @@
+#include "serve/pool.hpp"
+
+#include <csignal>
+#include <cstdio>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/posix_io.hpp"
+
+namespace wm::serve {
+
+namespace {
+
+void set_nonblocking_fd(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+} // namespace
+
+void WorkerPool::close_slot(Slot& s) {
+  if (s.cmd_w >= 0) ::close(s.cmd_w);
+  if (s.event_r >= 0) ::close(s.event_r);
+  s.cmd_w = -1;
+  s.event_r = -1;
+  s.buf.clear();
+}
+
+long WorkerPool::spawn(int w, const std::function<void()>& in_child) {
+  if (slots_.size() < static_cast<std::size_t>(opt_.workers)) {
+    slots_.resize(static_cast<std::size_t>(opt_.workers));
+  }
+  Slot& slot = slots_.at(static_cast<std::size_t>(w));
+  close_slot(slot);
+  slot.pid = -1;
+
+  int cmd[2];   // supervisor writes, worker reads
+  int event[2]; // worker writes, supervisor reads
+  if (::pipe(cmd) != 0) return -1;
+  if (::pipe(event) != 0) {
+    ::close(cmd[0]);
+    ::close(cmd[1]);
+    return -1;
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(cmd[0]);
+    ::close(cmd[1]);
+    ::close(event[0]);
+    ::close(event[1]);
+    return -1;
+  }
+  if (pid == 0) {
+    // Pool worker child: restore default signal dispositions, drop the
+    // daemon's fds (in_child) and every sibling's pipe ends — a pipe
+    // kept open by a sibling would defeat EOF-based death detection.
+    ::signal(SIGCHLD, SIG_DFL);
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGPIPE, SIG_IGN);  // a dead supervisor reads as EPIPE
+    if (in_child) in_child();
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (static_cast<int>(i) == w) continue;
+      if (slots_[i].cmd_w >= 0) ::close(slots_[i].cmd_w);
+      if (slots_[i].event_r >= 0) ::close(slots_[i].event_r);
+    }
+    ::close(cmd[1]);
+    ::close(event[0]);
+    PoolWorkerConfig cfg;
+    cfg.cmd_fd = cmd[0];
+    cfg.event_fd = event[1];
+    cfg.blob = opt_.blob;
+    cfg.char_dt = opt_.char_dt;
+    cfg.worker_index = w;
+    cfg.fault_seed = opt_.fault_seed;
+    ::_exit(run_pool_worker(cfg));
+  }
+
+  ::close(cmd[0]);
+  ::close(event[1]);
+  slot.pid = pid;
+  slot.cmd_w = cmd[1];
+  slot.event_r = event[0];
+  set_nonblocking_fd(slot.event_r);
+  return pid;
+}
+
+bool WorkerPool::send(int w, const PoolCommand& cmd) {
+  const Slot& slot = slots_.at(static_cast<std::size_t>(w));
+  if (slot.cmd_w < 0) return false;
+  const std::string line = encode_command(cmd) + "\n";
+  return write_all(slot.cmd_w, line.data(), line.size());
+}
+
+int WorkerPool::event_fd(int w) const {
+  if (w < 0 || static_cast<std::size_t>(w) >= slots_.size()) return -1;
+  return slots_[static_cast<std::size_t>(w)].event_r;
+}
+
+bool WorkerPool::drain_events(int w, std::vector<PoolEvent>* out) {
+  Slot& slot = slots_.at(static_cast<std::size_t>(w));
+  if (slot.event_r < 0) return false;
+  bool alive = true;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = retry_read(slot.event_r, chunk, sizeof chunk);
+    if (n > 0) {
+      slot.buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) alive = false;  // EOF: the worker is gone
+    break;  // EAGAIN (drained) or error
+  }
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = slot.buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    const std::string line = slot.buf.substr(start, nl - start);
+    start = nl + 1;
+    PoolEvent ev;
+    if (!line.empty() && decode_event(line, &ev)) {
+      out->push_back(std::move(ev));
+    }
+  }
+  slot.buf.erase(0, start);
+  return alive;
+}
+
+void WorkerPool::kill(int w) {
+  const Slot& slot = slots_.at(static_cast<std::size_t>(w));
+  if (slot.pid > 0) ::kill(slot.pid, SIGKILL);
+}
+
+int WorkerPool::reap(long pid) {
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].pid != pid) continue;
+    slots_[w].pid = -1;
+    close_slot(slots_[w]);
+    return static_cast<int>(w);
+  }
+  return -1;
+}
+
+void WorkerPool::shutdown() {
+  for (Slot& slot : slots_) {
+    if (slot.pid > 0) ::kill(slot.pid, SIGKILL);
+    slot.pid = -1;
+    close_slot(slot);
+  }
+}
+
+} // namespace wm::serve

@@ -1,0 +1,86 @@
+#pragma once
+// Worker pool process mechanics (docs/serving.md "Worker pool"): fork,
+// pipe plumbing, command writes, event drains and kills for the
+// pre-forked pool workers. Policy (who runs what, who is wedged, when
+// to give up) lives in serve/supervisor.hpp; this class only owns the
+// pids and fds, so it is the one piece the unit tests cannot cover —
+// kept deliberately thin.
+//
+// Per worker: two pipes. The supervisor holds the command write end
+// (blocking — commands are one short line, and the worker is always
+// reading between jobs) and the event read end (nonblocking, polled by
+// the daemon's event loop). A worker that dies EOFs its event pipe;
+// one that must die gets SIGKILL — pool workers hold no state worth a
+// graceful signal, their checkpoints are already on disk.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/shard.hpp"
+
+namespace wm::serve {
+
+class WorkerPool {
+ public:
+  struct Options {
+    int workers = 0;
+    std::string blob;  ///< shared wavemin.blob/v1 ("" = none)
+    double char_dt = 0.0;  ///< blob-less LUT dt (ps); 0 = default
+    std::uint64_t fault_seed = 0;
+  };
+
+  WorkerPool() = default;
+  ~WorkerPool() { shutdown(); }
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  void configure(Options options) { opt_ = std::move(options); }
+  int size() const { return static_cast<int>(slots_.size()); }
+
+  /// Fork worker `w` (replacing any previous incarnation's fds).
+  /// `in_child` runs in the child before the worker loop — the daemon
+  /// closes its listener, connections and journal there. Returns the
+  /// child pid, or -1 on fork/pipe failure.
+  long spawn(int w, const std::function<void()>& in_child);
+
+  /// One command down worker w's pipe. False when the write fails —
+  /// the worker is dead or dying and the caller should treat it so.
+  bool send(int w, const PoolCommand& cmd);
+
+  /// The nonblocking event fd to poll for worker w; -1 when the slot
+  /// has no live pipe.
+  int event_fd(int w) const;
+
+  /// Drain every complete event line currently buffered on worker w.
+  /// Returns false when the pipe EOF'd or errored (worker dead);
+  /// decoded events (garbled lines are skipped) land in `out`.
+  bool drain_events(int w, std::vector<PoolEvent>* out);
+
+  /// SIGKILL worker w (no-op on a dead slot). The pid stays recorded
+  /// until reap() so the SIGCHLD handler can attribute the corpse.
+  void kill(int w);
+
+  /// Map a reaped pid back to its worker slot; -1 if not pool-owned.
+  /// Clears the slot's pid and closes its pipes.
+  int reap(long pid);
+
+  /// Kill and forget every worker (used by drain and pool collapse).
+  void shutdown();
+
+ private:
+  struct Slot {
+    long pid = -1;
+    int cmd_w = -1;    ///< parent's command write end
+    int event_r = -1;  ///< parent's event read end (nonblocking)
+    std::string buf;   ///< partial event line
+  };
+
+  void close_slot(Slot& s);
+
+  Options opt_;
+  std::vector<Slot> slots_;
+};
+
+} // namespace wm::serve

@@ -25,14 +25,18 @@
 
 #include "core/checkpoint.hpp"
 #include "fault/fault.hpp"
+#include "io/blob.hpp"
 #include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
+#include "serve/pool.hpp"
 #include "serve/protocol.hpp"
+#include "serve/supervisor.hpp"
 #include "serve/worker.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
+#include "util/posix_io.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace wm::serve {
@@ -143,6 +147,28 @@ class Server {
       REQUIRES(loop_role_);
   void notify_waiters(Job& job) REQUIRES(loop_role_);
 
+  // -- supervised worker pool (serve/pool.hpp + supervisor.hpp) -------
+  std::string shard_ck_path(const std::string& id, int shard) const {
+    return opt_.spool_dir + "/" + id + ".s" + std::to_string(shard) +
+           ".wmck";
+  }
+  void boot_pool() REQUIRES(loop_role_);
+  void spawn_pool_worker(int w) REQUIRES(loop_role_);
+  void pool_schedule() REQUIRES(loop_role_);
+  void dispatch_assignment(const PoolSupervisor::Assignment& a)
+      REQUIRES(loop_role_);
+  void admit_to_pool(Job& job, double attempt_deadline)
+      REQUIRES(loop_role_);
+  void service_pool_worker(int w) REQUIRES(loop_role_);
+  void on_shard_done(int w, const PoolEvent& ev) REQUIRES(loop_role_);
+  void on_merge_done(int w, const PoolEvent& ev) REQUIRES(loop_role_);
+  void on_pool_worker_exit(int w) REQUIRES(loop_role_);
+  void poison_shard(const std::string& id, int shard)
+      REQUIRES(loop_role_);
+  void remove_shard_checkpoints(const std::string& id)
+      REQUIRES(loop_role_);
+  void collapse_pool() REQUIRES(loop_role_);
+
   // -- durable job journal (serve/journal.hpp) ------------------------
   void recover_spool() REQUIRES(loop_role_);
   void journal_append(const JournalRecord& rec) REQUIRES(loop_role_);
@@ -182,6 +208,15 @@ class Server {
   Journal journal_ GUARDED_BY(loop_role_);
   bool journal_enabled_ GUARDED_BY(loop_role_) = false;
   SyncPolicy journal_sync_ GUARDED_BY(loop_role_) = SyncPolicy::Batch;
+
+  // The pre-forked pool: pool_ owns the pids and pipes, psup_ owns the
+  // policy (shard placement, heartbeats, poisoning, collapse). When
+  // pool_enabled_ drops — a rejected blob at boot, or a runtime
+  // collapse — every job flows through the fork-per-attempt path
+  // instead ("serve.pool_degraded").
+  WorkerPool pool_ GUARDED_BY(loop_role_);
+  PoolSupervisor psup_ GUARDED_BY(loop_role_);
+  bool pool_enabled_ GUARDED_BY(loop_role_) = false;
 
   std::map<std::string, Job> jobs_ GUARDED_BY(loop_role_);
   std::deque<std::string> queue_
@@ -280,10 +315,78 @@ int Server::setup() {
                << " (spool " << opt_.spool_dir << ", queue "
                << opt_.queue_capacity << ", workers "
                << opt_.max_workers << ")";
+  if (opt_.pool_workers > 0) boot_pool();
   return 0;
 }
 
+void Server::boot_pool() {
+  // A configured blob is validated here, once, before any worker trusts
+  // it: the daemon refuses to run a pool on a bad artifact and says so,
+  // instead of every worker dying at boot in a respawn loop.
+  if (!opt_.blob_path.empty()) {
+    try {
+      blob::View::map(opt_.blob_path);
+    } catch (const Error& e) {
+      registry_.add("serve.pool_degraded");
+      WM_LOG(Warn) << "serve: shared artifact rejected (" << e.what()
+                   << "): pool disabled, degrading to fork-per-attempt";
+      return;
+    }
+  }
+  WorkerPool::Options po;
+  po.workers = opt_.pool_workers;
+  po.blob = opt_.blob_path;
+  po.char_dt = opt_.char_dt;
+  po.fault_seed = opt_.fault_seed;
+  pool_.configure(std::move(po));
+  PoolPolicy policy;
+  policy.workers = opt_.pool_workers;
+  policy.shard_max_retries = opt_.shard_max_retries;
+  policy.stall_timeout_ms = opt_.pool_stall_timeout_ms;
+  policy.ping_interval_ms = opt_.pool_ping_interval_ms;
+  policy.ping_timeout_ms = opt_.pool_ping_timeout_ms;
+  policy.collapse_respawns = opt_.pool_collapse_respawns;
+  policy.retry_base_ms = opt_.retry_base_ms;
+  policy.retry_cap_ms = opt_.retry_cap_ms;
+  policy.seed = opt_.seed;
+  psup_ = PoolSupervisor(policy);
+  pool_enabled_ = true;
+  for (const int w : psup_.workers_to_respawn()) spawn_pool_worker(w);
+  WM_LOG(Info) << "serve: worker pool up (" << opt_.pool_workers
+               << " worker(s), "
+               << (opt_.blob_path.empty() ? "in-process characterization"
+                                          : ("blob " + opt_.blob_path))
+               << ")";
+}
+
+void Server::spawn_pool_worker(int w) {
+  // Capture the daemon-side fds under the loop role; the child-side
+  // lambda runs between fork and exec-less worker entry and must not
+  // touch guarded members.
+  std::vector<int> close_fds;
+  if (listen_fd_ >= 0) close_fds.push_back(listen_fd_);
+  if (wake_r_ >= 0) close_fds.push_back(wake_r_);
+  if (wake_w_ >= 0) close_fds.push_back(wake_w_);
+  for (const auto& [cfd, conn] : conns_) close_fds.push_back(cfd);
+  Journal* journal = &journal_;
+  const long pid = pool_.spawn(w, [&close_fds, journal] {
+    for (const int fd : close_fds) ::close(fd);
+    journal->close();  // the supervisor's WAL, never the child's
+  });
+  if (pid < 0) {
+    // Transient (EAGAIN under load): the slot stays Dead and the next
+    // scheduling pass retries the fork.
+    registry_.add("serve.pool_spawn_failed");
+    std::perror("serve: pool fork");
+    return;
+  }
+  psup_.worker_spawned(w, pid, now_ms());
+  registry_.add("serve.pool_spawned");
+  WM_LOG(Info) << "serve: pool worker " << w << " -> pid " << pid;
+}
+
 void Server::teardown() {
+  pool_.shutdown();
   if (journal_enabled_) journal_.flush();
   journal_.close();
   g_wake_fd.store(-1, std::memory_order_relaxed);
@@ -318,6 +421,12 @@ int Server::next_timeout_ms() const {
       next = drain_deadline_ms_;
     }
   }
+  if (pool_enabled_) {
+    // Pool timers: heartbeat pings, ping timeouts, stall deadlines and
+    // shard-retry backoff expiries all fire without any socket traffic.
+    const double t = psup_.next_deadline_ms();
+    if (t > 0.0 && (next < 0.0 || t < next)) next = t;
+  }
   if (next < 0.0) return -1;
   const double wait = next - now_ms();
   if (wait <= 0.0) return 0;
@@ -335,6 +444,7 @@ int Server::run() {
   while (true) {
     requeue_due();
     launch_ready();
+    pool_schedule();
     check_watchdogs();
     compact_journal_if_needed();
     if (draining_ && !killed_stragglers_ && !running_.empty() &&
@@ -365,6 +475,14 @@ void Server::loop_once() {
     fds.push_back({fd, events, 0});
     conn_fds.push_back(fd);
   }
+  const std::size_t pool_base = fds.size();
+  std::vector<int> pool_polled;
+  for (int w = 0; w < pool_.size(); ++w) {
+    const int pfd = pool_.event_fd(w);
+    if (pfd < 0) continue;
+    fds.push_back({pfd, POLLIN, 0});
+    pool_polled.push_back(w);
+  }
 
   // Batch sync policy: one fsync covers every transition this
   // iteration appended, paid once before the loop blocks.
@@ -372,14 +490,14 @@ void Server::loop_once() {
     degrade_journal("journal fsync failed");
   }
 
-  const int rc = ::poll(fds.data(), fds.size(), next_timeout_ms());
-  if (rc < 0 && errno != EINTR) {
+  const int rc = retry_poll(fds.data(), fds.size(), next_timeout_ms());
+  if (rc < 0) {
     std::perror("serve: poll");
   }
 
   if (fds[0].revents != 0) {
     char buf[64];
-    while (::read(wake_r_, buf, sizeof buf) > 0) {
+    while (retry_read(wake_r_, buf, sizeof buf) > 0) {
     }
   }
   if (g_sig_term != 0) {
@@ -397,6 +515,10 @@ void Server::loop_once() {
   for (std::size_t i = 0; i < conn_fds.size(); ++i) {
     const pollfd& p = fds[conn_base + i];
     if (p.revents != 0) service_conn(conn_fds[i], p.revents);
+  }
+  for (std::size_t i = 0; i < pool_polled.size(); ++i) {
+    const pollfd& p = fds[pool_base + i];
+    if (p.revents != 0) service_pool_worker(pool_polled[i]);
   }
 }
 
@@ -432,7 +554,7 @@ void Server::service_conn(int fd, short revents) {
   if ((revents & POLLIN) != 0) {
     char buf[4096];
     while (true) {
-      const ssize_t n = ::read(fd, buf, sizeof buf);
+      const ssize_t n = retry_read(fd, buf, sizeof buf);
       if (n > 0) {
         conn.in.append(buf, static_cast<std::size_t>(n));
         continue;
@@ -459,10 +581,10 @@ void Server::service_conn(int fd, short revents) {
     conn.in.erase(0, start);
   }
   if ((revents & POLLOUT) != 0 && !conn.out.empty()) {
-    const ssize_t n = ::write(fd, conn.out.data(), conn.out.size());
+    const ssize_t n = retry_write(fd, conn.out.data(), conn.out.size());
     if (n > 0) {
       conn.out.erase(0, static_cast<std::size_t>(n));
-    } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+    } else if (n < 0 && errno != EAGAIN) {
       close_conn(fd);
       return;
     }
@@ -697,6 +819,19 @@ void Server::launch_ready() {
       }
     }
 
+    // Pool mode: jobs fan out into zone shards on the pre-forked
+    // workers instead of forking a fresh child. Pool concurrency is
+    // bounded by max_workers jobs in flight, same budget as fork mode.
+    if (pool_enabled_) {
+      if (psup_.jobs() >=
+          static_cast<std::size_t>(std::max(1, opt_.max_workers))) {
+        queue_.push_front(id);
+        break;
+      }
+      admit_to_pool(job, attempt_deadline);
+      continue;
+    }
+
     // The daemon advances the worker-kill schedule on behalf of the
     // children it forks: exactly the launch whose note() lands on the
     // scheduled hit forks a victim (which arms kill-on-first-hit
@@ -748,6 +883,7 @@ void Server::launch_ready() {
       cfg.checkpoint = job.checkpoint;
       cfg.result_path = job.result_path;
       cfg.attempt_deadline_ms = attempt_deadline;
+      cfg.char_dt = opt_.char_dt;
       cfg.victim = victim;
       cfg.victim_hang = victim_hang;
       cfg.fault_seed = opt_.fault_seed;
@@ -794,6 +930,12 @@ void Server::reap_children() {
     int st = 0;
     const pid_t pid = ::waitpid(-1, &st, WNOHANG);
     if (pid <= 0) break;
+    // Pool workers first: their corpses belong to the pool supervisor,
+    // not the per-job running_ table.
+    if (const int pw = pool_.reap(pid); pw >= 0) {
+      on_pool_worker_exit(pw);
+      continue;
+    }
     const auto rit = running_.find(pid);
     if (rit == running_.end()) continue;
     const std::string id = rit->second;
@@ -929,6 +1071,362 @@ void Server::check_watchdogs() {
   }
 }
 
+// ---- worker pool ----------------------------------------------------
+
+void Server::admit_to_pool(Job& job, double attempt_deadline) {
+  const std::string& id = job.spec.id;
+  const int count = opt_.shards_per_job > 1
+                        ? opt_.shards_per_job
+                        : std::max(2, opt_.pool_workers);
+  const double deadline_instant =
+      attempt_deadline > 0.0 ? now_ms() + attempt_deadline : 0.0;
+  // A stale result file from a previous attempt must not be read as
+  // this attempt's report.
+  std::remove(job.result_path.c_str());
+  psup_.admit(id, count, deadline_instant, job.poisoned_shards);
+  job.state = JobState::Running;
+  ++job.attempts;
+  registry_.add("serve.launched");
+  registry_.add("serve.pool_jobs");
+  if (job.attempts > 1) registry_.add("serve.retries");
+  JournalRecord launch;
+  launch.type = JournalRecord::Type::Launch;
+  launch.id = id;
+  launch.attempt = job.attempts;
+  journal_append(launch);
+  touch_gauges();
+  WM_LOG(Info) << "serve: job " << id << " attempt " << job.attempts
+               << " -> pool (" << count << " shard(s)"
+               << (job.poisoned_shards.empty()
+                       ? ""
+                       : ", " + std::to_string(job.poisoned_shards.size()) +
+                             " pre-poisoned")
+               << ")";
+  fault::inject("serve.daemon_kill");
+}
+
+void Server::pool_schedule() {
+  if (!pool_enabled_) return;
+  const double now = now_ms();
+  for (const int w : psup_.workers_to_respawn()) spawn_pool_worker(w);
+  for (const int w : psup_.stalled_workers(now)) {
+    // One SIGKILL per wedge: the reap path marks the slot dead, frees
+    // the held shard back to Pending, and the respawn pass refills it.
+    registry_.add("serve.pool_stall_killed");
+    WM_LOG(Warn) << "serve: pool worker " << w
+                 << " wedged (no progress), SIGKILL";
+    pool_.kill(w);
+  }
+  for (const int w : psup_.workers_to_ping(now)) {
+    PoolCommand ping;
+    ping.kind = PoolCommand::Kind::Ping;
+    ping.seq = psup_.slot(w).ping_seq;
+    if (!pool_.send(w, ping)) pool_.kill(w);
+  }
+  PoolSupervisor::Assignment a;
+  while (psup_.next_assignment(now_ms(), &a)) dispatch_assignment(a);
+}
+
+void Server::dispatch_assignment(const PoolSupervisor::Assignment& a) {
+  const auto jit = jobs_.find(a.job);
+  if (jit == jobs_.end()) {
+    psup_.forget(a.job);
+    return;
+  }
+  Job& job = jit->second;
+  PoolCommand cmd;
+  cmd.spec = job.spec;
+  cmd.shard_count = a.shard_count;
+  cmd.deadline_ms = a.deadline_ms;
+  if (a.kind == PoolSupervisor::Assignment::Kind::Shard) {
+    cmd.kind = PoolCommand::Kind::Shard;
+    cmd.shard_index = a.shard;
+    cmd.checkpoint = shard_ck_path(a.job, a.shard);
+    cmd.poison = a.poison;
+    // The daemon advances the chaos schedules on behalf of the shard
+    // runs it dispatches, exactly like launch_ready does for forked
+    // children: the victim run gets a flag, and the worker arms the
+    // site itself. serve.shard_poison sticks to its stripe
+    // (mark_poison_target) so every retry fails the same way and the
+    // poisoning ladder is actually exercised.
+    if (fault::armed()) {
+      if (const std::uint64_t sched =
+              fault::scheduled_hit("serve.worker_kill");
+          sched != 0) {
+        fault::note("serve.worker_kill");
+        cmd.kill = fault::hits("serve.worker_kill") == sched;
+      }
+      if (const std::uint64_t sched =
+              fault::scheduled_hit("serve.pool_worker_stall");
+          sched != 0) {
+        fault::note("serve.pool_worker_stall");
+        cmd.stall = fault::hits("serve.pool_worker_stall") == sched;
+      }
+      if (!cmd.poison) {
+        if (const std::uint64_t sched =
+                fault::scheduled_hit("serve.shard_poison");
+            sched != 0) {
+          fault::note("serve.shard_poison");
+          if (fault::hits("serve.shard_poison") == sched) {
+            psup_.mark_poison_target(a.job, a.shard);
+            cmd.poison = true;
+          }
+        }
+      }
+    }
+    WM_LOG(Info) << "serve: job " << a.job << " shard " << a.shard << "/"
+                 << a.shard_count << " -> pool worker " << a.worker
+                 << (cmd.kill ? " (chaos victim)" : "")
+                 << (cmd.stall ? " (chaos stall victim)" : "")
+                 << (cmd.poison ? " (chaos poison target)" : "");
+  } else {
+    cmd.kind = PoolCommand::Kind::Merge;
+    for (const int k : a.done_shards) {
+      cmd.resume.push_back(shard_ck_path(a.job, k));
+    }
+    cmd.identity_shards = a.identity_shards;
+    cmd.checkpoint = job.checkpoint;
+    cmd.out = job.spec.out;
+    cmd.result_path = job.result_path;
+    WM_LOG(Info) << "serve: job " << a.job << " merge ("
+                 << a.done_shards.size() << " shard checkpoint(s), "
+                 << a.identity_shards.size()
+                 << " poisoned stripe(s)) -> pool worker " << a.worker;
+  }
+  if (!pool_.send(a.worker, cmd)) {
+    // Dead pipe: SIGKILL so the reap path requeues the assignment.
+    pool_.kill(a.worker);
+  }
+}
+
+void Server::service_pool_worker(int w) {
+  std::vector<PoolEvent> events;
+  const bool alive = pool_.drain_events(w, &events);
+  const double now = now_ms();
+  for (const PoolEvent& ev : events) {
+    psup_.worker_heard(w, now);
+    switch (ev.kind) {
+      case PoolEvent::Kind::Ready:
+        psup_.worker_ready(w, now);
+        if (ev.characterized > 0) {
+          registry_.add("serve.pool_characterized", ev.characterized);
+        } else {
+          registry_.add("serve.pool_blob_restored");
+        }
+        break;
+      case PoolEvent::Kind::Pong:
+        psup_.worker_pong(w, ev.seq, now);
+        break;
+      case PoolEvent::Kind::ShardDone:
+        on_shard_done(w, ev);
+        break;
+      case PoolEvent::Kind::MergeDone:
+        on_merge_done(w, ev);
+        break;
+      case PoolEvent::Kind::Fatal:
+        registry_.add("serve.pool_worker_fatal");
+        WM_LOG(Warn) << "serve: pool worker " << w
+                     << " fatal: " << ev.error;
+        pool_.kill(w);
+        break;
+    }
+  }
+  // EOF: the worker is gone; make sure of it and let the SIGCHLD reap
+  // drive the one recovery path (worker_dead).
+  if (!alive) pool_.kill(w);
+}
+
+void Server::on_shard_done(int w, const PoolEvent& ev) {
+  switch (psup_.shard_done(w, ev.job, ev.shard, ev.code, now_ms())) {
+    case PoolSupervisor::ShardOutcome::Ok: {
+      registry_.add("serve.shards_done");
+      JournalRecord rec;
+      rec.type = JournalRecord::Type::Shard;
+      rec.id = ev.job;
+      rec.shard = ev.shard;
+      rec.shard_state = ShardState::Done;
+      journal_append(rec);
+      break;
+    }
+    case PoolSupervisor::ShardOutcome::Retry:
+      registry_.add("serve.shard_retries");
+      WM_LOG(Info) << "serve: job " << ev.job << " shard " << ev.shard
+                   << " failed (code " << ev.code << "), retrying"
+                   << (ev.error.empty() ? "" : ": " + ev.error);
+      break;
+    case PoolSupervisor::ShardOutcome::Poisoned:
+      poison_shard(ev.job, ev.shard);
+      break;
+    case PoolSupervisor::ShardOutcome::Ignored:
+      break;
+  }
+}
+
+void Server::poison_shard(const std::string& id, int shard) {
+  registry_.add("serve.shard_poisoned");
+  WM_LOG(Warn) << "serve: job " << id << " shard " << shard
+               << " poisoned (retries exhausted): the merge will force "
+                  "this stripe to identity";
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::Shard;
+  rec.id = id;
+  rec.shard = shard;
+  rec.shard_state = ShardState::Poisoned;
+  journal_append(rec);
+}
+
+void Server::remove_shard_checkpoints(const std::string& id) {
+  const PoolJobPlan* p = psup_.plan(id);
+  const int count =
+      p != nullptr ? static_cast<int>(p->shards.size())
+                   : std::max(opt_.shards_per_job,
+                              std::max(2, opt_.pool_workers));
+  for (int k = 0; k < count; ++k) {
+    std::remove(shard_ck_path(id, k).c_str());
+  }
+}
+
+void Server::on_merge_done(int w, const PoolEvent& ev) {
+  const PoolSupervisor::MergeOutcome oc =
+      psup_.merge_done(w, ev.job, ev.code, now_ms());
+  if (oc == PoolSupervisor::MergeOutcome::Ignored) return;
+  const auto jit = jobs_.find(ev.job);
+  if (jit == jobs_.end()) {
+    psup_.forget(ev.job);
+    return;
+  }
+  Job& job = jit->second;
+
+  if (oc == PoolSupervisor::MergeOutcome::Retry) {
+    registry_.add("serve.merge_retries");
+    WM_LOG(Info) << "serve: job " << ev.job << " merge failed (code "
+                 << ev.code << "), retrying"
+                 << (ev.error.empty() ? "" : ": " + ev.error);
+    return;
+  }
+  if (oc == PoolSupervisor::MergeOutcome::Exhausted) {
+    // The pool cannot finish this job; hand it to the fork path. The
+    // merge checkpoint survives, so the fork attempt is a resume.
+    remove_shard_checkpoints(ev.job);
+    psup_.forget(ev.job);
+    registry_.add("serve.pool_fallback");
+    WM_LOG(Warn) << "serve: job " << ev.job
+                 << " merge retries exhausted: falling back to "
+                    "fork-per-attempt";
+    if (!draining_ && job.attempts <= job.spec.max_retries) {
+      job.state = JobState::Backoff;
+      job.next_attempt_ms =
+          now_ms() + backoff_ms(job.attempts, opt_.retry_base_ms,
+                                opt_.retry_cap_ms, opt_.seed,
+                                fnv1a(job.spec.id));
+      backoff_.push_back(ev.job);
+      JournalRecord exit_rec;
+      exit_rec.type = JournalRecord::Type::Exit;
+      exit_rec.id = ev.job;
+      exit_rec.attempt = job.attempts;
+      journal_append(exit_rec);
+      registry_.add("serve.backoff_scheduled");
+    } else {
+      registry_.add("serve.failed");
+      finish(job, JobState::Failed,
+             ev.error.empty() ? "pool merge failed" : ev.error);
+      if (breaker_.record_failure(job.design_fp)) {
+        registry_.add("serve.breaker_opened");
+        WM_LOG(Warn) << "serve: breaker OPEN for design of job "
+                     << ev.job;
+      }
+    }
+    touch_gauges();
+    return;
+  }
+
+  // Terminal: the merge's exit code is the job's answer, exactly once.
+  remove_shard_checkpoints(ev.job);
+  psup_.forget(ev.job);
+  job.last = classify_exit(true, ev.code, false, 0);
+  job.last_result = load_worker_result(job.result_path);
+  if (job.last_result.valid && job.last_result.resumed_zones > 0) {
+    registry_.add("serve.resumed_zones", job.last_result.resumed_zones);
+  }
+  std::remove(job.checkpoint.c_str());
+  switch (ev.code) {
+    case 0:
+      registry_.add("serve.done");
+      breaker_.record_success(job.design_fp);
+      finish(job, JobState::Done, "");
+      break;
+    case 3:
+      registry_.add("serve.degraded");
+      breaker_.record_success(job.design_fp);
+      finish(job, JobState::Degraded, "");
+      break;
+    default:  // 2: infeasible is data, not failure
+      registry_.add("serve.infeasible");
+      breaker_.record_success(job.design_fp);
+      finish(job, JobState::Infeasible,
+             job.last_result.valid && !job.last_result.error.empty()
+                 ? job.last_result.error
+                 : "infeasible");
+      break;
+  }
+  touch_gauges();
+}
+
+void Server::on_pool_worker_exit(int w) {
+  const PoolSupervisor::Held held = psup_.worker_dead(w, now_ms());
+  registry_.add("serve.pool_worker_deaths");
+  if (held.shard >= 0) {
+    // worker_dead already requeued the stripe (or poisoned it, when its
+    // retries were gone); the siblings keep their checkpoints.
+    WM_LOG(Warn) << "serve: pool worker " << w << " died holding job "
+                 << held.job << " shard " << held.shard
+                 << "; sibling shards keep their results";
+    const PoolJobPlan* p = psup_.plan(held.job);
+    if (p != nullptr) {
+      for (const ShardTask& t : p->shards) {
+        if (t.index != held.shard) continue;
+        if (t.state == ShardState::Poisoned) {
+          poison_shard(held.job, held.shard);
+        } else {
+          registry_.add("serve.shard_retries");
+        }
+      }
+    }
+  } else if (held.shard == -1) {
+    WM_LOG(Warn) << "serve: pool worker " << w
+                 << " died mid-merge of job " << held.job
+                 << "; merge will re-run from the shard checkpoints";
+  }
+  if (pool_enabled_ && psup_.collapsed()) collapse_pool();
+}
+
+void Server::collapse_pool() {
+  pool_enabled_ = false;
+  registry_.add("serve.pool_degraded");
+  WM_LOG(Warn) << "serve: worker pool collapsed after "
+               << psup_.respawns()
+               << " respawn(s): degrading to fork-per-attempt";
+  pool_.shutdown();
+  for (const std::string& id : psup_.job_ids()) {
+    remove_shard_checkpoints(id);
+    psup_.forget(id);
+    const auto jit = jobs_.find(id);
+    if (jit == jobs_.end() || is_terminal(jit->second.state)) continue;
+    Job& job = jit->second;
+    if (draining_) {
+      registry_.add("serve.drained_jobs");
+      finish(job, JobState::Drained, "daemon drained mid-attempt");
+      continue;
+    }
+    // The fork path inherits the job; the merge checkpoint (if any)
+    // makes the fresh attempt a resume, and the attempt already spent
+    // on the pool counts against the same retry budget.
+    job.state = JobState::Queued;
+    queue_.push_back(id);
+  }
+  touch_gauges();
+}
+
 void Server::journal_append(const JournalRecord& rec) {
   if (!journal_enabled_) return;
   if (!journal_.append(rec)) {
@@ -1007,6 +1505,7 @@ void Server::recover_spool() {
     job.attempts = rec.attempts;
     job.submitted_ms = now;
     job.error = rec.error;
+    job.poisoned_shards = rec.poisoned_shards;
     job.checkpoint = spool_path(id, ".wmck");
     job.result_path = spool_path(id, ".result.json");
     if (job.spec.out.empty()) job.spec.out = spool_path(id, ".ctree");
@@ -1129,6 +1628,20 @@ void Server::begin_drain(const char* reason) {
     finish(it->second, JobState::Drained,
            "daemon drained before launch");
   }
+  // Pool jobs drain immediately: the workers hold no state their shard
+  // checkpoints don't already (those stay in the spool for resume), so
+  // there is nothing a grace window would save.
+  if (pool_enabled_) {
+    pool_enabled_ = false;
+    pool_.shutdown();
+    for (const std::string& id : psup_.job_ids()) {
+      psup_.forget(id);
+      const auto it = jobs_.find(id);
+      if (it == jobs_.end() || is_terminal(it->second.state)) continue;
+      registry_.add("serve.drained_jobs");
+      finish(it->second, JobState::Drained, "daemon drained mid-attempt");
+    }
+  }
 }
 
 void Server::kill_stragglers() {
@@ -1155,7 +1668,7 @@ void Server::flush_conns() {
       conn_fds.push_back(fd);
     }
     if (fds.empty()) return;
-    const int rc = ::poll(fds.data(), fds.size(), 50);
+    const int rc = retry_poll(fds.data(), fds.size(), 50);
     if (rc <= 0) continue;
     for (std::size_t i = 0; i < conn_fds.size(); ++i) {
       if ((fds[i].revents & POLLOUT) == 0) {
@@ -1164,10 +1677,10 @@ void Server::flush_conns() {
       }
       Conn& conn = conns_.at(conn_fds[i]);
       const ssize_t n =
-          ::write(conn_fds[i], conn.out.data(), conn.out.size());
+          retry_write(conn_fds[i], conn.out.data(), conn.out.size());
       if (n > 0) {
         conn.out.erase(0, static_cast<std::size_t>(n));
-      } else if (n < 0 && errno != EAGAIN && errno != EINTR) {
+      } else if (n < 0 && errno != EAGAIN) {
         close_conn(conn_fds[i]);
       }
     }

@@ -64,10 +64,33 @@ struct ServerOptions {
   /// job with no deadline may legitimately run for hours).
   double hang_timeout_ms = 0.0;
   double hang_grace_ms = 1000.0;
+  /// Characterization waveform resolution (ps) for in-process LUT
+  /// builds — fork-per-attempt workers (who pay it per attempt) and
+  /// blob-less pool workers (once at boot). 0 = the library default.
+  /// A daemon serving from a blob must pass the dt the blob was
+  /// compiled with, or a fork-path fallback would characterize a
+  /// different grid than the pool serves.
+  double char_dt = 0.0;
   /// Daemon-side chaos (serve.* sites): worker_kill schedules a victim
   /// launch, queue_full forces sheds, socket_torn tears replies.
   std::string fault_spec;
   std::uint64_t fault_seed = 0;
+  // -- supervised worker pool (serve/pool.hpp) ------------------------
+  /// Pre-forked pool workers; 0 = classic fork-per-attempt serving.
+  /// When the pool collapses (pool_collapse_respawns worker respawns)
+  /// the daemon degrades back to fork-per-attempt at runtime.
+  int pool_workers = 0;
+  /// wavemin.blob/v1 shared artifact for pool workers ("" = each
+  /// worker characterizes in-process once at boot). A blob that fails
+  /// validation disables the pool loudly at startup.
+  std::string blob_path;
+  /// Zone stripes per pool job; 0 = max(2, pool_workers).
+  int shards_per_job = 0;
+  int shard_max_retries = 2;          ///< re-assignments per stripe
+  double pool_stall_timeout_ms = 30000.0;  ///< busy/booting worker silent cap
+  double pool_ping_interval_ms = 500.0;    ///< idle heartbeat cadence
+  double pool_ping_timeout_ms = 2000.0;    ///< unanswered ping: SIGKILL
+  int pool_collapse_respawns = 5;     ///< respawns before giving up
 };
 
 /// Run the daemon until drained. Returns the process exit code: 0 for

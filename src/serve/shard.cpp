@@ -1,0 +1,435 @@
+#include "serve/shard.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <system_error>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "core/options.hpp"
+#include "core/wavemin.hpp"
+#include "fault/fault.hpp"
+#include "io/blob.hpp"
+#include "io/tree_io.hpp"
+#include "serve/job.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
+#include "util/posix_io.hpp"
+#include "util/status.hpp"
+
+namespace wm::serve {
+
+// ---------------------------------------------------------------- wire
+
+std::string encode_command(const PoolCommand& cmd) {
+  json::Value v = json::Value::object_v();
+  switch (cmd.kind) {
+    case PoolCommand::Kind::Ping:
+      v.set("cmd", json::Value::string_v("ping"));
+      v.set("seq", json::Value::number_v(cmd.seq));
+      return json::dump(v);
+    case PoolCommand::Kind::Exit:
+      v.set("cmd", json::Value::string_v("exit"));
+      return json::dump(v);
+    case PoolCommand::Kind::Shard:
+      v.set("cmd", json::Value::string_v("shard"));
+      break;
+    case PoolCommand::Kind::Merge:
+      v.set("cmd", json::Value::string_v("merge"));
+      break;
+  }
+  v.set("job", job_spec_to_json(cmd.spec));
+  v.set("count", json::Value::number_v(cmd.shard_count));
+  if (cmd.kind == PoolCommand::Kind::Shard) {
+    v.set("index", json::Value::number_v(cmd.shard_index));
+    if (cmd.poison) v.set("poison", json::Value::boolean_v(true));
+    if (cmd.stall) v.set("stall", json::Value::boolean_v(true));
+    if (cmd.kill) v.set("kill", json::Value::boolean_v(true));
+  } else {
+    json::Value cks = json::Value::array_v();
+    for (const std::string& p : cmd.resume) {
+      cks.push(json::Value::string_v(p));
+    }
+    v.set("cks", std::move(cks));
+    json::Value ident = json::Value::array_v();
+    for (const int k : cmd.identity_shards) {
+      ident.push(json::Value::number_v(k));
+    }
+    v.set("identity", std::move(ident));
+    v.set("out", json::Value::string_v(cmd.out));
+    v.set("result", json::Value::string_v(cmd.result_path));
+  }
+  if (!cmd.checkpoint.empty()) {
+    v.set("ck", json::Value::string_v(cmd.checkpoint));
+  }
+  if (cmd.deadline_ms > 0.0) {
+    v.set("deadline_ms", json::Value::number_v(cmd.deadline_ms));
+  }
+  return json::dump(v);
+}
+
+bool decode_command(const std::string& line, PoolCommand* out) {
+  try {
+    const json::Value v = json::parse(line);
+    WM_REQUIRE(v.is_object(), "pool command must be an object");
+    const std::string cmd = v.get_string("cmd", "pool command");
+    PoolCommand c;
+    if (cmd == "ping") {
+      c.kind = PoolCommand::Kind::Ping;
+      c.seq = v.get_u64_or("seq", 0);
+      *out = std::move(c);
+      return true;
+    }
+    if (cmd == "exit") {
+      c.kind = PoolCommand::Kind::Exit;
+      *out = std::move(c);
+      return true;
+    }
+    if (cmd != "shard" && cmd != "merge") return false;
+    c.kind = cmd == "shard" ? PoolCommand::Kind::Shard
+                            : PoolCommand::Kind::Merge;
+    const json::Value* job = v.find("job");
+    WM_REQUIRE(job != nullptr, "pool command: missing job");
+    c.spec = parse_job_spec(*job);
+    c.shard_count = static_cast<int>(v.get_number("count", "pool command"));
+    c.checkpoint = v.get_string_or("ck", "");
+    c.deadline_ms = v.get_number_or("deadline_ms", 0.0);
+    if (c.kind == PoolCommand::Kind::Shard) {
+      c.shard_index =
+          static_cast<int>(v.get_number("index", "pool command"));
+      c.poison = v.get_bool_or("poison", false);
+      c.stall = v.get_bool_or("stall", false);
+      c.kill = v.get_bool_or("kill", false);
+    } else {
+      if (const json::Value* cks = v.find("cks");
+          cks != nullptr && cks->is_array()) {
+        for (const json::Value& p : cks->array) {
+          if (p.is_string()) c.resume.push_back(p.str);
+        }
+      }
+      if (const json::Value* ident = v.find("identity");
+          ident != nullptr && ident->is_array()) {
+        for (const json::Value& k : ident->array) {
+          if (k.is_number()) {
+            c.identity_shards.push_back(static_cast<int>(k.number));
+          }
+        }
+      }
+      c.out = v.get_string_or("out", "");
+      c.result_path = v.get_string_or("result", "");
+    }
+    *out = std::move(c);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+std::string encode_event(const PoolEvent& ev) {
+  json::Value v = json::Value::object_v();
+  switch (ev.kind) {
+    case PoolEvent::Kind::Ready:
+      v.set("ev", json::Value::string_v("ready"));
+      v.set("characterized", json::Value::number_v(ev.characterized));
+      break;
+    case PoolEvent::Kind::ShardDone:
+      v.set("ev", json::Value::string_v("shard_done"));
+      v.set("job", json::Value::string_v(ev.job));
+      v.set("shard", json::Value::number_v(ev.shard));
+      v.set("code", json::Value::number_v(ev.code));
+      break;
+    case PoolEvent::Kind::MergeDone:
+      v.set("ev", json::Value::string_v("merge_done"));
+      v.set("job", json::Value::string_v(ev.job));
+      v.set("code", json::Value::number_v(ev.code));
+      v.set("resumed_zones", json::Value::number_v(ev.resumed_zones));
+      break;
+    case PoolEvent::Kind::Pong:
+      v.set("ev", json::Value::string_v("pong"));
+      v.set("seq", json::Value::number_v(ev.seq));
+      break;
+    case PoolEvent::Kind::Fatal:
+      v.set("ev", json::Value::string_v("fatal"));
+      break;
+  }
+  if (!ev.error.empty()) v.set("error", json::Value::string_v(ev.error));
+  return json::dump(v);
+}
+
+bool decode_event(const std::string& line, PoolEvent* out) {
+  try {
+    const json::Value v = json::parse(line);
+    WM_REQUIRE(v.is_object(), "pool event must be an object");
+    const std::string ev = v.get_string("ev", "pool event");
+    PoolEvent e;
+    if (ev == "ready") {
+      e.kind = PoolEvent::Kind::Ready;
+      e.characterized = v.get_u64_or("characterized", 0);
+    } else if (ev == "shard_done") {
+      e.kind = PoolEvent::Kind::ShardDone;
+      e.job = v.get_string("job", "pool event");
+      e.shard = static_cast<int>(v.get_number("shard", "pool event"));
+      e.code = static_cast<int>(v.get_number("code", "pool event"));
+    } else if (ev == "merge_done") {
+      e.kind = PoolEvent::Kind::MergeDone;
+      e.job = v.get_string("job", "pool event");
+      e.code = static_cast<int>(v.get_number("code", "pool event"));
+      e.resumed_zones = v.get_u64_or("resumed_zones", 0);
+    } else if (ev == "pong") {
+      e.kind = PoolEvent::Kind::Pong;
+      e.seq = v.get_u64_or("seq", 0);
+    } else if (ev == "fatal") {
+      e.kind = PoolEvent::Kind::Fatal;
+    } else {
+      return false;
+    }
+    e.error = v.get_string_or("error", "");
+    *out = std::move(e);
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+// ----------------------------------------------------------- the child
+
+namespace {
+
+bool send_event(int fd, const PoolEvent& ev) {
+  const std::string line = encode_event(ev) + "\n";
+  return write_all(fd, line.data(), line.size());
+}
+
+/// The library + LUT a pool worker serves every job from, loaded once
+/// at boot. ModeSet::single keeps every island at the nominal supply,
+/// so the default characterization grid matches what each job's
+/// make-modes step would request — the blob-restored LUT is bit-equal
+/// to the one a fork-per-attempt worker would have built.
+struct SharedArtifacts {
+  CellLibrary lib;
+  std::optional<Characterizer> chr;
+  std::uint64_t characterized = 0;
+};
+
+SharedArtifacts load_artifacts(const PoolWorkerConfig& cfg) {
+  SharedArtifacts a;
+  if (!cfg.blob.empty()) {
+    const blob::View view = blob::View::map(cfg.blob);
+    a.lib = blob::load_library(view);
+    a.chr.emplace(blob::load_characterizer(view, a.lib));
+    return a;  // characterized stays 0: nothing was recomputed
+  }
+  a.lib = CellLibrary::nangate45_like();
+  CharacterizerOptions co;
+  if (cfg.char_dt > 0.0) co.dt = cfg.char_dt;
+  a.chr.emplace(a.lib, co);
+  a.characterized = a.chr->table().size();
+  return a;
+}
+
+std::string chaos_spec(const PoolCommand& cmd) {
+  std::string spec = cmd.spec.fault_spec;
+  auto append = [&spec](const char* site) {
+    if (!spec.empty()) spec += ',';
+    spec += site;
+    spec += "=1";
+  };
+  if (cmd.poison) append("serve.shard_poison");
+  if (cmd.stall) append("serve.pool_worker_stall");
+  if (cmd.kill) append("serve.worker_kill");
+  return spec;
+}
+
+/// Build the run options a shard or merge shares with the fork-path
+/// worker (serve/worker.cpp) — identical knobs, so results stay
+/// byte-identical across serving modes.
+WaveMinOptions base_options(const PoolCommand& cmd) {
+  WaveMinOptions opts;
+  opts.kappa = cmd.spec.kappa;
+  opts.samples = cmd.spec.samples;
+  if (cmd.spec.algo == "wavemin-f") opts.solver = SolverKind::Greedy;
+  opts.seed = cmd.spec.seed;
+  opts.job_id = cmd.spec.id;
+  opts.quarantine_zone_errors = true;
+  if (cmd.deadline_ms > 0.0) opts.budget.deadline_ms = cmd.deadline_ms;
+  opts.shard_count = cmd.shard_count;
+  return opts;
+}
+
+int run_shard_cmd(const SharedArtifacts& a, const PoolCommand& cmd,
+                  std::string* error) {
+  // Chaos sites fire before any work, so a victim dies (or wedges, or
+  // errors) without leaving a half-written checkpoint behind.
+  fault::inject("serve.worker_kill");
+  fault::inject("serve.pool_worker_stall");
+  fault::inject("serve.shard_poison");
+
+  ClockTree tree = load_tree(cmd.spec.tree, a.lib);
+  WaveMinOptions opts = base_options(cmd);
+  opts.shard_index = cmd.shard_index;
+  opts.checkpoint_path = cmd.checkpoint;
+  std::error_code ec;
+  if (!cmd.checkpoint.empty() &&
+      std::filesystem::exists(cmd.checkpoint, ec)) {
+    // A re-run of a lost shard resumes the zones its previous worker
+    // already checkpointed.
+    opts.resume_path = cmd.checkpoint;
+  }
+  const TryRunResult t = try_clk_wavemin(tree, a.lib, *a.chr, opts);
+  if (!t.status.is_ok()) {
+    *error = t.status.to_string();
+    return cli_exit_code(t.status.code());
+  }
+  if (!t.result.success) return 2;  // no feasible intersection
+  return 0;
+}
+
+int run_merge_cmd(const SharedArtifacts& a, const PoolCommand& cmd,
+                  std::uint64_t* resumed, std::string* error) {
+  ClockTree tree = load_tree(cmd.spec.tree, a.lib);
+  WaveMinOptions opts = base_options(cmd);
+  opts.identity_shards = cmd.identity_shards;
+  opts.checkpoint_path = cmd.checkpoint;
+  std::error_code ec;
+  for (const std::string& p : cmd.resume) {
+    // A shard checkpoint lost to the filesystem is not fatal: the
+    // merge re-solves that stripe itself (slower, still correct).
+    if (std::filesystem::exists(p, ec)) opts.resume_paths.push_back(p);
+  }
+  if (!cmd.checkpoint.empty() &&
+      std::filesystem::exists(cmd.checkpoint, ec)) {
+    opts.resume_path = cmd.checkpoint;
+  }
+
+  WorkerResult wr;
+  const TryRunResult t = try_clk_wavemin(tree, a.lib, *a.chr, opts);
+  wr.category = error_category(t.status.code());
+  if (!t.status.is_ok() && t.status.code() != StatusCode::Infeasible) {
+    wr.error = t.status.to_string();
+    *error = wr.error;
+    write_worker_result(cmd.result_path, wr);
+    return cli_exit_code(t.status.code());
+  }
+  if (!t.result.success) {
+    wr.category = ErrorCategory::Infeasible;
+    wr.error = "no assignment meets the skew bound";
+    *error = wr.error;
+    write_worker_result(cmd.result_path, wr);
+    return 2;
+  }
+  const RunReport& rep = t.result.report;
+  wr.category = ErrorCategory::None;
+  wr.degraded = rep.degraded();
+  wr.resumed_zones = rep.resumed_zones;
+  wr.zones_full = rep.zones_at(LadderLevel::Full);
+  wr.zones_greedy = rep.zones_at(LadderLevel::Greedy);
+  wr.zones_identity = rep.zones_at(LadderLevel::Identity);
+  *resumed = rep.resumed_zones;
+  save_tree(cmd.out, tree);
+  write_worker_result(cmd.result_path, wr);
+  return wr.degraded ? 3 : 0;
+}
+
+} // namespace
+
+int run_pool_worker(const PoolWorkerConfig& cfg) noexcept {
+  // The fork copied the daemon's armed fault state; drop it before this
+  // long-lived child arms anything of its own.
+  fault::disarm();
+
+  SharedArtifacts artifacts;
+  try {
+    artifacts = load_artifacts(cfg);
+  } catch (const std::exception& e) {
+    // A corrupt blob (io.blob_corrupt, or real rot caught by the CRC)
+    // is rejected loudly at map time — never silently recomputed.
+    PoolEvent fatal;
+    fatal.kind = PoolEvent::Kind::Fatal;
+    fatal.error = e.what();
+    send_event(cfg.event_fd, fatal);
+    std::fprintf(stderr, "pool worker %d: %s\n", cfg.worker_index,
+                 e.what());
+    return 4;
+  }
+
+  PoolEvent ready;
+  ready.kind = PoolEvent::Kind::Ready;
+  ready.characterized = artifacts.characterized;
+  if (!send_event(cfg.event_fd, ready)) return 4;
+
+  std::string buf;
+  char chunk[4096];
+  while (true) {
+    const std::size_t nl_scan = buf.find('\n');
+    if (nl_scan == std::string::npos) {
+      const ssize_t n = retry_read(cfg.cmd_fd, chunk, sizeof chunk);
+      if (n <= 0) return 0;  // supervisor closed the pipe: clean exit
+      buf.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buf.substr(0, nl_scan);
+    buf.erase(0, nl_scan + 1);
+    if (line.empty()) continue;
+
+    PoolCommand cmd;
+    if (!decode_command(line, &cmd)) {
+      PoolEvent fatal;
+      fatal.kind = PoolEvent::Kind::Fatal;
+      fatal.error = "undecodable pool command";
+      send_event(cfg.event_fd, fatal);
+      return 4;
+    }
+    switch (cmd.kind) {
+      case PoolCommand::Kind::Exit:
+        return 0;
+      case PoolCommand::Kind::Ping: {
+        PoolEvent pong;
+        pong.kind = PoolEvent::Kind::Pong;
+        pong.seq = cmd.seq;
+        if (!send_event(cfg.event_fd, pong)) return 0;
+        break;
+      }
+      case PoolCommand::Kind::Shard: {
+        PoolEvent done;
+        done.kind = PoolEvent::Kind::ShardDone;
+        done.job = cmd.spec.id;
+        done.shard = cmd.shard_index;
+        const std::string spec = chaos_spec(cmd);
+        try {
+          if (!spec.empty()) fault::arm(spec, cfg.fault_seed);
+          done.code = run_shard_cmd(artifacts, cmd, &done.error);
+        } catch (const std::exception& e) {
+          done.code = 4;
+          done.error = e.what();
+        }
+        fault::disarm();
+        if (!send_event(cfg.event_fd, done)) return 0;
+        break;
+      }
+      case PoolCommand::Kind::Merge: {
+        PoolEvent done;
+        done.kind = PoolEvent::Kind::MergeDone;
+        done.job = cmd.spec.id;
+        const std::string spec = cmd.spec.fault_spec;
+        try {
+          if (!spec.empty()) fault::arm(spec, cfg.fault_seed);
+          done.code = run_merge_cmd(artifacts, cmd,
+                                    &done.resumed_zones, &done.error);
+        } catch (const std::exception& e) {
+          done.code = 4;
+          done.error = e.what();
+        }
+        fault::disarm();
+        if (!send_event(cfg.event_fd, done)) return 0;
+        break;
+      }
+    }
+  }
+}
+
+} // namespace wm::serve

@@ -1,0 +1,100 @@
+#pragma once
+// The pool worker side of the fork boundary (docs/serving.md "Worker
+// pool"), plus the NDJSON wire the supervisor speaks to it.
+//
+// Unlike the fork-per-attempt worker (serve/worker.hpp), a pool worker
+// is long-lived: it loads the cell library + characterization LUT once
+// — from the shared wavemin.blob/v1 artifact when one is configured,
+// re-characterizing in-process otherwise — announces itself with a
+// "ready" event, then executes shard and merge commands until told to
+// exit or killed. Commands arrive on one pipe, events leave on
+// another; every message is one JSON object on one line, same idiom as
+// wavemin.jobs/v1:
+//
+//   commands:  {"cmd":"shard","job":{...},"count":4,"index":1,...}
+//              {"cmd":"merge","job":{...},"count":4,"cks":[...],...}
+//              {"cmd":"ping","seq":7}   {"cmd":"exit"}
+//   events:    {"ev":"ready","characterized":18}
+//              {"ev":"shard_done","job":"j1","shard":1,"code":0}
+//              {"ev":"merge_done","job":"j1","code":0,...}
+//              {"ev":"pong","seq":7}    {"ev":"fatal","error":"..."}
+//
+// Parsing is strict about shape and lenient about extras (decode
+// returns false rather than throwing — the supervisor treats a
+// garbled line from a worker like a crashed worker).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace wm::serve {
+
+/// Supervisor -> worker. Which fields matter depends on `kind`.
+struct PoolCommand {
+  enum class Kind { Shard, Merge, Ping, Exit };
+  Kind kind = Kind::Ping;
+  JobSpec spec;               ///< Shard/Merge
+  int shard_count = 0;        ///< Shard/Merge
+  int shard_index = -1;       ///< Shard
+  std::string checkpoint;     ///< Shard: this stripe's .wmck
+  std::vector<std::string> resume;  ///< Merge: delivered shard .wmck's
+  std::vector<int> identity_shards; ///< Merge: poisoned stripes
+  std::string out;            ///< Merge: output tree path
+  std::string result_path;    ///< Merge: WorkerResult destination
+  double deadline_ms = 0.0;   ///< remaining job budget (0 = none)
+  std::uint64_t seq = 0;      ///< Ping
+  /// Chaos flags, resolved by the daemon's fault schedule the same way
+  /// fork-path victims are (launch_ready's note() dance): the worker
+  /// arms the named site itself, so chaos never destabilizes the
+  /// supervisor.
+  bool poison = false;  ///< Shard: inject serve.shard_poison (fails every run)
+  bool stall = false;   ///< Shard: inject serve.pool_worker_stall (wedge)
+  bool kill = false;    ///< Shard: inject serve.worker_kill (die now)
+};
+
+std::string encode_command(const PoolCommand& cmd);
+bool decode_command(const std::string& line, PoolCommand* out);
+
+/// Worker -> supervisor.
+struct PoolEvent {
+  enum class Kind { Ready, ShardDone, MergeDone, Pong, Fatal };
+  Kind kind = Kind::Ready;
+  std::string job;          ///< ShardDone/MergeDone
+  int shard = -1;           ///< ShardDone
+  int code = 0;             ///< ShardDone/MergeDone: exit-contract code
+  std::uint64_t characterized = 0;  ///< Ready: fresh LUT rows built
+                                    ///< (0 when restored from a blob)
+  std::uint64_t resumed_zones = 0;  ///< MergeDone: preloaded zone count
+  std::uint64_t seq = 0;    ///< Pong
+  std::string error;        ///< ShardDone/MergeDone/Fatal
+};
+
+std::string encode_event(const PoolEvent& ev);
+bool decode_event(const std::string& line, PoolEvent* out);
+
+/// Everything a pool worker child needs (resolved by the pool at
+/// spawn; the child does no policy, only work).
+struct PoolWorkerConfig {
+  int cmd_fd = -1;    ///< read end: commands from the supervisor
+  int event_fd = -1;  ///< write end: events to the supervisor
+  /// wavemin.blob/v1 path; "" = characterize in-process at boot. A
+  /// blob that fails validation at map time is fatal (the worker emits
+  /// a "fatal" event and exits nonzero) — never silently recomputed,
+  /// the operator asked for the artifact and must learn it is bad.
+  std::string blob;
+  /// Characterization dt (ps) for the blob-less in-process LUT build;
+  /// 0 = the library default. Ignored when a blob is mapped — the
+  /// blob carries its own grid.
+  double char_dt = 0.0;
+  int worker_index = 0;
+  std::uint64_t fault_seed = 0;
+};
+
+/// Pool worker child main loop. Returns the child's exit code (0 on a
+/// clean "exit" command). Noexcept by contract: every failure becomes
+/// a fatal event + nonzero exit, never an unwound exception.
+int run_pool_worker(const PoolWorkerConfig& cfg) noexcept;
+
+} // namespace wm::serve

@@ -1,0 +1,458 @@
+#include "serve/supervisor.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "serve/job.hpp"  // backoff_ms
+
+namespace wm::serve {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+} // namespace
+
+const char* to_string(ShardState state) {
+  switch (state) {
+    case ShardState::Pending: return "pending";
+    case ShardState::Assigned: return "assigned";
+    case ShardState::Done: return "done";
+    case ShardState::Poisoned: return "poisoned";
+  }
+  return "unknown";
+}
+
+bool parse_shard_state(const std::string& name, ShardState* out) {
+  for (const ShardState s :
+       {ShardState::Pending, ShardState::Assigned, ShardState::Done,
+        ShardState::Poisoned}) {
+    if (name == to_string(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+PoolSupervisor::PoolSupervisor(PoolPolicy policy) : policy_(policy) {
+  slots_.resize(static_cast<std::size_t>(std::max(1, policy_.workers)));
+}
+
+void PoolSupervisor::worker_spawned(int w, long pid, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  s = PoolWorkerSlot{};
+  s.state = PoolWorkerSlot::State::Starting;
+  s.pid = pid;
+  s.last_heard_ms = now;
+}
+
+void PoolSupervisor::worker_ready(int w, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  if (s.state == PoolWorkerSlot::State::Starting) {
+    s.state = PoolWorkerSlot::State::Idle;
+  }
+  s.last_heard_ms = now;
+}
+
+void PoolSupervisor::worker_heard(int w, double now) {
+  slots_.at(static_cast<std::size_t>(w)).last_heard_ms = now;
+}
+
+void PoolSupervisor::worker_pong(int w, std::uint64_t seq, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  s.last_heard_ms = now;
+  if (seq >= s.pong_seq) s.pong_seq = seq;
+  if (s.pong_seq >= s.ping_seq) s.ping_sent_ms = 0.0;
+}
+
+double PoolSupervisor::shard_backoff_ms(const std::string& id, int shard,
+                                        int attempts) const {
+  return backoff_ms(attempts, policy_.retry_base_ms, policy_.retry_cap_ms,
+                    policy_.seed,
+                    fnv1a(id) ^ static_cast<std::uint64_t>(shard + 1));
+}
+
+PoolSupervisor::Held PoolSupervisor::worker_dead(int w, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  Held held;
+  if (s.state == PoolWorkerSlot::State::Dead) return held;
+  held.job = s.job;
+  held.shard = s.state == PoolWorkerSlot::State::Busy ? s.shard : -2;
+  s = PoolWorkerSlot{};  // state Dead, pid -1
+  ++respawns_;
+
+  PoolJobPlan* p = held.shard != -2 ? find_plan(held.job) : nullptr;
+  if (p != nullptr && held.shard >= 0) {
+    // The shard died with its worker: back to Pending with backoff, or
+    // Poisoned when the retries are gone. The sibling shards keep
+    // running — this is the zone-granular half of the recovery story.
+    for (ShardTask& t : p->shards) {
+      if (t.index != held.shard || t.state != ShardState::Assigned ||
+          t.worker != w) {
+        continue;
+      }
+      t.worker = -1;
+      t.last_worker = w;
+      t.deadline_ms = 0.0;
+      if (t.attempts > policy_.shard_max_retries) {
+        t.state = ShardState::Poisoned;
+      } else {
+        t.state = ShardState::Pending;
+        t.next_ms = now + shard_backoff_ms(p->id, t.index, t.attempts);
+      }
+    }
+  } else if (p != nullptr && held.shard == -1 && p->merge_assigned &&
+             p->merge_worker == w) {
+    // The merge died with its worker; the shard checkpoints are all
+    // still on disk, so a re-run is cheap (100% memo hits).
+    p->merge_assigned = false;
+    p->merge_worker = -1;
+    p->merge_deadline_ms = 0.0;
+  }
+  return held;
+}
+
+std::vector<int> PoolSupervisor::workers_to_respawn() const {
+  std::vector<int> out;
+  if (collapsed()) return out;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].state == PoolWorkerSlot::State::Dead) {
+      out.push_back(static_cast<int>(w));
+    }
+  }
+  return out;
+}
+
+void PoolSupervisor::admit(const std::string& id, int shard_count,
+                           double deadline_ms,
+                           const std::vector<int>& poisoned) {
+  PoolJobPlan p;
+  p.id = id;
+  p.deadline_ms = deadline_ms;
+  p.shards.resize(static_cast<std::size_t>(std::max(1, shard_count)));
+  for (std::size_t k = 0; k < p.shards.size(); ++k) {
+    p.shards[k].index = static_cast<int>(k);
+    if (std::find(poisoned.begin(), poisoned.end(),
+                  static_cast<int>(k)) != poisoned.end()) {
+      // Journal recovery already burned this stripe's retries in a
+      // previous daemon life; don't spend a fresh budget re-proving it.
+      p.shards[k].state = ShardState::Poisoned;
+    }
+  }
+  plans_.push_back(std::move(p));
+}
+
+void PoolSupervisor::forget(const std::string& id) {
+  plans_.erase(std::remove_if(plans_.begin(), plans_.end(),
+                              [&](const PoolJobPlan& p) {
+                                return p.id == id;
+                              }),
+               plans_.end());
+  // A worker still chewing on the forgotten job stays Busy until its
+  // (now stale) done event frees it — shard_done/merge_done return
+  // Ignored for unknown jobs but still flip the slot back to Idle.
+}
+
+bool PoolSupervisor::has(const std::string& id) const {
+  for (const PoolJobPlan& p : plans_) {
+    if (p.id == id) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PoolSupervisor::job_ids() const {
+  std::vector<std::string> out;
+  out.reserve(plans_.size());
+  for (const PoolJobPlan& p : plans_) out.push_back(p.id);
+  return out;
+}
+
+const PoolJobPlan* PoolSupervisor::plan(const std::string& id) const {
+  for (const PoolJobPlan& p : plans_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+PoolJobPlan* PoolSupervisor::find_plan(const std::string& id) {
+  for (PoolJobPlan& p : plans_) {
+    if (p.id == id) return &p;
+  }
+  return nullptr;
+}
+
+PoolSupervisor::ShardOutcome PoolSupervisor::shard_done(
+    int w, const std::string& job, int shard, int code, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  if (s.state == PoolWorkerSlot::State::Busy && s.job == job &&
+      s.shard == shard) {
+    s.state = PoolWorkerSlot::State::Idle;
+    s.job.clear();
+    s.shard = -2;
+  }
+  s.last_heard_ms = now;
+
+  PoolJobPlan* p = find_plan(job);
+  if (p == nullptr) return ShardOutcome::Ignored;
+  for (ShardTask& t : p->shards) {
+    if (t.index != shard || t.state != ShardState::Assigned ||
+        t.worker != w) {
+      continue;
+    }
+    t.worker = -1;
+    t.last_worker = w;
+    t.deadline_ms = 0.0;
+    if (code == 0 || code == 2) {
+      t.state = ShardState::Done;
+      if (code == 2) p->infeasible = true;
+      return ShardOutcome::Ok;
+    }
+    if (t.attempts > policy_.shard_max_retries) {
+      t.state = ShardState::Poisoned;
+      return ShardOutcome::Poisoned;
+    }
+    t.state = ShardState::Pending;
+    t.next_ms = now + shard_backoff_ms(p->id, t.index, t.attempts);
+    return ShardOutcome::Retry;
+  }
+  return ShardOutcome::Ignored;
+}
+
+PoolSupervisor::MergeOutcome PoolSupervisor::merge_done(
+    int w, const std::string& job, int code, double now) {
+  PoolWorkerSlot& s = slots_.at(static_cast<std::size_t>(w));
+  if (s.state == PoolWorkerSlot::State::Busy && s.job == job &&
+      s.shard == -1) {
+    s.state = PoolWorkerSlot::State::Idle;
+    s.job.clear();
+    s.shard = -2;
+  }
+  s.last_heard_ms = now;
+
+  PoolJobPlan* p = find_plan(job);
+  if (p == nullptr || !p->merge_assigned || p->merge_worker != w) {
+    return MergeOutcome::Ignored;
+  }
+  p->merge_assigned = false;
+  p->merge_worker = -1;
+  p->merge_deadline_ms = 0.0;
+  if (code == 0 || code == 2 || code == 3) return MergeOutcome::Terminal;
+  // Exit 4 (or a contract violation): retriable like a crashed merge,
+  // bounded by the same retry budget shards get.
+  if (p->merge_attempts > policy_.shard_max_retries) {
+    return MergeOutcome::Exhausted;
+  }
+  return MergeOutcome::Retry;
+}
+
+int PoolSupervisor::pick_idle_worker(int avoid) const {
+  int fallback = -1;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    if (slots_[w].state != PoolWorkerSlot::State::Idle) continue;
+    if (static_cast<int>(w) != avoid) return static_cast<int>(w);
+    fallback = static_cast<int>(w);
+  }
+  return fallback;
+}
+
+bool PoolSupervisor::next_assignment(double now, Assignment* out) {
+  for (PoolJobPlan& p : plans_) {
+    bool all_settled = true;
+    for (ShardTask& t : p.shards) {
+      switch (t.state) {
+        case ShardState::Done:
+          continue;
+        case ShardState::Poisoned:
+          continue;
+        case ShardState::Assigned:
+          all_settled = false;
+          continue;
+        case ShardState::Pending:
+          break;
+      }
+      // An infeasible short-circuit skips the not-yet-started shards
+      // (the merge re-derives infeasibility from the design itself) —
+      // and counts them settled, so the merge launches this very pass.
+      if (p.infeasible) {
+        t.state = ShardState::Done;
+        continue;
+      }
+      all_settled = false;
+      if (t.next_ms > now) continue;
+      const int w = pick_idle_worker(t.last_worker);
+      if (w < 0) continue;
+      PoolWorkerSlot& s = slots_[static_cast<std::size_t>(w)];
+      s.state = PoolWorkerSlot::State::Busy;
+      s.job = p.id;
+      s.shard = t.index;
+      t.state = ShardState::Assigned;
+      t.worker = w;
+      ++t.attempts;
+      const double budget =
+          p.deadline_ms > 0.0 ? std::max(1.0, p.deadline_ms - now) : 0.0;
+      double stall = policy_.stall_timeout_ms;
+      if (budget > 0.0 && (stall <= 0.0 || budget < stall)) stall = budget;
+      t.deadline_ms = stall > 0.0 ? now + stall : 0.0;
+      out->kind = Assignment::Kind::Shard;
+      out->worker = w;
+      out->job = p.id;
+      out->shard = t.index;
+      out->shard_count = static_cast<int>(p.shards.size());
+      out->poison = t.poison;
+      out->done_shards.clear();
+      out->identity_shards.clear();
+      out->deadline_ms = budget;
+      return true;
+    }
+    if (!all_settled || p.merge_assigned) continue;
+    // Every stripe settled (and at least the infeasible short-circuit
+    // marked them Done): run the merge.
+    const int w = pick_idle_worker(-1);
+    if (w < 0) continue;
+    PoolWorkerSlot& s = slots_[static_cast<std::size_t>(w)];
+    s.state = PoolWorkerSlot::State::Busy;
+    s.job = p.id;
+    s.shard = -1;
+    p.merge_assigned = true;
+    p.merge_worker = w;
+    ++p.merge_attempts;
+    const double budget =
+        p.deadline_ms > 0.0 ? std::max(1.0, p.deadline_ms - now) : 0.0;
+    double stall = policy_.stall_timeout_ms;
+    if (budget > 0.0 && (stall <= 0.0 || budget < stall)) stall = budget;
+    p.merge_deadline_ms = stall > 0.0 ? now + stall : 0.0;
+    out->kind = Assignment::Kind::Merge;
+    out->worker = w;
+    out->job = p.id;
+    out->shard = -1;
+    out->shard_count = static_cast<int>(p.shards.size());
+    out->poison = false;
+    out->done_shards.clear();
+    out->identity_shards.clear();
+    for (const ShardTask& t : p.shards) {
+      if (t.state == ShardState::Done && !p.infeasible) {
+        out->done_shards.push_back(t.index);
+      } else if (t.state == ShardState::Poisoned) {
+        out->identity_shards.push_back(t.index);
+      }
+    }
+    out->deadline_ms = budget;
+    return true;
+  }
+  out->kind = Assignment::Kind::None;
+  return false;
+}
+
+void PoolSupervisor::mark_poison_target(const std::string& job,
+                                        int shard) {
+  PoolJobPlan* p = find_plan(job);
+  if (p == nullptr) return;
+  for (ShardTask& t : p->shards) {
+    if (t.index == shard) t.poison = true;
+  }
+}
+
+std::vector<int> PoolSupervisor::workers_to_ping(double now) {
+  std::vector<int> out;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    PoolWorkerSlot& s = slots_[w];
+    if (s.state != PoolWorkerSlot::State::Idle) continue;
+    if (s.ping_sent_ms > 0.0) continue;  // one outstanding ping at a time
+    if (now - s.last_heard_ms < policy_.ping_interval_ms) continue;
+    s.ping_sent_ms = now;
+    ++s.ping_seq;
+    out.push_back(static_cast<int>(w));
+  }
+  return out;
+}
+
+std::vector<int> PoolSupervisor::stalled_workers(double now) const {
+  std::vector<int> out;
+  for (std::size_t w = 0; w < slots_.size(); ++w) {
+    const PoolWorkerSlot& s = slots_[w];
+    switch (s.state) {
+      case PoolWorkerSlot::State::Dead:
+        break;
+      case PoolWorkerSlot::State::Starting:
+        // A worker that never says ready is as wedged as one that
+        // stops answering pings (e.g. hung loading a blob on dead NFS).
+        if (policy_.stall_timeout_ms > 0.0 &&
+            now - s.last_heard_ms >= policy_.stall_timeout_ms) {
+          out.push_back(static_cast<int>(w));
+        }
+        break;
+      case PoolWorkerSlot::State::Idle:
+        if (s.ping_sent_ms > 0.0 &&
+            now - s.ping_sent_ms >= policy_.ping_timeout_ms) {
+          out.push_back(static_cast<int>(w));
+        }
+        break;
+      case PoolWorkerSlot::State::Busy: {
+        // The stall deadline lives on the assignment (shard or merge).
+        double deadline = 0.0;
+        for (const PoolJobPlan& p : plans_) {
+          if (p.id != s.job) continue;
+          if (s.shard == -1) {
+            deadline = p.merge_deadline_ms;
+          } else {
+            for (const ShardTask& t : p.shards) {
+              if (t.index == s.shard &&
+                  t.state == ShardState::Assigned &&
+                  t.worker == static_cast<int>(w)) {
+                deadline = t.deadline_ms;
+              }
+            }
+          }
+        }
+        if (deadline > 0.0 && now >= deadline) {
+          out.push_back(static_cast<int>(w));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+double PoolSupervisor::next_deadline_ms() const {
+  double next = -1.0;
+  auto consider = [&next](double t) {
+    if (t > 0.0 && (next < 0.0 || t < next)) next = t;
+  };
+  for (const PoolWorkerSlot& s : slots_) {
+    switch (s.state) {
+      case PoolWorkerSlot::State::Dead:
+        break;
+      case PoolWorkerSlot::State::Starting:
+        if (policy_.stall_timeout_ms > 0.0) {
+          consider(s.last_heard_ms + policy_.stall_timeout_ms);
+        }
+        break;
+      case PoolWorkerSlot::State::Idle:
+        consider(s.ping_sent_ms > 0.0
+                     ? s.ping_sent_ms + policy_.ping_timeout_ms
+                     : s.last_heard_ms + policy_.ping_interval_ms);
+        break;
+      case PoolWorkerSlot::State::Busy:
+        break;  // covered by the per-assignment deadlines below
+    }
+  }
+  for (const PoolJobPlan& p : plans_) {
+    if (p.merge_assigned) consider(p.merge_deadline_ms);
+    for (const ShardTask& t : p.shards) {
+      if (t.state == ShardState::Assigned) consider(t.deadline_ms);
+      if (t.state == ShardState::Pending) consider(t.next_ms);
+    }
+  }
+  return next;
+}
+
+} // namespace wm::serve

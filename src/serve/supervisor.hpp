@@ -1,0 +1,215 @@
+#pragma once
+// Pool supervisor policy (docs/serving.md "Worker pool").
+//
+// Pure decision logic for the pre-forked worker pool: which shard runs
+// on which worker, when a silent worker counts as wedged, when a shard
+// that keeps dying is poisoned, and when the pool itself has failed
+// enough to give up on. No syscalls, no fds, no pids beyond opaque
+// bookkeeping — the event loop in server.cpp owns the processes, this
+// class owns the policy, and tests/serve_test.cpp drives every branch
+// with a fake clock (the same split job.hpp gives the fork-per-attempt
+// path).
+//
+// Model:
+//   * N worker slots, each Starting -> Idle <-> Busy, or Dead awaiting
+//     respawn. A slot is identified by its index, never its pid.
+//   * A job admitted to the pool becomes shard_count ShardTasks plus
+//     one merge. Shards run anywhere; a shard whose worker dies (or is
+//     stall-killed) goes back to Pending with capped backoff and is
+//     re-assigned — preferring a different worker — while its siblings
+//     keep their results (the per-shard checkpoint is the handoff).
+//   * A shard that exhausts shard_max_retries is Poisoned: the merge
+//     runs anyway with that stripe forced to the identity rung, so the
+//     job completes degraded instead of failing.
+//   * Every respawn increments a counter; at collapse_respawns the
+//     pool is declared collapsed and the server degrades to
+//     fork-per-attempt ("serve.pool_degraded").
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wm::serve {
+
+/// Lifecycle of one zone stripe of one pool job.
+enum class ShardState {
+  Pending,   ///< waiting for a worker (fresh, or back off after a loss)
+  Assigned,  ///< running on shards[i].worker
+  Done,      ///< checkpoint delivered (or infeasible short-circuit)
+  Poisoned,  ///< retries exhausted; merge forces this stripe to identity
+};
+
+const char* to_string(ShardState state);
+/// Inverse of to_string; false (out untouched) on an unknown name.
+/// Journal replay uses this, so it must not throw on corrupt input.
+bool parse_shard_state(const std::string& name, ShardState* out);
+
+struct ShardTask {
+  int index = 0;
+  ShardState state = ShardState::Pending;
+  int attempts = 0;        ///< assignments so far
+  int worker = -1;         ///< Assigned: worker slot
+  int last_worker = -1;    ///< who ran (and lost) it last
+  double next_ms = 0.0;    ///< Pending: earliest reassignment instant
+  double deadline_ms = 0.0;///< Assigned: stall-kill instant (0 = none)
+  bool poison = false;     ///< chaos: every run injects serve.shard_poison
+};
+
+/// Pool-side bookkeeping for one admitted job. The serve-layer Job
+/// keeps owning the lifecycle; this is only the shard fan-out.
+struct PoolJobPlan {
+  std::string id;
+  std::vector<ShardTask> shards;
+  bool infeasible = false;    ///< a shard answered exit 2: skip to merge
+  bool merge_assigned = false;
+  int merge_worker = -1;
+  int merge_attempts = 0;
+  double merge_deadline_ms = 0.0;
+  double deadline_ms = 0.0;   ///< job deadline instant (0 = none)
+};
+
+struct PoolWorkerSlot {
+  enum class State { Dead, Starting, Idle, Busy };
+  State state = State::Dead;
+  long pid = -1;
+  double last_heard_ms = 0.0;   ///< last event line from this worker
+  double ping_sent_ms = 0.0;    ///< 0 = no ping outstanding
+  std::uint64_t ping_seq = 0;   ///< last ping sent
+  std::uint64_t pong_seq = 0;   ///< last pong received
+  std::string job;              ///< Busy: job id
+  int shard = -2;               ///< Busy: shard index, -1 = merge
+};
+
+struct PoolPolicy {
+  int workers = 2;
+  int shard_max_retries = 2;       ///< re-assignments per shard
+  double stall_timeout_ms = 30000.0; ///< busy worker silent past this: kill
+  double ping_interval_ms = 500.0;   ///< idle-worker heartbeat cadence
+  double ping_timeout_ms = 2000.0;   ///< unanswered ping: kill
+  int collapse_respawns = 5;       ///< respawns before the pool gives up
+  double retry_base_ms = 100.0;    ///< shard re-assignment backoff
+  double retry_cap_ms = 5000.0;
+  std::uint64_t seed = 0;          ///< backoff jitter seed
+};
+
+class PoolSupervisor {
+ public:
+  PoolSupervisor() = default;
+  explicit PoolSupervisor(PoolPolicy policy);
+
+  const PoolPolicy& policy() const { return policy_; }
+  int workers() const { return static_cast<int>(slots_.size()); }
+  const PoolWorkerSlot& slot(int w) const { return slots_.at(w); }
+
+  // -- worker lifecycle (driven by the event loop) --------------------
+  void worker_spawned(int w, long pid, double now);
+  /// The worker's "ready" event: Starting -> Idle, eligible for work.
+  void worker_ready(int w, double now);
+  /// Any event line counts as a heartbeat.
+  void worker_heard(int w, double now);
+  void worker_pong(int w, std::uint64_t seq, double now);
+
+  /// What a dying worker was holding. shard >= 0: a shard run;
+  /// shard == -1: the merge; shard == -2: nothing.
+  struct Held {
+    std::string job;
+    int shard = -2;
+  };
+  /// Mark a worker dead (reaped, EOF'd or stall-killed): frees its
+  /// assignment back to Pending with backoff (or bumps the merge for a
+  /// re-run), counts a respawn, and reports what it held.
+  Held worker_dead(int w, double now);
+
+  /// True when worker_dead pushed the respawn count to the collapse
+  /// threshold: the server must tear the pool down and degrade to
+  /// fork-per-attempt.
+  bool collapsed() const { return respawns_ >= policy_.collapse_respawns; }
+  int respawns() const { return respawns_; }
+
+  /// Dead slots to fork again (skipped once collapsed — no zombie
+  /// respawn loop after the decision to give up).
+  std::vector<int> workers_to_respawn() const;
+
+  // -- job intake -----------------------------------------------------
+  /// Fan a job out into shard_count stripes. poisoned: stripes already
+  /// known bad (journal recovery) — admitted directly as Poisoned.
+  void admit(const std::string& id, int shard_count, double deadline_ms,
+             const std::vector<int>& poisoned);
+  /// Drop a job (terminal, drained, or handed back to the fork path).
+  /// Workers still running its pieces are left Busy — their done/fatal
+  /// events for a forgotten job are ignored by the caller.
+  void forget(const std::string& id);
+  bool has(const std::string& id) const;
+  const PoolJobPlan* plan(const std::string& id) const;
+  std::size_t jobs() const { return plans_.size(); }
+  /// Admitted job ids in admission order (pool collapse and drain walk
+  /// these to hand every plan back to the serve-layer job table).
+  std::vector<std::string> job_ids() const;
+
+  // -- worker events --------------------------------------------------
+  enum class ShardOutcome {
+    Ok,        ///< Done (possibly the infeasible short-circuit)
+    Retry,     ///< failed, re-assignment scheduled
+    Poisoned,  ///< failed and out of retries
+    Ignored,   ///< stale event (unknown job / not assigned here)
+  };
+  /// A shard_done event: code 0 = checkpoint delivered, 2 = infeasible
+  /// (job short-circuits to merge), anything else = failed attempt.
+  ShardOutcome shard_done(int w, const std::string& job, int shard,
+                          int code, double now);
+  enum class MergeOutcome {
+    Terminal,  ///< the merge's exit code is the job's answer
+    Retry,     ///< merge failed (exit 4), re-run scheduled
+    Exhausted, ///< merge failed out of retries: fall back to fork path
+    Ignored,
+  };
+  MergeOutcome merge_done(int w, const std::string& job, int code,
+                          double now);
+
+  // -- scheduling -----------------------------------------------------
+  struct Assignment {
+    enum class Kind { None, Shard, Merge };
+    Kind kind = Kind::None;
+    int worker = -1;
+    std::string job;
+    int shard = -1;               ///< Shard
+    int shard_count = 0;
+    bool poison = false;          ///< Shard: chaos flag for this run
+    std::vector<int> done_shards; ///< Merge: stripes with checkpoints
+    std::vector<int> identity_shards;  ///< Merge: poisoned stripes
+    double deadline_ms = 0.0;     ///< remaining budget for this run (0 = none)
+  };
+  /// Pick the next (worker, work) pair, update the books, and return
+  /// true; false when nothing is assignable right now. Call in a loop.
+  /// A re-assigned shard prefers a worker other than the one that just
+  /// lost it, when one is idle.
+  bool next_assignment(double now, Assignment* out);
+
+  /// Mark a chaos shard target: every run of (job, shard) injects
+  /// serve.shard_poison until the stripe poisons for real.
+  void mark_poison_target(const std::string& job, int shard);
+
+  // -- watchdogs ------------------------------------------------------
+  /// Idle workers due a heartbeat ping; marks the ping outstanding.
+  std::vector<int> workers_to_ping(double now);
+  /// Workers the server must SIGKILL now: busy past the stall deadline,
+  /// idle with an unanswered ping past ping_timeout, or starting
+  /// without a ready past stall_timeout.
+  std::vector<int> stalled_workers(double now) const;
+  /// Earliest instant any pool timer fires (ping due, ping timeout,
+  /// stall deadline, shard backoff expiry); <0 = no timer armed.
+  double next_deadline_ms() const;
+
+ private:
+  PoolJobPlan* find_plan(const std::string& id);
+  int pick_idle_worker(int avoid) const;
+  double shard_backoff_ms(const std::string& id, int shard,
+                          int attempts) const;
+
+  PoolPolicy policy_;
+  std::vector<PoolWorkerSlot> slots_;
+  std::vector<PoolJobPlan> plans_;  ///< admission order
+  int respawns_ = 0;
+};
+
+} // namespace wm::serve

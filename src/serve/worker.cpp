@@ -24,27 +24,6 @@ namespace wm::serve {
 
 namespace {
 
-/// Leave the result where the supervisor looks, atomically: a reaped
-/// child either wrote the whole line or (crash) none of it — the
-/// supervisor never sees a torn file it could misclassify.
-void write_result(const std::string& path, const WorkerResult& r) {
-  if (path.empty()) return;
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os.good()) return;
-    os << dump_worker_result(r) << '\n';
-    os.flush();
-    if (!os.good()) {
-      std::remove(tmp.c_str());
-      return;
-    }
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-  }
-}
-
 std::string combined_fault_spec(const WorkerConfig& cfg) {
   std::string spec = cfg.spec.fault_spec;
   if (cfg.victim) {
@@ -92,6 +71,7 @@ int attempt(const WorkerConfig& cfg, WorkerResult& wr) {
 
   CharacterizerOptions co;
   co.vdds = modes.distinct_vdds();
+  if (cfg.char_dt > 0.0) co.dt = cfg.char_dt;
   const Characterizer chr(lib, co);
 
   WaveMinOptions opts;
@@ -160,7 +140,7 @@ int run_worker(const WorkerConfig& cfg) noexcept {
                  e.what());
   }
   try {
-    write_result(cfg.result_path, wr);
+    write_worker_result(cfg.result_path, wr);
   } catch (...) {
     // A lost result file reads as "crashed before reporting" — the
     // retryable interpretation; never turn it into a child abort.

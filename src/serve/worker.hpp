@@ -27,6 +27,9 @@ struct WorkerConfig {
   std::string result_path; ///< spool WorkerResult destination
   /// Remaining share of the job's deadline at this launch; 0 = none.
   double attempt_deadline_ms = 0.0;
+  /// Characterization dt (ps) for this attempt's in-process LUT;
+  /// 0 = the library default (ServerOptions::char_dt).
+  double char_dt = 0.0;
   /// This launch drew the armed serve.worker_kill slot: the child arms
   /// the site at hit 1 and injects it, SIGKILLing itself mid-setup.
   bool victim = false;

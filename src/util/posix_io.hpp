@@ -1,0 +1,91 @@
+#pragma once
+// EINTR/partial-transfer discipline for the serving layer's raw POSIX
+// I/O (docs/serving.md "Signals and partial I/O").
+//
+// The daemon installs SIGCHLD/SIGTERM handlers, so *every* blocking
+// syscall in the process can return EINTR — and SA_RESTART does not
+// cover poll(2) at all. Scattering `errno == EINTR` checks across call
+// sites is how latent bugs breed (several sites simply lacked them);
+// these helpers are the one place the policy lives:
+//
+//   * retry_read  — one read(2), retried only on EINTR. It deliberately
+//     does NOT loop to fill the buffer: nonblocking event-loop readers
+//     depend on seeing the short read / EAGAIN that ends a drain.
+//   * write_all   — full-buffer write loop (EINTR retried, partial
+//     writes continued). A zero-byte write reports failure: the fd ran
+//     dry mid-record, which callers must treat as loss, not progress.
+//   * retry_poll  — poll(2) retried on EINTR with the timeout
+//     recomputed against a deadline, so a signal storm cannot stretch
+//     a bounded wait into an unbounded one.
+//
+// Free functions only; no state, no allocation, nothing to initialize.
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstddef>
+
+namespace wm {
+
+/// read(2) with EINTR retried. Returns exactly what one successful
+/// read would: > 0 bytes, 0 on EOF, or -1 with errno set (EAGAIN
+/// included — nonblocking semantics are preserved).
+inline ssize_t retry_read(int fd, void* buf, std::size_t n) {
+  while (true) {
+    const ssize_t got = ::read(fd, buf, n);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
+/// write(2) until the whole buffer is down the fd (EINTR retried,
+/// short writes continued). False on error or a zero-byte write.
+inline bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t wrote = ::write(fd, p, n);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (wrote == 0) return false;
+    p += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+  return true;
+}
+
+/// write(2) of one byte or more with only EINTR retried — the partial
+/// write is returned for the caller's buffer bookkeeping (event-loop
+/// writers keep their own out-queues and must not block to finish).
+inline ssize_t retry_write(int fd, const void* data, std::size_t n) {
+  while (true) {
+    const ssize_t wrote = ::write(fd, data, n);
+    if (wrote >= 0 || errno != EINTR) return wrote;
+  }
+}
+
+/// poll(2) with EINTR retried and the timeout recomputed, so the call
+/// waits at most `timeout_ms` of wall clock regardless of how many
+/// signals land. timeout_ms < 0 waits forever (plain EINTR retry).
+inline int retry_poll(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  if (timeout_ms < 0) {
+    while (true) {
+      const int rc = ::poll(fds, nfds, -1);
+      if (rc >= 0 || errno != EINTR) return rc;
+    }
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int remaining = timeout_ms;
+  while (true) {
+    const int rc = ::poll(fds, nfds, remaining);
+    if (rc >= 0 || errno != EINTR) return rc;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    remaining = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+  }
+}
+
+} // namespace wm

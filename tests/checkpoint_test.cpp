@@ -9,6 +9,7 @@
 #include <iomanip>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "cells/characterizer.hpp"
 #include "cells/library.hpp"
@@ -205,6 +206,75 @@ TEST(Checkpoint, ResumeReproducesBitIdenticalResults) {
   EXPECT_EQ(r2.chosen_dof, r1.chosen_dof);
   EXPECT_EQ(tree_to_string(t2), tree_to_string(t1));
   std::remove(path.c_str());
+}
+
+// Zone sharding (docs/serving.md "Worker pool"): shard runs solve
+// disjoint stripes, the merge preloads every shard checkpoint — the
+// result must be bit-identical to a monolithic run, with the merge
+// finding every owned zone already memoized.
+TEST(Checkpoint, ShardMergeBitIdenticalToMonolithicRun) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+  constexpr int kShards = 3;
+
+  ClockTree mono = make_benchmark(spec_by_name("s15850"), lib);
+  const WaveMinResult r1 = clk_wavemin(mono, lib, chr, WaveMinOptions{});
+  ASSERT_TRUE(r1.success);
+  EXPECT_FALSE(r1.sharded);
+
+  std::vector<std::string> shard_cks;
+  for (int k = 0; k < kShards; ++k) {
+    WaveMinOptions so;
+    so.shard_count = kShards;
+    so.shard_index = k;
+    so.checkpoint_path =
+        temp_path(("ck_shard" + std::to_string(k) + ".wmck").c_str());
+    shard_cks.push_back(so.checkpoint_path);
+    ClockTree t = make_benchmark(spec_by_name("s15850"), lib);
+    const std::string before = tree_to_string(t);
+    const WaveMinResult rs = clk_wavemin(t, lib, chr, so);
+    ASSERT_TRUE(rs.success);
+    EXPECT_TRUE(rs.sharded);
+    // A shard run never applies an assignment.
+    EXPECT_EQ(tree_to_string(t), before);
+    EXPECT_TRUE(rs.zone_peaks.empty());
+  }
+
+  WaveMinOptions mo;
+  mo.shard_count = kShards;  // shard_index stays -1: merge run
+  mo.resume_paths = shard_cks;
+  ClockTree merged = make_benchmark(spec_by_name("s15850"), lib);
+  const WaveMinResult r2 = clk_wavemin(merged, lib, chr, mo);
+  ASSERT_TRUE(r2.success);
+  EXPECT_FALSE(r2.sharded);
+  EXPECT_GT(r2.report.resumed_zones, 0u);
+
+  EXPECT_EQ(r2.model_peak, r1.model_peak);
+  EXPECT_EQ(r2.chosen_dof, r1.chosen_dof);
+  EXPECT_EQ(r2.zone_peaks, r1.zone_peaks);
+  EXPECT_EQ(tree_to_string(merged), tree_to_string(mono));
+  for (const std::string& p : shard_cks) std::remove(p.c_str());
+}
+
+// A stripe listed in identity_shards is never solved: its zones land on
+// the ladder bottom and the merge completes degraded instead of
+// failing — the serving layer's poisoned-shard recovery path.
+TEST(Checkpoint, IdentityShardsDegradeInsteadOfFailing) {
+  const CellLibrary lib = CellLibrary::nangate45_like();
+  const Characterizer chr{lib};
+
+  WaveMinOptions mo;
+  mo.shard_count = 2;  // merge with shard 1 given up on
+  mo.identity_shards = {1};
+  ClockTree t = make_benchmark(spec_by_name("s15850"), lib);
+  const WaveMinResult r = clk_wavemin(t, lib, chr, mo);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.report.degraded());
+  std::size_t identity = 0;
+  for (const auto& zr : r.report.zones) {
+    if (zr.ladder == LadderLevel::Identity) ++identity;
+  }
+  EXPECT_GT(identity, 0u);
 }
 
 TEST(Checkpoint, ResumeRejectsCheckpointFromDifferentDesign) {

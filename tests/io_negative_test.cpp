@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "io/blob.hpp"
 #include "io/tree_io.hpp"
 #include "util/error.hpp"
 
@@ -38,6 +40,18 @@ struct BadCase {
 
 class BadTreeTest : public ::testing::TestWithParam<BadCase> {};
 class BadLibTest : public ::testing::TestWithParam<BadCase> {};
+
+/// wavemin.blob/v1 fixtures (regenerate: scripts/gen_bad_blobs.py).
+/// Binary-format diagnostics locate the defect by byte offset instead
+/// of line number; `offset` is the exact "at offset N" the message
+/// must carry, or nullptr for pre-parse failures (short file).
+struct BadBlobCase {
+  const char* file;
+  const char* expect;
+  const char* offset;
+};
+
+class BadBlobTest : public ::testing::TestWithParam<BadBlobCase> {};
 
 TEST_P(BadTreeTest, RejectedWithLocatedDiagnostic) {
   const BadCase& c = GetParam();
@@ -74,6 +88,29 @@ TEST_P(BadLibTest, RejectedWithLocatedDiagnostic) {
       EXPECT_NE(msg.find("line "), std::string::npos)
           << c.file << ": message '" << msg << "' lacks a line number";
     }
+  }
+}
+
+TEST_P(BadBlobTest, RejectedWithPathAndOffset) {
+  const BadBlobCase& c = GetParam();
+  try {
+    (void)blob::View::map(fixture(c.file));
+    FAIL() << c.file << ": expected wm::Error, got a mapped blob";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(c.expect), std::string::npos)
+        << c.file << ": message '" << msg << "' lacks '" << c.expect
+        << "'";
+    if (c.offset != nullptr) {
+      EXPECT_NE(msg.find(std::string("at offset ") + c.offset),
+                std::string::npos)
+          << c.file << ": message '" << msg << "' lacks 'at offset "
+          << c.offset << "'";
+    }
+    // The daemon logs this verbatim when it rejects a --blob at boot;
+    // the path is what lets an operator find the artifact.
+    EXPECT_NE(msg.find(c.file), std::string::npos)
+        << c.file << ": message '" << msg << "' lacks the file path";
   }
 }
 
@@ -134,6 +171,66 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return n;
     });
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, BadBlobTest,
+    ::testing::Values(
+        BadBlobCase{"blob_short.wmblob", "short file", nullptr},
+        BadBlobCase{"blob_bad_magic.wmblob", "bad magic", "0"},
+        BadBlobCase{"blob_bad_version.wmblob",
+                    "unsupported version 99", "8"},
+        BadBlobCase{"blob_section_count.wmblob",
+                    "section count 65 out of range", "12"},
+        BadBlobCase{"blob_size_mismatch.wmblob", "file size mismatch",
+                    "16"},
+        BadBlobCase{"blob_crc_flip.wmblob", "CRC mismatch", "88"},
+        BadBlobCase{"blob_truncated_table.wmblob",
+                    "truncated section table", "24"},
+        BadBlobCase{"blob_oversize_section.wmblob",
+                    "section \"library\" out of bounds", "24"},
+        BadBlobCase{"blob_bad_name.wmblob", "bad section name", "24"}),
+    [](const ::testing::TestParamInfo<BadBlobCase>& info) {
+      std::string n = info.param.file;
+      for (char& ch : n) {
+        if (ch == '.') ch = '_';
+      }
+      return n;
+    });
+
+// A structurally valid container whose payload is garbage passes the
+// mapper (magic/CRC/table all check out) but must be rejected by the
+// section decoders with the section name in the message — corruption
+// inside a section is attributable without a hex dump.
+TEST(IoNegative, BlobSectionDecodersReject) {
+  const std::string path =
+      ::testing::TempDir() + "/decoder_garbage.wmblob";
+  blob::Writer w;
+  // Claims 2^31 cells; the bounds-checked cursor runs dry immediately.
+  w.add_section("library", {0x00, 0x00, 0x00, 0x80});
+  w.save(path);
+  const blob::View view = blob::View::map(path);  // container is valid
+  try {
+    (void)blob::load_library(view);
+    FAIL() << "expected wm::Error from the library decoder";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("truncated \"library\" section"),
+              std::string::npos)
+        << msg;
+  }
+  // The charlut section is absent entirely: named, not segfaulted.
+  const CellLibrary lib = tiny_lib();
+  try {
+    (void)blob::load_characterizer(view, lib);
+    FAIL() << "expected wm::Error for the missing charlut section";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("missing \"charlut\" section"),
+              std::string::npos)
+        << msg;
+  }
+  std::remove(path.c_str());
+}
 
 // Field diagnostics carry the 1-based column and field name, so a
 // truncated record is locatable without opening the file.

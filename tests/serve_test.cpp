@@ -18,6 +18,8 @@
 #include "serve/job.hpp"
 #include "serve/journal.hpp"
 #include "serve/protocol.hpp"
+#include "serve/shard.hpp"
+#include "serve/supervisor.hpp"
 #include "util/crc32.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -454,6 +456,13 @@ std::vector<JournalRecord> journal_fixture() {
   snap.attempt = 3;
   snap.state = JobState::Done;
   recs.push_back(snap);
+
+  JournalRecord shard;
+  shard.type = JournalRecord::Type::Shard;
+  shard.id = "j1";
+  shard.shard = 1;
+  shard.shard_state = ShardState::Poisoned;
+  recs.push_back(shard);
   return recs;
 }
 
@@ -746,6 +755,459 @@ TEST(JournalTest, RewriteCompactsAndStaysAppendable) {
   EXPECT_EQ(back[0].type, JournalRecord::Type::Version);
   EXPECT_TRUE(same_record(back[1], snap));
   EXPECT_TRUE(same_record(back[2], recs[1]));
+}
+
+// ----------------------------------------------------------- pool wire
+
+TEST(PoolWireTest, CommandRoundTripsEveryKind) {
+  PoolCommand shard;
+  shard.kind = PoolCommand::Kind::Shard;
+  shard.spec = journal_spec("j1");
+  shard.shard_count = 4;
+  shard.shard_index = 2;
+  shard.checkpoint = "spool/j1.s2.wmck";
+  shard.deadline_ms = 1500.0;
+  shard.poison = true;
+  shard.stall = true;
+  shard.kill = true;
+
+  PoolCommand merge;
+  merge.kind = PoolCommand::Kind::Merge;
+  merge.spec = journal_spec("j1");
+  merge.shard_count = 4;
+  merge.resume = {"spool/j1.s0.wmck", "spool/j1.s3.wmck"};
+  merge.identity_shards = {1, 2};
+  merge.out = "spool/j1.out.ctree";
+  merge.result_path = "spool/j1.result";
+  merge.deadline_ms = 900.0;
+
+  PoolCommand ping;
+  ping.kind = PoolCommand::Kind::Ping;
+  ping.seq = 41;
+
+  PoolCommand exit_c;
+  exit_c.kind = PoolCommand::Kind::Exit;
+
+  for (const PoolCommand& cmd : {shard, merge, ping, exit_c}) {
+    const std::string line = encode_command(cmd);
+    PoolCommand back;
+    ASSERT_TRUE(decode_command(line, &back)) << line;
+    // The codec is deterministic, so re-encoding proves every field
+    // survived (same idiom as same_record above).
+    EXPECT_EQ(encode_command(back), line) << line;
+  }
+
+  PoolCommand back;
+  ASSERT_TRUE(decode_command(encode_command(shard), &back));
+  EXPECT_EQ(back.kind, PoolCommand::Kind::Shard);
+  EXPECT_EQ(back.spec.tree, "j1.ctree");
+  EXPECT_EQ(back.shard_count, 4);
+  EXPECT_EQ(back.shard_index, 2);
+  EXPECT_EQ(back.checkpoint, "spool/j1.s2.wmck");
+  EXPECT_TRUE(back.poison);
+  EXPECT_TRUE(back.stall);
+  EXPECT_TRUE(back.kill);
+  ASSERT_TRUE(decode_command(encode_command(merge), &back));
+  EXPECT_EQ(back.resume, merge.resume);
+  EXPECT_EQ(back.identity_shards, merge.identity_shards);
+  EXPECT_EQ(back.out, "spool/j1.out.ctree");
+  EXPECT_EQ(back.result_path, "spool/j1.result");
+}
+
+TEST(PoolWireTest, EventRoundTripsEveryKind) {
+  PoolEvent ready;
+  ready.kind = PoolEvent::Kind::Ready;
+  ready.characterized = 18;
+
+  PoolEvent sd;
+  sd.kind = PoolEvent::Kind::ShardDone;
+  sd.job = "j1";
+  sd.shard = 3;
+  sd.code = 4;
+  sd.error = "injected";
+
+  PoolEvent md;
+  md.kind = PoolEvent::Kind::MergeDone;
+  md.job = "j1";
+  md.code = 0;
+  md.resumed_zones = 77;
+
+  PoolEvent pong;
+  pong.kind = PoolEvent::Kind::Pong;
+  pong.seq = 41;
+
+  PoolEvent fatal;
+  fatal.kind = PoolEvent::Kind::Fatal;
+  fatal.error = "blob: bad magic";
+
+  for (const PoolEvent& ev : {ready, sd, md, pong, fatal}) {
+    const std::string line = encode_event(ev);
+    PoolEvent back;
+    ASSERT_TRUE(decode_event(line, &back)) << line;
+    EXPECT_EQ(encode_event(back), line) << line;
+  }
+
+  PoolEvent back;
+  ASSERT_TRUE(decode_event(encode_event(sd), &back));
+  EXPECT_EQ(back.job, "j1");
+  EXPECT_EQ(back.shard, 3);
+  EXPECT_EQ(back.code, 4);
+  EXPECT_EQ(back.error, "injected");
+  ASSERT_TRUE(decode_event(encode_event(md), &back));
+  EXPECT_EQ(back.resumed_zones, 77u);
+}
+
+TEST(PoolWireTest, GarbledLinesAreRejectedNotThrown) {
+  // The supervisor treats a garbled worker line as a crashed worker;
+  // decode must return false for anything malformed, never throw.
+  PoolCommand cmd;
+  PoolEvent ev;
+  for (const char* line :
+       {"", "{", "[]", "{\"cmd\":\"warp\"}", "{\"ev\":\"warp\"}",
+        "{\"cmd\":\"shard\"}", "{\"ev\":\"shard_done\",\"job\":\"j\"}",
+        "{\"seq\":1}", "not json at all"}) {
+    EXPECT_FALSE(decode_command(line, &cmd)) << line;
+    EXPECT_FALSE(decode_event(line, &ev)) << line;
+  }
+  // Lenient about extras, same as wavemin.jobs/v1.
+  EXPECT_TRUE(decode_command("{\"cmd\":\"exit\",\"future\":1}", &cmd));
+  EXPECT_TRUE(decode_event("{\"ev\":\"pong\",\"seq\":2,\"x\":[]}", &ev));
+}
+
+// ---------------------------------------------------------- pool policy
+
+PoolPolicy pool_policy(int workers) {
+  PoolPolicy p;
+  p.workers = workers;
+  p.shard_max_retries = 2;
+  p.stall_timeout_ms = 1000.0;
+  p.ping_interval_ms = 100.0;
+  p.ping_timeout_ms = 200.0;
+  p.collapse_respawns = 3;
+  p.retry_base_ms = 50.0;
+  p.retry_cap_ms = 400.0;
+  return p;
+}
+
+PoolSupervisor booted_pool(PoolPolicy policy, double now) {
+  PoolSupervisor s(policy);
+  for (int w = 0; w < s.workers(); ++w) {
+    s.worker_spawned(w, 100 + w, now);
+    s.worker_ready(w, now);
+  }
+  return s;
+}
+
+TEST(PoolTest, ShardsFanOutThenMergeCarriesDoneShards) {
+  PoolSupervisor s = booted_pool(pool_policy(2), 0.0);
+  s.admit("j", 3, 0.0, {});
+
+  PoolSupervisor::Assignment a1, a2, a3;
+  ASSERT_TRUE(s.next_assignment(0.0, &a1));
+  ASSERT_TRUE(s.next_assignment(0.0, &a2));
+  EXPECT_FALSE(s.next_assignment(0.0, &a3));  // both workers busy
+  EXPECT_EQ(a1.kind, PoolSupervisor::Assignment::Kind::Shard);
+  EXPECT_NE(a1.worker, a2.worker);
+  EXPECT_NE(a1.shard, a2.shard);
+  EXPECT_EQ(a1.shard_count, 3);
+
+  EXPECT_EQ(s.shard_done(a1.worker, "j", a1.shard, 0, 1.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  PoolSupervisor::Assignment a4;
+  ASSERT_TRUE(s.next_assignment(1.0, &a4));  // freed worker gets shard 2
+  EXPECT_EQ(a4.kind, PoolSupervisor::Assignment::Kind::Shard);
+  EXPECT_EQ(a4.worker, a1.worker);
+
+  EXPECT_EQ(s.shard_done(a2.worker, "j", a2.shard, 0, 2.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  EXPECT_EQ(s.shard_done(a4.worker, "j", a4.shard, 0, 3.0),
+            PoolSupervisor::ShardOutcome::Ok);
+
+  PoolSupervisor::Assignment m;
+  ASSERT_TRUE(s.next_assignment(4.0, &m));
+  EXPECT_EQ(m.kind, PoolSupervisor::Assignment::Kind::Merge);
+  EXPECT_EQ(m.done_shards, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(m.identity_shards.empty());
+  EXPECT_EQ(s.merge_done(m.worker, "j", 0, 5.0),
+            PoolSupervisor::MergeOutcome::Terminal);
+}
+
+TEST(PoolTest, WorkerDeathRequeuesOnlyTheVictimShard) {
+  PoolSupervisor s = booted_pool(pool_policy(3), 0.0);
+  s.admit("j", 2, 0.0, {});
+  PoolSupervisor::Assignment a1, a2;
+  ASSERT_TRUE(s.next_assignment(0.0, &a1));
+  ASSERT_TRUE(s.next_assignment(0.0, &a2));
+
+  const PoolSupervisor::Held held = s.worker_dead(a1.worker, 1.0);
+  EXPECT_EQ(held.job, "j");
+  EXPECT_EQ(held.shard, a1.shard);
+  EXPECT_EQ(s.workers_to_respawn(), std::vector<int>{a1.worker});
+
+  // Only the victim's stripe went back to Pending; the sibling keeps
+  // its assignment and, once done, its result.
+  const PoolJobPlan* p = s.plan("j");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->shards[static_cast<std::size_t>(a1.shard)].state,
+            ShardState::Pending);
+  EXPECT_EQ(p->shards[static_cast<std::size_t>(a2.shard)].state,
+            ShardState::Assigned);
+
+  // Re-assignment (past the backoff) prefers a worker that is not the
+  // one that just lost the stripe — worker 2 is idle, so it wins even
+  // after the victim slot respawns.
+  s.worker_spawned(a1.worker, 200, 2.0);
+  s.worker_ready(a1.worker, 2.0);
+  PoolSupervisor::Assignment r;
+  ASSERT_TRUE(s.next_assignment(1000.0, &r));
+  EXPECT_EQ(r.shard, a1.shard);
+  EXPECT_NE(r.worker, a1.worker);
+  EXPECT_EQ(p->shards[static_cast<std::size_t>(a1.shard)].attempts, 2);
+}
+
+TEST(PoolTest, RetriesExhaustedPoisonsAndMergeForcesIdentity) {
+  PoolPolicy pol = pool_policy(1);
+  pol.shard_max_retries = 1;
+  PoolSupervisor s = booted_pool(pol, 0.0);
+  s.admit("j", 2, 0.0, {});
+
+  // Shard 0 fails its first attempt: retried with backoff.
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  EXPECT_EQ(s.shard_done(a.worker, "j", a.shard, 4, 1.0),
+            PoolSupervisor::ShardOutcome::Retry);
+  // Second failure exhausts the budget: poisoned, not retried again.
+  double now = 1000.0;
+  ASSERT_TRUE(s.next_assignment(now, &a));
+  EXPECT_EQ(a.shard, 0);
+  EXPECT_EQ(s.shard_done(a.worker, "j", 0, 4, now),
+            PoolSupervisor::ShardOutcome::Poisoned);
+
+  // The sibling completes normally; the merge then runs with the
+  // poisoned stripe forced to identity instead of failing the job.
+  now = 2000.0;
+  ASSERT_TRUE(s.next_assignment(now, &a));
+  EXPECT_EQ(a.shard, 1);
+  EXPECT_EQ(s.shard_done(a.worker, "j", 1, 0, now),
+            PoolSupervisor::ShardOutcome::Ok);
+  PoolSupervisor::Assignment m;
+  ASSERT_TRUE(s.next_assignment(now, &m));
+  EXPECT_EQ(m.kind, PoolSupervisor::Assignment::Kind::Merge);
+  EXPECT_EQ(m.identity_shards, std::vector<int>{0});
+  EXPECT_EQ(m.done_shards, std::vector<int>{1});
+}
+
+TEST(PoolTest, JournalPoisonedStripesSkipTheRetryBudget) {
+  PoolSupervisor s = booted_pool(pool_policy(2), 0.0);
+  // Journal recovery already proved stripe 1 poisonous in a previous
+  // daemon life; it must go straight to the identity ladder.
+  s.admit("j", 3, 0.0, {1});
+  const PoolJobPlan* p = s.plan("j");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->shards[1].state, ShardState::Poisoned);
+
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  EXPECT_EQ(s.shard_done(a.worker, "j", a.shard, 0, 1.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  ASSERT_TRUE(s.next_assignment(1.0, &a));
+  EXPECT_EQ(s.shard_done(a.worker, "j", a.shard, 0, 2.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  PoolSupervisor::Assignment m;
+  ASSERT_TRUE(s.next_assignment(3.0, &m));
+  EXPECT_EQ(m.kind, PoolSupervisor::Assignment::Kind::Merge);
+  EXPECT_EQ(m.identity_shards, std::vector<int>{1});
+}
+
+TEST(PoolTest, InfeasibleShortCircuitSkipsUnstartedShards) {
+  PoolSupervisor s = booted_pool(pool_policy(1), 0.0);
+  s.admit("j", 4, 0.0, {});
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  // Exit 2: the design itself is infeasible — no point solving the
+  // other stripes, the merge re-derives the verdict from the design.
+  EXPECT_EQ(s.shard_done(a.worker, "j", a.shard, 2, 1.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  PoolSupervisor::Assignment m;
+  ASSERT_TRUE(s.next_assignment(2.0, &m));
+  EXPECT_EQ(m.kind, PoolSupervisor::Assignment::Kind::Merge);
+  EXPECT_TRUE(m.identity_shards.empty());
+}
+
+TEST(PoolTest, MergeRetriesThenFallsBackToForkPath) {
+  PoolSupervisor s = booted_pool(pool_policy(1), 0.0);
+  s.admit("j", 1, 0.0, {});
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  ASSERT_EQ(s.shard_done(a.worker, "j", a.shard, 0, 1.0),
+            PoolSupervisor::ShardOutcome::Ok);
+
+  // Exit 4 is retriable; the budget matches the shard retry budget,
+  // after which the server falls back to fork-per-attempt.
+  PoolSupervisor::Assignment m;
+  ASSERT_TRUE(s.next_assignment(2.0, &m));
+  EXPECT_EQ(s.merge_done(m.worker, "j", 4, 3.0),
+            PoolSupervisor::MergeOutcome::Retry);
+  ASSERT_TRUE(s.next_assignment(4.0, &m));
+  EXPECT_EQ(s.merge_done(m.worker, "j", 4, 5.0),
+            PoolSupervisor::MergeOutcome::Retry);
+  ASSERT_TRUE(s.next_assignment(6.0, &m));
+  EXPECT_EQ(s.merge_done(m.worker, "j", 4, 7.0),
+            PoolSupervisor::MergeOutcome::Exhausted);
+  s.forget("j");  // what the server does on Exhausted: back to fork path
+
+  // Degraded completion is terminal, not retriable: exit 3 means the
+  // merge delivered a tree (with identity stripes), code preserved.
+  s.admit("k", 1, 0.0, {});
+  ASSERT_TRUE(s.next_assignment(8.0, &a));
+  ASSERT_EQ(s.shard_done(a.worker, "k", a.shard, 0, 9.0),
+            PoolSupervisor::ShardOutcome::Ok);
+  ASSERT_TRUE(s.next_assignment(10.0, &m));
+  EXPECT_EQ(s.merge_done(m.worker, "k", 3, 11.0),
+            PoolSupervisor::MergeOutcome::Terminal);
+}
+
+TEST(PoolTest, StaleEventsAreIgnoredButFreeTheSlot) {
+  PoolSupervisor s = booted_pool(pool_policy(1), 0.0);
+  s.admit("j", 1, 0.0, {});
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  s.forget("j");  // drained or handed to the fork path mid-run
+  EXPECT_FALSE(s.has("j"));
+  // The worker's late done event is stale — but the slot goes back to
+  // Idle so the pool keeps serving other jobs.
+  EXPECT_EQ(s.shard_done(a.worker, "j", a.shard, 0, 1.0),
+            PoolSupervisor::ShardOutcome::Ignored);
+  EXPECT_EQ(s.slot(a.worker).state, PoolWorkerSlot::State::Idle);
+}
+
+TEST(PoolTest, IdleHeartbeatTimesOutThenPongRescues) {
+  PoolSupervisor s = booted_pool(pool_policy(2), 0.0);
+  // No ping due inside the interval.
+  EXPECT_TRUE(s.workers_to_ping(50.0).empty());
+  // Past the interval both idle workers are pinged, exactly once.
+  EXPECT_EQ(s.workers_to_ping(150.0), (std::vector<int>{0, 1}));
+  EXPECT_TRUE(s.workers_to_ping(160.0).empty());  // ping outstanding
+
+  // Worker 1 answers; worker 0 stays silent. The kill fires at
+  // ping_sent (150) + ping_timeout_ms (200), not a moment earlier.
+  s.worker_pong(1, s.slot(1).ping_seq, 180.0);
+  EXPECT_TRUE(s.stalled_workers(349.0).empty());
+  EXPECT_EQ(s.stalled_workers(350.0), std::vector<int>{0});
+
+  // The pong also re-arms worker 1's next ping cycle.
+  EXPECT_EQ(s.workers_to_ping(300.0), std::vector<int>{1});
+}
+
+TEST(PoolTest, SilentStartupAndBusyStallAreKilled) {
+  PoolPolicy pol = pool_policy(2);
+  PoolSupervisor s(pol);
+  // Worker 0 forked but never says ready (wedged loading a blob):
+  // stalled after stall_timeout_ms.
+  s.worker_spawned(0, 100, 0.0);
+  EXPECT_TRUE(s.stalled_workers(999.0).empty());
+  EXPECT_EQ(s.stalled_workers(1000.0), std::vector<int>{0});
+
+  // Worker 1 goes busy; a job deadline tighter than the stall cap
+  // bounds the assignment, so a wedged shard dies with the deadline
+  // (300), well before the generic stall cap (1000) would fire.
+  s.worker_spawned(1, 101, 0.0);
+  s.worker_ready(1, 0.0);
+  s.admit("j", 1, 300.0, {});
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  EXPECT_EQ(a.worker, 1);
+  EXPECT_EQ(a.deadline_ms, 300.0);
+  EXPECT_TRUE(s.stalled_workers(299.0).empty());
+  EXPECT_EQ(s.stalled_workers(300.0), std::vector<int>{1});
+  EXPECT_EQ(s.stalled_workers(1000.0), (std::vector<int>{0, 1}));
+}
+
+TEST(PoolTest, CollapseStopsRespawns) {
+  PoolPolicy pol = pool_policy(1);
+  pol.collapse_respawns = 3;
+  PoolSupervisor s = booted_pool(pol, 0.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(s.collapsed());
+    s.worker_dead(0, static_cast<double>(i));
+    if (i + 1 < 3) {
+      EXPECT_EQ(s.workers_to_respawn(), std::vector<int>{0});
+      s.worker_spawned(0, 200 + i, static_cast<double>(i));
+      s.worker_ready(0, static_cast<double>(i));
+    }
+  }
+  // Third respawn hits the budget: the pool is collapsed and no slot
+  // is offered for respawn — the server degrades to fork-per-attempt.
+  EXPECT_TRUE(s.collapsed());
+  EXPECT_EQ(s.respawns(), 3);
+  EXPECT_TRUE(s.workers_to_respawn().empty());
+}
+
+TEST(PoolTest, NextDeadlineTracksTheEarliestTimer) {
+  PoolSupervisor s = booted_pool(pool_policy(2), 0.0);
+  // Two idle workers: the next timer is the ping due instant.
+  EXPECT_EQ(s.next_deadline_ms(), 100.0);
+  // A busy worker's stall deadline competes with the idle ping.
+  s.admit("j", 1, 0.0, {});
+  PoolSupervisor::Assignment a;
+  ASSERT_TRUE(s.next_assignment(0.0, &a));
+  EXPECT_EQ(s.next_deadline_ms(), 100.0);  // ping (100) < stall (1000)
+  // A pending shard's backoff expiry is a timer too.
+  s.worker_dead(a.worker, 10.0);
+  const double next = s.next_deadline_ms();
+  EXPECT_GT(next, 10.0);
+  EXPECT_LE(next, 10.0 + 400.0 + 100.0);  // within backoff cap + jitter
+}
+
+TEST(PoolTest, PoisonTargetFlagRidesEveryAssignment) {
+  PoolSupervisor s = booted_pool(pool_policy(1), 0.0);
+  s.admit("j", 2, 0.0, {});
+  s.mark_poison_target("j", 1);
+  PoolSupervisor::Assignment a;
+  for (int runs = 0; runs < 2; ++runs) {
+    ASSERT_TRUE(s.next_assignment(0.0, &a));
+    EXPECT_EQ(a.poison, a.shard == 1) << "shard " << a.shard;
+    ASSERT_EQ(s.shard_done(a.worker, "j", a.shard, 0, 1.0),
+              PoolSupervisor::ShardOutcome::Ok);
+  }
+}
+
+TEST(JournalTest, ShardRecordsFoldIntoPoisonedStripes) {
+  JournalRecord v;
+  v.type = JournalRecord::Type::Version;
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::Admit;
+  admit.id = "j1";
+  admit.spec = journal_spec("j1");
+
+  JournalRecord done;
+  done.type = JournalRecord::Type::Shard;
+  done.id = "j1";
+  done.shard = 0;
+  done.shard_state = ShardState::Done;
+  JournalRecord poisoned;
+  poisoned.type = JournalRecord::Type::Shard;
+  poisoned.id = "j1";
+  poisoned.shard = 2;
+  poisoned.shard_state = ShardState::Poisoned;
+  // An orphan shard record (admit lost to a torn tail) is ignored.
+  JournalRecord orphan = poisoned;
+  orphan.id = "ghost";
+
+  // Duplicate poisoned records (replayed journal) must not duplicate
+  // the stripe; done records don't mark anything.
+  auto table = fold_journal({v, admit, done, poisoned, poisoned, orphan});
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].first, "j1");
+  EXPECT_EQ(table[0].second.poisoned_shards, std::vector<int>{2});
+
+  // The codec rejects a shard record with a live (non-terminal) state
+  // name that parse_shard_state doesn't know.
+  JournalRecord out;
+  EXPECT_FALSE(decode_record(
+      "{\"t\":\"shard\",\"id\":\"j\",\"shard\":1,\"state\":\"warp\"}"
+      " crc 00000000",
+      &out));
 }
 
 } // namespace

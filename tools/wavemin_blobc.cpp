@@ -1,0 +1,124 @@
+// wavemin_blobc — compile a cell library + characterization LUT into a
+// wavemin.blob/v1 shared artifact (docs/serving.md "Shared artifacts").
+//
+//   wavemin_blobc -o nangate45.wmblob [options]
+//
+// Options:
+//   -o <path>          output blob path (required)
+//   --vdd <v>          add a supply voltage to the grid (repeatable;
+//                      default: nominal only)
+//   --temp <c>         add a temperature to the grid (repeatable;
+//                      default: 25C)
+//   --dt <ps>          characterization waveform resolution (finer =
+//                      slower to compile, costlier to recompute — the
+//                      cost the blob exists to amortize; default 0.5)
+//   --check            map the written blob back, reload the library
+//                      and LUT and verify a round trip (slower)
+//   --verbose          log level
+//
+// The daemon hands the blob to its pool workers (--blob), which map it
+// read-only instead of re-running characterization per attempt. The
+// blob binds to the built-in nangate45-like library — the only library
+// the serving layer currently offers.
+//
+// Exit: 0 on success, 1 on a usage or I/O error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cells/characterizer.hpp"
+#include "cells/library.hpp"
+#include "io/blob.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  std::string out;
+  bool check = false;
+  wm::CharacterizerOptions co;
+  std::vector<double> vdds;
+  std::vector<double> temps;
+  for (int i = 1; i < argc; ++i) {
+    const std::string t = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (t == "-o" && (v = value()) != nullptr) {
+      out = v;
+    } else if (t == "--vdd" && (v = value()) != nullptr) {
+      vdds.push_back(std::atof(v));
+    } else if (t == "--temp" && (v = value()) != nullptr) {
+      temps.push_back(std::atof(v));
+    } else if (t == "--dt" && (v = value()) != nullptr) {
+      co.dt = std::atof(v);
+    } else if (t == "--check") {
+      check = true;
+    } else if (t == "--verbose") {
+      wm::set_log_level(wm::LogLevel::Info);
+    } else {
+      std::fprintf(stderr,
+                   "wavemin_blobc: unknown option %s\n"
+                   "usage: wavemin_blobc -o <path> [--vdd v]... "
+                   "[--temp c]... [--dt ps] [--check] [--verbose]\n",
+                   t.c_str());
+      return 1;
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "wavemin_blobc: -o <path> is required\n");
+    return 1;
+  }
+  if (!vdds.empty()) co.vdds = vdds;
+  if (!temps.empty()) co.temps = temps;
+
+  try {
+    const wm::CellLibrary lib = wm::CellLibrary::nangate45_like();
+    const wm::Characterizer chr(lib, co);
+    wm::blob::write_blob(out, lib, chr);
+    if (check) {
+      const wm::blob::View view = wm::blob::View::map(out);
+      const wm::CellLibrary lib2 = wm::blob::load_library(view);
+      const wm::Characterizer chr2 =
+          wm::blob::load_characterizer(view, lib2);
+      auto same_wave = [](const wm::Waveform& a, const wm::Waveform& b) {
+        return a.size() == b.size() && a.t0() == b.t0() &&
+               (a.empty() || a.dt() == b.dt()) &&
+               a.samples() == b.samples();
+      };
+      bool ok = lib2.cells().size() == lib.cells().size() &&
+                chr2.cell_index() == chr.cell_index() &&
+                chr2.table().size() == chr.table().size();
+      for (std::size_t ci = 0; ok && ci < chr.table().size(); ++ci) {
+        const auto& rows = chr.table()[ci];
+        const auto& rows2 = chr2.table()[ci];
+        ok = rows.size() == rows2.size();
+        for (std::size_t wi = 0; ok && wi < rows.size(); ++wi) {
+          ok = same_wave(rows[wi].idd, rows2[wi].idd) &&
+               same_wave(rows[wi].iss, rows2[wi].iss) &&
+               rows[wi].timing.delay_rise == rows2[wi].timing.delay_rise &&
+               rows[wi].timing.delay_fall == rows2[wi].timing.delay_fall &&
+               rows[wi].timing.slew_rise == rows2[wi].timing.slew_rise &&
+               rows[wi].timing.slew_fall == rows2[wi].timing.slew_fall;
+        }
+      }
+      if (!ok) {
+        std::fprintf(stderr,
+                     "wavemin_blobc: round-trip check FAILED for %s\n",
+                     out.c_str());
+        return 1;
+      }
+    }
+    std::printf("wrote %s (%zu cells, %zu bins x %zu vdds x %zu temps%s)\n",
+                out.c_str(), lib.cells().size(), co.load_bins.size(),
+                co.vdds.size(), co.temps.size(),
+                check ? ", round trip ok" : "");
+  } catch (const wm::Error& e) {
+    std::fprintf(stderr, "wavemin_blobc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

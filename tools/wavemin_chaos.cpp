@@ -137,6 +137,10 @@ int child_flow(const ChaosArgs& a, const std::string& lib_path,
     opts.collect_metrics = true;
     opts.metrics = &registry;
     opts.checkpoint_path = checkpoint_path;
+    // Dense cadence: a kill point after every intersection, not just
+    // after each checkpoint_interval_ms quiet period — kill-resume
+    // sweeps K over every write the child performs.
+    opts.checkpoint_interval_ms = 0.0;
     opts.resume_path = resume_path;
 
     const TryRunResult t = try_clk_wavemin(tree, lib, chr, opts);

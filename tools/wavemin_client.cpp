@@ -51,6 +51,7 @@
 #include "serve/protocol.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/posix_io.hpp"
 
 using namespace wm;
 
@@ -165,19 +166,8 @@ class DaemonConn {
   }
 
   bool send_line(const std::string& line) {
-    std::string frame = line;
-    frame += '\n';
-    std::size_t off = 0;
-    while (off < frame.size()) {
-      const ssize_t n =
-          ::write(fd_, frame.data() + off, frame.size() - off);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return false;
-      }
-      off += static_cast<std::size_t>(n);
-    }
-    return true;
+    const std::string frame = line + '\n';
+    return write_all(fd_, frame.data(), frame.size());
   }
 
   /// Per-read deadline for read_line; <= 0 blocks forever.
@@ -206,17 +196,16 @@ class DaemonConn {
         }
         pollfd p{fd_, POLLIN, 0};
         const int rc =
-            ::poll(&p, 1, static_cast<int>(remaining) + 1);
-        if (rc < 0 && errno != EINTR) return false;
-        if (rc <= 0) continue;  // timeout tick or EINTR: re-check
+            retry_poll(&p, 1, static_cast<int>(remaining) + 1);
+        if (rc < 0) return false;
+        if (rc == 0) continue;  // timeout tick: re-check the deadline
       }
       char chunk[4096];
-      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      const ssize_t n = retry_read(fd_, chunk, sizeof chunk);
       if (n > 0) {
         buf_.append(chunk, static_cast<std::size_t>(n));
         continue;
       }
-      if (n < 0 && errno == EINTR) continue;
       return false;
     }
   }

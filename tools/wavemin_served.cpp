@@ -30,6 +30,29 @@
 //                           (default 0)
 //   --hang-grace-ms <ms>    watchdog slack past the deadline/cap
 //                           before SIGKILL (default 1000)
+//   --pool-workers <n>      pre-forked pool workers; jobs shard across
+//                           them at zone granularity; 0 = classic
+//                           fork-per-attempt (default 0)
+//   --blob <path>           wavemin.blob/v1 shared artifact (library +
+//                           characterization LUT, built by
+//                           wavemin_blobc) mapped by every pool worker
+//   --shards-per-job <n>    zone stripes per pool job
+//                           (default max(2, pool workers))
+//   --shard-retries <n>     re-assignments per stripe before it is
+//                           poisoned and degraded (default 2)
+//   --pool-stall-ms <ms>    silent busy/booting pool worker: SIGKILL +
+//                           respawn (default 30000)
+//   --pool-ping-ms <ms>     idle pool-worker heartbeat cadence
+//                           (default 500)
+//   --pool-ping-timeout-ms <ms>
+//                           unanswered heartbeat: SIGKILL (default 2000)
+//   --pool-collapse <n>     worker respawns before the pool gives up
+//                           and degrades to fork-per-attempt (default 5)
+//   --char-dt <ps>          waveform resolution for in-process
+//                           characterization (fork workers pay it per
+//                           attempt, blob-less pool workers once at
+//                           boot); must match the blob's --dt when
+//                           serving from one (default: library's)
 //   --fault-spec <s>        daemon-side chaos, e.g. serve.worker_kill=3
 //   --fault-seed <n>        seed for unscheduled fault entries
 //   --verbose / --debug     log level
@@ -79,6 +102,24 @@ int main(int argc, char** argv) {
       opt.hang_timeout_ms = std::atof(v);
     } else if (t == "--hang-grace-ms" && (v = value()) != nullptr) {
       opt.hang_grace_ms = std::atof(v);
+    } else if (t == "--pool-workers" && (v = value()) != nullptr) {
+      opt.pool_workers = std::atoi(v);
+    } else if (t == "--blob" && (v = value()) != nullptr) {
+      opt.blob_path = v;
+    } else if (t == "--shards-per-job" && (v = value()) != nullptr) {
+      opt.shards_per_job = std::atoi(v);
+    } else if (t == "--shard-retries" && (v = value()) != nullptr) {
+      opt.shard_max_retries = std::atoi(v);
+    } else if (t == "--pool-stall-ms" && (v = value()) != nullptr) {
+      opt.pool_stall_timeout_ms = std::atof(v);
+    } else if (t == "--pool-ping-ms" && (v = value()) != nullptr) {
+      opt.pool_ping_interval_ms = std::atof(v);
+    } else if (t == "--pool-ping-timeout-ms" && (v = value()) != nullptr) {
+      opt.pool_ping_timeout_ms = std::atof(v);
+    } else if (t == "--pool-collapse" && (v = value()) != nullptr) {
+      opt.pool_collapse_respawns = std::atoi(v);
+    } else if (t == "--char-dt" && (v = value()) != nullptr) {
+      opt.char_dt = std::atof(v);
     } else if (t == "--fault-spec" && (v = value()) != nullptr) {
       opt.fault_spec = v;
     } else if (t == "--fault-seed" && (v = value()) != nullptr) {
@@ -97,8 +138,12 @@ int main(int argc, char** argv) {
                    "       [--journal-sync always|batch|off] "
                    "[--journal-compact-bytes n]\n"
                    "       [--hang-timeout-ms x] [--hang-grace-ms x]\n"
-                   "       [--fault-spec s] [--fault-seed n] "
-                   "[--verbose|--debug]\n",
+                   "       [--pool-workers n] [--blob p] "
+                   "[--shards-per-job n] [--shard-retries n]\n"
+                   "       [--pool-stall-ms x] [--pool-ping-ms x] "
+                   "[--pool-ping-timeout-ms x] [--pool-collapse n]\n"
+                   "       [--char-dt ps] [--fault-spec s] "
+                   "[--fault-seed n] [--verbose|--debug]\n",
                    t.c_str());
       return 1;
     }
