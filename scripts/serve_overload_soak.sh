@@ -1,0 +1,434 @@
+#!/usr/bin/env bash
+# Overload-admission / brownout e2e (docs/serving.md "Admission &
+# overload control").
+#
+#   serve_overload_soak.sh <build-tools-dir> <work-dir> [fork|pool]
+#
+# Drives a real wavemin_served daemon into sustained overload and
+# asserts on observable outcomes only:
+#
+#   1. an aggressive client flooding slow jobs is shed by its own
+#      token bucket (serve.sched_quota_shed) while a paced client with
+#      feasible deadlines lands every job acceptably — admission evicts
+#      the over-quota client's newest queued job to make room
+#      (serve.sched_evicted), and every shed is accounted: serve.shed
+#      == sched_quota_shed + sched_capacity_shed, serve.failed ==
+#      sched_evicted + sched_deadline_shed;
+#   2. sustained queue-wait pressure engages brownout (entered >= 1,
+#      jobs launched under a tier), the tier steps back to 0 once the
+#      backlog drains (exited >= 1), and a post-brownout run is
+#      byte-identical to the pre-overload reference — degradation never
+#      outlives the episode;
+#   3. a deadline below the measured attempt estimate is turned away at
+#      admit (deadline-infeasible), and a job whose deadline expires in
+#      the queue behind a slow run is shed at dequeue without ever
+#      launching a worker (serve.sched_deadline_shed, launch count
+#      unchanged);
+#   4. a daemon SIGKILLed mid-brownout journals the tier: the restart
+#      resumes it (serve.brownout_resumed, stats brownout_tier >= 1)
+#      instead of rediscovering the overload from scratch;
+#   5. --backoff-capacity regression: a job sitting in retry backoff no
+#      longer occupies admission capacity — a fresh job admits into a
+#      1-slot queue while the backoff job waits, and a genuinely full
+#      queue still sheds (serve.sched_capacity_shed).
+#
+# Mode `pool` (ctest entry serve_pool_overload_soak) runs phases 1-4
+# through the supervised worker pool (shared blob, zone-sharded jobs);
+# brownout budgets ride the pool dispatch path there. Phase 5 stays on
+# the fork path in both modes — serve.worker_kill is a fork-worker
+# site.
+#
+# Exit 0 when every assertion holds.
+
+set -u
+
+BIN=${1:?usage: serve_overload_soak.sh <build-tools-dir> <work-dir> [fork|pool]}
+WORK=${2:?missing work dir}
+MODE=${3:-fork}
+
+CLI="$BIN/wavemin_cli"
+SERVED="$BIN/wavemin_served"
+CLIENT="$BIN/wavemin_client"
+BLOBC="$BIN/wavemin_blobc"
+SOCK="$WORK/wm.sock"
+SPOOL="$WORK/spool"
+LOG1="$WORK/daemon1.log"
+DAEMON_PID=""
+EXTRA_PID=""
+
+fail() {
+  echo "serve_overload_soak: FAIL: $*" >&2
+  for log in "$LOG1" "$WORK/daemon_r1.log" "$WORK/daemon_r2.log" \
+             "$WORK/daemon_b.log"; do
+    [ -f "$log" ] && { echo "--- $log" >&2; tail -20 "$log" >&2; }
+  done
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  [ -n "$EXTRA_PID" ] && kill -9 "$EXTRA_PID" 2>/dev/null
+  exit 1
+}
+
+for bin in "$CLI" "$SERVED" "$CLIENT"; do
+  [ -x "$bin" ] || fail "required binary not built: $bin" \
+    "(cmake --build <build> --target wavemin_cli wavemin_served wavemin_client)"
+done
+
+# counter <stats-json> <name> -> value (0 when absent)
+counter() {
+  local v
+  v=$(printf '%s' "$1" | grep -o "\"$2\": [0-9]*" | head -1 | grep -o '[0-9]*$')
+  echo "${v:-0}"
+}
+
+# state <status-frame> -> the job state string (empty when absent)
+state_of() {
+  printf '%s' "$1" | grep -o '"state": "[a-z]*"' | head -1 \
+    | sed 's/.*"state": "\([a-z]*\)".*/\1/'
+}
+
+now_ms() { date +%s%3N; }
+
+rm -rf "$WORK"
+mkdir -p "$SPOOL"
+
+"$CLI" gen s13207 -o "$WORK/clean.ctree" >/dev/null || fail "gen"
+
+POOL_ARGS=()
+if [ "$MODE" = "pool" ]; then
+  [ -x "$BLOBC" ] || fail "required binary not built: $BLOBC"
+  "$BLOBC" -o "$WORK/lib.wmblob" >/dev/null || fail "blob compile"
+  POOL_ARGS=(--pool-workers 2 --blob "$WORK/lib.wmblob" --shards-per-job 2)
+fi
+
+# --- 1+2+3. overload daemon: quota, fairness, brownout, deadlines ----
+# One worker, a six-slot queue, a 2-per-second token bucket with burst
+# 3, and brownout armed at a 50 ms queue-wait p95. The paced client is
+# weighted 2:1 over the aggressor, so fairness (not luck) keeps its
+# deadline jobs flowing through the storm.
+"$SERVED" --socket "$SOCK" --spool "$SPOOL" --queue 6 --workers 1 \
+  --backoff-capacity 32 --quota-rate 2 --quota-burst 3 \
+  --client-weight paced=2 --client-weight agg=1 \
+  --brownout-wait-ms 50 --brownout-dwell-ms 500 \
+  --brownout-label-budget 20000 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 4000 --seed 7 \
+  --journal-sync always \
+  ${POOL_ARGS[@]+"${POOL_ARGS[@]}"} \
+  --verbose >"$LOG1" 2>&1 &
+DAEMON_PID=$!
+
+"$CLIENT" --socket "$SOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "overload daemon did not come up"
+
+# Quiet reference run: warms the per-fingerprint attempt EWMA (the
+# deadline checks below need a measured estimate) and produces the tree
+# the post-brownout run must reproduce byte for byte.
+t0=$(now_ms)
+FRAME=$("$CLIENT" --socket "$SOCK" --timeout-ms 120000 \
+  submit "$WORK/clean.ctree" --id warm1 --client paced --samples 8 \
+  --seed 11 --out "$WORK/ref.ctree" --wait) \
+  || fail "quiet reference run not acceptable: $FRAME"
+WARM_MS=$(( $(now_ms) - t0 ))
+[ "$WARM_MS" -lt 1 ] && WARM_MS=1
+[ -f "$WORK/ref.ctree" ] || fail "reference run wrote no ref.ctree"
+
+# Aggressor: 10 slow jobs as fast as the socket allows. The first
+# seven fit the queue+worker; the bucket (burst 3) is then four tokens
+# under, so the last three must shed with a retry_after_ms hint.
+admitted=0; shed=0; ADMITTED_IDS=""
+for k in $(seq 1 10); do
+  if "$CLIENT" --socket "$SOCK" --timeout-ms 20000 \
+       submit "$WORK/clean.ctree" --id "a$k" --client agg \
+       --samples 4096 --seed 11 >"$WORK/a$k.reply" 2>&1; then
+    admitted=$((admitted + 1)); ADMITTED_IDS="$ADMITTED_IDS a$k"
+  else
+    grep -q overloaded "$WORK/a$k.reply" \
+      || fail "aggressor a$k rejected without an overloaded frame: \
+$(cat "$WORK/a$k.reply")"
+    shed=$((shed + 1))
+  fi
+done
+[ "$admitted" -ge 3 ] || fail "only $admitted/10 aggressor jobs admitted"
+[ "$shed" -ge 1 ] || fail "the aggressor flood was never shed"
+
+# Paced client, competing with the storm: five submits with feasible
+# 60 s deadlines, each waited to its terminal state. Every one must
+# land acceptably — fairness means the aggressor's backlog can delay
+# the paced client, never starve or shed it.
+(
+  for k in $(seq 1 5); do
+    F=$("$CLIENT" --socket "$SOCK" --timeout-ms 120000 \
+      submit "$WORK/clean.ctree" --id "p$k" --client paced \
+      --deadline-ms 60000 --samples 8 --seed 11 \
+      --retry-overloaded 10 --wait) \
+      || { echo "p$k: $F" > "$WORK/paced.fail"; exit 1; }
+    sleep 0.3
+  done
+  echo ok > "$WORK/paced.ok"
+) &
+EXTRA_PID=$!
+wait "$EXTRA_PID"
+EXTRA_PID=""
+[ -f "$WORK/paced.ok" ] \
+  || fail "a feasible-deadline paced job was shed: $(cat "$WORK/paced.fail" \
+       2>/dev/null)"
+
+# Every admitted aggressor job reaches a terminal state: done/degraded
+# if it ran (possibly under a brownout budget), failed if admission
+# evicted it to make room for the paced client.
+deadline=$(( $(date +%s) + 120 ))
+for id in $ADMITTED_IDS; do
+  while :; do
+    [ "$(date +%s)" -lt "$deadline" ] \
+      || fail "aggressor job $id not terminal at the deadline"
+    FRAME=$("$CLIENT" --socket "$SOCK" status "$id") \
+      || fail "status $id failed mid-poll"
+    case "$(state_of "$FRAME")" in
+      done|degraded|failed) break ;;
+      queued|running|backoff) sleep 0.2 ;;
+      *) fail "aggressor job $id landed in '$(state_of "$FRAME")': $FRAME" ;;
+    esac
+  done
+done
+
+# 3a: with the EWMA warm, a 1 ms deadline is infeasible at admit.
+OUT=$("$CLIENT" --socket "$SOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id inf1 --client dl --samples 8 \
+  --deadline-ms 1)
+rc=$?
+[ "$rc" = "1" ] || fail "infeasible-deadline submit exited $rc, want 1"
+printf '%s' "$OUT" | grep -q "deadline-infeasible" \
+  || fail "infeasible-deadline submit did not name deadline-infeasible: $OUT"
+
+# 2a: the backlog is gone — brownout must disengage on its own.
+deadline=$(( $(date +%s) + 90 ))
+while :; do
+  STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats mid-exit-poll"
+  if [ "$(counter "$STATS" brownout_tier)" = "0" ] \
+     && [ "$(counter "$STATS" serve.brownout_exited)" -ge 1 ]; then
+    break
+  fi
+  [ "$(date +%s)" -lt "$deadline" ] \
+    || fail "brownout never disengaged after the backlog drained: $STATS"
+  sleep 0.3
+done
+[ "$(counter "$STATS" serve.brownout_entered)" -ge 1 ] \
+  || fail "sustained overload never engaged brownout: $STATS"
+[ "$(counter "$STATS" serve.brownout_jobs)" -ge 1 ] \
+  || fail "no job ever launched under a brownout tier: $STATS"
+
+# 2b: a run after the episode is byte-identical to the quiet reference
+# — brownout budgets must not outlive the tier.
+FRAME=$("$CLIENT" --socket "$SOCK" --timeout-ms 120000 \
+  submit "$WORK/clean.ctree" --id post1 --client paced --samples 8 \
+  --seed 11 --out "$WORK/post.ctree" --wait) \
+  || fail "post-brownout run not acceptable: $FRAME"
+cmp -s "$WORK/ref.ctree" "$WORK/post.ctree" \
+  || fail "post-brownout output differs from the quiet reference"
+
+# 3b: shed-at-dequeue. A slow job occupies the only worker; a short
+# job with a deadline that is feasible at admit (comfortably above the
+# warm estimate) but smaller than the slow job's runtime must be shed
+# when it is popped — without ever launching.
+"$CLIENT" --socket "$SOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id slow1 --client bulk --samples 8192 \
+  --seed 11 >/dev/null || fail "slow occupier job rejected"
+sleep 0.15
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats before sd1"
+launched_before=$(counter "$STATS" serve.launched)
+SD_DEADLINE=$(( 3 * WARM_MS + 150 ))
+"$CLIENT" --socket "$SOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id sd1 --client dl --samples 8 \
+  --deadline-ms "$SD_DEADLINE" >/dev/null \
+  || fail "feasible-at-admit deadline job sd1 rejected"
+deadline=$(( $(date +%s) + 120 ))
+while :; do
+  FRAME=$("$CLIENT" --socket "$SOCK" status sd1) || fail "status sd1"
+  st=$(state_of "$FRAME")
+  [ "$st" = "failed" ] && break
+  [ "$st" = "queued" ] || fail "sd1 left the queue in state '$st': $FRAME"
+  [ "$(date +%s)" -lt "$deadline" ] || fail "sd1 never shed at dequeue"
+  sleep 0.2
+done
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "stats after sd1"
+[ "$(counter "$STATS" serve.sched_deadline_shed)" -ge 1 ] \
+  || fail "sd1 failed outside the dequeue-shed path: $STATS"
+[ "$(counter "$STATS" serve.launched)" = "$launched_before" ] \
+  || fail "the dequeue-shed job launched a worker: $STATS"
+deadline=$(( $(date +%s) + 120 ))
+while :; do
+  FRAME=$("$CLIENT" --socket "$SOCK" status slow1) || fail "status slow1"
+  case "$(state_of "$FRAME")" in
+    done|degraded) break ;;
+    failed) fail "slow occupier job failed: $FRAME" ;;
+  esac
+  [ "$(date +%s)" -lt "$deadline" ] || fail "slow1 never finished"
+  sleep 0.2
+done
+
+# 1a: every shed and every failure is accounted to exactly one cause.
+STATS=$("$CLIENT" --socket "$SOCK" stats) || fail "final overload stats"
+quota=$(counter "$STATS" serve.sched_quota_shed)
+cap=$(counter "$STATS" serve.sched_capacity_shed)
+evicted=$(counter "$STATS" serve.sched_evicted)
+dshed=$(counter "$STATS" serve.sched_deadline_shed)
+[ "$quota" -ge 1 ] || fail "the token bucket never shed the aggressor: $STATS"
+[ "$evicted" -ge 1 ] \
+  || fail "paced admission never evicted an over-quota job: $STATS"
+[ "$(counter "$STATS" serve.shed)" = "$(( quota + cap ))" ] \
+  || fail "serve.shed != quota + capacity sheds: $STATS"
+[ "$(counter "$STATS" serve.failed)" = "$(( evicted + dshed ))" ] \
+  || fail "serve.failed != evicted + deadline-shed: $STATS"
+[ "$(counter "$STATS" serve.sched_infeasible)" -ge 1 ] \
+  || fail "the infeasible-deadline submit was not counted: $STATS"
+
+"$CLIENT" --socket "$SOCK" --timeout-ms 20000 drain >/dev/null \
+  || fail "overload daemon did not drain clean"
+wait "$DAEMON_PID"; rc=$?
+[ "$rc" = "0" ] || fail "overload daemon exited $rc after drain"
+DAEMON_PID=""
+[ -S "$SOCK" ] && fail "overload daemon socket leaked after drain"
+echo "serve_overload_soak: overload phase done" \
+  "(quota $quota, capacity $cap, evicted $evicted, dequeue-shed $dshed)"
+
+# --- 4. SIGKILL mid-brownout: the restart resumes the tier -----------
+RSOCK="$WORK/wm_r.sock"
+RSPOOL="$WORK/spool_r"
+mkdir -p "$RSPOOL"
+# The 5 s dwell serves double duty: entry needs pressure the feeder
+# easily sustains, and after the restart it leaves a 5 s window in
+# which the resumed tier cannot yet decay — ample time for the stats
+# assertion below to observe it.
+"$SERVED" --socket "$RSOCK" --spool "$RSPOOL" --queue 8 --workers 1 \
+  --brownout-wait-ms 50 --brownout-dwell-ms 5000 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 500 --seed 7 \
+  --journal-sync always \
+  ${POOL_ARGS[@]+"${POOL_ARGS[@]}"} \
+  --verbose >"$WORK/daemon_r1.log" 2>&1 &
+DAEMON_PID=$!
+"$CLIENT" --socket "$RSOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "brownout-restart daemon did not come up"
+
+# A steady feeder (one mid-weight job per ~0.3 s against a one-job-
+# per-~0.25 s worker) keeps the queue deep and the dequeue window fed
+# until the tier engages; surplus submits shed and are ignored.
+rm -f "$WORK/stop_feed"
+(
+  k=0
+  while [ ! -f "$WORK/stop_feed" ]; do
+    k=$((k + 1))
+    "$CLIENT" --socket "$RSOCK" --timeout-ms 20000 \
+      submit "$WORK/clean.ctree" --id "f$k" --client x --samples 1024 \
+      --seed 11 >/dev/null 2>&1
+    sleep 0.05
+  done
+) &
+EXTRA_PID=$!
+deadline=$(( $(date +%s) + 120 ))
+while :; do
+  STATS=$("$CLIENT" --socket "$RSOCK" stats) || fail "stats mid-entry-poll"
+  [ "$(counter "$STATS" brownout_tier)" -ge 1 ] && break
+  [ "$(date +%s)" -lt "$deadline" ] \
+    || fail "restart daemon never entered brownout under load: $STATS"
+  sleep 0.2
+done
+touch "$WORK/stop_feed"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+wait "$EXTRA_PID" 2>/dev/null
+EXTRA_PID=""
+
+"$SERVED" --socket "$RSOCK" --spool "$RSPOOL" --queue 8 --workers 1 \
+  --brownout-wait-ms 50 --brownout-dwell-ms 5000 \
+  --retry-base-ms 50 --retry-cap-ms 500 --drain-grace-ms 500 --seed 7 \
+  --journal-sync always \
+  ${POOL_ARGS[@]+"${POOL_ARGS[@]}"} \
+  --verbose >"$WORK/daemon_r2.log" 2>&1 &
+DAEMON_PID=$!
+"$CLIENT" --socket "$RSOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "restarted brownout daemon did not come up"
+STATS=$("$CLIENT" --socket "$RSOCK" stats) || fail "stats after restart"
+[ "$(counter "$STATS" serve.brownout_resumed)" -ge 1 ] \
+  || fail "the journaled brownout tier was not resumed: $STATS"
+[ "$(counter "$STATS" brownout_tier)" -ge 1 ] \
+  || fail "restart serves at tier 0 despite the journaled brownout: $STATS"
+"$CLIENT" --socket "$RSOCK" --timeout-ms 20000 drain >/dev/null \
+  || fail "restarted daemon did not drain clean"
+wait "$DAEMON_PID"; rc=$?
+[ "$rc" = "0" ] || fail "restarted daemon exited $rc after drain"
+DAEMON_PID=""
+[ -S "$RSOCK" ] && fail "restart daemon socket leaked after drain"
+echo "serve_overload_soak: brownout restart resumed the tier"
+
+# --- 5. --backoff-capacity regression (fork path in both modes) ------
+# The 1-slot queue is the regression trigger: before the split, a job
+# parked in retry backoff counted against admission capacity and a
+# fresh submit was shed from an operationally empty queue.
+BSOCK="$WORK/wm_b.sock"
+BSPOOL="$WORK/spool_b"
+mkdir -p "$BSPOOL"
+"$SERVED" --socket "$BSOCK" --spool "$BSPOOL" --queue 1 --workers 1 \
+  --backoff-capacity 64 --retry-base-ms 3000 --retry-cap-ms 3000 \
+  --drain-grace-ms 4000 --seed 7 \
+  --fault-spec "serve.worker_kill=1" \
+  --verbose >"$WORK/daemon_b.log" 2>&1 &
+DAEMON_PID=$!
+"$CLIENT" --socket "$BSOCK" --connect-wait-ms 10000 health >/dev/null \
+  || fail "backoff daemon did not come up"
+
+# k1's first attempt is killed by the armed fault; the retry waits 3 s
+# in backoff — plenty of window for the admissions below.
+"$CLIENT" --socket "$BSOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id k1 --samples 8 --seed 11 \
+  --max-retries 3 >/dev/null || fail "k1 rejected"
+deadline=$(( $(date +%s) + 20 ))
+while :; do
+  FRAME=$("$CLIENT" --socket "$BSOCK" status k1) || fail "status k1"
+  [ "$(state_of "$FRAME")" = "backoff" ] && break
+  [ "$(date +%s)" -lt "$deadline" ] \
+    || fail "k1 never reached backoff after the worker kill: $FRAME"
+  sleep 0.1
+done
+
+# With k1 in backoff, the queue is empty: k2 must admit and launch.
+"$CLIENT" --socket "$BSOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id k2 --samples 8192 --seed 11 >/dev/null \
+  || fail "k2 shed while the only queued job sat in backoff (regression)"
+sleep 0.3
+# k2 occupies the worker; k3 takes the single queue slot; k4 is a
+# genuine capacity shed.
+"$CLIENT" --socket "$BSOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id k3 --samples 8 --seed 11 >/dev/null \
+  || fail "k3 rejected from a one-deep queue"
+OUT=$("$CLIENT" --socket "$BSOCK" --timeout-ms 20000 \
+  submit "$WORK/clean.ctree" --id k4 --samples 8 --seed 11)
+rc=$?
+[ "$rc" = "1" ] || fail "k4 against a genuinely full queue exited $rc, want 1"
+printf '%s' "$OUT" | grep -q overloaded \
+  || fail "k4 shed without an overloaded frame: $OUT"
+
+deadline=$(( $(date +%s) + 90 ))
+for id in k1 k2 k3; do
+  while :; do
+    FRAME=$("$CLIENT" --socket "$BSOCK" status "$id") || fail "status $id"
+    case "$(state_of "$FRAME")" in
+      done|degraded) break ;;
+      failed) fail "backoff-phase job $id failed: $FRAME" ;;
+    esac
+    [ "$(date +%s)" -lt "$deadline" ] || fail "$id never finished"
+    sleep 0.2
+  done
+done
+STATS=$("$CLIENT" --socket "$BSOCK" stats) || fail "backoff daemon stats"
+[ "$(counter "$STATS" serve.sched_capacity_shed)" -ge 1 ] \
+  || fail "k4 was not a capacity shed: $STATS"
+[ "$(counter "$STATS" serve.shed)" = \
+  "$(counter "$STATS" serve.sched_capacity_shed)" ] \
+  || fail "quota-less daemon shed outside the capacity path: $STATS"
+"$CLIENT" --socket "$BSOCK" --timeout-ms 20000 drain >/dev/null \
+  || fail "backoff daemon did not drain clean"
+wait "$DAEMON_PID"; rc=$?
+[ "$rc" = "0" ] || fail "backoff daemon exited $rc after drain"
+DAEMON_PID=""
+[ -S "$BSOCK" ] && fail "backoff daemon socket leaked after drain"
+
+echo "serve_overload_soak: PASS"

@@ -92,6 +92,14 @@ struct WaveMinOptions {
   /// the budget trips, zones degrade down the ladder (full -> greedy ->
   /// identity) instead of the run dying; the per-zone account lands in
   /// WaveMinResult::report.
+  ///
+  /// The serving daemon's brownout controller (docs/serving.md
+  /// "Admission & overload control") is a budget consumer: under
+  /// sustained queue-wait pressure it caps the label pool (tier 1) and
+  /// forces the Greedy rung (tier 2) per attempt, so overload degrades
+  /// answer cost instead of only shedding jobs. The budget feeds the
+  /// options fingerprint, which is why the daemon pins it for all
+  /// shards + merge of one attempt.
   RunBudget budget;
 
   /// Runtime tracker shared across nested flows — clk_wavemin_m's

@@ -111,6 +111,9 @@ struct Job {
   std::uint64_t design_fp = 0;  ///< circuit-breaker fingerprint
   int attempts = 0;             ///< attempts launched so far
   double submitted_ms = 0.0;    ///< against the server's steady clock
+  double launched_ms = 0.0;     ///< Running: when this attempt started —
+                                ///< reap feeds (reap - launch) into the
+                                ///< scheduler's attempt-time EWMA
   double next_attempt_ms = 0.0; ///< Backoff: earliest relaunch time
   double watchdog_ms = 0.0;     ///< Running: SIGKILL the child past this
                                 ///< steady-clock instant (0 = no watchdog)
@@ -125,6 +128,13 @@ struct Job {
   /// re-admission after a daemon restart starts them Poisoned instead
   /// of re-burning their retry budget.
   std::vector<int> poisoned_shards;
+  /// Brownout budget pinned when the attempt is admitted. Every shard
+  /// dispatch and the merge of one attempt must run under the same
+  /// RunBudget: the options fingerprint covers the budget, so a tier
+  /// change applied mid-attempt would make the merge reject its own
+  /// shards' checkpoints as stale.
+  std::uint64_t attempt_label_budget = 0;
+  bool attempt_force_greedy = false;
 };
 
 /// One status frame for a job ({"ok":true,"job":{...}}).

@@ -60,6 +60,7 @@ const char* type_tag(JournalRecord::Type type) {
     case JournalRecord::Type::Shard: return "shard";
     case JournalRecord::Type::Term: return "term";
     case JournalRecord::Type::Snapshot: return "job";
+    case JournalRecord::Type::Brownout: return "brownout";
   }
   return "?";
 }
@@ -71,6 +72,15 @@ JournalRecord decode_body(const json::Value& root) {
     rec.type = JournalRecord::Type::Version;
     WM_REQUIRE(root.get_string("v", "journal version") == kJournalVersion,
                "journal: unknown format version");
+    return rec;
+  }
+  if (tag == "brownout") {
+    // Daemon-wide, no job id — like "v". fold_journal ignores these;
+    // recovery scans the raw records for the last one to resume its
+    // tier.
+    rec.type = JournalRecord::Type::Brownout;
+    rec.tier = static_cast<int>(root.get_number("tier", "journal brownout"));
+    WM_REQUIRE(rec.tier >= 0, "journal: brownout tier must be >= 0");
     return rec;
   }
   rec.id = root.get_string("id", "journal record");
@@ -158,6 +168,9 @@ std::string encode_record(const JournalRecord& rec) {
       }
       v.set("spec", job_spec_to_json(rec.spec));
       break;
+    case JournalRecord::Type::Brownout:
+      v.set("tier", json::Value::number_v(rec.tier));
+      break;
   }
   const std::string body = json::dump(v);
   const std::uint32_t crc = crc32(body.data(), body.size());
@@ -244,6 +257,7 @@ std::vector<std::pair<std::string, RecoveredJob>> fold_journal(
   for (const JournalRecord& rec : records) {
     switch (rec.type) {
       case JournalRecord::Type::Version:
+      case JournalRecord::Type::Brownout:  // daemon-wide, no job entry
         break;
       case JournalRecord::Type::Admit: {
         RecoveredJob* job = lookup(rec.id);

@@ -19,7 +19,9 @@
 // "launch" / "exit" (attempt lifecycle), "shard" (pool-mode stripe
 // transitions — done/poisoned — so a restart neither re-trusts a
 // poisoned stripe nor re-burns its retry budget), "term" (terminal
-// state) and "job" (a whole-job snapshot, written by compaction).
+// state), "job" (a whole-job snapshot, written by compaction) and
+// "brownout" (an admission-controller tier transition — no job id,
+// like "v" — so a restart resumes in the right degradation tier).
 //
 // Durability is a policy knob (--journal-sync): Always fsyncs every
 // append, Batch fsyncs once per event-loop iteration before the
@@ -48,7 +50,9 @@ inline constexpr std::string_view kJournalVersion = "wavemin.journal/v1";
 /// One journal record. Which fields are meaningful depends on `type`
 /// (see the format comment above); the rest stay at their defaults.
 struct JournalRecord {
-  enum class Type { Version, Admit, Launch, Exit, Shard, Term, Snapshot };
+  enum class Type {
+    Version, Admit, Launch, Exit, Shard, Term, Snapshot, Brownout
+  };
   Type type = Type::Version;
   std::string id;
   std::uint64_t fp = 0;    ///< Admit/Snapshot: breaker fingerprint
@@ -59,6 +63,7 @@ struct JournalRecord {
   std::string error;       ///< Term/Snapshot: terminal failure text
   int shard = -1;          ///< Shard: stripe index
   ShardState shard_state = ShardState::Pending;  ///< Shard: done/poisoned
+  int tier = 0;            ///< Brownout: the tier just entered
 };
 
 /// Record -> one journal line (CRC trailer included, no newline).

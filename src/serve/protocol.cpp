@@ -38,6 +38,7 @@ JobSpec parse_job_spec(const json::Value& root) {
              "submit: max_retries must be in [0, 16]");
   job.seed = root.get_u64_or("seed", 0);
   job.fault_spec = root.get_string_or("fault_spec", "");
+  job.client = root.get_string_or("client", "");
   return job;
 }
 
@@ -56,6 +57,9 @@ json::Value job_spec_to_json(const JobSpec& job) {
   if (job.seed != 0) v.set("seed", json::Value::number_v(job.seed));
   if (!job.fault_spec.empty()) {
     v.set("fault_spec", json::Value::string_v(job.fault_spec));
+  }
+  if (!job.client.empty()) {
+    v.set("client", json::Value::string_v(job.client));
   }
   return v;
 }
@@ -111,11 +115,15 @@ std::string dump_status(const std::string& id) {
 }
 
 std::string error_frame(const std::string& code,
-                        const std::string& message) {
+                        const std::string& message,
+                        double retry_after_ms) {
   json::Value v = json::Value::object_v();
   v.set("ok", json::Value::boolean_v(false));
   v.set("error", json::Value::string_v(code));
   if (!message.empty()) v.set("message", json::Value::string_v(message));
+  if (retry_after_ms > 0.0) {
+    v.set("retry_after_ms", json::Value::number_v(retry_after_ms));
+  }
   return json::dump(v);
 }
 

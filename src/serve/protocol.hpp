@@ -45,6 +45,10 @@ struct JobSpec {
   /// Per-job fault injection, armed inside the worker child only
   /// (chaos testing; the daemon itself stays clean).
   std::string fault_spec;
+  /// Fairness identity for the admission scheduler ("" = the shared
+  /// anonymous client). Optional on the wire — lenient-extras keeps
+  /// pre-fairness clients working, they just pool one quota.
+  std::string client;
 };
 
 struct Request {
@@ -72,8 +76,12 @@ std::string dump_simple(const char* op);          ///< health/stats/drain
 std::string dump_status(const std::string& id);   ///< status
 
 /// {"ok": false, "error": code, "message": message} — one frame.
+/// A positive retry_after_ms adds the structured back-pressure hint
+/// ("retry_after_ms": <ms>) that "overloaded" rejects carry so
+/// clients can pace their retries instead of hammering.
 std::string error_frame(const std::string& code,
-                        const std::string& message);
+                        const std::string& message,
+                        double retry_after_ms = 0.0);
 
 /// Start an {"ok": true, ...} frame the caller extends and dumps.
 json::Value ok_frame();

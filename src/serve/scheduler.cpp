@@ -1,0 +1,385 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wm::serve {
+
+namespace {
+
+// Recent-dequeue window for the wait p95: big enough to smooth one
+// burst, small enough that a cleared queue ages the storm out.
+constexpr std::size_t kWaitWindow = 64;
+// Below this many samples a p95 is noise, not pressure.
+constexpr std::size_t kWaitMinSamples = 8;
+
+constexpr double kRetryHintFloorMs = 10.0;
+constexpr double kRetryHintCapMs = 30000.0;
+
+double clamp_hint(double ms) {
+  return std::min(kRetryHintCapMs, std::max(kRetryHintFloorMs, ms));
+}
+
+} // namespace
+
+AdmissionScheduler::AdmissionScheduler(SchedulerConfig cfg)
+    : cfg_(std::move(cfg)) {
+  if (cfg_.queue_capacity < 1) cfg_.queue_capacity = 1;
+  if (cfg_.workers < 1) cfg_.workers = 1;
+  if (cfg_.default_weight <= 0.0) cfg_.default_weight = 1.0;
+  if (cfg_.ewma_alpha <= 0.0 || cfg_.ewma_alpha > 1.0) {
+    cfg_.ewma_alpha = 0.3;
+  }
+  if (cfg_.brownout_dwell_ms <= 0.0) cfg_.brownout_dwell_ms = 2000.0;
+  if (cfg_.brownout_exit_ratio <= 0.0 || cfg_.brownout_exit_ratio >= 1.0) {
+    cfg_.brownout_exit_ratio = 0.5;
+  }
+  if (cfg_.brownout_max_tier < 1) cfg_.brownout_max_tier = 1;
+  if (cfg_.brownout_max_tier > 2) cfg_.brownout_max_tier = 2;
+  waits_.assign(kWaitWindow, 0.0);
+}
+
+AdmissionScheduler::ClientQueue& AdmissionScheduler::client_for(
+    const std::string& name) {
+  for (ClientQueue& c : clients_) {
+    if (c.name == name) return c;
+  }
+  ClientQueue c;
+  c.name = name;
+  clients_.push_back(std::move(c));
+  return clients_.back();
+}
+
+double AdmissionScheduler::weight_of(const std::string& name) const {
+  const auto it = cfg_.weights.find(name);
+  const double w = it != cfg_.weights.end() ? it->second
+                                            : cfg_.default_weight;
+  return w > 0.0 ? w : cfg_.default_weight;
+}
+
+void AdmissionScheduler::refill(ClientQueue& c, double now) {
+  if (cfg_.quota_rate <= 0.0) return;
+  if (!c.bucket_init) {
+    c.bucket_init = true;
+    c.tokens = cfg_.quota_burst;
+    c.refill_ms = now;
+    return;
+  }
+  const double dt = now - c.refill_ms;
+  if (dt > 0.0) {
+    c.tokens = std::min(cfg_.quota_burst,
+                        c.tokens + cfg_.quota_rate * dt / 1000.0);
+  }
+  c.refill_ms = now;
+}
+
+void AdmissionScheduler::insert_edf(ClientQueue& c, Entry entry) {
+  if (entry.deadline_instant_ms <= 0.0) {
+    // No deadline: FIFO behind every deadline job.
+    c.jobs.push_back(std::move(entry));
+    return;
+  }
+  auto it = c.jobs.begin();
+  for (; it != c.jobs.end(); ++it) {
+    if (it->deadline_instant_ms <= 0.0 ||
+        it->deadline_instant_ms > entry.deadline_instant_ms) {
+      break;
+    }
+  }
+  c.jobs.insert(it, std::move(entry));
+}
+
+double AdmissionScheduler::drain_hint_ms() const {
+  const double per = has_global_ ? global_ewma_
+                                 : cfg_.min_attempt_floor_ms;
+  if (per <= 0.0) return kRetryHintFloorMs;
+  return static_cast<double>(total_) * per /
+         static_cast<double>(cfg_.workers);
+}
+
+AdmitDecision AdmissionScheduler::admit(const std::string& id,
+                                        const std::string& client,
+                                        std::uint64_t fp,
+                                        double deadline_instant_ms,
+                                        double now) {
+  AdmitDecision d;
+  // A deadline the measured attempt time can no longer meet is turned
+  // away here: queueing it would only shed it at dequeue after it
+  // occupied capacity another job could have used.
+  if (deadline_instant_ms > 0.0) {
+    const double est = estimate_attempt_ms(fp);
+    if (est > 0.0 && deadline_instant_ms - now < est) {
+      d.kind = AdmitDecision::Kind::Infeasible;
+      d.retry_after_ms = 0.0;  // waiting only makes the deadline worse
+      return d;
+    }
+  }
+
+  ClientQueue& mine = client_for(client);
+  refill(mine, now);
+
+  if (total_ >= static_cast<std::size_t>(cfg_.queue_capacity)) {
+    // Victim selection: the most over-quota client with queued work
+    // loses its newest job; only when nobody (incoming included) is
+    // deeper over quota than the newcomer's own client is the newcomer
+    // itself shed.
+    ClientQueue* victim = nullptr;
+    if (cfg_.quota_rate > 0.0) {
+      for (ClientQueue& c : clients_) {
+        if (c.jobs.empty()) continue;
+        refill(c, now);
+        if (c.tokens >= 0.0) continue;
+        if (victim == nullptr || c.tokens < victim->tokens) victim = &c;
+      }
+    }
+    const bool self_is_worst =
+        victim == nullptr ||
+        (victim->name == client ||
+         (mine.tokens < 0.0 && mine.tokens <= victim->tokens));
+    if (self_is_worst) {
+      d.kind = AdmitDecision::Kind::Rejected;
+      d.over_quota = cfg_.quota_rate > 0.0 && mine.tokens < 0.0;
+      double hint = drain_hint_ms();
+      if (cfg_.quota_rate > 0.0 && mine.tokens < 1.0) {
+        hint = std::max(
+            hint, (1.0 - mine.tokens) / cfg_.quota_rate * 1000.0);
+      }
+      d.retry_after_ms = clamp_hint(hint);
+      return d;
+    }
+    // Evict the victim's newest arrival — the least-invested job of
+    // the client most over its quota.
+    auto newest = victim->jobs.begin();
+    for (auto it = victim->jobs.begin(); it != victim->jobs.end(); ++it) {
+      if (it->enqueue_ms >= newest->enqueue_ms) newest = it;
+    }
+    d.kind = AdmitDecision::Kind::Evicted;
+    d.victim = newest->id;
+    d.victim_client = victim->name;
+    d.retry_after_ms = clamp_hint(
+        (1.0 - victim->tokens) / cfg_.quota_rate * 1000.0);
+    victim->jobs.erase(newest);
+    --total_;
+  }
+
+  Entry e;
+  e.id = id;
+  e.fp = fp;
+  e.deadline_instant_ms = deadline_instant_ms;
+  e.enqueue_ms = now;
+  insert_edf(mine, std::move(e));
+  ++total_;
+  if (cfg_.quota_rate > 0.0) mine.tokens -= 1.0;
+  if (d.kind != AdmitDecision::Kind::Evicted) {
+    d.kind = AdmitDecision::Kind::Admitted;
+  }
+  return d;
+}
+
+void AdmissionScheduler::restore(const std::string& id,
+                                 const std::string& client,
+                                 std::uint64_t fp,
+                                 double deadline_instant_ms, double now) {
+  Entry e;
+  e.id = id;
+  e.fp = fp;
+  e.deadline_instant_ms = deadline_instant_ms;
+  e.enqueue_ms = now;
+  insert_edf(client_for(client), std::move(e));
+  ++total_;
+}
+
+void AdmissionScheduler::remove(const std::string& id) {
+  for (ClientQueue& c : clients_) {
+    for (auto it = c.jobs.begin(); it != c.jobs.end(); ++it) {
+      if (it->id != id) continue;
+      c.jobs.erase(it);
+      --total_;
+      return;
+    }
+  }
+}
+
+std::vector<std::string> AdmissionScheduler::clear() {
+  std::vector<std::string> ids;
+  ids.reserve(total_);
+  for (ClientQueue& c : clients_) {
+    for (Entry& e : c.jobs) ids.push_back(std::move(e.id));
+    c.jobs.clear();
+    c.deficit = 0.0;
+  }
+  total_ = 0;
+  return ids;
+}
+
+std::size_t AdmissionScheduler::queued_for(
+    const std::string& client) const {
+  for (const ClientQueue& c : clients_) {
+    if (c.name == client) return c.jobs.size();
+  }
+  return 0;
+}
+
+NextJob AdmissionScheduler::next(double now) {
+  NextJob n;
+  if (total_ == 0 || clients_.empty()) return n;
+  // Weighted deficit round robin, one pop per call: a client earns
+  // `weight` credit each time the cursor reaches it and spends 1.0 per
+  // job served, so over any window no client exceeds its weight share
+  // by more than one quantum. Bounded scan: credit accrues every pass,
+  // so some client reaches 1.0 within ceil(1/min_weight) passes.
+  for (int guard = 0; guard < 100000; ++guard) {
+    ClientQueue& c = clients_[rr_ % clients_.size()];
+    if (c.jobs.empty()) {
+      c.deficit = 0.0;  // no banking credit while idle
+      ++rr_;
+      continue;
+    }
+    if (c.deficit < 1.0) {
+      c.deficit += weight_of(c.name);
+      if (c.deficit < 1.0) {
+        ++rr_;
+        continue;
+      }
+    }
+    Entry e = std::move(c.jobs.front());
+    c.jobs.pop_front();
+    --total_;
+    // Shed-at-dequeue: a job whose remaining deadline is under the
+    // measured attempt estimate would burn a worker slot and still
+    // miss — fail it now, without charging the client's service share.
+    bool shed = false;
+    if (e.deadline_instant_ms > 0.0) {
+      const double est = estimate_attempt_ms(e.fp);
+      shed = est > 0.0 && e.deadline_instant_ms - now < est;
+    }
+    if (!shed) c.deficit -= 1.0;
+    if (c.jobs.empty()) {
+      c.deficit = 0.0;
+      ++rr_;
+    } else if (c.deficit < 1.0) {
+      ++rr_;  // quantum spent: the next client gets its turn
+    }
+    if (shed) {
+      n.kind = NextJob::Kind::DeadlineShed;
+      n.id = std::move(e.id);
+      return n;
+    }
+    n.kind = NextJob::Kind::Run;
+    n.id = std::move(e.id);
+    n.wait_ms = std::max(0.0, now - e.enqueue_ms);
+    note_wait(n.wait_ms);
+    return n;
+  }
+  return n;
+}
+
+void AdmissionScheduler::record_attempt(std::uint64_t fp,
+                                        double wall_ms) {
+  if (wall_ms <= 0.0) return;
+  const double a = cfg_.ewma_alpha;
+  const auto it = ewma_.find(fp);
+  if (it == ewma_.end()) {
+    ewma_.emplace(fp, wall_ms);
+  } else {
+    it->second = a * wall_ms + (1.0 - a) * it->second;
+  }
+  if (!has_global_) {
+    global_ewma_ = wall_ms;
+    has_global_ = true;
+  } else {
+    global_ewma_ = a * wall_ms + (1.0 - a) * global_ewma_;
+  }
+}
+
+double AdmissionScheduler::estimate_attempt_ms(std::uint64_t fp) const {
+  const auto it = ewma_.find(fp);
+  if (it != ewma_.end()) return it->second;
+  if (has_global_) return global_ewma_;
+  return cfg_.min_attempt_floor_ms;
+}
+
+void AdmissionScheduler::note_wait(double wait_ms) {
+  waits_[wait_at_] = wait_ms;
+  wait_at_ = (wait_at_ + 1) % kWaitWindow;
+  if (wait_n_ < kWaitWindow) ++wait_n_;
+}
+
+double AdmissionScheduler::wait_p95_ms() const {
+  if (wait_n_ < kWaitMinSamples) return 0.0;
+  std::vector<double> sorted(waits_.begin(),
+                             waits_.begin() + wait_n_);
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(wait_n_))) - 1;
+  return sorted[std::min(idx, wait_n_ - 1)];
+}
+
+void AdmissionScheduler::force_tier(int tier, double now) {
+  tier_ = std::min(std::max(tier, 0), cfg_.brownout_max_tier);
+  has_transitioned_ = true;
+  last_transition_ms_ = now;
+  pressure_since_ms_ = -1.0;
+  clear_since_ms_ = -1.0;
+}
+
+int AdmissionScheduler::tick(double now, int busy, int workers) {
+  if (cfg_.brownout_wait_p95_ms <= 0.0) return -1;
+  const double p95 = wait_p95_ms();
+  const bool saturated = workers > 0 && busy >= workers;
+  const bool pressured = saturated && p95 >= cfg_.brownout_wait_p95_ms;
+  // Exit either on a measured low p95 or on a queue that has emptied
+  // with idle workers — the storm can end without enough fresh
+  // dequeues to age the window's p95 down.
+  const bool cleared =
+      p95 <= cfg_.brownout_wait_p95_ms * cfg_.brownout_exit_ratio ||
+      (total_ == 0 && !saturated);
+  const double dwell = cfg_.brownout_dwell_ms;
+  const bool dwelled =
+      !has_transitioned_ || now - last_transition_ms_ >= dwell;
+
+  int fired = -1;
+  if (pressured) {
+    clear_since_ms_ = -1.0;
+    if (pressure_since_ms_ < 0.0) pressure_since_ms_ = now;
+    if (tier_ < cfg_.brownout_max_tier && dwelled &&
+        now - pressure_since_ms_ >= dwell) {
+      ++tier_;
+      has_transitioned_ = true;
+      last_transition_ms_ = now;
+      pressure_since_ms_ = now;
+      fired = tier_;
+    }
+  } else if (cleared) {
+    pressure_since_ms_ = -1.0;
+    if (clear_since_ms_ < 0.0) clear_since_ms_ = now;
+    if (tier_ > 0 && dwelled && now - clear_since_ms_ >= dwell) {
+      --tier_;
+      has_transitioned_ = true;
+      last_transition_ms_ = now;
+      clear_since_ms_ = now;
+      fired = tier_;
+    }
+  } else {
+    // Hysteresis band between the enter and exit thresholds: hold the
+    // tier and let neither timer accrue.
+    pressure_since_ms_ = -1.0;
+    clear_since_ms_ = -1.0;
+  }
+  return fired;
+}
+
+double AdmissionScheduler::next_deadline_ms(double now) const {
+  if (cfg_.brownout_wait_p95_ms <= 0.0) return 0.0;
+  // A pending escalation/de-escalation, or any nonzero tier, needs a
+  // timer so the controller re-evaluates without socket traffic.
+  if (tier_ <= 0 && pressure_since_ms_ < 0.0 && clear_since_ms_ < 0.0) {
+    return 0.0;
+  }
+  // Always in the future (the poll timeout must never be 0 in a steady
+  // state or the loop would spin); quarter-dwell granularity keeps
+  // transitions within dwell/4 of their earliest legal instant.
+  return now + std::max(50.0, cfg_.brownout_dwell_ms / 4.0);
+}
+
+} // namespace wm::serve

@@ -1,0 +1,223 @@
+#pragma once
+// Overload-control policy for the serving daemon (docs/serving.md
+// "Admission & overload control"): everything the FIFO admission queue
+// could not do under pressure, as one pure policy object.
+//
+//   * deadline-aware dispatch — within a client, jobs pop in earliest-
+//     effective-deadline order (EDF; no-deadline jobs queue FIFO behind
+//     every deadline), and a job whose remaining deadline has fallen
+//     below the measured minimum-attempt estimate is shed *at dequeue*
+//     so doomed work never occupies a worker slot;
+//   * per-client fairness — weighted deficit round robin across
+//     per-client sub-queues, with a token-bucket quota per client;
+//     when the queue is full, shedding victim-selects the most
+//     over-quota client's newest job instead of the newest arrival,
+//     and rejects carry a retry_after_ms hint;
+//   * attempt estimation — an EWMA of recent attempt wall times per
+//     design fingerprint (falling back to a global EWMA for designs
+//     never seen) feeds both the dequeue-shed test and the
+//     retry_after_ms hints;
+//   * brownout — a hysteresis controller over queue-wait p95 and
+//     worker occupancy that escalates through tiers under sustained
+//     overload (tier 1 caps each attempt's label budget, tier 2 also
+//     forces the Greedy solver rung) and de-escalates when pressure
+//     clears, never flapping faster than the dwell window.
+//
+// Pure policy, same contract as PoolSupervisor (serve/supervisor.hpp):
+// no syscalls, no clock of its own — every method takes `double now`
+// (the server's steady clock, ms) so tests drive it with a fake clock
+// (tests/scheduler_test.cpp). The event loop in server.cpp owns the
+// side effects: forking, journaling brownout transitions, answering
+// clients.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wm::serve {
+
+/// Tuning knobs, all daemon-wide (ServerOptions carries the CLI
+/// surface; defaults here keep old daemons' behavior: quota and
+/// brownout are opt-in).
+struct SchedulerConfig {
+  int queue_capacity = 64;  ///< Queued jobs before victim selection
+  int workers = 2;          ///< service rate input for retry_after_ms
+  /// Token-bucket quota per client: sustained admissions/second and
+  /// burst size. rate 0 disables the quota — shedding then falls back
+  /// to rejecting the newcomer, exactly the pre-quota behavior.
+  double quota_rate = 0.0;
+  double quota_burst = 8.0;
+  /// DRR weights by client name; absent clients weigh default_weight.
+  std::map<std::string, double> weights;
+  double default_weight = 1.0;
+  /// Attempt-time EWMA smoothing and the floor used before any attempt
+  /// has been measured (a fresh daemon must not shed on a wild guess).
+  double ewma_alpha = 0.3;
+  double min_attempt_floor_ms = 0.0;
+  /// Brownout: enter when the queue-wait p95 exceeds wait_p95_ms while
+  /// every worker is busy; exit when it falls below exit_ratio * that.
+  /// 0 disables the controller. Transitions are at least dwell_ms
+  /// apart — the hysteresis that keeps a square-wave load from
+  /// flapping the tier.
+  double brownout_wait_p95_ms = 0.0;
+  double brownout_exit_ratio = 0.5;
+  double brownout_dwell_ms = 2000.0;
+  int brownout_max_tier = 2;
+};
+
+/// What admission decided for one submit.
+struct AdmitDecision {
+  enum class Kind {
+    Admitted,    ///< queued; victim empty
+    Evicted,     ///< queued, but `victim` (most over-quota client's
+                 ///< newest job) must be shed to make room
+    Rejected,    ///< shed the newcomer (queue full, nobody more
+                 ///< over-quota than its own client)
+    Infeasible,  ///< rejected: deadline already below the attempt
+                 ///< estimate — queueing it would only shed it later
+  };
+  Kind kind = Kind::Admitted;
+  std::string victim;         ///< Evicted: job id to shed
+  std::string victim_client;  ///< Evicted: its client
+  double retry_after_ms = 0.0;  ///< Rejected/Infeasible hint (>= 0)
+  /// Rejected: the newcomer's own client was over quota (negative
+  /// token balance) — splits serve.sched_quota_shed from
+  /// serve.sched_capacity_shed.
+  bool over_quota = false;
+};
+
+/// What dequeue produced.
+struct NextJob {
+  enum class Kind {
+    None,          ///< nothing runnable
+    Run,           ///< launch `id`
+    DeadlineShed,  ///< `id` popped with remaining deadline below the
+                   ///< attempt estimate: fail it without launching
+  };
+  Kind kind = Kind::None;
+  std::string id;
+  double wait_ms = 0.0;  ///< time the job spent queued (Run only)
+};
+
+class AdmissionScheduler {
+ public:
+  AdmissionScheduler() : AdmissionScheduler(SchedulerConfig{}) {}
+  explicit AdmissionScheduler(SchedulerConfig cfg);
+
+  // ---- admission ----------------------------------------------------
+
+  /// Decide one submit. `deadline_instant_ms` is the absolute steady-
+  /// clock instant the job's deadline expires (0 = no deadline). On
+  /// Admitted/Evicted the job is queued; an Evicted victim has already
+  /// been dropped from the scheduler — the caller only finishes that
+  /// job's bookkeeping. On Rejected/Infeasible nothing is queued and
+  /// retry_after_ms carries the client hint.
+  AdmitDecision admit(const std::string& id, const std::string& client,
+                      std::uint64_t fp, double deadline_instant_ms,
+                      double now);
+
+  /// Re-enter a job bypassing admission control: journal recovery,
+  /// backoff requeue, a failed fork, a pool collapse. The job was
+  /// already admitted once; capacity and quota were paid then.
+  void restore(const std::string& id, const std::string& client,
+               std::uint64_t fp, double deadline_instant_ms, double now);
+
+  /// Drop a queued job (eviction executed, job finished elsewhere).
+  void remove(const std::string& id);
+
+  /// Drain: pop everything, in no particular order.
+  std::vector<std::string> clear();
+
+  // ---- dispatch -----------------------------------------------------
+
+  /// Pop the next decision: DRR picks the client, EDF picks its job,
+  /// and the feasibility test converts a doomed pop into DeadlineShed.
+  /// Each call removes at most one job from the queue.
+  NextJob next(double now);
+
+  std::size_t queued() const { return total_; }
+  std::size_t queued_for(const std::string& client) const;
+
+  // ---- attempt estimation -------------------------------------------
+
+  /// Feed one finished attempt's wall time (launch to reap).
+  void record_attempt(std::uint64_t fp, double wall_ms);
+  /// Expected attempt wall time for a design: its own EWMA, else the
+  /// global EWMA, else the configured floor.
+  double estimate_attempt_ms(std::uint64_t fp) const;
+
+  // ---- brownout -----------------------------------------------------
+
+  /// Current tier: 0 = normal, 1 = label budget capped, 2 = Greedy
+  /// rung forced (on top of the cap).
+  int tier() const { return tier_; }
+
+  /// Journal replay: resume the tier a crashed daemon was in. Counts
+  /// as a transition for dwell purposes so the controller does not
+  /// immediately flap out of the restored tier.
+  void force_tier(int tier, double now);
+
+  /// Re-evaluate pressure. `busy`/`workers` describe worker occupancy
+  /// (fork: running children; pool: jobs in flight). Returns the new
+  /// tier when a transition fired, -1 otherwise. At most one step per
+  /// call, never two transitions within dwell_ms.
+  int tick(double now, int busy, int workers);
+
+  /// Instant the controller next wants a tick() (a transition pending
+  /// its dwell, or any nonzero tier), or <= 0 when no timer is needed.
+  /// Always strictly after `now`. The event loop folds this into its
+  /// poll timeout so brownout exits without socket traffic.
+  double next_deadline_ms(double now) const;
+
+  /// Queue-wait p95 over the recent dequeue window (0 until enough
+  /// samples exist); exported as the serve.sched_wait_p95_ms gauge.
+  double wait_p95_ms() const;
+
+ private:
+  struct Entry {
+    std::string id;
+    std::uint64_t fp = 0;
+    double deadline_instant_ms = 0.0;  ///< 0 = none
+    double enqueue_ms = 0.0;
+  };
+  struct ClientQueue {
+    std::string name;
+    std::deque<Entry> jobs;  ///< EDF order; no-deadline jobs at the back
+    double deficit = 0.0;
+    double tokens = 0.0;     ///< token bucket; negative = over quota
+    double refill_ms = 0.0;  ///< last refill instant
+    bool bucket_init = false;
+  };
+
+  ClientQueue& client_for(const std::string& name);
+  double weight_of(const std::string& name) const;
+  void refill(ClientQueue& c, double now);
+  void insert_edf(ClientQueue& c, Entry entry);
+  void note_wait(double wait_ms);
+  double drain_hint_ms() const;
+
+  SchedulerConfig cfg_;
+  std::vector<ClientQueue> clients_;  ///< stable order for the DRR scan
+  std::size_t rr_ = 0;                ///< DRR cursor into clients_
+  std::size_t total_ = 0;
+
+  std::map<std::uint64_t, double> ewma_;  ///< per-fingerprint attempt ms
+  double global_ewma_ = 0.0;
+  bool has_global_ = false;
+
+  std::vector<double> waits_;  ///< ring of recent queue waits
+  std::size_t wait_at_ = 0;
+  std::size_t wait_n_ = 0;
+
+  int tier_ = 0;
+  double last_transition_ms_ = 0.0;
+  bool has_transitioned_ = false;
+  /// Pressure must persist (or stay clear) for the whole dwell before
+  /// the next step; these track when the current condition started.
+  double pressure_since_ms_ = -1.0;
+  double clear_since_ms_ = -1.0;
+};
+
+} // namespace wm::serve

@@ -9,7 +9,6 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -32,6 +31,7 @@
 #include "serve/journal.hpp"
 #include "serve/pool.hpp"
 #include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
 #include "serve/supervisor.hpp"
 #include "serve/worker.hpp"
 #include "util/error.hpp"
@@ -80,12 +80,41 @@ std::uint64_t fnv1a(const std::string& s) {
   return h;
 }
 
+SchedulerConfig scheduler_config(const ServerOptions& o) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = std::max(1, o.queue_capacity);
+  cfg.workers = std::max(1, o.max_workers);
+  cfg.quota_rate = o.quota_rate;
+  cfg.quota_burst = o.quota_burst;
+  cfg.brownout_wait_p95_ms = o.brownout_wait_ms;
+  cfg.brownout_dwell_ms = o.brownout_dwell_ms;
+  // "name=w,name=w" — the CLI validates; a malformed entry here is
+  // simply skipped so a hand-built ServerOptions cannot crash the boot.
+  std::size_t begin = 0;
+  const std::string& spec = o.client_weights;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) continue;
+    char* stop = nullptr;
+    const double w = std::strtod(item.c_str() + eq + 1, &stop);
+    if (stop == item.c_str() + item.size() && w > 0.0) {
+      cfg.weights[item.substr(0, eq)] = w;
+    }
+  }
+  return cfg;
+}
+
 class Server {
  public:
   explicit Server(const ServerOptions& options)
       : opt_(options),
         breaker_(options.breaker_threshold),
-        epoch_(std::chrono::steady_clock::now()) {}
+        epoch_(std::chrono::steady_clock::now()),
+        sched_(scheduler_config(options)) {}
 
   int run();
 
@@ -113,7 +142,15 @@ class Server {
   }
 
   std::size_t pending_count() const REQUIRES(loop_role_) {
-    return queue_.size() + backoff_.size();
+    return sched_.queued() + backoff_.size();
+  }
+
+  /// Absolute steady-clock instant the job's client deadline expires
+  /// (0 = no deadline) — what the scheduler orders and sheds by.
+  double deadline_instant(const Job& job) const {
+    return job.spec.deadline_ms > 0.0
+               ? job.submitted_ms + job.spec.deadline_ms
+               : 0.0;
   }
 
   void touch_gauges() REQUIRES(loop_role_) {
@@ -141,6 +178,7 @@ class Server {
 
   void requeue_due() REQUIRES(loop_role_);
   void launch_ready() REQUIRES(loop_role_);
+  void brownout_tick() REQUIRES(loop_role_);
   void check_watchdogs() REQUIRES(loop_role_);
   void reap_children() REQUIRES(loop_role_);
   void finish(Job& job, JobState state, std::string error)
@@ -219,8 +257,10 @@ class Server {
   bool pool_enabled_ GUARDED_BY(loop_role_) = false;
 
   std::map<std::string, Job> jobs_ GUARDED_BY(loop_role_);
-  std::deque<std::string> queue_
-      GUARDED_BY(loop_role_);  ///< Queued, FIFO
+  // Queued jobs live inside the admission scheduler (per-client EDF
+  // queues under DRR + quota + brownout; serve/scheduler.hpp) — the
+  // old FIFO deque's replacement.
+  AdmissionScheduler sched_ GUARDED_BY(loop_role_);
   std::vector<std::string> backoff_
       GUARDED_BY(loop_role_);  ///< Backoff, waiting out the delay
   std::map<pid_t, std::string> running_ GUARDED_BY(loop_role_);
@@ -427,6 +467,13 @@ int Server::next_timeout_ms() const {
     const double t = psup_.next_deadline_ms();
     if (t > 0.0 && (next < 0.0 || t < next)) next = t;
   }
+  {
+    // Brownout re-evaluation: a pressured (or clearing) controller must
+    // tick even when no client talks to us, or the tier would only move
+    // on traffic — the exact moment it must not depend on.
+    const double t = sched_.next_deadline_ms(now_ms());
+    if (t > 0.0 && (next < 0.0 || t < next)) next = t;
+  }
   if (next < 0.0) return -1;
   const double wait = next - now_ms();
   if (wait <= 0.0) return 0;
@@ -445,6 +492,7 @@ int Server::run() {
     requeue_due();
     launch_ready();
     pool_schedule();
+    brownout_tick();
     check_watchdogs();
     compact_journal_if_needed();
     if (draining_ && !killed_stragglers_ && !running_.empty() &&
@@ -680,35 +728,70 @@ std::string Server::handle_submit(int fd, Request& req) {
     // the new attempt a resume, not a redo.
     jobs_.erase(dup);
   }
-  // Load shedding: a full queue (or an injected serve.queue_full) turns
-  // the submit away with a structured error instead of buffering
-  // unboundedly — the client owns the retry decision.
-  bool shed = pending_count() >= static_cast<std::size_t>(
-                                     std::max(1, opt_.queue_capacity));
-  if (!shed) {
-    try {
-      fault::inject("serve.queue_full");
-    } catch (const Error&) {
-      shed = true;
-    }
-  }
-  if (shed) {
-    registry_.add("serve.shed");
-    return error_frame("overloaded",
-                       "queue full (capacity " +
-                           std::to_string(opt_.queue_capacity) + ")");
-  }
+  // The breaker answers before admission runs: an eviction is a side
+  // effect, and a breaker-rejected submit must not cost another client
+  // its queued job.
   const std::uint64_t fp = design_fingerprint(spec);
   if (breaker_.is_open(fp)) {
     registry_.add("serve.breaker_rejected");
     return error_frame("breaker-open",
                        "design quarantined after repeated failures");
   }
+  // Chaos: an injected serve.queue_full forces the full-queue reject
+  // without the scheduler's consent.
+  try {
+    fault::inject("serve.queue_full");
+  } catch (const Error&) {
+    registry_.add("serve.shed");
+    registry_.add("serve.sched_capacity_shed");
+    return error_frame("overloaded",
+                       "queue full (capacity " +
+                           std::to_string(opt_.queue_capacity) + ")");
+  }
+
+  const double now = now_ms();
+  const double deadline_instant_ms =
+      spec.deadline_ms > 0.0 ? now + spec.deadline_ms : 0.0;
+  const AdmitDecision d =
+      sched_.admit(spec.id, spec.client, fp, deadline_instant_ms, now);
+  switch (d.kind) {
+    case AdmitDecision::Kind::Infeasible:
+      // The measured attempt time can no longer meet this deadline:
+      // turning it away beats queueing work we would only shed later.
+      registry_.add("serve.sched_infeasible");
+      return error_frame("deadline-infeasible",
+                         "deadline_ms " +
+                             std::to_string(spec.deadline_ms) +
+                             " is below the measured attempt estimate");
+    case AdmitDecision::Kind::Rejected:
+      registry_.add("serve.shed");
+      registry_.add(d.over_quota ? "serve.sched_quota_shed"
+                                 : "serve.sched_capacity_shed");
+      return error_frame("overloaded",
+                         "queue full (capacity " +
+                             std::to_string(opt_.queue_capacity) + ")",
+                         d.retry_after_ms);
+    case AdmitDecision::Kind::Evicted: {
+      // Admission made room by shedding the most over-quota client's
+      // newest job; that job ends Failed, exactly once, right here.
+      registry_.add("serve.sched_evicted");
+      registry_.add("serve.failed");
+      const auto vit = jobs_.find(d.victim);
+      if (vit != jobs_.end() && !is_terminal(vit->second.state)) {
+        finish(vit->second, JobState::Failed,
+               "shed: client \"" + d.victim_client +
+                   "\" over quota under load");
+      }
+      break;
+    }
+    case AdmitDecision::Kind::Admitted:
+      break;
+  }
 
   Job job;
   job.spec = std::move(spec);
   job.design_fp = fp;
-  job.submitted_ms = now_ms();
+  job.submitted_ms = now;
   job.checkpoint = spool_path(job.spec.id, ".wmck");
   job.result_path = spool_path(job.spec.id, ".result.json");
   if (job.spec.out.empty()) {
@@ -717,7 +800,6 @@ std::string Server::handle_submit(int fd, Request& req) {
   const std::string id = job.spec.id;
   if (req.wait) job.waiters.push_back(fd);
   Job& stored = jobs_.emplace(id, std::move(job)).first->second;
-  queue_.push_back(id);
   JournalRecord admit;
   admit.type = JournalRecord::Type::Admit;
   admit.id = id;
@@ -755,6 +837,7 @@ std::string Server::stats_frame() const {
   json::Value v = ok_frame();
   v.set("queue_depth", json::Value::number_v(
                            static_cast<std::uint64_t>(pending_count())));
+  v.set("brownout_tier", json::Value::number_v(sched_.tier()));
   v.set("in_flight", json::Value::number_v(static_cast<std::uint64_t>(
                          running_.size())));
   v.set("breakers_open", json::Value::number_v(
@@ -778,8 +861,12 @@ void Server::requeue_due() {
       continue;
     }
     if (now >= jit->second.next_attempt_ms) {
-      jit->second.state = JobState::Queued;
-      queue_.push_back(*it);
+      Job& job = jit->second;
+      job.state = JobState::Queued;
+      // Re-entry, not admission: capacity and quota were paid at the
+      // original submit, so a retry can never be shed by its own queue.
+      sched_.restore(*it, job.spec.client, job.design_fp,
+                     deadline_instant(job), now);
       it = backoff_.erase(it);
     } else {
       ++it;
@@ -789,14 +876,36 @@ void Server::requeue_due() {
 
 void Server::launch_ready() {
   while (static_cast<int>(running_.size()) < std::max(1, opt_.max_workers) &&
-         !queue_.empty()) {
-    const std::string id = queue_.front();
-    queue_.pop_front();
+         sched_.queued() > 0) {
+    // Pool mode bounds concurrency by jobs in flight; check before the
+    // pop so a full pool never dequeues (and cannot mis-shed) a job it
+    // has no slot for.
+    if (pool_enabled_ &&
+        psup_.jobs() >=
+            static_cast<std::size_t>(std::max(1, opt_.max_workers))) {
+      break;
+    }
+    const NextJob next = sched_.next(now_ms());
+    if (next.kind == NextJob::Kind::None) break;
+    const std::string id = next.id;
     const auto jit = jobs_.find(id);
     if (jit == jobs_.end() || jit->second.state != JobState::Queued) {
       continue;
     }
     Job& job = jit->second;
+
+    // Shed-at-dequeue: the scheduler measured that this job's remaining
+    // deadline is under the attempt estimate — fail it here, without it
+    // ever occupying a worker slot.
+    if (next.kind == NextJob::Kind::DeadlineShed) {
+      registry_.add("serve.sched_deadline_shed");
+      registry_.add("serve.failed");
+      finish(job, JobState::Failed,
+             "deadline infeasible at dequeue: remaining budget is below "
+             "the measured attempt estimate");
+      continue;
+    }
+    registry_.gauge_set("serve.sched_wait_p95_ms", sched_.wait_p95_ms());
 
     // A breaker that opened while this job sat in the queue quarantines
     // it at launch — the admission check alone cannot cover that race.
@@ -820,14 +929,8 @@ void Server::launch_ready() {
     }
 
     // Pool mode: jobs fan out into zone shards on the pre-forked
-    // workers instead of forking a fresh child. Pool concurrency is
-    // bounded by max_workers jobs in flight, same budget as fork mode.
+    // workers instead of forking a fresh child.
     if (pool_enabled_) {
-      if (psup_.jobs() >=
-          static_cast<std::size_t>(std::max(1, opt_.max_workers))) {
-        queue_.push_front(id);
-        break;
-      }
       admit_to_pool(job, attempt_deadline);
       continue;
     }
@@ -856,12 +959,25 @@ void Server::launch_ready() {
     // this attempt's report.
     std::remove(job.result_path.c_str());
 
+    // Brownout: tier >= 1 caps the attempt's label budget, tier 2 also
+    // forces the Greedy rung — resolved at launch so a tier change
+    // mid-queue applies to every launch after it.
+    const int tier = sched_.tier();
+    std::uint64_t label_budget = 0;
+    bool force_greedy = false;
+    if (tier >= 1) {
+      label_budget = opt_.brownout_label_budget;
+      force_greedy = tier >= 2;
+      registry_.add("serve.brownout_jobs");
+    }
+
     const pid_t pid = ::fork();
     if (pid < 0) {
       // Transient (EAGAIN under load): put the job back and let the
       // next loop iteration retry the fork.
       std::perror("serve: fork");
-      queue_.push_front(id);
+      sched_.restore(id, job.spec.client, job.design_fp,
+                     deadline_instant(job), now_ms());
       break;
     }
     if (pid == 0) {
@@ -884,6 +1000,8 @@ void Server::launch_ready() {
       cfg.result_path = job.result_path;
       cfg.attempt_deadline_ms = attempt_deadline;
       cfg.char_dt = opt_.char_dt;
+      cfg.label_budget = label_budget;
+      cfg.force_greedy = force_greedy;
       cfg.victim = victim;
       cfg.victim_hang = victim_hang;
       cfg.fault_seed = opt_.fault_seed;
@@ -892,6 +1010,7 @@ void Server::launch_ready() {
 
     job.state = JobState::Running;
     job.pid = pid;
+    job.launched_ms = now_ms();
     ++job.attempts;
     // Watchdog: the tighter of the client's remaining deadline and the
     // daemon-wide hang cap, plus grace. A cooperative child beats it
@@ -945,6 +1064,12 @@ void Server::reap_children() {
     Job& job = jit->second;
     job.pid = -1;
     job.watchdog_ms = 0.0;
+    if (job.launched_ms > 0.0) {
+      // Launch-to-reap wall time feeds the scheduler's per-design
+      // attempt estimate (the shed-at-dequeue and infeasibility tests).
+      sched_.record_attempt(job.design_fp, now_ms() - job.launched_ms);
+      job.launched_ms = 0.0;
+    }
 
     const Attempt a = classify_exit(
         WIFEXITED(st), WIFEXITED(st) ? WEXITSTATUS(st) : 0,
@@ -996,8 +1121,18 @@ void Server::reap_children() {
           finish(job, JobState::Drained, "daemon drained mid-attempt");
           break;
         }
-        if (retryable(a.outcome, cat) &&
-            job.attempts <= job.spec.max_retries) {
+        const bool want_retry = retryable(a.outcome, cat) &&
+                                job.attempts <= job.spec.max_retries;
+        // Backoff has its own capacity, separate from the admission
+        // queue: a retry storm fills this pool and fails over, it never
+        // locks fresh submits out of queue_capacity.
+        const bool backoff_full =
+            backoff_.size() >=
+            static_cast<std::size_t>(std::max(1, opt_.backoff_capacity));
+        if (want_retry && backoff_full) {
+          registry_.add("serve.sched_backoff_full");
+        }
+        if (want_retry && !backoff_full) {
           job.state = JobState::Backoff;
           job.next_attempt_ms =
               now_ms() + backoff_ms(job.attempts, opt_.retry_base_ms,
@@ -1071,6 +1206,33 @@ void Server::check_watchdogs() {
   }
 }
 
+void Server::brownout_tick() {
+  const int before = sched_.tier();
+  const int busy = pool_enabled_ ? static_cast<int>(psup_.jobs())
+                                 : static_cast<int>(running_.size());
+  const int after =
+      sched_.tick(now_ms(), busy, std::max(1, opt_.max_workers));
+  if (after < 0) return;  // no transition this tick
+  // Every transition is journaled before it is acted on, so a daemon
+  // killed mid-brownout restarts in the tier it was serving at.
+  JournalRecord rec;
+  rec.type = JournalRecord::Type::Brownout;
+  rec.tier = after;
+  journal_append(rec);
+  registry_.gauge_set("serve.brownout_tier", static_cast<double>(after));
+  if (after > before) {
+    registry_.add("serve.brownout_escalations");
+    if (before == 0) registry_.add("serve.brownout_entered");
+  } else {
+    registry_.add("serve.brownout_deescalations");
+    if (after == 0) registry_.add("serve.brownout_exited");
+  }
+  WM_LOG(Warn) << "serve: brownout tier " << before << " -> " << after
+               << " (queue-wait p95 " << sched_.wait_p95_ms() << " ms, "
+               << busy << "/" << std::max(1, opt_.max_workers)
+               << " workers busy)";
+}
+
 // ---- worker pool ----------------------------------------------------
 
 void Server::admit_to_pool(Job& job, double attempt_deadline) {
@@ -1083,9 +1245,20 @@ void Server::admit_to_pool(Job& job, double attempt_deadline) {
   // A stale result file from a previous attempt must not be read as
   // this attempt's report.
   std::remove(job.result_path.c_str());
+  // Pin this attempt's brownout budget now: every shard and the merge
+  // see one consistent RunBudget even if the tier moves mid-attempt
+  // (a next attempt picks up the new tier).
+  job.attempt_label_budget = 0;
+  job.attempt_force_greedy = false;
+  if (const int tier = sched_.tier(); tier >= 1) {
+    job.attempt_label_budget = opt_.brownout_label_budget;
+    job.attempt_force_greedy = tier >= 2;
+  }
   psup_.admit(id, count, deadline_instant, job.poisoned_shards);
   job.state = JobState::Running;
+  job.launched_ms = now_ms();
   ++job.attempts;
+  if (sched_.tier() >= 1) registry_.add("serve.brownout_jobs");
   registry_.add("serve.launched");
   registry_.add("serve.pool_jobs");
   if (job.attempts > 1) registry_.add("serve.retries");
@@ -1138,6 +1311,11 @@ void Server::dispatch_assignment(const PoolSupervisor::Assignment& a) {
   cmd.spec = job.spec;
   cmd.shard_count = a.shard_count;
   cmd.deadline_ms = a.deadline_ms;
+  // The budget pinned at admit_to_pool rides every dispatch of this
+  // attempt — shards and merge must agree on the RunBudget or the
+  // merge would reject the shard checkpoints as options-stale.
+  cmd.label_budget = job.attempt_label_budget;
+  cmd.force_greedy = job.attempt_force_greedy;
   if (a.kind == PoolSupervisor::Assignment::Kind::Shard) {
     cmd.kind = PoolCommand::Kind::Shard;
     cmd.shard_index = a.shard;
@@ -1296,6 +1474,10 @@ void Server::on_merge_done(int w, const PoolEvent& ev) {
     return;
   }
   Job& job = jit->second;
+  if (oc != PoolSupervisor::MergeOutcome::Retry && job.launched_ms > 0.0) {
+    sched_.record_attempt(job.design_fp, now_ms() - job.launched_ms);
+    job.launched_ms = 0.0;
+  }
 
   if (oc == PoolSupervisor::MergeOutcome::Retry) {
     registry_.add("serve.merge_retries");
@@ -1313,7 +1495,15 @@ void Server::on_merge_done(int w, const PoolEvent& ev) {
     WM_LOG(Warn) << "serve: job " << ev.job
                  << " merge retries exhausted: falling back to "
                     "fork-per-attempt";
-    if (!draining_ && job.attempts <= job.spec.max_retries) {
+    const bool backoff_full =
+        backoff_.size() >=
+        static_cast<std::size_t>(std::max(1, opt_.backoff_capacity));
+    if (!draining_ && job.attempts <= job.spec.max_retries &&
+        backoff_full) {
+      registry_.add("serve.sched_backoff_full");
+    }
+    if (!draining_ && job.attempts <= job.spec.max_retries &&
+        !backoff_full) {
       job.state = JobState::Backoff;
       job.next_attempt_ms =
           now_ms() + backoff_ms(job.attempts, opt_.retry_base_ms,
@@ -1422,7 +1612,8 @@ void Server::collapse_pool() {
     // makes the fresh attempt a resume, and the attempt already spent
     // on the pool counts against the same retry budget.
     job.state = JobState::Queued;
-    queue_.push_back(id);
+    sched_.restore(id, job.spec.client, job.design_fp,
+                   deadline_instant(job), now_ms());
   }
   touch_gauges();
 }
@@ -1461,6 +1652,14 @@ std::vector<JournalRecord> Server::snapshot_records() const {
     rec.attempt = job.attempts;
     rec.state = job.state;
     rec.error = job.error;
+    records.push_back(std::move(rec));
+  }
+  if (sched_.tier() != 0) {
+    // Compaction must not lose the brownout tier: a restart from the
+    // compacted journal resumes degraded service where it left off.
+    JournalRecord rec;
+    rec.type = JournalRecord::Type::Brownout;
+    rec.tier = sched_.tier();
     records.push_back(std::move(rec));
   }
   return records;
@@ -1530,9 +1729,14 @@ void Server::recover_spool() {
       backoff_.push_back(id);
     } else {
       // Admitted, never launched: back into the queue, original order.
+      // restore() bypasses admission — capacity and quota were paid in
+      // the previous daemon life.
       job.state = JobState::Queued;
+      const std::string client = job.spec.client;
+      const std::uint64_t fp = job.design_fp;
+      const double dl = deadline_instant(job);
       jobs_.emplace(id, std::move(job));
-      queue_.push_back(id);
+      sched_.restore(id, client, fp, dl, now);
     }
     ++recovered;
   }
@@ -1540,6 +1744,23 @@ void Server::recover_spool() {
     registry_.add("serve.jobs_rehydrated", rehydrated);
   }
   if (recovered > 0) registry_.add("serve.jobs_recovered", recovered);
+
+  // Resume the brownout tier the crashed daemon was in: the last
+  // brownout record wins (fold_journal ignores them — they are
+  // daemon-wide, not per-job). force_tier counts as a transition, so
+  // the controller dwells before moving again instead of flapping.
+  for (auto it = records.rbegin(); it != records.rend(); ++it) {
+    if (it->type != JournalRecord::Type::Brownout) continue;
+    if (it->tier > 0) {
+      sched_.force_tier(it->tier, now);
+      registry_.add("serve.brownout_resumed");
+      registry_.gauge_set("serve.brownout_tier",
+                          static_cast<double>(sched_.tier()));
+      WM_LOG(Warn) << "serve: resuming brownout tier " << sched_.tier()
+                   << " from the journal";
+    }
+    break;
+  }
 
   // Daemon-assigned ids must not collide with recovered ones.
   for (const auto& [id, job] : jobs_) {
@@ -1583,7 +1804,7 @@ void Server::recover_spool() {
   if (!jobs_.empty()) {
     WM_LOG(Info) << "serve: journal replay: " << rehydrated
                  << " terminal job(s) rehydrated, " << recovered
-                 << " live job(s) recovered (queue " << queue_.size()
+                 << " live job(s) recovered (queue " << sched_.queued()
                  << ", backoff " << backoff_.size() << ")";
   }
 }
@@ -1616,8 +1837,7 @@ void Server::begin_drain(const char* reason) {
   }
   // Jobs that never launched end Drained; in-flight ones get the grace
   // window (then kill_stragglers).
-  std::deque<std::string> pending;
-  pending.swap(queue_);
+  std::vector<std::string> pending = sched_.clear();
   for (const std::string& id : backoff_) pending.push_back(id);
   backoff_.clear();
   for (const std::string& id : pending) {

@@ -11,8 +11,14 @@
 // whole supervisor is sequentially consistent by construction.
 //
 // Resilience policy (all unit-tested via serve/job.hpp):
-//   * admission     — queue full or an injected serve.queue_full fault
-//                     sheds the job with an "overloaded" error;
+//   * admission     — an AdmissionScheduler (serve/scheduler.hpp):
+//                     per-client EDF queues under weighted deficit
+//                     round robin with token-bucket quotas; a full
+//                     queue (or an injected serve.queue_full fault)
+//                     sheds the most over-quota client with an
+//                     "overloaded" error carrying retry_after_ms, and
+//                     sustained pressure engages brownout tiers that
+//                     cheapen each attempt's RunBudget;
 //   * isolation     — a worker crash (SIGKILL, OOM, assert) costs one
 //                     attempt, never the daemon;
 //   * retries       — Internal failures and crashes retry with
@@ -46,7 +52,11 @@ namespace wm::serve {
 struct ServerOptions {
   std::string socket_path = "wavemin.sock";
   std::string spool_dir = "spool";  ///< checkpoints, results, default outs
-  int queue_capacity = 64;   ///< Queued + Backoff jobs before shedding
+  int queue_capacity = 64;   ///< Queued jobs before shedding (Backoff
+                             ///< jobs count against backoff_capacity,
+                             ///< so a retry storm cannot lock out
+                             ///< fresh admissions)
+  int backoff_capacity = 64; ///< Backoff jobs before a retry is denied
   int max_workers = 2;       ///< concurrent forked worker children
   int breaker_threshold = 3; ///< consecutive failures per design; <=0 off
   double retry_base_ms = 100.0;
@@ -91,6 +101,23 @@ struct ServerOptions {
   double pool_ping_interval_ms = 500.0;    ///< idle heartbeat cadence
   double pool_ping_timeout_ms = 2000.0;    ///< unanswered ping: SIGKILL
   int pool_collapse_respawns = 5;     ///< respawns before giving up
+  // -- admission scheduler (serve/scheduler.hpp) ----------------------
+  /// Per-client token-bucket quota: sustained admissions/second and
+  /// burst. rate 0 disables quota-based victim selection (full queue
+  /// then rejects the newcomer, the pre-fairness behavior).
+  double quota_rate = 0.0;
+  double quota_burst = 8.0;
+  /// DRR weights by client name (--client-weight name=w, repeatable);
+  /// unlisted clients weigh 1.
+  std::string client_weights;
+  /// Brownout controller: enter tier 1 when the queue-wait p95 exceeds
+  /// this (ms) with every worker busy, exit at half of it; 0 = off.
+  double brownout_wait_ms = 0.0;
+  /// Minimum spacing between brownout tier transitions.
+  double brownout_dwell_ms = 2000.0;
+  /// Tier >= 1 label cap applied to each attempt's RunBudget
+  /// (max_total_labels); tier 2 additionally forces the Greedy rung.
+  std::uint64_t brownout_label_budget = 200000;
 };
 
 /// Run the daemon until drained. Returns the process exit code: 0 for

@@ -70,6 +70,12 @@ std::string encode_command(const PoolCommand& cmd) {
   if (cmd.deadline_ms > 0.0) {
     v.set("deadline_ms", json::Value::number_v(cmd.deadline_ms));
   }
+  if (cmd.label_budget > 0) {
+    v.set("label_budget", json::Value::number_v(cmd.label_budget));
+  }
+  if (cmd.force_greedy) {
+    v.set("force_greedy", json::Value::boolean_v(true));
+  }
   return json::dump(v);
 }
 
@@ -99,6 +105,8 @@ bool decode_command(const std::string& line, PoolCommand* out) {
     c.shard_count = static_cast<int>(v.get_number("count", "pool command"));
     c.checkpoint = v.get_string_or("ck", "");
     c.deadline_ms = v.get_number_or("deadline_ms", 0.0);
+    c.label_budget = v.get_u64_or("label_budget", 0);
+    c.force_greedy = v.get_bool_or("force_greedy", false);
     if (c.kind == PoolCommand::Kind::Shard) {
       c.shard_index =
           static_cast<int>(v.get_number("index", "pool command"));
@@ -257,6 +265,10 @@ WaveMinOptions base_options(const PoolCommand& cmd) {
   opts.job_id = cmd.spec.id;
   opts.quarantine_zone_errors = true;
   if (cmd.deadline_ms > 0.0) opts.budget.deadline_ms = cmd.deadline_ms;
+  // Brownout tier at dispatch — same degradation knobs the fork-path
+  // worker applies (serve/worker.cpp), so the two modes stay twins.
+  if (cmd.force_greedy) opts.solver = SolverKind::Greedy;
+  if (cmd.label_budget > 0) opts.budget.max_total_labels = cmd.label_budget;
   opts.shard_count = cmd.shard_count;
   return opts;
 }

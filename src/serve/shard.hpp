@@ -44,6 +44,11 @@ struct PoolCommand {
   std::string out;            ///< Merge: output tree path
   std::string result_path;    ///< Merge: WorkerResult destination
   double deadline_ms = 0.0;   ///< remaining job budget (0 = none)
+  /// Brownout degradation tier at dispatch (serve/scheduler.hpp):
+  /// label_budget caps RunBudget::max_total_labels, force_greedy pins
+  /// the Greedy rung. 0/false = normal service.
+  std::uint64_t label_budget = 0;
+  bool force_greedy = false;
   std::uint64_t seq = 0;      ///< Ping
   /// Chaos flags, resolved by the daemon's fault schedule the same way
   /// fork-path victims are (launch_ready's note() dance): the worker

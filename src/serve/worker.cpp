@@ -78,6 +78,11 @@ int attempt(const WorkerConfig& cfg, WorkerResult& wr) {
   opts.kappa = cfg.spec.kappa;
   opts.samples = cfg.spec.samples;
   if (cfg.spec.algo == "wavemin-f") opts.solver = SolverKind::Greedy;
+  // Brownout: the admission controller's degradation tier rides the
+  // existing budget/ladder knobs — cheaper attempts, same contract
+  // (exit 3 when degradation actually bit).
+  if (cfg.force_greedy) opts.solver = SolverKind::Greedy;
+  if (cfg.label_budget > 0) opts.budget.max_total_labels = cfg.label_budget;
   opts.seed = cfg.spec.seed;
   opts.job_id = cfg.spec.id;
   opts.quarantine_zone_errors = true;

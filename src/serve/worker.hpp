@@ -30,6 +30,11 @@ struct WorkerConfig {
   /// Characterization dt (ps) for this attempt's in-process LUT;
   /// 0 = the library default (ServerOptions::char_dt).
   double char_dt = 0.0;
+  /// Brownout degradation (scheduler tier at launch): a nonzero
+  /// label_budget caps RunBudget::max_total_labels for this attempt;
+  /// force_greedy additionally pins the solver to the Greedy rung.
+  std::uint64_t label_budget = 0;
+  bool force_greedy = false;
   /// This launch drew the armed serve.worker_kill slot: the child arms
   /// the site at hit 1 and injects it, SIGKILLing itself mid-setup.
   bool victim = false;

@@ -1,6 +1,6 @@
-# Exit-code contract test for tools/wavemin_cli (and the dead-daemon
-# half of the wavemin_client contract), run via
-#   cmake -DCLI=<cli> -DLINT=<lint> -DCLIENT=<client>
+# Exit-code contract test for tools/wavemin_cli (and the dead-daemon +
+# overloaded halves of the wavemin_client contract), run via
+#   cmake -DCLI=<cli> -DLINT=<lint> -DCLIENT=<client> [-DSERVED=<daemon>]
 #         -DBADIO=<tests/data/bad_io> -DWORK=<scratch dir>
 #         -P cli_exit_contract.cmake
 # Contract (see wavemin_cli.cpp): 0 = clean optimum, 1 = usage error,
@@ -151,8 +151,62 @@ expect_exit(2 ${CLIENT} --socket ${WORK}/no_such_daemon.sock
               --connect-wait-ms 200 --timeout-ms 500
               submit ${WORK}/clean.ctree --id dead1)
 
+# 2: --retry-overloaded retries only "overloaded" *replies* — against a
+# daemon that never answers it must still be a prompt exit 2, not a
+# retry loop on connection failures.
+expect_exit(2 ${CLIENT} --socket ${WORK}/no_such_daemon.sock
+              --connect-wait-ms 200 --timeout-ms 500
+              submit ${WORK}/clean.ctree --id dead2 --retry-overloaded 5)
+
 # 1: client usage errors stay distinct from connection trouble.
 expect_exit(1 ${CLIENT} --socket ${WORK}/no_such_daemon.sock frobnicate)
 expect_exit(1 ${CLIENT})
+expect_exit(1 ${CLIENT} --retry-overloaded)  # flag wants a count
+
+# --- wavemin_client against an overloaded daemon ----------------------
+# Contract: an "overloaded" rejection is exit 1 (the daemon answered;
+# the job was shed) — distinct from both 0 and connection trouble — and
+# --retry-overloaded resubmits on the daemon's retry_after_ms hint
+# before giving up with the same exit 1. The overload is real, not
+# raced: serve.worker_hang wedges the only worker's first job forever
+# (no client deadline, so the watchdog stays unarmed), a second job
+# fills the one-slot queue, and every later submit sheds.
+
+if(DEFINED SERVED AND UNIX)
+  find_program(SH_PROGRAM sh)
+endif()
+if(DEFINED SERVED AND SH_PROGRAM)
+  set(SDIR ${WORK}/overloaded_daemon)
+  file(REMOVE_RECURSE ${SDIR})
+  file(MAKE_DIRECTORY ${SDIR})
+  execute_process(COMMAND ${SH_PROGRAM} -c
+      "${SERVED} --socket ${SDIR}/s.sock --spool ${SDIR}/spool \
+--queue 1 --workers 1 --drain-grace-ms 200 \
+--fault-spec serve.worker_hang=1 >${SDIR}/daemon.log 2>&1 & \
+echo $! >${SDIR}/pid")
+
+  expect_exit(0 ${CLIENT} --socket ${SDIR}/s.sock --connect-wait-ms 5000
+                --timeout-ms 20000 submit ${WORK}/clean.ctree --id wedge)
+  # Give the daemon time to launch the (wedging) worker so the slot the
+  # next job takes is the queue's, not the worker's.
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 2)
+  expect_exit(0 ${CLIENT} --socket ${SDIR}/s.sock --timeout-ms 20000
+                submit ${WORK}/clean.ctree --id fill)
+
+  # 1: shed with the overloaded frame on stdout.
+  expect_exit_stdout(1 "overloaded"
+                ${CLIENT} --socket ${SDIR}/s.sock --timeout-ms 20000
+                submit ${WORK}/clean.ctree --id ov1)
+  # 1: capped retries honor the hint, then surface the same rejection.
+  expect_exit_stdout(1 "overloaded"
+                ${CLIENT} --socket ${SDIR}/s.sock --timeout-ms 20000
+                submit ${WORK}/clean.ctree --id ov2
+                --retry-overloaded 2)
+
+  # Clean drain (SIGKILLs the wedged worker) so no daemon outlives the
+  # test.
+  expect_exit(0 ${CLIENT} --socket ${SDIR}/s.sock --timeout-ms 20000
+                drain)
+endif()
 
 message(STATUS "wavemin_cli exit-code contract holds")

@@ -1,0 +1,384 @@
+// Tests for the admission scheduler (serve/scheduler.hpp): EDF
+// dispatch, weighted deficit-round-robin fairness, token-bucket victim
+// selection, shed-at-dequeue, attempt EWMA and the brownout hysteresis
+// controller. Pure policy — every test drives the fake clock by hand.
+
+#include "serve/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wm::serve {
+namespace {
+
+using Kind = AdmitDecision::Kind;
+using Pop = NextJob::Kind;
+
+AdmitDecision admit_ok(AdmissionScheduler& s, const std::string& id,
+                       const std::string& client, double deadline = 0.0,
+                       double now = 0.0, std::uint64_t fp = 1) {
+  AdmitDecision d = s.admit(id, client, fp, deadline, now);
+  EXPECT_EQ(d.kind, Kind::Admitted) << id;
+  return d;
+}
+
+/// Drain `n` Run pops and return the ids in dispatch order.
+std::vector<std::string> pop_ids(AdmissionScheduler& s, int n,
+                                 double now) {
+  std::vector<std::string> ids;
+  for (int i = 0; i < n; ++i) {
+    const NextJob j = s.next(now);
+    EXPECT_EQ(j.kind, Pop::Run);
+    ids.push_back(j.id);
+  }
+  return ids;
+}
+
+TEST(SchedulerTest, EdfOrderWithinClientNoDeadlineLast) {
+  AdmissionScheduler s;
+  admit_ok(s, "late", "c", /*deadline=*/3000.0);
+  admit_ok(s, "none", "c", /*deadline=*/0.0);
+  admit_ok(s, "soon", "c", /*deadline=*/1000.0);
+  admit_ok(s, "mid", "c", /*deadline=*/2000.0);
+  EXPECT_EQ(pop_ids(s, 4, 0.0),
+            (std::vector<std::string>{"soon", "mid", "late", "none"}));
+  EXPECT_EQ(s.queued(), 0u);
+}
+
+TEST(SchedulerTest, NoDeadlineJobsAreFifo) {
+  AdmissionScheduler s;
+  admit_ok(s, "a", "c");
+  admit_ok(s, "b", "c");
+  admit_ok(s, "d", "c");
+  EXPECT_EQ(pop_ids(s, 3, 0.0),
+            (std::vector<std::string>{"a", "b", "d"}));
+}
+
+TEST(SchedulerTest, RestoreReentersInEdfOrder) {
+  AdmissionScheduler s;
+  admit_ok(s, "later", "c", 2000.0);
+  s.restore("urgent", "c", 1, 1000.0, 0.0);
+  EXPECT_EQ(s.queued(), 2u);
+  EXPECT_EQ(s.next(0.0).id, "urgent");
+}
+
+TEST(SchedulerTest, DrrAlternatesEqualWeights) {
+  AdmissionScheduler s;
+  for (int i = 0; i < 3; ++i) {
+    admit_ok(s, "a" + std::to_string(i), "alice");
+    admit_ok(s, "b" + std::to_string(i), "bob");
+  }
+  const std::vector<std::string> order = pop_ids(s, 6, 0.0);
+  // Equal weights: strict alternation, one quantum each.
+  for (int i = 0; i < 6; i += 2) {
+    EXPECT_EQ(order[i][0], 'a') << i;
+    EXPECT_EQ(order[i + 1][0], 'b') << i;
+  }
+}
+
+TEST(SchedulerTest, DrrHonorsTwoToOneWeights) {
+  SchedulerConfig cfg;
+  cfg.weights = {{"alice", 2.0}, {"bob", 1.0}};
+  AdmissionScheduler s(cfg);
+  for (int i = 0; i < 6; ++i) {
+    admit_ok(s, "a" + std::to_string(i), "alice");
+  }
+  for (int i = 0; i < 6; ++i) {
+    admit_ok(s, "b" + std::to_string(i), "bob");
+  }
+  const std::vector<std::string> order = pop_ids(s, 9, 0.0);
+  std::map<char, int> served;
+  for (const std::string& id : order) ++served[id[0]];
+  // Over any window the 2:1 client serves twice as much, give or take
+  // one quantum (the DRR invariant).
+  EXPECT_EQ(served['a'], 6);
+  EXPECT_EQ(served['b'], 3);
+}
+
+TEST(SchedulerTest, IdleClientBanksNoCredit) {
+  AdmissionScheduler s;
+  admit_ok(s, "a0", "alice");
+  EXPECT_EQ(s.next(0.0).id, "a0");
+  // bob was idle the whole time; when both queue again it is still one
+  // quantum per turn, not a burst of banked credit.
+  admit_ok(s, "a1", "alice");
+  admit_ok(s, "b1", "bob");
+  admit_ok(s, "a2", "alice");
+  admit_ok(s, "b2", "bob");
+  const std::vector<std::string> order = pop_ids(s, 4, 0.0);
+  int bob_streak = 0, worst = 0;
+  for (const std::string& id : order) {
+    bob_streak = id[0] == 'b' ? bob_streak + 1 : 0;
+    worst = std::max(worst, bob_streak);
+  }
+  EXPECT_LE(worst, 1);
+}
+
+TEST(SchedulerTest, CapacityRejectsWithoutQuota) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  AdmissionScheduler s(cfg);
+  admit_ok(s, "j1", "c");
+  admit_ok(s, "j2", "c");
+  const AdmitDecision d = s.admit("j3", "c", 1, 0.0, 0.0);
+  EXPECT_EQ(d.kind, Kind::Rejected);
+  EXPECT_FALSE(d.over_quota);
+  EXPECT_GE(d.retry_after_ms, 10.0);
+  EXPECT_EQ(s.queued(), 2u);
+}
+
+TEST(SchedulerTest, CapacityCountsOnlyQueuedJobs) {
+  // The regression the backoff_capacity split exists for: a job that
+  // left the queue (dispatched, backing off, whatever) must free its
+  // admission slot immediately.
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 2;
+  AdmissionScheduler s(cfg);
+  admit_ok(s, "j1", "c");
+  admit_ok(s, "j2", "c");
+  EXPECT_EQ(s.next(0.0).kind, Pop::Run);
+  EXPECT_EQ(s.admit("j3", "c", 1, 0.0, 0.0).kind, Kind::Admitted);
+}
+
+TEST(SchedulerTest, FullQueueEvictsMostOverQuotaClientsNewestJob) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.quota_rate = 1.0;
+  cfg.quota_burst = 2.0;
+  AdmissionScheduler s(cfg);
+  // agg burns its burst and goes two tokens into debt.
+  for (int i = 1; i <= 4; ++i) {
+    admit_ok(s, "a" + std::to_string(i), "agg");
+  }
+  const AdmitDecision d = s.admit("p1", "paced", 1, 0.0, 0.0);
+  EXPECT_EQ(d.kind, Kind::Evicted);
+  EXPECT_EQ(d.victim, "a4");  // least-invested: the newest arrival
+  EXPECT_EQ(d.victim_client, "agg");
+  EXPECT_GT(d.retry_after_ms, 0.0);
+  EXPECT_EQ(s.queued_for("agg"), 3u);
+  EXPECT_EQ(s.queued_for("paced"), 1u);
+  EXPECT_EQ(s.queued(), 4u);
+}
+
+TEST(SchedulerTest, OverQuotaClientShedsItselfWithRefillHint) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 4;
+  cfg.quota_rate = 1.0;
+  cfg.quota_burst = 2.0;
+  AdmissionScheduler s(cfg);
+  for (int i = 1; i <= 4; ++i) {
+    admit_ok(s, "a" + std::to_string(i), "agg");
+  }
+  const AdmitDecision d = s.admit("a5", "agg", 1, 0.0, 0.0);
+  EXPECT_EQ(d.kind, Kind::Rejected);
+  EXPECT_TRUE(d.over_quota);
+  // tokens are at -2: reaching 1.0 at 1/s is a 3 s wait.
+  EXPECT_DOUBLE_EQ(d.retry_after_ms, 3000.0);
+  EXPECT_EQ(s.queued(), 4u);
+}
+
+TEST(SchedulerTest, QuotaRefillsOverTime) {
+  SchedulerConfig cfg;
+  cfg.queue_capacity = 8;
+  cfg.quota_rate = 1.0;
+  cfg.quota_burst = 1.0;
+  AdmissionScheduler s(cfg);
+  admit_ok(s, "a1", "agg", 0.0, /*now=*/0.0);
+  // 5 seconds later the bucket is full again (capped at burst).
+  admit_ok(s, "a2", "agg", 0.0, /*now=*/5000.0);
+  const AdmitDecision d = s.admit("a3", "agg", 1, 0.0, 5000.0);
+  EXPECT_EQ(d.kind, Kind::Admitted);  // capacity not hit; quota only
+                                      // picks victims on a full queue
+}
+
+TEST(SchedulerTest, InfeasibleDeadlineRejectedAtAdmit) {
+  AdmissionScheduler s;
+  s.record_attempt(7, 1000.0);
+  const AdmitDecision d =
+      s.admit("doomed", "c", 7, /*deadline_instant=*/500.0, /*now=*/0.0);
+  EXPECT_EQ(d.kind, Kind::Infeasible);
+  EXPECT_DOUBLE_EQ(d.retry_after_ms, 0.0);  // waiting can't help
+  EXPECT_EQ(s.queued(), 0u);
+  // A fresh scheduler has no estimate and must not guess.
+  AdmissionScheduler fresh;
+  EXPECT_EQ(fresh.admit("tight", "c", 7, 1.0, 0.0).kind,
+            Kind::Admitted);
+}
+
+TEST(SchedulerTest, ShedAtDequeueWhenEstimateOutgrowsDeadline) {
+  AdmissionScheduler s;
+  // Feasible at admit time (no estimate yet)...
+  admit_ok(s, "doomed", "c", /*deadline=*/50.0, /*now=*/0.0, /*fp=*/7);
+  admit_ok(s, "fine", "c", /*deadline=*/0.0, /*now=*/0.0, /*fp=*/7);
+  // ...then the measured attempt time makes the deadline unreachable.
+  s.record_attempt(7, 1000.0);
+  const NextJob shed = s.next(0.0);
+  EXPECT_EQ(shed.kind, Pop::DeadlineShed);
+  EXPECT_EQ(shed.id, "doomed");
+  const NextJob run = s.next(0.0);
+  EXPECT_EQ(run.kind, Pop::Run);
+  EXPECT_EQ(run.id, "fine");
+  EXPECT_EQ(s.next(0.0).kind, Pop::None);
+}
+
+TEST(SchedulerTest, AttemptEwmaPerFingerprintWithGlobalFallback) {
+  AdmissionScheduler s;
+  EXPECT_DOUBLE_EQ(s.estimate_attempt_ms(1), 0.0);  // nothing measured
+  s.record_attempt(1, 100.0);
+  EXPECT_DOUBLE_EQ(s.estimate_attempt_ms(1), 100.0);
+  s.record_attempt(1, 200.0);
+  EXPECT_NEAR(s.estimate_attempt_ms(1), 0.3 * 200.0 + 0.7 * 100.0,
+              1e-9);
+  // A design never attempted falls back to the global EWMA.
+  EXPECT_NEAR(s.estimate_attempt_ms(99), s.estimate_attempt_ms(1),
+              1e-9);
+}
+
+TEST(SchedulerTest, MinAttemptFloorSeedsFreshEstimates) {
+  SchedulerConfig cfg;
+  cfg.min_attempt_floor_ms = 250.0;
+  AdmissionScheduler s(cfg);
+  EXPECT_DOUBLE_EQ(s.estimate_attempt_ms(1), 250.0);
+  s.record_attempt(2, 80.0);
+  EXPECT_DOUBLE_EQ(s.estimate_attempt_ms(1), 80.0);  // global wins
+}
+
+TEST(SchedulerTest, WaitP95NeedsMinimumSamples) {
+  AdmissionScheduler s;
+  for (int i = 0; i < 7; ++i) {
+    admit_ok(s, "j" + std::to_string(i), "c", 0.0, 0.0);
+  }
+  for (int i = 0; i < 7; ++i) (void)s.next(500.0);
+  EXPECT_DOUBLE_EQ(s.wait_p95_ms(), 0.0);  // 7 < min samples
+  admit_ok(s, "j7", "c", 0.0, 0.0);
+  (void)s.next(500.0);
+  EXPECT_DOUBLE_EQ(s.wait_p95_ms(), 500.0);
+}
+
+// ---- brownout hysteresis ---------------------------------------------
+
+/// Queue + dequeue enough jobs with `wait_ms` of queue time to fill the
+/// p95 window past its minimum sample count.
+void feed_waits(AdmissionScheduler& s, double enqueue_at,
+                double wait_ms, int n = 10) {
+  for (int i = 0; i < n; ++i) {
+    admit_ok(s, "w" + std::to_string(i), "c", 0.0, enqueue_at);
+  }
+  for (int i = 0; i < n; ++i) (void)s.next(enqueue_at + wait_ms);
+}
+
+SchedulerConfig brownout_cfg() {
+  SchedulerConfig cfg;
+  cfg.brownout_wait_p95_ms = 100.0;
+  cfg.brownout_dwell_ms = 500.0;
+  return cfg;
+}
+
+TEST(SchedulerTest, BrownoutEscalatesAfterSustainedPressure) {
+  AdmissionScheduler s(brownout_cfg());
+  feed_waits(s, 0.0, 1000.0);
+  EXPECT_EQ(s.tier(), 0);
+  // Pressure noticed, but it must persist a full dwell before tier 1.
+  EXPECT_EQ(s.tick(1000.0, 2, 2), -1);
+  EXPECT_EQ(s.tick(1200.0, 2, 2), -1);
+  EXPECT_EQ(s.tick(1600.0, 2, 2), 1);
+  EXPECT_EQ(s.tier(), 1);
+  // Still pressured: the next step waits out its own dwell too.
+  EXPECT_EQ(s.tick(1700.0, 2, 2), -1);
+  EXPECT_EQ(s.tick(2200.0, 2, 2), 2);
+  EXPECT_EQ(s.tier(), 2);
+  // Max tier: sustained pressure holds, never overshoots.
+  EXPECT_EQ(s.tick(3000.0, 2, 2), -1);
+  EXPECT_EQ(s.tier(), 2);
+}
+
+TEST(SchedulerTest, BrownoutExitsWhenQueueDrainsAndWorkersIdle) {
+  AdmissionScheduler s(brownout_cfg());
+  feed_waits(s, 0.0, 1000.0);
+  (void)s.tick(1000.0, 2, 2);
+  (void)s.tick(1600.0, 2, 2);
+  ASSERT_EQ(s.tier(), 1);
+  // The p95 window still remembers the storm, but an empty queue with
+  // idle workers is clear by definition — after its dwell.
+  EXPECT_EQ(s.tick(1700.0, 0, 2), -1);
+  EXPECT_EQ(s.tick(2200.0, 0, 2), 0);
+  EXPECT_EQ(s.tier(), 0);
+}
+
+TEST(SchedulerTest, BrownoutDoesNotFlapUnderSquareWaveLoad) {
+  AdmissionScheduler s(brownout_cfg());
+  feed_waits(s, 0.0, 1000.0);
+  // Pressure flips every 200 ms — under the 500 ms dwell — so neither
+  // the enter nor the exit timer ever accrues: zero transitions.
+  bool pressured = true;
+  for (double t = 1000.0; t < 20000.0; t += 200.0) {
+    EXPECT_EQ(s.tick(t, pressured ? 2 : 0, 2), -1) << t;
+    EXPECT_EQ(s.tier(), 0) << t;
+    pressured = !pressured;
+  }
+  // Same square wave from inside a tier holds the tier instead.
+  s.force_tier(1, 20000.0);
+  for (double t = 21000.0; t < 40000.0; t += 200.0) {
+    EXPECT_EQ(s.tick(t, pressured ? 2 : 0, 2), -1) << t;
+    EXPECT_EQ(s.tier(), 1) << t;
+    pressured = !pressured;
+  }
+}
+
+TEST(SchedulerTest, BrownoutDisabledWithoutThreshold) {
+  AdmissionScheduler s;  // brownout_wait_p95_ms = 0
+  feed_waits(s, 0.0, 10000.0);
+  for (double t = 0.0; t < 10000.0; t += 100.0) {
+    EXPECT_EQ(s.tick(t, 8, 2), -1);
+  }
+  EXPECT_EQ(s.tier(), 0);
+  EXPECT_DOUBLE_EQ(s.next_deadline_ms(0.0), 0.0);
+}
+
+TEST(SchedulerTest, ForceTierClampsAndRespectsDwell) {
+  AdmissionScheduler s(brownout_cfg());
+  s.force_tier(5, 1000.0);
+  EXPECT_EQ(s.tier(), 2);  // clamped to max tier
+  // A restored tier counts as a transition: even a clear signal must
+  // dwell before stepping down.
+  EXPECT_EQ(s.tick(1100.0, 0, 2), -1);  // clear timer starts here
+  EXPECT_EQ(s.tier(), 2);
+  EXPECT_EQ(s.tick(1400.0, 0, 2), -1);  // inside the restored dwell
+  EXPECT_EQ(s.tick(1600.0, 0, 2), 1);
+  s.force_tier(0, 2000.0);
+  EXPECT_EQ(s.tier(), 0);
+}
+
+TEST(SchedulerTest, NextDeadlineStrictlyFutureWhileBrownedOut) {
+  AdmissionScheduler s(brownout_cfg());
+  EXPECT_DOUBLE_EQ(s.next_deadline_ms(500.0), 0.0);  // idle: no timer
+  s.force_tier(1, 1000.0);
+  const double t = s.next_deadline_ms(1000.0);
+  EXPECT_GT(t, 1000.0);
+  EXPECT_LE(t, 1000.0 + 500.0);  // within one dwell
+}
+
+TEST(SchedulerTest, ClearDrainsEverything) {
+  AdmissionScheduler s;
+  admit_ok(s, "a", "alice");
+  admit_ok(s, "b", "bob", 1000.0);
+  const std::vector<std::string> ids = s.clear();
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(s.queued(), 0u);
+  EXPECT_EQ(s.next(0.0).kind, Pop::None);
+}
+
+TEST(SchedulerTest, RemoveDropsOneQueuedJob) {
+  AdmissionScheduler s;
+  admit_ok(s, "a", "c");
+  admit_ok(s, "b", "c");
+  s.remove("a");
+  EXPECT_EQ(s.queued(), 1u);
+  EXPECT_EQ(s.next(0.0).id, "b");
+}
+
+} // namespace
+} // namespace wm::serve

@@ -463,6 +463,11 @@ std::vector<JournalRecord> journal_fixture() {
   shard.shard = 1;
   shard.shard_state = ShardState::Poisoned;
   recs.push_back(shard);
+
+  JournalRecord brown;
+  brown.type = JournalRecord::Type::Brownout;
+  brown.tier = 2;
+  recs.push_back(brown);
   return recs;
 }
 
@@ -1208,6 +1213,65 @@ TEST(JournalTest, ShardRecordsFoldIntoPoisonedStripes) {
       "{\"t\":\"shard\",\"id\":\"j\",\"shard\":1,\"state\":\"warp\"}"
       " crc 00000000",
       &out));
+}
+
+TEST(JournalTest, BrownoutRecordCarriesTierAndFoldIgnoresIt) {
+  // The brownout record has no job id — it journals the daemon's
+  // degradation tier so a restart resumes degraded service.
+  JournalRecord brown;
+  brown.type = JournalRecord::Type::Brownout;
+  brown.tier = 1;
+  JournalRecord back;
+  ASSERT_TRUE(decode_record(encode_record(brown), &back));
+  EXPECT_EQ(back.type, JournalRecord::Type::Brownout);
+  EXPECT_EQ(back.tier, 1);
+
+  // fold_journal builds the job table; brownout is orthogonal state
+  // (recovery scans for the last brownout record separately).
+  JournalRecord v;
+  v.type = JournalRecord::Type::Version;
+  JournalRecord admit;
+  admit.type = JournalRecord::Type::Admit;
+  admit.id = "j1";
+  admit.spec = journal_spec("j1");
+  const auto table = fold_journal({v, brown, admit, brown});
+  ASSERT_EQ(table.size(), 1u);
+  EXPECT_EQ(table[0].first, "j1");
+
+  // A negative tier is a codec violation, not a crash.
+  JournalRecord out;
+  EXPECT_FALSE(decode_record(
+      "{\"t\":\"brownout\",\"tier\":-1} crc 00000000", &out));
+}
+
+TEST(ProtocolTest, ClientFieldRoundTripsAndDefaultsEmpty) {
+  JobSpec job;
+  job.id = "job-1";
+  job.tree = "x.ctree";
+  job.client = "paced";
+  const Request req = parse_request(dump_submit(job, false));
+  EXPECT_EQ(req.job.client, "paced");
+  // Old clients never send the field; the daemon sees the anonymous
+  // client, and the spec dump omits the key entirely.
+  const Request anon = parse_request(
+      R"({"v":"wavemin.jobs/v1","op":"submit","tree":"t.ctree"})");
+  EXPECT_EQ(anon.job.client, "");
+  JobSpec plain;
+  plain.id = "j";
+  plain.tree = "t.ctree";
+  EXPECT_EQ(dump_submit(plain, false).find("client"), std::string::npos);
+}
+
+TEST(ProtocolTest, ErrorFrameCarriesRetryAfterHint) {
+  const json::Value v = json::parse(
+      error_frame("overloaded", "queue full", /*retry_after_ms=*/1500.0));
+  EXPECT_FALSE(v.get_bool_or("ok", true));
+  EXPECT_DOUBLE_EQ(v.get_number_or("retry_after_ms", 0.0), 1500.0);
+  // Errors with no meaningful hint omit the field (old clients parse
+  // the frame unchanged).
+  const json::Value plain =
+      json::parse(error_frame("bad-request", "no tree"));
+  EXPECT_EQ(plain.find("retry_after_ms"), nullptr);
 }
 
 } // namespace

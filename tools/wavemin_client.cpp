@@ -12,12 +12,17 @@
 //   --algo wavemin|wavemin-f
 //   --kappa <ps> --samples <n> --seed <n>
 //   --deadline-ms <ms>    whole-job deadline, propagated into RunBudget
+//   --client <s>          client name for the daemon's fairness
+//                         scheduler (DRR weight + token-bucket quota)
 //   --max-retries <n>     per-job retry cap (default 3)
 //   --out <path>          output tree (submit only)
 //   --job-fault-spec <s>  fault spec armed inside the worker child
 //   --wait                submit: hold the connection until terminal
 //
 // Client options:
+//   --retry-overloaded <n>  on an "overloaded" rejection, honor the
+//                           daemon's retry_after_ms hint and resubmit,
+//                           up to n times per job (default 0)
 //   --connect-wait-ms <ms>  keep retrying the connect (daemon booting)
 //   --timeout-ms <ms>       overall batch/wait deadline AND the
 //                           per-read socket timeout, so a wedged
@@ -65,6 +70,7 @@ struct Args {
   std::string prefix = "b";
   int jobs = 1;
   bool wait = false;
+  int retry_overloaded = 0;
   double connect_wait_ms = 5000.0;
   double timeout_ms = 120000.0;
 };
@@ -75,8 +81,10 @@ int usage() {
                "submit|batch|status|health|stats|drain ...\n"
                "  submit <tree> [--id s] [--algo a] [--kappa k] "
                "[--samples n] [--seed n]\n"
-               "         [--deadline-ms d] [--max-retries r] [--out f] "
-               "[--job-fault-spec s] [--wait]\n"
+               "         [--deadline-ms d] [--client s] [--max-retries r] "
+               "[--out f]\n"
+               "         [--job-fault-spec s] [--retry-overloaded n] "
+               "[--wait]\n"
                "  batch  <tree> --jobs N [--prefix s] [job options]\n"
                "  status <id>\n");
   return 1;
@@ -107,6 +115,10 @@ bool parse(int argc, char** argv, Args& a) {
       a.job.seed = std::strtoull(v, nullptr, 10);
     } else if (t == "--deadline-ms" && (v = value()) != nullptr) {
       a.job.deadline_ms = std::atof(v);
+    } else if (t == "--client" && (v = value()) != nullptr) {
+      a.job.client = v;
+    } else if (t == "--retry-overloaded" && (v = value()) != nullptr) {
+      a.retry_overloaded = std::atoi(v);
     } else if (t == "--max-retries" && (v = value()) != nullptr) {
       a.job.max_retries = std::atoi(v);
     } else if (t == "--out" && (v = value()) != nullptr) {
@@ -224,6 +236,7 @@ struct Reply {
   std::string state;    ///< job state when a job frame
   std::string id;
   std::uint64_t resumed_zones = 0;
+  double retry_after_ms = 0.0;  ///< daemon hint on "overloaded"
 };
 
 bool parse_reply(const std::string& line, Reply& r) {
@@ -233,6 +246,7 @@ bool parse_reply(const std::string& line, Reply& r) {
     if (!v.is_object()) return false;
     r.ok = v.get_bool_or("ok", false);
     r.error = v.get_string_or("error", "");
+    r.retry_after_ms = v.get_number_or("retry_after_ms", 0.0);
     if (const json::Value* job = v.find("job");
         job != nullptr && job->is_object()) {
       r.id = job->get_string_or("id", "");
@@ -252,6 +266,15 @@ bool acceptable_state(const std::string& state) {
          state == "infeasible" || state == "quarantined";
 }
 
+/// Nap before an overloaded resubmit: honor the daemon's
+/// retry_after_ms hint, floored so a zero hint still backs off and
+/// capped so a pathological hint cannot wedge the client.
+double retry_nap_ms(double hint_ms) {
+  if (hint_ms < 50.0) return 50.0;
+  if (hint_ms > 5000.0) return 5000.0;
+  return hint_ms;
+}
+
 int run_batch(const Args& a, DaemonConn& conn) {
   if (a.positional.empty() || a.jobs <= 0) return usage();
   const double deadline = now_ms() + a.timeout_ms;
@@ -266,30 +289,44 @@ int run_batch(const Args& a, DaemonConn& conn) {
     spec.id = a.prefix + std::to_string(k);
     spec.tree = a.positional[k % a.positional.size()];
     spec.out.clear();  // daemon spools outputs; batch never collides
-    if (!conn.send_line(serve::dump_submit(spec, false))) {
-      std::fprintf(stderr, "batch: connection lost on submit %d\n", k);
-      return 2;
-    }
-    std::string line;
-    if (!conn.read_line(line)) {
-      std::fprintf(stderr, "batch: no reply to submit %d\n", k);
-      return 2;
-    }
-    Reply r;
-    if (!parse_reply(line, r)) {
-      std::fprintf(stderr, "batch: junk reply: %s\n", line.c_str());
-      return 2;
-    }
-    if (r.ok) {
-      outstanding.emplace(spec.id, r.state);
-    } else if (r.error == "overloaded") {
-      ++shed;
-    } else if (r.error == "breaker-open") {
-      ++breaker_rejected;
-    } else {
-      ++rejected;
-      std::fprintf(stderr, "batch: %s rejected: %s\n", spec.id.c_str(),
-                   line.c_str());
+    int retries_left = a.retry_overloaded;
+    while (true) {
+      if (!conn.send_line(serve::dump_submit(spec, false))) {
+        std::fprintf(stderr, "batch: connection lost on submit %d\n", k);
+        return 2;
+      }
+      std::string line;
+      if (!conn.read_line(line)) {
+        std::fprintf(stderr, "batch: no reply to submit %d\n", k);
+        return 2;
+      }
+      Reply r;
+      if (!parse_reply(line, r)) {
+        std::fprintf(stderr, "batch: junk reply: %s\n", line.c_str());
+        return 2;
+      }
+      if (!r.ok && r.error == "overloaded" && retries_left > 0) {
+        const double nap = retry_nap_ms(r.retry_after_ms);
+        if (now_ms() + nap < deadline) {
+          --retries_left;
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              static_cast<int>(nap)));
+          continue;
+        }
+        // Out of batch budget: fall through and count the shed.
+      }
+      if (r.ok) {
+        outstanding.emplace(spec.id, r.state);
+      } else if (r.error == "overloaded") {
+        ++shed;
+      } else if (r.error == "breaker-open") {
+        ++breaker_rejected;
+      } else {
+        ++rejected;
+        std::fprintf(stderr, "batch: %s rejected: %s\n", spec.id.c_str(),
+                     line.c_str());
+      }
+      break;
     }
   }
 
@@ -379,29 +416,43 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  if (!conn.send_line(request)) {
-    std::fprintf(stderr, "wavemin_client: send failed\n");
-    return 2;
-  }
-  std::string line;
-  if (!conn.read_line(line)) {
-    if (conn.timed_out()) {
-      std::fprintf(stderr,
-                   "wavemin_client: timed out after %.0f ms waiting "
-                   "for a reply\n",
-                   a.timeout_ms);
-    } else {
-      std::fprintf(stderr, "wavemin_client: connection closed\n");
+  int retries_left = a.cmd == "submit" ? a.retry_overloaded : 0;
+  while (true) {
+    if (!conn.send_line(request)) {
+      std::fprintf(stderr, "wavemin_client: send failed\n");
+      return 2;
     }
-    return 2;
-  }
-  std::printf("%s\n", line.c_str());
+    std::string line;
+    if (!conn.read_line(line)) {
+      if (conn.timed_out()) {
+        std::fprintf(stderr,
+                     "wavemin_client: timed out after %.0f ms waiting "
+                     "for a reply\n",
+                     a.timeout_ms);
+      } else {
+        std::fprintf(stderr, "wavemin_client: connection closed\n");
+      }
+      return 2;
+    }
 
-  Reply r;
-  if (!parse_reply(line, r)) return 1;
-  if (!r.ok) return 1;
-  if (a.cmd == "submit" && a.wait) {
-    return acceptable_state(r.state) ? 0 : 1;
+    Reply r;
+    const bool parsed = parse_reply(line, r);
+    if (parsed && !r.ok && r.error == "overloaded" && retries_left > 0) {
+      --retries_left;
+      const double nap = retry_nap_ms(r.retry_after_ms);
+      std::fprintf(stderr,
+                   "wavemin_client: overloaded, retrying in %.0f ms "
+                   "(%d attempt(s) left)\n",
+                   nap, retries_left);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<int>(nap)));
+      continue;
+    }
+    std::printf("%s\n", line.c_str());
+    if (!parsed || !r.ok) return 1;
+    if (a.cmd == "submit" && a.wait) {
+      return acceptable_state(r.state) ? 0 : 1;
+    }
+    return 0;
   }
-  return 0;
 }

@@ -11,6 +11,10 @@
 //   --socket <path>         unix socket path   (default wavemin.sock)
 //   --spool <dir>           checkpoint/result spool (default spool)
 //   --queue <n>             admission queue capacity (default 64)
+//   --backoff-capacity <n>  jobs allowed in retry backoff before a
+//                           retry is denied; kept separate from
+//                           --queue so a retry storm cannot lock out
+//                           fresh admissions (default 64)
 //   --workers <n>           concurrent worker children (default 2)
 //   --breaker <n>           consecutive failures per design that open
 //                           the circuit breaker; 0 disables (default 3)
@@ -55,6 +59,21 @@
 //                           serving from one (default: library's)
 //   --fault-spec <s>        daemon-side chaos, e.g. serve.worker_kill=3
 //   --fault-seed <n>        seed for unscheduled fault entries
+//   --quota-rate <r>        per-client token-bucket quota: sustained
+//                           admissions/second; 0 disables fairness-
+//                           based victim selection (default 0)
+//   --quota-burst <n>       token-bucket burst size (default 8)
+//   --client-weight n=w     DRR weight for client n (repeatable;
+//                           unlisted clients weigh 1)
+//   --brownout-wait-ms <ms> engage brownout tier 1 when the queue-wait
+//                           p95 exceeds this with every worker busy;
+//                           0 disables the controller (default 0)
+//   --brownout-dwell-ms <ms>
+//                           minimum spacing between brownout tier
+//                           transitions (default 2000)
+//   --brownout-label-budget <n>
+//                           per-attempt label cap while browned out
+//                           (default 200000)
 //   --verbose / --debug     log level
 //
 // Exit: 0 after a clean drain (SIGTERM, SIGINT or the drain op);
@@ -82,6 +101,8 @@ int main(int argc, char** argv) {
       opt.spool_dir = v;
     } else if (t == "--queue" && (v = value()) != nullptr) {
       opt.queue_capacity = std::atoi(v);
+    } else if (t == "--backoff-capacity" && (v = value()) != nullptr) {
+      opt.backoff_capacity = std::atoi(v);
     } else if (t == "--workers" && (v = value()) != nullptr) {
       opt.max_workers = std::atoi(v);
     } else if (t == "--breaker" && (v = value()) != nullptr) {
@@ -124,6 +145,26 @@ int main(int argc, char** argv) {
       opt.fault_spec = v;
     } else if (t == "--fault-seed" && (v = value()) != nullptr) {
       opt.fault_seed = std::strtoull(v, nullptr, 10);
+    } else if (t == "--quota-rate" && (v = value()) != nullptr) {
+      opt.quota_rate = std::atof(v);
+    } else if (t == "--quota-burst" && (v = value()) != nullptr) {
+      opt.quota_burst = std::atof(v);
+    } else if (t == "--client-weight" && (v = value()) != nullptr) {
+      if (std::strchr(v, '=') == nullptr) {
+        std::fprintf(stderr,
+                     "wavemin_served: --client-weight wants name=w, "
+                     "got %s\n",
+                     v);
+        return 1;
+      }
+      if (!opt.client_weights.empty()) opt.client_weights += ',';
+      opt.client_weights += v;
+    } else if (t == "--brownout-wait-ms" && (v = value()) != nullptr) {
+      opt.brownout_wait_ms = std::atof(v);
+    } else if (t == "--brownout-dwell-ms" && (v = value()) != nullptr) {
+      opt.brownout_dwell_ms = std::atof(v);
+    } else if (t == "--brownout-label-budget" && (v = value()) != nullptr) {
+      opt.brownout_label_budget = std::strtoull(v, nullptr, 10);
     } else if (t == "--verbose") {
       wm::set_log_level(wm::LogLevel::Info);
     } else if (t == "--debug") {
@@ -143,7 +184,12 @@ int main(int argc, char** argv) {
                    "       [--pool-stall-ms x] [--pool-ping-ms x] "
                    "[--pool-ping-timeout-ms x] [--pool-collapse n]\n"
                    "       [--char-dt ps] [--fault-spec s] "
-                   "[--fault-seed n] [--verbose|--debug]\n",
+                   "[--fault-seed n]\n"
+                   "       [--backoff-capacity n] [--quota-rate r] "
+                   "[--quota-burst n] [--client-weight n=w]\n"
+                   "       [--brownout-wait-ms x] [--brownout-dwell-ms x] "
+                   "[--brownout-label-budget n]\n"
+                   "       [--verbose|--debug]\n",
                    t.c_str());
       return 1;
     }
@@ -151,6 +197,15 @@ int main(int argc, char** argv) {
   if (opt.queue_capacity <= 0 || opt.max_workers <= 0) {
     std::fprintf(stderr,
                  "wavemin_served: --queue and --workers must be > 0\n");
+    return 1;
+  }
+  if (opt.backoff_capacity <= 0 || opt.quota_rate < 0.0 ||
+      opt.quota_burst <= 0.0 || opt.brownout_wait_ms < 0.0 ||
+      opt.brownout_dwell_ms < 0.0) {
+    std::fprintf(stderr,
+                 "wavemin_served: --backoff-capacity and --quota-burst "
+                 "must be > 0; --quota-rate, --brownout-wait-ms and "
+                 "--brownout-dwell-ms must be >= 0\n");
     return 1;
   }
   return wm::serve::serve_loop(opt);
